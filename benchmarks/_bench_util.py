@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness (imported by bench modules)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+class RowCollector:
+    """Accumulates table rows across parametrized benchmark cases."""
+
+    def __init__(self, name: str, headers: Sequence[str]) -> None:
+        self.name = name
+        self.headers = list(headers)
+        self.rows: List[List[object]] = []
+
+    def add(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def render(self, title: str) -> str:
+        from repro.analysis.report import render_table
+
+        return render_table(self.headers, self.rows, title=title)
+
+    def emit(self, title: str) -> str:
+        """Render, print, and persist the table; returns the text."""
+        text = self.render(title)
+        print("\n" + text)
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{self.name}.txt").write_text(text + "\n", encoding="utf-8")
+        return text
+
+
+_collectors: Dict[str, RowCollector] = {}
+
+
+def get_collector(name: str, headers: Sequence[str]) -> RowCollector:
+    """Process-wide collector registry keyed by table name."""
+    if name not in _collectors:
+        _collectors[name] = RowCollector(name, headers)
+    return _collectors[name]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark *fn* with a single round (pipelines are heavyweight)."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,8 @@
+"""Benchmark harness configuration.
+
+Each bench module reproduces one table or figure of the paper; rows are
+accumulated in `_bench_util` collectors and rendered (and written to
+``benchmarks/out/``) by each module's final report step, so
+``pytest benchmarks/ --benchmark-only`` both times the pipelines and
+emits the reproduced tables for EXPERIMENTS.md.
+"""

@@ -1,0 +1,62 @@
+"""Supplementary — §III's generic recipe on graph coloring.
+
+Not a paper table (the paper only sketches the coloring example), but
+the generic-methodology claim deserves measurement: evidence strength
+vs the number of forced-distinct pairs, and the false-positive behaviour
+of independent colorings.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from _bench_util import get_collector, run_once
+from repro.coloring import (
+    ColoringWatermarker,
+    ColoringWMParams,
+    dsatur_coloring,
+    num_colors,
+    verify_coloring,
+)
+from repro.crypto.signature import AuthorSignature
+
+HEADERS = ["pairs K", "colors", "log10 Pc", "detected", "clean coloring matches"]
+
+
+def sweep_pairs():
+    graph = nx.gnp_random_graph(80, 0.10, seed=11)
+    signature = AuthorSignature("alice-designs-inc")
+    rows = []
+    for k in (2, 4, 8, 12):
+        marker = ColoringWatermarker(
+            signature, ColoringWMParams(radius=3, k=k, min_locality=10)
+        )
+        augmented, watermark = marker.embed(graph)
+        colors = dsatur_coloring(augmented)
+        verify_coloring(augmented, colors)
+        result = marker.verify(colors, watermark)
+        clean = marker.verify(dsatur_coloring(graph), watermark)
+        rows.append(
+            (
+                k,
+                num_colors(colors),
+                result.log10_pc,
+                result.detected,
+                f"{clean.satisfied}/{clean.total}",
+            )
+        )
+    return rows
+
+
+def test_coloring_watermark(benchmark):
+    rows = run_once(benchmark, sweep_pairs)
+    table = get_collector("coloring", HEADERS)
+    for k, colors, log10_pc, detected, clean in rows:
+        table.add(k, colors, f"{log10_pc:.2f}", detected, clean)
+    table.emit("Supplementary: local watermarks on graph coloring (§III)")
+
+    # Every embedding is detected in its own solution.
+    assert all(r[3] for r in rows)
+    # Evidence strengthens with K.
+    evidences = [r[2] for r in rows]
+    assert all(a > b for a, b in zip(evidences, evidences[1:]))

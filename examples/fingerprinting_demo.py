@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Fingerprinting: trace which customer's copy of a core leaked.
+
+A vendor issues the same master design to several customers, each copy
+carrying a customer-specific local watermark.  When a copy surfaces on
+the gray market, the vendor checks every customer's archived fingerprint
+against the leaked schedule — the leaker's mark verifies fully, the
+others only by coincidence.
+
+Run: ``python examples/fingerprinting_demo.py``
+"""
+
+from repro import AuthorSignature
+from repro.cdfg.generators import random_layered_cdfg
+from repro.core.domain import DomainParams
+from repro.core.fingerprinting import Fingerprinter
+from repro.core.scheduling_wm import SchedulingWMParams
+from repro.scheduling.list_scheduler import list_schedule
+
+
+def main() -> None:
+    master = random_layered_cdfg(150, seed=31, num_layers=25, name="dsp-core")
+    vendor = AuthorSignature("vendor-corp")
+    fingerprinter = Fingerprinter(
+        vendor,
+        SchedulingWMParams(domain=DomainParams(tau=5, min_domain_size=8), k=6),
+    )
+
+    customers = ["acme", "globex", "initech"]
+    copies = fingerprinter.issue_copies(master, customers)
+    print(f"master design: {len(master.schedulable_operations)} ops")
+    for customer, (marked, record) in copies.items():
+        print(
+            f"  issued to {customer:8s}: {record.watermark.k} temporal "
+            f"edges at root {record.watermark.root!r}"
+        )
+
+    # globex's copy leaks.
+    leaked_design, _ = copies["globex"]
+    leaked_schedule = list_schedule(leaked_design)
+    print("\na copy leaks; tracing it against all customer fingerprints:")
+
+    records = [copies[c][1] for c in customers]
+    matches = fingerprinter.identify(master, leaked_schedule, records)
+    for match in matches:
+        print(
+            f"  {match.customer:8s}: {match.result.satisfied}/"
+            f"{match.result.total} constraints hold "
+            f"(confidence {match.confidence:.4f})"
+        )
+    print(f"\nverdict: the leak traces to {matches[0].customer!r}")
+
+
+if __name__ == "__main__":
+    main()

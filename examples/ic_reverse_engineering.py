@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""§II end to end: detect a watermark from a reverse-engineered IC.
+
+The paper's detection story assumes the suspect *implementation* can be
+reverse engineered: "one can easily recover its FSM and, thus, the
+schedule and assignments used in the IC".  This demo walks the whole
+loop:
+
+1. embed a watermark and synthesize: schedule → register/unit binding →
+   FSM controller (the "IC");
+2. reverse engineer: recover the schedule from the controller's control
+   words alone;
+3. detect the watermark on the recovered schedule.
+
+Run: ``python examples/ic_reverse_engineering.py``
+"""
+
+from repro import AuthorSignature
+from repro.cdfg.generators import random_layered_cdfg
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.rtl import (
+    bind,
+    datapath_summary,
+    recover_schedule,
+    recovered_schedule_for,
+    synthesize_controller,
+)
+from repro.scheduling.list_scheduler import list_schedule
+
+
+def main() -> None:
+    design = random_layered_cdfg(90, seed=42, name="dsp-kernel")
+    signature = AuthorSignature("alice-designs-inc")
+    marker = SchedulingWatermarker(
+        signature,
+        SchedulingWMParams(domain=DomainParams(tau=5, min_domain_size=8), k=6),
+    )
+    marked, watermark = marker.embed(design)
+    print(f"watermarked design: {watermark.k} hidden temporal edges")
+
+    # --- synthesis: what the design house ships -----------------------
+    schedule = list_schedule(marked)
+    binding = bind(marked, schedule)
+    controller = synthesize_controller(marked, schedule, binding)
+    print(
+        f"synthesized IC: {controller.num_steps} control steps, "
+        f"{controller.num_microops} micro-ops, datapath "
+        f"{datapath_summary(binding)}"
+    )
+    sample = controller.control_word(0)[:2]
+    for micro in sample:
+        print(
+            f"  step 0 issues {micro.opcode} on {micro.unit[0]}"
+            f"[{micro.unit[1]}] from r{list(micro.source_registers)} "
+            f"-> r{micro.destination_register}"
+        )
+
+    # --- reverse engineering: what the detector reconstructs -----------
+    recovered = recovered_schedule_for(design, recover_schedule(controller))
+    print("\nschedule recovered from the controller's control words")
+
+    result = marker.verify(design, recovered, watermark)
+    print(
+        f"detection on the recovered schedule: {result.satisfied}/"
+        f"{result.total} constraints hold, confidence "
+        f"{result.confidence:.4f} -> detected={result.detected}"
+    )
+
+
+if __name__ == "__main__":
+    main()

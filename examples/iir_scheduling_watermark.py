@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 3 walk-through: exact coincidence on the IIR filter.
+
+Reproduces the motivational example of §IV-A on the fourth-order
+parallel IIR filter: enumerate every feasible schedule of the watermark
+locality with and without the signature's temporal edges and report the
+exact coincidence probability (the paper's reconstruction counts 166
+schedules unconstrained vs 15 constrained, ``P_c = 15/166``), plus the
+per-edge ``ψ_W/ψ_N`` ratios (the paper's 10/77 example).
+
+Run: ``python examples/iir_scheduling_watermark.py``
+"""
+
+from repro import AuthorSignature, SchedulingWatermarker
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWMParams
+from repro.scheduling.enumeration import pairwise_psi
+from repro.timing.windows import critical_path_length
+
+
+def main() -> None:
+    design = fourth_order_parallel_iir()
+    c = critical_path_length(design)
+    print(f"critical path C = {c} control steps")
+
+    signature = AuthorSignature("alice-designs-inc")
+    params = SchedulingWMParams(
+        domain=DomainParams(tau=4, min_domain_size=5),
+        k=3,
+        epsilon=0.15,
+    )
+    marker = SchedulingWatermarker(signature, params)
+    marked, watermark = marker.embed(design)
+
+    print(f"locality root n_o = {watermark.root}")
+    print(f"cone T_o = {watermark.cone}")
+    print(f"carved subtree T = {watermark.domain_nodes}")
+    print(f"eligible T' = {watermark.eligible_nodes}")
+    print(f"temporal edges: {watermark.temporal_edges}")
+
+    # Exact enumeration over the locality, as in Fig. 3.
+    exact = marker.exact_coincidence(design, watermark)
+    print(
+        f"\nschedules of the locality without constraints: "
+        f"{exact.without_constraints}"
+    )
+    print(
+        f"schedules satisfying the watermark constraints: "
+        f"{exact.with_constraints}"
+    )
+    print(
+        f"exact P_c = {exact.with_constraints}/{exact.without_constraints}"
+        f" = {exact.pc:.4f}   (authorship proof {exact.authorship_proof:.4f})"
+    )
+
+    # Per-edge psi ratios (the paper's psi_W(e) = 10 / psi_N(e) = 77).
+    print("\nper-edge coincidence ratios:")
+    for src, dst in watermark.temporal_edges:
+        psi_w, psi_n = pairwise_psi(
+            design, watermark.horizon, src, dst, nodes=list(watermark.cone)
+        )
+        print(f"  e({src} -> {dst}): psi_W = {psi_w}, psi_N = {psi_n}")
+
+
+if __name__ == "__main__":
+    main()

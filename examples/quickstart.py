@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: watermark a design's schedule and detect the mark.
+
+Walks the full Fig.-1 flow on a small DSP design:
+
+1. build a CDFG,
+2. embed an author-specific local watermark (temporal edges),
+3. run an off-the-shelf scheduler,
+4. strip the constraints (what ships),
+5. detect the watermark from the shipped schedule alone.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import AuthorSignature, SchedulingWatermarker, list_schedule
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.core.coincidence import format_pc_power
+from repro.core.scheduling_wm import SchedulingWMParams
+
+
+def main() -> None:
+    # 1. The design: the paper's fourth-order parallel IIR filter.
+    design = fourth_order_parallel_iir()
+    print(f"design: {design.name}, {len(design.schedulable_operations)} ops")
+
+    # 2. Embed a watermark keyed to the author's signature.
+    signature = AuthorSignature("alice-designs-inc")
+    marker = SchedulingWatermarker(signature, SchedulingWMParams(k=3))
+    marked, watermark = marker.embed(design)
+    print(f"locality root: {watermark.root}")
+    print(f"domain T ({watermark.k} temporal edges): {watermark.domain_nodes}")
+    for src, dst in watermark.temporal_edges:
+        print(f"  temporal edge: {src} must run before {dst}")
+
+    # 3. Synthesize with any constraint-respecting scheduler.
+    schedule = list_schedule(marked)
+    print(f"schedule makespan: {schedule.makespan(marked)} control steps")
+
+    # 4. The shipped design carries no constraint annotations.
+    shipped = marked.without_temporal_edges()
+    assert shipped.temporal_edges == []
+
+    # 5. Detection: check the signature's constraints on the schedule.
+    result = marker.verify(shipped, schedule, watermark)
+    print(
+        f"detection: {result.satisfied}/{result.total} constraints hold, "
+        f"P_c ~ {format_pc_power(result.log10_pc)}, "
+        f"confidence {result.confidence:.3f}"
+    )
+    assert result.detected
+
+    # A schedule produced WITHOUT the watermark fails detection.
+    clean = list_schedule(design)
+    clean_result = marker.verify(design, clean, watermark)
+    print(
+        f"unwatermarked schedule: {clean_result.satisfied}/"
+        f"{clean_result.total} constraints hold by coincidence"
+    )
+
+
+if __name__ == "__main__":
+    main()

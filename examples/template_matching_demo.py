@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 4 walk-through: template-matching watermarks.
+
+Enforces signature-specific node-to-module matchings on the IIR filter
+by promoting the surrounding variables to pseudo-primary outputs, covers
+the design with and without the watermark, and reports the module-count
+cost and the coincidence probability.
+
+Run: ``python examples/template_matching_demo.py``
+"""
+
+from repro import AuthorSignature
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.core.matching_wm import MatchingWatermarker, MatchingWMParams
+from repro.templates.covering import cover_and_allocate
+from repro.templates.library import default_library
+from repro.timing.windows import critical_path_length
+
+
+def main() -> None:
+    design = fourth_order_parallel_iir()
+    library = default_library()
+    c = critical_path_length(design)
+    steps = 2 * c  # relaxed budget, as in Table II's second rows
+    print(f"critical path {c}, available control steps {steps}")
+    print("template library:", ", ".join(t.name for t in library))
+
+    signature = AuthorSignature("alice-designs-inc")
+    marker = MatchingWatermarker(
+        signature, library=library, params=MatchingWMParams(z=3, horizon=steps)
+    )
+    marked, watermark = marker.embed(design)
+
+    print(f"\nenforced matchings (Z = {watermark.z}):")
+    for matching in watermark.enforced:
+        ops = ", ".join(matching.assignment)
+        solutions = marker.solutions_count(design, matching)
+        print(
+            f"  {matching.template.name}: ({ops}) — "
+            f"{solutions} alternative coverings of these nodes"
+        )
+    print(f"PPO promotions: {watermark.ppo_nodes}")
+
+    base_cov, base_alloc = cover_and_allocate(design, library, steps=steps)
+    wm_cov, wm_alloc = cover_and_allocate(
+        marked, library, steps=steps, forced=watermark.enforced
+    )
+    print(f"\nbaseline covering:    {base_alloc.module_count} module instances "
+          f"{base_alloc.instances}")
+    print(f"watermarked covering: {wm_alloc.module_count} module instances "
+          f"{wm_alloc.instances}")
+    overhead = (
+        100.0
+        * (wm_alloc.module_count - base_alloc.module_count)
+        / base_alloc.module_count
+    )
+    print(f"module-count overhead: {overhead:+.1f}%")
+
+    verification = marker.verify(wm_cov, watermark)
+    print(
+        f"\ndetection on the watermarked covering: "
+        f"{verification.matchings_present}/{verification.matchings_total} "
+        f"matchings present, {verification.ppos_visible}/"
+        f"{verification.ppos_total} PPOs visible -> "
+        f"detected={verification.detected}"
+    )
+    print(f"approx log10 P_c = {marker.approx_log10_pc(design, watermark):.2f}")
+
+    baseline_check = marker.verify(base_cov, watermark)
+    print(
+        f"baseline covering satisfies only "
+        f"{baseline_check.matchings_present}/"
+        f"{baseline_check.matchings_total} matchings by coincidence"
+    )
+
+
+if __name__ == "__main__":
+    main()

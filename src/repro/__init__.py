@@ -1,0 +1,75 @@
+"""localmark — local watermarks for behavioral synthesis.
+
+Reproduction of Kirovski & Potkonjak, *"Local Watermarks: Methodology
+and Application to Behavioral Synthesis"*: intellectual-property
+protection that hides many small, independently detectable watermarks in
+solutions to behavioral-synthesis tasks (operation scheduling and
+template matching).
+
+Quickstart
+----------
+>>> from repro import (
+...     AuthorSignature, SchedulingWatermarker, list_schedule,
+... )
+>>> from repro.cdfg.designs import fourth_order_parallel_iir
+>>> design = fourth_order_parallel_iir()
+>>> marker = SchedulingWatermarker(AuthorSignature("alice"))
+>>> marked, watermark = marker.embed(design)
+>>> schedule = list_schedule(marked)
+>>> result = marker.verify(design, schedule, watermark)
+>>> result.detected
+True
+"""
+
+from repro.cdfg import CDFG, CDFGBuilder, EdgeKind, OpType, ResourceClass
+from repro.core import (
+    MatchingWatermark,
+    MatchingWatermarker,
+    MatchingWMParams,
+    SchedulingWatermark,
+    SchedulingWatermarker,
+    SchedulingWMParams,
+    detect_by_rederivation,
+    scan_for_watermark,
+    verify_by_record,
+)
+from repro.crypto import RC4, AuthorSignature, BitStream
+from repro.errors import ReproError
+from repro.scheduling import (
+    ResourceSet,
+    Schedule,
+    force_directed_schedule,
+    list_schedule,
+)
+from repro.templates import Template, cover_and_allocate, default_library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CDFG",
+    "CDFGBuilder",
+    "EdgeKind",
+    "OpType",
+    "ResourceClass",
+    "AuthorSignature",
+    "BitStream",
+    "RC4",
+    "Schedule",
+    "ResourceSet",
+    "list_schedule",
+    "force_directed_schedule",
+    "SchedulingWatermarker",
+    "SchedulingWatermark",
+    "SchedulingWMParams",
+    "MatchingWatermarker",
+    "MatchingWatermark",
+    "MatchingWMParams",
+    "Template",
+    "default_library",
+    "cover_and_allocate",
+    "verify_by_record",
+    "detect_by_rederivation",
+    "scan_for_watermark",
+    "ReproError",
+]

@@ -1,0 +1,22 @@
+"""Analysis helpers: Poisson window model, tamper resistance, reporting."""
+
+from repro.analysis.poisson import (
+    order_probability,
+    truncated_poisson_pmf,
+    uniform_pmf,
+    window_pmf,
+)
+from repro.analysis.report import percent, render_table, signed_percent
+from repro.analysis.tamper import TamperModel, paper_example
+
+__all__ = [
+    "truncated_poisson_pmf",
+    "uniform_pmf",
+    "window_pmf",
+    "order_probability",
+    "TamperModel",
+    "paper_example",
+    "render_table",
+    "percent",
+    "signed_percent",
+]

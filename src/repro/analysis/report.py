@@ -1,0 +1,51 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Every bench prints its reproduction of a paper table through
+:func:`render_table`, so EXPERIMENTS.md rows can be pasted straight from
+bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; columns are sized to the widest cell.
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a ratio as a percentage string (``0.031`` → ``"3.1%"``)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def signed_percent(value: float, digits: int = 1) -> str:
+    """Like :func:`percent` but keeps the sign explicit for overheads."""
+    return f"{100.0 * value:+.{digits}f}%"

@@ -1,0 +1,135 @@
+"""Tamper-resistance analysis (§IV-A *Discussion*).
+
+The paper's argument: a design with ``N`` orderable operations hides
+``K`` watermark temporal edges among roughly ``P = N/2`` candidate
+operation pairs.  An adversary who cannot identify the watermark edges
+must alter the relative execution order of *randomly chosen* pairs; to
+push the residual authorship evidence below a target coincidence level
+they must alter a constant fraction of *all* pairs — i.e. rebuild most
+of the solution.  (The paper's worked example: 100 000 operations,
+``K = 100``, ``E[ψ_W/ψ_N] = 1/2`` → 31 729 pair alterations ≈ 63 % of
+the solution to reach one-in-a-million.)
+
+Model used here (stated explicitly since the paper's derivation is not
+shown): after ``M`` of ``P`` pairs are altered, each watermark edge
+survives independently with probability ``1 − M/P``; the evidence that
+survives has coincidence probability ``r^s`` with ``s`` the survivor
+count and ``r`` the mean per-edge ratio.  Both the expected-value
+solution and an exact binomial tail bound are provided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TamperModel:
+    """Parameters of the tamper-resistance estimate.
+
+    Attributes
+    ----------
+    total_pairs:
+        ``P`` — candidate operation pairs an attack could alter
+        (the paper uses ``N/2`` for an ``N``-operation design).
+    k_edges:
+        ``K`` — embedded watermark temporal edges.
+    mean_ratio:
+        ``r = E[ψ_W/ψ_N]`` — per-edge coincidence ratio (paper: 1/2).
+    """
+
+    total_pairs: int
+    k_edges: int
+    mean_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.total_pairs < 1:
+            raise ValueError("total_pairs must be >= 1")
+        if self.k_edges < 1:
+            raise ValueError("k_edges must be >= 1")
+        if not 0.0 < self.mean_ratio < 1.0:
+            raise ValueError("mean_ratio must lie in (0, 1)")
+
+    def max_survivors_for(self, target_coincidence: float) -> float:
+        """Survivor count ``s`` with ``r^s = target`` (evidence budget)."""
+        if not 0.0 < target_coincidence < 1.0:
+            raise ValueError("target_coincidence must lie in (0, 1)")
+        return math.log(target_coincidence) / math.log(self.mean_ratio)
+
+    def coincidence_after(self, altered_pairs: int) -> float:
+        """Expected residual coincidence after *altered_pairs* alterations."""
+        if not 0 <= altered_pairs <= self.total_pairs:
+            raise ValueError("altered_pairs out of range")
+        survive_p = 1.0 - altered_pairs / self.total_pairs
+        expected_survivors = self.k_edges * survive_p
+        return self.mean_ratio**expected_survivors
+
+    def pairs_to_alter(self, target_coincidence: float) -> int:
+        """Alterations needed so expected evidence reaches the target.
+
+        Solves ``r^(K·(1−M/P)) >= target`` for the smallest integer M.
+        """
+        budget = self.max_survivors_for(target_coincidence)
+        if budget >= self.k_edges:
+            return 0
+        fraction = 1.0 - budget / self.k_edges
+        return math.ceil(fraction * self.total_pairs)
+
+    def fraction_to_alter(self, target_coincidence: float) -> float:
+        """Same as :meth:`pairs_to_alter`, as a fraction of the solution."""
+        return self.pairs_to_alter(target_coincidence) / self.total_pairs
+
+    def survivor_tail_probability(
+        self, altered_pairs: int, min_survivors: int
+    ) -> float:
+        """P(at least *min_survivors* edges survive) — exact binomial tail.
+
+        A conservative adversary wants this small: any surviving
+        evidence above the budget keeps the authorship claim alive.
+        """
+        p = 1.0 - altered_pairs / self.total_pairs
+        total = 0.0
+        for s in range(min_survivors, self.k_edges + 1):
+            total += (
+                math.comb(self.k_edges, s)
+                * p**s
+                * (1.0 - p) ** (self.k_edges - s)
+            )
+        return min(1.0, total)
+
+    def pairs_to_alter_with_confidence(
+        self, target_coincidence: float, failure_probability: float = 1e-3
+    ) -> Optional[int]:
+        """Smallest M such that P(evidence above budget) <= failure_probability.
+
+        Binary search over the exact binomial tail; None when even
+        altering every pair cannot reach the bound (possible only for
+        degenerate parameters).
+        """
+        budget = math.floor(self.max_survivors_for(target_coincidence))
+        min_survivors = budget + 1
+        if min_survivors > self.k_edges:
+            return 0
+        lo, hi = 0, self.total_pairs
+        if (
+            self.survivor_tail_probability(hi, min_survivors)
+            > failure_probability
+        ):
+            return None
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if (
+                self.survivor_tail_probability(mid, min_survivors)
+                <= failure_probability
+            ):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+
+def paper_example() -> TamperModel:
+    """The §IV-A worked example: 100 000 ops, 100 edges, r = 1/2."""
+    return TamperModel(total_pairs=50_000, k_edges=100, mean_ratio=0.5)

@@ -1,0 +1,15 @@
+"""CDFG data model, builders, serialization, generators, and designs."""
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.cdfg.ops import FUNCTIONALITY_TABLE, OpType, ResourceClass, functionality_id
+
+__all__ = [
+    "CDFG",
+    "EdgeKind",
+    "CDFGBuilder",
+    "OpType",
+    "ResourceClass",
+    "functionality_id",
+    "FUNCTIONALITY_TABLE",
+]

@@ -1,0 +1,104 @@
+"""Fluent builder for CDFGs.
+
+Writing graphs node-by-node is verbose; the builder lets designs be
+expressed as value-producing expressions:
+
+>>> from repro.cdfg.builder import CDFGBuilder
+>>> from repro.cdfg.ops import OpType
+>>> b = CDFGBuilder("biquad")
+>>> x = b.input("x")
+>>> s1 = b.input("s1")
+>>> m = b.op("C1", OpType.CONST_MUL, s1)
+>>> y = b.op("A1", OpType.ADD, x, m)
+>>> g = b.build()
+>>> sorted(g.data_edges)
+[('C1', 'A1'), ('s1', 'C1'), ('x', 'A1')]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType
+from repro.errors import CDFGError
+
+
+class CDFGBuilder:
+    """Incrementally build a :class:`CDFG`.
+
+    Every method that creates a node returns the node's name so results
+    can be fed directly into later operations.
+    """
+
+    def __init__(self, name: str = "cdfg") -> None:
+        self._cdfg = CDFG(name)
+        self._auto_counter = 0
+
+    def _fresh_name(self, stem: str) -> str:
+        self._auto_counter += 1
+        return f"{stem}_{self._auto_counter}"
+
+    def input(self, name: Optional[str] = None) -> str:
+        """Add a primary input node and return its name."""
+        node = name or self._fresh_name("in")
+        self._cdfg.add_operation(node, OpType.INPUT)
+        return node
+
+    def output(self, source: str, name: Optional[str] = None) -> str:
+        """Add a primary output fed by *source* and return its name."""
+        node = name or self._fresh_name("out")
+        self._cdfg.add_operation(node, OpType.OUTPUT)
+        self._cdfg.add_data_edge(source, node)
+        return node
+
+    def op(
+        self,
+        name: Optional[str],
+        op: OpType,
+        *operands: str,
+        latency: Optional[int] = None,
+    ) -> str:
+        """Add an operation consuming *operands* and return its name."""
+        node = name or self._fresh_name(op.name.lower())
+        self._cdfg.add_operation(node, op, latency=latency)
+        for operand in operands:
+            self._cdfg.add_data_edge(operand, node)
+        return node
+
+    def add(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """Convenience: an ADD node over two operands."""
+        return self.op(name, OpType.ADD, a, b)
+
+    def mul(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """Convenience: a MUL node over two operands."""
+        return self.op(name, OpType.MUL, a, b)
+
+    def const_mul(self, a: str, name: Optional[str] = None) -> str:
+        """Convenience: multiplication of *a* by a compile-time constant."""
+        return self.op(name, OpType.CONST_MUL, a)
+
+    def sub(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """Convenience: a SUB node over two operands."""
+        return self.op(name, OpType.SUB, a, b)
+
+    def chain(self, start: str, ops: List[OpType], stem: str = "chain") -> str:
+        """Append a linear chain of single-operand ops after *start*."""
+        current = start
+        for index, op in enumerate(ops):
+            current = self.op(f"{stem}_{self._auto_counter}_{index}", op, current)
+        return current
+
+    def control_edge(self, src: str, dst: str) -> None:
+        """Add an explicit sequencing edge."""
+        self._cdfg.add_control_edge(src, dst)
+
+    def build(self, validate: bool = True) -> CDFG:
+        """Finalize and return the CDFG (single use)."""
+        if self._cdfg is None:
+            raise CDFGError("builder already consumed")
+        graph = self._cdfg
+        self._cdfg = None
+        if validate:
+            graph.validate()
+        return graph

@@ -1,0 +1,41 @@
+"""Benchmark designs: the paper's motivational IIR and the Table II suite."""
+
+from repro.cdfg.designs.hyper_suite import (
+    HYPER_SUITE,
+    DesignSpec,
+    cf_iir_8th_order,
+    da_converter,
+    hyper_design,
+    linear_ge_controller,
+    long_echo_canceler,
+    modem_filter,
+    suite_statistics,
+    volterra_2nd_order,
+    volterra_3rd_order,
+    wavelet_filter,
+)
+from repro.cdfg.designs.iir import (
+    IIR4_ADDERS,
+    IIR4_CONST_MULS,
+    fourth_order_parallel_iir,
+    iir4_biquad_membership,
+)
+
+__all__ = [
+    "fourth_order_parallel_iir",
+    "iir4_biquad_membership",
+    "IIR4_ADDERS",
+    "IIR4_CONST_MULS",
+    "DesignSpec",
+    "HYPER_SUITE",
+    "hyper_design",
+    "suite_statistics",
+    "cf_iir_8th_order",
+    "linear_ge_controller",
+    "wavelet_filter",
+    "modem_filter",
+    "volterra_2nd_order",
+    "volterra_3rd_order",
+    "da_converter",
+    "long_echo_canceler",
+]

@@ -1,0 +1,196 @@
+"""The HYPER benchmark designs of Table II, rebuilt from their statistics.
+
+The paper evaluates template-matching watermarks on eight real-life DSP
+designs synthesized with HYPER [9].  The design sources are not
+available, so each is reconstructed parametrically to match the
+statistics Table II publishes: the *critical path* (column 3) and the
+*number of variables* (column 4).  The operation mix of each
+reconstruction follows the design's nature (IIR filters are
+multiply-add backbones, the GE controller is wide and shallow, the echo
+canceler is a long multiply-accumulate chain, …).
+
+One deviation is documented here and in EXPERIMENTS.md: for the Long
+Echo Canceler, Table II lists a critical path (2566) larger than the
+variable count (1082), which is unsatisfiable in a unit-latency DFG
+(each control step on a path needs at least one operation producing a
+value).  The table's "variables" most likely counts *named storage
+variables* of the behavioral spec rather than data values.  We rebuild
+the design as a 1283-tap multiply-accumulate FIR — the canonical echo
+canceler — whose critical path is 2566 as published, and report its
+actual value count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.generators import backbone_design
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Published Table II statistics for one HYPER design."""
+
+    name: str
+    #: Critical path, Table II column 3.
+    critical_path: int
+    #: Variables, Table II column 4.
+    variables: int
+    #: Factory building the reconstruction.
+    factory: Callable[[], CDFG]
+
+
+def cf_iir_8th_order() -> CDFG:
+    """8th-order continued-fraction IIR: CP 18, 35 variables.
+
+    A continued-fraction structure is a serial chain of alternating
+    multiply/add stages — 8 stages of (CONST_MUL, ADD) plus an input
+    scale and output accumulate give the published critical path of 18;
+    state inputs feed each stage.
+    """
+    return backbone_design(
+        "cf_iir_8",
+        num_values=35,
+        critical_path=18,
+        seed=1801,
+        op_cycle=(OpType.CONST_MUL, OpType.ADD),
+    )
+
+
+def linear_ge_controller() -> CDFG:
+    """Linear Gaussian-elimination controller: CP 12, 48 variables.
+
+    Wide and shallow: several parallel elimination chains of depth 12.
+    """
+    return backbone_design(
+        "linear_ge_controller",
+        num_values=48,
+        critical_path=12,
+        seed=1202,
+        op_cycle=(OpType.MUL, OpType.SUB),
+    )
+
+
+def wavelet_filter() -> CDFG:
+    """Wavelet filter: CP 16, 31 variables (multiply-add ladder)."""
+    return backbone_design(
+        "wavelet_filter",
+        num_values=31,
+        critical_path=16,
+        seed=1603,
+        op_cycle=(OpType.CONST_MUL, OpType.ADD),
+    )
+
+
+def modem_filter() -> CDFG:
+    """Modem filter: CP 10, 33 variables (short, wide FIR section)."""
+    return backbone_design(
+        "modem_filter",
+        num_values=33,
+        critical_path=10,
+        seed=1004,
+        op_cycle=(OpType.CONST_MUL, OpType.ADD),
+    )
+
+
+def volterra_2nd_order() -> CDFG:
+    """2nd-order Volterra filter: CP 12, 28 variables.
+
+    Volterra filters form products of delayed inputs then sum them;
+    the backbone alternates MUL (kernel products) and ADD (summation).
+    """
+    return backbone_design(
+        "volterra_2",
+        num_values=28,
+        critical_path=12,
+        seed=1205,
+        op_cycle=(OpType.MUL, OpType.ADD),
+    )
+
+
+def volterra_3rd_order() -> CDFG:
+    """3rd-order nonlinear Volterra filter: CP 20, 50 variables."""
+    return backbone_design(
+        "volterra_3",
+        num_values=50,
+        critical_path=20,
+        seed=2006,
+        op_cycle=(OpType.MUL, OpType.MUL, OpType.ADD),
+    )
+
+
+def da_converter() -> CDFG:
+    """D/A converter: CP 132, 354 variables (long scaling chain)."""
+    return backbone_design(
+        "da_converter",
+        num_values=354,
+        critical_path=132,
+        seed=13207,
+        op_cycle=(OpType.CONST_MUL, OpType.ADD, OpType.ADD),
+    )
+
+
+def long_echo_canceler() -> CDFG:
+    """Long echo canceler: CP 2566 (as published), rebuilt as a lattice.
+
+    A 1283-stage adaptive lattice: each stage scales the running value
+    and adds a (parallel) tap product, contributing two serial
+    operations.  Critical path = 2·1283 = 2566 control steps as in
+    Table II.  See the module docstring for the variables-count
+    deviation.
+    """
+    b = CDFGBuilder("long_echo_canceler")
+    acc = b.input("x0")
+    for tap in range(1283):
+        sample = b.input(f"x{tap + 1}")
+        product = b.const_mul(sample, f"p{tap}")
+        scaled = b.const_mul(acc, f"s{tap}")
+        acc = b.add(scaled, product, f"a{tap}")
+        if tap % 4 == 0:
+            # Decimated LMS coefficient update: w' = w + mu·e·x — an
+            # off-critical multiply-accumulate chain per adapted tap.
+            weight = b.input(f"w{tap}")
+            gradient = b.const_mul(sample, f"g{tap}")
+            updated = b.add(weight, gradient, f"u{tap}")
+            b.output(updated, f"wnext{tap}")
+    b.output(acc, "y")
+    return b.build()
+
+
+#: All eight Table II designs, in the paper's row order.
+HYPER_SUITE: List[DesignSpec] = [
+    DesignSpec("8th Order CF IIR", 18, 35, cf_iir_8th_order),
+    DesignSpec("Linear GE Cntrlr", 12, 48, linear_ge_controller),
+    DesignSpec("Wavelet Filter", 16, 31, wavelet_filter),
+    DesignSpec("Modem Filter", 10, 33, modem_filter),
+    DesignSpec("Volterra 2nd ord.", 12, 28, volterra_2nd_order),
+    DesignSpec("Volterra 3rd non-lin.", 20, 50, volterra_3rd_order),
+    DesignSpec("D/A Converter", 132, 354, da_converter),
+    DesignSpec("Long Echo Canceler", 2566, 1082, long_echo_canceler),
+]
+
+
+def hyper_design(name: str) -> CDFG:
+    """Build one HYPER design by its Table II row name."""
+    for spec in HYPER_SUITE:
+        if spec.name == name:
+            return spec.factory()
+    raise KeyError(f"unknown HYPER design: {name!r}")
+
+
+def suite_statistics() -> Dict[str, Dict[str, int]]:
+    """Published vs reconstructed statistics for every suite design."""
+    stats: Dict[str, Dict[str, int]] = {}
+    for spec in HYPER_SUITE:
+        design = spec.factory()
+        stats[spec.name] = {
+            "published_critical_path": spec.critical_path,
+            "published_variables": spec.variables,
+            "variables": design.num_variables,
+            "operations": len(design.schedulable_operations),
+        }
+    return stats

@@ -1,0 +1,97 @@
+"""Fourth-order parallel IIR filter — the paper's motivational example.
+
+The paper demonstrates both protocols on a fourth-order parallel-form
+IIR filter (Figs. 3 and 4) whose CDFG contains nine additions A1–A9 and
+eight constant multiplications C1–C8.  The scanned figures are not
+available, so this module reconstructs the canonical parallel form: two
+second-order (biquad) sections fed by the same input and summed at the
+output.
+
+Per biquad *k* (direct form II, with unit b0):
+
+.. code-block:: text
+
+    w_k[n] = x[n] + a1_k * w_k[n-1] + a2_k * w_k[n-2]      (feedback side)
+    y_k[n] = w_k[n] + b1_k * w_k[n-1] + b2_k * w_k[n-2]    (feedforward side)
+    y[n]   = y_1[n] + y_2[n]
+
+In the unrolled single-iteration CDFG, the delayed states ``w_k[n-1]``
+and ``w_k[n-2]`` are primary inputs.  That yields exactly:
+
+* 8 constant multiplications C1–C8 (a1, a2, b1, b2 per section) and
+* 9 additions A1–A9 (four per section plus the output adder),
+
+matching the node names used throughout the paper's running example
+(temporal edges among C1…C8/A2/A3; enforced matchings (A5, A6),
+(A9, A7), (A8, C7)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG
+
+#: Names of the addition nodes in the reconstruction.
+IIR4_ADDERS: List[str] = [f"A{i}" for i in range(1, 10)]
+#: Names of the constant-multiplication nodes in the reconstruction.
+IIR4_CONST_MULS: List[str] = [f"C{i}" for i in range(1, 9)]
+
+
+def fourth_order_parallel_iir() -> CDFG:
+    """Build the fourth-order parallel IIR CDFG (Figs. 3–4 reconstruction).
+
+    Returns a validated CDFG with primary inputs
+    ``x, s11, s12, s21, s22`` (input sample and the four delayed biquad
+    states), schedulable nodes ``A1..A9, C1..C8``, and primary output
+    ``y``.
+    """
+    b = CDFGBuilder("iir4_parallel")
+    x = b.input("x")
+    s11 = b.input("s11")  # w_1[n-1]
+    s12 = b.input("s12")  # w_1[n-2]
+    s21 = b.input("s21")  # w_2[n-1]
+    s22 = b.input("s22")  # w_2[n-2]
+
+    # --- biquad section 1 ------------------------------------------------
+    c1 = b.const_mul(s11, "C1")  # a1_1 * w1[n-1]
+    c2 = b.const_mul(s12, "C2")  # a2_1 * w1[n-2]
+    a1 = b.add(x, c1, "A1")      # x + C1
+    a2 = b.add(a1, c2, "A2")     # w_1[n]
+    c3 = b.const_mul(s11, "C3")  # b1_1 * w1[n-1]
+    c4 = b.const_mul(s12, "C4")  # b2_1 * w1[n-2]
+    a3 = b.add(a2, c3, "A3")
+    a4 = b.add(a3, c4, "A4")     # y_1[n]
+
+    # --- biquad section 2 ------------------------------------------------
+    c5 = b.const_mul(s21, "C5")  # a1_2 * w2[n-1]
+    c6 = b.const_mul(s22, "C6")  # a2_2 * w2[n-2]
+    a5 = b.add(x, c5, "A5")
+    a6 = b.add(a5, c6, "A6")     # w_2[n]
+    c7 = b.const_mul(s21, "C7")  # b1_2 * w2[n-1]
+    c8 = b.const_mul(s22, "C8")  # b2_2 * w2[n-2]
+    a7 = b.add(a6, c7, "A7")
+    a8 = b.add(a7, c8, "A8")     # y_2[n]
+
+    # --- output summation -------------------------------------------------
+    a9 = b.add(a4, a8, "A9")     # y[n]
+    b.output(a9, "y")
+    # The new state values w_k[n] are also design outputs.
+    b.output(a2, "w1_next")
+    b.output(a6, "w2_next")
+    return b.build()
+
+
+def iir4_biquad_membership() -> Dict[str, int]:
+    """Map each schedulable node to its biquad section (0 = output adder).
+
+    Test helper documenting the reconstruction's structure.
+    """
+    section: Dict[str, int] = {}
+    for node in ("C1", "C2", "C3", "C4", "A1", "A2", "A3", "A4"):
+        section[node] = 1
+    for node in ("C5", "C6", "C7", "C8", "A5", "A6", "A7", "A8"):
+        section[node] = 2
+    section["A9"] = 0
+    return section

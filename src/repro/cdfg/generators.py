@@ -1,0 +1,284 @@
+"""Seeded CDFG generators.
+
+Two families:
+
+* :func:`random_layered_cdfg` — generic layered DAGs with a realistic
+  DSP operation mix; used for property tests, synthetic applications,
+  and host designs for embedded-IP experiments.
+* :func:`backbone_design` — designs with an *exact* critical-path length
+  and an *exact* value count, used to rebuild the HYPER benchmark suite
+  of the paper's Table II from its published statistics.
+
+All generators are deterministic in their integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType
+from repro.errors import CDFGError
+
+#: Default operation mix for DSP-flavoured graphs (weights).
+DSP_OP_MIX: Sequence[Tuple[OpType, float]] = (
+    (OpType.ADD, 0.42),
+    (OpType.MUL, 0.18),
+    (OpType.CONST_MUL, 0.20),
+    (OpType.SUB, 0.10),
+    (OpType.SHIFT, 0.05),
+    (OpType.COMPARE, 0.05),
+)
+
+#: Operation mix for general-purpose (MediaBench-like) code.
+MEDIA_OP_MIX: Sequence[Tuple[OpType, float]] = (
+    (OpType.ADD, 0.28),
+    (OpType.SUB, 0.10),
+    (OpType.MUL, 0.08),
+    (OpType.SHIFT, 0.09),
+    (OpType.AND, 0.05),
+    (OpType.OR, 0.04),
+    (OpType.XOR, 0.03),
+    (OpType.COMPARE, 0.09),
+    (OpType.LOAD, 0.12),
+    (OpType.STORE, 0.06),
+    (OpType.BRANCH, 0.06),
+)
+
+
+def _pick_op(rng: random.Random, mix: Sequence[Tuple[OpType, float]]) -> OpType:
+    total = sum(weight for _, weight in mix)
+    roll = rng.random() * total
+    acc = 0.0
+    for op, weight in mix:
+        acc += weight
+        if roll <= acc:
+            return op
+    return mix[-1][0]
+
+
+def random_layered_cdfg(
+    num_ops: int,
+    seed: int,
+    num_inputs: Optional[int] = None,
+    num_layers: Optional[int] = None,
+    op_mix: Sequence[Tuple[OpType, float]] = DSP_OP_MIX,
+    max_fanin: int = 2,
+    name: Optional[str] = None,
+) -> CDFG:
+    """Generate a random layered DAG of *num_ops* schedulable operations.
+
+    Operations are placed into layers; each consumes 1..*max_fanin*
+    values from strictly earlier layers (biased toward recent layers so
+    the graph has realistic depth/locality).
+
+    Parameters
+    ----------
+    num_ops:
+        Number of schedulable (non-IO) operations.
+    seed:
+        Deterministic seed.
+    num_inputs:
+        Primary inputs; default ``max(2, num_ops // 8)``.
+    num_layers:
+        Layer count; default ``max(3, int(num_ops ** 0.5))``.
+    """
+    if num_ops < 1:
+        raise CDFGError("num_ops must be positive")
+    rng = random.Random(seed)
+    if num_inputs is None:
+        num_inputs = max(2, num_ops // 8)
+    if num_layers is None:
+        num_layers = max(3, int(round(num_ops**0.5)))
+    num_layers = min(num_layers, num_ops)
+
+    cdfg = CDFG(name or f"random{num_ops}s{seed}")
+    inputs = [f"in{i}" for i in range(num_inputs)]
+    for node in inputs:
+        cdfg.add_operation(node, OpType.INPUT)
+
+    # Distribute ops over layers (every layer gets at least one op).
+    counts = [1] * num_layers
+    for _ in range(num_ops - num_layers):
+        counts[rng.randrange(num_layers)] += 1
+
+    produced: List[List[str]] = [inputs]
+    op_index = 0
+    for layer, count in enumerate(counts, start=1):
+        current: List[str] = []
+        for _ in range(count):
+            node = f"op{op_index}"
+            op_index += 1
+            cdfg.add_operation(node, _pick_op(rng, op_mix))
+            fanin = rng.randint(1, max_fanin)
+            for _ in range(fanin):
+                # Bias toward recent producing layers, with a long tail
+                # reaching far back — real dataflow mixes short local
+                # chains with distant operands, which is what leaves a
+                # large share of operations off the critical path.
+                src_layer = max(0, layer - 1 - int(rng.expovariate(0.35)))
+                src = rng.choice(produced[src_layer])
+                try:
+                    cdfg.add_data_edge(src, node)
+                except CDFGError:
+                    pass  # duplicate operand; skip
+            current.append(node)
+        produced.append(current)
+    cdfg.validate()
+    return cdfg
+
+
+def backbone_design(
+    name: str,
+    num_values: int,
+    critical_path: int,
+    seed: int,
+    op_cycle: Sequence[OpType] = (OpType.CONST_MUL, OpType.ADD),
+    side_mix: Sequence[Tuple[OpType, float]] = DSP_OP_MIX,
+) -> CDFG:
+    """Build a design with exact critical path and exact value count.
+
+    A backbone chain of *critical_path* operations pins the critical
+    path; side operations and extra inputs are attached so no path ever
+    exceeds the backbone, until exactly *num_values* data values exist
+    (a value is produced by every INPUT and every schedulable op — the
+    "variables" metric of Table II).
+
+    Requires ``num_values >= critical_path + 1`` (the backbone plus the
+    input feeding it).
+    """
+    if critical_path < 1:
+        raise CDFGError("critical_path must be positive")
+    if num_values < critical_path + 1:
+        raise CDFGError(
+            f"num_values={num_values} cannot be below "
+            f"critical_path+1={critical_path + 1}"
+        )
+    rng = random.Random(seed)
+    cdfg = CDFG(name)
+    cdfg.add_operation("x0", OpType.INPUT)
+    depth: Dict[str, int] = {"x0": 0}
+
+    backbone: List[str] = []
+    prev = "x0"
+    for i in range(critical_path):
+        node = f"b{i}"
+        cdfg.add_operation(node, op_cycle[i % len(op_cycle)])
+        cdfg.add_data_edge(prev, node)
+        depth[node] = i + 1
+        backbone.append(node)
+        prev = node
+
+    values = 1 + critical_path
+    # Side structures are grown as *chains* that only meet the backbone
+    # at their end: inner chain nodes have a single consumer, so they
+    # form matchable multi-op patterns off the critical path (the
+    # template-matching experiments need them).  Each open chain tracks
+    # the backbone position it will eventually feed, which bounds its
+    # length so the critical path never stretches.
+    side_index = 0
+    open_chains: List[Tuple[str, int, int]] = []  # (head, depth, target_i)
+
+    def close_chain(head: str, target_i: int) -> None:
+        cdfg.add_data_edge(head, backbone[target_i])
+
+    while values < num_values:
+        roll = rng.random()
+        if open_chains and roll < 0.55:
+            # Extend an open chain by one operation.  Extensions after a
+            # multiply are biased toward addition — DSP side chains are
+            # predominantly multiply-accumulate structures.
+            index = rng.randrange(len(open_chains))
+            head, head_depth, target_i = open_chains[index]
+            node = f"s{side_index}"
+            side_index += 1
+            head_op = cdfg.op(head)
+            if head_op in (OpType.CONST_MUL, OpType.MUL) and rng.random() < 0.7:
+                chain_op = OpType.ADD
+            else:
+                chain_op = _pick_op(rng, side_mix)
+            cdfg.add_operation(node, chain_op)
+            cdfg.add_data_edge(head, node)
+            depth[node] = head_depth + 1
+            if depth[node] >= target_i:
+                # No room left before the target: terminate here.
+                close_chain(node, target_i)
+                open_chains.pop(index)
+            else:
+                open_chains[index] = (node, depth[node], target_i)
+        elif critical_path >= 3 and roll < 0.85:
+            # Start a new chain from an early value, aimed at a later
+            # backbone node (leaving room for the chain to grow).  The
+            # target is biased toward the end of the backbone so the
+            # chain retains laxity slack — these are the nodes the
+            # watermarking protocols are allowed to constrain.
+            lo_target = max(2, (2 * critical_path) // 3)
+            target_i = rng.randrange(min(lo_target, critical_path - 1), critical_path)
+            src_candidates = [
+                n for n, d in depth.items() if d <= target_i - 2
+            ]
+            src = rng.choice(src_candidates)
+            node = f"s{side_index}"
+            side_index += 1
+            cdfg.add_operation(node, _pick_op(rng, side_mix))
+            cdfg.add_data_edge(src, node)
+            depth[node] = depth[src] + 1
+            open_chains.append((node, depth[node], target_i))
+        else:
+            # Add an extra primary input feeding some backbone node.
+            node = f"x{values}"
+            cdfg.add_operation(node, OpType.INPUT)
+            cdfg.add_data_edge(node, backbone[rng.randrange(critical_path)])
+            depth[node] = 0
+        values += 1
+    for head, _, target_i in open_chains:
+        close_chain(head, target_i)
+
+    cdfg.add_operation("y", OpType.OUTPUT)
+    cdfg.add_data_edge(backbone[-1], "y")
+    cdfg.validate()
+    return cdfg
+
+
+def embed_in_host(
+    core: CDFG,
+    host_ops: int,
+    seed: int,
+    prefix: str = "core/",
+    attach_outputs: int = 2,
+) -> CDFG:
+    """Embed *core* inside a freshly generated host design.
+
+    Models the adversarial scenario of §I: a misappropriated core is
+    augmented into a larger system.  The host consumes the core's
+    primary outputs (the core's fanin structure — the watermark locality
+    — is left intact, which is precisely the property local watermarks
+    exploit).
+
+    Parameters
+    ----------
+    core:
+        The (possibly watermarked) design being misappropriated.
+    host_ops:
+        Size of the host design around the core.
+    attach_outputs:
+        How many core outputs the host consumes.
+    """
+    rng = random.Random(seed)
+    host = random_layered_cdfg(host_ops, seed=seed ^ 0x5EED, name="host")
+    merged = host.merged_with(core, prefix=prefix, name=f"host+{core.name}")
+    core_outputs = [
+        prefix + n
+        for n in core.primary_outputs
+        if core.op(n).is_schedulable or core.op(n) is OpType.OUTPUT
+    ]
+    host_ops_list = [n for n in host.operations if host.op(n).is_schedulable]
+    for out in rng.sample(core_outputs, min(attach_outputs, len(core_outputs))):
+        sink = rng.choice(host_ops_list)
+        try:
+            merged.add_data_edge(out, sink)
+        except CDFGError:
+            continue
+    merged.validate()
+    return merged

@@ -1,0 +1,436 @@
+"""Control-data flow graph (CDFG) with homogeneous-SDF semantics.
+
+The computation model is the paper's: a hierarchical control-data flow
+graph whose underlying semantics is homogeneous synchronous data flow —
+every node consumes and produces exactly one sample per firing, so nodes
+can be scheduled statically into control steps.
+
+Three edge kinds coexist:
+
+* **data** edges — value flow; always precedence constraints;
+* **control** edges — explicit sequencing from the behavioral spec;
+* **temporal** edges — the *watermark* constraints added by the local
+  watermarking protocol ("a temporal edge enforces that its source
+  operation is scheduled before its destination operation").
+
+All three kinds act as precedence constraints for scheduling; they are
+distinguished so watermarks can be added, listed, and stripped without
+touching the original specification.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.cdfg.ops import OpType
+from repro.errors import CDFGError, CycleError, UnknownNodeError
+
+
+@unique
+class EdgeKind(str, Enum):
+    """Kind of a CDFG edge."""
+
+    DATA = "data"
+    CONTROL = "control"
+    TEMPORAL = "temporal"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeKind.{self.name}"
+
+
+class CDFG:
+    """A control-data flow graph.
+
+    Nodes are identified by string names and carry an :class:`OpType`
+    plus an integer latency (control steps).  The graph must stay acyclic
+    over the union of all edge kinds.
+
+    Examples
+    --------
+    >>> g = CDFG("demo")
+    >>> g.add_operation("a", OpType.ADD)
+    >>> g.add_operation("b", OpType.MUL)
+    >>> g.add_data_edge("a", "b")
+    >>> g.num_operations
+    2
+    >>> list(g.successors("a"))
+    ['b']
+    """
+
+    def __init__(self, name: str = "cdfg") -> None:
+        self.name = name
+        self._g = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_operation(
+        self,
+        name: str,
+        op: OpType,
+        latency: Optional[int] = None,
+        ppo: bool = False,
+    ) -> None:
+        """Add an operation node.
+
+        Parameters
+        ----------
+        name:
+            Unique node name.
+        op:
+            Operation type.
+        latency:
+            Latency in control steps; defaults to the op type's latency.
+        ppo:
+            Whether the node's output variable is a pseudo-primary output
+            (must remain visible in any template covering).
+        """
+        if name in self._g:
+            raise CDFGError(f"duplicate operation name: {name!r}")
+        if latency is None:
+            latency = op.latency
+        if latency < 0:
+            raise CDFGError(f"negative latency for {name!r}")
+        self._g.add_node(name, op=op, latency=latency, ppo=bool(ppo))
+
+    def add_edge(self, src: str, dst: str, kind: EdgeKind) -> None:
+        """Add an edge of the given kind; rejects cycles and duplicates."""
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            raise CDFGError(f"self-loop on {src!r}")
+        if self._g.has_edge(src, dst):
+            existing = self._g.edges[src, dst]["kind"]
+            if existing == kind:
+                raise CDFGError(f"duplicate {kind.value} edge {src!r}->{dst!r}")
+            # A temporal edge that parallels an existing data/control edge
+            # is redundant (the precedence already holds); keep the
+            # stronger original kind but remember the temporal overlay.
+            raise CDFGError(
+                f"edge {src!r}->{dst!r} already exists with kind {existing}"
+            )
+        self._g.add_edge(src, dst, kind=kind)
+        if self._creates_cycle(src, dst):
+            self._g.remove_edge(src, dst)
+            raise CycleError(f"edge {src!r}->{dst!r} would create a cycle")
+
+    def add_data_edge(self, src: str, dst: str) -> None:
+        """Add a value-flow edge."""
+        self.add_edge(src, dst, EdgeKind.DATA)
+
+    def add_control_edge(self, src: str, dst: str) -> None:
+        """Add an explicit sequencing edge from the behavioral spec."""
+        self.add_edge(src, dst, EdgeKind.CONTROL)
+
+    def add_temporal_edge(self, src: str, dst: str) -> None:
+        """Add a watermark temporal edge (source before destination)."""
+        self.add_edge(src, dst, EdgeKind.TEMPORAL)
+
+    def _creates_cycle(self, src: str, dst: str) -> bool:
+        # A new edge src->dst creates a cycle iff src is reachable from dst.
+        return nx.has_path(self._g, dst, src)
+
+    def _require(self, name: str) -> None:
+        if name not in self._g:
+            raise UnknownNodeError(f"unknown operation: {name!r}")
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._g
+
+    @property
+    def operations(self) -> List[str]:
+        """All operation names, in insertion order."""
+        return list(self._g.nodes)
+
+    @property
+    def num_operations(self) -> int:
+        """Total number of operation nodes (including IO placeholders)."""
+        return self._g.number_of_nodes()
+
+    @property
+    def schedulable_operations(self) -> List[str]:
+        """Names of operations that occupy a control step (non-IO)."""
+        return [n for n in self._g.nodes if self.op(n).is_schedulable]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._g
+
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._g.nodes)
+
+    def op(self, name: str) -> OpType:
+        """Operation type of a node."""
+        self._require(name)
+        return self._g.nodes[name]["op"]
+
+    def latency(self, name: str) -> int:
+        """Latency of a node in control steps."""
+        self._require(name)
+        return self._g.nodes[name]["latency"]
+
+    def is_ppo(self, name: str) -> bool:
+        """Whether a node's output variable is a pseudo-primary output."""
+        self._require(name)
+        return self._g.nodes[name]["ppo"]
+
+    def set_ppo(self, name: str, value: bool = True) -> None:
+        """Mark/unmark a node's output variable as pseudo-primary output."""
+        self._require(name)
+        self._g.nodes[name]["ppo"] = bool(value)
+
+    @property
+    def ppo_nodes(self) -> List[str]:
+        """All nodes currently marked as pseudo-primary outputs."""
+        return [n for n in self._g.nodes if self._g.nodes[n]["ppo"]]
+
+    def edge_kind(self, src: str, dst: str) -> EdgeKind:
+        """Kind of the edge src->dst."""
+        if not self._g.has_edge(src, dst):
+            raise CDFGError(f"no edge {src!r}->{dst!r}")
+        return self._g.edges[src, dst]["kind"]
+
+    def edges(self, kind: Optional[EdgeKind] = None) -> List[Tuple[str, str]]:
+        """All edges, optionally filtered by kind."""
+        if kind is None:
+            return list(self._g.edges)
+        return [
+            (u, v) for u, v, k in self._g.edges(data="kind") if k == kind
+        ]
+
+    @property
+    def data_edges(self) -> List[Tuple[str, str]]:
+        """All data edges."""
+        return self.edges(EdgeKind.DATA)
+
+    @property
+    def temporal_edges(self) -> List[Tuple[str, str]]:
+        """All watermark temporal edges."""
+        return self.edges(EdgeKind.TEMPORAL)
+
+    def predecessors(
+        self, name: str, kinds: Optional[Iterable[EdgeKind]] = None
+    ) -> List[str]:
+        """Predecessors of a node, optionally restricted to edge kinds."""
+        self._require(name)
+        if kinds is None:
+            return list(self._g.predecessors(name))
+        wanted = set(kinds)
+        return [
+            u
+            for u in self._g.predecessors(name)
+            if self._g.edges[u, name]["kind"] in wanted
+        ]
+
+    def successors(
+        self, name: str, kinds: Optional[Iterable[EdgeKind]] = None
+    ) -> List[str]:
+        """Successors of a node, optionally restricted to edge kinds."""
+        self._require(name)
+        if kinds is None:
+            return list(self._g.successors(name))
+        wanted = set(kinds)
+        return [
+            v
+            for v in self._g.successors(name)
+            if self._g.edges[name, v]["kind"] in wanted
+        ]
+
+    def data_predecessors(self, name: str) -> List[str]:
+        """Predecessors over data edges only."""
+        return self.predecessors(name, kinds=(EdgeKind.DATA,))
+
+    def data_successors(self, name: str) -> List[str]:
+        """Successors over data edges only."""
+        return self.successors(name, kinds=(EdgeKind.DATA,))
+
+    @property
+    def primary_inputs(self) -> List[str]:
+        """Nodes with no data predecessors (graph sources)."""
+        return [n for n in self._g.nodes if not self.data_predecessors(n)]
+
+    @property
+    def primary_outputs(self) -> List[str]:
+        """Nodes with no data successors (graph sinks)."""
+        return [n for n in self._g.nodes if not self.data_successors(n)]
+
+    @property
+    def num_variables(self) -> int:
+        """Number of distinct data values flowing through the design.
+
+        Every node that produces a value (every non-OUTPUT node)
+        contributes one variable; this is the "variables" metric of the
+        paper's Table II.
+        """
+        return sum(1 for n in self._g.nodes if self.op(n) is not OpType.OUTPUT)
+
+    def topological_order(self) -> List[str]:
+        """Nodes in a deterministic topological order (all edge kinds)."""
+        return list(nx.lexicographical_topological_sort(self._g))
+
+    def validate(self) -> None:
+        """Raise :class:`CDFGError` if structural invariants are broken."""
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise CycleError(f"CDFG {self.name!r} contains a cycle")
+        for name in self._g.nodes:
+            if self.latency(name) < 0:
+                raise CDFGError(f"negative latency on {name!r}")
+
+    # ------------------------------------------------------------------
+    # watermark-oriented queries
+    # ------------------------------------------------------------------
+    def fanin_tree(self, root: str, max_distance: int) -> Set[str]:
+        """The transitive fanin set of *root* within *max_distance* hops.
+
+        Distance counts data/control edges traversed in reverse; the root
+        itself is at distance zero and always included.  Temporal edges
+        are *not* followed: the locality of a watermark is defined on the
+        original specification, not on previously added constraints.
+        """
+        self._require(root)
+        if max_distance < 0:
+            raise CDFGError("max_distance must be non-negative")
+        frontier = {root}
+        seen = {root}
+        for _ in range(max_distance):
+            nxt: Set[str] = set()
+            for node in frontier:
+                for pred in self.predecessors(
+                    node, kinds=(EdgeKind.DATA, EdgeKind.CONTROL)
+                ):
+                    if pred not in seen:
+                        seen.add(pred)
+                        nxt.add(pred)
+            if not nxt:
+                break
+            frontier = nxt
+        return seen
+
+    def fanin_distance(self, root: str) -> Dict[str, int]:
+        """Shortest reverse-edge distance from *root* to each fanin node."""
+        self._require(root)
+        distances = {root: 0}
+        frontier = [root]
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for pred in self.predecessors(
+                    node, kinds=(EdgeKind.DATA, EdgeKind.CONTROL)
+                ):
+                    if pred not in distances:
+                        distances[pred] = distances[node] + 1
+                        nxt.append(pred)
+            frontier = nxt
+        return distances
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "CDFG":
+        """Deep copy; optionally renamed."""
+        clone = CDFG(name or self.name)
+        clone._g = self._g.copy()
+        return clone
+
+    def without_temporal_edges(self) -> "CDFG":
+        """A copy with every watermark temporal edge removed."""
+        clone = self.copy()
+        for src, dst in clone.temporal_edges:
+            clone._g.remove_edge(src, dst)
+        return clone
+
+    def subgraph(self, nodes: Iterable[str], name: Optional[str] = None) -> "CDFG":
+        """Induced subgraph copy on the given node set."""
+        node_set = set(nodes)
+        for node in node_set:
+            self._require(node)
+        clone = CDFG(name or f"{self.name}.sub")
+        clone._g = self._g.subgraph(node_set).copy()
+        return clone
+
+    def renamed(self, mapping: Dict[str, str], name: Optional[str] = None) -> "CDFG":
+        """A copy with node names replaced per *mapping*.
+
+        Used by attack models and embedded-IP tests: a canonical
+        watermark must survive arbitrary renaming because node
+        identification is structural (criteria C1–C3), never name-based.
+        """
+        missing = set(mapping) - set(self._g.nodes)
+        if missing:
+            raise UnknownNodeError(f"unknown operations in mapping: {missing}")
+        targets = [mapping.get(n, n) for n in self._g.nodes]
+        if len(set(targets)) != len(targets):
+            raise CDFGError("renaming would merge distinct operations")
+        clone = CDFG(name or self.name)
+        clone._g = nx.relabel_nodes(self._g, mapping, copy=True)
+        return clone
+
+    def merged_with(
+        self,
+        other: "CDFG",
+        connections: Iterable[Tuple[str, str]] = (),
+        prefix: str = "",
+        name: Optional[str] = None,
+    ) -> "CDFG":
+        """Embed *other* into a copy of this graph.
+
+        Parameters
+        ----------
+        other:
+            The CDFG to embed (e.g. a misappropriated core dropped into a
+            larger host system).
+        connections:
+            Pairs ``(host_node, core_node)`` or ``(core_node, host_node)``
+            of data edges to add between the two graphs; names referring
+            to *other* must already carry *prefix*.
+        prefix:
+            Prefix applied to every node of *other* to avoid collisions.
+        """
+        renamed = other.renamed({n: prefix + n for n in other.operations})
+        clone = self.copy(name or f"{self.name}+{other.name}")
+        for node in renamed.operations:
+            if node in clone:
+                raise CDFGError(f"name collision while merging: {node!r}")
+        clone._g = nx.compose(clone._g, renamed._g)
+        for src, dst in connections:
+            clone.add_data_edge(src, dst)
+        return clone
+
+    # ------------------------------------------------------------------
+    # equality / hashing helpers
+    # ------------------------------------------------------------------
+    def structure_signature(self) -> FrozenSet[Tuple[str, str, str, str]]:
+        """A name-independent-ish summary used in tests.
+
+        Returns the multiset of edges as (src_op, dst_op, kind) triples
+        plus node degrees; two isomorphic graphs share it (the converse
+        does not hold — this is a cheap test helper, not an isomorphism
+        certificate).
+        """
+        items = set()
+        for u, v, k in self._g.edges(data="kind"):
+            items.add(
+                (
+                    self.op(u).name,
+                    self.op(v).name,
+                    k.value if isinstance(k, EdgeKind) else str(k),
+                    f"{self._g.in_degree(u)}-{self._g.out_degree(v)}",
+                )
+            )
+        return frozenset(items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CDFG({self.name!r}, ops={self.num_operations}, "
+            f"edges={self._g.number_of_edges()})"
+        )

@@ -1,0 +1,83 @@
+"""CDFG (de)serialization.
+
+A simple explicit JSON schema:
+
+.. code-block:: json
+
+    {
+      "name": "iir4",
+      "nodes": [{"name": "A1", "op": "ADD", "latency": 1, "ppo": false}],
+      "edges": [{"src": "x", "dst": "A1", "kind": "data"}]
+    }
+
+Round-tripping is lossless for everything the library stores.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.cdfg.ops import OpType
+from repro.errors import CDFGError
+
+
+def to_dict(cdfg: CDFG) -> Dict[str, Any]:
+    """Serialize a CDFG to a plain dictionary."""
+    return {
+        "name": cdfg.name,
+        "nodes": [
+            {
+                "name": node,
+                "op": cdfg.op(node).name,
+                "latency": cdfg.latency(node),
+                "ppo": cdfg.is_ppo(node),
+            }
+            for node in cdfg.operations
+        ],
+        "edges": [
+            {"src": src, "dst": dst, "kind": cdfg.edge_kind(src, dst).value}
+            for src, dst in cdfg.edges()
+        ],
+    }
+
+
+def from_dict(payload: Dict[str, Any]) -> CDFG:
+    """Deserialize a CDFG from :func:`to_dict` output."""
+    try:
+        cdfg = CDFG(payload["name"])
+        for node in payload["nodes"]:
+            cdfg.add_operation(
+                node["name"],
+                OpType[node["op"]],
+                latency=node.get("latency"),
+                ppo=node.get("ppo", False),
+            )
+        for edge in payload["edges"]:
+            cdfg.add_edge(edge["src"], edge["dst"], EdgeKind(edge["kind"]))
+    except (KeyError, ValueError) as exc:
+        raise CDFGError(f"malformed CDFG payload: {exc}") from exc
+    cdfg.validate()
+    return cdfg
+
+
+def to_json(cdfg: CDFG, indent: int = 2) -> str:
+    """Serialize a CDFG to a JSON string."""
+    return json.dumps(to_dict(cdfg), indent=indent)
+
+
+def from_json(text: str) -> CDFG:
+    """Deserialize a CDFG from a JSON string."""
+    return from_dict(json.loads(text))
+
+
+def save(cdfg: CDFG, path: Union[str, Path]) -> None:
+    """Write a CDFG to a JSON file."""
+    Path(path).write_text(to_json(cdfg), encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> CDFG:
+    """Read a CDFG from a JSON file."""
+    return from_json(Path(path).read_text(encoding="utf-8"))

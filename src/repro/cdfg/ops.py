@@ -1,0 +1,96 @@
+"""Operation types for CDFG nodes.
+
+Every node of a CDFG performs one primitive operation.  Each operation
+type carries:
+
+* a stable integer *functionality identifier* ``f(n)`` — the paper's
+  criterion C3 sums these identifiers over fanin trees ("all possible
+  distinct operations are uniquely identified, e.g. addition is
+  identified with 1, multiplication with 2, etc.");
+* a *resource category* used by resource-constrained scheduling and by
+  the VLIW machine model;
+* a default *latency* in control steps (behavioral scheduling uses unit
+  latencies; the VLIW model overrides some of them).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import Dict
+
+
+@unique
+class ResourceClass(str, Enum):
+    """Functional-unit class an operation executes on."""
+
+    ALU = "alu"
+    MULTIPLIER = "multiplier"
+    MEMORY = "memory"
+    BRANCH = "branch"
+    IO = "io"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResourceClass.{self.name}"
+
+
+@unique
+class OpType(Enum):
+    """Primitive operation performed by a CDFG node.
+
+    The tuple payload is ``(functionality_id, resource_class, latency)``.
+    """
+
+    ADD = (1, ResourceClass.ALU, 1)
+    MUL = (2, ResourceClass.MULTIPLIER, 1)
+    SUB = (3, ResourceClass.ALU, 1)
+    #: Multiplication by a compile-time constant (the "C" nodes of the
+    #: paper's IIR example); cheaper than a general multiply.
+    CONST_MUL = (4, ResourceClass.MULTIPLIER, 1)
+    SHIFT = (5, ResourceClass.ALU, 1)
+    AND = (6, ResourceClass.ALU, 1)
+    OR = (7, ResourceClass.ALU, 1)
+    XOR = (8, ResourceClass.ALU, 1)
+    COMPARE = (9, ResourceClass.ALU, 1)
+    SELECT = (10, ResourceClass.ALU, 1)
+    LOAD = (11, ResourceClass.MEMORY, 1)
+    STORE = (12, ResourceClass.MEMORY, 1)
+    BRANCH = (13, ResourceClass.BRANCH, 1)
+    #: Primary input placeholder (consumes nothing, produces one sample).
+    INPUT = (14, ResourceClass.IO, 0)
+    #: Primary output placeholder.
+    OUTPUT = (15, ResourceClass.IO, 0)
+    #: Unit operation with no architectural effect ("addition with a
+    #: variable assigned to zero at runtime") — the vehicle the paper uses
+    #: to realize temporal edges in compiled code (§V).
+    UNIT = (16, ResourceClass.ALU, 1)
+
+    def __init__(
+        self, functionality_id: int, resource_class: ResourceClass, latency: int
+    ) -> None:
+        self.functionality_id = functionality_id
+        self.resource_class = resource_class
+        self.latency = latency
+
+    @property
+    def is_io(self) -> bool:
+        """True for INPUT/OUTPUT placeholder operations."""
+        return self.resource_class is ResourceClass.IO
+
+    @property
+    def is_schedulable(self) -> bool:
+        """True if the operation occupies a control step."""
+        return not self.is_io
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpType.{self.name}"
+
+
+#: Map from functionality identifier back to the operation type.
+FUNCTIONALITY_TABLE: Dict[int, OpType] = {
+    op.functionality_id: op for op in OpType
+}
+
+
+def functionality_id(op: OpType) -> int:
+    """Return the paper's unique functionality identifier ``f(n)``."""
+    return op.functionality_id

@@ -1,0 +1,31 @@
+"""Graph-coloring instantiation of the generic local-watermark recipe."""
+
+from repro.coloring.coloring import (
+    ColoringError,
+    dsatur_coloring,
+    greedy_coloring,
+    is_proper,
+    num_colors,
+    verify_coloring,
+)
+from repro.coloring.watermark import (
+    ColoringVerification,
+    ColoringWatermark,
+    ColoringWatermarker,
+    ColoringWMParams,
+    undirected_structural_hashes,
+)
+
+__all__ = [
+    "greedy_coloring",
+    "dsatur_coloring",
+    "num_colors",
+    "verify_coloring",
+    "is_proper",
+    "ColoringError",
+    "ColoringWatermarker",
+    "ColoringWatermark",
+    "ColoringWMParams",
+    "ColoringVerification",
+    "undirected_structural_hashes",
+]

@@ -1,0 +1,88 @@
+"""Graph-coloring substrate for the generic local-watermark example.
+
+§III introduces the methodology on combinatorial optimization in
+general, with graph coloring as the canonical example ("while uniquely
+marking a solution to graph coloring, a local watermark is embedded in
+a random subgraph").  Graph coloring is also the behavioral-synthesis
+register-allocation step, so the substrate fits the paper's domain.
+
+Implemented from scratch: greedy largest-first and DSATUR coloring over
+undirected networkx graphs, plus validation helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+import networkx as nx
+
+from repro.errors import ReproError
+
+
+class ColoringError(ReproError):
+    """Problem while coloring or validating a coloring."""
+
+
+def _smallest_free_color(used: set) -> int:
+    color = 0
+    while color in used:
+        color += 1
+    return color
+
+
+def greedy_coloring(
+    graph: nx.Graph, order: Optional[List[Hashable]] = None
+) -> Dict[Hashable, int]:
+    """Greedy coloring in the given order (default: largest degree first)."""
+    if order is None:
+        order = sorted(
+            graph.nodes, key=lambda n: (-graph.degree[n], str(n))
+        )
+    colors: Dict[Hashable, int] = {}
+    for node in order:
+        used = {colors[m] for m in graph.adj[node] if m in colors}
+        colors[node] = _smallest_free_color(used)
+    return colors
+
+
+def dsatur_coloring(graph: nx.Graph) -> Dict[Hashable, int]:
+    """DSATUR: color the most saturation-constrained vertex first."""
+    colors: Dict[Hashable, int] = {}
+    saturation: Dict[Hashable, set] = {n: set() for n in graph.nodes}
+    uncolored = set(graph.nodes)
+    while uncolored:
+        node = max(
+            uncolored,
+            key=lambda n: (len(saturation[n]), graph.degree[n], str(n)),
+        )
+        color = _smallest_free_color(saturation[node])
+        colors[node] = color
+        uncolored.remove(node)
+        for neighbor in graph.adj[node]:
+            if neighbor in uncolored:
+                saturation[neighbor].add(color)
+    return colors
+
+
+def num_colors(colors: Dict[Hashable, int]) -> int:
+    """Number of distinct colors used."""
+    return len(set(colors.values())) if colors else 0
+
+
+def verify_coloring(graph: nx.Graph, colors: Dict[Hashable, int]) -> None:
+    """Raise :class:`ColoringError` unless *colors* is proper and total."""
+    missing = set(graph.nodes) - set(colors)
+    if missing:
+        raise ColoringError(f"uncolored vertices: {sorted(map(str, missing))}")
+    for u, v in graph.edges:
+        if colors[u] == colors[v]:
+            raise ColoringError(f"edge ({u!r}, {v!r}) is monochromatic")
+
+
+def is_proper(graph: nx.Graph, colors: Dict[Hashable, int]) -> bool:
+    """Boolean form of :func:`verify_coloring`."""
+    try:
+        verify_coloring(graph, colors)
+    except ColoringError:
+        return False
+    return True

@@ -1,0 +1,210 @@
+"""Local watermarks on graph-coloring solutions (§III's generic example).
+
+The generic recipe, instantiated:
+
+* **locality** — a radius-bounded ball around a bitstream-chosen center
+  vertex ("a local watermark is embedded in a random subgraph");
+* **identification** — vertices of the ball get structure-only unique
+  identifiers (degree/WL-hash refinement, the undirected analogue of
+  criteria C1–C3);
+* **constraints** — the keyed bitstream picks ``K`` *non-adjacent*
+  vertex pairs inside the ball and adds a watermark edge between each,
+  forcing every proper coloring of the augmented graph to give the pair
+  distinct colors;
+* **detection** — the edges are stripped before shipping; a suspect
+  coloring betrays the author when all ``K`` pairs are nevertheless
+  distinctly colored.  A pair coincides with probability roughly
+  ``1 − 1/χ``, so ``P_c ≈ (1 − 1/χ)^K``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.coloring.coloring import num_colors
+from repro.crypto.bitstream import BitStream
+from repro.crypto.signature import AuthorSignature
+from repro.errors import ConstraintEncodingError, DomainSelectionError
+
+#: Domain-separation label of the coloring-watermark bitstream.
+COLORING_PURPOSE = "coloring-watermark"
+
+
+def undirected_structural_hashes(
+    graph: nx.Graph, rounds: int = 3
+) -> Dict[Hashable, str]:
+    """WL-refinement hashes for an undirected graph (name-independent)."""
+    labels = {
+        n: sha256(f"deg:{graph.degree[n]}".encode()).hexdigest()
+        for n in graph.nodes
+    }
+    for _ in range(rounds):
+        new_labels = {}
+        for n in graph.nodes:
+            payload = labels[n] + "|" + ",".join(
+                sorted(labels[m] for m in graph.adj[n])
+            )
+            new_labels[n] = sha256(payload.encode()).hexdigest()
+        labels = new_labels
+    return labels
+
+
+@dataclass(frozen=True)
+class ColoringWMParams:
+    """Knobs of the coloring watermark."""
+
+    #: Ball radius around the center vertex.
+    radius: int = 2
+    #: Watermark edges (vertex pairs forced to differ).
+    k: int = 4
+    #: Minimum ball size; smaller localities trigger re-selection.
+    min_locality: int = 6
+    #: Center re-selection attempts.
+    max_retries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.radius < 1:
+            raise ValueError("radius must be >= 1")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.min_locality < 2:
+            raise ValueError("min_locality must be >= 2")
+
+
+@dataclass(frozen=True)
+class ColoringWatermark:
+    """Record of one embedded coloring watermark."""
+
+    author_fingerprint: str
+    center: Hashable
+    locality: Tuple[Hashable, ...]
+    pairs: Tuple[Tuple[Hashable, Hashable], ...]
+
+    @property
+    def k(self) -> int:
+        """Number of forced-distinct pairs."""
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class ColoringVerification:
+    """Outcome of checking a coloring against a watermark."""
+
+    satisfied: int
+    total: int
+    log10_pc: float
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of pairs distinctly colored."""
+        return self.satisfied / self.total if self.total else 0.0
+
+    @property
+    def detected(self) -> bool:
+        """All pairs distinctly colored."""
+        return self.total > 0 and self.satisfied == self.total
+
+
+class ColoringWatermarker:
+    """Embeds and verifies local watermarks on coloring solutions."""
+
+    def __init__(
+        self,
+        signature: AuthorSignature,
+        params: Optional[ColoringWMParams] = None,
+    ) -> None:
+        self.signature = signature
+        self.params = params or ColoringWMParams()
+
+    def _locality(
+        self, graph: nx.Graph, center: Hashable
+    ) -> List[Hashable]:
+        """The radius-ball around *center*, canonically ordered."""
+        ball = nx.single_source_shortest_path_length(
+            graph, center, cutoff=self.params.radius
+        )
+        hashes = undirected_structural_hashes(graph.subgraph(ball))
+        return sorted(ball, key=lambda n: (hashes[n], str(n)))
+
+    def embed(self, graph: nx.Graph) -> Tuple[nx.Graph, ColoringWatermark]:
+        """Embed the watermark; returns (augmented copy, record).
+
+        The augmented graph carries ``K`` extra edges between
+        bitstream-chosen non-adjacent locality pairs; any proper
+        coloring of it satisfies the watermark.
+        """
+        if graph.number_of_nodes() < self.params.min_locality:
+            raise DomainSelectionError("graph smaller than the locality")
+        bitstream = BitStream(self.signature, COLORING_PURPOSE)
+        hashes = undirected_structural_hashes(graph)
+        candidates = sorted(graph.nodes, key=lambda n: (hashes[n], str(n)))
+
+        for _ in range(self.params.max_retries):
+            center = bitstream.choice(candidates)
+            locality = self._locality(graph, center)
+            if len(locality) < self.params.min_locality:
+                continue
+            non_adjacent = [
+                (u, v)
+                for i, u in enumerate(locality)
+                for v in locality[i + 1:]
+                if not graph.has_edge(u, v) and u != v
+            ]
+            if len(non_adjacent) < self.params.k:
+                continue
+            pairs = tuple(
+                tuple(pair)
+                for pair in bitstream.ordered_selection(
+                    non_adjacent, self.params.k
+                )
+            )
+            augmented = graph.copy()
+            for u, v in pairs:
+                augmented.add_edge(u, v, watermark=True)
+            watermark = ColoringWatermark(
+                author_fingerprint=self.signature.fingerprint(),
+                center=center,
+                locality=tuple(locality),
+                pairs=pairs,
+            )
+            return augmented, watermark
+        raise ConstraintEncodingError(
+            "no locality with enough non-adjacent pairs found"
+        )
+
+    @staticmethod
+    def strip(augmented: nx.Graph) -> nx.Graph:
+        """Remove the watermark edges (what ships is the original graph)."""
+        clean = augmented.copy()
+        marked = [
+            (u, v)
+            for u, v, data in clean.edges(data=True)
+            if data.get("watermark")
+        ]
+        clean.remove_edges_from(marked)
+        return clean
+
+    def verify(
+        self,
+        colors: Dict[Hashable, int],
+        watermark: ColoringWatermark,
+    ) -> ColoringVerification:
+        """Check a suspect coloring against the watermark record."""
+        satisfied = sum(
+            1
+            for u, v in watermark.pairs
+            if u in colors and v in colors and colors[u] != colors[v]
+        )
+        chi = max(2, num_colors(colors))
+        per_pair = 1.0 - 1.0 / chi
+        log10_pc = satisfied * math.log10(per_pair) if satisfied else 0.0
+        return ColoringVerification(
+            satisfied=satisfied,
+            total=len(watermark.pairs),
+            log10_pc=log10_pc,
+        )

@@ -1,0 +1,97 @@
+"""The paper's contribution: local watermarks for behavioral synthesis."""
+
+from repro.core.attacks import (
+    AttackOutcome,
+    GhostSearchResult,
+    apply_renaming,
+    ghost_signature_search,
+    rename_attack,
+    reorder_attack,
+    reschedule_attack,
+)
+from repro.core.coincidence import (
+    ExactPc,
+    approx_log10_pc,
+    authorship_from_log10,
+    exact_pc,
+    format_pc_power,
+)
+from repro.core.fingerprinting import (
+    CustomerMatch,
+    Fingerprinter,
+    FingerprintRecord,
+)
+from repro.core.records import (
+    load_record,
+    load_records,
+    save_record,
+    save_records,
+)
+from repro.core.detector import (
+    DetectionHit,
+    detect_by_rederivation,
+    scan_for_watermark,
+    verify_by_record,
+)
+from repro.core.domain import (
+    Domain,
+    DomainParams,
+    candidate_roots,
+    select_domain,
+    select_root_and_domain,
+)
+from repro.core.matching_wm import (
+    MatchingVerification,
+    MatchingWatermark,
+    MatchingWatermarker,
+    MatchingWMParams,
+)
+from repro.core.ordering import NodeOrdering, order_nodes, structural_hashes
+from repro.core.scheduling_wm import (
+    SchedulingWatermark,
+    SchedulingWatermarker,
+    SchedulingWMParams,
+    VerificationResult,
+)
+
+__all__ = [
+    "NodeOrdering",
+    "order_nodes",
+    "structural_hashes",
+    "Domain",
+    "DomainParams",
+    "candidate_roots",
+    "select_domain",
+    "select_root_and_domain",
+    "SchedulingWatermarker",
+    "SchedulingWatermark",
+    "SchedulingWMParams",
+    "VerificationResult",
+    "MatchingWatermarker",
+    "MatchingWatermark",
+    "MatchingWMParams",
+    "MatchingVerification",
+    "ExactPc",
+    "exact_pc",
+    "approx_log10_pc",
+    "authorship_from_log10",
+    "format_pc_power",
+    "verify_by_record",
+    "detect_by_rederivation",
+    "scan_for_watermark",
+    "DetectionHit",
+    "AttackOutcome",
+    "reorder_attack",
+    "reschedule_attack",
+    "rename_attack",
+    "apply_renaming",
+    "ghost_signature_search",
+    "GhostSearchResult",
+    "Fingerprinter",
+    "FingerprintRecord",
+    "CustomerMatch",
+    "save_record",
+    "load_record",
+    "save_records",
+    "load_records",
+]

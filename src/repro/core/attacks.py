@@ -1,0 +1,206 @@
+"""Adversarial models against local watermarks (§IV-A *Discussion*).
+
+Implemented attacks:
+
+* :func:`reorder_attack` — local tampering: the adversary swaps the
+  execution order of randomly chosen operation pairs wherever the
+  result stays a legal schedule.  The paper's tamper-resistance argument
+  is about exactly this adversary.
+* :func:`reschedule_attack` — the adversary re-runs an off-the-shelf
+  scheduler on the recovered (unconstrained) CDFG, hoping the new
+  schedule no longer satisfies the hidden constraints.
+* :func:`rename_attack` — node identifiers are destroyed (detection
+  must rely on structure alone).
+* :func:`ghost_signature_search` — the adversary (or an honest court)
+  tries many *other* signatures against the marked design to measure
+  how likely a false claim of authorship is.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.core.scheduling_wm import (
+    SchedulingWatermark,
+    SchedulingWatermarker,
+    SchedulingWMParams,
+    VerificationResult,
+)
+from repro.crypto.signature import AuthorSignature
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of an attack attempt against a watermarked schedule."""
+
+    schedule: Schedule
+    alterations: int
+    verification: VerificationResult
+
+    @property
+    def surviving_fraction(self) -> float:
+        """Fraction of watermark constraints the attack failed to erase."""
+        return self.verification.fraction
+
+
+def _legal_swap(
+    cdfg: CDFG, schedule: Schedule, a: str, b: str
+) -> Optional[Schedule]:
+    """Swap the start times of *a* and *b* if the result stays legal."""
+    candidate = schedule.copy()
+    candidate.start_times[a], candidate.start_times[b] = (
+        candidate.start_times[b],
+        candidate.start_times[a],
+    )
+    if candidate.is_valid(cdfg):
+        return candidate
+    return None
+
+
+def reorder_attack(
+    cdfg: CDFG,
+    schedule: Schedule,
+    watermark: SchedulingWatermark,
+    signature: AuthorSignature,
+    attempts: int,
+    seed: int,
+) -> AttackOutcome:
+    """Randomly swap operation pairs, keeping the schedule legal.
+
+    *cdfg* is the design as the attacker sees it — **without** temporal
+    edges (only data/control precedence constrains the swaps).
+
+    Returns the attacked schedule, the number of successful swaps, and
+    how much of the watermark survived.
+    """
+    rng = random.Random(seed)
+    nodes = cdfg.schedulable_operations
+    current = schedule.copy()
+    makespan = current.makespan(cdfg)
+    successful = 0
+    for _ in range(attempts):
+        if rng.random() < 0.5:
+            # Pairwise swap of start times.
+            a, b = rng.sample(nodes, 2)
+            if current.start(a) == current.start(b):
+                continue
+            swapped = _legal_swap(cdfg, current, a, b)
+            if swapped is not None:
+                current = swapped
+                successful += 1
+        else:
+            # Move one op to a different step within the makespan: this
+            # flips its relative order against every op it crosses.
+            node = rng.choice(nodes)
+            new_start = rng.randrange(max(1, makespan))
+            if new_start == current.start(node):
+                continue
+            candidate = current.copy()
+            candidate.start_times[node] = new_start
+            if candidate.is_valid(cdfg):
+                current = candidate
+                successful += 1
+    marker = SchedulingWatermarker(signature)
+    verification = marker.verify(cdfg, current, watermark)
+    return AttackOutcome(
+        schedule=current, alterations=successful, verification=verification
+    )
+
+
+def reschedule_attack(
+    cdfg: CDFG,
+    watermark: SchedulingWatermark,
+    signature: AuthorSignature,
+    scheduler: Callable[[CDFG], Schedule] = list_schedule,
+) -> AttackOutcome:
+    """Re-run a scheduler on the unconstrained design.
+
+    This is the strongest practical attack — it discards the original
+    schedule entirely.  It also forfeits the engineering the schedule
+    embodied; the paper's position is that forcing the adversary to
+    repeat the design process *is* the protection.
+    """
+    clean = cdfg.without_temporal_edges()
+    fresh = scheduler(clean)
+    marker = SchedulingWatermarker(signature)
+    verification = marker.verify(clean, fresh, watermark)
+    return AttackOutcome(
+        schedule=fresh,
+        alterations=len(clean.schedulable_operations),
+        verification=verification,
+    )
+
+
+def rename_attack(cdfg: CDFG, seed: int) -> Tuple[CDFG, Dict[str, str]]:
+    """Destroy every node name; returns (renamed graph, old→new map)."""
+    rng = random.Random(seed)
+    nodes = list(cdfg.operations)
+    shuffled = list(range(len(nodes)))
+    rng.shuffle(shuffled)
+    mapping = {
+        node: f"n{index:05d}" for node, index in zip(nodes, shuffled)
+    }
+    return cdfg.renamed(mapping, name=f"{cdfg.name}.renamed"), mapping
+
+
+def apply_renaming(schedule: Schedule, mapping: Dict[str, str]) -> Schedule:
+    """Translate a schedule through a renaming map."""
+    return Schedule(
+        {mapping.get(node, node): t for node, t in schedule.start_times.items()}
+    )
+
+
+@dataclass(frozen=True)
+class GhostSearchResult:
+    """Best false-positive found while searching foreign signatures."""
+
+    best_identity: str
+    best_fraction: float
+    tried: int
+    detections: int
+
+
+def ghost_signature_search(
+    cdfg: CDFG,
+    schedule: Schedule,
+    n_candidates: int,
+    seed: int,
+    params: Optional[SchedulingWMParams] = None,
+) -> GhostSearchResult:
+    """Try *n_candidates* foreign signatures against a suspect schedule.
+
+    For each candidate identity, re-derive its watermark constraints on
+    the suspect design and measure how many hold by coincidence.  A
+    sound scheme shows a low best fraction and zero full detections.
+    """
+    rng = random.Random(seed)
+    best_identity = ""
+    best_fraction = -1.0
+    detections = 0
+    tried = 0
+    clean = cdfg.without_temporal_edges()
+    for index in range(n_candidates):
+        identity = f"ghost-{seed}-{index}-{rng.getrandbits(32):08x}"
+        marker = SchedulingWatermarker(AuthorSignature(identity), params)
+        try:
+            _, derived = marker.embed(clean)
+        except Exception:
+            continue
+        tried += 1
+        verification = marker.verify(clean, schedule, derived)
+        if verification.detected:
+            detections += 1
+        if verification.fraction > best_fraction:
+            best_fraction = verification.fraction
+            best_identity = identity
+    return GhostSearchResult(
+        best_identity=best_identity,
+        best_fraction=max(best_fraction, 0.0),
+        tried=tried,
+        detections=detections,
+    )

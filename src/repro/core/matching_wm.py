@@ -1,0 +1,310 @@
+"""Local watermarking of template-matching solutions (§IV-B, Fig. 5).
+
+The constraint-encoding loop runs ``Z`` times.  Each iteration:
+
+1. recomputes the critical path ``C`` and drops every node whose laxity
+   exceeds ``C·(1−ε)`` (near-critical nodes must stay free so the
+   enforced matchings do not degrade timing) → ``T'``;
+2. exhaustively enumerates all node-to-module matchings over the
+   non-processed nodes of ``T'``;
+3. lets the author-keyed bitstream pick one matching ``m_i``;
+4. promotes the variables surrounding ``m_i`` — producers of its
+   external inputs and its output — to **pseudo-primary outputs**,
+   which every legal covering must keep visible, thereby *enforcing*
+   the chosen matching;
+5. marks the covered nodes processed.
+
+The watermark is the set of enforced matchings plus the PPO promotions;
+any covering produced downstream both contains the ``Z`` matchings and
+respects the PPOs, and a detector re-derives or replays them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType
+from repro.crypto.bitstream import BitStream
+from repro.crypto.signature import AuthorSignature
+from repro.errors import ConstraintEncodingError
+from repro.templates.covering import Covering
+from repro.templates.library import (
+    Template,
+    default_library,
+    library_with_singletons,
+)
+from repro.templates.matcher import Matching, enumerate_matchings
+from repro.timing.paths import laxity
+from repro.timing.windows import critical_path_length
+
+#: Domain-separation label of the matching-watermark bitstream.
+MATCHING_PURPOSE = "matching-watermark"
+
+
+@dataclass(frozen=True)
+class MatchingWMParams:
+    """Parameters of the template-matching watermark.
+
+    Attributes
+    ----------
+    z:
+        Number of enforced matchings; if None, ``z_fraction`` applies.
+    z_fraction:
+        ``Z = max(1, round(z_fraction · τ))`` with ``τ`` the domain size
+        — the paper's experiments use ``Z = 0.07·τ`` with ``T = CDFG``.
+    epsilon:
+        Laxity slack fraction; nodes with ``laxity > C·(1−ε)`` are
+        excluded from enforcement.
+    min_template_size:
+        Only matchings of at least this many ops are enforced
+        (enforcing singletons carries no information).
+    horizon:
+        Available control steps (Table II column 2); laxity eligibility
+        is judged against it, so a relaxed budget frees near-critical
+        nodes for enforcement.  Defaults to the critical path ``C``.
+    """
+
+    z: Optional[int] = None
+    z_fraction: float = 0.07
+    epsilon: float = 0.15
+    min_template_size: int = 2
+    horizon: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.z is not None and self.z < 1:
+            raise ValueError("z must be >= 1")
+        if not 0.0 < self.z_fraction <= 1.0:
+            raise ValueError("z_fraction must lie in (0, 1]")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must lie in (0, 1)")
+        if self.min_template_size < 1:
+            raise ValueError("min_template_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class MatchingWatermark:
+    """Record of one embedded template-matching watermark."""
+
+    author_fingerprint: str
+    enforced: Tuple[Matching, ...]
+    ppo_nodes: Tuple[str, ...]
+    domain_size: int
+
+    @property
+    def z(self) -> int:
+        """Number of enforced matchings."""
+        return len(self.enforced)
+
+
+@dataclass(frozen=True)
+class MatchingVerification:
+    """Outcome of checking a covering against a matching watermark."""
+
+    matchings_present: int
+    matchings_total: int
+    ppos_visible: int
+    ppos_total: int
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of enforced matchings found in the covering."""
+        if self.matchings_total == 0:
+            return 0.0
+        return self.matchings_present / self.matchings_total
+
+    @property
+    def detected(self) -> bool:
+        """All enforced matchings present and all PPOs visible."""
+        return (
+            self.matchings_total > 0
+            and self.matchings_present == self.matchings_total
+            and self.ppos_visible == self.ppos_total
+        )
+
+
+class MatchingWatermarker:
+    """Embeds and verifies local watermarks on template-matching solutions."""
+
+    def __init__(
+        self,
+        signature: AuthorSignature,
+        library: Optional[Sequence[Template]] = None,
+        params: Optional[MatchingWMParams] = None,
+    ) -> None:
+        self.signature = signature
+        self.library = list(library) if library is not None else default_library()
+        self.params = params or MatchingWMParams()
+
+    def embed(
+        self,
+        cdfg: CDFG,
+        domain: Optional[Iterable[str]] = None,
+    ) -> Tuple[CDFG, MatchingWatermark]:
+        """Embed the watermark; returns (marked copy, watermark record).
+
+        Parameters
+        ----------
+        domain:
+            The locality ``T``; defaults to the whole CDFG, matching the
+            paper's experimental setup (``T = CDFG``).
+        """
+        bitstream = BitStream(self.signature, MATCHING_PURPOSE)
+        marked = cdfg.copy(f"{cdfg.name}+mwm")
+        domain_nodes = (
+            set(domain) if domain is not None else set(marked.schedulable_operations)
+        )
+        domain_nodes &= set(marked.schedulable_operations)
+        if not domain_nodes:
+            raise ConstraintEncodingError("empty watermark domain")
+
+        if self.params.z is not None:
+            z = self.params.z
+        else:
+            z = max(1, round(self.params.z_fraction * len(domain_nodes)))
+
+        processed: Set[str] = set()
+        enforced: List[Matching] = []
+        ppos: List[str] = []
+        for _ in range(z):
+            c = critical_path_length(marked)
+            budget = self.params.horizon if self.params.horizon is not None else c
+            lax = laxity(marked)
+            threshold = budget * (1.0 - self.params.epsilon)
+            eligible = {
+                n
+                for n in domain_nodes
+                if lax[n] <= threshold and n not in processed
+            }
+            if not eligible:
+                break
+            matchings = enumerate_matchings(
+                marked,
+                self.library,
+                candidates=eligible,
+                respect_ppo=True,
+                min_size=self.params.min_template_size,
+            )
+            if not matchings:
+                break
+            chosen = bitstream.choice(matchings)
+            enforced.append(chosen)
+            for node in self._boundary_nodes(marked, chosen):
+                if not marked.is_ppo(node):
+                    marked.set_ppo(node, True)
+                    ppos.append(node)
+            processed |= chosen.covered
+        if not enforced:
+            raise ConstraintEncodingError(
+                f"no matching could be enforced on {cdfg.name!r} "
+                f"(library too small or domain too constrained)"
+            )
+        watermark = MatchingWatermark(
+            author_fingerprint=self.signature.fingerprint(),
+            enforced=tuple(enforced),
+            ppo_nodes=tuple(ppos),
+            domain_size=len(domain_nodes),
+        )
+        return marked, watermark
+
+    @staticmethod
+    def _boundary_nodes(cdfg: CDFG, matching: Matching) -> List[str]:
+        """Variables surrounding the matching that become PPOs.
+
+        Producers of every value the module consumes from outside, plus
+        the module's own output node.  Primary inputs are skipped — "one
+        of the inputs to A6 is a primary input, it is not additionally
+        constrained".
+        """
+        boundary: List[str] = []
+        covered = matching.covered
+        for node in matching.assignment:
+            for producer in cdfg.data_predecessors(node):
+                if producer in covered:
+                    continue
+                if cdfg.op(producer) is OpType.INPUT:
+                    continue
+                if producer not in boundary:
+                    boundary.append(producer)
+        if matching.root not in boundary:
+            boundary.append(matching.root)
+        return boundary
+
+    # ------------------------------------------------------------------
+    # verification and coincidence
+    # ------------------------------------------------------------------
+    def verify(
+        self, covering: Covering, watermark: MatchingWatermark
+    ) -> MatchingVerification:
+        """Check a suspect covering for the enforced matchings and PPOs."""
+        hidden = covering.internalized_nodes()
+        present = sum(
+            1
+            for matching in watermark.enforced
+            if covering.contains_matching(matching)
+        )
+        visible = sum(
+            1 for node in watermark.ppo_nodes if node not in hidden
+        )
+        return MatchingVerification(
+            matchings_present=present,
+            matchings_total=len(watermark.enforced),
+            ppos_visible=visible,
+            ppos_total=len(watermark.ppo_nodes),
+        )
+
+    def solutions_count(
+        self, cdfg: CDFG, matching: Matching, limit: int = 100_000
+    ) -> int:
+        """The paper's ``Solutions(m_i)``: ways to cover ``m_i``'s nodes.
+
+        Counts sets of pairwise-disjoint matchings whose union covers
+        exactly the nodes of *matching* (member matchings may extend to
+        neighboring nodes, as in the paper's six coverings of (A5, A6)).
+        Enumerated on the **unconstrained** design: PPOs are ignored.
+        """
+        targets = sorted(matching.covered)
+        full_library = library_with_singletons(self.library, cdfg)
+        pool = [
+            m
+            for m in enumerate_matchings(
+                cdfg, full_library, respect_ppo=False, min_size=1
+            )
+            if m.covered & set(targets)
+        ]
+        count = 0
+        explored = 0
+
+        def recurse(uncovered: Set[str], used: Tuple[Matching, ...]) -> None:
+            nonlocal count, explored
+            explored += 1
+            if explored > limit:
+                raise ConstraintEncodingError(
+                    "Solutions() enumeration limit exceeded"
+                )
+            if not uncovered:
+                count += 1
+                return
+            pivot = min(uncovered)
+            for candidate in pool:
+                if pivot not in candidate.covered:
+                    continue
+                if any(candidate.covered & u.covered for u in used):
+                    continue
+                recurse(
+                    uncovered - candidate.covered, used + (candidate,)
+                )
+
+        recurse(set(targets), ())
+        return count
+
+    def approx_log10_pc(self, cdfg: CDFG, watermark: MatchingWatermark) -> float:
+        """``log10 P_c ≈ Σ_i −log10 Solutions(m_i)`` (§IV-B)."""
+        total = 0.0
+        for matching in watermark.enforced:
+            solutions = self.solutions_count(cdfg, matching)
+            if solutions > 1:
+                total -= math.log10(solutions)
+        return total

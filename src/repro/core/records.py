@@ -1,0 +1,193 @@
+"""Watermark record (de)serialization.
+
+An author must archive each embedded watermark to assert ownership
+later, possibly years after synthesis.  Records serialize to plain JSON
+so they can live in whatever registry or escrow the author uses; the
+schema is explicit and versioned.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.matching_wm import MatchingWatermark
+from repro.core.scheduling_wm import SchedulingWatermark
+from repro.errors import WatermarkError
+from repro.templates.library import Template, TemplateNode
+from repro.templates.matcher import Matching
+from repro.cdfg.ops import OpType
+
+SCHEMA_VERSION = 1
+
+
+def scheduling_watermark_to_dict(wm: SchedulingWatermark) -> Dict[str, Any]:
+    """Serialize a scheduling watermark record."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "scheduling",
+        "author_fingerprint": wm.author_fingerprint,
+        "root": wm.root,
+        "cone": list(wm.cone),
+        "domain_nodes": list(wm.domain_nodes),
+        "eligible_nodes": list(wm.eligible_nodes),
+        "selected_nodes": list(wm.selected_nodes),
+        "temporal_edges": [list(edge) for edge in wm.temporal_edges],
+        "temporal_edge_ids": [list(pair) for pair in wm.temporal_edge_ids],
+        "horizon": wm.horizon,
+        "critical_path": wm.critical_path,
+        "tau": wm.tau,
+    }
+
+
+def scheduling_watermark_from_dict(payload: Dict[str, Any]) -> SchedulingWatermark:
+    """Deserialize a scheduling watermark record."""
+    try:
+        if payload["kind"] != "scheduling":
+            raise WatermarkError(
+                f"not a scheduling watermark record: {payload['kind']!r}"
+            )
+        return SchedulingWatermark(
+            author_fingerprint=payload["author_fingerprint"],
+            root=payload["root"],
+            cone=tuple(payload["cone"]),
+            domain_nodes=tuple(payload["domain_nodes"]),
+            eligible_nodes=tuple(payload["eligible_nodes"]),
+            selected_nodes=tuple(payload["selected_nodes"]),
+            temporal_edges=tuple(
+                (src, dst) for src, dst in payload["temporal_edges"]
+            ),
+            temporal_edge_ids=tuple(
+                (a, b) for a, b in payload["temporal_edge_ids"]
+            ),
+            horizon=payload["horizon"],
+            critical_path=payload["critical_path"],
+            tau=payload.get("tau", 4),
+        )
+    except KeyError as exc:
+        raise WatermarkError(f"malformed watermark record: {exc}") from exc
+
+
+def _template_to_dict(template: Template) -> Dict[str, Any]:
+    return {
+        "name": template.name,
+        "latency": template.latency,
+        "nodes": [
+            {"op": node.op.name, "children": list(node.children)}
+            for node in template.nodes
+        ],
+    }
+
+
+def _template_from_dict(payload: Dict[str, Any]) -> Template:
+    return Template(
+        name=payload["name"],
+        latency=payload["latency"],
+        nodes=tuple(
+            TemplateNode(OpType[node["op"]], tuple(node["children"]))
+            for node in payload["nodes"]
+        ),
+    )
+
+
+def matching_watermark_to_dict(wm: MatchingWatermark) -> Dict[str, Any]:
+    """Serialize a template-matching watermark record."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "matching",
+        "author_fingerprint": wm.author_fingerprint,
+        "domain_size": wm.domain_size,
+        "ppo_nodes": list(wm.ppo_nodes),
+        "enforced": [
+            {
+                "template": _template_to_dict(matching.template),
+                "assignment": list(matching.assignment),
+            }
+            for matching in wm.enforced
+        ],
+    }
+
+
+def matching_watermark_from_dict(payload: Dict[str, Any]) -> MatchingWatermark:
+    """Deserialize a template-matching watermark record."""
+    try:
+        if payload["kind"] != "matching":
+            raise WatermarkError(
+                f"not a matching watermark record: {payload['kind']!r}"
+            )
+        return MatchingWatermark(
+            author_fingerprint=payload["author_fingerprint"],
+            domain_size=payload["domain_size"],
+            ppo_nodes=tuple(payload["ppo_nodes"]),
+            enforced=tuple(
+                Matching(
+                    _template_from_dict(entry["template"]),
+                    tuple(entry["assignment"]),
+                )
+                for entry in payload["enforced"]
+            ),
+        )
+    except KeyError as exc:
+        raise WatermarkError(f"malformed watermark record: {exc}") from exc
+
+
+def save_record(
+    wm: Union[SchedulingWatermark, MatchingWatermark],
+    path: Union[str, Path],
+) -> None:
+    """Write a watermark record to a JSON file."""
+    if isinstance(wm, SchedulingWatermark):
+        payload = scheduling_watermark_to_dict(wm)
+    elif isinstance(wm, MatchingWatermark):
+        payload = matching_watermark_to_dict(wm)
+    else:
+        raise WatermarkError(f"unknown watermark type: {type(wm)!r}")
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_record(
+    path: Union[str, Path],
+) -> Union[SchedulingWatermark, MatchingWatermark]:
+    """Read a watermark record from a JSON file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    kind = payload.get("kind")
+    if kind == "scheduling":
+        return scheduling_watermark_from_dict(payload)
+    if kind == "matching":
+        return matching_watermark_from_dict(payload)
+    raise WatermarkError(f"unknown watermark record kind: {kind!r}")
+
+
+def save_records(
+    records: List[Union[SchedulingWatermark, MatchingWatermark]],
+    path: Union[str, Path],
+) -> None:
+    """Write several records (e.g. from ``embed_many``) to one file."""
+    payload = []
+    for wm in records:
+        if isinstance(wm, SchedulingWatermark):
+            payload.append(scheduling_watermark_to_dict(wm))
+        elif isinstance(wm, MatchingWatermark):
+            payload.append(matching_watermark_to_dict(wm))
+        else:
+            raise WatermarkError(f"unknown watermark type: {type(wm)!r}")
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_records(
+    path: Union[str, Path],
+) -> List[Union[SchedulingWatermark, MatchingWatermark]]:
+    """Read a list of records written by :func:`save_records`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    records: List[Union[SchedulingWatermark, MatchingWatermark]] = []
+    for entry in payload:
+        if entry.get("kind") == "scheduling":
+            records.append(scheduling_watermark_from_dict(entry))
+        elif entry.get("kind") == "matching":
+            records.append(matching_watermark_from_dict(entry))
+        else:
+            raise WatermarkError(
+                f"unknown watermark record kind: {entry.get('kind')!r}"
+            )
+    return records

@@ -1,0 +1,521 @@
+"""Local watermarking of operation-scheduling solutions (§IV-A, Fig. 2).
+
+Embedding pipeline:
+
+1. pick the locality: root ``n_o``, cone ``T_o`` (fanin, max-distance
+   ``τ``), signature-carved subtree ``T``;
+2. eligibility filter → ``T'``: a node qualifies when its **laxity** is
+   at most ``C·(1−ε)`` (it sits off the near-critical paths, so
+   constraining it cannot stretch the schedule) *and* its ASAP/ALAP
+   lifetime overlaps some other eligible node's (so an ordering
+   constraint on it is non-trivial);
+3. the keyed bitstream draws an *ordered* selection ``T''`` of ``K``
+   nodes from ``T'``;
+4. walking ``T''`` in order, each node ``n_i`` gets one **temporal
+   edge** ``n_i → n_k`` toward a bitstream-chosen later member ``n_k``
+   whose window still admits the order; windows are re-tightened after
+   every edge so the whole constraint set stays satisfiable within the
+   original critical path — embedding never lengthens the schedule.
+
+Note on Fig. 2's laxity comparison: the figure's line 3 prints
+``laxity(n_i) > |C|(1−ε)`` but the surrounding text ("the restriction …
+is imposed to avoid significant timing overhead and to increase the
+scheduling freedom") and the template-matching protocol (which
+*excludes* nodes with laxity above the same threshold) both require the
+opposite sense; we implement ``laxity ≤ C·(1−ε)`` and record the
+deviation in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.cdfg.graph import CDFG
+from repro.core.coincidence import approx_log10_pc, exact_pc
+from repro.core.domain import (
+    Domain,
+    DomainParams,
+    candidate_roots,
+    select_root_and_domain,
+)
+from repro.crypto.bitstream import BitStream
+from repro.crypto.signature import AuthorSignature
+from repro.errors import ConstraintEncodingError, DomainSelectionError
+from repro.scheduling.schedule import Schedule
+from repro.timing.paths import laxity
+from repro.timing.windows import (
+    critical_path_length,
+    scheduling_windows,
+    windows_overlap,
+)
+
+#: Domain-separation label of the scheduling-watermark bitstream.
+SCHEDULING_PURPOSE = "scheduling-watermark"
+
+
+@dataclass(frozen=True)
+class SchedulingWMParams:
+    """Parameters of the scheduling watermark.
+
+    Attributes
+    ----------
+    domain:
+        Locality-selection knobs (``τ``, include probability, …).
+    k_fraction:
+        ``K = max(1, round(k_fraction · |T|))`` temporal edges — the
+        paper's experiments use ``K = 0.2·τ``.
+    k:
+        Explicit ``K`` override (wins over ``k_fraction``).
+    epsilon:
+        Laxity slack fraction: only nodes with
+        ``laxity ≤ C·(1−epsilon)`` are eligible.
+    tau_prime_min:
+        Minimum ``|T'|``; smaller eligible sets trigger re-selection of
+        the subtree.
+    horizon:
+        Control-step budget; defaults to the critical path ``C``.
+    max_domain_retries:
+        How many localities to try before giving up.
+    eligibility:
+        ``"laxity"`` (the paper's rule, suited to shallow DSP designs)
+        or ``"mobility"`` — eligible when ``alap − asap >=
+        min_mobility``.  Deep program graphs (critical paths of
+        hundreds of steps) starve the absolute-laxity rule even though
+        plenty of operations have real local freedom; mobility is the
+        depth-independent analogue.  Either way, embedding never
+        stretches the critical path (window feasibility is re-checked
+        after every edge).
+    min_mobility:
+        Minimum window width for the ``"mobility"`` rule.
+    realization_slack:
+        Extra steps demanded between edge endpoints beyond the temporal
+        constraint itself.  Set to 1 when the watermark will be realized
+        as unit operations in compiled code (§V): the inserted op adds a
+        pipeline stage, and reserving the slack at embed time keeps the
+        realized code's cycle overhead near zero.
+    """
+
+    domain: DomainParams = field(default_factory=DomainParams)
+    k_fraction: float = 0.2
+    k: Optional[int] = None
+    epsilon: float = 0.15
+    tau_prime_min: int = 2
+    horizon: Optional[int] = None
+    max_domain_retries: int = 16
+    eligibility: str = "laxity"
+    min_mobility: int = 2
+    realization_slack: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.k_fraction <= 1.0:
+            raise ValueError("k_fraction must lie in (0, 1]")
+        if self.k is not None and self.k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must lie in (0, 1)")
+        if self.tau_prime_min < 2:
+            raise ValueError("tau_prime_min must be >= 2")
+        if self.eligibility not in ("laxity", "mobility"):
+            raise ValueError("eligibility must be 'laxity' or 'mobility'")
+        if self.min_mobility < 1:
+            raise ValueError("min_mobility must be >= 1")
+        if self.realization_slack < 0:
+            raise ValueError("realization_slack must be >= 0")
+
+
+@dataclass(frozen=True)
+class SchedulingWatermark:
+    """Record of one embedded scheduling watermark.
+
+    The author archives this record; detection can either replay it
+    directly or re-derive everything from the signature.
+    Edge endpoints are stored both by node name and by canonical
+    identifier within the locality cone, so detection survives renaming.
+    """
+
+    author_fingerprint: str
+    root: str
+    cone: Tuple[str, ...]
+    domain_nodes: Tuple[str, ...]
+    eligible_nodes: Tuple[str, ...]
+    selected_nodes: Tuple[str, ...]
+    temporal_edges: Tuple[Tuple[str, str], ...]
+    temporal_edge_ids: Tuple[Tuple[int, int], ...]
+    horizon: int
+    critical_path: int
+    #: Locality radius used at embed time; detection must rebuild
+    #: candidate cones with the same radius.
+    tau: int = 4
+
+    @property
+    def k(self) -> int:
+        """Number of temporal edges actually embedded."""
+        return len(self.temporal_edges)
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of checking a watermark against a suspect schedule."""
+
+    satisfied: int
+    total: int
+    log10_pc: float
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of temporal constraints the suspect satisfies."""
+        if self.total == 0:
+            return 0.0
+        return self.satisfied / self.total
+
+    @property
+    def confidence(self) -> float:
+        """Authorship confidence ``1 − P_c`` of the satisfied evidence."""
+        if self.log10_pc <= -15:
+            return 1.0
+        return 1.0 - 10.0**self.log10_pc
+
+    @property
+    def detected(self) -> bool:
+        """Conventional detection threshold: all constraints satisfied."""
+        return self.total > 0 and self.satisfied == self.total
+
+    def detected_at(self, min_confidence: float) -> bool:
+        """Confidence-thresholded detection.
+
+        With few edges (tiny localities) a foreign signature's derived
+        constraints can hold by coincidence; a court-grade claim demands
+        ``1 − P_c`` above a threshold, not merely full satisfaction.
+        """
+        return self.detected and self.confidence >= min_confidence
+
+
+class SchedulingWatermarker:
+    """Embeds and verifies local watermarks on scheduling solutions."""
+
+    def __init__(
+        self,
+        signature: AuthorSignature,
+        params: Optional[SchedulingWMParams] = None,
+    ) -> None:
+        self.signature = signature
+        self.params = params or SchedulingWMParams()
+
+    # ------------------------------------------------------------------
+    # embedding
+    # ------------------------------------------------------------------
+    def embed(
+        self, cdfg: CDFG, forced_root: Optional[str] = None
+    ) -> Tuple[CDFG, SchedulingWatermark]:
+        """Embed the watermark; returns (marked copy, watermark record).
+
+        The returned CDFG carries the temporal edges; feeding it to any
+        constraint-respecting scheduler yields a watermarked schedule.
+        The critical path is never lengthened (edges are only drawn when
+        the constraint set stays satisfiable within the horizon).
+        """
+        bitstream = BitStream(self.signature, SCHEDULING_PURPOSE)
+        return self._embed_with_bitstream(cdfg, bitstream, forced_root)
+
+    def _embed_with_bitstream(
+        self,
+        cdfg: CDFG,
+        bitstream: BitStream,
+        forced_root: Optional[str] = None,
+        roots: Optional[List[str]] = None,
+    ) -> Tuple[CDFG, SchedulingWatermark]:
+        base_cp = critical_path_length(cdfg)
+        horizon = self.params.horizon or base_cp
+
+        lax = laxity(cdfg)
+        windows = scheduling_windows(cdfg, horizon)
+
+        if forced_root is not None:
+            domain = select_root_and_domain(
+                cdfg, bitstream, self.params.domain, forced_root=forced_root
+            )
+            eligible = self._eligible(
+                cdfg, domain, horizon, base_cp, lax=lax, windows=windows
+            )
+            if len(eligible) < self.params.tau_prime_min:
+                raise ConstraintEncodingError(
+                    f"only {len(eligible)} eligible nodes at forced root "
+                    f"{forced_root!r} (need {self.params.tau_prime_min})"
+                )
+            return self._encode(
+                cdfg, domain, eligible, bitstream, horizon, base_cp
+            )
+
+        # Retry domain selection until a locality offers enough eligible
+        # nodes for the requested K ("the entire process of subtree
+        # selection is repeated", §IV-A); fall back to the richest
+        # localities seen if none fully suffices.
+        fallbacks: List[Tuple[int, Domain, List[str]]] = []
+        for _ in range(self.params.max_domain_retries):
+            domain = select_root_and_domain(
+                cdfg, bitstream, self.params.domain, roots=roots
+            )
+            eligible = self._eligible(
+                cdfg, domain, horizon, base_cp, lax=lax, windows=windows
+            )
+            if len(eligible) < self.params.tau_prime_min:
+                continue
+            k_target = self._k_target(domain)
+            if len(eligible) >= k_target + 1:
+                try:
+                    return self._encode(
+                        cdfg, domain, eligible, bitstream, horizon, base_cp
+                    )
+                except ConstraintEncodingError:
+                    continue
+            fallbacks.append((len(eligible), domain, eligible))
+        fallbacks.sort(key=lambda item: -item[0])
+        for _, domain, eligible in fallbacks:
+            try:
+                return self._encode(
+                    cdfg, domain, eligible, bitstream, horizon, base_cp
+                )
+            except ConstraintEncodingError:
+                continue
+        raise DomainSelectionError(
+            f"no encodable locality found in "
+            f"{self.params.max_domain_retries} attempts "
+            f"(tau={self.params.domain.tau}, "
+            f"tau_prime_min={self.params.tau_prime_min})"
+        )
+
+    def _k_target(self, domain: Domain) -> int:
+        """The requested number of temporal edges for this locality."""
+        if self.params.k is not None:
+            return self.params.k
+        return max(1, round(self.params.k_fraction * domain.size))
+
+    def _eligible(
+        self,
+        cdfg: CDFG,
+        domain: Domain,
+        horizon: int,
+        base_cp: int,
+        lax: Optional[dict] = None,
+        windows: Optional[dict] = None,
+    ) -> List[str]:
+        """Fig. 2 lines 2–4: the eligible subset ``T'`` in domain order."""
+        if lax is None:
+            lax = laxity(cdfg)
+        if windows is None:
+            windows = scheduling_windows(cdfg, horizon)
+        if self.params.eligibility == "mobility":
+            slack_ok = [
+                n
+                for n in domain.nodes
+                if windows[n][1] - windows[n][0] >= self.params.min_mobility
+            ]
+        else:
+            threshold = base_cp * (1.0 - self.params.epsilon)
+            slack_ok = [n for n in domain.nodes if lax[n] <= threshold]
+        eligible = [
+            n
+            for n in slack_ok
+            if any(
+                windows_overlap(windows[n], windows[m])
+                for m in slack_ok
+                if m != n
+            )
+        ]
+        return eligible
+
+    def _encode(
+        self,
+        cdfg: CDFG,
+        domain: Domain,
+        eligible: List[str],
+        bitstream: BitStream,
+        horizon: int,
+        base_cp: int,
+    ) -> Tuple[CDFG, SchedulingWatermark]:
+        k = self._k_target(domain)
+        # Destinations come from later members of the ordered selection
+        # (Fig. 2 line 7: j > i), so the last member can never source an
+        # edge.  Within a locality many eligible pairs are related by
+        # existing paths (their order is already implied and carries no
+        # evidence), so the selection is oversized to 2K: K edges stay
+        # achievable even when half the pairs are path-related.
+        selection_size = min(max(k + 1, 2 * k), len(eligible))
+        k = min(k, selection_size - 1) if selection_size > 1 else 0
+        selected = bitstream.ordered_selection(eligible, selection_size)
+
+        marked = cdfg.copy(f"{cdfg.name}+wm")
+        windows = scheduling_windows(marked, horizon)
+        edges: List[Tuple[str, str]] = []
+        for i, n_i in enumerate(selected):
+            if len(edges) >= k:
+                break
+            candidates = []
+            for n_j in selected[i + 1:]:
+                if not windows_overlap(windows[n_i], windows[n_j]):
+                    continue
+                # The directed constraint must stay individually feasible
+                # and must not be implied or contradicted already.
+                lo_i, _ = windows[n_i]
+                _, hi_j = windows[n_j]
+                needed = marked.latency(n_i) + self.params.realization_slack
+                if lo_i + needed > hi_j:
+                    continue
+                if marked.graph.has_edge(n_i, n_j):
+                    continue
+                if nx.has_path(marked.graph, n_j, n_i):
+                    continue  # would create a cycle
+                if nx.has_path(marked.graph, n_i, n_j):
+                    continue  # constraint already implied: no evidence
+                candidates.append(n_j)
+            if not candidates:
+                continue
+            n_k = bitstream.choice(candidates)
+            marked.add_temporal_edge(n_i, n_k)
+            try:
+                windows = scheduling_windows(marked, horizon)
+            except Exception:
+                # Joint infeasibility: back the edge out and move on.
+                marked.graph.remove_edge(n_i, n_k)
+                windows = scheduling_windows(marked, horizon)
+                continue
+            edges.append((n_i, n_k))
+
+        if not edges:
+            raise ConstraintEncodingError(
+                f"no temporal edge embeddable at root {domain.root!r}"
+            )
+        identifier = domain.ordering.identifier
+        watermark = SchedulingWatermark(
+            author_fingerprint=self.signature.fingerprint(),
+            root=domain.root,
+            cone=domain.cone,
+            domain_nodes=domain.nodes,
+            eligible_nodes=tuple(eligible),
+            selected_nodes=tuple(selected),
+            temporal_edges=tuple(edges),
+            temporal_edge_ids=tuple(
+                (identifier[src], identifier[dst]) for src, dst in edges
+            ),
+            horizon=horizon,
+            critical_path=base_cp,
+            tau=self.params.domain.tau,
+        )
+        return marked, watermark
+
+    def embed_many(
+        self, cdfg: CDFG, count: int
+    ) -> Tuple[CDFG, List[SchedulingWatermark]]:
+        """Embed several independent local watermarks (§III: "a number of
+        'small' watermarks are randomly augmented in the design").
+
+        Each watermark keys its bitstream with a distinct purpose label
+        derived from its index, so the marks are independent.
+        """
+        marked = cdfg
+        marks: List[SchedulingWatermark] = []
+        roots = candidate_roots(cdfg, self.params.domain)
+        for index in range(count):
+            bitstream = BitStream(
+                self.signature, f"{SCHEDULING_PURPOSE}/{index}"
+            )
+            try:
+                marked, mark = self._embed_with_bitstream(
+                    marked, bitstream, roots=roots
+                )
+            except (ConstraintEncodingError, DomainSelectionError):
+                continue
+            marks.append(mark)
+        return marked, marks
+
+    def embed_until(
+        self, cdfg: CDFG, target_edges: int, max_marks: int = 64
+    ) -> Tuple[CDFG, List[SchedulingWatermark]]:
+        """Embed local watermarks until *target_edges* constraints exist.
+
+        This realizes the experimental setup behind Table I, where a
+        fixed percentage of the design's operations is constrained: many
+        small localities are marked until the total temporal-edge count
+        reaches the target.
+        """
+        marked = cdfg
+        marks: List[SchedulingWatermark] = []
+        roots = candidate_roots(cdfg, self.params.domain)
+        total = 0
+        for index in range(max_marks):
+            if total >= target_edges:
+                break
+            bitstream = BitStream(
+                self.signature, f"{SCHEDULING_PURPOSE}/{index}"
+            )
+            try:
+                marked, mark = self._embed_with_bitstream(
+                    marked, bitstream, roots=roots
+                )
+            except (ConstraintEncodingError, DomainSelectionError):
+                continue
+            marks.append(mark)
+            total += mark.k
+        return marked, marks
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        suspect: CDFG,
+        schedule: Schedule,
+        watermark: SchedulingWatermark,
+        model: str = "poisson",
+    ) -> VerificationResult:
+        """Check a suspect schedule against a watermark record by name.
+
+        The suspect CDFG is the design as recovered from the
+        implementation — *without* temporal edges (they were stripped
+        after synthesis, Fig. 1); windows for the ``P_c`` estimate are
+        computed on it directly.
+        """
+        satisfied = [
+            (src, dst)
+            for src, dst in watermark.temporal_edges
+            if src in suspect
+            and dst in suspect
+            and schedule.satisfies_order(src, dst)
+        ]
+        log10_pc = (
+            approx_log10_pc(
+                suspect,
+                satisfied,
+                horizon=None,
+                model=model,
+            )
+            if satisfied
+            else 0.0
+        )
+        return VerificationResult(
+            satisfied=len(satisfied),
+            total=len(watermark.temporal_edges),
+            log10_pc=log10_pc,
+        )
+
+    def exact_coincidence(
+        self,
+        cdfg: CDFG,
+        watermark: SchedulingWatermark,
+        limit: int = 10_000_000,
+    ):
+        """Exact ``P_c`` of the watermark's locality (small designs only).
+
+        Enumerates the schedules of the locality cone with and without
+        the temporal edges, exactly like the paper's Fig. 3 numbers.
+        """
+        return exact_pc(
+            cdfg,
+            watermark.temporal_edges,
+            horizon=watermark.horizon,
+            nodes=list(watermark.cone),
+            limit=limit,
+        )

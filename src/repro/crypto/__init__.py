@@ -1,0 +1,14 @@
+"""Author-keyed pseudorandomness: RC4, signatures, and bitstreams."""
+
+from repro.crypto.bitstream import BitStream
+from repro.crypto.rc4 import RC4, drop_n, keystream_bits
+from repro.crypto.signature import STANDARD_SEED, AuthorSignature
+
+__all__ = [
+    "RC4",
+    "drop_n",
+    "keystream_bits",
+    "AuthorSignature",
+    "STANDARD_SEED",
+    "BitStream",
+]

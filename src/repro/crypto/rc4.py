@@ -1,0 +1,105 @@
+"""RC4 stream cipher, implemented from scratch.
+
+The local-watermarking protocol of Kirovski & Potkonjak keys an RC4
+keystream with the author's digital signature and uses the resulting
+pseudorandom bit sequence to drive every signature-specific decision
+(subtree selection, node selection, temporal-edge destinations, matching
+selection).  Only the *keystream generator* is needed here; we never
+encrypt payload data.
+
+RC4 is used for its historical fidelity to the paper and because the
+protocol only requires a deterministic, one-way, author-keyed bit source.
+It must not be used for actual confidentiality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class RC4:
+    """RC4 keystream generator.
+
+    Parameters
+    ----------
+    key:
+        Key bytes; length must be between 1 and 256 bytes, per the RC4
+        key-scheduling algorithm.
+
+    Examples
+    --------
+    >>> ks = RC4(b"Key")
+    >>> [hex(b) for b in ks.keystream(3)]
+    ['0xeb', '0x9f', '0x77']
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("RC4 key must be non-empty")
+        if len(key) > 256:
+            raise ValueError("RC4 key must be at most 256 bytes")
+        self._state = self._key_schedule(key)
+        self._i = 0
+        self._j = 0
+
+    @staticmethod
+    def _key_schedule(key: bytes) -> List[int]:
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) % 256
+            state[i], state[j] = state[j], state[i]
+        return state
+
+    def next_byte(self) -> int:
+        """Return the next keystream byte (PRGA step)."""
+        state = self._state
+        self._i = (self._i + 1) % 256
+        self._j = (self._j + state[self._i]) % 256
+        state[self._i], state[self._j] = state[self._j], state[self._i]
+        return state[(state[self._i] + state[self._j]) % 256]
+
+    def keystream(self, n: int) -> bytes:
+        """Return the next *n* keystream bytes."""
+        if n < 0:
+            raise ValueError("cannot generate a negative number of bytes")
+        return bytes(self.next_byte() for _ in range(n))
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.next_byte()
+
+    def encrypt(self, data: bytes) -> bytes:
+        """XOR *data* with the keystream (identical to decryption)."""
+        return bytes(b ^ k for b, k in zip(data, self))
+
+
+def drop_n(cipher: RC4, n: int) -> RC4:
+    """Discard the first *n* keystream bytes (RC4-drop[n]) and return *cipher*.
+
+    Dropping an initial prefix mitigates the well-known bias in early RC4
+    output; the paper does not require it but tests exercise it as an
+    option.
+    """
+    if n < 0:
+        raise ValueError("drop count must be non-negative")
+    for _ in range(n):
+        cipher.next_byte()
+    return cipher
+
+
+def keystream_bits(key: bytes, limit: int) -> Iterable[int]:
+    """Yield *limit* keystream bits (MSB first) for *key*.
+
+    Convenience helper used by tests; production code uses
+    :class:`repro.crypto.bitstream.BitStream`.
+    """
+    cipher = RC4(key)
+    produced = 0
+    while produced < limit:
+        byte = cipher.next_byte()
+        for shift in range(7, -1, -1):
+            if produced >= limit:
+                return
+            yield (byte >> shift) & 1
+            produced += 1

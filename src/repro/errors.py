@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything raised by this package with a single ``except`` clause while
+still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class CDFGError(ReproError):
+    """Structural problem in a control-data flow graph."""
+
+
+class CycleError(CDFGError):
+    """A cycle was found where the computation model requires a DAG."""
+
+
+class UnknownNodeError(CDFGError):
+    """An operation name was referenced that does not exist in the CDFG."""
+
+
+class SchedulingError(ReproError):
+    """A schedule could not be constructed or is invalid."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """No schedule exists under the given time/resource constraints."""
+
+
+class WatermarkError(ReproError):
+    """Watermark embedding or verification failed."""
+
+
+class DomainSelectionError(WatermarkError):
+    """No suitable watermark locality could be selected."""
+
+
+class ConstraintEncodingError(WatermarkError):
+    """The signature-derived constraints could not be encoded."""
+
+
+class TemplateError(ReproError):
+    """Template library or matching problem."""
+
+
+class CoveringError(TemplateError):
+    """A legal template covering could not be produced."""
+
+
+class VLIWError(ReproError):
+    """Problem in the VLIW machine model or compiler."""

@@ -1,0 +1,33 @@
+"""RTL-level substrate: binding, FSM controllers, schedule recovery (§II)."""
+
+from repro.rtl.binding import (
+    Binding,
+    Lifetime,
+    bind,
+    left_edge_registers,
+    variable_lifetimes,
+)
+from repro.rtl.controller import (
+    Controller,
+    ControllerError,
+    MicroOp,
+    datapath_summary,
+    recover_schedule,
+    recovered_schedule_for,
+    synthesize_controller,
+)
+
+__all__ = [
+    "Lifetime",
+    "variable_lifetimes",
+    "left_edge_registers",
+    "Binding",
+    "bind",
+    "MicroOp",
+    "Controller",
+    "ControllerError",
+    "synthesize_controller",
+    "recover_schedule",
+    "recovered_schedule_for",
+    "datapath_summary",
+]

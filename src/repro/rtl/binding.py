@@ -1,0 +1,165 @@
+"""Register and functional-unit binding.
+
+After scheduling, behavioral synthesis binds every operation to a functional
+unit instance and every variable to a register.  The paper leans on this
+step twice: scheduling "determines … the lifetimes of variables" (§IV-A)
+and the bound datapath is what a reverse engineer sees (§II).
+
+* **Functional-unit binding** — operations of one resource class that
+  run in disjoint control steps share a unit instance (greedy step scan).
+* **Register binding** — classic left-edge algorithm over variable
+  lifetimes: variables whose lifetimes do not overlap share a register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType, ResourceClass
+from repro.errors import SchedulingError
+from repro.scheduling.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """A variable's live interval: [birth, death) in control steps."""
+
+    variable: str
+    birth: int
+    death: int
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        """Whether two lifetimes are simultaneously live."""
+        return self.birth < other.death and other.birth < self.death
+
+
+def variable_lifetimes(cdfg: CDFG, schedule: Schedule) -> List[Lifetime]:
+    """Live interval of every produced value.
+
+    A value is born when its producer finishes and dies after its last
+    consumer starts; values with no consumer (primary outputs) live one
+    step past their birth.
+    """
+    lifetimes = []
+    for node in cdfg.operations:
+        op = cdfg.op(node)
+        if op is OpType.OUTPUT:
+            continue
+        birth = schedule.start(node) + cdfg.latency(node)
+        consumers = cdfg.data_successors(node)
+        if consumers:
+            death = max(schedule.start(c) for c in consumers) + 1
+        else:
+            death = birth + 1
+        death = max(death, birth + 1)
+        lifetimes.append(Lifetime(node, birth, death))
+    return lifetimes
+
+
+@dataclass
+class Binding:
+    """Complete datapath binding.
+
+    Attributes
+    ----------
+    unit_of:
+        Operation → (resource class, unit index).
+    register_of:
+        Variable (producing node) → register index.
+    """
+
+    unit_of: Dict[str, Tuple[ResourceClass, int]] = field(default_factory=dict)
+    register_of: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_registers(self) -> int:
+        """Registers the datapath needs."""
+        if not self.register_of:
+            return 0
+        return max(self.register_of.values()) + 1
+
+    def units_per_class(self) -> Dict[ResourceClass, int]:
+        """Functional-unit instances per class."""
+        counts: Dict[ResourceClass, int] = {}
+        for cls, index in self.unit_of.values():
+            counts[cls] = max(counts.get(cls, 0), index + 1)
+        return counts
+
+    def verify(self, cdfg: CDFG, schedule: Schedule) -> None:
+        """Raise :class:`SchedulingError` on any binding conflict."""
+        busy: Dict[Tuple[ResourceClass, int, int], str] = {}
+        for node, (cls, index) in self.unit_of.items():
+            for step in range(
+                schedule.start(node),
+                schedule.start(node) + cdfg.latency(node),
+            ):
+                key = (cls, index, step)
+                if key in busy:
+                    raise SchedulingError(
+                        f"unit conflict: {node!r} and {busy[key]!r} share "
+                        f"{cls.value}[{index}] at step {step}"
+                    )
+                busy[key] = node
+        lifetimes = {
+            lt.variable: lt for lt in variable_lifetimes(cdfg, schedule)
+        }
+        for a, reg_a in self.register_of.items():
+            for b, reg_b in self.register_of.items():
+                if a >= b or reg_a != reg_b:
+                    continue
+                if lifetimes[a].overlaps(lifetimes[b]):
+                    raise SchedulingError(
+                        f"register conflict: {a!r} and {b!r} share "
+                        f"r{reg_a} while both live"
+                    )
+
+
+def left_edge_registers(lifetimes: List[Lifetime]) -> Dict[str, int]:
+    """Left-edge register allocation: minimal registers for the intervals."""
+    assignment: Dict[str, int] = {}
+    remaining = sorted(lifetimes, key=lambda lt: (lt.birth, lt.death))
+    register = 0
+    while remaining:
+        current_end = None
+        leftover = []
+        for lifetime in remaining:
+            if current_end is None or lifetime.birth >= current_end:
+                assignment[lifetime.variable] = register
+                current_end = lifetime.death
+            else:
+                leftover.append(lifetime)
+        remaining = leftover
+        register += 1
+    return assignment
+
+
+def bind(cdfg: CDFG, schedule: Schedule) -> Binding:
+    """Bind a scheduled design to units and registers."""
+    binding = Binding()
+    # Functional units: greedy per-class step scan.
+    occupied: Dict[ResourceClass, List[int]] = {}  # unit -> busy-until step
+    by_start = sorted(
+        (n for n in cdfg.schedulable_operations),
+        key=lambda n: (schedule.start(n), n),
+    )
+    for node in by_start:
+        cls = cdfg.op(node).resource_class
+        start = schedule.start(node)
+        finish = start + cdfg.latency(node)
+        units = occupied.setdefault(cls, [])
+        for index, busy_until in enumerate(units):
+            if busy_until <= start:
+                units[index] = finish
+                binding.unit_of[node] = (cls, index)
+                break
+        else:
+            units.append(finish)
+            binding.unit_of[node] = (cls, len(units) - 1)
+    # Registers: left edge over lifetimes.
+    binding.register_of = left_edge_registers(
+        variable_lifetimes(cdfg, schedule)
+    )
+    binding.verify(cdfg, schedule)
+    return binding

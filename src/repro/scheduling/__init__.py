@@ -1,0 +1,39 @@
+"""Schedulers: list, force-directed, exact, and exhaustive enumeration."""
+
+from repro.scheduling.enumeration import (
+    EnumerationLimitError,
+    count_schedules,
+    count_schedules_satisfying,
+    enumerate_as_schedules,
+    iter_schedules,
+    pairwise_distances,
+    pairwise_psi,
+)
+from repro.scheduling.exact import (
+    DEFAULT_UNIT_COSTS,
+    exact_schedule,
+    minimum_cost_schedule,
+)
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import UNLIMITED, ResourceSet, minimum_units
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "Schedule",
+    "ResourceSet",
+    "UNLIMITED",
+    "minimum_units",
+    "list_schedule",
+    "force_directed_schedule",
+    "exact_schedule",
+    "minimum_cost_schedule",
+    "DEFAULT_UNIT_COSTS",
+    "iter_schedules",
+    "count_schedules",
+    "count_schedules_satisfying",
+    "pairwise_psi",
+    "pairwise_distances",
+    "enumerate_as_schedules",
+    "EnumerationLimitError",
+]

@@ -1,0 +1,187 @@
+"""Exact (branch-and-bound) scheduling for small graphs.
+
+Stands in for the ILP formulation the paper cites [15]: finds a
+feasible schedule under a horizon and resource limits, or the schedule
+minimizing total functional-unit cost under a horizon.  Exponential in
+the worst case — intended for designs of a few dozen movable operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import ResourceClass
+from repro.errors import InfeasibleScheduleError
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.resources import ResourceSet
+from repro.scheduling.schedule import Schedule
+from repro.timing.windows import scheduling_windows
+
+#: Default relative cost of one functional unit of each class, loosely
+#: modelling datapath area (a multiplier is much larger than an ALU).
+DEFAULT_UNIT_COSTS: Mapping[ResourceClass, float] = {
+    ResourceClass.ALU: 1.0,
+    ResourceClass.MULTIPLIER: 8.0,
+    ResourceClass.MEMORY: 2.0,
+    ResourceClass.BRANCH: 0.5,
+}
+
+
+def _prepare(cdfg: CDFG, horizon: int):
+    windows = scheduling_windows(cdfg, horizon)
+    order = [n for n in cdfg.topological_order()]
+    preds = {n: list(cdfg.predecessors(n)) for n in order}
+    return windows, order, preds
+
+
+def exact_schedule(
+    cdfg: CDFG,
+    horizon: int,
+    resources: ResourceSet,
+    node_limit: int = 200_000,
+) -> Schedule:
+    """First feasible schedule found by depth-first search.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If no schedule exists (or the search budget is exhausted).
+    """
+    windows, order, preds = _prepare(cdfg, horizon)
+    usage: Dict[int, Dict[ResourceClass, int]] = {}
+    assignment: Dict[str, int] = {}
+    visited = 0
+
+    def can_occupy(node: str, start: int) -> bool:
+        cls = cdfg.op(node).resource_class
+        if cls is ResourceClass.IO:
+            return True
+        cap = resources.limit(cls)
+        if cap is None:
+            return True
+        return all(
+            usage.get(step, {}).get(cls, 0) < cap
+            for step in range(start, start + cdfg.latency(node))
+        )
+
+    def occupy(node: str, start: int) -> None:
+        cls = cdfg.op(node).resource_class
+        if cls is ResourceClass.IO:
+            return
+        for step in range(start, start + cdfg.latency(node)):
+            step_map = usage.setdefault(step, {})
+            step_map[cls] = step_map.get(cls, 0) + 1
+
+    def release(node: str, start: int) -> None:
+        cls = cdfg.op(node).resource_class
+        if cls is ResourceClass.IO:
+            return
+        for step in range(start, start + cdfg.latency(node)):
+            usage[step][cls] -= 1
+
+    def dfs(i: int) -> bool:
+        nonlocal visited
+        if i == len(order):
+            return True
+        visited += 1
+        if visited > node_limit:
+            raise InfeasibleScheduleError("exact scheduler budget exhausted")
+        node = order[i]
+        lo, hi = windows[node]
+        for pred in preds[node]:
+            lo = max(lo, assignment[pred] + cdfg.latency(pred))
+        for start in range(lo, hi + 1):
+            if not can_occupy(node, start):
+                continue
+            occupy(node, start)
+            assignment[node] = start
+            if dfs(i + 1):
+                return True
+            del assignment[node]
+            release(node, start)
+        return False
+
+    if dfs(0):
+        schedule = Schedule(dict(assignment))
+        schedule.verify(cdfg, resources=resources, horizon=horizon)
+        return schedule
+    raise InfeasibleScheduleError(
+        f"no schedule within horizon {horizon} under {resources.limits}"
+    )
+
+
+def minimum_cost_schedule(
+    cdfg: CDFG,
+    horizon: int,
+    unit_costs: Mapping[ResourceClass, float] = DEFAULT_UNIT_COSTS,
+    node_limit: int = 500_000,
+) -> Tuple[Schedule, float]:
+    """Schedule minimizing total functional-unit cost within *horizon*.
+
+    Returns the best schedule and its cost ``Σ_class cost(class) ×
+    peak_concurrency(class)``.  Uses branch-and-bound with the cost of
+    already-fixed peaks as the lower bound.
+    """
+    windows, order, preds = _prepare(cdfg, horizon)
+    usage: Dict[int, Dict[ResourceClass, int]] = {}
+    peaks: Dict[ResourceClass, int] = {}
+    assignment: Dict[str, int] = {}
+    visited = 0
+
+    def current_cost(peak_map: Mapping[ResourceClass, int]) -> float:
+        return sum(
+            unit_costs.get(cls, 1.0) * count for cls, count in peak_map.items()
+        )
+
+    # Seed the incumbent with the force-directed heuristic so the
+    # branch-and-bound starts with a strong upper bound to prune against.
+    incumbent = force_directed_schedule(cdfg, horizon)
+    best_assignment: Optional[Dict[str, int]] = dict(incumbent.start_times)
+    best_cost = current_cost(incumbent.implied_units(cdfg))
+
+    class _BudgetExhausted(Exception):
+        pass
+
+    def dfs(i: int) -> None:
+        nonlocal best_cost, best_assignment, visited
+        visited += 1
+        if visited > node_limit:
+            raise _BudgetExhausted()
+        if current_cost(peaks) >= best_cost:
+            return
+        if i == len(order):
+            best_cost = current_cost(peaks)
+            best_assignment = dict(assignment)
+            return
+        node = order[i]
+        cls = cdfg.op(node).resource_class
+        latency = cdfg.latency(node)
+        lo, hi = windows[node]
+        for pred in preds[node]:
+            lo = max(lo, assignment[pred] + cdfg.latency(pred))
+        for start in range(lo, hi + 1):
+            saved_peaks = dict(peaks)
+            if cls is not ResourceClass.IO:
+                for step in range(start, start + latency):
+                    step_map = usage.setdefault(step, {})
+                    step_map[cls] = step_map.get(cls, 0) + 1
+                    peaks[cls] = max(peaks.get(cls, 0), step_map[cls])
+            assignment[node] = start
+            dfs(i + 1)
+            del assignment[node]
+            if cls is not ResourceClass.IO:
+                for step in range(start, start + latency):
+                    usage[step][cls] -= 1
+                peaks.clear()
+                peaks.update(saved_peaks)
+
+    try:
+        dfs(0)
+    except _BudgetExhausted:
+        pass  # anytime: fall through with the best incumbent found
+    if best_assignment is None:
+        raise InfeasibleScheduleError(f"no schedule within horizon {horizon}")
+    schedule = Schedule(best_assignment)
+    schedule.verify(cdfg, horizon=horizon)
+    return schedule, best_cost

@@ -1,0 +1,167 @@
+"""Force-directed scheduling (Paulin & Knight) — time-constrained baseline.
+
+The paper cites force-directed scheduling [14] as the canonical
+heuristic scheduler for behavioral synthesis; it minimizes the number of
+functional units needed to meet a fixed control-step budget by balancing
+*distribution graphs* (expected per-step concurrency per resource
+class).
+
+This implementation follows the textbook algorithm:
+
+1. compute every unscheduled operation's (ASAP, ALAP) window;
+2. build per-class distribution graphs assuming each op is uniformly
+   distributed over its window;
+3. for every candidate (op, step) assignment compute the *force* (self
+   force plus the forces its window tightenings induce on predecessors
+   and successors);
+4. commit the minimum-force assignment, propagate window tightenings,
+   and repeat.
+
+Watermark temporal edges participate exactly like data edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import ResourceClass
+from repro.errors import InfeasibleScheduleError
+from repro.scheduling.schedule import Schedule
+from repro.timing.windows import critical_path_length, scheduling_windows
+
+Window = Tuple[int, int]
+
+
+def _tighten(
+    cdfg: CDFG, windows: Dict[str, Window], node: str, window: Window
+) -> Dict[str, Window]:
+    """Pin *node* to *window* and propagate bounds both directions.
+
+    Returns a new windows dict; raises if any window empties.
+    """
+    new = dict(windows)
+    new[node] = window
+    order = cdfg.topological_order()
+    # Forward pass: asap(v) >= asap(u) + lat(u).
+    for current in order:
+        lo, hi = new[current]
+        for pred in cdfg.predecessors(current):
+            plo, _ = new[pred]
+            lo = max(lo, plo + cdfg.latency(pred))
+        if lo > hi:
+            raise InfeasibleScheduleError(
+                f"window of {current!r} emptied while pinning {node!r}"
+            )
+        new[current] = (lo, hi)
+    # Backward pass: alap(u) <= alap(v) - lat(u).
+    for current in reversed(order):
+        lo, hi = new[current]
+        for succ in cdfg.successors(current):
+            _, shi = new[succ]
+            hi = min(hi, shi - cdfg.latency(current))
+        if lo > hi:
+            raise InfeasibleScheduleError(
+                f"window of {current!r} emptied while pinning {node!r}"
+            )
+        new[current] = (lo, hi)
+    return new
+
+
+def _distribution_graphs(
+    cdfg: CDFG, windows: Dict[str, Window], horizon: int
+) -> Dict[ResourceClass, List[float]]:
+    """Expected per-step concurrency per resource class."""
+    graphs: Dict[ResourceClass, List[float]] = {}
+    for node in cdfg.operations:
+        op = cdfg.op(node)
+        if op.resource_class is ResourceClass.IO:
+            continue
+        lo, hi = windows[node]
+        width = hi - lo + 1
+        probability = 1.0 / width
+        graph = graphs.setdefault(op.resource_class, [0.0] * horizon)
+        latency = cdfg.latency(node)
+        for start in range(lo, hi + 1):
+            for step in range(start, min(start + latency, horizon)):
+                graph[step] += probability
+    return graphs
+
+
+def _assignment_force(
+    cdfg: CDFG,
+    windows: Dict[str, Window],
+    graphs: Dict[ResourceClass, List[float]],
+    node: str,
+    step: int,
+    horizon: int,
+) -> float:
+    """Self force of pinning *node* to *step* plus neighbor forces."""
+    try:
+        pinned = _tighten(cdfg, windows, node, (step, step))
+    except InfeasibleScheduleError:
+        return float("inf")
+    force = 0.0
+    for affected, (lo, hi) in pinned.items():
+        old_lo, old_hi = windows[affected]
+        if (lo, hi) == (old_lo, old_hi):
+            continue
+        op = cdfg.op(affected)
+        if op.resource_class is ResourceClass.IO:
+            continue
+        graph = graphs.get(op.resource_class)
+        if graph is None:
+            continue
+        latency = cdfg.latency(affected)
+
+        def occupancy(window_lo: int, window_hi: int) -> Dict[int, float]:
+            width = window_hi - window_lo + 1
+            prob = 1.0 / width
+            occ: Dict[int, float] = {}
+            for start in range(window_lo, window_hi + 1):
+                for s in range(start, min(start + latency, horizon)):
+                    occ[s] = occ.get(s, 0.0) + prob
+            return occ
+
+        before = occupancy(old_lo, old_hi)
+        after = occupancy(lo, hi)
+        for s in set(before) | set(after):
+            force += graph[s] * (after.get(s, 0.0) - before.get(s, 0.0))
+    return force
+
+
+def force_directed_schedule(cdfg: CDFG, horizon: int) -> Schedule:
+    """Time-constrained schedule minimizing implied functional units.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If *horizon* is below the critical path.
+    """
+    cp = critical_path_length(cdfg)
+    if horizon < cp:
+        raise InfeasibleScheduleError(
+            f"horizon {horizon} below critical path {cp}"
+        )
+    windows: Dict[str, Window] = dict(scheduling_windows(cdfg, horizon))
+    unscheduled = [n for n in cdfg.operations if windows[n][0] != windows[n][1]]
+    # Nodes with singleton windows are already decided.
+    while unscheduled:
+        graphs = _distribution_graphs(cdfg, windows, horizon)
+        best: Tuple[float, str, int] = (float("inf"), "", -1)
+        for node in unscheduled:
+            lo, hi = windows[node]
+            for step in range(lo, hi + 1):
+                force = _assignment_force(cdfg, windows, graphs, node, step, horizon)
+                if force < best[0]:
+                    best = (force, node, step)
+        _, node, step = best
+        if not node:  # pragma: no cover - defensive
+            raise InfeasibleScheduleError("force-directed scheduling stuck")
+        windows = _tighten(cdfg, windows, node, (step, step))
+        unscheduled = [
+            n for n in unscheduled if windows[n][0] != windows[n][1]
+        ]
+    schedule = Schedule({n: windows[n][0] for n in cdfg.operations})
+    schedule.verify(cdfg, horizon=horizon)
+    return schedule

@@ -1,0 +1,124 @@
+"""Resource-constrained list scheduling.
+
+The classic heuristic the paper's experiments rely on as an off-the-shelf
+synthesis step: operations become ready when their predecessors finish,
+and at every control step the ready operations are issued in priority
+order while functional units remain.  The default priority is *least
+ALAP first* (most urgent first), the standard choice.
+
+The scheduler treats watermark temporal edges exactly like data edges —
+the protocol is transparent to the tool, as §IV-A requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import ResourceClass
+from repro.errors import InfeasibleScheduleError
+from repro.scheduling.resources import ResourceSet, UNLIMITED
+from repro.scheduling.schedule import Schedule
+from repro.timing.windows import alap_schedule, critical_path_length
+
+PriorityFn = Callable[[str], float]
+
+
+def list_schedule(
+    cdfg: CDFG,
+    resources: ResourceSet = UNLIMITED,
+    horizon: Optional[int] = None,
+    priority: Optional[PriorityFn] = None,
+) -> Schedule:
+    """Schedule *cdfg* with list scheduling under *resources*.
+
+    Parameters
+    ----------
+    cdfg:
+        The graph to schedule; all edge kinds are precedence constraints.
+    resources:
+        Functional-unit limits; unlimited classes issue freely.
+    horizon:
+        Optional deadline in control steps; used only to compute ALAP
+        priorities and to reject overruns at the end.
+    priority:
+        Optional priority function (lower = more urgent).  Defaults to
+        the node's ALAP start (critical operations first).
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If the result misses the given horizon.
+    """
+    cp = critical_path_length(cdfg)
+    alap_horizon = horizon if horizon is not None and horizon >= cp else cp
+    if priority is None:
+        alap = alap_schedule(cdfg, alap_horizon)
+
+        def priority(node: str) -> float:
+            return alap[node]
+
+    in_deg: Dict[str, int] = {n: 0 for n in cdfg.operations}
+    for _, dst in cdfg.edges():
+        in_deg[dst] += 1
+
+    start_times: Dict[str, int] = {}
+    finish: Dict[str, int] = {}
+    ready = sorted((n for n, d in in_deg.items() if d == 0), key=priority)
+    running: Dict[str, int] = {}  # node -> finish step
+    step = 0
+    remaining = len(in_deg)
+    max_steps_guard = (cp + len(in_deg) + 2) * 4 + (horizon or 0)
+
+    while remaining > 0:
+        if step > max_steps_guard:  # pragma: no cover - defensive
+            raise InfeasibleScheduleError("list scheduler failed to converge")
+        # Retire operations finishing at or before this step.
+        for node in [n for n, f in running.items() if f <= step]:
+            del running[node]
+            for succ in cdfg.successors(node):
+                in_deg[succ] -= 1
+                if in_deg[succ] == 0:
+                    ready.append(succ)
+        ready.sort(key=priority)
+        # Units busy this step (multi-cycle ops hold their unit).
+        busy: Dict[ResourceClass, int] = {}
+        for node in running:
+            cls = cdfg.op(node).resource_class
+            if cls is not ResourceClass.IO:
+                busy[cls] = busy.get(cls, 0) + 1
+        issued = []
+        for node in ready:
+            cls = cdfg.op(node).resource_class
+            if cls is not ResourceClass.IO:
+                cap = resources.limit(cls)
+                if cap is not None and busy.get(cls, 0) >= cap:
+                    continue
+                busy[cls] = busy.get(cls, 0) + 1
+            start_times[node] = step
+            finish[node] = step + cdfg.latency(node)
+            issued.append(node)
+            remaining -= 1
+            latency = cdfg.latency(node)
+            if latency == 0:
+                # Zero-latency IO nodes release successors immediately.
+                for succ in cdfg.successors(node):
+                    in_deg[succ] -= 1
+                    if in_deg[succ] == 0:
+                        ready.append(succ)
+            else:
+                running[node] = step + latency
+        for node in issued:
+            ready.remove(node)
+        if issued and any(in_deg[n] == 0 and n not in start_times for n in ready):
+            # Zero-latency issues may have readied more work this step.
+            continue
+        step += 1
+
+    schedule = Schedule(start_times)
+    if horizon is not None and schedule.makespan(cdfg) > horizon:
+        raise InfeasibleScheduleError(
+            f"list schedule needs {schedule.makespan(cdfg)} steps, "
+            f"horizon is {horizon}"
+        )
+    return schedule

@@ -1,0 +1,79 @@
+"""Resource models for resource-constrained scheduling.
+
+A :class:`ResourceSet` says how many functional units of each
+:class:`~repro.cdfg.ops.ResourceClass` exist.  IO placeholder operations
+never consume a unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.cdfg.ops import OpType, ResourceClass
+
+
+@dataclass(frozen=True)
+class ResourceSet:
+    """Available functional units per resource class.
+
+    ``None`` (the default for a missing class) means *unlimited*.
+
+    Examples
+    --------
+    >>> rs = ResourceSet({ResourceClass.ALU: 2, ResourceClass.MULTIPLIER: 1})
+    >>> rs.limit(ResourceClass.ALU)
+    2
+    >>> rs.limit(ResourceClass.MEMORY) is None
+    True
+    """
+
+    limits: Mapping[ResourceClass, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for cls, count in self.limits.items():
+            if count < 1:
+                raise ValueError(f"limit for {cls} must be >= 1, got {count}")
+
+    def limit(self, resource_class: ResourceClass) -> Optional[int]:
+        """Unit count for a class, or None when unconstrained."""
+        if resource_class is ResourceClass.IO:
+            return None
+        return self.limits.get(resource_class)
+
+    def admits(self, usage: Mapping[ResourceClass, int]) -> bool:
+        """Whether a per-class usage count fits within the limits."""
+        for cls, used in usage.items():
+            cap = self.limit(cls)
+            if cap is not None and used > cap:
+                return False
+        return True
+
+
+#: Unlimited resources (pure time-constrained scheduling).
+UNLIMITED = ResourceSet()
+
+
+def usage_of(ops: Mapping[str, OpType]) -> Dict[ResourceClass, int]:
+    """Count functional-unit demand of a set of concurrently running ops."""
+    usage: Dict[ResourceClass, int] = {}
+    for op in ops.values():
+        if op.resource_class is ResourceClass.IO:
+            continue
+        usage[op.resource_class] = usage.get(op.resource_class, 0) + 1
+    return usage
+
+
+def minimum_units(step_usage: Mapping[int, Mapping[ResourceClass, int]]) -> Dict[
+    ResourceClass, int
+]:
+    """Per-class peak concurrent usage over all control steps.
+
+    This is the number of functional units a schedule *implies* — the
+    quantity force-directed scheduling minimizes.
+    """
+    peaks: Dict[ResourceClass, int] = {}
+    for usage in step_usage.values():
+        for cls, used in usage.items():
+            peaks[cls] = max(peaks.get(cls, 0), used)
+    return peaks

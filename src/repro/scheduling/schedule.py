@@ -1,0 +1,132 @@
+"""Schedule representation and verification.
+
+A :class:`Schedule` maps every operation to its start control step.  It
+knows how to verify itself against a CDFG (precedence over every edge
+kind, window bounds, resource limits) — the single source of truth every
+scheduler and every watermark verification path goes through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import ResourceClass
+from repro.errors import SchedulingError
+from repro.scheduling.resources import ResourceSet, minimum_units
+
+
+@dataclass
+class Schedule:
+    """Start control step of every operation of a CDFG.
+
+    Attributes
+    ----------
+    start_times:
+        Node name → 0-based start step.
+    """
+
+    start_times: Dict[str, int] = field(default_factory=dict)
+
+    def start(self, node: str) -> int:
+        """Start step of a node."""
+        try:
+            return self.start_times[node]
+        except KeyError as exc:
+            raise SchedulingError(f"node {node!r} is not scheduled") from exc
+
+    def makespan(self, cdfg: CDFG) -> int:
+        """Number of control steps the schedule occupies."""
+        if not self.start_times:
+            return 0
+        return max(
+            t + cdfg.latency(n) for n, t in self.start_times.items() if n in cdfg
+        )
+
+    def step_usage(self, cdfg: CDFG) -> Dict[int, Dict[ResourceClass, int]]:
+        """Per-step functional-unit usage."""
+        usage: Dict[int, Dict[ResourceClass, int]] = {}
+        for node, start in self.start_times.items():
+            if node not in cdfg:
+                continue
+            op = cdfg.op(node)
+            if op.resource_class is ResourceClass.IO:
+                continue
+            for step in range(start, start + cdfg.latency(node)):
+                step_map = usage.setdefault(step, {})
+                step_map[op.resource_class] = step_map.get(op.resource_class, 0) + 1
+        return usage
+
+    def implied_units(self, cdfg: CDFG) -> Dict[ResourceClass, int]:
+        """Peak per-class concurrency — the unit counts this schedule needs."""
+        return minimum_units(self.step_usage(cdfg))
+
+    def verify(
+        self,
+        cdfg: CDFG,
+        resources: Optional[ResourceSet] = None,
+        horizon: Optional[int] = None,
+    ) -> None:
+        """Raise :class:`SchedulingError` unless the schedule is legal.
+
+        Checks, in order: completeness (every CDFG node scheduled),
+        non-negative starts, precedence over *all* edge kinds, the
+        horizon bound, and resource limits.
+        """
+        for node in cdfg.operations:
+            if node not in self.start_times:
+                raise SchedulingError(f"node {node!r} missing from schedule")
+        for node, start in self.start_times.items():
+            if node not in cdfg:
+                continue
+            if start < 0:
+                raise SchedulingError(f"negative start time for {node!r}")
+        for src, dst in cdfg.edges():
+            if self.start(dst) < self.start(src) + cdfg.latency(src):
+                kind = cdfg.edge_kind(src, dst).value
+                raise SchedulingError(
+                    f"{kind} precedence violated: {src!r}@{self.start(src)} "
+                    f"-> {dst!r}@{self.start(dst)}"
+                )
+        if horizon is not None and self.makespan(cdfg) > horizon:
+            raise SchedulingError(
+                f"makespan {self.makespan(cdfg)} exceeds horizon {horizon}"
+            )
+        if resources is not None:
+            for step, usage in self.step_usage(cdfg).items():
+                if not resources.admits(usage):
+                    raise SchedulingError(
+                        f"resource limits exceeded at step {step}: {usage}"
+                    )
+
+    def is_valid(
+        self,
+        cdfg: CDFG,
+        resources: Optional[ResourceSet] = None,
+        horizon: Optional[int] = None,
+    ) -> bool:
+        """Boolean form of :meth:`verify`."""
+        try:
+            self.verify(cdfg, resources=resources, horizon=horizon)
+        except SchedulingError:
+            return False
+        return True
+
+    def satisfies_order(self, before: str, after: str) -> bool:
+        """Whether *before* starts strictly before *after*.
+
+        This is the property a watermark temporal edge asserts; detection
+        checks it directly on suspect schedules (which were produced
+        without the temporal edges present).
+        """
+        return self.start(before) < self.start(after)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, int]) -> "Schedule":
+        """Build a schedule from any name→step mapping."""
+        return cls(dict(mapping))
+
+    def copy(self) -> "Schedule":
+        """Deep copy."""
+        return Schedule(dict(self.start_times))

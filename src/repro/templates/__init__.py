@@ -1,0 +1,41 @@
+"""Template matching: module library, matcher, covering, allocation."""
+
+from repro.templates.covering import (
+    Allocation,
+    Covering,
+    allocate,
+    cover_and_allocate,
+    greedy_cover,
+)
+from repro.templates.library import (
+    Template,
+    TemplateNode,
+    chain_template,
+    default_library,
+    library_with_singletons,
+    singleton_template,
+)
+from repro.templates.matcher import (
+    Matching,
+    enumerate_matchings,
+    match_template_at,
+    matchings_covering,
+)
+
+__all__ = [
+    "Template",
+    "TemplateNode",
+    "chain_template",
+    "singleton_template",
+    "default_library",
+    "library_with_singletons",
+    "Matching",
+    "match_template_at",
+    "enumerate_matchings",
+    "matchings_covering",
+    "Covering",
+    "Allocation",
+    "greedy_cover",
+    "allocate",
+    "cover_and_allocate",
+]

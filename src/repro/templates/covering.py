@@ -1,0 +1,302 @@
+"""Template covering and module allocation.
+
+Covering partitions a CDFG's schedulable operations into template
+occurrences; allocation then decides how many *hardware instances* of
+each template the design needs given a control-step budget — occurrences
+of the same template scheduled in different steps share one instance.
+
+The optimization goal mirrors the paper's: minimize the number of
+modules that cover the CDFG for the available control steps.  Tightening
+the step budget forces more concurrency and therefore more instances;
+watermark constraints (forced matchings and PPO promotions) remove the
+coverer's best choices — the module-count overhead Table II measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.errors import CoveringError
+from repro.templates.library import Template, library_with_singletons
+from repro.templates.matcher import Matching, enumerate_matchings
+
+
+@dataclass
+class Covering:
+    """A partition of the schedulable operations into occurrences."""
+
+    occurrences: List[Matching] = field(default_factory=list)
+
+    @property
+    def covered(self) -> set:
+        """All covered node names."""
+        nodes: set = set()
+        for occurrence in self.occurrences:
+            nodes |= occurrence.covered
+        return nodes
+
+    @property
+    def num_occurrences(self) -> int:
+        """Number of module occurrences (matchings) used."""
+        return len(self.occurrences)
+
+    def occurrences_by_template(self) -> Dict[str, int]:
+        """Occurrence count per template name."""
+        counts: Dict[str, int] = {}
+        for occurrence in self.occurrences:
+            name = occurrence.template.name
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def occurrence_of(self, node: str) -> Optional[Matching]:
+        """The occurrence covering *node*, if any."""
+        for occurrence in self.occurrences:
+            if node in occurrence.covered:
+                return occurrence
+        return None
+
+    def contains_matching(self, matching: Matching) -> bool:
+        """Whether an identical occurrence is part of this covering."""
+        key = matching.key()
+        return any(occ.key() == key for occ in self.occurrences)
+
+    def internalized_nodes(self) -> set:
+        """Nodes hidden inside modules (their values are not visible)."""
+        hidden: set = set()
+        for occurrence in self.occurrences:
+            hidden.update(occurrence.internal_nodes)
+        return hidden
+
+    def verify(self, cdfg: CDFG) -> None:
+        """Raise :class:`CoveringError` unless this is a legal partition."""
+        seen: Dict[str, str] = {}
+        for occurrence in self.occurrences:
+            for node in occurrence.assignment:
+                if node in seen:
+                    raise CoveringError(
+                        f"node {node!r} covered twice "
+                        f"({seen[node]} and {occurrence.template.name})"
+                    )
+                seen[node] = occurrence.template.name
+            for node in occurrence.internal_nodes:
+                if cdfg.is_ppo(node):
+                    raise CoveringError(
+                        f"PPO node {node!r} internalized by "
+                        f"{occurrence.template.name}"
+                    )
+                external = set(cdfg.data_successors(node)) - occurrence.covered
+                if external:
+                    raise CoveringError(
+                        f"internal node {node!r} feeds outside the module: "
+                        f"{sorted(external)}"
+                    )
+        missing = set(cdfg.schedulable_operations) - set(seen)
+        if missing:
+            raise CoveringError(f"uncovered operations: {sorted(missing)}")
+
+
+def greedy_cover(
+    cdfg: CDFG,
+    library: Sequence[Template],
+    forced: Iterable[Matching] = (),
+    respect_ppo: bool = True,
+) -> Covering:
+    """Greedy minimum-occurrence covering.
+
+    Forced occurrences (the watermark's enforced matchings) are placed
+    first; then the largest legal matchings are taken greedily; finally
+    singletons mop up.  Deterministic: ties break on the matching key.
+    """
+    covering = Covering()
+    taken: set = set()
+    for matching in forced:
+        if matching.covered & taken:
+            raise CoveringError(
+                f"forced matchings overlap on {sorted(matching.covered & taken)}"
+            )
+        covering.occurrences.append(matching)
+        taken |= matching.covered
+
+    full_library = library_with_singletons(library, cdfg)
+    remaining = set(cdfg.schedulable_operations) - taken
+    candidates = enumerate_matchings(
+        cdfg,
+        full_library,
+        candidates=remaining,
+        respect_ppo=respect_ppo,
+        min_size=2,
+    )
+    candidates.sort(key=lambda m: (-m.template.size, m.key()))
+    for matching in candidates:
+        if matching.covered <= remaining:
+            covering.occurrences.append(matching)
+            taken |= matching.covered
+            remaining -= matching.covered
+
+    if remaining:
+        singles = {
+            t.nodes[0].op: t for t in full_library if t.size == 1
+        }
+        for node in sorted(remaining):
+            template = singles.get(cdfg.op(node))
+            if template is None:
+                raise CoveringError(
+                    f"no singleton template for {cdfg.op(node)} ({node!r})"
+                )
+            covering.occurrences.append(Matching(template, (node,)))
+    covering.verify(cdfg)
+    return covering
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Result of scheduling occurrences into a step budget.
+
+    Attributes
+    ----------
+    instances:
+        Template name → hardware instances required (peak concurrency).
+    occurrence_steps:
+        Occurrence root node → assigned control step.
+    steps:
+        The step budget used.
+    """
+
+    instances: Dict[str, int]
+    occurrence_steps: Dict[str, int]
+    steps: int
+
+    @property
+    def module_count(self) -> int:
+        """Total hardware module instances — the Table II quality metric."""
+        return sum(self.instances.values())
+
+
+def _covered_graph(
+    cdfg: CDFG, covering: Covering
+) -> Tuple[Dict[str, List[str]], Dict[str, List[str]], Dict[str, Matching]]:
+    """Precedence DAG over occurrences (adjacency, reverse, by root)."""
+    owner: Dict[str, str] = {}
+    by_root: Dict[str, Matching] = {}
+    for occurrence in covering.occurrences:
+        by_root[occurrence.root] = occurrence
+        for node in occurrence.assignment:
+            owner[node] = occurrence.root
+    succs: Dict[str, List[str]] = {root: [] for root in by_root}
+    preds: Dict[str, List[str]] = {root: [] for root in by_root}
+    seen_pairs = set()
+    for src, dst in cdfg.edges():
+        src_owner = owner.get(src)
+        dst_owner = owner.get(dst)
+        if src_owner is None or dst_owner is None or src_owner == dst_owner:
+            continue
+        if (src_owner, dst_owner) in seen_pairs:
+            continue
+        seen_pairs.add((src_owner, dst_owner))
+        succs[src_owner].append(dst_owner)
+        preds[dst_owner].append(src_owner)
+    return succs, preds, by_root
+
+
+def allocate(
+    cdfg: CDFG,
+    covering: Covering,
+    steps: int,
+) -> Allocation:
+    """Schedule occurrences into *steps* and count needed instances.
+
+    Each occurrence executes in its template's latency; occurrences of
+    one template running in disjoint steps share an instance.  A
+    balance-greedy heuristic (least-mobility first, least-loaded step)
+    approximates the minimum instance count.
+
+    Raises
+    ------
+    CoveringError
+        If the covered graph cannot fit in *steps* control steps.
+    """
+    succs, preds, by_root = _covered_graph(cdfg, covering)
+    latency = {root: by_root[root].template.latency for root in by_root}
+
+    # ASAP / ALAP over the occurrence DAG.
+    order: List[str] = []
+    indegree = {root: len(preds[root]) for root in by_root}
+    queue = sorted(r for r, d in indegree.items() if d == 0)
+    while queue:
+        current = queue.pop(0)
+        order.append(current)
+        for succ in sorted(succs[current]):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if len(order) != len(by_root):  # pragma: no cover - defensive
+        raise CoveringError("covered graph is cyclic")
+
+    asap: Dict[str, int] = {}
+    for root in order:
+        asap[root] = max(
+            (asap[p] + latency[p] for p in preds[root]), default=0
+        )
+    needed = max((asap[r] + latency[r] for r in order), default=0)
+    if needed > steps:
+        raise CoveringError(
+            f"covering needs {needed} steps, budget is {steps}"
+        )
+    alap: Dict[str, int] = {}
+    for root in reversed(order):
+        alap[root] = min(
+            (alap[s] - latency[root] for s in succs[root]),
+            default=steps - latency[root],
+        )
+
+    # Balance-greedy placement in topological order: with predecessors
+    # already assigned, the window [lo, alap] is provably non-empty
+    # (every predecessor sits at or before its ALAP, which precedes ours).
+    usage: Dict[str, Dict[int, int]] = {}
+    assigned: Dict[str, int] = {}
+    for root in order:
+        lo = max(
+            [asap[root]] + [assigned[p] + latency[p] for p in preds[root]]
+        )
+        hi = alap[root]
+        if lo > hi:  # pragma: no cover - defensive
+            raise CoveringError(f"window emptied for occurrence {root!r}")
+        template_name = by_root[root].template.name
+        template_usage = usage.setdefault(template_name, {})
+
+        def cost(step: int) -> Tuple[int, int]:
+            peak = max(
+                template_usage.get(s, 0) + 1
+                for s in range(step, step + latency[root])
+            )
+            return (peak, step)
+
+        best_step = min(range(lo, hi + 1), key=cost)
+        assigned[root] = best_step
+        for s in range(best_step, best_step + latency[root]):
+            template_usage[s] = template_usage.get(s, 0) + 1
+
+    instances = {
+        name: max(step_usage.values())
+        for name, step_usage in usage.items()
+        if step_usage
+    }
+    return Allocation(
+        instances=instances, occurrence_steps=assigned, steps=steps
+    )
+
+
+def cover_and_allocate(
+    cdfg: CDFG,
+    library: Sequence[Template],
+    steps: int,
+    forced: Iterable[Matching] = (),
+    respect_ppo: bool = True,
+) -> Tuple[Covering, Allocation]:
+    """Convenience: greedy cover then allocate into *steps*."""
+    covering = greedy_cover(
+        cdfg, library, forced=forced, respect_ppo=respect_ppo
+    )
+    return covering, allocate(cdfg, covering, steps)

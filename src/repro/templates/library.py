@@ -1,0 +1,140 @@
+"""Template (module) library for behavioral template matching.
+
+A *module* implements a small tree of primitive operations as one
+specialized hardware unit (§IV-B: "a module is defined as a set of
+operation trees").  Covering a CDFG with module occurrences reduces the
+number of hardware instances and shortens schedules, because a matched
+occurrence executes as one unit.
+
+Templates are rooted trees: node 0 is the root (the operation producing
+the module's output); every other node feeds its parent.  Operands not
+produced inside the template arrive from outside the module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType
+from repro.errors import TemplateError
+
+
+@dataclass(frozen=True)
+class TemplateNode:
+    """One operation slot of a template.
+
+    Attributes
+    ----------
+    op:
+        Required operation type.
+    children:
+        Indices of template nodes whose outputs feed this slot.
+    """
+
+    op: OpType
+    children: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Template:
+    """A rooted operation tree implemented by one hardware module."""
+
+    name: str
+    nodes: Tuple[TemplateNode, ...]
+    #: Control steps one occurrence takes to execute (fused logic).
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise TemplateError(f"template {self.name!r} has no nodes")
+        if self.latency < 1:
+            raise TemplateError(f"template {self.name!r} latency must be >= 1")
+        seen_child = set()
+        for index, node in enumerate(self.nodes):
+            for child in node.children:
+                if not index < child < len(self.nodes):
+                    raise TemplateError(
+                        f"template {self.name!r}: node {index} references "
+                        f"invalid child {child} (children must follow parents)"
+                    )
+                if child in seen_child:
+                    raise TemplateError(
+                        f"template {self.name!r}: node {child} has two parents"
+                    )
+                seen_child.add(child)
+        orphans = set(range(1, len(self.nodes))) - seen_child
+        if orphans:
+            raise TemplateError(
+                f"template {self.name!r}: unreachable nodes {sorted(orphans)}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of primitive operations the template covers."""
+        return len(self.nodes)
+
+    @property
+    def root(self) -> TemplateNode:
+        """The output slot."""
+        return self.nodes[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ops = "/".join(n.op.name for n in self.nodes)
+        return f"Template({self.name!r}, {ops})"
+
+
+def singleton_template(op: OpType) -> Template:
+    """The trivial one-op template for *op* (always-available fallback)."""
+    return Template(name=f"single_{op.name.lower()}", nodes=(TemplateNode(op),))
+
+
+def chain_template(name: str, ops: Sequence[OpType], latency: int = 1) -> Template:
+    """A linear chain template: ``ops[0]`` is the root, fed by ``ops[1]``, …"""
+    if not ops:
+        raise TemplateError("chain template needs at least one op")
+    nodes = []
+    for index, op in enumerate(ops):
+        children = (index + 1,) if index + 1 < len(ops) else ()
+        nodes.append(TemplateNode(op, children))
+    return Template(name=name, nodes=tuple(nodes), latency=latency)
+
+
+#: The default module library used throughout the experiments: the
+#: two-operation templates of the paper's Fig. 4 flavour (chained
+#: additions, constant-MAC, MAC) plus a three-op adder tree.
+def default_library() -> List[Template]:
+    """Standard template library (multi-op modules only; singletons are
+    added on demand by the coverer)."""
+    return [
+        chain_template("T1_add_add", (OpType.ADD, OpType.ADD)),
+        chain_template("T2_cmul_add", (OpType.ADD, OpType.CONST_MUL)),
+        chain_template("T3_mul_add", (OpType.ADD, OpType.MUL)),
+        chain_template("T4_mul_sub", (OpType.SUB, OpType.MUL)),
+        Template(
+            name="T5_add3",
+            nodes=(
+                TemplateNode(OpType.ADD, (1, 2)),
+                TemplateNode(OpType.ADD),
+                TemplateNode(OpType.ADD),
+            ),
+        ),
+    ]
+
+
+def library_with_singletons(
+    library: Iterable[Template], cdfg: CDFG
+) -> List[Template]:
+    """Extend *library* with singleton templates for every op in *cdfg*."""
+    extended = list(library)
+    present = {t.name for t in extended}
+    ops_needed: Dict[OpType, None] = {}
+    for node in cdfg.schedulable_operations:
+        ops_needed[cdfg.op(node)] = None
+    for op in ops_needed:
+        singleton = singleton_template(op)
+        if singleton.name not in present:
+            extended.append(singleton)
+            present.add(singleton.name)
+    return extended

@@ -1,0 +1,173 @@
+"""Node-to-module matching enumeration.
+
+A *matching* assigns every slot of a template to a distinct CDFG
+operation such that
+
+* operation types agree slot-by-slot,
+* every template edge corresponds to a CDFG data edge, and
+* every **internal** matched node (every non-root slot) produces a value
+  consumed *only inside* the matching — hiding a multiply-consumed value
+  inside a module would break the dataflow — and is not marked as a
+  pseudo-primary output (PPO).
+
+The PPO rule is the watermark's lever: promoting a variable to PPO
+forbids every matching that would internalize it (§IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.templates.library import Template
+
+
+@dataclass(frozen=True)
+class Matching:
+    """One template occurrence: slot index → CDFG node.
+
+    ``assignment[i]`` is the node matched to template slot ``i``
+    (slot 0 = root).
+    """
+
+    template: Template
+    assignment: Tuple[str, ...]
+
+    @property
+    def root(self) -> str:
+        """The node producing the module's output."""
+        return self.assignment[0]
+
+    @property
+    def covered(self) -> FrozenSet[str]:
+        """All nodes this occurrence covers."""
+        return frozenset(self.assignment)
+
+    @property
+    def internal_nodes(self) -> Tuple[str, ...]:
+        """Matched nodes whose values become hidden inside the module."""
+        return self.assignment[1:]
+
+    def key(self) -> Tuple[str, Tuple[str, ...]]:
+        """Stable identity for deduplication and deterministic ordering."""
+        return (self.template.name, self.assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Matching({self.template.name}: {','.join(self.assignment)})"
+
+
+def _slot_matches(cdfg: CDFG, node: str, template: Template, slot: int) -> bool:
+    return node in cdfg and cdfg.op(node) is template.nodes[slot].op
+
+
+def _internal_ok(cdfg: CDFG, node: str, covered: Sequence[str], respect_ppo: bool) -> bool:
+    """Whether *node* may be internalized given the current partial cover."""
+    if respect_ppo and cdfg.is_ppo(node):
+        return False
+    consumers = set(cdfg.data_successors(node))
+    return consumers <= set(covered)
+
+
+def match_template_at(
+    cdfg: CDFG,
+    template: Template,
+    root: str,
+    respect_ppo: bool = True,
+) -> List[Matching]:
+    """All occurrences of *template* whose root slot maps to *root*."""
+    if not _slot_matches(cdfg, root, template, 0):
+        return []
+    results: List[Matching] = []
+    assignment: List[Optional[str]] = [None] * template.size
+    assignment[0] = root
+
+    def fill(slot: int) -> None:
+        """Assign children of *slot*, then recurse over remaining slots."""
+        # Find the next unassigned slot in index order whose parent is set.
+        next_slot = None
+        for index in range(1, template.size):
+            if assignment[index] is None:
+                next_slot = index
+                break
+        if next_slot is None:
+            matching = Matching(template, tuple(assignment))  # type: ignore[arg-type]
+            # Validate internal visibility for every internal node.
+            if all(
+                _internal_ok(cdfg, n, matching.assignment, respect_ppo)
+                for n in matching.internal_nodes
+            ):
+                results.append(matching)
+            return
+        # Locate the parent slot of next_slot.
+        parent_slot = next(
+            i
+            for i, tnode in enumerate(template.nodes)
+            if next_slot in tnode.children
+        )
+        parent_node = assignment[parent_slot]
+        assert parent_node is not None
+        for candidate in cdfg.data_predecessors(parent_node):
+            if candidate in assignment:
+                continue
+            if not _slot_matches(cdfg, candidate, template, next_slot):
+                continue
+            if not cdfg.op(candidate).is_schedulable:
+                continue
+            assignment[next_slot] = candidate
+            fill(next_slot + 1)
+            assignment[next_slot] = None
+
+    fill(1)
+    return results
+
+
+def enumerate_matchings(
+    cdfg: CDFG,
+    library: Iterable[Template],
+    candidates: Optional[Iterable[str]] = None,
+    respect_ppo: bool = True,
+    min_size: int = 1,
+) -> List[Matching]:
+    """Every occurrence of every library template, deterministically ordered.
+
+    Parameters
+    ----------
+    candidates:
+        If given, only occurrences covering **exclusively** these nodes
+        are returned (the paper's step restricts enumeration to the
+        non-processed nodes of ``T'``).
+    min_size:
+        Skip templates smaller than this (e.g. 2 to ignore singletons).
+    """
+    allowed = set(candidates) if candidates is not None else None
+    matchings: List[Matching] = []
+    seen = set()
+    roots = (
+        sorted(allowed)
+        if allowed is not None
+        else sorted(cdfg.schedulable_operations)
+    )
+    for template in library:
+        if template.size < min_size:
+            continue
+        for root in roots:
+            for matching in match_template_at(
+                cdfg, template, root, respect_ppo=respect_ppo
+            ):
+                if allowed is not None and not matching.covered <= allowed:
+                    continue
+                key = matching.key()
+                if key not in seen:
+                    seen.add(key)
+                    matchings.append(matching)
+    matchings.sort(key=Matching.key)
+    return matchings
+
+
+def matchings_covering(
+    matchings: Iterable[Matching], nodes: Iterable[str]
+) -> List[Matching]:
+    """Subset of *matchings* touching at least one of *nodes*."""
+    wanted = set(nodes)
+    return [m for m in matchings if m.covered & wanted]

@@ -1,0 +1,26 @@
+"""Timing analysis: ASAP/ALAP windows, critical paths, laxity, levels."""
+
+from repro.timing.paths import critical_path, laxity, levels_from_root, slack
+from repro.timing.windows import (
+    alap_schedule,
+    asap_schedule,
+    critical_path_length,
+    makespan,
+    mobility,
+    scheduling_windows,
+    windows_overlap,
+)
+
+__all__ = [
+    "asap_schedule",
+    "alap_schedule",
+    "scheduling_windows",
+    "mobility",
+    "makespan",
+    "critical_path_length",
+    "critical_path",
+    "laxity",
+    "slack",
+    "levels_from_root",
+    "windows_overlap",
+]

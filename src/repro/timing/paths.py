@@ -1,0 +1,111 @@
+"""Path analysis: critical paths, laxity, and root-relative levels.
+
+The paper's vocabulary (§IV-A):
+
+* the **critical path** ``C`` is the longest path through the CDFG, in
+  control steps;
+* a node has **laxity** ``x`` if the longest CDFG-traversing path that
+  contains it has length ``x`` (so critical-path nodes have laxity
+  ``C`` and well-off-path nodes have small laxity — large *slack*);
+* the **level** ``L_i`` of node ``n_i`` relative to a root ``n_o`` is the
+  longest path from ``n_o`` back to ``n_i`` through the fanin — ordering
+  criterion C1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.errors import UnknownNodeError
+from repro.timing.windows import asap_schedule, critical_path_length
+
+
+def _tail_lengths(cdfg: CDFG) -> Dict[str, int]:
+    """Longest path length from each node's start to any sink."""
+    from repro.timing.windows import _fast_topo
+
+    graph = cdfg.graph
+    latency = {n: data["latency"] for n, data in graph.nodes(data=True)}
+    tail: Dict[str, int] = {}
+    for node in reversed(_fast_topo(cdfg)):
+        lat = latency[node]
+        best = lat
+        for succ in graph.succ[node]:
+            candidate = lat + tail[succ]
+            if candidate > best:
+                best = candidate
+        tail[node] = best
+    return tail
+
+
+def laxity(cdfg: CDFG) -> Dict[str, int]:
+    """Laxity of every node: length of the longest path containing it."""
+    asap = asap_schedule(cdfg)
+    tail = _tail_lengths(cdfg)
+    return {node: asap[node] + tail[node] for node in cdfg.operations}
+
+
+def slack(cdfg: CDFG) -> Dict[str, int]:
+    """Slack of every node: ``C − laxity``; 0 on the critical path."""
+    c = critical_path_length(cdfg)
+    return {node: c - lax for node, lax in laxity(cdfg).items()}
+
+
+def critical_path(cdfg: CDFG) -> List[str]:
+    """One longest path through the CDFG, as an ordered node list."""
+    asap = asap_schedule(cdfg)
+    tail = _tail_lengths(cdfg)
+    c = critical_path_length(cdfg)
+    if c == 0:
+        return []
+    # Start at a source whose laxity equals C, then follow tight successors.
+    start = None
+    for node in cdfg.topological_order():
+        if asap[node] == 0 and asap[node] + tail[node] == c:
+            start = node
+            break
+    assert start is not None, "no critical source found"
+    path = [start]
+    current = start
+    while True:
+        nxt = None
+        for succ in cdfg.successors(current):
+            if (
+                asap[succ] == asap[current] + cdfg.latency(current)
+                and asap[succ] + tail[succ] == c
+            ):
+                nxt = succ
+                break
+        if nxt is None:
+            break
+        path.append(nxt)
+        current = nxt
+    return path
+
+
+def levels_from_root(cdfg: CDFG, root: str) -> Dict[str, int]:
+    """Criterion C1 levels: longest fanin path from *root* to each node.
+
+    Only nodes in the transitive fanin of *root* appear in the result;
+    the root itself has level 0.  Edges are traversed in reverse over
+    data/control kinds (watermark temporal edges never define locality).
+    """
+    if root not in cdfg:
+        raise UnknownNodeError(f"unknown operation: {root!r}")
+    kinds = (EdgeKind.DATA, EdgeKind.CONTROL)
+    levels: Dict[str, int] = {root: 0}
+    # Process in reverse topological order of the full graph restricted to
+    # the fanin cone, so every node is finalized before its predecessors.
+    order = cdfg.topological_order()
+    cone = cdfg.fanin_tree(root, max_distance=len(order))
+    for node in reversed(order):
+        if node not in cone or node == root:
+            continue
+        best = -1
+        for succ in cdfg.successors(node, kinds=kinds):
+            if succ in levels:
+                best = max(best, levels[succ] + 1)
+        if best >= 0:
+            levels[node] = best
+    return levels

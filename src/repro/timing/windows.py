@@ -1,0 +1,118 @@
+"""ASAP/ALAP scheduling windows.
+
+Control steps are 0-based integers.  A node with start time ``t`` and
+latency ``l`` occupies steps ``t .. t+l-1``; its value is available at
+step ``t+l``.  IO placeholder nodes have latency 0 and are pinned to the
+boundary of the schedule.
+
+All edge kinds (data, control, temporal) are precedence constraints, so
+the windows automatically tighten when watermark temporal edges are
+added — this is the mechanism through which the watermark reduces the
+number of feasible schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.cdfg.graph import CDFG
+from repro.errors import InfeasibleScheduleError
+
+
+def _fast_topo(cdfg: CDFG) -> List[str]:
+    """Topological order without the lexicographic-sort overhead.
+
+    Insertion-order Kahn (what networkx's plain sort does) — stable for
+    a given construction sequence, which is all the timing analyses
+    need: ASAP/ALAP/laxity values are order-invariant.
+    """
+    return list(nx.topological_sort(cdfg.graph))
+
+
+def asap_schedule(cdfg: CDFG) -> Dict[str, int]:
+    """Earliest feasible start time of every node (unlimited resources)."""
+    graph = cdfg.graph
+    latency = {n: data["latency"] for n, data in graph.nodes(data=True)}
+    start: Dict[str, int] = {}
+    for node in _fast_topo(cdfg):
+        earliest = 0
+        for pred in graph.pred[node]:
+            candidate = start[pred] + latency[pred]
+            if candidate > earliest:
+                earliest = candidate
+        start[node] = earliest
+    return start
+
+
+def makespan(cdfg: CDFG, start: Dict[str, int]) -> int:
+    """Number of control steps used by a start-time assignment."""
+    if not start:
+        return 0
+    return max(t + cdfg.latency(n) for n, t in start.items())
+
+
+def critical_path_length(cdfg: CDFG) -> int:
+    """Length of the critical path in control steps (the paper's ``C``)."""
+    return makespan(cdfg, asap_schedule(cdfg))
+
+
+def alap_schedule(cdfg: CDFG, horizon: int) -> Dict[str, int]:
+    """Latest feasible start time of every node within *horizon* steps.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If *horizon* is shorter than the critical path.
+    """
+    needed = critical_path_length(cdfg)
+    if horizon < needed:
+        raise InfeasibleScheduleError(
+            f"horizon {horizon} below critical path {needed}"
+        )
+    graph = cdfg.graph
+    latency = {n: data["latency"] for n, data in graph.nodes(data=True)}
+    start: Dict[str, int] = {}
+    for node in reversed(_fast_topo(cdfg)):
+        latest = horizon - latency[node]
+        for succ in graph.succ[node]:
+            candidate = start[succ] - latency[node]
+            if candidate < latest:
+                latest = candidate
+        start[node] = latest
+    return start
+
+
+def scheduling_windows(
+    cdfg: CDFG, horizon: int
+) -> Dict[str, Tuple[int, int]]:
+    """The (asap, alap) start-time window of every node.
+
+    These are the paper's operation "lifetimes"; two operations have
+    *overlapping* lifetimes when neither window is strictly after the
+    other — the eligibility condition for temporal-edge endpoints.
+    """
+    asap = asap_schedule(cdfg)
+    alap = alap_schedule(cdfg, horizon)
+    return {node: (asap[node], alap[node]) for node in cdfg.operations}
+
+
+def mobility(cdfg: CDFG, horizon: int) -> Dict[str, int]:
+    """ALAP − ASAP slack of every node (0 on the critical path)."""
+    windows = scheduling_windows(cdfg, horizon)
+    return {node: alap - asap for node, (asap, alap) in windows.items()}
+
+
+def windows_overlap(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    """Paper's lifetime-overlap test for two (asap, alap) windows.
+
+    §IV-A: nodes ``n_i`` and ``n_j`` have overlapping scheduling periods
+    iff ``asap(n_j) + 1 > alap(n_i)`` or ``asap(n_i) + 1 < alap(n_j)``
+    fails to *separate* them — operationally, the windows intersect or
+    either order of execution is still undecided.  We use the standard
+    interval-intersection reading: neither window ends strictly before
+    the other begins.
+    """
+    (asap_a, alap_a), (asap_b, alap_b) = a, b
+    return asap_a <= alap_b and asap_b <= alap_a

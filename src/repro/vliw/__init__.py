@@ -1,0 +1,25 @@
+"""VLIW machine model, compiler, and synthetic applications."""
+
+from repro.vliw.apps import APP_SPECS, AppSpec, all_apps, app_by_name, build_app
+from repro.vliw.compiler import (
+    CompilationResult,
+    compile_block,
+    overhead_percent,
+    realize_watermark_as_code,
+)
+from repro.vliw.machine import VLIWMachine, machine_summary, paper_machine
+
+__all__ = [
+    "VLIWMachine",
+    "paper_machine",
+    "machine_summary",
+    "CompilationResult",
+    "compile_block",
+    "realize_watermark_as_code",
+    "overhead_percent",
+    "AppSpec",
+    "APP_SPECS",
+    "build_app",
+    "app_by_name",
+    "all_apps",
+]

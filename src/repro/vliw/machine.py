@@ -1,0 +1,89 @@
+"""VLIW machine model.
+
+Table I's performance overheads were measured on "a four-issue very
+long instruction word machine with four arithmetic-logic units, two
+branch and two memory units" compiled by IMPACT.  This module models
+that target: an issue width plus per-class functional-unit counts and
+per-operation latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.cdfg.ops import OpType, ResourceClass
+from repro.errors import VLIWError
+
+#: Default operation latencies in machine cycles (cache hits assumed,
+#: matching the paper's 8-KB-cache configuration).
+DEFAULT_LATENCIES: Mapping[OpType, int] = {
+    OpType.MUL: 3,
+    OpType.CONST_MUL: 2,
+    OpType.LOAD: 2,
+    OpType.STORE: 1,
+}
+
+
+@dataclass(frozen=True)
+class VLIWMachine:
+    """A VLIW target: issue width, unit counts, latencies.
+
+    Attributes
+    ----------
+    issue_width:
+        Max operations issued per cycle across all units.
+    units:
+        Functional units per resource class; classes absent issue on the
+        ALU pool.
+    latencies:
+        Per-op-type latency overrides (cycles); unlisted ops take 1.
+    """
+
+    issue_width: int = 4
+    units: Mapping[ResourceClass, int] = field(
+        default_factory=lambda: {
+            ResourceClass.ALU: 4,
+            ResourceClass.MULTIPLIER: 4,  # multiplies issue on the ALU pool
+            ResourceClass.BRANCH: 2,
+            ResourceClass.MEMORY: 2,
+        }
+    )
+    latencies: Mapping[OpType, int] = field(
+        default_factory=lambda: dict(DEFAULT_LATENCIES)
+    )
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise VLIWError("issue_width must be >= 1")
+        for cls, count in self.units.items():
+            if count < 1:
+                raise VLIWError(f"unit count for {cls} must be >= 1")
+
+    def unit_count(self, resource_class: ResourceClass) -> int:
+        """Units available to a class (IO ops never consume a unit)."""
+        if resource_class is ResourceClass.IO:
+            return self.issue_width
+        try:
+            return self.units[resource_class]
+        except KeyError as exc:
+            raise VLIWError(f"machine has no units for {resource_class}") from exc
+
+    def latency(self, op: OpType) -> int:
+        """Cycles *op* occupies its unit."""
+        if op.is_io:
+            return 0
+        return self.latencies.get(op, 1)
+
+
+def paper_machine() -> VLIWMachine:
+    """The Table I target: 4-issue, 4 ALU / 2 branch / 2 memory units."""
+    return VLIWMachine()
+
+
+def machine_summary(machine: VLIWMachine) -> Dict[str, int]:
+    """Human-readable configuration summary (used by reports/tests)."""
+    summary = {"issue_width": machine.issue_width}
+    for cls, count in machine.units.items():
+        summary[f"units_{cls.value}"] = count
+    return summary

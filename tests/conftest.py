@@ -1,0 +1,64 @@
+"""Shared fixtures: canonical designs, signatures, small graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType
+from repro.crypto.signature import AuthorSignature
+
+
+@pytest.fixture
+def iir4() -> CDFG:
+    """The paper's motivational design."""
+    return fourth_order_parallel_iir()
+
+
+@pytest.fixture
+def alice() -> AuthorSignature:
+    return AuthorSignature("alice-designs-inc")
+
+
+@pytest.fixture
+def mallory() -> AuthorSignature:
+    return AuthorSignature("mallory-the-adversary")
+
+
+@pytest.fixture
+def diamond() -> CDFG:
+    """Four-node diamond: in -> (a, b) -> out-add.
+
+    The smallest graph with real scheduling freedom.
+    """
+    b = CDFGBuilder("diamond")
+    x = b.input("x")
+    a = b.const_mul(x, "a")
+    c = b.const_mul(x, "c")
+    b.add(a, c, "out")
+    return b.build()
+
+
+@pytest.fixture
+def chain5() -> CDFG:
+    """A pure 5-op chain: zero mobility everywhere."""
+    b = CDFGBuilder("chain5")
+    current = b.input("x")
+    for index in range(5):
+        current = b.op(f"n{index}", OpType.ADD, current)
+    return b.build()
+
+
+@pytest.fixture
+def two_independent_pairs() -> CDFG:
+    """Two independent 2-op chains; used for window/overlap tests."""
+    b = CDFGBuilder("pairs")
+    x = b.input("x")
+    y = b.input("y")
+    a1 = b.const_mul(x, "a1")
+    b.op("a2", OpType.ADD, a1)
+    b1 = b.const_mul(y, "b1")
+    b.op("b2", OpType.ADD, b1)
+    return b.build()

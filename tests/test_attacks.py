@@ -1,0 +1,125 @@
+"""Attack models: reorder, reschedule, rename, ghost-signature search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.generators import random_layered_cdfg
+from repro.core.attacks import (
+    apply_renaming,
+    ghost_signature_search,
+    rename_attack,
+    reorder_attack,
+    reschedule_attack,
+)
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.scheduling.list_scheduler import list_schedule
+
+
+@pytest.fixture
+def params():
+    return SchedulingWMParams(
+        domain=DomainParams(tau=5, min_domain_size=8), k=6
+    )
+
+
+@pytest.fixture
+def victim(alice, params):
+    design = random_layered_cdfg(120, seed=77)
+    marker = SchedulingWatermarker(alice, params)
+    marked, wm = marker.embed(design)
+    schedule = list_schedule(marked)
+    return design, wm, schedule
+
+
+class TestReorderAttack:
+    def test_schedule_stays_legal(self, victim, alice):
+        design, wm, schedule = victim
+        outcome = reorder_attack(
+            design, schedule, wm, alice, attempts=200, seed=1
+        )
+        outcome.schedule.verify(design)
+
+    def test_few_swaps_leave_watermark(self, victim, alice):
+        design, wm, schedule = victim
+        outcome = reorder_attack(
+            design, schedule, wm, alice, attempts=10, seed=1
+        )
+        assert outcome.surviving_fraction >= 0.5
+
+    def test_more_swaps_erode_more(self, victim, alice):
+        design, wm, schedule = victim
+        light = reorder_attack(
+            design, schedule, wm, alice, attempts=20, seed=3
+        )
+        heavy = reorder_attack(
+            design, schedule, wm, alice, attempts=2000, seed=3
+        )
+        assert heavy.alterations > light.alterations
+        assert heavy.surviving_fraction <= light.surviving_fraction
+
+    def test_deterministic_in_seed(self, victim, alice):
+        design, wm, schedule = victim
+        a = reorder_attack(design, schedule, wm, alice, 100, seed=5)
+        b = reorder_attack(design, schedule, wm, alice, 100, seed=5)
+        assert a.schedule.start_times == b.schedule.start_times
+
+
+class TestRescheduleAttack:
+    def test_fresh_schedule_is_legal(self, victim, alice):
+        design, wm, _ = victim
+        outcome = reschedule_attack(design, wm, alice)
+        outcome.schedule.verify(design.without_temporal_edges())
+
+    def test_watermark_weakened(self, victim, alice):
+        design, wm, schedule = victim
+        outcome = reschedule_attack(design, wm, alice)
+        # A fresh schedule satisfies some constraints by chance but the
+        # full-evidence confidence of the original must not be beaten.
+        assert outcome.verification.fraction <= 1.0
+
+
+class TestRenameAttack:
+    def test_structure_preserved(self, victim):
+        design, _, _ = victim
+        renamed, mapping = rename_attack(design, seed=2)
+        assert renamed.num_operations == design.num_operations
+        assert set(mapping) == set(design.operations)
+        assert len(set(mapping.values())) == len(mapping)
+        assert design.structure_signature() == renamed.structure_signature()
+
+    def test_apply_renaming_translates_schedule(self, victim):
+        design, _, schedule = victim
+        renamed, mapping = rename_attack(design, seed=2)
+        translated = apply_renaming(schedule, mapping)
+        for node, start in schedule.start_times.items():
+            assert translated.start(mapping[node]) == start
+
+    def test_deterministic(self, victim):
+        design, _, _ = victim
+        _, m1 = rename_attack(design, seed=9)
+        _, m2 = rename_attack(design, seed=9)
+        assert m1 == m2
+
+
+class TestGhostSearch:
+    def test_no_cheap_false_authorship(self, victim):
+        design, _, schedule = victim
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=5, min_domain_size=8), k=6
+        )
+        result = ghost_signature_search(
+            design, schedule, n_candidates=8, seed=4, params=params
+        )
+        assert result.tried > 0
+        # With 6 constraints each, a handful of ghosts should not fully
+        # match (probability per ghost is roughly (1/2)^6).
+        assert result.detections <= 1
+        assert 0.0 <= result.best_fraction <= 1.0
+
+    def test_deterministic(self, victim):
+        design, _, schedule = victim
+        a = ghost_signature_search(design, schedule, 4, seed=4)
+        b = ghost_signature_search(design, schedule, 4, seed=4)
+        assert a == b

@@ -1,0 +1,188 @@
+"""Keyed bitstream: determinism, bounds, selection primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.bitstream import BitStream
+from repro.crypto.signature import AuthorSignature
+
+
+def fresh(identity: str = "alice", purpose: str = "t") -> BitStream:
+    return BitStream(AuthorSignature(identity), purpose)
+
+
+def test_bits_are_binary():
+    bs = fresh()
+    assert set(bs.bit() for _ in range(256)) == {0, 1}
+
+
+def test_deterministic_across_instances():
+    stream_a, stream_b = fresh(), fresh()
+    a = [stream_a.bit() for _ in range(128)]
+    b = [stream_b.bit() for _ in range(128)]
+    assert a == b
+
+
+def test_purpose_separates_streams():
+    stream_a = BitStream(AuthorSignature("x"), "p1")
+    stream_b = BitStream(AuthorSignature("x"), "p2")
+    a = [stream_a.bit() for _ in range(64)]
+    b = [stream_b.bit() for _ in range(64)]
+    assert a != b
+
+
+def test_identity_separates_streams():
+    stream_a, stream_b = fresh("alice"), fresh("bob")
+    a = [stream_a.bit() for _ in range(64)]
+    b = [stream_b.bit() for _ in range(64)]
+    assert a != b
+
+
+def test_bits_msb_first():
+    bs1 = fresh()
+    value = bs1.bits(8)
+    bs2 = fresh()
+    expected = 0
+    for _ in range(8):
+        expected = (expected << 1) | bs2.bit()
+    assert value == expected
+
+
+def test_bits_zero():
+    assert fresh().bits(0) == 0
+
+
+def test_bits_negative_rejected():
+    with pytest.raises(ValueError):
+        fresh().bits(-1)
+
+
+def test_bits_consumed_counter():
+    bs = fresh()
+    bs.bits(13)
+    assert bs.bits_consumed == 13
+
+
+def test_randint_bounds():
+    bs = fresh()
+    for bound in (1, 2, 3, 7, 10, 100):
+        for _ in range(50):
+            assert 0 <= bs.randint(bound) < bound
+
+
+def test_randint_one_consumes_nothing():
+    bs = fresh()
+    assert bs.randint(1) == 0
+    assert bs.bits_consumed == 0
+
+
+def test_randint_invalid_bound():
+    with pytest.raises(ValueError):
+        fresh().randint(0)
+
+
+def test_randint_covers_all_values():
+    bs = fresh()
+    seen = {bs.randint(5) for _ in range(300)}
+    assert seen == {0, 1, 2, 3, 4}
+
+
+def test_randint_roughly_uniform():
+    bs = fresh()
+    counts = [0] * 4
+    for _ in range(4000):
+        counts[bs.randint(4)] += 1
+    assert min(counts) > 800  # expectation 1000, generous slack
+
+
+def test_bernoulli_extremes():
+    bs = fresh()
+    assert not any(bs.bernoulli(0.0) for _ in range(50))
+    assert all(bs.bernoulli(1.0) for _ in range(50))
+
+
+def test_bernoulli_rate():
+    bs = fresh()
+    hits = sum(bs.bernoulli(0.25) for _ in range(4000))
+    assert 800 < hits < 1200
+
+
+def test_bernoulli_out_of_range():
+    with pytest.raises(ValueError):
+        fresh().bernoulli(1.5)
+    with pytest.raises(ValueError):
+        fresh().bernoulli(-0.1)
+
+
+def test_choice_single():
+    assert fresh().choice(["only"]) == "only"
+
+
+def test_choice_empty_rejected():
+    with pytest.raises(ValueError):
+        fresh().choice([])
+
+
+def test_choice_deterministic():
+    items = list("abcdefgh")
+    a = [fresh().choice(items) for _ in range(1)]
+    b = [fresh().choice(items) for _ in range(1)]
+    assert a == b
+
+
+def test_ordered_selection_distinct_and_subset():
+    items = list(range(20))
+    picked = fresh().ordered_selection(items, 7)
+    assert len(picked) == 7
+    assert len(set(picked)) == 7
+    assert set(picked) <= set(items)
+
+
+def test_ordered_selection_full_is_permutation():
+    items = list(range(10))
+    perm = fresh().shuffle(items)
+    assert sorted(perm) == items
+
+
+def test_ordered_selection_too_many_rejected():
+    with pytest.raises(ValueError):
+        fresh().ordered_selection([1, 2], 3)
+
+
+def test_ordered_selection_negative_rejected():
+    with pytest.raises(ValueError):
+        fresh().ordered_selection([1, 2], -1)
+
+
+def test_ordered_selection_deterministic():
+    items = list(range(30))
+    assert fresh().ordered_selection(items, 10) == fresh().ordered_selection(
+        items, 10
+    )
+
+
+def test_ordered_selection_order_sensitive_to_identity():
+    items = list(range(30))
+    a = fresh("alice").ordered_selection(items, 10)
+    b = fresh("bob").ordered_selection(items, 10)
+    assert a != b
+
+
+@given(st.integers(2, 64))
+@settings(max_examples=30)
+def test_randint_property(bound):
+    bs = fresh("prop")
+    assert all(0 <= bs.randint(bound) < bound for _ in range(20))
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=30, unique=True))
+@settings(max_examples=30)
+def test_selection_property(items):
+    bs = fresh("prop2")
+    k = bs.randint(len(items) + 1)
+    picked = bs.ordered_selection(items, k)
+    assert len(picked) == k
+    assert len(set(picked)) == k

@@ -1,0 +1,89 @@
+"""CDFG builder: fluent construction and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.ops import OpType
+from repro.errors import CDFGError
+
+
+def test_value_flow():
+    b = CDFGBuilder("t")
+    x = b.input("x")
+    y = b.input("y")
+    s = b.add(x, y, "s")
+    p = b.mul(s, y, "p")
+    out = b.output(p, "out")
+    g = b.build()
+    assert g.op("s") is OpType.ADD
+    assert g.op("p") is OpType.MUL
+    assert g.op(out) is OpType.OUTPUT
+    assert set(g.data_edges) == {
+        ("x", "s"),
+        ("y", "s"),
+        ("s", "p"),
+        ("y", "p"),
+        ("p", "out"),
+    }
+
+
+def test_auto_names_are_unique():
+    b = CDFGBuilder()
+    names = {b.input() for _ in range(10)}
+    assert len(names) == 10
+
+
+def test_convenience_ops():
+    b = CDFGBuilder()
+    x = b.input("x")
+    c = b.const_mul(x)
+    d = b.sub(c, x)
+    g = b.build()
+    assert g.op(c) is OpType.CONST_MUL
+    assert g.op(d) is OpType.SUB
+
+
+def test_chain_helper():
+    b = CDFGBuilder()
+    x = b.input("x")
+    tail = b.chain(x, [OpType.ADD, OpType.CONST_MUL, OpType.ADD])
+    g = b.build()
+    # Three chained ops after the input.
+    assert g.num_operations == 4
+    assert g.primary_outputs == [tail]
+
+
+def test_custom_latency():
+    b = CDFGBuilder()
+    x = b.input("x")
+    m = b.op("m", OpType.MUL, x, latency=3)
+    g = b.build()
+    assert g.latency(m) == 3
+
+
+def test_control_edge():
+    b = CDFGBuilder()
+    x = b.input("x")
+    a = b.const_mul(x, "a")
+    c = b.const_mul(x, "c")
+    b.control_edge(a, c)
+    g = b.build()
+    assert (a, c) in g.edges()
+
+
+def test_builder_single_use():
+    b = CDFGBuilder()
+    b.input("x")
+    b.build()
+    with pytest.raises(CDFGError):
+        b.build()
+
+
+def test_build_validates():
+    b = CDFGBuilder()
+    x = b.input("x")
+    b.const_mul(x, "m")
+    g = b.build()
+    g.validate()

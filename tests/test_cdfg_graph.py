@@ -1,0 +1,246 @@
+"""CDFG structure: construction, edge kinds, queries, transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.cdfg.ops import OpType
+from repro.errors import CDFGError, CycleError, UnknownNodeError
+
+
+def small() -> CDFG:
+    g = CDFG("small")
+    g.add_operation("x", OpType.INPUT)
+    g.add_operation("m", OpType.CONST_MUL)
+    g.add_operation("a", OpType.ADD)
+    g.add_data_edge("x", "m")
+    g.add_data_edge("m", "a")
+    return g
+
+
+def test_basic_counts():
+    g = small()
+    assert g.num_operations == 3
+    assert len(g) == 3
+    assert set(g) == {"x", "m", "a"}
+    assert "m" in g and "zz" not in g
+
+
+def test_duplicate_node_rejected():
+    g = small()
+    with pytest.raises(CDFGError):
+        g.add_operation("m", OpType.ADD)
+
+
+def test_unknown_node_errors():
+    g = small()
+    with pytest.raises(UnknownNodeError):
+        g.add_data_edge("m", "ghost")
+    with pytest.raises(UnknownNodeError):
+        g.op("ghost")
+
+
+def test_self_loop_rejected():
+    g = small()
+    with pytest.raises(CDFGError):
+        g.add_data_edge("a", "a")
+
+
+def test_cycle_rejected_and_rolled_back():
+    g = small()
+    with pytest.raises(CycleError):
+        g.add_data_edge("a", "x")
+    # The offending edge must not linger.
+    assert ("a", "x") not in g.edges()
+    g.validate()
+
+
+def test_duplicate_edge_rejected():
+    g = small()
+    with pytest.raises(CDFGError):
+        g.add_data_edge("x", "m")
+
+
+def test_conflicting_kind_rejected():
+    g = small()
+    with pytest.raises(CDFGError):
+        g.add_temporal_edge("x", "m")
+
+
+def test_negative_latency_rejected():
+    g = CDFG()
+    with pytest.raises(CDFGError):
+        g.add_operation("bad", OpType.ADD, latency=-1)
+
+
+def test_edge_kinds():
+    g = small()
+    g.add_operation("b", OpType.ADD)
+    g.add_temporal_edge("m", "b")
+    g.add_control_edge("a", "b")
+    assert g.edge_kind("x", "m") is EdgeKind.DATA
+    assert g.edge_kind("m", "b") is EdgeKind.TEMPORAL
+    assert g.edge_kind("a", "b") is EdgeKind.CONTROL
+    assert g.temporal_edges == [("m", "b")]
+    assert set(g.data_edges) == {("x", "m"), ("m", "a")}
+
+
+def test_edge_kind_missing_edge():
+    g = small()
+    with pytest.raises(CDFGError):
+        g.edge_kind("x", "a")
+
+
+def test_predecessors_successors_filtering():
+    g = small()
+    g.add_operation("b", OpType.ADD)
+    g.add_temporal_edge("m", "b")
+    assert g.successors("m") == ["a", "b"]
+    assert g.successors("m", kinds=(EdgeKind.DATA,)) == ["a"]
+    assert g.data_successors("m") == ["a"]
+    assert g.predecessors("b", kinds=(EdgeKind.TEMPORAL,)) == ["m"]
+    assert g.data_predecessors("b") == []
+
+
+def test_primary_inputs_outputs():
+    g = small()
+    assert g.primary_inputs == ["x"]
+    assert g.primary_outputs == ["a"]
+
+
+def test_schedulable_excludes_io():
+    g = small()
+    g.add_operation("y", OpType.OUTPUT)
+    g.add_data_edge("a", "y")
+    assert set(g.schedulable_operations) == {"m", "a"}
+
+
+def test_num_variables_counts_value_producers():
+    g = small()
+    g.add_operation("y", OpType.OUTPUT)
+    g.add_data_edge("a", "y")
+    # x, m, a produce values; the OUTPUT placeholder does not.
+    assert g.num_variables == 3
+
+
+def test_ppo_marking():
+    g = small()
+    assert not g.is_ppo("m")
+    g.set_ppo("m")
+    assert g.is_ppo("m")
+    assert g.ppo_nodes == ["m"]
+    g.set_ppo("m", False)
+    assert g.ppo_nodes == []
+
+
+def test_topological_order_respects_edges():
+    g = small()
+    order = g.topological_order()
+    assert order.index("x") < order.index("m") < order.index("a")
+
+
+def test_fanin_tree_distances():
+    b = CDFGBuilder("deep")
+    x = b.input("x")
+    n1 = b.const_mul(x, "n1")
+    n2 = b.const_mul(n1, "n2")
+    n3 = b.add(n2, x, "n3")
+    g = b.build()
+    assert g.fanin_tree("n3", 0) == {"n3"}
+    assert g.fanin_tree("n3", 1) == {"n3", "n2", "x"}
+    assert g.fanin_tree("n3", 2) == {"n3", "n2", "n1", "x"}
+    assert g.fanin_tree("n3", 99) == {"n3", "n2", "n1", "x"}
+    with pytest.raises(CDFGError):
+        g.fanin_tree("n3", -1)
+
+
+def test_fanin_tree_ignores_temporal_edges():
+    g = small()
+    g.add_operation("b", OpType.ADD)
+    g.add_temporal_edge("b", "a")
+    assert "b" not in g.fanin_tree("a", 5)
+
+
+def test_fanin_distance():
+    g = small()
+    distances = g.fanin_distance("a")
+    assert distances == {"a": 0, "m": 1, "x": 2}
+
+
+def test_copy_is_deep():
+    g = small()
+    clone = g.copy("clone")
+    clone.add_operation("extra", OpType.ADD)
+    assert "extra" not in g
+    assert clone.name == "clone"
+
+
+def test_without_temporal_edges():
+    g = small()
+    g.add_operation("b", OpType.ADD)
+    g.add_temporal_edge("m", "b")
+    stripped = g.without_temporal_edges()
+    assert stripped.temporal_edges == []
+    assert g.temporal_edges == [("m", "b")]  # original untouched
+    assert set(stripped.data_edges) == set(g.data_edges)
+
+
+def test_subgraph():
+    g = small()
+    sub = g.subgraph(["m", "a"])
+    assert set(sub.operations) == {"m", "a"}
+    assert sub.edges() == [("m", "a")]
+    with pytest.raises(UnknownNodeError):
+        g.subgraph(["ghost"])
+
+
+def test_renamed_preserves_structure():
+    g = small()
+    renamed = g.renamed({"m": "mul0", "a": "add0"})
+    assert set(renamed.operations) == {"x", "mul0", "add0"}
+    assert renamed.op("mul0") is OpType.CONST_MUL
+    assert ("mul0", "add0") in renamed.edges()
+    # Original untouched.
+    assert "m" in g
+
+
+def test_renamed_rejects_merges_and_unknowns():
+    g = small()
+    with pytest.raises(CDFGError):
+        g.renamed({"m": "a"})
+    with pytest.raises(UnknownNodeError):
+        g.renamed({"ghost": "g2"})
+
+
+def test_merged_with():
+    host = small()
+    core = small()
+    merged = host.merged_with(core, prefix="core/")
+    assert merged.num_operations == 6
+    assert "core/m" in merged
+    assert "m" in merged
+    merged.validate()
+
+
+def test_merged_with_connections():
+    host = small()
+    core = small()
+    merged = host.merged_with(
+        core, connections=[("core/a", "m")], prefix="core/"
+    )
+    assert ("core/a", "m") in merged.edges()
+
+
+def test_merged_name_collision():
+    host = small()
+    core = small()
+    with pytest.raises(CDFGError):
+        host.merged_with(core, prefix="")
+
+
+def test_structure_signature_rename_invariant_shape():
+    g = small()
+    renamed = g.renamed({"m": "q", "a": "r"})
+    assert g.structure_signature() == renamed.structure_signature()

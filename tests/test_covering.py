@@ -1,0 +1,158 @@
+"""Covering and allocation: legality, budgets, PPO/forced constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.designs import hyper_design
+from repro.cdfg.ops import OpType
+from repro.errors import CoveringError
+from repro.templates.covering import (
+    Covering,
+    allocate,
+    cover_and_allocate,
+    greedy_cover,
+)
+from repro.templates.library import chain_template, default_library
+from repro.templates.matcher import Matching
+from repro.timing.windows import critical_path_length
+
+
+class TestGreedyCover:
+    def test_partitions_all_ops(self, iir4):
+        covering = greedy_cover(iir4, default_library())
+        covering.verify(iir4)
+        assert covering.covered == set(iir4.schedulable_operations)
+
+    def test_prefers_large_templates(self, iir4):
+        covering = greedy_cover(iir4, default_library())
+        sizes = [occ.template.size for occ in covering.occurrences]
+        assert max(sizes) >= 2
+
+    def test_deterministic(self, iir4):
+        a = greedy_cover(iir4, default_library())
+        b = greedy_cover(iir4, default_library())
+        assert [m.key() for m in a.occurrences] == [
+            m.key() for m in b.occurrences
+        ]
+
+    def test_forced_matchings_present(self, iir4):
+        t1 = chain_template("T1_add_add", (OpType.ADD, OpType.ADD))
+        forced = Matching(t1, ("A2", "A1"))
+        covering = greedy_cover(iir4, default_library(), forced=[forced])
+        covering.verify(iir4)
+        assert covering.contains_matching(forced)
+
+    def test_overlapping_forced_rejected(self, iir4):
+        t1 = chain_template("T1_add_add", (OpType.ADD, OpType.ADD))
+        with pytest.raises(CoveringError):
+            greedy_cover(
+                iir4,
+                default_library(),
+                forced=[
+                    Matching(t1, ("A2", "A1")),
+                    Matching(t1, ("A3", "A2")),
+                ],
+            )
+
+    def test_ppo_respected(self, iir4):
+        marked = iir4.copy()
+        marked.set_ppo("A1")
+        covering = greedy_cover(marked, default_library())
+        covering.verify(marked)
+        assert "A1" not in covering.internalized_nodes()
+
+    def test_covering_verify_catches_double_cover(self, iir4):
+        t1 = chain_template("T1", (OpType.ADD, OpType.ADD))
+        bad = Covering(
+            occurrences=[
+                Matching(t1, ("A2", "A1")),
+                Matching(t1, ("A3", "A2")),
+            ]
+        )
+        with pytest.raises(CoveringError, match="twice"):
+            bad.verify(iir4)
+
+    def test_occurrences_by_template(self, iir4):
+        covering = greedy_cover(iir4, default_library())
+        counts = covering.occurrences_by_template()
+        assert sum(counts.values()) == covering.num_occurrences
+
+    def test_occurrence_of(self, iir4):
+        covering = greedy_cover(iir4, default_library())
+        occ = covering.occurrence_of("A9")
+        assert occ is not None and "A9" in occ.covered
+        assert covering.occurrence_of("nonexistent") is None
+
+
+class TestAllocate:
+    def test_tight_budget_feasible(self, iir4):
+        covering = greedy_cover(iir4, default_library())
+        c = critical_path_length(iir4)
+        allocation = allocate(iir4, covering, steps=c)
+        assert allocation.module_count >= 1
+        assert allocation.steps == c
+
+    def test_budget_too_small_rejected(self, iir4):
+        covering = greedy_cover(iir4, default_library())
+        with pytest.raises(CoveringError):
+            allocate(iir4, covering, steps=1)
+
+    def test_relaxed_budget_never_needs_more_modules(self, iir4):
+        covering = greedy_cover(iir4, default_library())
+        c = critical_path_length(iir4)
+        tight = allocate(iir4, covering, steps=c)
+        relaxed = allocate(iir4, covering, steps=2 * c)
+        assert relaxed.module_count <= tight.module_count
+
+    def test_occurrence_steps_respect_precedence(self, iir4):
+        covering = greedy_cover(iir4, default_library())
+        c = critical_path_length(iir4)
+        allocation = allocate(iir4, covering, steps=c)
+        owner = {}
+        for occ in covering.occurrences:
+            for node in occ.assignment:
+                owner[node] = occ.root
+        for src, dst in iir4.edges():
+            if src in owner and dst in owner and owner[src] != owner[dst]:
+                src_occ = covering.occurrence_of(src)
+                assert (
+                    allocation.occurrence_steps[owner[dst]]
+                    >= allocation.occurrence_steps[owner[src]]
+                    + src_occ.template.latency
+                )
+
+    def test_instances_cover_concurrency(self, iir4):
+        covering = greedy_cover(iir4, default_library())
+        c = critical_path_length(iir4)
+        allocation = allocate(iir4, covering, steps=c)
+        # Recount concurrency from assigned steps; must match instances.
+        for name, count in allocation.instances.items():
+            concurrency = {}
+            for occ in covering.occurrences:
+                if occ.template.name != name:
+                    continue
+                step = allocation.occurrence_steps[occ.root]
+                for s in range(step, step + occ.template.latency):
+                    concurrency[s] = concurrency.get(s, 0) + 1
+            assert max(concurrency.values()) == count
+
+    def test_cover_and_allocate_on_suite_design(self):
+        design = hyper_design("Modem Filter")
+        c = critical_path_length(design)
+        covering, allocation = cover_and_allocate(
+            design, default_library(), steps=c
+        )
+        covering.verify(design)
+        assert allocation.module_count >= 1
+
+    def test_forced_suboptimal_matching_costs_modules(self, iir4):
+        # Forcing an awkward matching should never reduce module count.
+        c = critical_path_length(iir4)
+        _, base = cover_and_allocate(iir4, default_library(), steps=c)
+        t2 = chain_template("T2_cmul_add", (OpType.ADD, OpType.CONST_MUL))
+        forced = Matching(t2, ("A3", "C3"))
+        _, constrained = cover_and_allocate(
+            iir4, default_library(), steps=c, forced=[forced]
+        )
+        assert constrained.module_count >= base.module_count

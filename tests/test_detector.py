@@ -1,0 +1,150 @@
+"""Detection: record replay, signature re-derivation, embedded-IP scan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.generators import embed_in_host, random_layered_cdfg
+from repro.core.attacks import apply_renaming, rename_attack
+from repro.core.detector import (
+    detect_by_rederivation,
+    scan_for_watermark,
+    verify_by_record,
+)
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.schedule import Schedule
+
+
+@pytest.fixture
+def params():
+    # k=6 gives enough constraints that coincidental full satisfaction
+    # by a clean schedule or foreign signature is very unlikely.
+    return SchedulingWMParams(
+        domain=DomainParams(tau=5, min_domain_size=8), k=6
+    )
+
+
+@pytest.fixture
+def marked_design(alice, params):
+    """A watermarked random design with its schedule."""
+    design = random_layered_cdfg(90, seed=42)
+    marker = SchedulingWatermarker(alice, params)
+    marked, wm = marker.embed(design)
+    schedule = list_schedule(marked)
+    return design, marked, wm, schedule
+
+
+class TestVerifyByRecord:
+    def test_detects_marked_schedule(self, marked_design, alice):
+        design, _, wm, schedule = marked_design
+        result = verify_by_record(design, schedule, wm, alice)
+        assert result.detected
+
+    def test_clean_schedule_not_fully_matched(self, marked_design, alice):
+        design, _, wm, _ = marked_design
+        clean = list_schedule(design)
+        result = verify_by_record(design, clean, wm, alice)
+        assert result.fraction < 1.0
+
+
+class TestRederivation:
+    def test_author_rederives(self, marked_design, alice, params):
+        design, _, wm, schedule = marked_design
+        result = detect_by_rederivation(design, schedule, alice, params)
+        assert result.detected
+        assert result.total == wm.k
+
+    def test_foreign_signature_low_confidence(
+        self, marked_design, mallory, params
+    ):
+        design, _, _, schedule = marked_design
+        result = detect_by_rederivation(design, schedule, mallory, params)
+        # Mallory's derived constraints may hold by luck, but the
+        # evidence is statistically weak compared to a real mark.
+        assert result.confidence < 0.999 or result.fraction < 1.0
+
+
+class TestScan:
+    def test_finds_root_in_original(self, marked_design, alice, params):
+        design, _, wm, schedule = marked_design
+        hits = scan_for_watermark(
+            design, schedule, wm, alice, params.domain
+        )
+        assert hits
+        assert hits[0].result.fraction == 1.0
+        assert wm.root in [h.root for h in hits]
+
+    def test_finds_watermark_in_embedded_core(
+        self, marked_design, alice, params
+    ):
+        design, marked, wm, schedule = marked_design
+        host = embed_in_host(marked, host_ops=200, seed=7, prefix="core/")
+        # The misappropriated system is rescheduled as a whole, but the
+        # thief reuses the core's relative schedule: model by shifting.
+        host_schedule = list_schedule(host)
+        hits = scan_for_watermark(
+            host, host_schedule, wm, alice, params.domain
+        )
+        assert hits, "watermark must be detectable inside the host"
+        assert f"core/{wm.root}" in [h.root for h in hits]
+
+    def test_survives_renaming(self, marked_design, alice, params):
+        design, marked, wm, schedule = marked_design
+        renamed, mapping = rename_attack(marked, seed=3)
+        renamed_schedule = apply_renaming(schedule, mapping)
+        hits = scan_for_watermark(
+            renamed.without_temporal_edges(),
+            renamed_schedule,
+            wm,
+            alice,
+            params.domain,
+        )
+        assert hits
+        assert mapping[wm.root] in [h.root for h in hits]
+
+    def test_no_hits_on_unrelated_design(self, marked_design, alice, params):
+        _, _, wm, _ = marked_design
+        other = random_layered_cdfg(90, seed=999)
+        other_schedule = list_schedule(other)
+        hits = scan_for_watermark(
+            other, other_schedule, wm, alice, params.domain
+        )
+        # Full-satisfaction hits on an unrelated design are possible but
+        # must be rare; certainly the fraction-1.0 hit count should be
+        # small relative to the 90 candidate roots.
+        assert len(hits) < 10
+
+    def test_min_fraction_filter(self, marked_design, alice, params):
+        design, _, wm, schedule = marked_design
+        all_hits = scan_for_watermark(
+            design, schedule, wm, alice, params.domain, min_fraction=0.0
+        )
+        strict = scan_for_watermark(
+            design, schedule, wm, alice, params.domain, min_fraction=1.0
+        )
+        assert len(strict) <= len(all_hits)
+
+
+class TestCutDesign:
+    def test_partition_detection(self, alice, params):
+        # Only the locality survives: detection still works because the
+        # watermark is local (§III).
+        design = random_layered_cdfg(90, seed=42)
+        marker = SchedulingWatermarker(alice, params)
+        marked, wm = marker.embed(design)
+        schedule = list_schedule(marked)
+        keep = set(wm.cone) | set(design.primary_inputs)
+        # Close the cut under fanin so the subgraph is well-formed.
+        for node in list(keep):
+            keep |= design.fanin_tree(node, 99)
+        cut = marked.subgraph(keep, name="stolen-partition")
+        cut_schedule = Schedule(
+            {n: t for n, t in schedule.start_times.items() if n in keep}
+        )
+        result = verify_by_record(
+            cut.without_temporal_edges(), cut_schedule, wm, alice
+        )
+        assert result.detected

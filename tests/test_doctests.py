@@ -1,0 +1,32 @@
+"""Docstring examples must stay executable (they are the API's shopfront)."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.cdfg.builder
+import repro.cdfg.graph
+import repro.crypto.rc4
+import repro.crypto.signature
+import repro.scheduling.resources
+
+MODULES = [
+    repro,
+    repro.cdfg.builder,
+    repro.cdfg.graph,
+    repro.crypto.rc4,
+    repro.crypto.signature,
+    repro.scheduling.resources,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failures"
+    assert results.attempted > 0, f"{module.__name__} has no examples"

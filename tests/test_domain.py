@@ -1,0 +1,133 @@
+"""Domain selection: cones, signature-carved subtrees, retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.generators import random_layered_cdfg
+from repro.core.domain import (
+    DomainParams,
+    candidate_roots,
+    select_domain,
+    select_root_and_domain,
+)
+from repro.crypto.bitstream import BitStream
+from repro.crypto.signature import AuthorSignature
+from repro.errors import DomainSelectionError
+
+
+def stream(identity: str = "alice") -> BitStream:
+    return BitStream(AuthorSignature(identity), "domain-test")
+
+
+class TestDomainParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DomainParams(tau=0)
+        with pytest.raises(ValueError):
+            DomainParams(include_probability=1.5)
+        with pytest.raises(ValueError):
+            DomainParams(min_domain_size=0)
+
+
+class TestCandidateRoots:
+    def test_roots_have_large_cones(self, iir4):
+        params = DomainParams(tau=3, min_domain_size=5)
+        roots = candidate_roots(iir4, params)
+        for root in roots:
+            cone = iir4.fanin_tree(root, 3) & set(
+                iir4.schedulable_operations
+            )
+            assert len(cone) >= 5
+
+    def test_no_candidates_raises(self, diamond):
+        with pytest.raises(DomainSelectionError):
+            candidate_roots(diamond, DomainParams(tau=1, min_domain_size=10))
+
+    def test_order_is_name_independent(self, iir4):
+        params = DomainParams(tau=3, min_domain_size=5)
+        mapping = {n: f"r{i}" for i, n in enumerate(sorted(iir4.operations))}
+        renamed = iir4.renamed(mapping)
+        roots = candidate_roots(iir4, params)
+        renamed_roots = candidate_roots(renamed, params)
+        # Up to automorphism the sequences correspond; compare cone sizes.
+        assert len(roots) == len(renamed_roots)
+
+
+class TestSelectDomain:
+    def test_contains_root(self, iir4):
+        domain = select_domain(iir4, "A9", stream(), DomainParams(tau=4))
+        assert domain.root == "A9"
+        assert "A9" in domain.nodes
+
+    def test_subtree_within_cone(self, iir4):
+        params = DomainParams(tau=3)
+        domain = select_domain(iir4, "A9", stream(), params)
+        assert set(domain.nodes) <= set(domain.cone)
+        cone = iir4.fanin_tree("A9", 3) & set(iir4.schedulable_operations)
+        assert set(domain.cone) == cone
+
+    def test_deterministic_per_signature(self, iir4):
+        params = DomainParams(tau=4)
+        a = select_domain(iir4, "A9", stream("alice"), params)
+        b = select_domain(iir4, "A9", stream("alice"), params)
+        assert a.nodes == b.nodes
+
+    def test_signatures_carve_different_subtrees(self, iir4):
+        params = DomainParams(tau=4, include_probability=0.4)
+        carved = {
+            select_domain(iir4, "A9", stream(f"author-{i}"), params).nodes
+            for i in range(12)
+        }
+        assert len(carved) > 1
+
+    def test_include_probability_one_takes_whole_cone(self, iir4):
+        params = DomainParams(tau=4, include_probability=1.0)
+        domain = select_domain(iir4, "A9", stream(), params)
+        assert set(domain.nodes) == set(domain.cone)
+
+    def test_connected_to_root(self, iir4):
+        # Every selected node must reach the root inside the selection
+        # (the carve walks the tree from the root).
+        params = DomainParams(tau=4, include_probability=0.3)
+        domain = select_domain(iir4, "A9", stream(), params)
+        selected = set(domain.nodes)
+        reached = {"A9"}
+        frontier = ["A9"]
+        while frontier:
+            current = frontier.pop()
+            for pred in iir4.data_predecessors(current):
+                if pred in selected and pred not in reached:
+                    reached.add(pred)
+                    frontier.append(pred)
+        assert reached == selected
+
+    def test_io_root_rejected(self, iir4):
+        with pytest.raises(DomainSelectionError):
+            select_domain(iir4, "x", stream(), DomainParams(tau=2))
+
+
+class TestSelectRootAndDomain:
+    def test_selects_valid_domain(self, iir4):
+        params = DomainParams(tau=3, min_domain_size=4)
+        domain = select_root_and_domain(iir4, stream(), params)
+        assert domain.size >= 4
+
+    def test_forced_root(self, iir4):
+        params = DomainParams(tau=4, min_domain_size=3)
+        domain = select_root_and_domain(
+            iir4, stream(), params, forced_root="A4"
+        )
+        assert domain.root == "A4"
+
+    def test_forced_root_too_small(self, iir4):
+        params = DomainParams(tau=1, min_domain_size=5)
+        with pytest.raises(DomainSelectionError):
+            select_root_and_domain(iir4, stream(), params, forced_root="A1")
+
+    def test_works_on_random_graphs(self):
+        params = DomainParams(tau=4, min_domain_size=4)
+        for seed in range(5):
+            g = random_layered_cdfg(60, seed=seed)
+            domain = select_root_and_domain(g, stream(f"s{seed}"), params)
+            assert domain.size >= 4

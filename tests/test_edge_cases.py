@@ -1,0 +1,198 @@
+"""Edge cases and lesser-traveled paths across the library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.generators import random_layered_cdfg
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType, ResourceClass
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.errors import (
+    CDFGError,
+    ConstraintEncodingError,
+    InfeasibleScheduleError,
+    ReproError,
+    SchedulingError,
+    WatermarkError,
+)
+from repro.scheduling.enumeration import transitive_reduction_edges
+from repro.scheduling.exact import exact_schedule, minimum_cost_schedule
+from repro.scheduling.resources import ResourceSet, minimum_units, usage_of
+from repro.timing.windows import critical_path_length
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc_type in (
+            CDFGError,
+            SchedulingError,
+            InfeasibleScheduleError,
+            WatermarkError,
+            ConstraintEncodingError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_single_catch_suffices(self, iir4):
+        with pytest.raises(ReproError):
+            iir4.add_operation("A1", OpType.ADD)  # duplicate
+
+
+class TestResourcesHelpers:
+    def test_usage_of_counts_by_class(self):
+        usage = usage_of(
+            {"a": OpType.ADD, "b": OpType.SUB, "m": OpType.MUL, "x": OpType.INPUT}
+        )
+        assert usage == {
+            ResourceClass.ALU: 2,
+            ResourceClass.MULTIPLIER: 1,
+        }
+
+    def test_minimum_units_takes_peaks(self):
+        peaks = minimum_units(
+            {
+                0: {ResourceClass.ALU: 3},
+                1: {ResourceClass.ALU: 1, ResourceClass.MULTIPLIER: 2},
+            }
+        )
+        assert peaks == {ResourceClass.ALU: 3, ResourceClass.MULTIPLIER: 2}
+
+    def test_resource_set_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ResourceSet({ResourceClass.ALU: 0})
+
+    def test_admits(self):
+        rs = ResourceSet({ResourceClass.ALU: 2})
+        assert rs.admits({ResourceClass.ALU: 2})
+        assert not rs.admits({ResourceClass.ALU: 3})
+        assert rs.admits({ResourceClass.MEMORY: 99})  # unconstrained
+
+
+class TestTransitiveReduction:
+    def test_redundant_edge_removed(self):
+        g = CDFG()
+        for name in ("a", "b", "c"):
+            g.add_operation(name, OpType.ADD)
+        g.add_data_edge("a", "b")
+        g.add_data_edge("b", "c")
+        g.add_control_edge("a", "c")  # implied by a->b->c
+        assert set(transitive_reduction_edges(g)) == {("a", "b"), ("b", "c")}
+
+
+class TestExactSchedulerEdges:
+    def test_budget_exhaustion_raises(self, iir4):
+        from repro.scheduling.resources import UNLIMITED
+
+        with pytest.raises(InfeasibleScheduleError, match="budget"):
+            exact_schedule(
+                iir4,
+                horizon=critical_path_length(iir4) + 2,
+                resources=ResourceSet({ResourceClass.MULTIPLIER: 1}),
+                node_limit=3,
+            )
+
+    def test_minimum_cost_anytime_fallback(self, iir4):
+        # A tiny node budget forces the anytime path: the FDS incumbent
+        # is returned instead of raising.
+        schedule, cost = minimum_cost_schedule(
+            iir4, critical_path_length(iir4) + 1, node_limit=5
+        )
+        schedule.verify(iir4)
+        assert cost > 0
+
+
+class TestEmbedUntil:
+    def test_stops_at_target(self, alice):
+        graph = random_layered_cdfg(150, seed=31, num_layers=25)
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=5, min_domain_size=8), k=4
+        )
+        marker = SchedulingWatermarker(alice, params)
+        marked, marks = marker.embed_until(graph, target_edges=6)
+        total = sum(m.k for m in marks)
+        assert total >= 6
+        assert len(marked.temporal_edges) == total
+
+    def test_respects_max_marks(self, alice):
+        graph = random_layered_cdfg(150, seed=31, num_layers=25)
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=5, min_domain_size=8), k=2
+        )
+        marker = SchedulingWatermarker(alice, params)
+        _, marks = marker.embed_until(graph, target_edges=999, max_marks=3)
+        assert len(marks) <= 3
+
+    def test_marks_are_disjointly_keyed(self, alice):
+        graph = random_layered_cdfg(150, seed=31, num_layers=25)
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=5, min_domain_size=8), k=3
+        )
+        marker = SchedulingWatermarker(alice, params)
+        _, marks = marker.embed_until(graph, target_edges=6)
+        assert len(marks) >= 2
+        edge_sets = [set(m.temporal_edges) for m in marks]
+        for i, a in enumerate(edge_sets):
+            for b in edge_sets[i + 1:]:
+                assert a != b
+
+
+class TestGracefulDegradation:
+    def test_oversized_k_falls_back(self, alice, iir4):
+        # K far beyond what any locality offers: embed still produces
+        # some evidence instead of failing.
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=5), k=50
+        )
+        _, wm = SchedulingWatermarker(alice, params).embed(iir4)
+        assert 1 <= wm.k < 50
+
+    def test_solutions_count_limit(self, alice, iir4):
+        from repro.core.matching_wm import MatchingWatermarker, MatchingWMParams
+
+        c = critical_path_length(iir4)
+        marker = MatchingWatermarker(
+            alice, params=MatchingWMParams(z=1, horizon=2 * c)
+        )
+        _, wm = marker.embed(iir4)
+        with pytest.raises(ConstraintEncodingError, match="limit"):
+            marker.solutions_count(iir4, wm.enforced[0], limit=1)
+
+
+class TestBuilderChain:
+    def test_long_chain_unique_names(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        b.chain(x, [OpType.ADD] * 10, stem="c1")
+        y = b.input("y")
+        b.chain(y, [OpType.ADD] * 10, stem="c2")
+        g = b.build()
+        assert len(g.schedulable_operations) == 20
+
+
+class TestVLIWGuards:
+    def test_zero_op_program(self):
+        from repro.vliw.compiler import compile_block
+        from repro.vliw.machine import paper_machine
+
+        g = CDFG("empty")
+        g.add_operation("x", OpType.INPUT)
+        result = compile_block(g, paper_machine())
+        assert result.cycles == 0
+        assert result.ilp == 0.0
+
+    def test_single_issue_machine(self):
+        from repro.vliw.compiler import compile_block
+        from repro.vliw.machine import VLIWMachine
+
+        b = CDFGBuilder()
+        x = b.input("x")
+        for i in range(4):
+            b.op(f"a{i}", OpType.ADD, x)
+        g = b.build()
+        machine = VLIWMachine(
+            issue_width=1, units={ResourceClass.ALU: 1}
+        )
+        assert compile_block(g, machine).cycles == 4

@@ -1,0 +1,136 @@
+"""Exhaustive schedule enumeration: hand-verified counts, ψ ratios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.ops import OpType
+from repro.scheduling.enumeration import (
+    EnumerationLimitError,
+    count_schedules,
+    count_schedules_satisfying,
+    enumerate_as_schedules,
+    iter_schedules,
+    pairwise_distances,
+    pairwise_psi,
+)
+from repro.timing.windows import critical_path_length
+
+
+def test_chain_has_single_schedule(chain5):
+    assert count_schedules(chain5, 5) == 1
+
+
+def test_chain_with_one_slack_step(chain5):
+    # 5 ops in 6 steps: the chain slides as a block or leaves one gap —
+    # choose which of the 6 "slots" is empty: C(6,1) = 6 placements.
+    assert count_schedules(chain5, 6) == 6
+
+
+def test_two_independent_ops_all_orders():
+    b = CDFGBuilder()
+    x = b.input("x")
+    b.const_mul(x, "a")
+    b.const_mul(x, "c")
+    g = b.build()
+    # Each op picks a step in {0,1}: 4 assignments.
+    assert count_schedules(g, 2) == 4
+
+
+def test_diamond_count(diamond):
+    # a and c in {0,1}, out >= max(a,c)+1, out <= 2.
+    # (a,c) = (0,0): out in {1,2} -> 2;  (0,1),(1,0),(1,1): out=2 -> 3.
+    assert count_schedules(diamond, 3) == 5
+
+
+def test_subset_enumeration(diamond):
+    # Enumerate only {a, c}: windows are (0,1) each -> 4 assignments.
+    assert count_schedules(diamond, 3, nodes=["a", "c"]) == 4
+
+
+def test_transitive_constraint_through_excluded_node():
+    # x -> p -> q -> r; enumerate {p, r} only: r >= p + 2 must hold.
+    b = CDFGBuilder()
+    x = b.input("x")
+    p = b.const_mul(x, "p")
+    q = b.const_mul(p, "q")
+    b.const_mul(q, "r")
+    g = b.build()
+    # horizon 4: p in {0,1}, r in {2,3}, r - p >= 2.
+    # (0,2),(0,3),(1,3) -> 3.
+    assert count_schedules(g, 4, nodes=["p", "r"]) == 3
+
+
+def test_pairwise_distances():
+    b = CDFGBuilder()
+    x = b.input("x")
+    p = b.const_mul(x, "p")
+    q = b.const_mul(p, "q")
+    b.const_mul(q, "r")
+    g = b.build()
+    d = pairwise_distances(g, ["p", "r"])
+    assert d[("p", "r")] == 2
+    assert ("r", "p") not in d
+
+
+def test_count_satisfying_order(two_independent_pairs):
+    g = two_independent_pairs
+    nodes = ["a1", "a2", "b1", "b2"]
+    total = count_schedules(g, 3, nodes=nodes)
+    before = count_schedules_satisfying(
+        g, 3, [("a1", "b1")], nodes=nodes
+    )
+    after = count_schedules_satisfying(g, 3, [("b1", "a1")], nodes=nodes)
+    ties = total - before - after
+    assert before == after  # symmetric graph
+    assert ties > 0  # same-step assignments satisfy neither
+    assert before + after + ties == total
+
+
+def test_psi_matches_counts(two_independent_pairs):
+    g = two_independent_pairs
+    nodes = ["a1", "a2", "b1", "b2"]
+    psi_w, psi_n = pairwise_psi(g, 3, "a1", "b1", nodes=nodes)
+    assert psi_n == count_schedules(g, 3, nodes=nodes)
+    assert psi_w == count_schedules_satisfying(
+        g, 3, [("a1", "b1")], nodes=nodes
+    )
+    assert 0 < psi_w < psi_n
+
+
+def test_temporal_edges_reduce_count(iir4):
+    c = critical_path_length(iir4)
+    base = count_schedules(iir4, c)
+    marked = iir4.copy()
+    marked.add_temporal_edge("C6", "C3")
+    constrained = count_schedules(marked, c)
+    assert constrained < base
+    # The constrained count equals the satisfying-count on the original.
+    assert constrained == count_schedules_satisfying(
+        iir4, c, [("C6", "C3")]
+    )
+
+
+def test_iir_count_is_stable(iir4):
+    # Regression pin: 17 movable ops at C=6 admit exactly 576 schedules.
+    assert count_schedules(iir4, critical_path_length(iir4)) == 576
+
+
+def test_enumerate_as_schedules_are_valid(diamond):
+    schedules = enumerate_as_schedules(diamond, 3)
+    assert len(schedules) == 5
+    for schedule in schedules:
+        # IO nodes excluded from enumeration; fill them for verify.
+        schedule.start_times.setdefault("x", 0)
+        schedule.verify(diamond, horizon=3)
+
+
+def test_enumeration_limit(iir4):
+    with pytest.raises(EnumerationLimitError):
+        count_schedules(iir4, critical_path_length(iir4) + 3, limit=100)
+
+
+def test_iter_schedules_yields_dicts(diamond):
+    first = next(iter_schedules(diamond, 3))
+    assert set(first) == {"a", "c", "out"}

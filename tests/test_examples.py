@@ -1,0 +1,40 @@
+"""Every example script must run cleanly end to end."""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5  # quickstart plus domain-specific scenarios
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_detects(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "detection:" in out
+
+
+def test_fingerprinting_traces_leak(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "fingerprinting_demo.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "the leak traces to 'globex'" in out

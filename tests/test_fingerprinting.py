@@ -1,0 +1,107 @@
+"""Fingerprinting: per-customer marks and leak tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.generators import random_layered_cdfg
+from repro.core.domain import DomainParams
+from repro.core.fingerprinting import Fingerprinter
+from repro.core.scheduling_wm import SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.errors import WatermarkError
+from repro.scheduling.list_scheduler import list_schedule
+
+PARAMS = SchedulingWMParams(
+    domain=DomainParams(tau=5, min_domain_size=8), k=6
+)
+
+
+@pytest.fixture
+def vendor():
+    return AuthorSignature("vendor-corp")
+
+
+@pytest.fixture
+def master():
+    # Deep enough that every derived customer signature finds a locality
+    # with unrelated eligible pairs.
+    return random_layered_cdfg(150, seed=31, num_layers=25)
+
+
+@pytest.fixture
+def fingerprinter(vendor):
+    return Fingerprinter(vendor, PARAMS)
+
+
+class TestSignatureDerivation:
+    def test_per_customer_keys_differ(self, fingerprinter):
+        a = fingerprinter.signature_for("acme")
+        b = fingerprinter.signature_for("globex")
+        assert a.derive_key() != b.derive_key()
+
+    def test_deterministic(self, fingerprinter):
+        assert fingerprinter.signature_for("acme") == fingerprinter.signature_for(
+            "acme"
+        )
+
+    def test_differs_from_vendor_key(self, fingerprinter, vendor):
+        assert (
+            fingerprinter.signature_for("acme").derive_key()
+            != vendor.derive_key()
+        )
+
+    def test_empty_customer_rejected(self, fingerprinter):
+        with pytest.raises(WatermarkError):
+            fingerprinter.signature_for("")
+
+
+class TestIssueCopies:
+    def test_each_copy_carries_its_mark(self, fingerprinter, master):
+        copies = fingerprinter.issue_copies(master, ["acme", "globex"])
+        assert set(copies) == {"acme", "globex"}
+        for customer, (marked, record) in copies.items():
+            assert record.customer == customer
+            schedule = list_schedule(marked)
+            result = fingerprinter.verify_customer(master, schedule, record)
+            assert result.detected
+
+    def test_copies_differ(self, fingerprinter, master):
+        copies = fingerprinter.issue_copies(master, ["acme", "globex"])
+        edges_a = set(copies["acme"][0].temporal_edges)
+        edges_b = set(copies["globex"][0].temporal_edges)
+        assert edges_a != edges_b
+
+    def test_duplicate_customers_rejected(self, fingerprinter, master):
+        with pytest.raises(WatermarkError):
+            fingerprinter.issue_copies(master, ["acme", "acme"])
+
+
+class TestIdentify:
+    def test_leaker_ranked_first(self, fingerprinter, master):
+        customers = ["acme", "globex", "initech"]
+        copies = fingerprinter.issue_copies(master, customers)
+        records = [copies[c][1] for c in customers]
+
+        # globex's copy leaks (its schedule surfaces on the market).
+        leaked_design, _ = copies["globex"]
+        leaked_schedule = list_schedule(leaked_design)
+
+        matches = fingerprinter.identify(master, leaked_schedule, records)
+        assert matches[0].customer == "globex"
+        assert matches[0].result.detected
+        # The leaker's evidence strictly dominates the others'.
+        for other in matches[1:]:
+            assert (
+                other.result.fraction < 1.0
+                or other.result.log10_pc > matches[0].result.log10_pc
+            )
+
+    def test_identify_is_ranked(self, fingerprinter, master):
+        customers = ["a", "b", "c", "d"]
+        copies = fingerprinter.issue_copies(master, customers)
+        records = [copies[c][1] for c in customers]
+        leaked_schedule = list_schedule(copies["c"][0])
+        matches = fingerprinter.identify(master, leaked_schedule, records)
+        fractions = [m.result.fraction for m in matches]
+        assert fractions == sorted(fractions, reverse=True)

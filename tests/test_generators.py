@@ -1,0 +1,148 @@
+"""Seeded generators: determinism, size/shape guarantees."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.generators import (
+    backbone_design,
+    embed_in_host,
+    random_layered_cdfg,
+)
+from repro.cdfg.io import to_json
+from repro.cdfg.ops import OpType
+from repro.errors import CDFGError
+from repro.timing.windows import critical_path_length
+
+
+class TestRandomLayered:
+    def test_op_count(self):
+        g = random_layered_cdfg(50, seed=1)
+        assert len(g.schedulable_operations) == 50
+
+    def test_deterministic(self):
+        a = random_layered_cdfg(40, seed=7)
+        b = random_layered_cdfg(40, seed=7)
+        assert to_json(a) == to_json(b)
+
+    def test_seed_changes_graph(self):
+        a = random_layered_cdfg(40, seed=7)
+        b = random_layered_cdfg(40, seed=8)
+        assert to_json(a) != to_json(b)
+
+    def test_validates(self):
+        random_layered_cdfg(100, seed=3).validate()
+
+    def test_every_op_has_an_operand(self):
+        g = random_layered_cdfg(60, seed=5)
+        for node in g.schedulable_operations:
+            assert g.data_predecessors(node), f"{node} has no operand"
+
+    def test_zero_ops_rejected(self):
+        with pytest.raises(CDFGError):
+            random_layered_cdfg(0, seed=1)
+
+    def test_single_op(self):
+        g = random_layered_cdfg(1, seed=1)
+        assert len(g.schedulable_operations) == 1
+
+    def test_custom_inputs_and_layers(self):
+        g = random_layered_cdfg(30, seed=2, num_inputs=5, num_layers=6)
+        assert len(g.primary_inputs) == 5
+
+    @given(st.integers(1, 120), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_size_property(self, num_ops, seed):
+        g = random_layered_cdfg(num_ops, seed)
+        assert len(g.schedulable_operations) == num_ops
+        g.validate()
+
+
+class TestBackboneDesign:
+    def test_exact_critical_path_and_values(self):
+        g = backbone_design("d", num_values=40, critical_path=12, seed=1)
+        assert critical_path_length(g) == 12
+        assert g.num_variables == 40
+
+    def test_deterministic(self):
+        a = backbone_design("d", 35, 10, seed=4)
+        b = backbone_design("d", 35, 10, seed=4)
+        assert to_json(a) == to_json(b)
+
+    def test_minimum_feasible(self):
+        g = backbone_design("d", num_values=6, critical_path=5, seed=1)
+        assert critical_path_length(g) == 5
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(CDFGError):
+            backbone_design("d", num_values=5, critical_path=5, seed=1)
+        with pytest.raises(CDFGError):
+            backbone_design("d", num_values=5, critical_path=0, seed=1)
+
+    def test_op_cycle_respected(self):
+        g = backbone_design(
+            "d", 20, 6, seed=2, op_cycle=(OpType.MUL, OpType.SUB)
+        )
+        assert g.op("b0") is OpType.MUL
+        assert g.op("b1") is OpType.SUB
+
+    def test_has_output(self):
+        g = backbone_design("d", 25, 8, seed=3)
+        assert "y" in g
+        assert g.op("y") is OpType.OUTPUT
+
+    @given(
+        st.integers(2, 40),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_cp_and_values(self, critical_path, seed):
+        num_values = critical_path + 1 + (seed % 20)
+        g = backbone_design("p", num_values, critical_path, seed)
+        assert critical_path_length(g) == critical_path
+        assert g.num_variables == num_values
+
+
+class TestEmbedInHost:
+    def test_core_preserved(self):
+        core = backbone_design("core", 20, 6, seed=1)
+        merged = embed_in_host(core, host_ops=60, seed=9)
+        for node in core.operations:
+            assert f"core/{node}" in merged
+            assert merged.op(f"core/{node}") is core.op(node)
+
+    def test_core_edges_preserved(self):
+        core = backbone_design("core", 20, 6, seed=1)
+        merged = embed_in_host(core, host_ops=60, seed=9)
+        for src, dst in core.edges():
+            assert (f"core/{src}", f"core/{dst}") in merged.edges()
+
+    def test_host_consumes_core_outputs(self):
+        core = backbone_design("core", 20, 6, seed=1)
+        merged = embed_in_host(core, host_ops=60, seed=9, attach_outputs=2)
+        cross = [
+            (u, v)
+            for u, v in merged.edges()
+            if u.startswith("core/") and not v.startswith("core/")
+        ]
+        assert cross, "host should consume at least one core output"
+
+    def test_core_fanin_untouched(self):
+        # The watermark locality lives in the core's fanin structure;
+        # embedding must not add edges INTO the core.
+        core = backbone_design("core", 20, 6, seed=1)
+        merged = embed_in_host(core, host_ops=60, seed=9)
+        into_core = [
+            (u, v)
+            for u, v in merged.edges()
+            if v.startswith("core/") and not u.startswith("core/")
+        ]
+        assert into_core == []
+
+    def test_deterministic(self):
+        core = backbone_design("core", 20, 6, seed=1)
+        a = embed_in_host(core, 60, seed=9)
+        b = embed_in_host(core, 60, seed=9)
+        assert to_json(a) == to_json(b)

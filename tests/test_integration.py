@@ -1,0 +1,186 @@
+"""Cross-module integration: the full protocol flows of Fig. 1.
+
+These tests exercise the *pipelines* the paper describes, end to end:
+embed → synthesize → strip → distribute → recover → detect, for both
+behavioral-synthesis tasks, plus the adversarial scenarios of §I.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.designs import fourth_order_parallel_iir, hyper_design
+from repro.cdfg.generators import embed_in_host, random_layered_cdfg
+from repro.core.attacks import apply_renaming, rename_attack
+from repro.core.coincidence import approx_log10_pc, exact_pc
+from repro.core.detector import scan_for_watermark, verify_by_record
+from repro.core.domain import DomainParams
+from repro.core.matching_wm import MatchingWatermarker, MatchingWMParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.list_scheduler import list_schedule
+from repro.templates.covering import cover_and_allocate
+from repro.templates.library import default_library
+from repro.timing.windows import critical_path_length
+from repro.vliw.compiler import compile_block, realize_watermark_as_code
+from repro.vliw.machine import paper_machine
+
+
+PARAMS = SchedulingWMParams(
+    domain=DomainParams(tau=5, min_domain_size=8), k=6
+)
+
+
+def test_full_scheduling_flow_fig1(alice):
+    """Fig. 1: preprocess → synthesize → remove constraints → detect."""
+    original = random_layered_cdfg(100, seed=5)
+    marker = SchedulingWatermarker(alice, PARAMS)
+
+    # Synthesis preprocessing: augment user-specific constraints.
+    marked, watermark = marker.embed(original)
+    # Off-the-shelf tool: any constraint-respecting scheduler.
+    schedule = list_schedule(marked)
+    # Constraints removed: the shipped design is `original` + schedule.
+    shipped = marked.without_temporal_edges()
+    assert shipped.temporal_edges == []
+    # Detection from the shipped artifacts.
+    result = verify_by_record(shipped, schedule, watermark, alice)
+    assert result.detected
+    assert result.confidence > 0.9
+
+
+def test_two_schedulers_both_carry_watermark(alice):
+    original = random_layered_cdfg(120, seed=6)
+    marker = SchedulingWatermarker(alice, PARAMS)
+    marked, watermark = marker.embed(original)
+    horizon = critical_path_length(marked)
+    for schedule in (
+        list_schedule(marked),
+        force_directed_schedule(marked, horizon),
+    ):
+        result = marker.verify(original, schedule, watermark)
+        assert result.fraction == 1.0
+
+
+def test_embedded_ip_scenario(alice):
+    """§I: the misappropriated core is augmented into a larger system."""
+    core = random_layered_cdfg(80, seed=8)
+    marker = SchedulingWatermarker(alice, PARAMS)
+    marked_core, watermark = marker.embed(core)
+    system = embed_in_host(marked_core, host_ops=240, seed=13, prefix="ip/")
+    system_schedule = list_schedule(system)
+    hits = scan_for_watermark(
+        system, system_schedule, watermark, alice, PARAMS.domain
+    )
+    assert hits
+    assert hits[0].result.fraction == 1.0
+
+
+def test_renamed_and_embedded(alice):
+    core = random_layered_cdfg(80, seed=9)
+    marker = SchedulingWatermarker(alice, PARAMS)
+    marked_core, watermark = marker.embed(core)
+    renamed_core, mapping = rename_attack(marked_core, seed=21)
+    system = embed_in_host(renamed_core, host_ops=160, seed=22, prefix="")
+    schedule = list_schedule(system)
+    hits = scan_for_watermark(
+        system, schedule, watermark, alice, PARAMS.domain
+    )
+    assert hits
+
+
+def test_exact_and_approx_pc_agree_in_shape(alice, iir4):
+    params = SchedulingWMParams(
+        domain=DomainParams(tau=4, min_domain_size=5)
+    )
+    marker = SchedulingWatermarker(alice, params)
+    _, wm = marker.embed(iir4)
+    exact = marker.exact_coincidence(iir4, wm)
+    approx = approx_log10_pc(iir4, wm.temporal_edges, model="uniform")
+    assert exact.log10_pc < 0 and approx < 0
+    assert abs(exact.log10_pc - approx) < 1.5
+
+
+def test_matching_flow_on_suite_design(alice):
+    design = hyper_design("Wavelet Filter")
+    c = critical_path_length(design)
+    params = MatchingWMParams(z=2, horizon=2 * c)
+    marker = MatchingWatermarker(alice, params=params)
+    marked, watermark = marker.embed(design)
+    covering, allocation = cover_and_allocate(
+        marked, default_library(), steps=2 * c, forced=watermark.enforced
+    )
+    covering.verify(marked)
+    verification = marker.verify(covering, watermark)
+    assert verification.detected
+    assert allocation.module_count >= 1
+
+
+def test_scheduling_watermark_realized_in_code(alice, iir4):
+    """§V: temporal edges become unit ops; the VLIW compilation still
+    executes sources before destinations, at near-zero cycle cost."""
+    params = SchedulingWMParams(
+        domain=DomainParams(tau=4, min_domain_size=5)
+    )
+    marker = SchedulingWatermarker(alice, params)
+    _, watermark = marker.embed(iir4)
+    machine = paper_machine()
+    base = compile_block(iir4, machine)
+    realized = realize_watermark_as_code(
+        iir4, list(watermark.temporal_edges)
+    )
+    result = compile_block(realized, machine)
+    for src, dst in watermark.temporal_edges:
+        assert result.start_cycles[src] < result.start_cycles[dst]
+    assert result.cycles <= base.cycles + len(watermark.temporal_edges)
+
+
+def test_both_watermarks_coexist(alice, iir4):
+    """One author can mark scheduling AND matching on the same design."""
+    c = critical_path_length(iir4)
+    sched_marker = SchedulingWatermarker(
+        alice,
+        SchedulingWMParams(domain=DomainParams(tau=4, min_domain_size=5)),
+    )
+    match_marker = MatchingWatermarker(
+        alice, params=MatchingWMParams(z=2, horizon=2 * c)
+    )
+    step1, sched_wm = sched_marker.embed(iir4)
+    step2, match_wm = match_marker.embed(step1)
+    schedule = list_schedule(step2, horizon=2 * c)
+    assert sched_marker.verify(iir4, schedule, sched_wm).detected
+    covering, _ = cover_and_allocate(
+        step2.without_temporal_edges(),
+        default_library(),
+        steps=2 * c,
+        forced=match_wm.enforced,
+    )
+    assert match_marker.verify(covering, match_wm).detected
+
+
+def test_distinct_authors_distinct_evidence(iir4):
+    params = SchedulingWMParams(
+        domain=DomainParams(tau=4, min_domain_size=5)
+    )
+    alice_wm = SchedulingWatermarker(
+        AuthorSignature("alice"), params
+    ).embed(iir4)[1]
+    bob_wm = SchedulingWatermarker(AuthorSignature("bob"), params).embed(
+        iir4
+    )[1]
+    assert alice_wm.temporal_edges != bob_wm.temporal_edges
+
+
+def test_serialization_roundtrip_preserves_watermark(alice, tmp_path):
+    from repro.cdfg.io import load, save
+
+    original = random_layered_cdfg(60, seed=30)
+    marker = SchedulingWatermarker(alice, PARAMS)
+    marked, watermark = marker.embed(original)
+    path = tmp_path / "marked.json"
+    save(marked, path)
+    restored = load(path)
+    schedule = list_schedule(restored)
+    result = marker.verify(original, schedule, watermark)
+    assert result.detected

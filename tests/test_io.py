@@ -1,0 +1,113 @@
+"""CDFG serialization: round trips, file IO, malformed payloads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.generators import random_layered_cdfg
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.cdfg.io import from_dict, from_json, load, save, to_dict, to_json
+from repro.cdfg.ops import OpType
+from repro.errors import CDFGError
+
+
+def sample() -> CDFG:
+    g = CDFG("sample")
+    g.add_operation("x", OpType.INPUT)
+    g.add_operation("m", OpType.MUL, latency=3)
+    g.add_operation("a", OpType.ADD, ppo=True)
+    g.add_data_edge("x", "m")
+    g.add_data_edge("m", "a")
+    g.add_temporal_edge("x", "a")
+    return g
+
+
+def graphs_equal(a: CDFG, b: CDFG) -> bool:
+    if set(a.operations) != set(b.operations):
+        return False
+    for node in a.operations:
+        if (
+            a.op(node) is not b.op(node)
+            or a.latency(node) != b.latency(node)
+            or a.is_ppo(node) != b.is_ppo(node)
+        ):
+            return False
+    edges_a = {(u, v, a.edge_kind(u, v)) for u, v in a.edges()}
+    edges_b = {(u, v, b.edge_kind(u, v)) for u, v in b.edges()}
+    return edges_a == edges_b
+
+
+def test_dict_roundtrip():
+    g = sample()
+    assert graphs_equal(g, from_dict(to_dict(g)))
+
+
+def test_json_roundtrip():
+    g = sample()
+    restored = from_json(to_json(g))
+    assert graphs_equal(g, restored)
+    assert restored.name == "sample"
+
+
+def test_latency_and_ppo_survive():
+    restored = from_json(to_json(sample()))
+    assert restored.latency("m") == 3
+    assert restored.is_ppo("a")
+
+
+def test_edge_kinds_survive():
+    restored = from_json(to_json(sample()))
+    assert restored.edge_kind("x", "a") is EdgeKind.TEMPORAL
+
+
+def test_file_roundtrip(tmp_path):
+    g = sample()
+    path = tmp_path / "design.json"
+    save(g, path)
+    assert graphs_equal(g, load(path))
+
+
+def test_malformed_payloads():
+    with pytest.raises(CDFGError):
+        from_dict({"name": "x"})  # missing keys
+    with pytest.raises(CDFGError):
+        from_dict(
+            {
+                "name": "x",
+                "nodes": [{"name": "a", "op": "NOT_AN_OP"}],
+                "edges": [],
+            }
+        )
+    with pytest.raises(CDFGError):
+        from_dict(
+            {
+                "name": "x",
+                "nodes": [{"name": "a", "op": "ADD"}],
+                "edges": [{"src": "a", "dst": "ghost", "kind": "data"}],
+            }
+        )
+
+
+def test_cyclic_payload_rejected():
+    payload = {
+        "name": "cyc",
+        "nodes": [
+            {"name": "a", "op": "ADD"},
+            {"name": "b", "op": "ADD"},
+        ],
+        "edges": [
+            {"src": "a", "dst": "b", "kind": "data"},
+            {"src": "b", "dst": "a", "kind": "data"},
+        ],
+    }
+    with pytest.raises(CDFGError):
+        from_dict(payload)
+
+
+@given(st.integers(1, 40), st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_random_graph_roundtrip_property(num_ops, seed):
+    g = random_layered_cdfg(num_ops, seed)
+    assert graphs_equal(g, from_json(to_json(g)))

@@ -1,0 +1,134 @@
+"""Second integration layer: tight budgets, partial detection, FDS guts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.designs import HYPER_SUITE, hyper_design
+from repro.cdfg.generators import embed_in_host, random_layered_cdfg
+from repro.core.domain import DomainParams
+from repro.core.matching_wm import MatchingWatermarker, MatchingWMParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.errors import InfeasibleScheduleError
+from repro.scheduling.force_directed import _tighten
+from repro.scheduling.list_scheduler import list_schedule
+from repro.templates.covering import cover_and_allocate, greedy_cover
+from repro.templates.library import default_library
+from repro.timing.windows import critical_path_length, scheduling_windows
+
+
+class TestTightBudgetMatching:
+    @pytest.mark.parametrize(
+        "name",
+        ["8th Order CF IIR", "Linear GE Cntrlr", "Modem Filter"],
+    )
+    def test_tight_budget_embeds_and_survives(self, alice, name):
+        design = hyper_design(name)
+        c = critical_path_length(design)
+        marker = MatchingWatermarker(
+            alice, params=MatchingWMParams(z=1, horizon=c)
+        )
+        marked, wm = marker.embed(design)
+        covering, allocation = cover_and_allocate(
+            marked, default_library(), steps=c, forced=wm.enforced
+        )
+        covering.verify(marked)
+        assert marker.verify(covering, wm).detected
+        assert allocation.module_count >= 1
+
+    def test_enforced_matchings_off_critical(self, alice):
+        design = hyper_design("Linear GE Cntrlr")
+        c = critical_path_length(design)
+        marker = MatchingWatermarker(
+            alice, params=MatchingWMParams(z=2, horizon=c)
+        )
+        _, wm = marker.embed(design)
+        from repro.timing.paths import laxity
+
+        lax = laxity(design)
+        for matching in wm.enforced:
+            for node in matching.assignment:
+                assert lax[node] <= c * (1 - 0.15) + 1e-9
+
+
+class TestPartialDetection:
+    def test_min_fraction_surfaces_partial_hits(self, alice):
+        from repro.core.detector import scan_for_watermark
+
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=5, min_domain_size=8), k=6
+        )
+        design = random_layered_cdfg(90, seed=42)
+        marker = SchedulingWatermarker(alice, params)
+        marked, wm = marker.embed(design)
+        schedule = list_schedule(marked)
+        # Break one constraint by hand: move a source after its target
+        # if legality allows; otherwise perturb via a legal re-schedule.
+        from repro.core.attacks import reorder_attack
+
+        outcome = reorder_attack(
+            design, schedule, wm, alice, attempts=3000, seed=5
+        )
+        if outcome.verification.fraction == 1.0:
+            pytest.skip("attack did not dent the mark for this seed")
+        full = scan_for_watermark(
+            design, outcome.schedule, wm, alice, params.domain,
+            min_fraction=1.0,
+        )
+        partial = scan_for_watermark(
+            design, outcome.schedule, wm, alice, params.domain,
+            min_fraction=0.5,
+        )
+        assert len(partial) >= len(full)
+        assert any(h.result.fraction < 1.0 for h in partial) or full
+
+
+class TestForceDirectedInternals:
+    def test_tighten_propagates_both_ways(self, iir4):
+        c = critical_path_length(iir4)
+        windows = dict(scheduling_windows(iir4, c + 2))
+        pinned = _tighten(iir4, windows, "A3", (4, 4))
+        # Predecessor A2 must finish before step 4.
+        assert pinned["A2"][1] <= 3
+        # Successor A4 cannot start before 5.
+        assert pinned["A4"][0] >= 5
+
+    def test_tighten_detects_emptied_window(self, chain5):
+        windows = dict(scheduling_windows(chain5, 5))
+        with pytest.raises(InfeasibleScheduleError):
+            _tighten(chain5, windows, "n4", (0, 0))  # n4 needs step 4
+
+
+class TestHostEmbedding:
+    def test_attach_outputs_zero(self):
+        core = random_layered_cdfg(30, seed=1)
+        merged = embed_in_host(core, host_ops=60, seed=2, attach_outputs=0)
+        cross = [
+            (u, v)
+            for u, v in merged.edges()
+            if u.startswith("core/") != v.startswith("core/")
+        ]
+        assert cross == []
+
+    def test_host_is_schedulable(self):
+        core = random_layered_cdfg(30, seed=1)
+        merged = embed_in_host(core, host_ops=60, seed=2)
+        list_schedule(merged).verify(merged)
+
+
+class TestSuiteCoverings:
+    @pytest.mark.parametrize(
+        "spec",
+        [s for s in HYPER_SUITE if s.critical_path <= 140],
+        ids=[s.name for s in HYPER_SUITE if s.critical_path <= 140],
+    )
+    def test_every_design_coverable_at_tight_budget(self, spec):
+        design = spec.factory()
+        covering = greedy_cover(design, default_library())
+        covering.verify(design)
+        c = critical_path_length(design)
+        from repro.templates.covering import allocate
+
+        allocation = allocate(design, covering, steps=c)
+        assert allocation.module_count >= 1

@@ -1,0 +1,59 @@
+"""Operation types: functionality ids, resource classes, latencies."""
+
+from __future__ import annotations
+
+from repro.cdfg.ops import (
+    FUNCTIONALITY_TABLE,
+    OpType,
+    ResourceClass,
+    functionality_id,
+)
+
+
+def test_functionality_ids_unique():
+    ids = [op.functionality_id for op in OpType]
+    assert len(ids) == len(set(ids))
+
+
+def test_paper_examples():
+    # "addition is identified with 1, multiplication with 2, etc."
+    assert functionality_id(OpType.ADD) == 1
+    assert functionality_id(OpType.MUL) == 2
+
+
+def test_functionality_table_inverse():
+    for op in OpType:
+        assert FUNCTIONALITY_TABLE[op.functionality_id] is op
+
+
+def test_io_ops():
+    assert OpType.INPUT.is_io
+    assert OpType.OUTPUT.is_io
+    assert not OpType.ADD.is_io
+    assert not OpType.INPUT.is_schedulable
+    assert OpType.ADD.is_schedulable
+
+
+def test_io_latency_zero():
+    assert OpType.INPUT.latency == 0
+    assert OpType.OUTPUT.latency == 0
+
+
+def test_resource_classes():
+    assert OpType.ADD.resource_class is ResourceClass.ALU
+    assert OpType.MUL.resource_class is ResourceClass.MULTIPLIER
+    assert OpType.LOAD.resource_class is ResourceClass.MEMORY
+    assert OpType.BRANCH.resource_class is ResourceClass.BRANCH
+    assert OpType.INPUT.resource_class is ResourceClass.IO
+
+
+def test_unit_op_is_alu():
+    # The watermark-realization op must look like ordinary ALU code.
+    assert OpType.UNIT.resource_class is ResourceClass.ALU
+    assert OpType.UNIT.latency == 1
+
+
+def test_schedulable_ops_have_positive_latency():
+    for op in OpType:
+        if op.is_schedulable:
+            assert op.latency >= 1

@@ -1,0 +1,131 @@
+"""Canonical node identification: criteria C1–C3, rename invariance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.cdfg.ops import OpType
+from repro.core.ordering import (
+    criterion_c2,
+    criterion_c3,
+    fanin_tree_within,
+    order_nodes,
+    structural_hashes,
+)
+from repro.errors import WatermarkError
+
+
+def asymmetric() -> "CDFG":  # noqa: F821 - test helper
+    # root consumes a deep chain and a shallow mul: no symmetry.
+    b = CDFGBuilder("asym")
+    x = b.input("x")
+    y = b.input("y")
+    c1 = b.const_mul(x, "c1")
+    a1 = b.add(c1, x, "a1")
+    m1 = b.mul(x, y, "m1")
+    b.add(a1, m1, "root")
+    return b.build()
+
+
+class TestCriteria:
+    def test_fanin_tree_within_clips(self, iir4):
+        universe = {"A9", "A4", "A8"}
+        tree = fanin_tree_within(iir4, "A9", 3, universe)
+        assert tree == {"A9", "A4", "A8"}
+
+    def test_c2_grows_with_distance(self, iir4):
+        universe = set(iir4.schedulable_operations)
+        k1 = criterion_c2(iir4, "A9", 1, universe)
+        k2 = criterion_c2(iir4, "A9", 2, universe)
+        assert k1 < k2
+
+    def test_c2_known_values(self, iir4):
+        universe = set(iir4.schedulable_operations)
+        assert criterion_c2(iir4, "A9", 1, universe) == 3  # A9, A4, A8
+
+    def test_c3_uses_functionality_ids(self, iir4):
+        universe = set(iir4.schedulable_operations)
+        # A9's distance-1 fanin tree is {A9, A4, A8}: 3 additions = 3.
+        assert criterion_c3(iir4, "A9", 1, universe) == 3
+        # Distance 2 adds A3, A7 (adds) and C4, C8 (const-muls, id 4).
+        assert criterion_c3(iir4, "A9", 2, universe) == 3 + 2 * 1 + 2 * 4
+
+
+class TestStructuralHashes:
+    def test_rename_invariance(self):
+        g = asymmetric()
+        renamed = g.renamed(
+            {n: f"z{i}" for i, n in enumerate(g.operations)}
+        )
+        h1 = structural_hashes(g, set(g.operations))
+        h2 = structural_hashes(renamed, set(renamed.operations))
+        assert sorted(h1.values()) == sorted(h2.values())
+
+    def test_distinguishes_asymmetric_nodes(self):
+        g = asymmetric()
+        hashes = structural_hashes(g, set(g.operations))
+        assert len(set(hashes.values())) == len(hashes)
+
+    def test_symmetric_nodes_collide(self, diamond):
+        # a and c are automorphic: identical hashes, by design.
+        hashes = structural_hashes(diamond, set(diamond.operations))
+        assert hashes["a"] == hashes["c"]
+
+
+class TestOrderNodes:
+    def test_root_must_be_in_universe(self, iir4):
+        with pytest.raises(WatermarkError):
+            order_nodes(iir4, "A9", ["A4", "A8"])
+
+    def test_universe_must_be_fanin(self, iir4):
+        with pytest.raises(WatermarkError):
+            order_nodes(iir4, "A4", ["A4", "A9"])  # A9 is downstream
+
+    def test_assigns_all_identifiers(self, iir4):
+        cone = sorted(iir4.fanin_tree("A9", 3) & set(iir4.schedulable_operations))
+        ordering = order_nodes(iir4, "A9", cone)
+        assert sorted(ordering.identifier.values()) == list(range(len(cone)))
+        assert set(ordering.nodes) == set(cone)
+
+    def test_node_for_inverse(self, iir4):
+        cone = sorted(iir4.fanin_tree("A9", 2) & set(iir4.schedulable_operations))
+        ordering = order_nodes(iir4, "A9", cone)
+        for node in cone:
+            assert ordering.node_for(ordering.identifier[node]) == node
+        with pytest.raises(WatermarkError):
+            ordering.node_for(999)
+
+    def test_c1_dominates(self, iir4):
+        # Levels from A9: A9=0 < A4/A8=1 < A3/A7=2 ... sorting is by
+        # descending key, so deeper (higher-level) nodes come first.
+        cone = sorted(iir4.fanin_tree("A9", 2) & set(iir4.schedulable_operations))
+        ordering = order_nodes(iir4, "A9", cone)
+        assert ordering.nodes[-1] == "A9"  # level 0 sorts last
+
+    def test_deterministic(self, iir4):
+        cone = sorted(iir4.fanin_tree("A9", 4) & set(iir4.schedulable_operations))
+        a = order_nodes(iir4, "A9", cone)
+        b = order_nodes(fourth_order_parallel_iir(), "A9", cone)
+        assert a.nodes == b.nodes
+
+    def test_rename_invariant_on_asymmetric_graph(self):
+        g = asymmetric()
+        mapping = {n: f"q{i}" for i, n in enumerate(sorted(g.operations))}
+        renamed = g.renamed(mapping)
+        sched = [n for n in g.schedulable_operations]
+        ordering = order_nodes(g, "root", sched)
+        renamed_ordering = order_nodes(
+            renamed, mapping["root"], [mapping[n] for n in sched]
+        )
+        assert tuple(mapping[n] for n in ordering.nodes) == renamed_ordering.nodes
+        assert ordering.unambiguous
+        assert renamed_ordering.unambiguous
+
+    def test_ambiguity_flag_on_symmetric_graph(self, iir4):
+        # The two IIR biquads are automorphic: C1..C3 + hash cannot
+        # separate e.g. A4 from A8 below the output adder.
+        cone = sorted(iir4.fanin_tree("A9", 4) & set(iir4.schedulable_operations))
+        ordering = order_nodes(iir4, "A9", cone)
+        assert not ordering.unambiguous

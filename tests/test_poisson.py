@@ -1,0 +1,102 @@
+"""Window placement models: pmf shapes and order probabilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.poisson import (
+    order_probability,
+    truncated_poisson_pmf,
+    uniform_pmf,
+    window_pmf,
+)
+
+
+class TestPmfs:
+    def test_uniform_sums_to_one(self):
+        for width in (1, 2, 5, 17):
+            assert math.isclose(sum(uniform_pmf(width)), 1.0)
+
+    def test_poisson_sums_to_one(self):
+        for width in (1, 2, 5, 17):
+            assert math.isclose(
+                sum(truncated_poisson_pmf(width, 1.0)), 1.0
+            )
+
+    def test_poisson_biases_early_steps(self):
+        pmf = truncated_poisson_pmf(6, lam=1.0)
+        assert pmf[0] > pmf[3] > pmf[5]
+
+    def test_large_lambda_shifts_mass(self):
+        early = truncated_poisson_pmf(8, lam=0.5)
+        late = truncated_poisson_pmf(8, lam=4.0)
+        assert early[0] > late[0]
+
+    def test_width_one_is_certain(self):
+        assert truncated_poisson_pmf(1, 1.0) == [1.0]
+        assert uniform_pmf(1) == [1.0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            uniform_pmf(0)
+        with pytest.raises(ValueError):
+            truncated_poisson_pmf(0, 1.0)
+        with pytest.raises(ValueError):
+            truncated_poisson_pmf(3, 0.0)
+        with pytest.raises(ValueError):
+            window_pmf(3, model="gaussian")
+
+    def test_window_pmf_dispatch(self):
+        assert window_pmf(4, "uniform") == uniform_pmf(4)
+        assert window_pmf(4, "poisson", lam=2.0) == truncated_poisson_pmf(
+            4, 2.0
+        )
+
+
+class TestOrderProbability:
+    def test_symmetric_windows_uniform(self):
+        # Same window [0, 1]: P(a < b) = P(a=0, b=1) = 1/4.
+        p = order_probability((0, 1), (0, 1), model="uniform")
+        assert math.isclose(p, 0.25)
+
+    def test_disjoint_windows_certain(self):
+        assert order_probability((0, 1), (5, 6)) == 1.0
+
+    def test_disjoint_windows_impossible(self):
+        assert order_probability((5, 6), (0, 1)) == 0.0
+
+    def test_singleton_windows(self):
+        assert order_probability((2, 2), (3, 3)) == 1.0
+        assert order_probability((3, 3), (2, 2)) == 0.0
+        assert order_probability((2, 2), (2, 2)) == 0.0
+
+    def test_malformed_window(self):
+        with pytest.raises(ValueError):
+            order_probability((3, 1), (0, 2))
+
+    def test_poisson_more_confident_than_uniform_for_early_src(self):
+        # src window starts earlier; Poisson concentrates both on their
+        # early steps, raising P(src first).
+        uniform = order_probability((0, 4), (2, 6), model="uniform")
+        poisson = order_probability((0, 4), (2, 6), model="poisson", lam=1.0)
+        assert poisson > uniform
+
+    @given(
+        st.integers(0, 6),
+        st.integers(0, 6),
+        st.integers(0, 6),
+        st.integers(0, 6),
+    )
+    @settings(max_examples=60)
+    def test_complementarity_property(self, lo_a, wa, lo_b, wb):
+        a = (lo_a, lo_a + wa)
+        b = (lo_b, lo_b + wb)
+        p_ab = order_probability(a, b, model="uniform")
+        p_ba = order_probability(b, a, model="uniform")
+        # P(a<b) + P(b<a) + P(tie) = 1.
+        assert p_ab + p_ba <= 1.0 + 1e-9
+        assert 0.0 <= p_ab <= 1.0

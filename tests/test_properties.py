@@ -1,0 +1,175 @@
+"""Cross-module property tests: the invariants the system rests on.
+
+Hypothesis generates random designs and parameters; every property here
+is something the paper's security or quality argument depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.generators import backbone_design, random_layered_cdfg
+from repro.core.coincidence import exact_pc
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.errors import (
+    ConstraintEncodingError,
+    DomainSelectionError,
+    ReproError,
+)
+from repro.scheduling.enumeration import count_schedules, iter_schedules
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.schedule import Schedule
+from repro.timing.windows import critical_path_length, scheduling_windows
+
+
+def try_embed(graph, seed_tag, k=3):
+    """Embed or skip (some random graphs legitimately can't host K)."""
+    params = SchedulingWMParams(
+        domain=DomainParams(tau=4, min_domain_size=4), k=k
+    )
+    marker = SchedulingWatermarker(AuthorSignature(f"prop-{seed_tag}"), params)
+    try:
+        return marker, marker.embed(graph)
+    except (DomainSelectionError, ConstraintEncodingError):
+        return marker, None
+
+
+class TestEmbedInvariants:
+    @given(st.integers(20, 70), st.integers(0, 400))
+    @settings(max_examples=20, deadline=None)
+    def test_critical_path_never_stretches(self, num_ops, seed):
+        graph = random_layered_cdfg(num_ops, seed)
+        marker, outcome = try_embed(graph, seed)
+        if outcome is None:
+            return
+        marked, _ = outcome
+        assert critical_path_length(marked) == critical_path_length(graph)
+
+    @given(st.integers(20, 70), st.integers(0, 400))
+    @settings(max_examples=20, deadline=None)
+    def test_marked_design_schedulable_and_detectable(self, num_ops, seed):
+        graph = random_layered_cdfg(num_ops, seed)
+        marker, outcome = try_embed(graph, seed)
+        if outcome is None:
+            return
+        marked, watermark = outcome
+        schedule = list_schedule(marked)
+        schedule.verify(marked)
+        result = marker.verify(graph, schedule, watermark)
+        assert result.fraction == 1.0
+
+    @given(st.integers(20, 60), st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_watermark_is_strippable(self, num_ops, seed):
+        graph = random_layered_cdfg(num_ops, seed)
+        _, outcome = try_embed(graph, seed)
+        if outcome is None:
+            return
+        marked, watermark = outcome
+        stripped = marked.without_temporal_edges()
+        assert stripped.structure_signature() == graph.structure_signature()
+        assert len(marked.temporal_edges) == watermark.k
+
+    @given(st.integers(20, 60), st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_edges_connect_eligible_nodes(self, num_ops, seed):
+        graph = random_layered_cdfg(num_ops, seed)
+        _, outcome = try_embed(graph, seed)
+        if outcome is None:
+            return
+        _, watermark = outcome
+        eligible = set(watermark.eligible_nodes)
+        for src, dst in watermark.temporal_edges:
+            assert src in eligible and dst in eligible
+
+
+class TestCoincidenceInvariants:
+    @given(st.integers(8, 18), st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_constraints_never_increase_schedule_count(self, num_ops, seed):
+        graph = random_layered_cdfg(num_ops, seed, num_layers=4)
+        _, outcome = try_embed(graph, seed, k=2)
+        if outcome is None:
+            return
+        _, watermark = outcome
+        result = exact_pc(
+            graph,
+            watermark.temporal_edges,
+            horizon=watermark.horizon,
+            nodes=list(watermark.cone),
+        )
+        assert 0 < result.with_constraints <= result.without_constraints
+
+    @given(st.integers(4, 9), st.integers(0, 100), st.integers(0, 2))
+    @settings(max_examples=15, deadline=None)
+    def test_count_monotone_in_horizon(self, num_ops, seed, extra):
+        graph = random_layered_cdfg(num_ops, seed, num_layers=3)
+        c = critical_path_length(graph)
+        at_c = count_schedules(graph, c, limit=500_000)
+        relaxed = count_schedules(graph, c + extra, limit=5_000_000)
+        assert relaxed >= at_c >= 1
+
+    @given(st.integers(4, 10), st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_enumerated_schedules_are_valid(self, num_ops, seed):
+        graph = random_layered_cdfg(num_ops, seed, num_layers=3)
+        c = critical_path_length(graph)
+        for assignment in iter_schedules(graph, c, limit=100_000):
+            schedule = Schedule(dict(assignment))
+            for node in graph.operations:
+                schedule.start_times.setdefault(node, 0)
+            schedule.verify(graph, horizon=c)
+
+
+class TestWindowInvariants:
+    @given(st.integers(10, 60), st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_temporal_edges_only_tighten(self, num_ops, seed):
+        graph = random_layered_cdfg(num_ops, seed)
+        _, outcome = try_embed(graph, seed)
+        if outcome is None:
+            return
+        marked, watermark = outcome
+        before = scheduling_windows(graph, watermark.horizon)
+        after = scheduling_windows(marked, watermark.horizon)
+        for node in graph.operations:
+            lo_b, hi_b = before[node]
+            lo_a, hi_a = after[node]
+            assert lo_a >= lo_b
+            assert hi_a <= hi_b
+            assert lo_a <= hi_a  # still satisfiable
+
+
+class TestBackboneInvariants:
+    @given(st.integers(3, 30), st.integers(0, 500), st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_side_chains_never_stretch(self, cp, seed, extra_values):
+        num_values = cp + 1 + extra_values
+        design = backbone_design("p", num_values, cp, seed)
+        assert critical_path_length(design) == cp
+        assert design.num_variables == num_values
+        design.validate()
+
+
+class TestSignatureSeparation:
+    def test_two_authors_rarely_collide(self):
+        # Two signatures CAN derive identical constraints when both
+        # fall back to the same tiny locality whose edge space is a
+        # near-singleton; across many designs this must stay rare.
+        collisions = 0
+        comparisons = 0
+        for seed in range(12):
+            graph = random_layered_cdfg(60, seed)
+            _, a = try_embed(graph, "alice")
+            _, b = try_embed(graph, "bob")
+            if a is None or b is None:
+                continue
+            comparisons += 1
+            if a[1].temporal_edges == b[1].temporal_edges:
+                collisions += 1
+        assert comparisons >= 6
+        assert collisions <= comparisons // 3

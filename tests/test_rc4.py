@@ -1,0 +1,122 @@
+"""RC4 stream cipher: published vectors, determinism, error paths."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.rc4 import RC4, drop_n, keystream_bits
+
+# Published RC4 test vectors (key, plaintext, ciphertext hex).
+VECTORS = [
+    (b"Key", b"Plaintext", "bbf316e8d940af0ad3"),
+    (b"Wiki", b"pedia", "1021bf0420"),
+    (b"Secret", b"Attack at dawn", "45a01f645fc35b383552544b9bf5"),
+]
+
+
+@pytest.mark.parametrize("key,plaintext,expected", VECTORS)
+def test_published_vectors(key, plaintext, expected):
+    assert RC4(key).encrypt(plaintext).hex() == expected
+
+
+def test_keystream_vector_key():
+    # Keystream = ciphertext XOR plaintext for the "Key" vector.
+    expected = bytes(
+        c ^ p for c, p in zip(bytes.fromhex("bbf316e8d940af0ad3"), b"Plaintext")
+    )
+    assert RC4(b"Key").keystream(9) == expected
+
+
+def test_keystream_deterministic():
+    assert RC4(b"abc").keystream(64) == RC4(b"abc").keystream(64)
+
+
+def test_different_keys_differ():
+    assert RC4(b"abc").keystream(64) != RC4(b"abd").keystream(64)
+
+
+def test_keystream_is_stateful():
+    cipher = RC4(b"abc")
+    first = cipher.keystream(8)
+    second = cipher.keystream(8)
+    assert first != second  # overwhelmingly likely, and true for this key
+    assert RC4(b"abc").keystream(16) == first + second
+
+
+def test_empty_key_rejected():
+    with pytest.raises(ValueError):
+        RC4(b"")
+
+
+def test_oversized_key_rejected():
+    with pytest.raises(ValueError):
+        RC4(b"x" * 257)
+
+
+def test_max_size_key_accepted():
+    assert len(RC4(b"x" * 256).keystream(4)) == 4
+
+
+def test_negative_keystream_rejected():
+    with pytest.raises(ValueError):
+        RC4(b"k").keystream(-1)
+
+
+def test_zero_keystream():
+    assert RC4(b"k").keystream(0) == b""
+
+
+def test_drop_n_advances_stream():
+    base = RC4(b"key")
+    base.keystream(16)
+    rest = base.keystream(8)
+    dropped = drop_n(RC4(b"key"), 16)
+    assert dropped.keystream(8) == rest
+
+
+def test_drop_n_negative_rejected():
+    with pytest.raises(ValueError):
+        drop_n(RC4(b"key"), -1)
+
+
+def test_iterator_protocol():
+    cipher = RC4(b"key")
+    taken = [b for _, b in zip(range(10), iter(RC4(b"key")))]
+    assert bytes(taken) == cipher.keystream(10)
+
+
+def test_encrypt_roundtrip():
+    message = b"the quick brown fox"
+    ciphertext = RC4(b"k1").encrypt(message)
+    assert RC4(b"k1").encrypt(ciphertext) == message
+
+
+def test_keystream_bits_count_and_values():
+    bits = list(keystream_bits(b"Key", 24))
+    assert len(bits) == 24
+    assert set(bits) <= {0, 1}
+    # First three bytes of the "Key" keystream are EB 9F 77.
+    first_byte = int("".join(map(str, bits[:8])), 2)
+    assert first_byte == 0xEB
+
+
+@given(st.binary(min_size=1, max_size=256), st.integers(0, 128))
+def test_keystream_length_property(key, n):
+    assert len(RC4(key).keystream(n)) == n
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(max_size=64))
+def test_encrypt_involution_property(key, message):
+    assert RC4(key).encrypt(RC4(key).encrypt(message)) == message
+
+
+def test_byte_distribution_is_plausible():
+    # Crude sanity check: over 64 KiB, every byte value should appear.
+    counts = [0] * 256
+    cipher = RC4(b"distribution-check")
+    for _ in range(65536):
+        counts[cipher.next_byte()] += 1
+    assert min(counts) > 0
+    assert max(counts) < 65536 // 32

@@ -1,0 +1,125 @@
+"""Watermark record serialization round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.domain import DomainParams
+from repro.core.matching_wm import MatchingWatermarker, MatchingWMParams
+from repro.core.records import (
+    load_record,
+    load_records,
+    matching_watermark_from_dict,
+    matching_watermark_to_dict,
+    save_record,
+    save_records,
+    scheduling_watermark_from_dict,
+    scheduling_watermark_to_dict,
+)
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.errors import WatermarkError
+from repro.timing.windows import critical_path_length
+
+
+@pytest.fixture
+def sched_wm(alice, iir4):
+    params = SchedulingWMParams(domain=DomainParams(tau=4, min_domain_size=5))
+    return SchedulingWatermarker(alice, params).embed(iir4)[1]
+
+
+@pytest.fixture
+def match_wm(alice, iir4):
+    params = MatchingWMParams(z=2, horizon=2 * critical_path_length(iir4))
+    return MatchingWatermarker(alice, params=params).embed(iir4)[1]
+
+
+class TestSchedulingRecord:
+    def test_dict_roundtrip(self, sched_wm):
+        restored = scheduling_watermark_from_dict(
+            scheduling_watermark_to_dict(sched_wm)
+        )
+        assert restored == sched_wm
+
+    def test_file_roundtrip(self, sched_wm, tmp_path):
+        path = tmp_path / "wm.json"
+        save_record(sched_wm, path)
+        assert load_record(path) == sched_wm
+
+    def test_json_is_plain(self, sched_wm, tmp_path):
+        path = tmp_path / "wm.json"
+        save_record(sched_wm, path)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "scheduling"
+        assert payload["schema"] == 1
+
+    def test_tau_preserved(self, sched_wm, tmp_path):
+        path = tmp_path / "wm.json"
+        save_record(sched_wm, path)
+        assert load_record(path).tau == sched_wm.tau
+
+    def test_wrong_kind_rejected(self, sched_wm):
+        payload = scheduling_watermark_to_dict(sched_wm)
+        payload["kind"] = "matching"
+        with pytest.raises(WatermarkError):
+            scheduling_watermark_from_dict(payload)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(WatermarkError):
+            scheduling_watermark_from_dict({"kind": "scheduling"})
+
+
+class TestMatchingRecord:
+    def test_dict_roundtrip(self, match_wm):
+        restored = matching_watermark_from_dict(
+            matching_watermark_to_dict(match_wm)
+        )
+        assert restored == match_wm
+
+    def test_file_roundtrip(self, match_wm, tmp_path):
+        path = tmp_path / "mwm.json"
+        save_record(match_wm, path)
+        restored = load_record(path)
+        assert restored == match_wm
+        # Template structure survives.
+        assert (
+            restored.enforced[0].template.name
+            == match_wm.enforced[0].template.name
+        )
+
+
+class TestMultiRecords:
+    def test_mixed_list_roundtrip(self, sched_wm, match_wm, tmp_path):
+        path = tmp_path / "all.json"
+        save_records([sched_wm, match_wm], path)
+        restored = load_records(path)
+        assert restored == [sched_wm, match_wm]
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"kind": "alien"}]))
+        with pytest.raises(WatermarkError):
+            load_records(path)
+
+    def test_unknown_single_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "alien"}))
+        with pytest.raises(WatermarkError):
+            load_record(path)
+
+
+class TestRecordDrivenVerification:
+    def test_verification_after_roundtrip(self, alice, iir4, tmp_path):
+        from repro.scheduling.list_scheduler import list_schedule
+
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=5)
+        )
+        marker = SchedulingWatermarker(alice, params)
+        marked, watermark = marker.embed(iir4)
+        schedule = list_schedule(marked)
+        path = tmp_path / "wm.json"
+        save_record(watermark, path)
+        result = marker.verify(iir4, schedule, load_record(path))
+        assert result.detected

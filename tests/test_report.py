@@ -1,0 +1,45 @@
+"""Report rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import percent, render_table, signed_percent
+
+
+def test_render_alignment():
+    out = render_table(
+        ["name", "value"],
+        [["short", 1], ["a-much-longer-name", 22]],
+        title="demo",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    # All data rows share the separator width.
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_render_without_title():
+    out = render_table(["a"], [["x"]])
+    assert out.splitlines()[0].startswith("a")
+
+
+def test_row_width_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_cells_stringified():
+    out = render_table(["n"], [[3.5], [None]])
+    assert "3.5" in out and "None" in out
+
+
+def test_percent():
+    assert percent(0.031) == "3.1%"
+    assert percent(0.5, digits=0) == "50%"
+
+
+def test_signed_percent():
+    assert signed_percent(0.05) == "+5.0%"
+    assert signed_percent(-0.012) == "-1.2%"

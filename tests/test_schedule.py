@@ -1,0 +1,119 @@
+"""Schedule object: verification, resource usage, ordering predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.ops import OpType, ResourceClass
+from repro.errors import SchedulingError
+from repro.scheduling.resources import ResourceSet
+from repro.scheduling.schedule import Schedule
+
+
+def test_start_and_missing_node(diamond):
+    s = Schedule({"x": 0, "a": 0, "c": 0, "out": 1})
+    assert s.start("a") == 0
+    with pytest.raises(SchedulingError):
+        s.start("ghost")
+
+
+def test_makespan(diamond):
+    s = Schedule({"x": 0, "a": 0, "c": 0, "out": 1})
+    assert s.makespan(diamond) == 2
+
+
+def test_verify_valid(diamond):
+    Schedule({"x": 0, "a": 0, "c": 0, "out": 1}).verify(diamond)
+
+
+def test_verify_missing_node(diamond):
+    with pytest.raises(SchedulingError, match="missing"):
+        Schedule({"x": 0, "a": 0, "c": 0}).verify(diamond)
+
+
+def test_verify_negative_start(diamond):
+    with pytest.raises(SchedulingError, match="negative"):
+        Schedule({"x": 0, "a": -1, "c": 0, "out": 1}).verify(diamond)
+
+
+def test_verify_precedence_violation(diamond):
+    with pytest.raises(SchedulingError, match="precedence"):
+        Schedule({"x": 0, "a": 1, "c": 0, "out": 1}).verify(diamond)
+
+
+def test_verify_horizon(diamond):
+    s = Schedule({"x": 0, "a": 0, "c": 1, "out": 2})
+    s.verify(diamond, horizon=3)
+    with pytest.raises(SchedulingError, match="horizon"):
+        s.verify(diamond, horizon=2)
+
+
+def test_verify_temporal_edges_enforced(diamond):
+    diamond.add_temporal_edge("c", "a")
+    good = Schedule({"x": 0, "a": 1, "c": 0, "out": 2})
+    good.verify(diamond)
+    bad = Schedule({"x": 0, "a": 0, "c": 0, "out": 1})
+    with pytest.raises(SchedulingError, match="temporal"):
+        bad.verify(diamond)
+
+
+def test_verify_resources(diamond):
+    tight = ResourceSet({ResourceClass.MULTIPLIER: 1})
+    concurrent = Schedule({"x": 0, "a": 0, "c": 0, "out": 1})
+    with pytest.raises(SchedulingError, match="resource"):
+        concurrent.verify(diamond, resources=tight)
+    serial = Schedule({"x": 0, "a": 0, "c": 1, "out": 2})
+    serial.verify(diamond, resources=tight)
+
+
+def test_is_valid_boolean(diamond):
+    assert Schedule({"x": 0, "a": 0, "c": 0, "out": 1}).is_valid(diamond)
+    assert not Schedule({"x": 0}).is_valid(diamond)
+
+
+def test_step_usage_multicycle():
+    b = CDFGBuilder()
+    x = b.input("x")
+    b.op("m", OpType.MUL, x, latency=3)
+    g = b.build()
+    usage = Schedule({"x": 0, "m": 1}).step_usage(g)
+    assert usage == {
+        1: {ResourceClass.MULTIPLIER: 1},
+        2: {ResourceClass.MULTIPLIER: 1},
+        3: {ResourceClass.MULTIPLIER: 1},
+    }
+
+
+def test_io_never_uses_units(diamond):
+    usage = Schedule({"x": 0, "a": 0, "c": 0, "out": 1}).step_usage(diamond)
+    for per_step in usage.values():
+        assert ResourceClass.IO not in per_step
+
+
+def test_implied_units(diamond):
+    s = Schedule({"x": 0, "a": 0, "c": 0, "out": 1})
+    assert s.implied_units(diamond) == {
+        ResourceClass.MULTIPLIER: 2,
+        ResourceClass.ALU: 1,
+    }
+
+
+def test_satisfies_order():
+    s = Schedule({"a": 1, "b": 3})
+    assert s.satisfies_order("a", "b")
+    assert not s.satisfies_order("b", "a")
+    assert not s.satisfies_order("a", "a")
+
+
+def test_copy_and_from_mapping():
+    s = Schedule.from_mapping({"a": 1})
+    clone = s.copy()
+    clone.start_times["a"] = 9
+    assert s.start("a") == 1
+
+
+def test_ignores_foreign_nodes_in_makespan(diamond):
+    # Schedules may cover a larger design than the CDFG being queried.
+    s = Schedule({"x": 0, "a": 0, "c": 0, "out": 1, "foreign": 99})
+    assert s.makespan(diamond) == 2

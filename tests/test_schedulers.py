@@ -1,0 +1,174 @@
+"""Schedulers: list, force-directed, exact — legality and quality."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.generators import random_layered_cdfg
+from repro.cdfg.ops import OpType, ResourceClass
+from repro.errors import InfeasibleScheduleError
+from repro.scheduling.exact import exact_schedule, minimum_cost_schedule
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import UNLIMITED, ResourceSet
+from repro.timing.windows import critical_path_length
+
+
+class TestListScheduler:
+    def test_unlimited_achieves_critical_path(self, iir4):
+        s = list_schedule(iir4)
+        s.verify(iir4)
+        assert s.makespan(iir4) == critical_path_length(iir4)
+
+    def test_resource_constrained_legal(self, iir4):
+        rs = ResourceSet(
+            {ResourceClass.ALU: 1, ResourceClass.MULTIPLIER: 1}
+        )
+        s = list_schedule(iir4, resources=rs)
+        s.verify(iir4, resources=rs)
+
+    def test_serialization_under_single_unit(self, diamond):
+        rs = ResourceSet({ResourceClass.MULTIPLIER: 1})
+        s = list_schedule(diamond, resources=rs)
+        s.verify(diamond, resources=rs)
+        assert s.makespan(diamond) == 3  # a, c serialized, then out
+
+    def test_horizon_enforced(self, diamond):
+        rs = ResourceSet({ResourceClass.MULTIPLIER: 1})
+        with pytest.raises(InfeasibleScheduleError):
+            list_schedule(diamond, resources=rs, horizon=2)
+
+    def test_honors_temporal_edges(self, iir4):
+        marked = iir4.copy()
+        marked.add_temporal_edge("C6", "C3")
+        s = list_schedule(marked)
+        s.verify(marked)
+        assert s.start("C6") < s.start("C3")
+
+    def test_multicycle_ops(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        m = b.op("m", OpType.MUL, x, latency=3)
+        b.op("a", OpType.ADD, m)
+        g = b.build()
+        s = list_schedule(g)
+        s.verify(g)
+        assert s.start("a") >= 3
+
+    def test_multicycle_unit_held(self):
+        # Two 2-cycle muls on one multiplier cannot overlap.
+        b = CDFGBuilder()
+        x = b.input("x")
+        b.op("m1", OpType.MUL, x, latency=2)
+        b.op("m2", OpType.MUL, x, latency=2)
+        g = b.build()
+        rs = ResourceSet({ResourceClass.MULTIPLIER: 1})
+        s = list_schedule(g, resources=rs)
+        s.verify(g, resources=rs)
+        assert abs(s.start("m1") - s.start("m2")) >= 2
+
+    @given(st.integers(1, 50), st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_always_legal(self, num_ops, seed):
+        g = random_layered_cdfg(num_ops, seed)
+        s = list_schedule(g)
+        s.verify(g)
+        assert s.makespan(g) == critical_path_length(g)
+
+    @given(st.integers(2, 40), st.integers(0, 1000), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_property_resource_legal(self, num_ops, seed, units):
+        g = random_layered_cdfg(num_ops, seed)
+        rs = ResourceSet(
+            {
+                ResourceClass.ALU: units,
+                ResourceClass.MULTIPLIER: units,
+                ResourceClass.MEMORY: units,
+                ResourceClass.BRANCH: units,
+            }
+        )
+        s = list_schedule(g, resources=rs)
+        s.verify(g, resources=rs)
+
+
+class TestForceDirected:
+    def test_legal_at_critical_path(self, iir4):
+        c = critical_path_length(iir4)
+        s = force_directed_schedule(iir4, c)
+        s.verify(iir4, horizon=c)
+
+    def test_balances_with_slack(self, iir4):
+        c = critical_path_length(iir4)
+        tight = force_directed_schedule(iir4, c)
+        relaxed = force_directed_schedule(iir4, c + 4)
+        # Extra steps should never increase the implied unit count.
+        for cls, count in relaxed.implied_units(iir4).items():
+            assert count <= tight.implied_units(iir4).get(cls, 0)
+
+    def test_beats_or_matches_asap_on_multipliers(self, iir4):
+        # ASAP fires all 8 const-muls at step 0 (8 multipliers); FDS at
+        # C should do strictly better.
+        c = critical_path_length(iir4)
+        s = force_directed_schedule(iir4, c)
+        assert s.implied_units(iir4)[ResourceClass.MULTIPLIER] < 8
+
+    def test_horizon_below_cp_rejected(self, iir4):
+        with pytest.raises(InfeasibleScheduleError):
+            force_directed_schedule(iir4, critical_path_length(iir4) - 1)
+
+    def test_honors_temporal_edges(self, iir4):
+        marked = iir4.copy()
+        marked.add_temporal_edge("C6", "C3")
+        c = critical_path_length(marked)
+        s = force_directed_schedule(marked, c)
+        s.verify(marked, horizon=c)
+        assert s.start("C6") < s.start("C3")
+
+    @given(st.integers(2, 25), st.integers(0, 1000), st.integers(0, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_property_legal(self, num_ops, seed, extra):
+        g = random_layered_cdfg(num_ops, seed)
+        horizon = critical_path_length(g) + extra
+        s = force_directed_schedule(g, horizon)
+        s.verify(g, horizon=horizon)
+
+
+class TestExact:
+    def test_feasible_found(self, diamond):
+        rs = ResourceSet({ResourceClass.MULTIPLIER: 1})
+        s = exact_schedule(diamond, horizon=3, resources=rs)
+        s.verify(diamond, resources=rs, horizon=3)
+
+    def test_infeasible_detected(self, diamond):
+        rs = ResourceSet({ResourceClass.MULTIPLIER: 1})
+        with pytest.raises(InfeasibleScheduleError):
+            exact_schedule(diamond, horizon=2, resources=rs)
+
+    def test_unlimited_matches_cp(self, iir4):
+        c = critical_path_length(iir4)
+        s = exact_schedule(iir4, horizon=c, resources=UNLIMITED)
+        assert s.makespan(iir4) <= c
+
+    def test_minimum_cost_beats_asap(self, iir4):
+        c = critical_path_length(iir4)
+        schedule, cost = minimum_cost_schedule(iir4, c + 2)
+        schedule.verify(iir4, horizon=c + 2)
+        fds = force_directed_schedule(iir4, c + 2)
+        from repro.scheduling.exact import DEFAULT_UNIT_COSTS
+
+        fds_cost = sum(
+            DEFAULT_UNIT_COSTS.get(cls, 1.0) * n
+            for cls, n in fds.implied_units(iir4).items()
+        )
+        assert cost <= fds_cost
+
+    def test_minimum_cost_infeasible(self, chain5):
+        with pytest.raises(InfeasibleScheduleError):
+            minimum_cost_schedule(chain5, 4)
+
+    def test_exact_on_diamond_minimizes_multipliers(self, diamond):
+        schedule, cost = minimum_cost_schedule(diamond, 3)
+        assert schedule.implied_units(diamond)[ResourceClass.MULTIPLIER] == 1

@@ -1,0 +1,203 @@
+"""Scheduling watermark: Fig. 2 protocol end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.generators import random_layered_cdfg
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import (
+    SchedulingWatermarker,
+    SchedulingWMParams,
+)
+from repro.crypto.signature import AuthorSignature
+from repro.errors import DomainSelectionError
+from repro.scheduling.list_scheduler import list_schedule
+from repro.timing.paths import laxity
+from repro.timing.windows import critical_path_length, scheduling_windows
+
+
+@pytest.fixture
+def marker(alice):
+    return SchedulingWatermarker(
+        alice,
+        SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=5),
+            epsilon=0.15,
+        ),
+    )
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedulingWMParams(k_fraction=0.0)
+        with pytest.raises(ValueError):
+            SchedulingWMParams(k=0)
+        with pytest.raises(ValueError):
+            SchedulingWMParams(epsilon=1.0)
+        with pytest.raises(ValueError):
+            SchedulingWMParams(tau_prime_min=1)
+
+
+class TestEmbed:
+    def test_embeds_temporal_edges(self, iir4, marker):
+        marked, wm = marker.embed(iir4)
+        assert wm.k >= 1
+        assert set(marked.temporal_edges) == set(wm.temporal_edges)
+        assert iir4.temporal_edges == []  # original untouched
+
+    def test_edges_inside_domain(self, iir4, marker):
+        _, wm = marker.embed(iir4)
+        for src, dst in wm.temporal_edges:
+            assert src in wm.selected_nodes
+            assert dst in wm.selected_nodes
+
+    def test_critical_path_unchanged(self, iir4, marker):
+        marked, wm = marker.embed(iir4)
+        assert critical_path_length(marked) == critical_path_length(iir4)
+        assert wm.critical_path == critical_path_length(iir4)
+
+    def test_eligible_nodes_have_slack(self, iir4, marker):
+        _, wm = marker.embed(iir4)
+        lax = laxity(iir4)
+        c = critical_path_length(iir4)
+        threshold = c * (1 - marker.params.epsilon)
+        for node in wm.eligible_nodes:
+            assert lax[node] <= threshold
+
+    def test_eligible_windows_overlap(self, iir4, marker):
+        _, wm = marker.embed(iir4)
+        windows = scheduling_windows(iir4, wm.horizon)
+        from repro.timing.windows import windows_overlap
+
+        for node in wm.eligible_nodes:
+            assert any(
+                windows_overlap(windows[node], windows[other])
+                for other in wm.eligible_nodes
+                if other != node
+            )
+
+    def test_deterministic(self, iir4, alice):
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=5)
+        )
+        wm1 = SchedulingWatermarker(alice, params).embed(iir4)[1]
+        wm2 = SchedulingWatermarker(alice, params).embed(iir4)[1]
+        assert wm1.temporal_edges == wm2.temporal_edges
+        assert wm1.root == wm2.root
+
+    def test_signature_specific(self, iir4):
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=5)
+        )
+        marks = {
+            SchedulingWatermarker(
+                AuthorSignature(f"author-{i}"), params
+            ).embed(iir4)[1].temporal_edges
+            for i in range(8)
+        }
+        assert len(marks) > 1
+
+    def test_edge_ids_match_cone_positions(self, iir4, marker):
+        _, wm = marker.embed(iir4)
+        for (src, dst), (src_id, dst_id) in zip(
+            wm.temporal_edges, wm.temporal_edge_ids
+        ):
+            assert wm.cone[src_id] == src
+            assert wm.cone[dst_id] == dst
+
+    def test_k_override(self, iir4, alice):
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=5), k=1
+        )
+        _, wm = SchedulingWatermarker(alice, params).embed(iir4)
+        assert wm.k == 1
+
+    def test_forced_root(self, iir4, alice):
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=4)
+        )
+        _, wm = SchedulingWatermarker(alice, params).embed(
+            iir4, forced_root="A9"
+        )
+        assert wm.root == "A9"
+
+    def test_impossible_domain_raises(self, chain5, alice):
+        # A pure chain has zero scheduling freedom: nothing is eligible.
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=3)
+        )
+        with pytest.raises(DomainSelectionError):
+            SchedulingWatermarker(alice, params).embed(chain5)
+
+    def test_marked_schedulable(self, iir4, marker):
+        marked, wm = marker.embed(iir4)
+        schedule = list_schedule(marked, horizon=wm.horizon)
+        schedule.verify(marked, horizon=wm.horizon)
+
+
+class TestVerify:
+    def test_own_schedule_detected(self, iir4, marker):
+        marked, wm = marker.embed(iir4)
+        schedule = list_schedule(marked)
+        result = marker.verify(iir4, schedule, wm)
+        assert result.detected
+        assert result.fraction == 1.0
+        assert result.log10_pc < 0
+
+    def test_clean_schedule_mostly_unsatisfied(self, iir4, marker):
+        marked, wm = marker.embed(iir4)
+        clean = list_schedule(iir4)
+        result = marker.verify(iir4, clean, wm)
+        assert result.fraction < 1.0
+
+    def test_confidence_monotone_in_satisfied(self, iir4, marker):
+        marked, wm = marker.embed(iir4)
+        schedule = list_schedule(marked)
+        full = marker.verify(iir4, schedule, wm)
+        assert 0.0 < full.confidence <= 1.0
+
+    def test_missing_nodes_tolerated(self, iir4, marker):
+        # Verification against a cut design: nodes outside the cut
+        # simply cannot contribute evidence.
+        marked, wm = marker.embed(iir4)
+        schedule = list_schedule(marked)
+        cut = iir4.subgraph(
+            [n for n in iir4.operations if n not in ("C1", "C2")]
+        )
+        result = marker.verify(cut, schedule, wm)
+        assert result.total == wm.k
+
+    def test_detected_at_threshold(self, iir4, marker):
+        marked, wm = marker.embed(iir4)
+        schedule = list_schedule(marked)
+        result = marker.verify(iir4, schedule, wm)
+        assert result.detected_at(0.0)
+        assert not result.detected_at(1.1)
+
+
+class TestExactCoincidence:
+    def test_counts_shrink_with_constraints(self, iir4, marker):
+        marked, wm = marker.embed(iir4)
+        exact = marker.exact_coincidence(iir4, wm)
+        assert 0 < exact.with_constraints < exact.without_constraints
+        assert 0.0 < exact.pc < 1.0
+        assert exact.authorship_proof == 1.0 - exact.pc
+
+
+class TestEmbedMany:
+    def test_multiple_independent_marks(self, alice):
+        g = random_layered_cdfg(80, seed=11)
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=4)
+        )
+        marker = SchedulingWatermarker(alice, params)
+        marked, marks = marker.embed_many(g, 3)
+        assert len(marks) >= 2
+        assert len(marked.temporal_edges) == sum(m.k for m in marks)
+        # Each mark is verifiable on the final design.
+        schedule = list_schedule(marked)
+        for mark in marks:
+            result = marker.verify(g, schedule, mark)
+            assert result.fraction == 1.0

@@ -1,0 +1,76 @@
+"""Author signatures: key derivation, domain separation, fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.signature import STANDARD_SEED, AuthorSignature
+
+
+def test_key_is_32_bytes():
+    assert len(AuthorSignature("alice").derive_key()) == 32
+
+
+def test_same_identity_same_key():
+    assert (
+        AuthorSignature("alice").derive_key()
+        == AuthorSignature("alice").derive_key()
+    )
+
+
+def test_different_identities_differ():
+    assert (
+        AuthorSignature("alice").derive_key()
+        != AuthorSignature("bob").derive_key()
+    )
+
+
+def test_purpose_domain_separation():
+    sig = AuthorSignature("alice")
+    assert sig.derive_key("scheduling") != sig.derive_key("matching")
+    assert sig.derive_key("scheduling") != sig.derive_key()
+
+
+def test_custom_seed_changes_key():
+    default = AuthorSignature("alice")
+    custom = AuthorSignature("alice", seed=b"other-deployment")
+    assert default.derive_key() != custom.derive_key()
+    assert default.seed == STANDARD_SEED
+
+
+def test_empty_identity_rejected():
+    with pytest.raises(ValueError):
+        AuthorSignature("")
+
+
+def test_fingerprint_is_short_and_stable():
+    sig = AuthorSignature("alice")
+    assert sig.fingerprint() == sig.fingerprint()
+    assert len(sig.fingerprint()) == 16
+    int(sig.fingerprint(), 16)  # hex
+
+
+def test_signature_is_hashable_value_object():
+    assert AuthorSignature("a") == AuthorSignature("a")
+    assert hash(AuthorSignature("a")) == hash(AuthorSignature("a"))
+    assert AuthorSignature("a") != AuthorSignature("b")
+
+
+@given(st.text(min_size=1, max_size=80))
+def test_any_identity_derives_key(identity):
+    key = AuthorSignature(identity).derive_key()
+    assert len(key) == 32
+
+
+@given(
+    st.text(min_size=1, max_size=40),
+    st.text(min_size=1, max_size=40),
+)
+def test_distinct_identities_distinct_keys(a, b):
+    if a == b:
+        return
+    assert (
+        AuthorSignature(a).derive_key() != AuthorSignature(b).derive_key()
+    )

@@ -1,0 +1,93 @@
+"""Tamper-resistance model: the §IV-A worked example and its shape."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.tamper import TamperModel, paper_example
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            TamperModel(total_pairs=0, k_edges=10)
+        with pytest.raises(ValueError):
+            TamperModel(total_pairs=10, k_edges=0)
+        with pytest.raises(ValueError):
+            TamperModel(total_pairs=10, k_edges=5, mean_ratio=1.0)
+        with pytest.raises(ValueError):
+            TamperModel(10, 5).max_survivors_for(1.5)
+        with pytest.raises(ValueError):
+            TamperModel(10, 5).coincidence_after(11)
+
+
+class TestExpectedValueModel:
+    def test_paper_example_requires_majority_alteration(self):
+        model = paper_example()
+        pairs = model.pairs_to_alter(1e-6)
+        fraction = model.fraction_to_alter(1e-6)
+        # The paper reports 31 729 pairs = 63 %; our explicit model lands
+        # in the same regime: the attacker must redo most of the design.
+        assert fraction > 0.5
+        assert pairs == math.ceil(fraction * 50_000)
+
+    def test_zero_alterations_keep_full_evidence(self):
+        model = paper_example()
+        assert math.isclose(model.coincidence_after(0), 0.5**100)
+
+    def test_full_alteration_destroys_evidence(self):
+        model = paper_example()
+        assert math.isclose(model.coincidence_after(50_000), 1.0)
+
+    def test_coincidence_monotone_in_alterations(self):
+        model = paper_example()
+        values = [model.coincidence_after(m) for m in (0, 10_000, 30_000, 49_999)]
+        assert values == sorted(values)
+
+    def test_weak_target_needs_nothing(self):
+        model = TamperModel(total_pairs=100, k_edges=2, mean_ratio=0.5)
+        # 2 edges give coincidence 0.25 untouched: a target at or below
+        # the evidence budget (>= 2 survivors allowed) needs no work...
+        assert model.pairs_to_alter(0.25) == 0
+        # ...while a target *above* the untouched coincidence forces the
+        # attacker to destroy part of the evidence.
+        assert model.pairs_to_alter(0.3) > 0
+
+    def test_survivor_budget(self):
+        model = paper_example()
+        # (1/2)^s = 1e-6  ->  s = 19.93.
+        assert math.isclose(
+            model.max_survivors_for(1e-6), 19.93, rel_tol=1e-3
+        )
+
+
+class TestBinomialTail:
+    def test_tail_probability_bounds(self):
+        model = TamperModel(total_pairs=1000, k_edges=20)
+        assert model.survivor_tail_probability(0, 1) == 1.0
+        assert model.survivor_tail_probability(1000, 1) == 0.0
+        mid = model.survivor_tail_probability(500, 10)
+        assert 0.0 < mid < 1.0
+
+    def test_tail_monotone_in_alterations(self):
+        model = TamperModel(total_pairs=1000, k_edges=20)
+        tails = [
+            model.survivor_tail_probability(m, 5)
+            for m in (100, 400, 700, 950)
+        ]
+        assert tails == sorted(tails, reverse=True)
+
+    def test_confidence_variant_exceeds_expectation_variant(self):
+        model = paper_example()
+        expected = model.pairs_to_alter(1e-6)
+        confident = model.pairs_to_alter_with_confidence(1e-6, 1e-3)
+        assert confident is not None
+        # Guaranteeing the outcome takes at least as much work as
+        # achieving it in expectation.
+        assert confident >= expected * 0.9
+
+    def test_trivial_budget_returns_zero(self):
+        model = TamperModel(total_pairs=100, k_edges=2, mean_ratio=0.5)
+        assert model.pairs_to_alter_with_confidence(0.25) == 0

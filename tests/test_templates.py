@@ -1,0 +1,172 @@
+"""Template library and matcher: patterns, embeddings, PPO legality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.ops import OpType
+from repro.errors import TemplateError
+from repro.templates.library import (
+    Template,
+    TemplateNode,
+    chain_template,
+    default_library,
+    library_with_singletons,
+    singleton_template,
+)
+from repro.templates.matcher import (
+    Matching,
+    enumerate_matchings,
+    match_template_at,
+    matchings_covering,
+)
+
+
+class TestTemplateValidation:
+    def test_singleton(self):
+        t = singleton_template(OpType.ADD)
+        assert t.size == 1
+        assert t.root.op is OpType.ADD
+
+    def test_chain(self):
+        t = chain_template("mac", (OpType.ADD, OpType.MUL))
+        assert t.size == 2
+        assert t.nodes[0].children == (1,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("bad", ())
+
+    def test_bad_child_index(self):
+        with pytest.raises(TemplateError):
+            Template(
+                "bad",
+                (TemplateNode(OpType.ADD, (2,)), TemplateNode(OpType.ADD)),
+            )
+
+    def test_child_before_parent_rejected(self):
+        with pytest.raises(TemplateError):
+            Template(
+                "bad",
+                (
+                    TemplateNode(OpType.ADD),
+                    TemplateNode(OpType.ADD, (1,)),  # self-reference
+                ),
+            )
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(TemplateError):
+            Template(
+                "bad",
+                (
+                    TemplateNode(OpType.ADD, (1, 2)),
+                    TemplateNode(OpType.ADD, (2,)),
+                    TemplateNode(OpType.ADD),
+                ),
+            )
+
+    def test_orphan_rejected(self):
+        with pytest.raises(TemplateError):
+            Template(
+                "bad",
+                (TemplateNode(OpType.ADD), TemplateNode(OpType.MUL)),
+            )
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(TemplateError):
+            chain_template("bad", (OpType.ADD,), latency=0)
+
+    def test_default_library_is_multi_op(self):
+        for template in default_library():
+            assert template.size >= 2
+
+    def test_library_with_singletons(self, iir4):
+        lib = library_with_singletons(default_library(), iir4)
+        singles = {t.nodes[0].op for t in lib if t.size == 1}
+        assert OpType.ADD in singles
+        assert OpType.CONST_MUL in singles
+
+
+class TestMatcher:
+    def test_chain_matches_iir(self, iir4):
+        t1 = chain_template("T1", (OpType.ADD, OpType.ADD))
+        hits = match_template_at(iir4, t1, "A2")
+        assert [m.assignment for m in hits] == [("A2", "A1")]
+
+    def test_root_op_mismatch(self, iir4):
+        t1 = chain_template("T1", (OpType.ADD, OpType.ADD))
+        assert match_template_at(iir4, t1, "C1") == []
+
+    def test_multiple_children_choices(self, iir4):
+        # A9 has two ADD predecessors: A4 and A8.
+        t1 = chain_template("T1", (OpType.ADD, OpType.ADD))
+        hits = match_template_at(iir4, t1, "A9")
+        assert {m.assignment for m in hits} == {("A9", "A4"), ("A9", "A8")}
+
+    def test_internal_visibility_blocks(self):
+        # mid feeds both root and an external consumer: T1 cannot
+        # internalize mid.
+        b = CDFGBuilder()
+        x = b.input("x")
+        mid = b.op("mid", OpType.ADD, x)
+        b.op("root", OpType.ADD, mid)
+        b.op("ext", OpType.SUB, mid)
+        g = b.build()
+        t1 = chain_template("T1", (OpType.ADD, OpType.ADD))
+        assert match_template_at(g, t1, "root") == []
+
+    def test_ppo_blocks_internalization(self, iir4):
+        t1 = chain_template("T1", (OpType.ADD, OpType.ADD))
+        marked = iir4.copy()
+        marked.set_ppo("A1")
+        assert match_template_at(marked, t1, "A2") == []
+        # respect_ppo=False restores the matching.
+        assert match_template_at(marked, t1, "A2", respect_ppo=False)
+
+    def test_three_node_template(self, iir4):
+        t5 = Template(
+            "add3",
+            (
+                TemplateNode(OpType.ADD, (1, 2)),
+                TemplateNode(OpType.ADD),
+                TemplateNode(OpType.ADD),
+            ),
+        )
+        hits = match_template_at(iir4, t5, "A9")
+        assert {frozenset(m.assignment) for m in hits} == {
+            frozenset({"A9", "A4", "A8"})
+        }
+
+    def test_enumerate_is_deterministic(self, iir4):
+        lib = default_library()
+        a = enumerate_matchings(iir4, lib)
+        b = enumerate_matchings(iir4, lib)
+        assert [m.key() for m in a] == [m.key() for m in b]
+
+    def test_enumerate_candidates_filter(self, iir4):
+        lib = default_library()
+        inside = enumerate_matchings(
+            iir4, lib, candidates={"A2", "A1", "C2"}, min_size=2
+        )
+        for matching in inside:
+            assert matching.covered <= {"A2", "A1", "C2"}
+
+    def test_enumerate_min_size(self, iir4):
+        lib = library_with_singletons(default_library(), iir4)
+        multi = enumerate_matchings(iir4, lib, min_size=2)
+        assert all(m.template.size >= 2 for m in multi)
+
+    def test_matchings_covering_filter(self, iir4):
+        lib = default_library()
+        everything = enumerate_matchings(iir4, lib)
+        touching = matchings_covering(everything, ["A9"])
+        assert touching
+        assert all("A9" in m.covered for m in touching)
+
+    def test_matching_properties(self, iir4):
+        t1 = chain_template("T1", (OpType.ADD, OpType.ADD))
+        m = Matching(t1, ("A2", "A1"))
+        assert m.root == "A2"
+        assert m.covered == frozenset({"A1", "A2"})
+        assert m.internal_nodes == ("A1",)

@@ -1,0 +1,163 @@
+"""Timing analysis: ASAP/ALAP, windows, critical paths, laxity, levels."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.generators import random_layered_cdfg
+from repro.cdfg.ops import OpType
+from repro.errors import InfeasibleScheduleError, UnknownNodeError
+from repro.timing.paths import critical_path, laxity, levels_from_root, slack
+from repro.timing.windows import (
+    alap_schedule,
+    asap_schedule,
+    critical_path_length,
+    makespan,
+    mobility,
+    scheduling_windows,
+    windows_overlap,
+)
+
+
+class TestAsapAlap:
+    def test_chain_asap(self, chain5):
+        asap = asap_schedule(chain5)
+        assert asap == {"x": 0, "n0": 0, "n1": 1, "n2": 2, "n3": 3, "n4": 4}
+
+    def test_chain_critical_path(self, chain5):
+        assert critical_path_length(chain5) == 5
+
+    def test_chain_alap_at_cp_equals_asap(self, chain5):
+        assert alap_schedule(chain5, 5) == asap_schedule(chain5)
+
+    def test_alap_with_slack(self, chain5):
+        alap = alap_schedule(chain5, 7)
+        assert alap["n0"] == 2
+        assert alap["n4"] == 6
+
+    def test_alap_below_cp_rejected(self, chain5):
+        with pytest.raises(InfeasibleScheduleError):
+            alap_schedule(chain5, 4)
+
+    def test_diamond_windows(self, diamond):
+        windows = scheduling_windows(diamond, 3)
+        assert windows["a"] == (0, 1)
+        assert windows["c"] == (0, 1)
+        assert windows["out"] == (1, 2)
+
+    def test_mobility(self, diamond):
+        mob = mobility(diamond, 3)
+        assert mob["a"] == 1
+        assert mob["out"] == 1
+        mob_tight = mobility(diamond, 2)
+        assert mob_tight == {n: 0 for n in diamond.operations}
+
+    def test_multicycle_latency(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        m = b.op("m", OpType.MUL, x, latency=3)
+        b.op("a", OpType.ADD, m)
+        g = b.build()
+        assert critical_path_length(g) == 4
+        asap = asap_schedule(g)
+        assert asap["a"] == 3
+
+    def test_makespan_empty(self):
+        from repro.cdfg.graph import CDFG
+
+        assert makespan(CDFG(), {}) == 0
+
+    def test_temporal_edges_tighten_windows(self, two_independent_pairs):
+        g = two_independent_pairs
+        before = scheduling_windows(g, 4)
+        g.add_temporal_edge("a2", "b1")
+        after = scheduling_windows(g, 4)
+        assert after["b1"][0] > before["b1"][0]
+        assert after["a2"][1] < before["a2"][1]
+
+
+class TestWindowsOverlap:
+    def test_identical_windows(self):
+        assert windows_overlap((0, 2), (0, 2))
+
+    def test_touching_windows(self):
+        assert windows_overlap((0, 2), (2, 4))
+
+    def test_disjoint_windows(self):
+        assert not windows_overlap((0, 1), (2, 4))
+        assert not windows_overlap((2, 4), (0, 1))
+
+    def test_nested_windows(self):
+        assert windows_overlap((0, 9), (3, 4))
+
+
+class TestPaths:
+    def test_critical_path_nodes(self, chain5):
+        assert critical_path(chain5) == ["x", "n0", "n1", "n2", "n3", "n4"]
+
+    def test_critical_path_length_consistency(self, iir4):
+        path = critical_path(iir4)
+        # The path's schedulable ops sum to the critical path length.
+        total = sum(iir4.latency(n) for n in path)
+        assert total == critical_path_length(iir4)
+
+    def test_laxity_on_chain_all_critical(self, chain5):
+        lax = laxity(chain5)
+        for node in chain5.schedulable_operations:
+            assert lax[node] == 5
+
+    def test_laxity_iir(self, iir4):
+        lax = laxity(iir4)
+        assert lax["A1"] == 6  # on a longest path
+        assert lax["C4"] == 3  # C4 -> A4 -> A9
+        assert lax["C2"] == 5  # C2 -> A2 -> A3 -> A4 -> A9
+
+    def test_slack_complements_laxity(self, iir4):
+        lax = laxity(iir4)
+        slk = slack(iir4)
+        c = critical_path_length(iir4)
+        for node in iir4.operations:
+            assert lax[node] + slk[node] == c
+
+    def test_levels_from_root_chain(self, chain5):
+        levels = levels_from_root(chain5, "n4")
+        assert levels == {"n4": 0, "n3": 1, "n2": 2, "n1": 3, "n0": 4, "x": 5}
+
+    def test_levels_from_root_takes_longest_path(self):
+        # x feeds both a short and a long path into the root.
+        b = CDFGBuilder()
+        x = b.input("x")
+        m1 = b.const_mul(x, "m1")
+        m2 = b.const_mul(m1, "m2")
+        b.op("root", OpType.ADD, m2, x)
+        g = b.build()
+        levels = levels_from_root(g, "root")
+        assert levels["x"] == 3  # via m1, m2 — not the direct edge
+
+    def test_levels_only_fanin(self, iir4):
+        levels = levels_from_root(iir4, "A4")
+        assert "A9" not in levels  # A9 is downstream of A4
+        assert "C7" not in levels  # other biquad
+
+    def test_levels_unknown_root(self, iir4):
+        with pytest.raises(UnknownNodeError):
+            levels_from_root(iir4, "ghost")
+
+
+@given(st.integers(2, 60), st.integers(0, 5000), st.integers(0, 6))
+@settings(max_examples=30, deadline=None)
+def test_window_invariants_property(num_ops, seed, extra):
+    g = random_layered_cdfg(num_ops, seed)
+    c = critical_path_length(g)
+    windows = scheduling_windows(g, c + extra)
+    asap = asap_schedule(g)
+    for node, (lo, hi) in windows.items():
+        assert lo == asap[node]
+        assert lo <= hi
+        assert hi <= c + extra
+    # Laxity never exceeds the critical path.
+    for node, lax in laxity(g).items():
+        assert 0 <= lax <= c

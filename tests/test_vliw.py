@@ -1,0 +1,177 @@
+"""VLIW machine, compiler, and synthetic applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.ops import OpType, ResourceClass
+from repro.errors import VLIWError
+from repro.vliw.apps import APP_SPECS, all_apps, app_by_name, build_app
+from repro.vliw.compiler import (
+    compile_block,
+    overhead_percent,
+    realize_watermark_as_code,
+)
+from repro.vliw.machine import VLIWMachine, machine_summary, paper_machine
+
+
+class TestMachine:
+    def test_paper_configuration(self):
+        machine = paper_machine()
+        assert machine.issue_width == 4
+        assert machine.unit_count(ResourceClass.BRANCH) == 2
+        assert machine.unit_count(ResourceClass.MEMORY) == 2
+        assert machine.unit_count(ResourceClass.ALU) == 4
+
+    def test_latencies(self):
+        machine = paper_machine()
+        assert machine.latency(OpType.ADD) == 1
+        assert machine.latency(OpType.MUL) == 3
+        assert machine.latency(OpType.LOAD) == 2
+        assert machine.latency(OpType.INPUT) == 0
+
+    def test_validation(self):
+        with pytest.raises(VLIWError):
+            VLIWMachine(issue_width=0)
+        with pytest.raises(VLIWError):
+            VLIWMachine(units={ResourceClass.ALU: 0})
+
+    def test_unknown_class_raises(self):
+        machine = VLIWMachine(units={ResourceClass.ALU: 2})
+        with pytest.raises(VLIWError):
+            machine.unit_count(ResourceClass.MEMORY)
+
+    def test_summary(self):
+        summary = machine_summary(paper_machine())
+        assert summary["issue_width"] == 4
+        assert summary["units_branch"] == 2
+
+
+class TestCompiler:
+    def test_serial_chain_cycles(self):
+        b = CDFGBuilder()
+        current = b.input("x")
+        for i in range(4):
+            current = b.op(f"a{i}", OpType.ADD, current)
+        g = b.build()
+        result = compile_block(g, paper_machine())
+        assert result.cycles == 4  # fully serial adds
+
+    def test_parallel_ops_share_cycle(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        for i in range(4):
+            b.op(f"a{i}", OpType.ADD, x)
+        g = b.build()
+        result = compile_block(g, paper_machine())
+        assert result.cycles == 1  # 4 adds fit the 4-wide issue
+
+    def test_issue_width_limits(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        for i in range(8):
+            b.op(f"a{i}", OpType.ADD, x)
+        g = b.build()
+        result = compile_block(g, paper_machine())
+        assert result.cycles == 2  # 8 adds over a 4-wide machine
+
+    def test_unit_limits(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        for i in range(4):
+            b.op(f"l{i}", OpType.LOAD, x)
+        g = b.build()
+        # 2 memory units, latency-2 loads: pairs at cycles 0 and 2.
+        result = compile_block(g, paper_machine())
+        assert result.cycles == 4
+
+    def test_multicycle_dependence(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        m = b.op("m", OpType.MUL, x)
+        b.op("a", OpType.ADD, m)
+        g = b.build()
+        result = compile_block(g, paper_machine())
+        assert result.start_cycles["a"] >= 3
+        assert result.cycles == 4
+
+    def test_ilp_metric(self):
+        b = CDFGBuilder()
+        x = b.input("x")
+        for i in range(4):
+            b.op(f"a{i}", OpType.ADD, x)
+        g = b.build()
+        result = compile_block(g, paper_machine())
+        assert result.ilp == 4.0
+
+    def test_start_cycles_respect_dependences(self):
+        app = build_app(APP_SPECS[0])
+        result = compile_block(app, paper_machine())
+        for src, dst in app.edges():
+            machine = paper_machine()
+            assert (
+                result.start_cycles[dst]
+                >= result.start_cycles[src] + machine.latency(app.op(src))
+            )
+
+
+class TestWatermarkRealization:
+    def test_unit_ops_inserted(self, iir4):
+        realized = realize_watermark_as_code(iir4, [("C6", "C3")])
+        assert "__wm_unit_0" in realized
+        assert realized.op("__wm_unit_0") is OpType.UNIT
+        assert ("C6", "__wm_unit_0") in realized.edges()
+        assert ("__wm_unit_0", "C3") in realized.edges()
+
+    def test_temporal_edges_stripped(self, iir4):
+        marked = iir4.copy()
+        marked.add_temporal_edge("C6", "C3")
+        realized = realize_watermark_as_code(marked, [("C6", "C3")])
+        assert realized.temporal_edges == []
+
+    def test_compiled_order_enforced(self, iir4):
+        realized = realize_watermark_as_code(iir4, [("C6", "C3")])
+        result = compile_block(realized, paper_machine())
+        assert result.start_cycles["C6"] < result.start_cycles["C3"]
+
+    def test_overhead_small_on_wide_machine(self, iir4):
+        base = compile_block(iir4, paper_machine())
+        realized = realize_watermark_as_code(
+            iir4, [("C6", "C3"), ("C2", "C7")]
+        )
+        marked = compile_block(realized, paper_machine())
+        overhead = overhead_percent(base.cycles, marked.cycles)
+        assert 0.0 <= overhead < 50.0
+
+    def test_overhead_percent_validation(self):
+        with pytest.raises(VLIWError):
+            overhead_percent(0, 10)
+
+
+class TestApps:
+    def test_op_counts_match_table1(self):
+        for spec in APP_SPECS:
+            app = build_app(spec)
+            assert len(app.schedulable_operations) == spec.operations
+
+    def test_eight_apps(self):
+        apps = all_apps()
+        assert len(apps) == 8
+        assert "PGP" in apps
+
+    def test_lookup(self):
+        app = app_by_name("GSM")
+        assert len(app.schedulable_operations) == 802
+        with pytest.raises(KeyError):
+            app_by_name("quake3")
+
+    def test_deterministic(self):
+        from repro.cdfg.io import to_json
+
+        assert to_json(app_by_name("epic")) == to_json(app_by_name("epic"))
+
+    def test_apps_compile_with_plausible_ilp(self):
+        app = app_by_name("D/A Cnv.")
+        result = compile_block(app, paper_machine())
+        assert 1.0 < result.ilp <= 4.0

@@ -1,0 +1,118 @@
+"""E6 — resilience: confidence under faults, fallback-ladder latency.
+
+Two tables:
+
+* stress — detection confidence vs. fault rate on a marked 100-op
+  design under compound faults (edge deletion + node drops + schedule
+  jitter), the machine-checked version of the paper's robustness claim;
+* ladder — what each rung of the exact → force-directed → list ladder
+  costs and which rung wins as the instance hardens, under a shared
+  200 ms budget.
+"""
+
+from __future__ import annotations
+
+from _bench_util import get_collector, run_once
+from repro.analysis.report import percent
+from repro.cdfg.generators import random_layered_cdfg
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.resilience.budget import Budget
+from repro.resilience.campaign import stress_campaign
+from repro.resilience.pipeline import robust_schedule
+from repro.scheduling.list_scheduler import list_schedule
+from repro.timing.windows import critical_path_length
+
+PARAMS = SchedulingWMParams(
+    domain=DomainParams(tau=5, min_domain_size=8), k=6
+)
+
+STRESS_HEADERS = [
+    "fault rate", "faults/trial", "constraints held", "confidence",
+    "detected", "errors",
+]
+
+LADDER_HEADERS = ["instance", "winner", "rungs tried", "met horizon", "ms"]
+
+
+def stress_pipeline():
+    signature = AuthorSignature("alice-designs-inc")
+    marker = SchedulingWatermarker(signature, PARAMS)
+    core = random_layered_cdfg(100, seed=4242, name="core")
+    marked, watermark = marker.embed(core)
+    schedule = list_schedule(marked)
+    return stress_campaign(
+        marked.without_temporal_edges(),
+        schedule,
+        watermark,
+        rates=(0.0, 0.05, 0.10, 0.20),
+        seed=0,
+        trials=3,
+        fault_kinds=("delete_edges", "drop_nodes"),
+        jitter=True,
+        signature=signature,
+    )
+
+
+def test_stress_campaign(benchmark):
+    points = run_once(benchmark, stress_pipeline)
+    table = get_collector("resilience_stress", STRESS_HEADERS)
+    for p in points:
+        table.add(
+            percent(p.rate),
+            f"{p.faults_applied:.1f}",
+            percent(p.mean_fraction),
+            f"{p.mean_confidence:.4f}",
+            f"{p.detection_rate * p.trials:.0f}/{p.trials}",
+            p.errors,
+        )
+    table.emit("E6a: detection confidence vs. fault rate (compound faults)")
+
+    clean = points[0]
+    assert clean.rate == 0.0
+    assert clean.detection_rate == 1.0, "clean replay must always detect"
+    assert clean.errors == 0
+    # Graded degradation: the campaign finishes every rate, crash-free.
+    assert len(points) == 4
+
+
+def ladder_pipeline():
+    rows = []
+    instances = [
+        ("layered-60 (easy)", random_layered_cdfg(60, seed=9), None),
+        (
+            "layered-200 (tight horizon)",
+            random_layered_cdfg(200, seed=9, num_layers=10),
+            None,
+        ),
+    ]
+    for name, graph, horizon in instances:
+        budget = Budget(wall_ms=200.0)
+        result = robust_schedule(
+            graph,
+            horizon=horizon or critical_path_length(graph),
+            budget=budget,
+        )
+        result.schedule.verify(graph)
+        rows.append(
+            (
+                name,
+                result.scheduler,
+                len(result.attempts),
+                result.met_horizon,
+                f"{budget.elapsed_ms:.0f}",
+            )
+        )
+    return rows
+
+
+def test_fallback_ladder(benchmark):
+    rows = run_once(benchmark, ladder_pipeline)
+    table = get_collector("resilience_ladder", LADDER_HEADERS)
+    for name, winner, tried, met, ms in rows:
+        table.add(name, winner, tried, "yes" if met else "OVERRUN", ms)
+    table.emit("E6b: fallback ladder under a 200 ms shared budget")
+
+    # Every instance must come back with a legal schedule.
+    assert all(winner in ("exact", "force-directed", "list") for _, winner, *_ in rows)

@@ -13,9 +13,18 @@ design files:
                         --record wm.json
     localmark detect    --design suspect.json --schedule schedule.json \\
                         --record wm.json --author "Alice Inc."
+    localmark stress    --design marked.json --record wm.json \\
+                        --rates 0,0.05,0.1,0.2
 
 Exit status: 0 when the requested check succeeds (watermark detected /
-verified), 1 otherwise, 2 on usage errors.
+verified), 1 otherwise, 2 on usage errors.  Library failures and
+malformed input files are reported as a one-line ``error: ...`` on
+stderr (never a traceback).
+
+Resilience flags: ``embed`` and ``schedule`` accept ``--budget-ms``
+(wall-clock cap on the underlying search) and ``--fallback`` (graceful
+degradation: widened locality retries for ``embed``, the
+exact → force-directed → list scheduler ladder for ``schedule``).
 """
 
 from __future__ import annotations
@@ -37,8 +46,17 @@ from repro.core.scheduling_wm import (
 )
 from repro.crypto.signature import AuthorSignature
 from repro.errors import ReproError
+from repro.resilience.budget import Budget
+from repro.resilience.campaign import (
+    DEFAULT_RATES,
+    render_stress_table,
+    stress_campaign,
+)
+from repro.resilience.pipeline import RobustEmbedder, robust_schedule
+from repro.scheduling.exact import exact_schedule
 from repro.scheduling.force_directed import force_directed_schedule
 from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import UNLIMITED
 from repro.scheduling.schedule import Schedule
 from repro.timing.windows import critical_path_length
 
@@ -53,6 +71,18 @@ def _params_from_args(args: argparse.Namespace) -> SchedulingWMParams:
         k=args.k,
         epsilon=args.epsilon,
         eligibility=args.eligibility,
+    )
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--budget-ms", type=float, default=None, dest="budget_ms",
+        help="wall-clock budget (milliseconds) for the underlying search",
+    )
+    parser.add_argument(
+        "--fallback", action=argparse.BooleanOptionalAction, default=False,
+        help="degrade gracefully instead of failing: widened locality "
+        "retries (embed) / the scheduler fallback ladder (schedule)",
     )
 
 
@@ -89,11 +119,30 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
+    if getattr(args, "budget_ms", None) is None:
+        return None
+    if args.budget_ms <= 0:
+        raise ReproError("--budget-ms must be a positive number")
+    return Budget(wall_ms=args.budget_ms)
+
+
 def cmd_embed(args: argparse.Namespace) -> int:
     design = load_design(args.design)
     signature = AuthorSignature(args.author)
-    marker = SchedulingWatermarker(signature, _params_from_args(args))
-    marked, watermark = marker.embed(design)
+    params = _params_from_args(args)
+    budget = _budget_from_args(args)
+    if args.fallback:
+        embedder = RobustEmbedder(signature, params, budget=budget)
+        marked, watermark, widenings = embedder.embed(design)
+        if widenings:
+            print(
+                f"note: locality selection needed {widenings} "
+                f"widening(s) of the domain parameters"
+            )
+    else:
+        marker = SchedulingWatermarker(signature, params)
+        marked, watermark = marker.embed(design, budget=budget)
     save_design(marked, args.out)
     save_record(watermark, args.record)
     print(
@@ -106,11 +155,26 @@ def cmd_embed(args: argparse.Namespace) -> int:
 
 def cmd_schedule(args: argparse.Namespace) -> int:
     design = load_design(args.design)
-    if args.scheduler == "list":
+    budget = _budget_from_args(args)
+    horizon = args.horizon or critical_path_length(design)
+    if args.fallback:
+        result = robust_schedule(design, horizon=horizon, budget=budget)
+        schedule = result.schedule
+        for attempt in result.attempts:
+            if not attempt.succeeded:
+                print(f"note: {attempt.scheduler} gave up ({attempt.error})")
+        print(f"scheduler: {result.scheduler}")
+        if not result.met_horizon:
+            print(
+                f"warning: makespan {result.makespan} overran the "
+                f"requested horizon {horizon}"
+            )
+    elif args.scheduler == "list":
         schedule = list_schedule(design)
+    elif args.scheduler == "exact":
+        schedule = exact_schedule(design, horizon, UNLIMITED, budget=budget)
     else:
-        horizon = args.horizon or critical_path_length(design)
-        schedule = force_directed_schedule(design, horizon)
+        schedule = force_directed_schedule(design, horizon, budget=budget)
     payload = {"design": design.name, "start_times": schedule.start_times}
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
@@ -124,7 +188,13 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 def _load_schedule(path: str) -> Schedule:
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    return Schedule(dict(payload["start_times"]))
+    try:
+        start_times = dict(payload["start_times"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(
+            f"malformed schedule file {path!r}: no start_times mapping"
+        ) from exc
+    return Schedule(start_times)
 
 
 def _require_scheduling_record(path: str) -> SchedulingWatermark:
@@ -176,6 +246,56 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rates(text: str) -> List[float]:
+    try:
+        rates = [float(token) for token in text.split(",") if token.strip()]
+    except ValueError as exc:
+        raise ReproError(f"malformed --rates value: {text!r}") from exc
+    if not rates or any(not 0.0 <= r <= 1.0 for r in rates):
+        raise ReproError("--rates must list fractions in [0, 1]")
+    return rates
+
+
+def cmd_stress(args: argparse.Namespace) -> int:
+    if args.trials < 1:
+        raise ReproError("--trials must be >= 1")
+    design = load_design(args.design)
+    watermark = _require_scheduling_record(args.record)
+    if args.schedule is not None:
+        schedule = _load_schedule(args.schedule)
+    else:
+        # No schedule supplied: grade the design's own list schedule
+        # (the design file is expected to be the marked one, so its
+        # temporal edges steer the scheduler exactly like a tool would).
+        schedule = list_schedule(design)
+    suspect = design.without_temporal_edges()
+    rates = (
+        _parse_rates(args.rates)
+        if args.rates is not None
+        else list(DEFAULT_RATES)
+    )
+    points = stress_campaign(
+        suspect,
+        schedule,
+        watermark,
+        rates=rates,
+        seed=args.seed,
+        trials=args.trials,
+        fault_kinds=args.faults.split(","),
+        jitter=args.jitter,
+    )
+    print(
+        render_stress_table(
+            points,
+            title=(
+                f"detection confidence vs. fault rate on {design.name!r} "
+                f"({args.trials} trial(s)/rate, faults: {args.faults})"
+            ),
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="localmark",
@@ -193,16 +313,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_embed.add_argument("--out", required=True, help="marked design JSON")
     p_embed.add_argument("--record", required=True, help="watermark record JSON")
     _add_param_flags(p_embed)
+    _add_resilience_flags(p_embed)
     p_embed.set_defaults(func=cmd_embed)
 
     p_sched = sub.add_parser("schedule", help="schedule a design")
     p_sched.add_argument("--design", required=True)
     p_sched.add_argument("--out", required=True)
     p_sched.add_argument(
-        "--scheduler", choices=("list", "force-directed"), default="list"
+        "--scheduler",
+        choices=("list", "force-directed", "exact"),
+        default="list",
+        help="scheduler to run (ignored with --fallback, which walks "
+        "the exact -> force-directed -> list ladder)",
     )
     p_sched.add_argument("--horizon", type=int, default=None)
+    _add_resilience_flags(p_sched)
     p_sched.set_defaults(func=cmd_schedule)
+
+    p_stress = sub.add_parser(
+        "stress",
+        help="sweep fault rates and report detection confidence",
+    )
+    p_stress.add_argument("--design", required=True, help="marked design JSON")
+    p_stress.add_argument("--record", required=True)
+    p_stress.add_argument(
+        "--schedule", default=None,
+        help="schedule JSON to grade (default: list-schedule the design)",
+    )
+    p_stress.add_argument(
+        "--rates", default=None,
+        help="comma-separated fault rates in [0,1] "
+        "(default: 0,0.05,0.1,0.2)",
+    )
+    p_stress.add_argument("--seed", type=int, default=0)
+    p_stress.add_argument("--trials", type=int, default=3)
+    p_stress.add_argument(
+        "--faults", default="delete_edges",
+        help="comma-separated CDFG fault kinds (delete_edges, drop_nodes, "
+        "duplicate_nodes, rewire_edges, retype_ops)",
+    )
+    p_stress.add_argument(
+        "--jitter", action="store_true",
+        help="also jitter the schedule's start times at each rate",
+    )
+    p_stress.set_defaults(func=cmd_stress)
 
     p_verify = sub.add_parser(
         "verify", help="check a schedule against a watermark record"
@@ -239,7 +393,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ReproError, FileNotFoundError, json.JSONDecodeError) as exc:
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        # One-line diagnosis, never a traceback: library errors
+        # (ReproError covers scheduling, watermarking, budgets, and
+        # fault injection), unreadable files, and malformed JSON all
+        # land here.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -25,6 +25,7 @@ from repro.cdfg.graph import CDFG, EdgeKind
 from repro.core.ordering import NodeOrdering, order_nodes, structural_hashes
 from repro.crypto.bitstream import BitStream
 from repro.errors import DomainSelectionError
+from repro.resilience.budget import Budget, charge
 
 _LOCALITY_KINDS = (EdgeKind.DATA, EdgeKind.CONTROL)
 
@@ -117,6 +118,7 @@ def select_domain(
     root: str,
     bitstream: BitStream,
     params: DomainParams,
+    budget: Optional[Budget] = None,
 ) -> Domain:
     """Carve the signature-specific subtree ``T`` out of root's cone.
 
@@ -124,6 +126,9 @@ def select_domain(
     breadth-first.  At each node, inputs *within the cone* are listed in
     identifier order; the bitstream picks one mandatory input and
     includes each other input with ``include_probability``.
+
+    An optional *budget* is charged once per visited cone node and may
+    raise :class:`~repro.errors.BudgetExceededError` mid-carve.
     """
     schedulable = set(cdfg.schedulable_operations)
     cone = cdfg.fanin_tree(root, params.tau) & schedulable
@@ -135,6 +140,7 @@ def select_domain(
     queue: List[str] = [root]
     while queue:
         current = queue.pop(0)
+        charge(budget, what="select_domain")
         inputs = [
             pred
             for pred in cdfg.predecessors(current, kinds=_LOCALITY_KINDS)
@@ -173,6 +179,7 @@ def select_root_and_domain(
     max_retries: int = 16,
     forced_root: Optional[str] = None,
     roots: Optional[List[str]] = None,
+    budget: Optional[Budget] = None,
 ) -> Domain:
     """Pick a root with the bitstream and carve its domain.
 
@@ -189,7 +196,7 @@ def select_root_and_domain(
         compute the list once and avoid re-hashing the whole design.
     """
     if forced_root is not None:
-        domain = select_domain(cdfg, forced_root, bitstream, params)
+        domain = select_domain(cdfg, forced_root, bitstream, params, budget)
         if domain.size < params.min_domain_size:
             raise DomainSelectionError(
                 f"domain at forced root {forced_root!r} has only "
@@ -201,7 +208,7 @@ def select_root_and_domain(
     last_size = 0
     for _ in range(max_retries):
         root = bitstream.choice(roots)
-        domain = select_domain(cdfg, root, bitstream, params)
+        domain = select_domain(cdfg, root, bitstream, params, budget)
         if domain.size >= params.min_domain_size:
             return domain
         last_size = domain.size

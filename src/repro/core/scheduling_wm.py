@@ -44,6 +44,7 @@ from repro.core.domain import (
 from repro.crypto.bitstream import BitStream
 from repro.crypto.signature import AuthorSignature
 from repro.errors import ConstraintEncodingError, DomainSelectionError
+from repro.resilience.budget import Budget, check_deadline
 from repro.scheduling.schedule import Schedule
 from repro.timing.paths import laxity
 from repro.timing.windows import (
@@ -208,7 +209,10 @@ class SchedulingWatermarker:
     # embedding
     # ------------------------------------------------------------------
     def embed(
-        self, cdfg: CDFG, forced_root: Optional[str] = None
+        self,
+        cdfg: CDFG,
+        forced_root: Optional[str] = None,
+        budget: Optional[Budget] = None,
     ) -> Tuple[CDFG, SchedulingWatermark]:
         """Embed the watermark; returns (marked copy, watermark record).
 
@@ -216,9 +220,15 @@ class SchedulingWatermarker:
         constraint-respecting scheduler yields a watermarked schedule.
         The critical path is never lengthened (edges are only drawn when
         the constraint set stays satisfiable within the horizon).
+
+        An optional *budget* bounds the domain-selection search; its
+        exhaustion surfaces as
+        :class:`~repro.errors.BudgetExceededError`.
         """
         bitstream = BitStream(self.signature, SCHEDULING_PURPOSE)
-        return self._embed_with_bitstream(cdfg, bitstream, forced_root)
+        return self._embed_with_bitstream(
+            cdfg, bitstream, forced_root, budget=budget
+        )
 
     def _embed_with_bitstream(
         self,
@@ -226,6 +236,7 @@ class SchedulingWatermarker:
         bitstream: BitStream,
         forced_root: Optional[str] = None,
         roots: Optional[List[str]] = None,
+        budget: Optional[Budget] = None,
     ) -> Tuple[CDFG, SchedulingWatermark]:
         base_cp = critical_path_length(cdfg)
         horizon = self.params.horizon or base_cp
@@ -235,7 +246,11 @@ class SchedulingWatermarker:
 
         if forced_root is not None:
             domain = select_root_and_domain(
-                cdfg, bitstream, self.params.domain, forced_root=forced_root
+                cdfg,
+                bitstream,
+                self.params.domain,
+                forced_root=forced_root,
+                budget=budget,
             )
             eligible = self._eligible(
                 cdfg, domain, horizon, base_cp, lax=lax, windows=windows
@@ -255,8 +270,9 @@ class SchedulingWatermarker:
         # localities seen if none fully suffices.
         fallbacks: List[Tuple[int, Domain, List[str]]] = []
         for _ in range(self.params.max_domain_retries):
+            check_deadline(budget, what="embed retry loop")
             domain = select_root_and_domain(
-                cdfg, bitstream, self.params.domain, roots=roots
+                cdfg, bitstream, self.params.domain, roots=roots, budget=budget
             )
             eligible = self._eligible(
                 cdfg, domain, horizon, base_cp, lax=lax, windows=windows

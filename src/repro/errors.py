@@ -29,7 +29,24 @@ class SchedulingError(ReproError):
 
 
 class InfeasibleScheduleError(SchedulingError):
-    """No schedule exists under the given time/resource constraints."""
+    """No schedule exists under the given time/resource constraints.
+
+    Reserved for *proven* infeasibility: the search space was covered (or
+    a bound argument closed it) and no legal solution exists.  A search
+    that merely ran out of budget raises :class:`BudgetExceededError`
+    instead.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A search budget (wall clock, nodes, iterations) was exhausted.
+
+    Distinct from :class:`InfeasibleScheduleError` on purpose: budget
+    exhaustion says nothing about whether a solution exists, so callers
+    can react differently — typically by falling back to a cheaper
+    heuristic (see :mod:`repro.resilience.pipeline`) rather than
+    reporting the problem as unsolvable.
+    """
 
 
 class WatermarkError(ReproError):

@@ -1,0 +1,120 @@
+"""Resilience subsystem: faults, budgets, validation, degradation.
+
+Production-grade behaviour under hostile or resource-constrained
+conditions:
+
+* :mod:`repro.resilience.budget` — wall-clock/node budgets for every
+  super-polynomial search, raising
+  :class:`~repro.errors.BudgetExceededError` (distinct from
+  infeasibility).
+* :mod:`repro.resilience.faults` — seeded, composable corruption of
+  CDFGs, schedules, and watermark records with structured reports.
+* :mod:`repro.resilience.validate` — pre-flight diagnostics (lists,
+  not first-error exceptions) for CDFG well-formedness and schedule
+  legality.
+* :mod:`repro.resilience.pipeline` — the fallback ladder
+  (exact → force-directed → list) and the widening, partial-success
+  embedder.
+* :mod:`repro.resilience.campaign` — detection-confidence-vs-fault-rate
+  stress sweeps behind ``localmark stress``.
+
+Attribute access is lazy (PEP 562): the core schedulers import
+``repro.resilience.budget`` while :mod:`repro.core` is still loading,
+and the heavier submodules here import :mod:`repro.core` back — eager
+re-exports would cycle.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "Budget": "repro.resilience.budget",
+    "FaultReport": "repro.resilience.faults",
+    "FaultInjectionError": "repro.resilience.faults",
+    "CDFG_FAULTS": "repro.resilience.faults",
+    "apply_faults": "repro.resilience.faults",
+    "drop_nodes": "repro.resilience.faults",
+    "duplicate_nodes": "repro.resilience.faults",
+    "delete_edges": "repro.resilience.faults",
+    "rewire_edges": "repro.resilience.faults",
+    "retype_ops": "repro.resilience.faults",
+    "jitter_schedule": "repro.resilience.faults",
+    "flip_record_bits": "repro.resilience.faults",
+    "Diagnostic": "repro.resilience.validate",
+    "validate_cdfg": "repro.resilience.validate",
+    "validate_schedule": "repro.resilience.validate",
+    "errors_in": "repro.resilience.validate",
+    "is_clean": "repro.resilience.validate",
+    "summarize": "repro.resilience.validate",
+    "DEFAULT_LADDER": "repro.resilience.pipeline",
+    "SchedulerAttempt": "repro.resilience.pipeline",
+    "RobustScheduleResult": "repro.resilience.pipeline",
+    "robust_schedule": "repro.resilience.pipeline",
+    "widened_domain_params": "repro.resilience.pipeline",
+    "RobustEmbedder": "repro.resilience.pipeline",
+    "LocalityOutcome": "repro.resilience.pipeline",
+    "PipelineOutcome": "repro.resilience.pipeline",
+    "DEFAULT_RATES": "repro.resilience.campaign",
+    "StressPoint": "repro.resilience.campaign",
+    "stress_campaign": "repro.resilience.campaign",
+    "render_stress_table": "repro.resilience.campaign",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(import_module(module), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.resilience.budget import Budget
+    from repro.resilience.campaign import (
+        DEFAULT_RATES,
+        StressPoint,
+        render_stress_table,
+        stress_campaign,
+    )
+    from repro.resilience.faults import (
+        CDFG_FAULTS,
+        FaultInjectionError,
+        FaultReport,
+        apply_faults,
+        delete_edges,
+        drop_nodes,
+        duplicate_nodes,
+        flip_record_bits,
+        jitter_schedule,
+        retype_ops,
+        rewire_edges,
+    )
+    from repro.resilience.pipeline import (
+        DEFAULT_LADDER,
+        LocalityOutcome,
+        PipelineOutcome,
+        RobustEmbedder,
+        RobustScheduleResult,
+        SchedulerAttempt,
+        robust_schedule,
+        widened_domain_params,
+    )
+    from repro.resilience.validate import (
+        Diagnostic,
+        errors_in,
+        is_clean,
+        summarize,
+        validate_cdfg,
+        validate_schedule,
+    )

@@ -1,0 +1,136 @@
+"""Search budgets: wall-clock deadlines and node/iteration caps.
+
+Every potentially super-polynomial search in the package — the exact
+branch-and-bound scheduler, force-directed scheduling's force sweep, and
+the domain-selection retry loop — accepts an optional :class:`Budget`.
+A budget couples a wall-clock deadline (milliseconds) with a node (or
+iteration) cap; whichever trips first raises
+:class:`~repro.errors.BudgetExceededError`, which is *not* an
+infeasibility verdict — the caller may fall back to a heuristic (see
+:mod:`repro.resilience.pipeline`).
+
+One ``Budget`` instance is meant to be shared across an entire pipeline
+run: every stage charges against the same pool, so a slow exact attempt
+automatically shrinks what the fallback stages may spend.
+
+Wall-clock checks use :func:`time.monotonic` but are only sampled every
+``check_stride`` charges, so charging is cheap enough to sit inside a
+branch-and-bound inner loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BudgetExceededError
+
+
+@dataclass
+class Budget:
+    """A consumable search budget.
+
+    Attributes
+    ----------
+    wall_ms:
+        Wall-clock allowance in milliseconds; ``None`` means unbounded.
+        The clock starts at construction (or :meth:`restart`).
+    node_limit:
+        Maximum number of charged search nodes/iterations; ``None``
+        means unbounded.
+    check_stride:
+        How many :meth:`charge` calls may elapse between wall-clock
+        samples.  Raising it lowers overhead at the cost of deadline
+        granularity.
+    """
+
+    wall_ms: Optional[float] = None
+    node_limit: Optional[int] = None
+    check_stride: int = 64
+    nodes: int = field(default=0, init=False)
+    _start: float = field(default=0.0, init=False, repr=False)
+    _since_check: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.wall_ms is not None and self.wall_ms <= 0:
+            raise ValueError("wall_ms must be positive")
+        if self.node_limit is not None and self.node_limit < 1:
+            raise ValueError("node_limit must be >= 1")
+        if self.check_stride < 1:
+            raise ValueError("check_stride must be >= 1")
+        self._start = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_ms(self) -> float:
+        """Milliseconds since the budget started."""
+        return (time.monotonic() - self._start) * 1000.0
+
+    @property
+    def remaining_ms(self) -> Optional[float]:
+        """Remaining wall clock, or ``None`` when unbounded."""
+        if self.wall_ms is None:
+            return None
+        return max(0.0, self.wall_ms - self.elapsed_ms)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether either cap has been reached (non-raising probe)."""
+        if self.node_limit is not None and self.nodes >= self.node_limit:
+            return True
+        if self.wall_ms is not None and self.elapsed_ms >= self.wall_ms:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+    def restart(self) -> "Budget":
+        """Reset both the clock and the node counter; returns self."""
+        self._start = time.monotonic()
+        self.nodes = 0
+        self._since_check = 0
+        return self
+
+    def charge(self, count: int = 1, what: str = "search") -> None:
+        """Consume *count* nodes and enforce both caps.
+
+        Raises
+        ------
+        BudgetExceededError
+            When the node cap is hit, or (sampled every ``check_stride``
+            charges) the wall-clock deadline has passed.
+        """
+        self.nodes += count
+        if self.node_limit is not None and self.nodes > self.node_limit:
+            raise BudgetExceededError(
+                f"{what}: node budget exhausted "
+                f"({self.nodes} > {self.node_limit})"
+            )
+        self._since_check += 1
+        if self._since_check >= self.check_stride:
+            self._since_check = 0
+            self.check_deadline(what)
+
+    def check_deadline(self, what: str = "search") -> None:
+        """Enforce the wall-clock deadline right now (unsampled)."""
+        if self.wall_ms is not None and self.elapsed_ms > self.wall_ms:
+            raise BudgetExceededError(
+                f"{what}: deadline exceeded "
+                f"({self.elapsed_ms:.0f} ms > {self.wall_ms:.0f} ms)"
+            )
+
+
+def charge(budget: Optional[Budget], count: int = 1, what: str = "search") -> None:
+    """``budget.charge`` that tolerates ``budget is None``."""
+    if budget is not None:
+        budget.charge(count, what)
+
+
+def check_deadline(budget: Optional[Budget], what: str = "search") -> None:
+    """``budget.check_deadline`` that tolerates ``budget is None``."""
+    if budget is not None:
+        budget.check_deadline(what)

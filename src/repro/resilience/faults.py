@@ -1,0 +1,408 @@
+"""Seeded, composable fault injection for CDFGs, schedules, and records.
+
+The watermarking protocol's whole claim (§III) is that detection
+survives hostile conditions — designs that are cut up, perturbed, or
+embedded in larger systems.  This module makes those conditions
+reproducible: every fault is a pure function from an artifact plus an
+integer seed to a corrupted copy and a structured :class:`FaultReport`,
+so a stress campaign can sweep corruption rates and attribute every
+change in detection confidence to a known, replayable mutation.
+
+Fault families:
+
+* **CDFG faults** — :func:`drop_nodes`, :func:`duplicate_nodes`,
+  :func:`delete_edges`, :func:`rewire_edges`, :func:`retype_ops`.  All
+  preserve the DAG invariant (a corrupted design must still be a design
+  the detector can analyse).
+* **Schedule faults** — :func:`jitter_schedule` perturbs start steps;
+  the result may violate precedence on purpose (tampered schedules are
+  exactly what detection must grade, not reject).
+* **Record faults** — :func:`flip_record_bits` corrupts an archived
+  :class:`~repro.core.scheduling_wm.SchedulingWatermark`, modelling
+  bit-rot or a partially destroyed escrow.
+
+Determinism: the same artifact and the same seed always produce the
+identical corruption (candidates are canonically sorted before
+sampling), which the test-suite pins.
+
+:func:`apply_faults` composes several fault specs into one corrupted
+design with per-step reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.cdfg.ops import OpType
+from repro.core.scheduling_wm import SchedulingWatermark
+from repro.errors import ReproError
+from repro.scheduling.schedule import Schedule
+
+
+class FaultInjectionError(ReproError):
+    """A fault spec was malformed or could not be applied at all."""
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What one fault application actually did.
+
+    Attributes
+    ----------
+    kind:
+        Fault family name (``"delete_edges"`` …).
+    seed:
+        The seed the mutation was drawn from.
+    requested:
+        The requested intensity — a rate in ``[0, 1]`` or an absolute
+        count, as passed by the caller.
+    applied:
+        How many atomic mutations actually landed (rewires can fail to
+        find a legal target; rates round down on small artifacts).
+    details:
+        One human-readable line per atomic mutation.
+    """
+
+    kind: str
+    seed: int
+    requested: float
+    applied: int
+    details: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}(seed={self.seed}): {self.applied} applied"
+
+
+def _count_from(rate: Optional[float], count: Optional[int], population: int) -> int:
+    """Resolve a rate/count pair into an absolute mutation count."""
+    if (rate is None) == (count is None):
+        raise FaultInjectionError("specify exactly one of rate= or count=")
+    if count is not None:
+        if count < 0:
+            raise FaultInjectionError("count must be >= 0")
+        return min(count, population)
+    if not 0.0 <= rate <= 1.0:
+        raise FaultInjectionError("rate must lie in [0, 1]")
+    return min(population, int(round(rate * population)))
+
+
+_STRUCTURAL_KINDS = (EdgeKind.DATA, EdgeKind.CONTROL)
+
+#: Operation types a retype fault may assign (schedulable only — IO
+#: placeholders are interface, not computation).
+RETYPE_POOL: Tuple[OpType, ...] = tuple(
+    op for op in OpType if op.is_schedulable
+)
+
+
+# ----------------------------------------------------------------------
+# CDFG faults
+# ----------------------------------------------------------------------
+def drop_nodes(
+    cdfg: CDFG,
+    seed: int,
+    rate: Optional[float] = None,
+    count: Optional[int] = None,
+) -> Tuple[CDFG, FaultReport]:
+    """Delete random schedulable operations (and their edges).
+
+    Models a cut/partition attack: part of the design simply does not
+    survive into the suspect artifact.
+    """
+    rng = random.Random(seed)
+    candidates = sorted(cdfg.schedulable_operations)
+    n = _count_from(rate, count, len(candidates))
+    victims = rng.sample(candidates, n) if n else []
+    corrupted = cdfg.copy(f"{cdfg.name}~drop")
+    for node in victims:
+        corrupted.graph.remove_node(node)
+    return corrupted, FaultReport(
+        kind="drop_nodes",
+        seed=seed,
+        requested=rate if rate is not None else float(count or 0),
+        applied=len(victims),
+        details=tuple(f"dropped node {v!r}" for v in victims),
+    )
+
+
+def duplicate_nodes(
+    cdfg: CDFG,
+    seed: int,
+    rate: Optional[float] = None,
+    count: Optional[int] = None,
+) -> Tuple[CDFG, FaultReport]:
+    """Clone random operations (same op, latency, and input edges).
+
+    Models redundancy-insertion obfuscation: the adversary pads the
+    design with parallel copies to disturb structural identification.
+    """
+    rng = random.Random(seed)
+    candidates = sorted(cdfg.schedulable_operations)
+    n = _count_from(rate, count, len(candidates))
+    victims = rng.sample(candidates, n) if n else []
+    corrupted = cdfg.copy(f"{cdfg.name}~dup")
+    details: List[str] = []
+    for index, node in enumerate(victims):
+        clone_name = f"{node}__dup{index}"
+        corrupted.add_operation(
+            clone_name, cdfg.op(node), latency=cdfg.latency(node)
+        )
+        for pred in cdfg.predecessors(node, kinds=_STRUCTURAL_KINDS):
+            corrupted.add_edge(pred, clone_name, cdfg.edge_kind(pred, node))
+        details.append(f"duplicated {node!r} as {clone_name!r}")
+    return corrupted, FaultReport(
+        kind="duplicate_nodes",
+        seed=seed,
+        requested=rate if rate is not None else float(count or 0),
+        applied=len(victims),
+        details=tuple(details),
+    )
+
+
+def delete_edges(
+    cdfg: CDFG,
+    seed: int,
+    rate: Optional[float] = None,
+    count: Optional[int] = None,
+    kinds: Sequence[EdgeKind] = _STRUCTURAL_KINDS,
+) -> Tuple[CDFG, FaultReport]:
+    """Delete random edges of the given kinds.
+
+    Models lossy recovery of the suspect design (reverse engineering
+    misses dependences) or deliberate dependency hiding.
+    """
+    rng = random.Random(seed)
+    wanted = set(kinds)
+    candidates = sorted(
+        (u, v) for u, v in cdfg.edges() if cdfg.edge_kind(u, v) in wanted
+    )
+    n = _count_from(rate, count, len(candidates))
+    victims = rng.sample(candidates, n) if n else []
+    corrupted = cdfg.copy(f"{cdfg.name}~cut")
+    for src, dst in victims:
+        corrupted.graph.remove_edge(src, dst)
+    return corrupted, FaultReport(
+        kind="delete_edges",
+        seed=seed,
+        requested=rate if rate is not None else float(count or 0),
+        applied=len(victims),
+        details=tuple(f"deleted edge {u!r}->{v!r}" for u, v in victims),
+    )
+
+
+def rewire_edges(
+    cdfg: CDFG,
+    seed: int,
+    rate: Optional[float] = None,
+    count: Optional[int] = None,
+    attempts_per_edge: int = 8,
+) -> Tuple[CDFG, FaultReport]:
+    """Redirect random structural edges to a different destination.
+
+    Each selected edge ``u→v`` becomes ``u→w`` for a random ``w`` that
+    keeps the graph an acyclic simple digraph; edges with no legal
+    target are left untouched (and not counted as applied).
+    """
+    rng = random.Random(seed)
+    candidates = sorted(
+        (u, v)
+        for u, v in cdfg.edges()
+        if cdfg.edge_kind(u, v) in _STRUCTURAL_KINDS
+    )
+    n = _count_from(rate, count, len(candidates))
+    victims = rng.sample(candidates, n) if n else []
+    corrupted = cdfg.copy(f"{cdfg.name}~rewire")
+    nodes = sorted(corrupted.operations)
+    details: List[str] = []
+    for src, dst in victims:
+        kind = corrupted.edge_kind(src, dst)
+        corrupted.graph.remove_edge(src, dst)
+        rewired = False
+        for _ in range(attempts_per_edge):
+            target = rng.choice(nodes)
+            if target in (src, dst):
+                continue
+            try:
+                corrupted.add_edge(src, target, kind)
+            except ReproError:
+                continue
+            details.append(f"rewired {src!r}->{dst!r} to {src!r}->{target!r}")
+            rewired = True
+            break
+        if not rewired:
+            # No legal target found: restore the original edge.
+            corrupted.add_edge(src, dst, kind)
+    return corrupted, FaultReport(
+        kind="rewire_edges",
+        seed=seed,
+        requested=rate if rate is not None else float(count or 0),
+        applied=len(details),
+        details=tuple(details),
+    )
+
+
+def retype_ops(
+    cdfg: CDFG,
+    seed: int,
+    rate: Optional[float] = None,
+    count: Optional[int] = None,
+) -> Tuple[CDFG, FaultReport]:
+    """Change random operations to a different schedulable type.
+
+    Models functional obfuscation (e.g. strength reduction rewrites a
+    constant multiply into shifts/adds): structure survives but the
+    per-node functionality identifiers detection hashes over change.
+    """
+    rng = random.Random(seed)
+    candidates = sorted(cdfg.schedulable_operations)
+    n = _count_from(rate, count, len(candidates))
+    victims = rng.sample(candidates, n) if n else []
+    corrupted = cdfg.copy(f"{cdfg.name}~retype")
+    details: List[str] = []
+    for node in victims:
+        old = corrupted.op(node)
+        new = rng.choice([op for op in RETYPE_POOL if op is not old])
+        # Keep the node's latency: retyping models a functional rewrite,
+        # not a timing change.
+        corrupted.graph.nodes[node]["op"] = new
+        details.append(f"retyped {node!r}: {old.name} -> {new.name}")
+    return corrupted, FaultReport(
+        kind="retype_ops",
+        seed=seed,
+        requested=rate if rate is not None else float(count or 0),
+        applied=len(victims),
+        details=tuple(details),
+    )
+
+
+# ----------------------------------------------------------------------
+# schedule faults
+# ----------------------------------------------------------------------
+def jitter_schedule(
+    schedule: Schedule,
+    seed: int,
+    rate: Optional[float] = None,
+    count: Optional[int] = None,
+    max_shift: int = 2,
+) -> Tuple[Schedule, FaultReport]:
+    """Shift random start times by up to ±*max_shift* steps (clamped ≥0).
+
+    The perturbed schedule is *not* re-legalized: local tampering is the
+    adversary of the paper's tamper-resistance argument, and detection
+    must grade such schedules rather than reject them.
+    """
+    if max_shift < 1:
+        raise FaultInjectionError("max_shift must be >= 1")
+    rng = random.Random(seed)
+    candidates = sorted(schedule.start_times)
+    n = _count_from(rate, count, len(candidates))
+    victims = rng.sample(candidates, n) if n else []
+    jittered = schedule.copy()
+    details: List[str] = []
+    for node in victims:
+        shift = rng.choice(
+            [s for s in range(-max_shift, max_shift + 1) if s != 0]
+        )
+        old = jittered.start_times[node]
+        jittered.start_times[node] = max(0, old + shift)
+        details.append(
+            f"jittered {node!r}: {old} -> {jittered.start_times[node]}"
+        )
+    return jittered, FaultReport(
+        kind="jitter_schedule",
+        seed=seed,
+        requested=rate if rate is not None else float(count or 0),
+        applied=len(victims),
+        details=tuple(details),
+    )
+
+
+# ----------------------------------------------------------------------
+# record faults
+# ----------------------------------------------------------------------
+def flip_record_bits(
+    watermark: SchedulingWatermark,
+    seed: int,
+    count: int = 1,
+) -> Tuple[SchedulingWatermark, FaultReport]:
+    """Corrupt an archived watermark record.
+
+    Each flip either XORs a low bit of one canonical identifier in
+    ``temporal_edge_ids`` or reverses one named edge in
+    ``temporal_edges`` — the two channels detection replays from.
+    """
+    if count < 0:
+        raise FaultInjectionError("count must be >= 0")
+    rng = random.Random(seed)
+    edge_ids = [list(pair) for pair in watermark.temporal_edge_ids]
+    edges = [list(pair) for pair in watermark.temporal_edges]
+    details: List[str] = []
+    for _ in range(count):
+        if not edge_ids and not edges:
+            break
+        if edge_ids and (not edges or rng.random() < 0.5):
+            index = rng.randrange(len(edge_ids))
+            side = rng.randrange(2)
+            bit = 1 << rng.randrange(3)
+            old = edge_ids[index][side]
+            edge_ids[index][side] = old ^ bit
+            details.append(
+                f"edge_id[{index}][{side}]: {old} -> {edge_ids[index][side]}"
+            )
+        else:
+            index = rng.randrange(len(edges))
+            edges[index] = [edges[index][1], edges[index][0]]
+            details.append(f"edge[{index}] reversed: {tuple(edges[index])}")
+    corrupted = dataclasses.replace(
+        watermark,
+        temporal_edges=tuple((a, b) for a, b in edges),
+        temporal_edge_ids=tuple((a, b) for a, b in edge_ids),
+    )
+    return corrupted, FaultReport(
+        kind="flip_record_bits",
+        seed=seed,
+        requested=float(count),
+        applied=len(details),
+        details=tuple(details),
+    )
+
+
+# ----------------------------------------------------------------------
+# composition
+# ----------------------------------------------------------------------
+CDFG_FAULTS: Dict[str, Callable[..., Tuple[CDFG, FaultReport]]] = {
+    "drop_nodes": drop_nodes,
+    "duplicate_nodes": duplicate_nodes,
+    "delete_edges": delete_edges,
+    "rewire_edges": rewire_edges,
+    "retype_ops": retype_ops,
+}
+
+
+def apply_faults(
+    cdfg: CDFG,
+    specs: Iterable[Mapping[str, object]],
+    seed: int,
+) -> Tuple[CDFG, List[FaultReport]]:
+    """Apply a sequence of CDFG fault specs, threading one seed.
+
+    Each spec is a mapping with a ``"kind"`` key naming an entry of
+    :data:`CDFG_FAULTS` plus that fault's keyword arguments, e.g.
+    ``{"kind": "delete_edges", "rate": 0.1}``.  Step *i* derives its
+    seed as ``seed + i``, so the whole composition is reproducible from
+    the single campaign seed.
+    """
+    current = cdfg
+    reports: List[FaultReport] = []
+    for index, spec in enumerate(specs):
+        params = dict(spec)
+        kind = params.pop("kind", None)
+        if kind not in CDFG_FAULTS:
+            raise FaultInjectionError(f"unknown fault kind: {kind!r}")
+        current, report = CDFG_FAULTS[kind](current, seed=seed + index, **params)
+        reports.append(report)
+    return current, reports

@@ -1,0 +1,345 @@
+"""Graceful degradation: budgeted fallback ladders for schedule + embed.
+
+Two entry points:
+
+* :func:`robust_schedule` — runs the scheduler ladder **exact →
+  force-directed → list** under one shared
+  :class:`~repro.resilience.budget.Budget`.  Budget exhaustion or
+  proven infeasibility at one rung falls through to the next; the final
+  list-scheduler rung always returns a legal (resource-respecting)
+  schedule, possibly past the requested horizon — that overrun is
+  *reported*, not raised.
+* :class:`RobustEmbedder` — wraps
+  :class:`~repro.core.scheduling_wm.SchedulingWatermarker` with
+  locality-selection retries over progressively widened
+  :class:`~repro.core.domain.DomainParams` (larger ``τ``, smaller
+  minimum domain, higher include probability), and an ``embed_many``
+  that embeds as many localities as possible, returning a
+  :class:`PipelineOutcome` with per-locality success/failure accounting
+  instead of raising on the first failed locality.
+
+The division of labour with the rest of the package: the library raises
+precise exceptions (:class:`~repro.errors.DomainSelectionError`,
+:class:`~repro.errors.InfeasibleScheduleError`,
+:class:`~repro.errors.BudgetExceededError`); this module is the one
+place that turns them into degradation policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import (
+    SCHEDULING_PURPOSE,
+    SchedulingWatermark,
+    SchedulingWatermarker,
+    SchedulingWMParams,
+)
+from repro.crypto.bitstream import BitStream
+from repro.crypto.signature import AuthorSignature
+from repro.errors import (
+    BudgetExceededError,
+    ConstraintEncodingError,
+    DomainSelectionError,
+    ReproError,
+    SchedulingError,
+)
+from repro.resilience.budget import Budget
+from repro.scheduling.exact import exact_schedule
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import UNLIMITED, ResourceSet
+from repro.scheduling.schedule import Schedule
+from repro.timing.windows import critical_path_length
+
+#: Default fallback ladder, strongest first.
+DEFAULT_LADDER: Tuple[str, ...] = ("exact", "force-directed", "list")
+
+
+@dataclass(frozen=True)
+class SchedulerAttempt:
+    """One rung of the fallback ladder and how it went."""
+
+    scheduler: str
+    succeeded: bool
+    elapsed_ms: float
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class RobustScheduleResult:
+    """Outcome of :func:`robust_schedule`.
+
+    Attributes
+    ----------
+    schedule:
+        The legal schedule produced by the winning rung.
+    scheduler:
+        Name of the rung that produced it.
+    attempts:
+        Every rung tried, in order, with failure reasons.
+    met_horizon:
+        Whether the schedule fits the requested horizon (the last-resort
+        list rung may legally overrun it).
+    makespan:
+        Control steps the schedule occupies.
+    """
+
+    schedule: Schedule
+    scheduler: str
+    attempts: Tuple[SchedulerAttempt, ...]
+    met_horizon: bool
+    makespan: int
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any rung before the winner failed."""
+        return any(not a.succeeded for a in self.attempts)
+
+
+def robust_schedule(
+    cdfg: CDFG,
+    horizon: Optional[int] = None,
+    resources: ResourceSet = UNLIMITED,
+    budget: Optional[Budget] = None,
+    ladder: Sequence[str] = DEFAULT_LADDER,
+) -> RobustScheduleResult:
+    """Schedule *cdfg*, degrading through the fallback ladder.
+
+    Rungs share *budget*; a rung that exhausts it (or proves its own
+    formulation infeasible) yields to the next.  The ``"list"`` rung
+    runs without a hard horizon and therefore always succeeds on a DAG,
+    which is what makes the pipeline total: the caller always gets a
+    legal schedule plus an account of what was given up.
+
+    Raises
+    ------
+    SchedulingError
+        Only if every rung failed — possible only when ``"list"`` is
+        excluded from *ladder*.
+    """
+    if not ladder:
+        raise SchedulingError("empty scheduler ladder")
+    unknown = [r for r in ladder if r not in DEFAULT_LADDER]
+    if unknown:
+        raise SchedulingError(f"unknown ladder rungs: {unknown}")
+    cp = critical_path_length(cdfg)
+    target_horizon = horizon if horizon is not None else cp
+    attempts: List[SchedulerAttempt] = []
+    for rung in ladder:
+        started = time.monotonic()
+        try:
+            if rung == "exact":
+                schedule = exact_schedule(
+                    cdfg, target_horizon, resources, budget=budget
+                )
+            elif rung == "force-directed":
+                schedule = force_directed_schedule(
+                    cdfg, target_horizon, budget=budget
+                )
+                # FDS is time-constrained only; enforce resource limits
+                # explicitly so a violating result degrades further.
+                schedule.verify(cdfg, resources=resources)
+            else:  # "list"
+                schedule = list_schedule(cdfg, resources=resources)
+        except (SchedulingError, BudgetExceededError) as exc:
+            attempts.append(
+                SchedulerAttempt(
+                    scheduler=rung,
+                    succeeded=False,
+                    elapsed_ms=(time.monotonic() - started) * 1000.0,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        attempts.append(
+            SchedulerAttempt(
+                scheduler=rung,
+                succeeded=True,
+                elapsed_ms=(time.monotonic() - started) * 1000.0,
+            )
+        )
+        span = schedule.makespan(cdfg)
+        return RobustScheduleResult(
+            schedule=schedule,
+            scheduler=rung,
+            attempts=tuple(attempts),
+            met_horizon=span <= target_horizon,
+            makespan=span,
+        )
+    raise SchedulingError(
+        "every scheduler rung failed: "
+        + "; ".join(f"{a.scheduler}: {a.error}" for a in attempts)
+    )
+
+
+# ----------------------------------------------------------------------
+# robust embedding
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LocalityOutcome:
+    """Per-locality embedding result inside a :class:`PipelineOutcome`."""
+
+    index: int
+    succeeded: bool
+    widenings: int
+    error: str = ""
+    watermark: Optional[SchedulingWatermark] = None
+
+
+@dataclass(frozen=True)
+class PipelineOutcome:
+    """Partial-success record of a robust multi-locality embedding.
+
+    Never raised into existence by a single bad locality: every
+    requested locality gets a :class:`LocalityOutcome`, successful or
+    not, and the marked design carries whatever subset embedded.
+    """
+
+    marked: CDFG
+    localities: Tuple[LocalityOutcome, ...]
+
+    @property
+    def succeeded(self) -> Tuple[LocalityOutcome, ...]:
+        return tuple(o for o in self.localities if o.succeeded)
+
+    @property
+    def failed(self) -> Tuple[LocalityOutcome, ...]:
+        return tuple(o for o in self.localities if not o.succeeded)
+
+    @property
+    def success_rate(self) -> float:
+        if not self.localities:
+            return 0.0
+        return len(self.succeeded) / len(self.localities)
+
+    @property
+    def watermarks(self) -> Tuple[SchedulingWatermark, ...]:
+        return tuple(
+            o.watermark for o in self.succeeded if o.watermark is not None
+        )
+
+    @property
+    def total_edges(self) -> int:
+        """Temporal edges embedded across all successful localities."""
+        return sum(wm.k for wm in self.watermarks)
+
+
+def widened_domain_params(base: DomainParams, step: int) -> DomainParams:
+    """The domain-selection knobs after *step* widenings.
+
+    Each step enlarges the candidate locality (``τ + step``), admits
+    smaller carved domains (down to 2 nodes), and raises the include
+    probability toward 1 so the carve keeps more of the cone.
+    """
+    if step == 0:
+        return base
+    return DomainParams(
+        tau=base.tau + step,
+        include_probability=min(1.0, base.include_probability + 0.1 * step),
+        min_domain_size=max(2, base.min_domain_size - step),
+    )
+
+
+class RobustEmbedder:
+    """Embedding with widening retries and partial-success accounting.
+
+    Wraps :class:`SchedulingWatermarker`: when a locality cannot be
+    selected or encoded under the base :class:`DomainParams`, the search
+    is retried with :func:`widened_domain_params` up to *max_widenings*
+    times before the locality is reported failed.  A shared *budget*
+    bounds the total search effort; once it is exhausted, remaining
+    localities fail fast with the budget error rather than crashing the
+    pipeline.
+    """
+
+    def __init__(
+        self,
+        signature: AuthorSignature,
+        params: Optional[SchedulingWMParams] = None,
+        budget: Optional[Budget] = None,
+        max_widenings: int = 3,
+    ) -> None:
+        if max_widenings < 0:
+            raise ValueError("max_widenings must be >= 0")
+        self.signature = signature
+        self.params = params or SchedulingWMParams()
+        self.budget = budget
+        self.max_widenings = max_widenings
+
+    def _marker_at(self, step: int) -> SchedulingWatermarker:
+        widened = dataclasses.replace(
+            self.params, domain=widened_domain_params(self.params.domain, step)
+        )
+        return SchedulingWatermarker(self.signature, widened)
+
+    def _embed_once(
+        self, cdfg: CDFG, purpose: str
+    ) -> Tuple[CDFG, SchedulingWatermark, int]:
+        """Embed one locality, widening on selection/encoding failure.
+
+        Returns (marked, watermark, widenings used).  Each widening
+        restarts from a fresh bitstream with the same *purpose* label,
+        so a detector that knows the widened parameters re-derives the
+        identical constraints.
+        """
+        last: ReproError = DomainSelectionError("no attempt made")
+        for step in range(self.max_widenings + 1):
+            marker = self._marker_at(step)
+            bitstream = BitStream(self.signature, purpose)
+            try:
+                marked, watermark = marker._embed_with_bitstream(
+                    cdfg, bitstream, budget=self.budget
+                )
+                return marked, watermark, step
+            except (DomainSelectionError, ConstraintEncodingError) as exc:
+                last = exc
+        raise last
+
+    def embed(self, cdfg: CDFG) -> Tuple[CDFG, SchedulingWatermark, int]:
+        """Embed a single watermark; returns (marked, record, widenings).
+
+        With zero widenings this is bit-for-bit
+        :meth:`SchedulingWatermarker.embed` — the compatibility detection
+        relies on.
+        """
+        return self._embed_once(cdfg, SCHEDULING_PURPOSE)
+
+    def embed_many(self, cdfg: CDFG, count: int) -> PipelineOutcome:
+        """Embed up to *count* independent localities, never raising.
+
+        Mirrors :meth:`SchedulingWatermarker.embed_many` (per-index
+        bitstream purposes) but records each locality's outcome instead
+        of silently skipping failures, and keeps going after budget
+        exhaustion so the accounting stays complete.
+        """
+        marked = cdfg
+        outcomes: List[LocalityOutcome] = []
+        for index in range(count):
+            purpose = f"{SCHEDULING_PURPOSE}/{index}"
+            try:
+                marked, watermark, widenings = self._embed_once(marked, purpose)
+            except ReproError as exc:
+                outcomes.append(
+                    LocalityOutcome(
+                        index=index,
+                        succeeded=False,
+                        widenings=self.max_widenings,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            outcomes.append(
+                LocalityOutcome(
+                    index=index,
+                    succeeded=True,
+                    widenings=widenings,
+                    watermark=watermark,
+                )
+            )
+        return PipelineOutcome(marked=marked, localities=tuple(outcomes))

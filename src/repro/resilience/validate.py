@@ -1,0 +1,237 @@
+"""Pre-flight validation: diagnostics instead of first-error exceptions.
+
+:meth:`CDFG.validate` and :meth:`Schedule.verify` raise on the first
+problem they see — right for library internals, wrong for a robustness
+pipeline that wants to *report* how broken an artifact is (a stress
+campaign corrupts designs on purpose and still needs to analyse them).
+The checkers here never raise on artifact content; they return a list of
+:class:`Diagnostic` records covering every problem found, so callers can
+decide which severities block them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.cdfg.ops import ResourceClass
+from repro.scheduling.resources import ResourceSet
+from repro.scheduling.schedule import Schedule
+
+#: Diagnostic severities, in increasing order of trouble.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding.
+
+    Attributes
+    ----------
+    severity:
+        ``"error"`` (artifact unusable for the checked purpose),
+        ``"warning"`` (suspicious but workable), or ``"info"``.
+    code:
+        Stable machine-readable code (``"cycle"``, ``"missing-node"``…).
+    message:
+        Human-readable description.
+    subject:
+        The node or ``src->dst`` edge the finding is about, if any.
+    """
+
+    severity: str
+    code: str
+    message: str
+    subject: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" [{self.subject}]" if self.subject else ""
+        return f"{self.severity}:{self.code}{where}: {self.message}"
+
+
+def errors_in(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """The error-severity subset."""
+    return [d for d in diagnostics if d.severity == "error"]
+
+
+def is_clean(diagnostics: List[Diagnostic]) -> bool:
+    """Whether no error-severity diagnostic was found."""
+    return not errors_in(diagnostics)
+
+
+def validate_cdfg(cdfg: CDFG) -> List[Diagnostic]:
+    """Check CDFG well-formedness; returns every finding.
+
+    Error conditions: cyclic precedence, negative latency.  Warnings:
+    empty graph, isolated schedulable operations (unreachable from any
+    input), zero-latency non-IO operations, IO placeholders with
+    latency.  Info: temporal-edge (watermark) presence.
+    """
+    diags: List[Diagnostic] = []
+    if cdfg.num_operations == 0:
+        diags.append(
+            Diagnostic("warning", "empty", f"CDFG {cdfg.name!r} has no nodes")
+        )
+        return diags
+    if not nx.is_directed_acyclic_graph(cdfg.graph):
+        cycle = nx.find_cycle(cdfg.graph)
+        diags.append(
+            Diagnostic(
+                "error",
+                "cycle",
+                f"precedence cycle through {cycle[0][0]!r}",
+                subject="->".join(str(edge[0]) for edge in cycle),
+            )
+        )
+    for node in cdfg.operations:
+        latency = cdfg.latency(node)
+        op = cdfg.op(node)
+        if latency < 0:
+            diags.append(
+                Diagnostic(
+                    "error",
+                    "negative-latency",
+                    f"latency {latency} on {node!r}",
+                    subject=node,
+                )
+            )
+        if latency == 0 and op.resource_class is not ResourceClass.IO:
+            diags.append(
+                Diagnostic(
+                    "warning",
+                    "zero-latency-op",
+                    f"schedulable op {node!r} has zero latency",
+                    subject=node,
+                )
+            )
+        if latency > 0 and op.resource_class is ResourceClass.IO:
+            diags.append(
+                Diagnostic(
+                    "warning",
+                    "io-latency",
+                    f"IO placeholder {node!r} has latency {latency}",
+                    subject=node,
+                )
+            )
+        if (
+            op.is_schedulable
+            and cdfg.graph.in_degree(node) == 0
+            and cdfg.graph.out_degree(node) == 0
+        ):
+            diags.append(
+                Diagnostic(
+                    "warning",
+                    "isolated-node",
+                    f"operation {node!r} is disconnected",
+                    subject=node,
+                )
+            )
+    temporal = cdfg.temporal_edges
+    if temporal:
+        diags.append(
+            Diagnostic(
+                "info",
+                "temporal-edges",
+                f"{len(temporal)} watermark temporal edge(s) present",
+            )
+        )
+    return diags
+
+
+def validate_schedule(
+    cdfg: CDFG,
+    schedule: Schedule,
+    resources: Optional[ResourceSet] = None,
+    horizon: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Check schedule legality against *cdfg*; returns every finding.
+
+    Mirrors :meth:`Schedule.verify` (completeness, non-negative starts,
+    precedence over all edge kinds, horizon, resource limits) but
+    collects all violations instead of raising on the first, and adds a
+    warning for scheduled nodes unknown to the CDFG.
+    """
+    diags: List[Diagnostic] = []
+    for node in cdfg.operations:
+        if node not in schedule.start_times:
+            diags.append(
+                Diagnostic(
+                    "error",
+                    "missing-node",
+                    f"node {node!r} missing from schedule",
+                    subject=node,
+                )
+            )
+    for node, start in schedule.start_times.items():
+        if node not in cdfg:
+            diags.append(
+                Diagnostic(
+                    "warning",
+                    "unknown-node",
+                    f"scheduled node {node!r} not in CDFG",
+                    subject=node,
+                )
+            )
+            continue
+        if start < 0:
+            diags.append(
+                Diagnostic(
+                    "error",
+                    "negative-start",
+                    f"negative start {start} for {node!r}",
+                    subject=node,
+                )
+            )
+    for src, dst in cdfg.edges():
+        if src not in schedule.start_times or dst not in schedule.start_times:
+            continue
+        if schedule.start(dst) < schedule.start(src) + cdfg.latency(src):
+            kind = cdfg.edge_kind(src, dst)
+            diags.append(
+                Diagnostic(
+                    # A broken watermark constraint is evidence loss, not
+                    # an illegal schedule — temporal edges aren't real
+                    # dependences of the computation.
+                    "warning" if kind is EdgeKind.TEMPORAL else "error",
+                    "precedence",
+                    f"{kind.value} precedence violated: "
+                    f"{src!r}@{schedule.start(src)} -> "
+                    f"{dst!r}@{schedule.start(dst)}",
+                    subject=f"{src}->{dst}",
+                )
+            )
+    if horizon is not None:
+        span = schedule.makespan(cdfg)
+        if span > horizon:
+            diags.append(
+                Diagnostic(
+                    "error",
+                    "horizon",
+                    f"makespan {span} exceeds horizon {horizon}",
+                )
+            )
+    if resources is not None:
+        step_usage = schedule.step_usage(cdfg)
+        for step in sorted(step_usage):
+            usage = step_usage[step]
+            if not resources.admits(usage):
+                diags.append(
+                    Diagnostic(
+                        "error",
+                        "resources",
+                        f"resource limits exceeded at step {step}: "
+                        f"{ {cls.value: n for cls, n in usage.items()} }",
+                    )
+                )
+    return diags
+
+
+def summarize(diagnostics: List[Diagnostic]) -> Tuple[int, int, int]:
+    """Count (errors, warnings, infos)."""
+    counts = {severity: 0 for severity in SEVERITIES}
+    for diag in diagnostics:
+        counts[diag.severity] = counts.get(diag.severity, 0) + 1
+    return counts["error"], counts["warning"], counts["info"]

@@ -12,7 +12,8 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from repro.cdfg.graph import CDFG
 from repro.cdfg.ops import ResourceClass
-from repro.errors import InfeasibleScheduleError
+from repro.errors import BudgetExceededError, InfeasibleScheduleError
+from repro.resilience.budget import Budget, charge
 from repro.scheduling.force_directed import force_directed_schedule
 from repro.scheduling.resources import ResourceSet
 from repro.scheduling.schedule import Schedule
@@ -40,13 +41,29 @@ def exact_schedule(
     horizon: int,
     resources: ResourceSet,
     node_limit: int = 200_000,
+    budget: Optional[Budget] = None,
 ) -> Schedule:
     """First feasible schedule found by depth-first search.
+
+    Parameters
+    ----------
+    node_limit:
+        Cap on visited search nodes (a built-in budget even when no
+        explicit *budget* is passed).
+    budget:
+        Optional shared :class:`~repro.resilience.budget.Budget` —
+        charges one unit per search node and enforces its wall-clock
+        deadline, so the search returns control within roughly one
+        ``check_stride`` of the deadline.
 
     Raises
     ------
     InfeasibleScheduleError
-        If no schedule exists (or the search budget is exhausted).
+        If the search space was exhausted without finding a schedule —
+        no schedule exists under the constraints.
+    BudgetExceededError
+        If *node_limit* or *budget* ran out before the search could
+        prove either outcome.
     """
     windows, order, preds = _prepare(cdfg, horizon)
     usage: Dict[int, Dict[ResourceClass, int]] = {}
@@ -86,7 +103,10 @@ def exact_schedule(
             return True
         visited += 1
         if visited > node_limit:
-            raise InfeasibleScheduleError("exact scheduler budget exhausted")
+            raise BudgetExceededError(
+                f"exact scheduler node budget exhausted ({node_limit})"
+            )
+        charge(budget, what="exact_schedule")
         node = order[i]
         lo, hi = windows[node]
         for pred in preds[node]:
@@ -116,12 +136,15 @@ def minimum_cost_schedule(
     horizon: int,
     unit_costs: Mapping[ResourceClass, float] = DEFAULT_UNIT_COSTS,
     node_limit: int = 500_000,
+    budget: Optional[Budget] = None,
 ) -> Tuple[Schedule, float]:
     """Schedule minimizing total functional-unit cost within *horizon*.
 
     Returns the best schedule and its cost ``Σ_class cost(class) ×
     peak_concurrency(class)``.  Uses branch-and-bound with the cost of
-    already-fixed peaks as the lower bound.
+    already-fixed peaks as the lower bound.  The search is *anytime*:
+    exhausting *node_limit* or *budget* returns the best incumbent found
+    so far instead of raising.
     """
     windows, order, preds = _prepare(cdfg, horizon)
     usage: Dict[int, Dict[ResourceClass, int]] = {}
@@ -148,6 +171,7 @@ def minimum_cost_schedule(
         visited += 1
         if visited > node_limit:
             raise _BudgetExhausted()
+        charge(budget, what="minimum_cost_schedule")
         if current_cost(peaks) >= best_cost:
             return
         if i == len(order):
@@ -178,7 +202,7 @@ def minimum_cost_schedule(
 
     try:
         dfs(0)
-    except _BudgetExhausted:
+    except (_BudgetExhausted, BudgetExceededError):
         pass  # anytime: fall through with the best incumbent found
     if best_assignment is None:
         raise InfeasibleScheduleError(f"no schedule within horizon {horizon}")

@@ -22,11 +22,12 @@ Watermark temporal edges participate exactly like data edges.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cdfg.graph import CDFG
 from repro.cdfg.ops import ResourceClass
 from repro.errors import InfeasibleScheduleError
+from repro.resilience.budget import Budget, charge
 from repro.scheduling.schedule import Schedule
 from repro.timing.windows import critical_path_length, scheduling_windows
 
@@ -130,13 +131,23 @@ def _assignment_force(
     return force
 
 
-def force_directed_schedule(cdfg: CDFG, horizon: int) -> Schedule:
+def force_directed_schedule(
+    cdfg: CDFG, horizon: int, budget: Optional[Budget] = None
+) -> Schedule:
     """Time-constrained schedule minimizing implied functional units.
+
+    Parameters
+    ----------
+    budget:
+        Optional shared :class:`~repro.resilience.budget.Budget`;
+        charged once per candidate (node, step) force evaluation.
 
     Raises
     ------
     InfeasibleScheduleError
         If *horizon* is below the critical path.
+    BudgetExceededError
+        If *budget* runs out mid-sweep.
     """
     cp = critical_path_length(cdfg)
     if horizon < cp:
@@ -152,6 +163,7 @@ def force_directed_schedule(cdfg: CDFG, horizon: int) -> Schedule:
         for node in unscheduled:
             lo, hi = windows[node]
             for step in range(lo, hi + 1):
+                charge(budget, what="force_directed_schedule")
                 force = _assignment_force(cdfg, windows, graphs, node, step, horizon)
                 if force < best[0]:
                     best = (force, node, step)

@@ -1,0 +1,226 @@
+"""CLI resilience surface: stress subcommand, budget/fallback flags,
+hardened error paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.cdfg.io import save
+from repro.cli import main
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    path = tmp_path / "design.json"
+    save(fourth_order_parallel_iir(), path)
+    return str(path)
+
+
+@pytest.fixture
+def workflow(tmp_path, design_file):
+    marked = str(tmp_path / "marked.json")
+    record = str(tmp_path / "wm.json")
+    schedule = str(tmp_path / "sched.json")
+    assert (
+        main(
+            [
+                "embed",
+                "--design", design_file,
+                "--author", "Alice Inc.",
+                "--out", marked,
+                "--record", record,
+                "--k", "3",
+                "--tau", "4",
+            ]
+        )
+        == 0
+    )
+    assert main(["schedule", "--design", marked, "--out", schedule]) == 0
+    return design_file, marked, record, schedule
+
+
+class TestStress:
+    def test_stress_reports_multiple_rates(self, workflow, capsys):
+        design, marked, record, schedule = workflow
+        code = main(
+            [
+                "stress",
+                "--design", marked,
+                "--record", record,
+                "--schedule", schedule,
+                "--rates", "0.0,0.1,0.2",
+                "--trials", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detection confidence vs. fault rate" in out
+        for cell in ("0.0%", "10.0%", "20.0%"):
+            assert cell in out
+
+    def test_stress_without_schedule_uses_list_scheduler(
+        self, workflow, capsys
+    ):
+        _, marked, record, _ = workflow
+        assert (
+            main(
+                [
+                    "stress",
+                    "--design", marked,
+                    "--record", record,
+                    "--trials", "1",
+                ]
+            )
+            == 0
+        )
+        assert "confidence" in capsys.readouterr().out
+
+    def test_stress_compound_faults_and_jitter(self, workflow, capsys):
+        _, marked, record, schedule = workflow
+        code = main(
+            [
+                "stress",
+                "--design", marked,
+                "--record", record,
+                "--schedule", schedule,
+                "--rates", "0.2",
+                "--trials", "2",
+                "--faults", "delete_edges,drop_nodes",
+                "--jitter",
+            ]
+        )
+        assert code == 0  # graded, never crashed
+
+    def test_bad_rates_exit_2(self, workflow, capsys):
+        _, marked, record, _ = workflow
+        for rates in ("1.5", "abc", ""):
+            assert (
+                main(
+                    [
+                        "stress",
+                        "--design", marked,
+                        "--record", record,
+                        "--rates", rates,
+                    ]
+                )
+                == 2
+            )
+            assert "error:" in capsys.readouterr().err
+
+    def test_unknown_fault_kind_exit_2(self, workflow, capsys):
+        _, marked, record, _ = workflow
+        assert (
+            main(
+                [
+                    "stress",
+                    "--design", marked,
+                    "--record", record,
+                    "--faults", "melt",
+                ]
+            )
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_embed_fallback_and_budget(self, tmp_path, design_file):
+        marked = str(tmp_path / "m.json")
+        record = str(tmp_path / "r.json")
+        assert (
+            main(
+                [
+                    "embed",
+                    "--design", design_file,
+                    "--author", "Alice Inc.",
+                    "--out", marked,
+                    "--record", record,
+                    "--fallback",
+                    "--budget-ms", "5000",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(open(marked).read())
+        assert any(e["kind"] == "temporal" for e in payload["edges"])
+
+    def test_embed_fallback_rescues_strict_params(
+        self, tmp_path, design_file, capsys
+    ):
+        marked = str(tmp_path / "m.json")
+        record = str(tmp_path / "r.json")
+        args = [
+            "embed",
+            "--design", design_file,
+            "--author", "Alice Inc.",
+            "--out", marked,
+            "--record", record,
+            "--tau", "1",
+            "--min-domain", "12",
+        ]
+        assert main(args) == 2  # without fallback: domain selection fails
+        assert "error:" in capsys.readouterr().err
+        assert main(args + ["--fallback"]) == 0
+        assert "widen" in capsys.readouterr().out.lower()
+
+    def test_schedule_exact_with_budget(self, workflow, tmp_path):
+        _, marked, _, _ = workflow
+        out = str(tmp_path / "s.json")
+        assert (
+            main(
+                [
+                    "schedule",
+                    "--design", marked,
+                    "--out", out,
+                    "--scheduler", "exact",
+                    "--budget-ms", "5000",
+                ]
+            )
+            == 0
+        )
+        assert json.loads(open(out).read())["start_times"]
+
+    def test_schedule_fallback_reports_winner(self, workflow, tmp_path, capsys):
+        _, marked, _, _ = workflow
+        out = str(tmp_path / "s.json")
+        assert (
+            main(
+                [
+                    "schedule",
+                    "--design", marked,
+                    "--out", out,
+                    "--fallback",
+                ]
+            )
+            == 0
+        )
+        assert "scheduler" in capsys.readouterr().out
+
+
+class TestHardenedErrors:
+    def test_malformed_json_design_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["info", "--design", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_schedule_exit_2(self, workflow, tmp_path, capsys):
+        design, _, record, _ = workflow
+        bad = tmp_path / "sched.json"
+        bad.write_text(json.dumps({"wrong": "shape"}))
+        assert (
+            main(
+                [
+                    "verify",
+                    "--design", design,
+                    "--schedule", str(bad),
+                    "--record", record,
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "error:" in err and "malformed" in err

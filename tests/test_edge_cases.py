@@ -84,15 +84,25 @@ class TestTransitiveReduction:
 
 class TestExactSchedulerEdges:
     def test_budget_exhaustion_raises(self, iir4):
-        from repro.scheduling.resources import UNLIMITED
+        # Budget exhaustion is NOT an infeasibility verdict: it raises
+        # the dedicated BudgetExceededError so callers can fall back.
+        from repro.errors import BudgetExceededError
 
-        with pytest.raises(InfeasibleScheduleError, match="budget"):
+        with pytest.raises(BudgetExceededError, match="budget"):
             exact_schedule(
                 iir4,
                 horizon=critical_path_length(iir4) + 2,
                 resources=ResourceSet({ResourceClass.MULTIPLIER: 1}),
                 node_limit=3,
             )
+
+    def test_proven_infeasibility_still_raises_infeasible(self, chain5):
+        # A genuinely impossible horizon exhausts the search space and
+        # keeps raising InfeasibleScheduleError (windows empty first).
+        from repro.scheduling.resources import UNLIMITED
+
+        with pytest.raises(InfeasibleScheduleError):
+            exact_schedule(chain5, horizon=3, resources=UNLIMITED)
 
     def test_minimum_cost_anytime_fallback(self, iir4):
         # A tiny node budget forces the anytime path: the FDS incumbent

@@ -1,0 +1,152 @@
+"""Budget enforcement across the search surfaces, incl. the acceptance
+criterion: a 200 ms budget on a dense 40-op CDFG terminates within 2×
+the deadline with BudgetExceededError — never InfeasibleScheduleError.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType, ResourceClass
+from repro.errors import BudgetExceededError, InfeasibleScheduleError
+from repro.resilience.budget import Budget
+from repro.resilience.pipeline import robust_schedule
+from repro.scheduling.exact import exact_schedule
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.resources import UNLIMITED, ResourceSet
+
+
+def dense_cdfg(num_ops: int = 40) -> CDFG:
+    """Independent ops: the search tree is ~horizon**num_ops wide."""
+    g = CDFG("dense")
+    g.add_operation("x", OpType.INPUT)
+    for i in range(num_ops):
+        g.add_operation(f"a{i}", OpType.ADD)
+        g.add_data_edge("x", f"a{i}")
+    return g
+
+
+class TestBudgetPrimitive:
+    def test_node_cap_trips(self):
+        budget = Budget(node_limit=10)
+        for _ in range(10):
+            budget.charge()
+        with pytest.raises(BudgetExceededError, match="node budget"):
+            budget.charge()
+
+    def test_wall_deadline_trips(self):
+        budget = Budget(wall_ms=1.0, check_stride=1)
+        time.sleep(0.01)
+        with pytest.raises(BudgetExceededError, match="deadline"):
+            budget.charge()
+
+    def test_stride_defers_deadline_sampling(self):
+        budget = Budget(wall_ms=1.0, check_stride=1000)
+        time.sleep(0.01)
+        # 999 charges stay under the stride: the deadline is never
+        # sampled even though it has long passed.
+        for _ in range(999):
+            budget.charge()
+        assert budget.exhausted
+        with pytest.raises(BudgetExceededError):
+            budget.check_deadline()
+
+    def test_restart_resets(self):
+        budget = Budget(node_limit=5)
+        for _ in range(5):
+            budget.charge()
+        budget.restart()
+        assert budget.nodes == 0
+        budget.charge(5)  # does not raise: cap is > again afterwards
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(wall_ms=0)
+        with pytest.raises(ValueError):
+            Budget(node_limit=0)
+        with pytest.raises(ValueError):
+            Budget(check_stride=0)
+
+    def test_remaining_ms(self):
+        assert Budget().remaining_ms is None
+        budget = Budget(wall_ms=10_000)
+        assert 0 < budget.remaining_ms <= 10_000
+
+
+class TestAcceptanceCriterion:
+    """ISSUE acceptance: dense 40-op CDFG, 200 ms budget."""
+
+    def test_exact_terminates_within_twice_budget(self):
+        g = dense_cdfg(40)
+        # 13 steps x 3 ALUs = 39 slots < 40 ops: infeasible, but the
+        # proof would enumerate ~13**40 placements. Only the budget
+        # can end this search.
+        resources = ResourceSet({ResourceClass.ALU: 3})
+        budget = Budget(wall_ms=200.0)
+        started = time.monotonic()
+        with pytest.raises(BudgetExceededError):
+            exact_schedule(
+                g, horizon=13, resources=resources,
+                node_limit=10**9, budget=budget,
+            )
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        assert elapsed_ms < 2 * 200.0
+
+    def test_fallback_still_returns_legal_schedule(self):
+        g = dense_cdfg(40)
+        resources = ResourceSet({ResourceClass.ALU: 3})
+        result = robust_schedule(
+            g, horizon=13, resources=resources, budget=Budget(wall_ms=200.0)
+        )
+        assert result.degraded
+        assert result.scheduler in ("force-directed", "list")
+        assert not result.attempts[0].succeeded
+        assert "BudgetExceededError" in result.attempts[0].error
+        result.schedule.verify(g, resources=resources)  # legal
+
+    def test_budget_error_is_not_infeasibility(self):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            exact_schedule(
+                dense_cdfg(40),
+                horizon=13,
+                resources=ResourceSet({ResourceClass.ALU: 3}),
+                node_limit=10**9,
+                budget=Budget(wall_ms=50.0),
+            )
+        assert not isinstance(excinfo.value, InfeasibleScheduleError)
+
+
+class TestBudgetedSurfaces:
+    def test_force_directed_charges(self, iir4):
+        with pytest.raises(BudgetExceededError):
+            force_directed_schedule(iir4, horizon=8, budget=Budget(node_limit=3))
+
+    def test_select_domain_charges(self, iir4, alice):
+        from repro.core.domain import DomainParams, select_root_and_domain
+        from repro.crypto.bitstream import BitStream
+
+        with pytest.raises(BudgetExceededError):
+            select_root_and_domain(
+                iir4,
+                BitStream(alice, "t"),
+                DomainParams(),
+                budget=Budget(node_limit=1),
+            )
+
+    def test_shared_budget_drains_across_stages(self, iir4):
+        budget = Budget(node_limit=100_000)
+        exact_schedule(iir4, horizon=10, resources=UNLIMITED, budget=budget)
+        spent = budget.nodes
+        assert spent > 0
+        force_directed_schedule(iir4, horizon=10, budget=budget)
+        assert budget.nodes > spent  # same pool, still draining
+
+    def test_unbudgeted_calls_unchanged(self, iir4):
+        a = exact_schedule(iir4, horizon=10, resources=UNLIMITED)
+        b = exact_schedule(
+            iir4, horizon=10, resources=UNLIMITED, budget=Budget(wall_ms=60_000)
+        )
+        assert a.start_times == b.start_times

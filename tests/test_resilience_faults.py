@@ -1,0 +1,152 @@
+"""Fault injection: determinism, reports, DAG preservation, composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.generators import random_layered_cdfg
+from repro.resilience.faults import (
+    FaultInjectionError,
+    apply_faults,
+    delete_edges,
+    drop_nodes,
+    duplicate_nodes,
+    flip_record_bits,
+    jitter_schedule,
+    retype_ops,
+    rewire_edges,
+)
+from repro.scheduling.list_scheduler import list_schedule
+
+
+@pytest.fixture
+def design():
+    return random_layered_cdfg(60, seed=7)
+
+
+ALL_CDFG_FAULTS = [
+    drop_nodes,
+    duplicate_nodes,
+    delete_edges,
+    rewire_edges,
+    retype_ops,
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("fault", ALL_CDFG_FAULTS)
+    def test_same_seed_identical_graph(self, design, fault):
+        a, report_a = fault(design, seed=123, rate=0.2)
+        b, report_b = fault(design, seed=123, rate=0.2)
+        assert report_a == report_b
+        assert sorted(a.operations) == sorted(b.operations)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert {n: a.op(n) for n in a.operations} == {
+            n: b.op(n) for n in b.operations
+        }
+
+    @pytest.mark.parametrize("fault", ALL_CDFG_FAULTS)
+    def test_different_seed_differs(self, design, fault):
+        _, report_a = fault(design, seed=1, rate=0.2)
+        _, report_b = fault(design, seed=2, rate=0.2)
+        assert report_a.details != report_b.details
+
+    def test_jitter_deterministic(self, design):
+        schedule = list_schedule(design)
+        a, _ = jitter_schedule(schedule, seed=5, rate=0.3)
+        b, _ = jitter_schedule(schedule, seed=5, rate=0.3)
+        assert a.start_times == b.start_times
+
+    def test_original_untouched(self, design):
+        before_edges = sorted(design.edges())
+        before_nodes = sorted(design.operations)
+        for fault in ALL_CDFG_FAULTS:
+            fault(design, seed=9, rate=0.3)
+        assert sorted(design.edges()) == before_edges
+        assert sorted(design.operations) == before_nodes
+
+
+class TestReportsAndInvariants:
+    @pytest.mark.parametrize("fault", ALL_CDFG_FAULTS)
+    def test_still_a_dag_with_report(self, design, fault):
+        corrupted, report = fault(design, seed=3, rate=0.25)
+        corrupted.validate()  # must stay a legal CDFG
+        assert report.applied == len(report.details)
+        assert report.kind
+
+    def test_rate_scales_applied(self, design):
+        _, low = delete_edges(design, seed=4, rate=0.05)
+        _, high = delete_edges(design, seed=4, rate=0.5)
+        assert high.applied > low.applied
+
+    def test_count_form(self, design):
+        corrupted, report = drop_nodes(design, seed=1, count=3)
+        assert report.applied == 3
+        assert len(corrupted.schedulable_operations) == (
+            len(design.schedulable_operations) - 3
+        )
+
+    def test_rate_and_count_mutually_exclusive(self, design):
+        with pytest.raises(FaultInjectionError):
+            drop_nodes(design, seed=1, rate=0.1, count=2)
+        with pytest.raises(FaultInjectionError):
+            drop_nodes(design, seed=1)
+
+    def test_duplicate_adds_parallel_copies(self, design):
+        corrupted, report = duplicate_nodes(design, seed=6, count=4)
+        assert corrupted.num_operations == design.num_operations + 4
+        assert report.applied == 4
+
+    def test_retype_changes_ops_not_latency(self, design):
+        corrupted, report = retype_ops(design, seed=8, count=5)
+        changed = 0
+        for node in design.schedulable_operations:
+            assert corrupted.latency(node) == design.latency(node)
+            if corrupted.op(node) is not design.op(node):
+                changed += 1
+        assert changed == report.applied == 5
+
+
+class TestRecordFaults:
+    def test_flip_record_bits(self, alice, iir4):
+        from repro.core.scheduling_wm import SchedulingWatermarker
+
+        _, watermark = SchedulingWatermarker(alice).embed(iir4)
+        corrupted, report = flip_record_bits(watermark, seed=2, count=2)
+        assert report.applied == 2
+        assert (
+            corrupted.temporal_edge_ids != watermark.temporal_edge_ids
+            or corrupted.temporal_edges != watermark.temporal_edges
+        )
+        # Untouched channels survive intact.
+        assert corrupted.root == watermark.root
+        assert corrupted.cone == watermark.cone
+
+    def test_flip_is_deterministic(self, alice, iir4):
+        from repro.core.scheduling_wm import SchedulingWatermarker
+
+        _, watermark = SchedulingWatermarker(alice).embed(iir4)
+        a, _ = flip_record_bits(watermark, seed=11, count=3)
+        b, _ = flip_record_bits(watermark, seed=11, count=3)
+        assert a == b
+
+
+class TestComposition:
+    def test_apply_faults_pipeline(self, design):
+        specs = [
+            {"kind": "delete_edges", "rate": 0.1},
+            {"kind": "drop_nodes", "rate": 0.1},
+            {"kind": "retype_ops", "rate": 0.1},
+        ]
+        corrupted, reports = apply_faults(design, specs, seed=42)
+        corrupted.validate()
+        assert [r.kind for r in reports] == [
+            "delete_edges", "drop_nodes", "retype_ops",
+        ]
+        again, reports2 = apply_faults(design, specs, seed=42)
+        assert sorted(again.edges()) == sorted(corrupted.edges())
+        assert reports == reports2
+
+    def test_unknown_kind_rejected(self, design):
+        with pytest.raises(FaultInjectionError):
+            apply_faults(design, [{"kind": "melt"}], seed=0)

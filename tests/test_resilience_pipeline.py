@@ -1,0 +1,186 @@
+"""Fallback ladder and robust embedder: degradation, widening,
+partial-success accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdfg.generators import random_layered_cdfg
+from repro.cdfg.ops import ResourceClass
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.errors import SchedulingError
+from repro.resilience.budget import Budget
+from repro.resilience.pipeline import (
+    DEFAULT_LADDER,
+    PipelineOutcome,
+    RobustEmbedder,
+    robust_schedule,
+    widened_domain_params,
+)
+from repro.scheduling.exact import exact_schedule
+from repro.scheduling.resources import UNLIMITED, ResourceSet
+from repro.timing.windows import critical_path_length
+
+
+class TestRobustSchedule:
+    def test_exact_wins_on_easy_input(self, iir4):
+        result = robust_schedule(iir4, horizon=critical_path_length(iir4))
+        assert result.scheduler == "exact"
+        assert not result.degraded
+        assert result.met_horizon
+        assert result.makespan == critical_path_length(iir4)
+        result.schedule.verify(iir4)
+
+    def test_matches_plain_exact(self, iir4):
+        horizon = critical_path_length(iir4) + 1
+        robust = robust_schedule(iir4, horizon=horizon)
+        plain = exact_schedule(iir4, horizon, UNLIMITED)
+        assert robust.schedule.start_times == plain.start_times
+
+    def test_list_rung_reports_horizon_overrun(self, chain5):
+        # chain5 needs 5 steps; horizon 3 is impossible for every rung,
+        # so the list rung wins but met_horizon is False — reported,
+        # never raised.
+        result = robust_schedule(chain5, horizon=3)
+        assert result.scheduler == "list"
+        assert result.degraded
+        assert not result.met_horizon
+        assert result.makespan == 5
+        assert [a.scheduler for a in result.attempts] == list(DEFAULT_LADDER)
+        assert all(not a.succeeded for a in result.attempts[:2])
+        result.schedule.verify(chain5)
+
+    def test_resource_pressure_degrades_past_fds(self, iir4):
+        # One ALU + one multiplier: exact proves the cp horizon
+        # infeasible and FDS (time-constrained only) violates the caps,
+        # so its verify pushes the ladder to the list rung.
+        resources = ResourceSet(
+            {ResourceClass.ALU: 1, ResourceClass.MULTIPLIER: 1}
+        )
+        result = robust_schedule(
+            iir4, horizon=critical_path_length(iir4), resources=resources
+        )
+        assert result.scheduler == "list"
+        result.schedule.verify(iir4, resources=resources)
+
+    def test_bad_ladder_rejected(self, iir4):
+        with pytest.raises(SchedulingError, match="empty"):
+            robust_schedule(iir4, ladder=())
+        with pytest.raises(SchedulingError, match="unknown"):
+            robust_schedule(iir4, ladder=("exact", "quantum"))
+
+    def test_truncated_ladder_can_fail_entirely(self, chain5):
+        with pytest.raises(SchedulingError, match="every scheduler rung"):
+            robust_schedule(chain5, horizon=3, ladder=("exact",))
+
+
+class TestWidening:
+    def test_step_zero_is_identity(self):
+        base = DomainParams()
+        assert widened_domain_params(base, 0) is base
+
+    def test_monotone_widening(self):
+        base = DomainParams(tau=2, min_domain_size=5, include_probability=0.6)
+        previous = base
+        for step in range(1, 4):
+            widened = widened_domain_params(base, step)
+            assert widened.tau > previous.tau
+            assert widened.min_domain_size <= previous.min_domain_size
+            assert widened.include_probability >= previous.include_probability
+            previous = widened
+
+    def test_bounds_respected(self):
+        base = DomainParams(tau=1, min_domain_size=3, include_probability=0.9)
+        widened = widened_domain_params(base, 10)
+        assert widened.min_domain_size >= 2
+        assert widened.include_probability <= 1.0
+
+
+class TestRobustEmbedder:
+    def test_zero_widenings_matches_plain_embed(self, alice, iir4):
+        marked_r, wm_r, widenings = RobustEmbedder(alice).embed(iir4)
+        marked_p, wm_p = SchedulingWatermarker(alice).embed(iir4)
+        assert widenings == 0
+        assert wm_r == wm_p
+        assert sorted(marked_r.temporal_edges) == sorted(
+            marked_p.temporal_edges
+        )
+
+    def test_widening_rescues_too_strict_params(self, alice, iir4):
+        # min_domain_size far above what tau=1 cones offer: the base
+        # params fail, the widened ones succeed.
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=1, min_domain_size=12)
+        )
+        strict = SchedulingWatermarker(alice, params)
+        from repro.errors import DomainSelectionError
+
+        with pytest.raises(DomainSelectionError):
+            strict.embed(iir4)
+        _, wm, widenings = RobustEmbedder(
+            alice, params=params, max_widenings=5
+        ).embed(iir4)
+        assert widenings >= 1
+        assert wm.k >= 1
+
+    def test_embed_many_full_success(self, alice):
+        graph = random_layered_cdfg(150, seed=31, num_layers=25)
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=5, min_domain_size=8), k=3
+        )
+        outcome = RobustEmbedder(alice, params=params).embed_many(graph, 4)
+        assert isinstance(outcome, PipelineOutcome)
+        assert len(outcome.localities) == 4
+        assert outcome.success_rate == 1.0
+        assert outcome.total_edges == sum(w.k for w in outcome.watermarks)
+        assert len(outcome.marked.temporal_edges) == outcome.total_edges
+
+    def test_embed_many_partial_success_never_raises(self, alice, chain5):
+        # chain5 has zero mobility: no locality can ever encode. Every
+        # locality must be accounted for as a failure, not raised.
+        outcome = RobustEmbedder(alice, max_widenings=1).embed_many(chain5, 3)
+        assert len(outcome.localities) == 3
+        assert outcome.success_rate == 0.0
+        assert outcome.succeeded == ()
+        assert len(outcome.failed) == 3
+        assert all(o.error for o in outcome.failed)
+        assert outcome.total_edges == 0
+        # The design is returned unmarked.
+        assert outcome.marked.temporal_edges == []
+
+    def test_embed_many_budget_exhaustion_is_partial(self, alice):
+        graph = random_layered_cdfg(150, seed=31, num_layers=25)
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=5, min_domain_size=8), k=3
+        )
+        # Probe what one locality costs, then grant roughly two: the
+        # budget must run dry partway through the six requested.
+        probe = Budget()
+        RobustEmbedder(
+            alice, params=params, budget=probe, max_widenings=0
+        ).embed(graph)
+        budget = Budget(node_limit=max(1, 2 * probe.nodes))
+        outcome = RobustEmbedder(
+            alice, params=params, budget=budget, max_widenings=0
+        ).embed_many(graph, 6)
+        assert len(outcome.localities) == 6
+        assert 0 < len(outcome.succeeded) < 6
+        assert any(
+            "BudgetExceededError" in o.error for o in outcome.failed
+        )
+
+    def test_partial_marks_verify(self, alice):
+        graph = random_layered_cdfg(150, seed=31, num_layers=25)
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=5, min_domain_size=8), k=3
+        )
+        embedder = RobustEmbedder(alice, params=params)
+        outcome = embedder.embed_many(graph, 3)
+        from repro.scheduling.list_scheduler import list_schedule
+
+        schedule = list_schedule(outcome.marked)
+        marker = SchedulingWatermarker(alice, params=params)
+        for watermark in outcome.watermarks:
+            result = marker.verify(outcome.marked, schedule, watermark)
+            assert result.detected

@@ -1,0 +1,135 @@
+"""Diagnostics lists: validate_cdfg / validate_schedule never raise."""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType, ResourceClass
+from repro.resilience.faults import jitter_schedule
+from repro.resilience.validate import (
+    Diagnostic,
+    errors_in,
+    is_clean,
+    summarize,
+    validate_cdfg,
+    validate_schedule,
+)
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import ResourceSet
+from repro.scheduling.schedule import Schedule
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestValidateCDFG:
+    def test_clean_design(self, iir4):
+        diags = validate_cdfg(iir4)
+        assert is_clean(diags)
+        assert errors_in(diags) == []
+
+    def test_empty_graph_warns(self):
+        diags = validate_cdfg(CDFG("void"))
+        assert codes(diags) == ["empty"]
+        assert is_clean(diags)  # a warning, not an error
+
+    def test_cycle_is_error(self):
+        g = CDFG()
+        g.add_operation("a", OpType.ADD)
+        g.add_operation("b", OpType.ADD)
+        g.add_data_edge("a", "b")
+        # add_data_edge refuses cycles, so go behind its back:
+        from repro.cdfg.graph import EdgeKind
+
+        g.graph.add_edge("b", "a", kind=EdgeKind.DATA)
+        diags = validate_cdfg(g)
+        assert "cycle" in codes(diags)
+        assert not is_clean(diags)
+
+    def test_isolated_node_warns(self, iir4):
+        iir4.add_operation("floating", OpType.ADD)
+        diags = validate_cdfg(iir4)
+        assert "isolated-node" in codes(diags)
+        assert is_clean(diags)
+
+    def test_temporal_edges_reported_as_info(self, alice, iir4):
+        from repro.core.scheduling_wm import SchedulingWatermarker
+
+        marked, _ = SchedulingWatermarker(alice).embed(iir4)
+        diags = validate_cdfg(marked)
+        infos = [d for d in diags if d.severity == "info"]
+        assert codes(infos) == ["temporal-edges"]
+
+    def test_summarize_counts(self):
+        diags = [
+            Diagnostic("error", "x", ""),
+            Diagnostic("warning", "y", ""),
+            Diagnostic("warning", "z", ""),
+            Diagnostic("info", "w", ""),
+        ]
+        assert summarize(diags) == (1, 2, 1)
+
+
+class TestValidateSchedule:
+    def test_clean_schedule(self, iir4):
+        schedule = list_schedule(iir4)
+        assert validate_schedule(iir4, schedule) == []
+
+    def test_missing_node_is_error(self, iir4):
+        schedule = list_schedule(iir4)
+        starts = dict(schedule.start_times)
+        dropped = sorted(starts)[0]
+        del starts[dropped]
+        diags = validate_schedule(iir4, Schedule(starts))
+        assert "missing-node" in codes(diags)
+        assert not is_clean(diags)
+
+    def test_unknown_node_is_warning(self, iir4):
+        schedule = list_schedule(iir4)
+        starts = dict(schedule.start_times)
+        starts["ghost"] = 0
+        diags = validate_schedule(iir4, Schedule(starts))
+        assert codes(diags) == ["unknown-node"]
+        assert is_clean(diags)
+
+    def test_jitter_produces_precedence_findings(self, iir4):
+        schedule = list_schedule(iir4)
+        jittered, report = jitter_schedule(schedule, seed=3, rate=0.5)
+        assert report.applied > 0
+        diags = validate_schedule(iir4, jittered)
+        # Unlike Schedule.verify, every violation is listed, not just
+        # the first, and nothing is raised.
+        precedence = [d for d in diags if d.code == "precedence"]
+        assert precedence
+        assert all(d.subject for d in precedence)
+
+    def test_temporal_violation_is_warning_only(self, alice, iir4):
+        from repro.core.scheduling_wm import SchedulingWatermarker
+
+        marked, wm = SchedulingWatermarker(alice).embed(iir4)
+        schedule = list_schedule(marked)
+        src, dst = wm.temporal_edges[0]
+        # Swap the constrained pair's ordering without breaking any
+        # real dependence between them (temporal edges are extra).
+        starts = dict(schedule.start_times)
+        starts[dst] = 0
+        diags = validate_schedule(marked, Schedule(starts))
+        temporal = [
+            d
+            for d in diags
+            if d.code == "precedence" and d.subject == f"{src}->{dst}"
+        ]
+        assert temporal and temporal[0].severity == "warning"
+
+    def test_horizon_and_resources(self, iir4):
+        schedule = list_schedule(iir4)
+        diags = validate_schedule(
+            iir4,
+            schedule,
+            horizon=1,
+            resources=ResourceSet({ResourceClass.ALU: 1}),
+        )
+        assert "horizon" in codes(diags)
+        assert "resources" in codes(diags)
+        errors, _, _ = summarize(diags)
+        assert errors == len(diags)

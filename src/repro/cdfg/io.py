@@ -22,6 +22,7 @@ from typing import Any, Dict, Union
 from repro.cdfg.graph import CDFG, EdgeKind
 from repro.cdfg.ops import OpType
 from repro.errors import CDFGError
+from repro.util.atomicio import atomic_write_text
 
 
 def to_dict(cdfg: CDFG) -> Dict[str, Any]:
@@ -74,8 +75,8 @@ def from_json(text: str) -> CDFG:
 
 
 def save(cdfg: CDFG, path: Union[str, Path]) -> None:
-    """Write a CDFG to a JSON file."""
-    Path(path).write_text(to_json(cdfg), encoding="utf-8")
+    """Write a CDFG to a JSON file (atomically: temp file + rename)."""
+    atomic_write_text(path, to_json(cdfg))
 
 
 def load(path: Union[str, Path]) -> CDFG:

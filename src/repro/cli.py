@@ -16,15 +16,24 @@ design files:
     localmark stress    --design marked.json --record wm.json \\
                         --rates 0,0.05,0.1,0.2
 
-Exit status: 0 when the requested check succeeds (watermark detected /
-verified), 1 otherwise, 2 on usage errors.  Library failures and
-malformed input files are reported as a one-line ``error: ...`` on
-stderr (never a traceback).
+Exit status (also in ``localmark --help``): 0 when the requested check
+succeeds (watermark detected / verified), 1 when it ran but did not
+detect, 2 on usage errors and library failures, 3 when a search budget
+was exhausted (``BudgetExceededError``), 4 when a stress campaign
+produced no data because every trial overran its hard timeout
+(``TrialTimeoutError``).  Failures are reported as a one-line
+``error: ...`` on stderr (never a traceback).
 
 Resilience flags: ``embed`` and ``schedule`` accept ``--budget-ms``
 (wall-clock cap on the underlying search) and ``--fallback`` (graceful
 degradation: widened locality retries for ``embed``, the
 exact → force-directed → list scheduler ladder for ``schedule``).
+
+Crash-safe campaigns: ``stress --run-dir DIR`` journals every trial to
+``DIR/journal.jsonl`` with fsync and runs trials in SIGKILL-able worker
+processes (``--jobs``, ``--trial-timeout``, ``--retries``);
+``stress --resume DIR`` continues an interrupted run, skipping every
+journaled trial, and yields a table identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -45,20 +54,41 @@ from repro.core.scheduling_wm import (
     SchedulingWMParams,
 )
 from repro.crypto.signature import AuthorSignature
-from repro.errors import ReproError
+from repro.errors import BudgetExceededError, ReproError, TrialTimeoutError
 from repro.resilience.budget import Budget
 from repro.resilience.campaign import (
     DEFAULT_RATES,
+    dedupe_rates,
     render_stress_table,
     stress_campaign,
 )
 from repro.resilience.pipeline import RobustEmbedder, robust_schedule
+from repro.resilience.runner import CampaignRunner, RunnerConfig
 from repro.scheduling.exact import exact_schedule
 from repro.scheduling.force_directed import force_directed_schedule
 from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.resources import UNLIMITED
 from repro.scheduling.schedule import Schedule
 from repro.timing.windows import critical_path_length
+from repro.util.atomicio import atomic_write_json
+
+#: Documented exit codes (see the ``--help`` epilog and README).
+EXIT_OK = 0
+EXIT_NOT_DETECTED = 1
+EXIT_ERROR = 2
+EXIT_BUDGET_EXCEEDED = 3
+EXIT_TRIAL_TIMEOUT = 4
+
+EXIT_CODE_EPILOG = """\
+exit codes:
+  0  success (watermark detected / verified / command completed)
+  1  the check ran but the watermark was not detected
+  2  usage error, malformed input, or library failure
+  3  a search budget was exhausted (--budget-ms; BudgetExceededError)
+  4  a stress campaign produced no data: every trial overran its
+     --trial-timeout (TrialTimeoutError); the journal and table are
+     still written to the run directory
+"""
 
 
 def _params_from_args(args: argparse.Namespace) -> SchedulingWMParams:
@@ -176,8 +206,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     else:
         schedule = force_directed_schedule(design, horizon, budget=budget)
     payload = {"design": design.name, "start_times": schedule.start_times}
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+    atomic_write_json(args.out, payload)
     print(
         f"scheduled {len(schedule.start_times)} operations into "
         f"{schedule.makespan(design)} control steps -> {args.out}"
@@ -256,9 +285,43 @@ def _parse_rates(text: str) -> List[float]:
     return rates
 
 
+def _runner_config_from_args(args: argparse.Namespace) -> RunnerConfig:
+    return RunnerConfig(
+        jobs=args.jobs,
+        trial_timeout_s=args.trial_timeout,
+        retries=args.retries,
+    )
+
+
 def cmd_stress(args: argparse.Namespace) -> int:
+    if args.resume is not None and args.run_dir is not None:
+        raise ReproError("--resume and --run-dir are mutually exclusive")
+    if args.resume is None and args.run_dir is None:
+        for flag, default in (
+            ("jobs", 1), ("trial_timeout", None), ("retries", 2),
+        ):
+            if getattr(args, flag) != default:
+                raise ReproError(
+                    f"--{flag.replace('_', '-')} requires the crash-safe "
+                    f"runner; add --run-dir (or --resume)"
+                )
+    if args.resume is not None:
+        # Everything that defines the sweep lives in the run directory's
+        # manifest; only execution knobs come from this command line.
+        runner = CampaignRunner(
+            args.resume, _runner_config_from_args(args), echo=print
+        )
+        result = runner.resume()
+        print(result.table)
+        print(f"accounting: {result.accounting}")
+        return EXIT_OK
     if args.trials < 1:
         raise ReproError("--trials must be >= 1")
+    if args.design is None or args.record is None:
+        raise ReproError(
+            "stress requires --design and --record (unless resuming an "
+            "existing run with --resume)"
+        )
     design = load_design(args.design)
     watermark = _require_scheduling_record(args.record)
     if args.schedule is not None:
@@ -269,11 +332,28 @@ def cmd_stress(args: argparse.Namespace) -> int:
         # temporal edges steer the scheduler exactly like a tool would).
         schedule = list_schedule(design)
     suspect = design.without_temporal_edges()
-    rates = (
+    rates = dedupe_rates(
         _parse_rates(args.rates)
         if args.rates is not None
         else list(DEFAULT_RATES)
     )
+    if args.run_dir is not None:
+        runner = CampaignRunner(
+            args.run_dir, _runner_config_from_args(args), echo=print
+        )
+        result = runner.start(
+            suspect,
+            schedule,
+            watermark,
+            rates=rates,
+            seed=args.seed,
+            trials=args.trials,
+            fault_kinds=args.faults.split(","),
+            jitter=args.jitter,
+        )
+        print(result.table)
+        print(f"accounting: {result.accounting}")
+        return EXIT_OK
     points = stress_campaign(
         suspect,
         schedule,
@@ -293,13 +373,15 @@ def cmd_stress(args: argparse.Namespace) -> int:
             ),
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="localmark",
         description="Local watermarks for behavioral synthesis",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -334,8 +416,8 @@ def build_parser() -> argparse.ArgumentParser:
         "stress",
         help="sweep fault rates and report detection confidence",
     )
-    p_stress.add_argument("--design", required=True, help="marked design JSON")
-    p_stress.add_argument("--record", required=True)
+    p_stress.add_argument("--design", default=None, help="marked design JSON")
+    p_stress.add_argument("--record", default=None)
     p_stress.add_argument(
         "--schedule", default=None,
         help="schedule JSON to grade (default: list-schedule the design)",
@@ -355,6 +437,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_stress.add_argument(
         "--jitter", action="store_true",
         help="also jitter the schedule's start times at each rate",
+    )
+    p_stress.add_argument(
+        "--run-dir", default=None, dest="run_dir",
+        help="run crash-safe: journal every trial (with fsync) to this "
+        "directory and execute trials in killable worker processes",
+    )
+    p_stress.add_argument(
+        "--resume", default=None, metavar="RUN_DIR",
+        help="continue an interrupted --run-dir campaign: discard a "
+        "crash-torn journal tail, skip journaled trials, re-run the rest "
+        "from their recorded seeds",
+    )
+    p_stress.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --run-dir/--resume (default 1)",
+    )
+    p_stress.add_argument(
+        "--trial-timeout", type=float, default=None, dest="trial_timeout",
+        metavar="SECONDS",
+        help="hard per-trial timeout: a hung worker is SIGKILLed and the "
+        "trial graded timed-out (requires --run-dir/--resume)",
+    )
+    p_stress.add_argument(
+        "--retries", type=int, default=2,
+        help="retries (exponential backoff + jitter) for crashed trial "
+        "workers before grading the trial as crashed (default 2)",
     )
     p_stress.set_defaults(func=cmd_stress)
 
@@ -393,13 +501,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except BudgetExceededError as exc:
+        # Budget exhaustion is actionable (raise --budget-ms or add
+        # --fallback), so it gets its own documented exit code.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BUDGET_EXCEEDED
+    except TrialTimeoutError as exc:
+        # Likewise: every trial hit --trial-timeout; the run directory
+        # still holds the journal and the (all-timed-out) table.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_TRIAL_TIMEOUT
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         # One-line diagnosis, never a traceback: library errors
         # (ReproError covers scheduling, watermarking, budgets, and
         # fault injection), unreadable files, and malformed JSON all
         # land here.
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

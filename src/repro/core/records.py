@@ -18,6 +18,7 @@ from repro.errors import WatermarkError
 from repro.templates.library import Template, TemplateNode
 from repro.templates.matcher import Matching
 from repro.cdfg.ops import OpType
+from repro.util.atomicio import atomic_write_text
 
 SCHEMA_VERSION = 1
 
@@ -143,7 +144,9 @@ def save_record(
         payload = matching_watermark_to_dict(wm)
     else:
         raise WatermarkError(f"unknown watermark type: {type(wm)!r}")
-    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    # Atomic: an author's only proof of ownership must never be a torn
+    # file because the archiving process died mid-write.
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_record(
@@ -172,7 +175,7 @@ def save_records(
             payload.append(matching_watermark_to_dict(wm))
         else:
             raise WatermarkError(f"unknown watermark type: {type(wm)!r}")
-    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_records(

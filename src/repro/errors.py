@@ -49,6 +49,32 @@ class BudgetExceededError(ReproError):
     """
 
 
+class RunnerError(ReproError):
+    """Crash-safe campaign runner failure (journal, manifest, workers)."""
+
+
+class TrialTimeoutError(RunnerError):
+    """A process-isolated trial overran its hard wall-clock timeout.
+
+    The runner SIGKILLs the hung worker and grades the trial as
+    *timed-out* in the journal; the error type itself is raised (and
+    mapped to CLI exit code 4) only when the sweep produced no usable
+    data because every trial timed out.  Distinct from
+    :class:`BudgetExceededError`: a budget is cooperative (the search
+    checks its own deadline), a trial timeout is enforced from outside
+    on a worker that may be wedged.
+    """
+
+
+class TrialCrashedError(RunnerError):
+    """A trial's worker process died (segfault, OOM-kill, os._exit).
+
+    Crashes are retried with exponential backoff; this error surfaces
+    only when the sweep produced no usable data because every trial
+    exhausted its retries.
+    """
+
+
 class WatermarkError(ReproError):
     """Watermark embedding or verification failed."""
 

@@ -17,6 +17,9 @@ conditions:
   embedder.
 * :mod:`repro.resilience.campaign` — detection-confidence-vs-fault-rate
   stress sweeps behind ``localmark stress``.
+* :mod:`repro.resilience.runner` — the crash-safe execution harness:
+  fsync'd JSONL run journal, checkpoint/resume from a run directory,
+  process-isolated trials with hard timeouts and retries.
 
 Attribute access is lazy (PEP 562): the core schedulers import
 ``repro.resilience.budget`` while :mod:`repro.core` is still loading,
@@ -60,6 +63,17 @@ _EXPORTS = {
     "StressPoint": "repro.resilience.campaign",
     "stress_campaign": "repro.resilience.campaign",
     "render_stress_table": "repro.resilience.campaign",
+    "TrialSpec": "repro.resilience.campaign",
+    "TrialRecord": "repro.resilience.campaign",
+    "plan_trials": "repro.resilience.campaign",
+    "execute_trial": "repro.resilience.campaign",
+    "aggregate_points": "repro.resilience.campaign",
+    "Accounting": "repro.resilience.runner",
+    "CampaignRunner": "repro.resilience.runner",
+    "CampaignRunResult": "repro.resilience.runner",
+    "RunManifest": "repro.resilience.runner",
+    "RunnerConfig": "repro.resilience.runner",
+    "load_journal": "repro.resilience.runner",
 }
 
 __all__ = list(_EXPORTS)
@@ -84,8 +98,21 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.resilience.campaign import (
         DEFAULT_RATES,
         StressPoint,
+        TrialRecord,
+        TrialSpec,
+        aggregate_points,
+        execute_trial,
+        plan_trials,
         render_stress_table,
         stress_campaign,
+    )
+    from repro.resilience.runner import (
+        Accounting,
+        CampaignRunner,
+        CampaignRunResult,
+        RunManifest,
+        RunnerConfig,
+        load_journal,
     )
     from repro.resilience.faults import (
         CDFG_FAULTS,

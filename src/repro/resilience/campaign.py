@@ -9,6 +9,16 @@ corrupted artifacts, and records a :class:`StressPoint` — detection is
 *graded*, never crashed, even at corruption levels that break the
 design's structure.
 
+The sweep is decomposed into pure pieces the crash-safe runner
+(:mod:`repro.resilience.runner`) reuses verbatim, so an in-process
+campaign and a journaled, process-isolated, resumed one aggregate to
+bit-identical tables:
+
+* :func:`plan_trials` — expand (rates × trials) into
+  :class:`TrialSpec`\\ s with deterministic per-trial seeds;
+* :func:`execute_trial` — run one spec to a :class:`TrialRecord`;
+* :func:`aggregate_points` — fold records into :class:`StressPoint`\\ s.
+
 The table renderer reuses :func:`repro.analysis.report.render_table`
 so campaign output pastes into EXPERIMENTS.md like every benchmark.
 """
@@ -16,7 +26,7 @@ so campaign output pastes into EXPERIMENTS.md like every benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.report import percent, render_table
 from repro.cdfg.graph import CDFG
@@ -36,6 +46,178 @@ DEFAULT_RATES: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.20)
 
 #: CDFG fault kinds a campaign may apply (see faults.CDFG_FAULTS).
 DEFAULT_FAULT_KINDS: Tuple[str, ...] = ("delete_edges",)
+
+#: Terminal trial outcomes a journal may record.
+TRIAL_OUTCOMES: Tuple[str, ...] = (
+    "completed", "error", "timed_out", "crashed"
+)
+
+
+def derive_trial_seed(seed: int, rate_index: int, trial: int) -> int:
+    """The deterministic per-trial seed every execution mode shares."""
+    return seed + 7919 * rate_index + 104729 * trial
+
+
+def dedupe_rates(rates: Sequence[float]) -> List[float]:
+    """Drop duplicate rates, keeping first-occurrence order.
+
+    Duplicate rates would silently re-measure the same corruption under
+    shifted seeds; deduplicating *before* trial planning keeps seed
+    derivation (which keys off the rate index) stable and deterministic
+    regardless of how the caller assembled the list.
+    """
+    return list(dict.fromkeys(rates))
+
+
+def validate_campaign(
+    rates: Sequence[float],
+    trials: int,
+    fault_kinds: Sequence[str],
+) -> None:
+    """Reject malformed sweep parameters with a clear error."""
+    if not rates:
+        raise ReproError("rates must be non-empty")
+    bad = [r for r in rates if not 0.0 <= r <= 1.0]
+    if bad:
+        raise ReproError(f"rates must lie in [0, 1]; got {bad}")
+    if trials < 1:
+        raise ReproError(f"trials must be >= 1 (got {trials})")
+    unknown = [kind for kind in fault_kinds if kind not in CDFG_FAULTS]
+    if unknown:
+        raise FaultInjectionError(
+            f"unknown fault kind(s) {unknown}; "
+            f"known: {sorted(CDFG_FAULTS)}"
+        )
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One planned trial: everything needed to reproduce it exactly.
+
+    A spec is pure data (no artifacts), so it serializes into a run
+    journal and ships to a worker process unchanged.
+    """
+
+    rate_index: int
+    rate: float
+    trial: int
+    seed: int
+    fault_kinds: Tuple[str, ...]
+    jitter: bool
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Identity of the trial within its campaign."""
+        return (self.rate_index, self.trial)
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """The measured outcome of one trial.
+
+    ``outcome`` is one of :data:`TRIAL_OUTCOMES`: ``completed`` means
+    verification ran (successfully); ``error`` means verification
+    itself failed and the trial is graded zero-confidence; ``timed_out``
+    and ``crashed`` come from the process-isolated runner and are
+    likewise graded zero rather than aborting the sweep.
+    """
+
+    rate_index: int
+    rate: float
+    trial: int
+    seed: int
+    outcome: str
+    fraction: float = 0.0
+    confidence: float = 0.0
+    detected: bool = False
+    faults_applied: int = 0
+    error: Optional[str] = None
+    retries: int = 0
+    wall_ms: float = 0.0
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.rate_index, self.trial)
+
+
+def plan_trials(
+    rates: Sequence[float],
+    trials: int,
+    seed: int,
+    fault_kinds: Sequence[str],
+    jitter: bool,
+) -> List[TrialSpec]:
+    """Expand a sweep into per-trial specs with derived seeds.
+
+    *rates* must already be validated and deduplicated; seeds key off
+    the rate's position in the list, so the expansion is a pure function
+    of its arguments and replays identically on resume.
+    """
+    kinds = tuple(fault_kinds)
+    return [
+        TrialSpec(
+            rate_index=rate_index,
+            rate=rate,
+            trial=trial,
+            seed=derive_trial_seed(seed, rate_index, trial),
+            fault_kinds=kinds,
+            jitter=jitter,
+        )
+        for rate_index, rate in enumerate(rates)
+        for trial in range(trials)
+    ]
+
+
+def execute_trial(
+    design: CDFG,
+    schedule: Schedule,
+    watermark: SchedulingWatermark,
+    spec: TrialSpec,
+    signature: Optional[AuthorSignature] = None,
+) -> TrialRecord:
+    """Corrupt, verify, and grade one trial.
+
+    Deterministic: the same artifacts and spec always produce the same
+    record, whether run in-process or inside a pool worker.  A
+    verification failure (any :class:`ReproError`) grades as a
+    zero-confidence ``error`` outcome, never an exception.
+    """
+    marker = SchedulingWatermarker(signature or AuthorSignature("_"))
+    faults = 0
+    try:
+        fault_specs = [
+            {"kind": kind, "rate": spec.rate} for kind in spec.fault_kinds
+        ]
+        corrupted, reports = apply_faults(design, fault_specs, spec.seed)
+        faults += sum(r.applied for r in reports)
+        graded_schedule = schedule
+        if spec.jitter:
+            graded_schedule, jitter_report = jitter_schedule(
+                schedule, seed=spec.seed + 1, rate=spec.rate
+            )
+            faults += jitter_report.applied
+        result = marker.verify(corrupted, graded_schedule, watermark)
+    except ReproError as exc:
+        return TrialRecord(
+            rate_index=spec.rate_index,
+            rate=spec.rate,
+            trial=spec.trial,
+            seed=spec.seed,
+            outcome="error",
+            faults_applied=faults,
+            error=str(exc),
+        )
+    return TrialRecord(
+        rate_index=spec.rate_index,
+        rate=spec.rate,
+        trial=spec.trial,
+        seed=spec.seed,
+        outcome="completed",
+        fraction=result.fraction,
+        confidence=result.confidence,
+        detected=result.detected,
+        faults_applied=faults,
+    )
 
 
 @dataclass(frozen=True)
@@ -58,8 +240,14 @@ class StressPoint:
         Fraction of trials where the conventional (all-constraints)
         detection threshold still fired.
     errors:
-        Trials where verification itself failed; graded as
-        zero-confidence rather than aborting the campaign.
+        Trials where no verification evidence was produced —
+        verification failed, the trial timed out, or its worker crashed;
+        all graded as zero-confidence rather than aborting the campaign.
+    timeouts / crashes / retries:
+        Graded accounting from the process-isolated runner: trials
+        reaped by the hard timeout, trials whose worker died after
+        exhausting retries, and total retry attempts.  Always zero for
+        in-process campaigns.
     """
 
     rate: float
@@ -69,6 +257,68 @@ class StressPoint:
     mean_confidence: float
     detection_rate: float
     errors: int
+    timeouts: int = 0
+    crashes: int = 0
+    retries: int = 0
+
+
+def aggregate_points(
+    rates: Sequence[float],
+    trials: int,
+    records: Mapping[Tuple[int, int], TrialRecord],
+) -> List[StressPoint]:
+    """Fold per-trial records into one :class:`StressPoint` per rate.
+
+    Records are consumed in (rate, trial) order so floating-point
+    accumulation is independent of execution/completion order — a
+    resumed, parallel campaign aggregates bit-identically to a fresh
+    serial one.  Every planned trial must be present.
+    """
+    points: List[StressPoint] = []
+    for rate_index, rate in enumerate(rates):
+        fractions: List[float] = []
+        confidences: List[float] = []
+        detections = 0
+        faults = 0
+        errors = 0
+        timeouts = 0
+        crashes = 0
+        retries = 0
+        for trial in range(trials):
+            try:
+                record = records[(rate_index, trial)]
+            except KeyError:
+                raise ReproError(
+                    f"campaign is missing trial {trial} at rate index "
+                    f"{rate_index}; cannot aggregate a partial sweep"
+                ) from None
+            fractions.append(record.fraction)
+            confidences.append(record.confidence)
+            faults += record.faults_applied
+            retries += record.retries
+            if record.detected:
+                detections += 1
+            if record.outcome != "completed":
+                errors += 1
+            if record.outcome == "timed_out":
+                timeouts += 1
+            elif record.outcome == "crashed":
+                crashes += 1
+        points.append(
+            StressPoint(
+                rate=rate,
+                trials=trials,
+                faults_applied=faults / trials,
+                mean_fraction=sum(fractions) / trials,
+                mean_confidence=sum(confidences) / trials,
+                detection_rate=detections / trials,
+                errors=errors,
+                timeouts=timeouts,
+                crashes=crashes,
+                retries=retries,
+            )
+        )
+    return points
 
 
 def stress_campaign(
@@ -100,59 +350,20 @@ def stress_campaign(
     trials:
         Independent seeded variants per rate; seeds derive from *seed*,
         the rate index, and the trial index, so campaigns replay.
+
+    Duplicate rates are deduplicated deterministically (first occurrence
+    wins) before seeds are derived.  For a crash-safe, process-isolated
+    version of the same sweep see
+    :class:`repro.resilience.runner.CampaignRunner`.
     """
-    if not rates:
-        raise ValueError("rates must be non-empty")
-    if trials < 1:
-        raise ValueError("trials must be >= 1")
-    unknown = [kind for kind in fault_kinds if kind not in CDFG_FAULTS]
-    if unknown:
-        raise FaultInjectionError(
-            f"unknown fault kind(s) {unknown}; "
-            f"known: {sorted(CDFG_FAULTS)}"
+    rates = dedupe_rates(rates)
+    validate_campaign(rates, trials, fault_kinds)
+    records: Dict[Tuple[int, int], TrialRecord] = {}
+    for spec in plan_trials(rates, trials, seed, fault_kinds, jitter):
+        records[spec.key] = execute_trial(
+            design, schedule, watermark, spec, signature
         )
-    marker = SchedulingWatermarker(signature or AuthorSignature("_"))
-    points: List[StressPoint] = []
-    for rate_index, rate in enumerate(rates):
-        fractions: List[float] = []
-        confidences: List[float] = []
-        detections = 0
-        faults = 0
-        errors = 0
-        for trial in range(trials):
-            trial_seed = seed + 7919 * rate_index + 104729 * trial
-            try:
-                specs = [{"kind": kind, "rate": rate} for kind in fault_kinds]
-                corrupted, reports = apply_faults(design, specs, trial_seed)
-                faults += sum(r.applied for r in reports)
-                graded_schedule = schedule
-                if jitter:
-                    graded_schedule, jitter_report = jitter_schedule(
-                        schedule, seed=trial_seed + 1, rate=rate
-                    )
-                    faults += jitter_report.applied
-                result = marker.verify(corrupted, graded_schedule, watermark)
-            except ReproError:
-                errors += 1
-                fractions.append(0.0)
-                confidences.append(0.0)
-                continue
-            fractions.append(result.fraction)
-            confidences.append(result.confidence)
-            if result.detected:
-                detections += 1
-        points.append(
-            StressPoint(
-                rate=rate,
-                trials=trials,
-                faults_applied=faults / trials,
-                mean_fraction=sum(fractions) / trials,
-                mean_confidence=sum(confidences) / trials,
-                detection_rate=detections / trials,
-                errors=errors,
-            )
-        )
-    return points
+    return aggregate_points(rates, trials, records)
 
 
 STRESS_HEADERS = (
@@ -164,14 +375,26 @@ STRESS_HEADERS = (
     "errors",
 )
 
+#: Extra columns shown only when the process-isolated runner had
+#: something to account for; plain campaigns keep the classic table.
+ACCOUNTING_HEADERS = ("timeouts", "crashes", "retries")
+
 
 def render_stress_table(
     points: Sequence[StressPoint],
     title: str = "detection confidence vs. fault rate",
 ) -> str:
-    """Render campaign results as the standard ASCII table."""
-    rows = [
-        (
+    """Render campaign results as the standard ASCII table.
+
+    When any point carries runner accounting (timeouts, crashes, or
+    retries), three extra columns surface it; otherwise the layout is
+    byte-identical to the pre-runner table.
+    """
+    accounted = any(p.timeouts or p.crashes or p.retries for p in points)
+    headers = STRESS_HEADERS + (ACCOUNTING_HEADERS if accounted else ())
+    rows = []
+    for p in points:
+        row = (
             percent(p.rate),
             f"{p.faults_applied:.1f}",
             percent(p.mean_fraction),
@@ -179,6 +402,7 @@ def render_stress_table(
             f"{p.detection_rate * p.trials:.0f}/{p.trials}",
             p.errors,
         )
-        for p in points
-    ]
-    return render_table(STRESS_HEADERS, rows, title=title)
+        if accounted:
+            row += (p.timeouts, p.crashes, p.retries)
+        rows.append(row)
+    return render_table(headers, rows, title=title)

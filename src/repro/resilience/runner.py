@@ -1,0 +1,780 @@
+"""Crash-safe campaign runner: journal, checkpoint/resume, isolation.
+
+:func:`repro.resilience.campaign.stress_campaign` measures the paper's
+robustness claim, but it runs single-process and in-memory: one hung
+exact-scheduler trial or an interpreter crash loses the whole sweep.
+This module wraps the same deterministic per-trial pieces
+(:func:`~repro.resilience.campaign.plan_trials` /
+:func:`~repro.resilience.campaign.execute_trial` /
+:func:`~repro.resilience.campaign.aggregate_points`) in a durable,
+resumable execution harness:
+
+* **Run directory** — every campaign owns a directory holding atomic
+  copies of its inputs plus an append-only journal::
+
+      run-dir/
+        manifest.json   # RunManifest: sweep parameters + status
+        design.json     # suspect design (atomic copy)
+        schedule.json   # graded schedule
+        record.json     # watermark record
+        journal.jsonl   # one fsync'd JSON line per trial outcome
+        table.txt       # final rendered table (written on completion)
+
+* **Journal + checkpoint** — each terminal trial outcome is appended
+  to ``journal.jsonl`` with fsync before the next trial may start, so
+  SIGKILL at any byte boundary loses at most the in-flight trials.
+  ``CampaignRunner.resume()`` discards a crash-torn tail line, skips
+  every journaled trial, and re-plans the rest from the manifest —
+  per-trial seeds derive from (campaign seed, rate index, trial index),
+  so resumed trials reproduce bit-for-bit.
+
+* **Process isolation** — trials execute in a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  A trial that
+  overruns the hard per-trial timeout gets its worker SIGKILLed and is
+  journaled as ``timed_out``; a worker that dies (segfault, OOM-kill)
+  surfaces as a retryable crash with exponential backoff + jitter, and
+  exhausted retries journal as ``crashed``.  Both grade into the
+  campaign table (zero confidence, counted in *errors* plus dedicated
+  accounting columns) instead of aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.io import from_dict as cdfg_from_dict
+from repro.cdfg.io import to_dict as cdfg_to_dict
+from repro.core.records import (
+    scheduling_watermark_from_dict,
+    scheduling_watermark_to_dict,
+)
+from repro.core.scheduling_wm import SchedulingWatermark
+from repro.errors import (
+    ReproError,
+    RunnerError,
+    TrialCrashedError,
+    TrialTimeoutError,
+)
+from repro.resilience.campaign import (
+    TRIAL_OUTCOMES,
+    StressPoint,
+    TrialRecord,
+    TrialSpec,
+    aggregate_points,
+    dedupe_rates,
+    execute_trial,
+    plan_trials,
+    render_stress_table,
+    validate_campaign,
+)
+from repro.scheduling.schedule import Schedule
+from repro.util.atomicio import (
+    JsonlAppender,
+    atomic_write_json,
+    atomic_write_text,
+    read_jsonl,
+)
+
+MANIFEST_NAME = "manifest.json"
+DESIGN_NAME = "design.json"
+SCHEDULE_NAME = "schedule.json"
+RECORD_NAME = "record.json"
+JOURNAL_NAME = "journal.jsonl"
+TABLE_NAME = "table.txt"
+
+MANIFEST_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunManifest:
+    """The checkpointed identity of a campaign run.
+
+    Everything trial planning depends on lives here, so ``--resume``
+    reconstructs the exact remaining work from the run directory alone
+    — the original command line is not needed and cannot drift.
+    """
+
+    design_name: str
+    rates: Tuple[float, ...]
+    trials: int
+    seed: int
+    fault_kinds: Tuple[str, ...]
+    jitter: bool
+    status: str = "running"
+    schema: int = MANIFEST_SCHEMA
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "design_name": self.design_name,
+            "rates": list(self.rates),
+            "trials": self.trials,
+            "seed": self.seed,
+            "fault_kinds": list(self.fault_kinds),
+            "jitter": self.jitter,
+            "status": self.status,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "RunManifest":
+        try:
+            if payload["schema"] != MANIFEST_SCHEMA:
+                raise RunnerError(
+                    f"unsupported manifest schema {payload['schema']!r}"
+                )
+            return RunManifest(
+                design_name=payload["design_name"],
+                rates=tuple(float(r) for r in payload["rates"]),
+                trials=int(payload["trials"]),
+                seed=int(payload["seed"]),
+                fault_kinds=tuple(payload["fault_kinds"]),
+                jitter=bool(payload["jitter"]),
+                status=payload.get("status", "running"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RunnerError(f"malformed run manifest: {exc}") from exc
+
+    @property
+    def title(self) -> str:
+        """The campaign table title (matches the in-process CLI path)."""
+        return (
+            f"detection confidence vs. fault rate on "
+            f"{self.design_name!r} ({self.trials} trial(s)/rate, "
+            f"faults: {','.join(self.fault_kinds)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+def _record_to_json(record: TrialRecord) -> Dict[str, Any]:
+    return dataclasses.asdict(record)
+
+
+def _record_from_json(payload: Mapping[str, Any]) -> TrialRecord:
+    try:
+        record = TrialRecord(
+            rate_index=int(payload["rate_index"]),
+            rate=float(payload["rate"]),
+            trial=int(payload["trial"]),
+            seed=int(payload["seed"]),
+            outcome=str(payload["outcome"]),
+            fraction=float(payload["fraction"]),
+            confidence=float(payload["confidence"]),
+            detected=bool(payload["detected"]),
+            faults_applied=int(payload["faults_applied"]),
+            error=payload.get("error"),
+            retries=int(payload.get("retries", 0)),
+            wall_ms=float(payload.get("wall_ms", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RunnerError(f"malformed journal record: {exc}") from exc
+    if record.outcome not in TRIAL_OUTCOMES:
+        raise RunnerError(
+            f"unknown journal outcome {record.outcome!r}; "
+            f"known: {TRIAL_OUTCOMES}"
+        )
+    return record
+
+
+@dataclass(frozen=True)
+class JournalState:
+    """What a recovered journal says about completed work."""
+
+    records: Dict[Tuple[int, int], TrialRecord]
+    retry_events: int
+    torn_tail_discarded: bool
+    truncate_at: Optional[int]
+
+
+def load_journal(path: Union[str, Path]) -> JournalState:
+    """Read a run journal, discarding a crash-torn tail line.
+
+    Lines are either terminal trial records or ``{"event": "retry"}``
+    audit lines; the last write wins for a duplicated trial key (which
+    can only happen if a crash landed between journal append and
+    in-memory bookkeeping — the replay is deterministic, so the records
+    are identical anyway).
+    """
+    path = Path(path)
+    if not path.exists():
+        return JournalState({}, 0, False, None)
+    raw_records, torn = read_jsonl(path)
+    records: Dict[Tuple[int, int], TrialRecord] = {}
+    retry_events = 0
+    for payload in raw_records:
+        if not isinstance(payload, Mapping):
+            raise RunnerError(f"malformed journal line: {payload!r}")
+        if payload.get("event") == "retry":
+            retry_events += 1
+            continue
+        record = _record_from_json(payload)
+        records[record.key] = record
+    return JournalState(
+        records=records,
+        retry_events=retry_events,
+        torn_tail_discarded=torn is not None,
+        truncate_at=None if torn is None else torn.offset,
+    )
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+class _TransientHookFailure(RuntimeError):
+    """Raised by a fault hook to simulate a retryable worker failure."""
+
+
+def _apply_hook(hook: Optional[Mapping[str, Any]], attempt: int) -> None:
+    """Run a test-facing fault hook inside the worker.
+
+    Hooks simulate the hostile conditions the runner exists to survive:
+    ``{"sleep_s": x}`` wedges the trial (timeout reaping),
+    ``{"kill_below_attempt": n}`` SIGKILLs the worker on early attempts
+    (crash + retry), ``{"fail_below_attempt": n}`` raises a retryable
+    error on early attempts (backoff accounting).
+    """
+    if not hook:
+        return
+    sleep_s = hook.get("sleep_s")
+    if sleep_s is not None:
+        time.sleep(float(sleep_s))
+    kill_below = hook.get("kill_below_attempt")
+    if kill_below is not None and attempt < int(kill_below):
+        os.kill(os.getpid(), 9)  # SIGKILL ourselves: a genuine crash
+    fail_below = hook.get("fail_below_attempt")
+    if fail_below is not None and attempt < int(fail_below):
+        raise _TransientHookFailure(
+            f"injected transient failure (attempt {attempt})"
+        )
+
+
+#: Per-process cache of deserialized artifacts, keyed by run token, so
+#: a forked/spawned worker rebuilds the CDFG once, not once per trial.
+_ARTIFACT_CACHE: Dict[str, Tuple[CDFG, Schedule, SchedulingWatermark]] = {}
+
+
+def _artifacts_from_payload(
+    payload: Mapping[str, Any],
+) -> Tuple[CDFG, Schedule, SchedulingWatermark]:
+    token = payload["token"]
+    cached = _ARTIFACT_CACHE.get(token)
+    if cached is None:
+        cached = (
+            cdfg_from_dict(payload["design"]),
+            Schedule(dict(payload["start_times"])),
+            scheduling_watermark_from_dict(payload["record"]),
+        )
+        _ARTIFACT_CACHE.clear()  # one campaign's artifacts at a time
+        _ARTIFACT_CACHE[token] = cached
+    return cached
+
+
+def _trial_worker(
+    payload: Mapping[str, Any],
+    spec_payload: Mapping[str, Any],
+    attempt: int,
+    hook: Optional[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Execute one trial in a worker process; returns a record dict.
+
+    Runs module-level (picklable) and self-contained: it rebuilds the
+    artifacts from plain dicts, applies any injected fault hook, and
+    returns the journal-ready record.  Verification failures grade
+    inside :func:`execute_trial`; anything escaping this function is a
+    worker failure the parent treats as retryable.
+    """
+    start = time.monotonic()
+    _apply_hook(hook, attempt)
+    design, schedule, watermark = _artifacts_from_payload(payload)
+    spec = TrialSpec(
+        rate_index=int(spec_payload["rate_index"]),
+        rate=float(spec_payload["rate"]),
+        trial=int(spec_payload["trial"]),
+        seed=int(spec_payload["seed"]),
+        fault_kinds=tuple(spec_payload["fault_kinds"]),
+        jitter=bool(spec_payload["jitter"]),
+    )
+    record = execute_trial(design, schedule, watermark, spec)
+    record = dataclasses.replace(
+        record,
+        retries=attempt,
+        wall_ms=(time.monotonic() - start) * 1000.0,
+    )
+    return _record_to_json(record)
+
+
+def _spec_to_payload(spec: TrialSpec) -> Dict[str, Any]:
+    return {
+        "rate_index": spec.rate_index,
+        "rate": spec.rate,
+        "trial": spec.trial,
+        "seed": spec.seed,
+        "fault_kinds": list(spec.fault_kinds),
+        "jitter": spec.jitter,
+    }
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Execution knobs (not part of the campaign's identity).
+
+    These may differ between the original run and a resume without
+    affecting results: they shape *how* trials execute, never *what*
+    they measure.
+    """
+
+    jobs: int = 1
+    trial_timeout_s: Optional[float] = None
+    retries: int = 2
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 2.0
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ReproError("jobs must be >= 1")
+        if self.trial_timeout_s is not None and self.trial_timeout_s <= 0:
+            raise ReproError("trial timeout must be positive")
+        if self.retries < 0:
+            raise ReproError("retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class Accounting:
+    """Graded per-run accounting surfaced next to the campaign table."""
+
+    completed: int = 0
+    errors: int = 0
+    timed_out: int = 0
+    crashed: int = 0
+    retries: int = 0
+    resumed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.completed + self.errors + self.timed_out + self.crashed
+
+    def __str__(self) -> str:
+        parts = (
+            f"{self.total} trial(s): {self.completed} completed, "
+            f"{self.errors} graded error(s), {self.timed_out} timed out, "
+            f"{self.crashed} crashed, {self.retries} retrie(s)"
+        )
+        if self.resumed:
+            parts += f", {self.resumed} skipped (already journaled)"
+        return parts
+
+
+@dataclass(frozen=True)
+class CampaignRunResult:
+    """Everything a caller needs after a (possibly resumed) run."""
+
+    points: List[StressPoint]
+    manifest: RunManifest
+    accounting: Accounting
+    run_dir: Path
+    table: str
+    torn_tail_discarded: bool = False
+
+
+@dataclass
+class _InFlight:
+    spec: TrialSpec
+    attempt: int
+    deadline: Optional[float]
+
+
+class CampaignRunner:
+    """Durable, process-isolated execution of a stress campaign.
+
+    ``start()`` lays out a fresh run directory and executes the sweep;
+    ``resume()`` picks up an interrupted directory, discarding a torn
+    journal tail and re-running only un-journaled trials.  Both paths
+    end in :func:`~repro.resilience.campaign.aggregate_points` over the
+    journal, so the final table is identical to an uninterrupted
+    in-process :func:`~repro.resilience.campaign.stress_campaign` with
+    the same parameters (modulo accounting columns when trials timed
+    out or crashed).
+    """
+
+    def __init__(
+        self,
+        run_dir: Union[str, Path],
+        config: RunnerConfig = RunnerConfig(),
+        hooks: Optional[Mapping[Tuple[int, int], Mapping[str, Any]]] = None,
+        echo: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        self.config = config
+        self.hooks = dict(hooks or {})
+        self.echo = echo or (lambda message: None)
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        design: CDFG,
+        schedule: Schedule,
+        watermark: SchedulingWatermark,
+        rates: Sequence[float],
+        seed: int = 0,
+        trials: int = 3,
+        fault_kinds: Sequence[str] = ("delete_edges",),
+        jitter: bool = False,
+    ) -> CampaignRunResult:
+        """Create the run directory and execute the full sweep."""
+        rates = dedupe_rates(rates)
+        validate_campaign(rates, trials, fault_kinds)
+        manifest_path = self.run_dir / MANIFEST_NAME
+        if manifest_path.exists():
+            raise RunnerError(
+                f"run directory {self.run_dir} already holds a campaign; "
+                f"use resume() / --resume to continue it"
+            )
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(self.run_dir / DESIGN_NAME, cdfg_to_dict(design))
+        atomic_write_json(
+            self.run_dir / SCHEDULE_NAME,
+            {"design": design.name, "start_times": schedule.start_times},
+        )
+        atomic_write_json(
+            self.run_dir / RECORD_NAME,
+            scheduling_watermark_to_dict(watermark),
+        )
+        manifest = RunManifest(
+            design_name=design.name,
+            rates=tuple(rates),
+            trials=trials,
+            seed=seed,
+            fault_kinds=tuple(fault_kinds),
+            jitter=jitter,
+        )
+        atomic_write_json(manifest_path, manifest.to_dict())
+        return self._execute(
+            design, schedule, watermark, manifest,
+            JournalState({}, 0, False, None),
+        )
+
+    def resume(self) -> CampaignRunResult:
+        """Continue an interrupted run from its directory alone."""
+        manifest_path = self.run_dir / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise RunnerError(
+                f"{self.run_dir} is not a campaign run directory "
+                f"(no {MANIFEST_NAME})"
+            )
+        manifest = RunManifest.from_dict(
+            json.loads(manifest_path.read_text(encoding="utf-8"))
+        )
+        design = cdfg_from_dict(
+            json.loads(
+                (self.run_dir / DESIGN_NAME).read_text(encoding="utf-8")
+            )
+        )
+        schedule = Schedule(
+            dict(
+                json.loads(
+                    (self.run_dir / SCHEDULE_NAME).read_text(
+                        encoding="utf-8"
+                    )
+                )["start_times"]
+            )
+        )
+        watermark = scheduling_watermark_from_dict(
+            json.loads(
+                (self.run_dir / RECORD_NAME).read_text(encoding="utf-8")
+            )
+        )
+        state = load_journal(self.run_dir / JOURNAL_NAME)
+        if state.torn_tail_discarded:
+            self.echo(
+                "note: journal tail was torn by a crash mid-record; "
+                "discarding it and re-running that trial"
+            )
+        return self._execute(design, schedule, watermark, manifest, state)
+
+    # ------------------------------------------------------------------
+    # execution engine
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        design: CDFG,
+        schedule: Schedule,
+        watermark: SchedulingWatermark,
+        manifest: RunManifest,
+        state: JournalState,
+    ) -> CampaignRunResult:
+        specs = plan_trials(
+            manifest.rates,
+            manifest.trials,
+            manifest.seed,
+            manifest.fault_kinds,
+            manifest.jitter,
+        )
+        done: Dict[Tuple[int, int], TrialRecord] = dict(state.records)
+        pending: Deque[Tuple[TrialSpec, int]] = deque(
+            (spec, 0) for spec in specs if spec.key not in done
+        )
+        resumed = len(specs) - len(pending)
+        if resumed:
+            self.echo(
+                f"resume: {resumed}/{len(specs)} trial(s) already "
+                f"journaled; {len(pending)} to run"
+            )
+        retries_this_run = 0
+        payload = {
+            "token": str(self.run_dir.resolve()),
+            "design": cdfg_to_dict(design),
+            "start_times": dict(schedule.start_times),
+            "record": scheduling_watermark_to_dict(watermark),
+        }
+        journal = JsonlAppender(
+            self.run_dir / JOURNAL_NAME, truncate_at=state.truncate_at
+        )
+        executor: Optional[ProcessPoolExecutor] = None
+        running: Dict[Future, _InFlight] = {}
+        session_outcomes: List[str] = []
+
+        def journal_terminal(record: TrialRecord) -> None:
+            journal.append(_record_to_json(record))
+            done[record.key] = record
+            session_outcomes.append(record.outcome)
+
+        def handle_failure(flight: _InFlight, error: str) -> None:
+            nonlocal retries_this_run
+            if flight.attempt < self.config.retries:
+                retries_this_run += 1
+                journal.append(
+                    {
+                        "event": "retry",
+                        "rate_index": flight.spec.rate_index,
+                        "trial": flight.spec.trial,
+                        "attempt": flight.attempt,
+                        "error": error,
+                    }
+                )
+                self._backoff(flight.spec, flight.attempt)
+                pending.append((flight.spec, flight.attempt + 1))
+            else:
+                journal_terminal(
+                    dataclasses.replace(
+                        _zero_record(flight.spec, "crashed", error),
+                        retries=flight.attempt,
+                    )
+                )
+                self.echo(
+                    f"trial {flight.spec.key} crashed after "
+                    f"{flight.attempt + 1} attempt(s): {error}"
+                )
+
+        try:
+            if pending:
+                executor = self._new_executor()
+            while pending or running:
+                while pending and len(running) < self.config.jobs:
+                    spec, attempt = pending.popleft()
+                    try:
+                        future = executor.submit(
+                            _trial_worker,
+                            payload,
+                            _spec_to_payload(spec),
+                            attempt,
+                            self.hooks.get(spec.key),
+                        )
+                    except BrokenProcessPool:
+                        # Pool died between polls: requeue and rebuild.
+                        pending.appendleft((spec, attempt))
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = self._new_executor()
+                        continue
+                    deadline = (
+                        None
+                        if self.config.trial_timeout_s is None
+                        else time.monotonic() + self.config.trial_timeout_s
+                    )
+                    running[future] = _InFlight(spec, attempt, deadline)
+                finished, _ = wait(
+                    set(running),
+                    timeout=self.config.poll_interval_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broken = False
+                for future in finished:
+                    flight = running.pop(future)
+                    try:
+                        record_payload = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        handle_failure(flight, "worker process died")
+                        continue
+                    except Exception as exc:  # worker raised
+                        handle_failure(flight, str(exc))
+                        continue
+                    journal_terminal(_record_from_json(record_payload))
+                now = time.monotonic()
+                hung = [
+                    future
+                    for future, flight in running.items()
+                    if flight.deadline is not None and now >= flight.deadline
+                ]
+                if hung:
+                    # SIGKILL the pool: the only way to stop a wedged
+                    # worker.  Trials that were merely sharing the pool
+                    # are requeued without burning a retry.
+                    self._kill_executor(executor)
+                    for future, flight in list(running.items()):
+                        if future in hung:
+                            journal_terminal(
+                                dataclasses.replace(
+                                    _zero_record(
+                                        flight.spec,
+                                        "timed_out",
+                                        f"hard timeout after "
+                                        f"{self.config.trial_timeout_s}s",
+                                    ),
+                                    retries=flight.attempt,
+                                )
+                            )
+                            self.echo(
+                                f"trial {flight.spec.key} hung; worker "
+                                f"SIGKILLed and trial graded timed-out"
+                            )
+                        else:
+                            pending.appendleft((flight.spec, flight.attempt))
+                    running.clear()
+                    executor = (
+                        self._new_executor() if pending else None
+                    )
+                elif pool_broken:
+                    # A dead worker poisons every in-flight future of a
+                    # ProcessPoolExecutor; drain them as retryable and
+                    # rebuild the pool.
+                    for future, flight in list(running.items()):
+                        running.pop(future)
+                        handle_failure(flight, "worker pool broke")
+                    if executor is not None:
+                        executor.shutdown(wait=False, cancel_futures=True)
+                    executor = (
+                        self._new_executor() if pending else None
+                    )
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+            journal.close()
+
+        points = aggregate_points(
+            manifest.rates, manifest.trials, done
+        )
+        accounting = Accounting(
+            completed=sum(
+                1 for r in done.values() if r.outcome == "completed"
+            ),
+            errors=sum(1 for r in done.values() if r.outcome == "error"),
+            timed_out=sum(
+                1 for r in done.values() if r.outcome == "timed_out"
+            ),
+            crashed=sum(
+                1 for r in done.values() if r.outcome == "crashed"
+            ),
+            retries=state.retry_events + retries_this_run,
+            resumed=resumed,
+        )
+        table = render_stress_table(points, title=manifest.title)
+        atomic_write_text(self.run_dir / TABLE_NAME, table + "\n")
+        atomic_write_json(
+            self.run_dir / MANIFEST_NAME,
+            dataclasses.replace(manifest, status="complete").to_dict(),
+        )
+        if session_outcomes and all(
+            outcome == "timed_out" for outcome in session_outcomes
+        ):
+            raise TrialTimeoutError(
+                f"every trial run this session ({len(session_outcomes)}) "
+                f"overran the {self.config.trial_timeout_s}s hard timeout; "
+                f"raise --trial-timeout (journal and table were still "
+                f"written to {self.run_dir})"
+            )
+        if session_outcomes and all(
+            outcome == "crashed" for outcome in session_outcomes
+        ):
+            raise TrialCrashedError(
+                f"every trial run this session ({len(session_outcomes)}) "
+                f"crashed after {self.config.retries} retrie(s); journal "
+                f"and table were still written to {self.run_dir}"
+            )
+        return CampaignRunResult(
+            points=points,
+            manifest=manifest,
+            accounting=accounting,
+            run_dir=self.run_dir,
+            table=table,
+            torn_tail_discarded=state.torn_tail_discarded,
+        )
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.config.jobs)
+
+    @staticmethod
+    def _kill_executor(executor: Optional[ProcessPoolExecutor]) -> None:
+        """SIGKILL every pool worker, then discard the broken pool."""
+        if executor is None:
+            return
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except (OSError, ValueError):  # already gone
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _backoff(self, spec: TrialSpec, attempt: int) -> None:
+        """Exponential backoff with deterministic, seeded jitter."""
+        if self.config.backoff_base_s <= 0:
+            return
+        jitter = random.Random(spec.seed * 31 + attempt).random()
+        delay = min(
+            self.config.backoff_cap_s,
+            self.config.backoff_base_s * (2 ** attempt) * (0.5 + jitter),
+        )
+        time.sleep(delay)
+
+
+def _zero_record(
+    spec: TrialSpec, outcome: str, error: str
+) -> TrialRecord:
+    """A graded zero-confidence record for a reaped or crashed trial."""
+    return TrialRecord(
+        rate_index=spec.rate_index,
+        rate=spec.rate,
+        trial=spec.trial,
+        seed=spec.seed,
+        outcome=outcome,
+        error=error,
+    )

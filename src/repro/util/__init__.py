@@ -1,0 +1,27 @@
+"""Cross-cutting utilities shared by every subsystem.
+
+Currently one member: :mod:`repro.util.atomicio`, the durable-write
+layer (temp file + ``os.replace`` + directory fsync, and fsync'd
+append-only JSONL) that the CDFG/record/schedule writers and the
+crash-safe campaign runner build on.
+"""
+
+from __future__ import annotations
+
+from repro.util.atomicio import (
+    JsonlAppender,
+    TornTail,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_directory,
+    read_jsonl,
+)
+
+__all__ = [
+    "JsonlAppender",
+    "TornTail",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_directory",
+    "read_jsonl",
+]

@@ -1,0 +1,211 @@
+"""Atomic, durable file I/O: crash-safe writes and fsync'd JSONL.
+
+Plain ``open(...).write`` / ``Path.write_text`` is not crash-safe: a
+process killed mid-write leaves a truncated file, and a killed rename-
+free rewrite leaves *no* valid version at all.  Every artifact this
+package persists (designs, schedules, watermark records, campaign
+tables) goes through this module instead:
+
+* :func:`atomic_write_text` / :func:`atomic_write_json` — write to a
+  temporary file in the destination directory, flush + ``fsync`` it,
+  ``os.replace`` it over the destination, then ``fsync`` the directory
+  so the rename itself is durable.  Readers see either the old complete
+  file or the new complete file, never a torn hybrid.
+* :class:`JsonlAppender` — an append-only JSON-Lines writer that
+  ``fsync``\\ s after every record, for journals whose tail must survive
+  SIGKILL at any byte boundary.
+* :func:`read_jsonl` — the matching reader; it tolerates a *torn tail*
+  (a final line with no newline, or one that is not valid JSON — the
+  footprint of a crash mid-append) by reporting it separately instead
+  of failing, so a resume can discard it and continue.
+
+Directory fsync is best-effort: some filesystems (and all of Windows)
+refuse ``open(dir)``; durability of the rename is then up to the OS,
+which is the pre-existing behaviour everywhere else.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, IO, List, Optional, Tuple, Union
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """``fsync`` a directory so a rename inside it is durable.
+
+    Best-effort: silently ignored where directories cannot be opened
+    (Windows) or fsync'd (some network filesystems).
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: Union[str, Path],
+    text: str,
+    encoding: str = "utf-8",
+    durable: bool = True,
+) -> None:
+    """Atomically replace *path*'s contents with *text*.
+
+    The text is written to a temporary sibling, flushed, ``fsync``'d
+    (when *durable*), and renamed over *path* with :func:`os.replace`;
+    finally the parent directory is fsync'd.  A crash at any point
+    leaves either the previous file or the new one, never a torn mix,
+    and the temporary file is removed on failure.
+    """
+    target = Path(path)
+    directory = target.parent
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory) or ".", prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_directory(directory)
+
+
+def atomic_write_json(
+    path: Union[str, Path],
+    payload: Any,
+    indent: Optional[int] = 2,
+    durable: bool = True,
+) -> None:
+    """:func:`atomic_write_text` for a JSON-serializable *payload*."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent), durable=durable
+    )
+
+
+@dataclass(frozen=True)
+class TornTail:
+    """A trailing journal fragment left by a crash mid-append.
+
+    Attributes
+    ----------
+    offset:
+        Byte offset where the torn fragment starts (= the length of the
+        longest valid prefix of the file).
+    text:
+        The fragment itself, decoded with replacement characters.
+    reason:
+        Why the tail was rejected (``"no trailing newline"`` or
+        ``"invalid JSON"``).
+    """
+
+    offset: int
+    text: str
+    reason: str
+
+
+def read_jsonl(
+    path: Union[str, Path],
+) -> Tuple[List[Any], Optional[TornTail]]:
+    """Read a JSON-Lines file, tolerating a crash-torn final record.
+
+    Returns ``(records, torn)`` where *records* are the parsed complete
+    lines and *torn* describes a trailing fragment — a last line missing
+    its newline, or a newline-terminated line that is not valid JSON
+    (both are the footprint of a process killed mid-append).  Corruption
+    *before* the last line is not tolerated and raises ``ValueError``:
+    an fsync'd append-only journal can only ever tear at the tail, so
+    damage anywhere else means the file is not a journal we wrote.
+    """
+    raw = Path(path).read_bytes()
+    records: List[Any] = []
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            return records, TornTail(
+                offset=offset,
+                text=raw[offset:].decode("utf-8", "replace"),
+                reason="no trailing newline",
+            )
+        line = raw[offset:newline]
+        if line.strip():
+            try:
+                records.append(json.loads(line.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError):
+                if newline == len(raw) - 1:
+                    return records, TornTail(
+                        offset=offset,
+                        text=line.decode("utf-8", "replace"),
+                        reason="invalid JSON",
+                    )
+                raise ValueError(
+                    f"{path}: corrupt record before the tail "
+                    f"(byte {offset}); not a torn append"
+                )
+        offset = newline + 1
+    return records, None
+
+
+class JsonlAppender:
+    """Append-only JSON-Lines writer with per-record durability.
+
+    Every :meth:`append` writes one ``\\n``-terminated JSON document,
+    flushes, and ``fsync``\\ s, so a record either reaches the disk whole
+    or shows up as a torn tail that :func:`read_jsonl` can discard.
+    Opening with ``truncate_at`` drops a previously detected torn tail
+    before appending resumes.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        truncate_at: Optional[int] = None,
+        durable: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.durable = durable
+        created = not self.path.exists()
+        self._handle: IO[bytes] = open(self.path, "ab")
+        if truncate_at is not None:
+            self._handle.truncate(truncate_at)
+            self._handle.seek(0, io.SEEK_END)
+        if created and durable:
+            # Make the journal's creation itself durable.
+            fsync_directory(self.path.parent)
+
+    def append(self, record: Any) -> None:
+        """Durably append one record as a single JSON line."""
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        self._handle.write(line.encode("utf-8"))
+        self._handle.flush()
+        if self.durable:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,106 @@
+"""Atomic write layer: durability contracts of repro.util.atomicio."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.util.atomicio import (
+    JsonlAppender,
+    atomic_write_json,
+    atomic_write_text,
+    read_jsonl,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_leaves_no_temp_files_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "a.json", "{}")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.json"]
+
+    def test_failure_preserves_old_content_and_cleans_temp(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("precious")
+
+        class Boom:
+            """json.dumps cannot serialize this."""
+
+        with pytest.raises(TypeError):
+            atomic_write_json(target, Boom())
+        assert target.read_text() == "precious"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.json"]
+
+    def test_json_roundtrip(self, tmp_path):
+        target = tmp_path / "payload.json"
+        payload = {"a": [1, 2, 3], "b": "x"}
+        atomic_write_json(target, payload)
+        assert json.loads(target.read_text()) == payload
+
+
+class TestJsonl:
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlAppender(path) as journal:
+            journal.append({"n": 1})
+            journal.append({"n": 2})
+        records, torn = read_jsonl(path)
+        assert records == [{"n": 1}, {"n": 2}]
+        assert torn is None
+
+    def test_torn_tail_without_newline(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(b'{"n": 1}\n{"n": 2}\n{"n": 3')
+        records, torn = read_jsonl(path)
+        assert records == [{"n": 1}, {"n": 2}]
+        assert torn is not None
+        assert torn.reason == "no trailing newline"
+        assert torn.offset == len(b'{"n": 1}\n{"n": 2}\n')
+
+    def test_torn_tail_invalid_json_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(b'{"n": 1}\n{"n": 2, "x\n')
+        records, torn = read_jsonl(path)
+        assert records == [{"n": 1}]
+        assert torn is not None and torn.reason == "invalid JSON"
+
+    def test_corruption_before_tail_is_not_tolerated(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(b'{"n": 1}\ngarbage\n{"n": 3}\n')
+        with pytest.raises(ValueError):
+            read_jsonl(path)
+
+    def test_truncate_at_discards_torn_tail(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(b'{"n": 1}\n{"n": 2')
+        _, torn = read_jsonl(path)
+        with JsonlAppender(path, truncate_at=torn.offset) as journal:
+            journal.append({"n": 99})
+        records, torn = read_jsonl(path)
+        assert records == [{"n": 1}, {"n": 99}]
+        assert torn is None
+
+    def test_records_survive_process_level_view(self, tmp_path):
+        # Each append is flushed to the OS before returning, so another
+        # reader (or a post-crash resume) sees every completed record.
+        path = tmp_path / "log.jsonl"
+        journal = JsonlAppender(path)
+        journal.append({"n": 1})
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            assert os.read(fd, 4096) == b'{"n":1}\n'
+        finally:
+            os.close(fd)
+        journal.close()

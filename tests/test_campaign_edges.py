@@ -1,0 +1,98 @@
+"""Campaign edge cases: total corruption, bad trial counts, dup rates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.errors import ReproError
+from repro.resilience.campaign import (
+    dedupe_rates,
+    derive_trial_seed,
+    plan_trials,
+    stress_campaign,
+)
+from repro.scheduling.list_scheduler import list_schedule
+
+
+@pytest.fixture(scope="module")
+def campaign_artifacts():
+    from repro.cdfg.designs import fourth_order_parallel_iir
+
+    marker = SchedulingWatermarker(
+        AuthorSignature("alice-designs-inc"),
+        SchedulingWMParams(domain=DomainParams(tau=4), k=3),
+    )
+    marked, watermark = marker.embed(fourth_order_parallel_iir())
+    schedule = list_schedule(marked)
+    return marked.without_temporal_edges(), schedule, watermark
+
+
+class TestTotalCorruption:
+    def test_rate_one_grades_without_crashing(self, campaign_artifacts):
+        design, schedule, watermark = campaign_artifacts
+        points = stress_campaign(
+            design,
+            schedule,
+            watermark,
+            rates=[1.0],
+            trials=2,
+            fault_kinds=("delete_edges", "drop_nodes"),
+            jitter=True,
+        )
+        assert len(points) == 1
+        point = points[0]
+        assert point.rate == 1.0
+        assert point.trials == 2
+        # Total corruption must not abort: every trial is graded, and
+        # whatever evidence remains is a number, not an exception.
+        assert 0.0 <= point.mean_confidence <= 1.0
+        assert 0.0 <= point.mean_fraction <= 1.0
+        assert point.faults_applied > 0
+
+
+class TestBadTrials:
+    @pytest.mark.parametrize("trials", [0, -1])
+    def test_nonpositive_trials_rejected(self, campaign_artifacts, trials):
+        design, schedule, watermark = campaign_artifacts
+        with pytest.raises(ReproError, match="trials must be >= 1"):
+            stress_campaign(
+                design, schedule, watermark, rates=[0.1], trials=trials
+            )
+
+    def test_empty_rates_rejected(self, campaign_artifacts):
+        design, schedule, watermark = campaign_artifacts
+        with pytest.raises(ReproError, match="non-empty"):
+            stress_campaign(design, schedule, watermark, rates=[])
+
+
+class TestDuplicateRates:
+    def test_dedupe_preserves_first_occurrence_order(self):
+        assert dedupe_rates([0.2, 0.0, 0.2, 0.1, 0.0]) == [0.2, 0.0, 0.1]
+
+    def test_campaign_deduplicates_deterministically(
+        self, campaign_artifacts
+    ):
+        design, schedule, watermark = campaign_artifacts
+        with_dups = stress_campaign(
+            design, schedule, watermark, rates=[0.0, 0.1, 0.1, 0.0],
+            trials=2,
+        )
+        without = stress_campaign(
+            design, schedule, watermark, rates=[0.0, 0.1], trials=2
+        )
+        assert with_dups == without
+
+    def test_seeds_key_off_deduped_rate_index(self):
+        specs = plan_trials(
+            [0.0, 0.1], trials=2, seed=7, fault_kinds=("delete_edges",),
+            jitter=False,
+        )
+        assert [s.seed for s in specs] == [
+            derive_trial_seed(7, 0, 0),
+            derive_trial_seed(7, 0, 1),
+            derive_trial_seed(7, 1, 0),
+            derive_trial_seed(7, 1, 1),
+        ]

@@ -1,0 +1,268 @@
+"""Crash-safe campaign runner: journal, resume, isolation, grading.
+
+Process-pool tests stay deliberately small (a handful of trials on the
+IIR design) — the contracts under test are durability and accounting,
+not throughput.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+
+import pytest
+
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.errors import RunnerError, TrialCrashedError, TrialTimeoutError
+from repro.resilience.campaign import stress_campaign
+from repro.resilience.runner import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    TABLE_NAME,
+    CampaignRunner,
+    RunnerConfig,
+    load_journal,
+)
+from repro.scheduling.list_scheduler import list_schedule
+from repro.util.atomicio import read_jsonl
+
+RATES = [0.0, 0.1]
+TRIALS = 2
+SEED = 11
+
+#: No-backoff config so retry tests don't sleep.
+FAST = RunnerConfig(backoff_base_s=0.0)
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    from repro.cdfg.designs import fourth_order_parallel_iir
+
+    marker = SchedulingWatermarker(
+        AuthorSignature("alice-designs-inc"),
+        SchedulingWMParams(domain=DomainParams(tau=4), k=3),
+    )
+    marked, watermark = marker.embed(fourth_order_parallel_iir())
+    schedule = list_schedule(marked)
+    return marked.without_temporal_edges(), schedule, watermark
+
+
+def start_run(tmp_path, artifacts, config=FAST, hooks=None, **kwargs):
+    design, schedule, watermark = artifacts
+    runner = CampaignRunner(tmp_path / "run", config, hooks=hooks)
+    kwargs.setdefault("rates", RATES)
+    kwargs.setdefault("trials", TRIALS)
+    kwargs.setdefault("seed", SEED)
+    return runner.start(design, schedule, watermark, **kwargs)
+
+
+class TestFreshRun:
+    def test_matches_in_process_campaign(self, tmp_path, artifacts):
+        design, schedule, watermark = artifacts
+        result = start_run(tmp_path, artifacts)
+        expected = stress_campaign(
+            design, schedule, watermark, rates=RATES, trials=TRIALS,
+            seed=SEED,
+        )
+        assert result.points == expected
+
+    def test_run_dir_layout(self, tmp_path, artifacts):
+        result = start_run(tmp_path, artifacts)
+        run_dir = result.run_dir
+        for name in (
+            MANIFEST_NAME, "design.json", "schedule.json", "record.json",
+            JOURNAL_NAME, TABLE_NAME,
+        ):
+            assert (run_dir / name).exists(), name
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        assert manifest["status"] == "complete"
+        assert (run_dir / TABLE_NAME).read_text().rstrip("\n") == result.table
+
+    def test_journal_has_one_record_per_trial(self, tmp_path, artifacts):
+        result = start_run(tmp_path, artifacts)
+        records, torn = read_jsonl(result.run_dir / JOURNAL_NAME)
+        assert torn is None
+        keys = {(r["rate_index"], r["trial"]) for r in records}
+        assert keys == {(i, t) for i in range(2) for t in range(2)}
+        assert all(r["outcome"] == "completed" for r in records)
+        assert all(r["seed"] != 0 for r in records)
+
+    def test_start_refuses_existing_run_dir(self, tmp_path, artifacts):
+        start_run(tmp_path, artifacts)
+        with pytest.raises(RunnerError, match="already holds a campaign"):
+            start_run(tmp_path, artifacts)
+
+    def test_jobs_parallel_matches_serial(self, tmp_path, artifacts):
+        serial = start_run(tmp_path / "a", artifacts)
+        parallel = start_run(
+            tmp_path / "b", artifacts,
+            config=RunnerConfig(jobs=2, backoff_base_s=0.0),
+        )
+        assert parallel.points == serial.points
+        assert parallel.table == serial.table
+
+
+class TestResume:
+    def make_partial(self, tmp_path, artifacts, keep):
+        """A run dir interrupted after *keep* journaled trials."""
+        result = start_run(tmp_path, artifacts)
+        run_dir = result.run_dir
+        lines = (run_dir / JOURNAL_NAME).read_bytes().splitlines(True)
+        (run_dir / JOURNAL_NAME).write_bytes(b"".join(lines[:keep]))
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        manifest["status"] = "running"
+        (run_dir / MANIFEST_NAME).write_text(json.dumps(manifest))
+        return run_dir, result
+
+    @pytest.mark.parametrize("keep", [0, 1, 3])
+    def test_resume_reproduces_uninterrupted_table(
+        self, tmp_path, artifacts, keep
+    ):
+        run_dir, full = self.make_partial(tmp_path, artifacts, keep)
+        resumed = CampaignRunner(run_dir, FAST).resume()
+        assert resumed.points == full.points
+        assert resumed.table == full.table
+        assert resumed.accounting.resumed == keep
+
+    def test_resume_appends_only_missing_trials(self, tmp_path, artifacts):
+        run_dir, _ = self.make_partial(tmp_path, artifacts, 3)
+        before = len(read_jsonl(run_dir / JOURNAL_NAME)[0])
+        resumed = CampaignRunner(run_dir, FAST).resume()
+        after = len(read_jsonl(run_dir / JOURNAL_NAME)[0])
+        # Only the one un-journaled trial ran; the three checkpointed
+        # ones were skipped, not re-executed and re-appended.
+        assert before == 3 and after == 4
+        assert resumed.accounting.resumed == 3
+
+    def test_resume_of_complete_run_is_a_no_op(self, tmp_path, artifacts):
+        result = start_run(tmp_path, artifacts)
+        resumed = CampaignRunner(result.run_dir, FAST).resume()
+        assert resumed.points == result.points
+        assert resumed.accounting.resumed == resumed.accounting.total
+
+    def test_resume_requires_a_run_dir(self, tmp_path):
+        with pytest.raises(RunnerError, match="not a campaign run"):
+            CampaignRunner(tmp_path).resume()
+
+
+class TestTornJournal:
+    def test_torn_tail_is_discarded_and_rerun(self, tmp_path, artifacts):
+        result = start_run(tmp_path, artifacts)
+        run_dir = result.run_dir
+        journal = run_dir / JOURNAL_NAME
+        lines = journal.read_bytes().splitlines(True)
+        # Simulate SIGKILL mid-append: half of the final record, no
+        # trailing newline.
+        torn = b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2]
+        journal.write_bytes(torn)
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        manifest["status"] = "running"
+        (run_dir / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+        notes = []
+        resumed = CampaignRunner(run_dir, FAST, echo=notes.append).resume()
+        assert resumed.torn_tail_discarded
+        assert any("torn" in note for note in notes)
+        assert resumed.points == result.points
+        assert resumed.table == result.table
+        # The journal healed: complete again, no torn tail left behind.
+        records, torn_after = read_jsonl(journal)
+        assert torn_after is None
+        assert len(records) == len(RATES) * TRIALS
+
+    def test_state_reports_truncation_offset(self, tmp_path, artifacts):
+        result = start_run(tmp_path, artifacts)
+        journal = result.run_dir / JOURNAL_NAME
+        good = journal.read_bytes()
+        journal.write_bytes(good + b'{"rate_index": 1, "tr')
+        state = load_journal(journal)
+        assert state.torn_tail_discarded
+        assert state.truncate_at == len(good)
+        assert len(state.records) == len(RATES) * TRIALS
+
+
+class TestIsolation:
+    def test_hung_trial_is_reaped_and_graded(self, tmp_path, artifacts):
+        start = time.monotonic()
+        result = start_run(
+            tmp_path, artifacts,
+            config=RunnerConfig(trial_timeout_s=1.0, backoff_base_s=0.0),
+            hooks={(1, 0): {"sleep_s": 60}},
+        )
+        # The 60 s hang was SIGKILLed, not waited out.
+        assert time.monotonic() - start < 30
+        assert result.accounting.timed_out == 1
+        assert result.accounting.completed == len(RATES) * TRIALS - 1
+        records, _ = read_jsonl(result.run_dir / JOURNAL_NAME)
+        by_key = {(r["rate_index"], r["trial"]): r for r in records}
+        assert by_key[(1, 0)]["outcome"] == "timed_out"
+        assert "timeout" in by_key[(1, 0)]["error"]
+        # Graded into the table: one error + one timeout at rate index 1.
+        point = result.points[1]
+        assert point.errors == 1 and point.timeouts == 1
+        assert "timeouts" in result.table
+
+    def test_all_trials_hung_raises_trial_timeout_error(
+        self, tmp_path, artifacts
+    ):
+        hooks = {
+            (i, t): {"sleep_s": 60} for i in range(2) for t in range(2)
+        }
+        with pytest.raises(TrialTimeoutError, match="overran"):
+            start_run(
+                tmp_path, artifacts,
+                config=RunnerConfig(
+                    trial_timeout_s=0.5, backoff_base_s=0.0
+                ),
+                hooks=hooks,
+            )
+        # The journal and table were still written before raising.
+        run_dir = tmp_path / "run"
+        records, _ = read_jsonl(run_dir / JOURNAL_NAME)
+        assert {r["outcome"] for r in records} == {"timed_out"}
+        assert (run_dir / TABLE_NAME).exists()
+
+    def test_crashed_worker_is_retried_then_succeeds(
+        self, tmp_path, artifacts
+    ):
+        design, schedule, watermark = artifacts
+        result = start_run(
+            tmp_path, artifacts,
+            hooks={(0, 0): {"kill_below_attempt": 1}},
+        )
+        assert result.accounting.crashed == 0
+        assert result.accounting.retries >= 1
+        expected = stress_campaign(
+            design, schedule, watermark, rates=RATES, trials=TRIALS,
+            seed=SEED,
+        )
+        stripped = [
+            dataclasses.replace(p, retries=0) for p in result.points
+        ]
+        assert stripped == expected
+
+    def test_transient_failure_is_retried(self, tmp_path, artifacts):
+        result = start_run(
+            tmp_path, artifacts,
+            hooks={(0, 1): {"fail_below_attempt": 2}},
+        )
+        assert result.accounting.completed == len(RATES) * TRIALS
+        assert result.accounting.retries == 2
+        records, _ = read_jsonl(result.run_dir / JOURNAL_NAME)
+        retry_lines = [r for r in records if r.get("event") == "retry"]
+        assert len(retry_lines) == 2
+        assert all("transient" in r["error"] for r in retry_lines)
+
+    def test_exhausted_retries_grade_as_crashed(self, tmp_path, artifacts):
+        result = start_run(
+            tmp_path, artifacts,
+            config=RunnerConfig(retries=1, backoff_base_s=0.0),
+            hooks={(0, 0): {"kill_below_attempt": 99}},
+        )
+        assert result.accounting.crashed == 1
+        assert result.accounting.completed == len(RATES) * TRIALS - 1
+        point = result.points[0]
+        assert point.errors == 1 and point.crashes == 1

@@ -1,0 +1,198 @@
+"""E8 — incremental timing kernel: speedup and bit-exactness gate.
+
+Embedding at ``K`` temporal edges maintains ASAP/ALAP windows after
+every insertion.  The retained reference
+(:func:`repro.timing.kernel.edge_sequence_windows`) recomputes the full
+windows after each edge — exactly what the pre-kernel embedding loop
+did; the kernel (:class:`repro.timing.kernel.IncrementalWindows`)
+repairs them by delta propagation over the affected cone.
+
+This bench times both on the same deterministic K-edge sequences over
+the hyper-suite designs, asserts node-for-node window equality (the
+kernel's headline invariant), asserts the end-to-end watermarker picks
+identical edges on both paths, and writes ``BENCH_kernel.json``.  Gate:
+**>= 5x** window-maintenance speedup at ``K >= 8`` on the largest suite
+design.
+
+``BENCH_KERNEL_SMOKE=1`` restricts the sweep to the smallest design
+(CI's bench-smoke job); the speedup gate only applies to the full run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Dict, List, Tuple
+
+from _bench_util import OUT_DIR, get_collector
+from repro.cdfg.generators import random_layered_cdfg
+from repro.cdfg.graph import CDFG
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.errors import ReproError
+from repro.cdfg.designs.hyper_suite import HYPER_SUITE
+from repro.timing.kernel import IncrementalWindows, edge_sequence_windows
+from repro.timing.windows import critical_path_length, scheduling_windows
+from repro.util.atomicio import atomic_write_json
+
+HEADERS = [
+    "design",
+    "nodes",
+    "K",
+    "full ms",
+    "incremental ms",
+    "speedup",
+    "windows equal",
+]
+
+SMOKE = os.environ.get("BENCH_KERNEL_SMOKE") == "1"
+#: The gate target from the issue: >= 5x on the largest suite design.
+TARGET_SPEEDUP = 5.0
+K_EDGES = 8
+
+_designs = sorted(HYPER_SUITE, key=lambda s: s.variables)
+SWEEP = _designs[:1] if SMOKE else list(HYPER_SUITE)
+LARGEST = max(HYPER_SUITE, key=lambda s: s.variables)
+
+
+def plan_edges(cdfg: CDFG, horizon: int, k: int, seed: int = 1) -> List[Tuple[str, str]]:
+    """A deterministic feasible K-edge temporal-edge sequence."""
+    scratch = cdfg.copy()
+    iw = IncrementalWindows(scratch, horizon)
+    ops = list(scratch.schedulable_operations)
+    rng = random.Random(seed)
+    plan: List[Tuple[str, str]] = []
+    for _ in range(200 * k):
+        if len(plan) >= k:
+            break
+        u, v = rng.sample(ops, 2)
+        if scratch.graph.has_edge(u, v) or not iw.can_add_edge(u, v):
+            continue
+        try:
+            iw.add_edge(u, v)
+        except ReproError:
+            continue  # cycle: order already implied the other way
+        plan.append((u, v))
+    return plan
+
+
+def _time(fn, *args) -> Tuple[float, object]:
+    started = time.perf_counter()
+    result = fn(*args)
+    return (time.perf_counter() - started) * 1000.0, result
+
+
+def run_incremental(
+    cdfg: CDFG, horizon: int, edges: List[Tuple[str, str]]
+) -> Dict[str, Tuple[int, int]]:
+    iw = IncrementalWindows(cdfg, horizon)
+    for src, dst in edges:
+        iw.add_edge(src, dst)
+    return iw.windows()
+
+
+def test_kernel_vs_reference_window_maintenance():
+    table = get_collector("BENCH_kernel", HEADERS)
+    results = []
+    for spec in SWEEP:
+        design = spec.factory()
+        horizon = critical_path_length(design)
+        edges = plan_edges(design, horizon, K_EDGES)
+        assert len(edges) >= 1, f"no feasible temporal edge on {spec.name}"
+
+        full_ms, full = _time(
+            edge_sequence_windows, design.copy(), horizon, edges
+        )
+        inc_ms, incremental = _time(
+            run_incremental, design.copy(), horizon, edges
+        )
+        equal = incremental == full
+        assert equal, f"kernel windows diverged on {spec.name}"
+        speedup = full_ms / inc_ms if inc_ms > 0 else float("inf")
+        nodes = len(design.operations)
+        table.add(
+            spec.name, nodes, len(edges),
+            f"{full_ms:.2f}", f"{inc_ms:.2f}", f"{speedup:.1f}x", equal,
+        )
+        results.append(
+            {
+                "design": spec.name,
+                "nodes": nodes,
+                "k": len(edges),
+                "full_ms": full_ms,
+                "incremental_ms": inc_ms,
+                "speedup": speedup,
+                "windows_equal": equal,
+            }
+        )
+
+    gate = None
+    if not SMOKE:
+        largest = next(r for r in results if r["design"] == LARGEST.name)
+        assert largest["k"] >= K_EDGES
+        gate = {
+            "design": largest["design"],
+            "target_speedup": TARGET_SPEEDUP,
+            "measured_speedup": largest["speedup"],
+            "passed": largest["speedup"] >= TARGET_SPEEDUP,
+        }
+        assert largest["speedup"] >= TARGET_SPEEDUP, (
+            f"kernel speedup {largest['speedup']:.1f}x below "
+            f"{TARGET_SPEEDUP}x on {largest['design']}"
+        )
+
+    OUT_DIR.mkdir(exist_ok=True)
+    atomic_write_json(
+        OUT_DIR / "BENCH_kernel.json",
+        {"smoke": SMOKE, "rows": results, "gate": gate},
+    )
+    table.emit("E8: incremental kernel vs full window recompute")
+
+
+def test_kernel_equality_on_random_designs():
+    """Equality gate on seeded random DAGs, not just the curated suite."""
+    for num_ops, seed in ((40, 11), (80, 23), (160, 47)):
+        design = random_layered_cdfg(num_ops, seed)
+        horizon = critical_path_length(design) + (seed % 3)
+        edges = plan_edges(design, horizon, K_EDGES, seed=seed)
+        if not edges:
+            continue
+        full = edge_sequence_windows(design.copy(), horizon, edges)
+        incremental = run_incremental(design.copy(), horizon, edges)
+        assert incremental == full
+        # And under a fresh horizon with leftover slack.
+        assert run_incremental(
+            design.copy(), horizon + 2, edges
+        ) == edge_sequence_windows(design.copy(), horizon + 2, edges)
+
+
+def test_embedding_identical_on_both_paths():
+    """The watermarker draws the same edges with and without the kernel."""
+    spec = SWEEP[0] if SMOKE else next(
+        s for s in HYPER_SUITE if s.name == "D/A Converter"
+    )
+    design = spec.factory()
+    sig = AuthorSignature("alice-designs-inc")
+    params = SchedulingWMParams(k=K_EDGES)
+    inc_ms, (marked_inc, wm_inc) = _time(
+        SchedulingWatermarker(sig, params, incremental=True).embed, design
+    )
+    ref_ms, (marked_ref, wm_ref) = _time(
+        SchedulingWatermarker(sig, params, incremental=False).embed, design
+    )
+    assert wm_inc == wm_ref
+    assert sorted(marked_inc.temporal_edges) == sorted(
+        marked_ref.temporal_edges
+    )
+    assert scheduling_windows(marked_inc, wm_inc.horizon) == (
+        scheduling_windows(marked_ref, wm_ref.horizon)
+    )
+    payload = {
+        "design": spec.name,
+        "k": wm_inc.k,
+        "incremental_ms": inc_ms,
+        "reference_ms": ref_ms,
+        "identical_watermark": True,
+    }
+    atomic_write_json(OUT_DIR / "BENCH_kernel_embed.json", payload)

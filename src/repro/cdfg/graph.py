@@ -21,12 +21,25 @@ touching the original specification.
 from __future__ import annotations
 
 from enum import Enum, unique
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import networkx as nx
 
 from repro.cdfg.ops import OpType
 from repro.errors import CDFGError, CycleError, UnknownNodeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.timing.kernel import CDFGView
 
 
 @unique
@@ -63,6 +76,46 @@ class CDFG:
     def __init__(self, name: str = "cdfg") -> None:
         self.name = name
         self._g = nx.DiGraph()
+        #: Mutation counter: bumped by every structural mutation so the
+        #: cached :class:`~repro.timing.kernel.CDFGView` (and everything
+        #: derived from it) knows when it is stale.
+        self._version = 0
+        self._view: Optional["CDFGView"] = None
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic mutation counter (cache-invalidation token)."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
+
+    def view(self) -> "CDFGView":
+        """The cached :class:`~repro.timing.kernel.CDFGView`.
+
+        Rebuilt lazily whenever the mutation counter has moved since the
+        cached view was constructed; all timing analyses and the cached
+        node-set properties are served from it.
+        """
+        from repro.timing.kernel import CDFGView
+
+        view = self._view
+        if view is None or view.version != self._version:
+            view = CDFGView(self)
+            self._view = view
+        return view
+
+    def _adopt_view(self, view: "CDFGView") -> None:
+        """Install a view kept in sync incrementally (kernel internal)."""
+        self._view = view
+
+    def __getstate__(self):
+        # The cached view holds derived arrays plus a back-reference;
+        # drop it so pickled designs (campaign worker processes) stay
+        # small and rebuild the cache on first use.
+        state = self.__dict__.copy()
+        state["_view"] = None
+        return state
 
     # ------------------------------------------------------------------
     # construction
@@ -95,6 +148,7 @@ class CDFG:
         if latency < 0:
             raise CDFGError(f"negative latency for {name!r}")
         self._g.add_node(name, op=op, latency=latency, ppo=bool(ppo))
+        self._bump()
 
     def add_edge(self, src: str, dst: str, kind: EdgeKind) -> None:
         """Add an edge of the given kind; rejects cycles and duplicates."""
@@ -116,6 +170,7 @@ class CDFG:
         if self._creates_cycle(src, dst):
             self._g.remove_edge(src, dst)
             raise CycleError(f"edge {src!r}->{dst!r} would create a cycle")
+        self._bump()
 
     def add_data_edge(self, src: str, dst: str) -> None:
         """Add a value-flow edge."""
@@ -128,6 +183,25 @@ class CDFG:
     def add_temporal_edge(self, src: str, dst: str) -> None:
         """Add a watermark temporal edge (source before destination)."""
         self.add_edge(src, dst, EdgeKind.TEMPORAL)
+
+    def remove_edge(self, src: str, dst: str) -> None:
+        """Remove the edge src->dst (any kind)."""
+        if not self._g.has_edge(src, dst):
+            raise CDFGError(f"no edge {src!r}->{dst!r}")
+        self._g.remove_edge(src, dst)
+        self._bump()
+
+    def remove_operation(self, name: str) -> None:
+        """Remove an operation node and every edge touching it."""
+        self._require(name)
+        self._g.remove_node(name)
+        self._bump()
+
+    def set_op(self, name: str, op: OpType) -> None:
+        """Replace a node's operation type (latency is left untouched)."""
+        self._require(name)
+        self._g.nodes[name]["op"] = op
+        self._bump()
 
     def _creates_cycle(self, src: str, dst: str) -> bool:
         # A new edge src->dst creates a cycle iff src is reachable from dst.
@@ -158,7 +232,7 @@ class CDFG:
     @property
     def schedulable_operations(self) -> List[str]:
         """Names of operations that occupy a control step (non-IO)."""
-        return [n for n in self._g.nodes if self.op(n).is_schedulable]
+        return list(self.view().schedulable_operations)
 
     def __contains__(self, name: str) -> bool:
         return name in self._g
@@ -188,6 +262,7 @@ class CDFG:
         """Mark/unmark a node's output variable as pseudo-primary output."""
         self._require(name)
         self._g.nodes[name]["ppo"] = bool(value)
+        self._bump()
 
     @property
     def ppo_nodes(self) -> List[str]:
@@ -257,12 +332,12 @@ class CDFG:
     @property
     def primary_inputs(self) -> List[str]:
         """Nodes with no data predecessors (graph sources)."""
-        return [n for n in self._g.nodes if not self.data_predecessors(n)]
+        return list(self.view().primary_inputs)
 
     @property
     def primary_outputs(self) -> List[str]:
         """Nodes with no data successors (graph sinks)."""
-        return [n for n in self._g.nodes if not self.data_successors(n)]
+        return list(self.view().primary_outputs)
 
     @property
     def num_variables(self) -> int:
@@ -346,7 +421,7 @@ class CDFG:
         """A copy with every watermark temporal edge removed."""
         clone = self.copy()
         for src, dst in clone.temporal_edges:
-            clone._g.remove_edge(src, dst)
+            clone.remove_edge(src, dst)
         return clone
 
     def subgraph(self, nodes: Iterable[str], name: Optional[str] = None) -> "CDFG":

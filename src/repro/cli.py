@@ -71,6 +71,7 @@ from repro.scheduling.resources import UNLIMITED
 from repro.scheduling.schedule import Schedule
 from repro.timing.windows import critical_path_length
 from repro.util.atomicio import atomic_write_json
+from repro.util.perf import PERF
 
 #: Documented exit codes (see the ``--help`` epilog and README).
 EXIT_OK = 0
@@ -113,6 +114,14 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         "--fallback", action=argparse.BooleanOptionalAction, default=False,
         help="degrade gracefully instead of failing: widened locality "
         "retries (embed) / the scheduler fallback ladder (schedule)",
+    )
+
+
+def _add_perf_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--perf-report", action="store_true", dest="perf_report",
+        help="print timing-kernel counters and phase timings to stderr "
+        "after the command",
     )
 
 
@@ -396,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_embed.add_argument("--record", required=True, help="watermark record JSON")
     _add_param_flags(p_embed)
     _add_resilience_flags(p_embed)
+    _add_perf_flag(p_embed)
     p_embed.set_defaults(func=cmd_embed)
 
     p_sched = sub.add_parser("schedule", help="schedule a design")
@@ -410,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sched.add_argument("--horizon", type=int, default=None)
     _add_resilience_flags(p_sched)
+    _add_perf_flag(p_sched)
     p_sched.set_defaults(func=cmd_schedule)
 
     p_stress = sub.add_parser(
@@ -464,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries (exponential backoff + jitter) for crashed trial "
         "workers before grading the trial as crashed (default 2)",
     )
+    _add_perf_flag(p_stress)
     p_stress.set_defaults(func=cmd_stress)
 
     p_verify = sub.add_parser(
@@ -499,6 +511,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    PERF.reset()
     try:
         return args.func(args)
     except BudgetExceededError as exc:
@@ -518,6 +531,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # land here.
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    finally:
+        # Render even when the command failed: partial phase timings are
+        # exactly what a budget-exceeded diagnosis needs.
+        if getattr(args, "perf_report", False):
+            print(PERF.render_report(), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

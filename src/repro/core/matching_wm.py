@@ -39,6 +39,7 @@ from repro.templates.library import (
 from repro.templates.matcher import Matching, enumerate_matchings
 from repro.timing.paths import laxity
 from repro.timing.windows import critical_path_length
+from repro.util.perf import PERF
 
 #: Domain-separation label of the matching-watermark bitstream.
 MATCHING_PURPOSE = "matching-watermark"
@@ -151,6 +152,14 @@ class MatchingWatermarker:
             The locality ``T``; defaults to the whole CDFG, matching the
             paper's experimental setup (``T = CDFG``).
         """
+        with PERF.phase("embed.matching"):
+            return self._embed_impl(cdfg, domain)
+
+    def _embed_impl(
+        self,
+        cdfg: CDFG,
+        domain: Optional[Iterable[str]],
+    ) -> Tuple[CDFG, MatchingWatermark]:
         bitstream = BitStream(self.signature, MATCHING_PURPOSE)
         marked = cdfg.copy(f"{cdfg.name}+mwm")
         domain_nodes = (
@@ -168,11 +177,14 @@ class MatchingWatermarker:
         processed: Set[str] = set()
         enforced: List[Matching] = []
         ppos: List[str] = []
+        # The loop's only mutation is set_ppo, which never alters graph
+        # structure or latencies — the critical path and laxity map are
+        # loop invariants, so hoist both out of the z iterations.
+        c = critical_path_length(marked)
+        budget = self.params.horizon if self.params.horizon is not None else c
+        lax = laxity(marked)
+        threshold = budget * (1.0 - self.params.epsilon)
         for _ in range(z):
-            c = critical_path_length(marked)
-            budget = self.params.horizon if self.params.horizon is not None else c
-            lax = laxity(marked)
-            threshold = budget * (1.0 - self.params.epsilon)
             eligible = {
                 n
                 for n in domain_nodes

@@ -119,7 +119,7 @@ def drop_nodes(
     victims = rng.sample(candidates, n) if n else []
     corrupted = cdfg.copy(f"{cdfg.name}~drop")
     for node in victims:
-        corrupted.graph.remove_node(node)
+        corrupted.remove_operation(node)
     return corrupted, FaultReport(
         kind="drop_nodes",
         seed=seed,
@@ -184,7 +184,7 @@ def delete_edges(
     victims = rng.sample(candidates, n) if n else []
     corrupted = cdfg.copy(f"{cdfg.name}~cut")
     for src, dst in victims:
-        corrupted.graph.remove_edge(src, dst)
+        corrupted.remove_edge(src, dst)
     return corrupted, FaultReport(
         kind="delete_edges",
         seed=seed,
@@ -220,7 +220,7 @@ def rewire_edges(
     details: List[str] = []
     for src, dst in victims:
         kind = corrupted.edge_kind(src, dst)
-        corrupted.graph.remove_edge(src, dst)
+        corrupted.remove_edge(src, dst)
         rewired = False
         for _ in range(attempts_per_edge):
             target = rng.choice(nodes)
@@ -268,7 +268,7 @@ def retype_ops(
         new = rng.choice([op for op in RETYPE_POOL if op is not old])
         # Keep the node's latency: retyping models a functional rewrite,
         # not a timing change.
-        corrupted.graph.nodes[node]["op"] = new
+        corrupted.set_op(node, new)
         details.append(f"retyped {node!r}: {old.name} -> {new.name}")
     return corrupted, FaultReport(
         kind="retype_ops",

@@ -56,6 +56,7 @@ from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.resources import UNLIMITED, ResourceSet
 from repro.scheduling.schedule import Schedule
 from repro.timing.windows import critical_path_length
+from repro.util.perf import PERF
 
 #: Default fallback ladder, strongest first.
 DEFAULT_LADDER: Tuple[str, ...] = ("exact", "force-directed", "list")
@@ -134,19 +135,20 @@ def robust_schedule(
     for rung in ladder:
         started = time.monotonic()
         try:
-            if rung == "exact":
-                schedule = exact_schedule(
-                    cdfg, target_horizon, resources, budget=budget
-                )
-            elif rung == "force-directed":
-                schedule = force_directed_schedule(
-                    cdfg, target_horizon, budget=budget
-                )
-                # FDS is time-constrained only; enforce resource limits
-                # explicitly so a violating result degrades further.
-                schedule.verify(cdfg, resources=resources)
-            else:  # "list"
-                schedule = list_schedule(cdfg, resources=resources)
+            with PERF.phase(f"pipeline.{rung}"):
+                if rung == "exact":
+                    schedule = exact_schedule(
+                        cdfg, target_horizon, resources, budget=budget
+                    )
+                elif rung == "force-directed":
+                    schedule = force_directed_schedule(
+                        cdfg, target_horizon, budget=budget
+                    )
+                    # FDS is time-constrained only; enforce resource limits
+                    # explicitly so a violating result degrades further.
+                    schedule.verify(cdfg, resources=resources)
+                else:  # "list"
+                    schedule = list_schedule(cdfg, resources=resources)
         except (SchedulingError, BudgetExceededError) as exc:
             attempts.append(
                 SchedulerAttempt(

@@ -31,8 +31,13 @@ DEFAULT_UNIT_COSTS: Mapping[ResourceClass, float] = {
 
 def _prepare(cdfg: CDFG, horizon: int):
     windows = scheduling_windows(cdfg, horizon)
+    # Lexicographic topological order on purpose: the DFS visit order is
+    # part of the schedulers' observable behavior (first feasible
+    # schedule found), so it must not depend on view adjacency layout.
     order = [n for n in cdfg.topological_order()]
-    preds = {n: list(cdfg.predecessors(n)) for n in order}
+    view = cdfg.view()
+    nodes = view.nodes
+    preds = {n: [nodes[p] for p in view.preds[view.index[n]]] for n in order}
     return windows, order, preds
 
 

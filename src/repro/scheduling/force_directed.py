@@ -17,19 +17,32 @@ This implementation follows the textbook algorithm:
 4. commit the minimum-force assignment, propagate window tightenings,
    and repeat.
 
+Window maintenance runs on the incremental timing kernel: each trial
+pinning is evaluated with
+:meth:`~repro.timing.kernel.IncrementalWindows.delta_tighten` (worklist
+propagation over the affected cone only, instead of the classic full
+forward/backward re-pass), and after each commit the distribution
+graphs are refreshed only at the control steps whose expected occupancy
+actually changed.  Both shortcuts are arithmetic-order-preserving, so
+the chosen schedule is bit-identical to the full-recompute formulation
+(:func:`_tighten` is retained as the reference the tests compare
+against).
+
 Watermark temporal edges participate exactly like data edges.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cdfg.graph import CDFG
 from repro.cdfg.ops import ResourceClass
 from repro.errors import InfeasibleScheduleError
 from repro.resilience.budget import Budget, charge
 from repro.scheduling.schedule import Schedule
-from repro.timing.windows import critical_path_length, scheduling_windows
+from repro.timing.kernel import IncrementalWindows
+from repro.timing.windows import critical_path_length
+from repro.util.perf import PERF
 
 Window = Tuple[int, int]
 
@@ -39,7 +52,10 @@ def _tighten(
 ) -> Dict[str, Window]:
     """Pin *node* to *window* and propagate bounds both directions.
 
-    Returns a new windows dict; raises if any window empties.
+    Returns a new windows dict; raises if any window empties.  Retained
+    reference implementation (full forward/backward passes over the
+    whole graph); the scheduler itself uses the kernel's delta
+    propagation, which the tests assert equivalent to this.
     """
     new = dict(windows)
     new[node] = window
@@ -89,31 +105,82 @@ def _distribution_graphs(
     return graphs
 
 
+def _refresh_distribution_steps(
+    graphs: Dict[ResourceClass, List[float]],
+    class_members: Dict[ResourceClass, List[int]],
+    iw: IncrementalWindows,
+    affected: Dict[ResourceClass, Set[int]],
+    horizon: int,
+) -> None:
+    """Recompute the distribution graphs at *affected* steps only.
+
+    A commit changes the expected occupancy solely at steps covered by
+    some changed node's old window span; every other step keeps its
+    value.  Each affected step is re-summed over that class's nodes in
+    node-index order, adding the per-start probability term exactly as
+    the full rebuild does, so refreshed values are bit-identical to a
+    from-scratch :func:`_distribution_graphs`.
+    """
+    latency = iw.view.latency
+    lo, hi = iw.lo, iw.hi
+    for cls, steps in affected.items():
+        graph = graphs.get(cls)
+        if graph is None:
+            continue
+        members = class_members[cls]
+        for step in steps:
+            if step >= horizon:
+                continue
+            total = 0.0
+            for i in members:
+                ilo, ihi = lo[i], hi[i]
+                lat = latency[i]
+                first = max(ilo, step - lat + 1)
+                last = min(ihi, step)
+                if last < first:
+                    continue
+                probability = 1.0 / (ihi - ilo + 1)
+                for _ in range(last - first + 1):
+                    total += probability
+            graph[step] = total
+    PERF.add("fds.dist_steps_refreshed", sum(len(s) for s in affected.values()))
+
+
 def _assignment_force(
     cdfg: CDFG,
-    windows: Dict[str, Window],
+    iw: IncrementalWindows,
     graphs: Dict[ResourceClass, List[float]],
     node: str,
     step: int,
     horizon: int,
 ) -> float:
-    """Self force of pinning *node* to *step* plus neighbor forces."""
+    """Self force of pinning *node* to *step* plus neighbor forces.
+
+    The trial pinning is evaluated with the kernel's delta propagation;
+    only nodes whose window actually changes contribute, iterated in
+    node-index (insertion) order so the floating-point accumulation
+    matches the reference formulation term for term.
+    """
     try:
-        pinned = _tighten(cdfg, windows, node, (step, step))
+        delta = iw.delta_tighten(node, (step, step))
     except InfeasibleScheduleError:
         return float("inf")
+    PERF.add("fds.candidates_evaluated")
+    view = iw.view
     force = 0.0
-    for affected, (lo, hi) in pinned.items():
-        old_lo, old_hi = windows[affected]
+    for index in sorted(delta):
+        lo, hi = delta[index]
+        old_lo, old_hi = iw.lo[index], iw.hi[index]
         if (lo, hi) == (old_lo, old_hi):
             continue
+        affected = view.nodes[index]
         op = cdfg.op(affected)
         if op.resource_class is ResourceClass.IO:
             continue
         graph = graphs.get(op.resource_class)
         if graph is None:
             continue
-        latency = cdfg.latency(affected)
+        latency = view.latency[index]
 
         def occupancy(window_lo: int, window_hi: int) -> Dict[int, float]:
             width = window_hi - window_lo + 1
@@ -149,31 +216,59 @@ def force_directed_schedule(
     BudgetExceededError
         If *budget* runs out mid-sweep.
     """
+    with PERF.phase("schedule.force_directed"):
+        return _force_directed_schedule(cdfg, horizon, budget)
+
+
+def _force_directed_schedule(
+    cdfg: CDFG, horizon: int, budget: Optional[Budget]
+) -> Schedule:
     cp = critical_path_length(cdfg)
     if horizon < cp:
         raise InfeasibleScheduleError(
             f"horizon {horizon} below critical path {cp}"
         )
-    windows: Dict[str, Window] = dict(scheduling_windows(cdfg, horizon))
-    unscheduled = [n for n in cdfg.operations if windows[n][0] != windows[n][1]]
+    iw = IncrementalWindows(cdfg, horizon)
+    view = iw.view
+    unscheduled = [
+        n for n in view.nodes if iw.window(n)[0] != iw.window(n)[1]
+    ]
     # Nodes with singleton windows are already decided.
+    graphs = _distribution_graphs(cdfg, iw.windows(), horizon)
+    class_members: Dict[ResourceClass, List[int]] = {}
+    for index, name in enumerate(view.nodes):
+        cls = cdfg.op(name).resource_class
+        if cls is not ResourceClass.IO:
+            class_members.setdefault(cls, []).append(index)
     while unscheduled:
-        graphs = _distribution_graphs(cdfg, windows, horizon)
         best: Tuple[float, str, int] = (float("inf"), "", -1)
         for node in unscheduled:
-            lo, hi = windows[node]
+            lo, hi = iw.window(node)
             for step in range(lo, hi + 1):
                 charge(budget, what="force_directed_schedule")
-                force = _assignment_force(cdfg, windows, graphs, node, step, horizon)
+                force = _assignment_force(cdfg, iw, graphs, node, step, horizon)
                 if force < best[0]:
                     best = (force, node, step)
         _, node, step = best
         if not node:  # pragma: no cover - defensive
             raise InfeasibleScheduleError("force-directed scheduling stuck")
-        windows = _tighten(cdfg, windows, node, (step, step))
+        delta = iw.delta_tighten(node, (step, step))
+        # Occupancy changes only inside a changed node's old window span;
+        # refresh exactly those (class, step) cells after the commit.
+        affected: Dict[ResourceClass, Set[int]] = {}
+        for index in delta:
+            name = view.nodes[index]
+            cls = cdfg.op(name).resource_class
+            if cls is ResourceClass.IO:
+                continue
+            old_lo, old_hi = iw.lo[index], iw.hi[index]
+            span_end = min(old_hi + view.latency[index], horizon)
+            affected.setdefault(cls, set()).update(range(old_lo, span_end))
+        iw.apply(delta)
+        _refresh_distribution_steps(graphs, class_members, iw, affected, horizon)
         unscheduled = [
-            n for n in unscheduled if windows[n][0] != windows[n][1]
+            n for n in unscheduled if iw.window(n)[0] != iw.window(n)[1]
         ]
-    schedule = Schedule({n: windows[n][0] for n in cdfg.operations})
+    schedule = Schedule({n: iw.window(n)[0] for n in cdfg.operations})
     schedule.verify(cdfg, horizon=horizon)
     return schedule

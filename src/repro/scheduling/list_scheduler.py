@@ -58,9 +58,17 @@ def list_schedule(
         def priority(node: str) -> float:
             return alap[node]
 
-    in_deg: Dict[str, int] = {n: 0 for n in cdfg.operations}
-    for _, dst in cdfg.edges():
-        in_deg[dst] += 1
+    # Dense adjacency from the cached view: successor lists preserve the
+    # graph's own iteration order, so ready-queue tie-breaks (stable
+    # sort on insertion order) are unchanged.
+    view = cdfg.view()
+    nodes = view.nodes
+    succs: Dict[str, list] = {
+        n: [nodes[s] for s in view.succs[i]] for i, n in enumerate(nodes)
+    }
+    in_deg: Dict[str, int] = {
+        n: len(view.preds[i]) for i, n in enumerate(nodes)
+    }
 
     start_times: Dict[str, int] = {}
     finish: Dict[str, int] = {}
@@ -76,7 +84,7 @@ def list_schedule(
         # Retire operations finishing at or before this step.
         for node in [n for n, f in running.items() if f <= step]:
             del running[node]
-            for succ in cdfg.successors(node):
+            for succ in succs[node]:
                 in_deg[succ] -= 1
                 if in_deg[succ] == 0:
                     ready.append(succ)
@@ -102,7 +110,7 @@ def list_schedule(
             latency = cdfg.latency(node)
             if latency == 0:
                 # Zero-latency IO nodes release successors immediately.
-                for succ in cdfg.successors(node):
+                for succ in succs[node]:
                     in_deg[succ] -= 1
                     if in_deg[succ] == 0:
                         ready.append(succ)

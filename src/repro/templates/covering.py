@@ -21,6 +21,7 @@ from repro.cdfg.graph import CDFG
 from repro.errors import CoveringError
 from repro.templates.library import Template, library_with_singletons
 from repro.templates.matcher import Matching, enumerate_matchings
+from repro.util.perf import timed_phase
 
 
 @dataclass
@@ -97,6 +98,7 @@ class Covering:
             raise CoveringError(f"uncovered operations: {sorted(missing)}")
 
 
+@timed_phase("cover")
 def greedy_cover(
     cdfg: CDFG,
     library: Sequence[Template],

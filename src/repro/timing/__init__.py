@@ -1,5 +1,12 @@
-"""Timing analysis: ASAP/ALAP windows, critical paths, laxity, levels."""
+"""Timing analysis: ASAP/ALAP windows, critical paths, laxity, levels.
 
+The incremental kernel (:mod:`repro.timing.kernel`) provides the cached
+:class:`~repro.timing.kernel.CDFGView` backing every full pass here and
+:class:`~repro.timing.kernel.IncrementalWindows` for delta maintenance
+under temporal-edge insertion.
+"""
+
+from repro.timing.kernel import CDFGView, IncrementalWindows
 from repro.timing.paths import critical_path, laxity, levels_from_root, slack
 from repro.timing.windows import (
     alap_schedule,
@@ -12,6 +19,8 @@ from repro.timing.windows import (
 )
 
 __all__ = [
+    "CDFGView",
+    "IncrementalWindows",
     "asap_schedule",
     "alap_schedule",
     "scheduling_windows",

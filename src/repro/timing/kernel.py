@@ -1,0 +1,537 @@
+"""Incremental timing kernel: cached CDFG views and delta window updates.
+
+Every layer of the reproduction — watermark embedding (§IV-A),
+force-directed scheduling, template covering, stress campaigns — bottoms
+out in ASAP/ALAP window maintenance.  The naive formulation recomputes a
+full topological sort plus full-graph forward/backward passes after
+every temporal-edge insertion; this module makes both halves cheap:
+
+* :class:`CDFGView` — a versioned, index-based snapshot of a
+  :class:`~repro.cdfg.graph.CDFG`: dense node indexing, latency arrays,
+  integer pred/succ adjacency, a lazily (re)computed topological order,
+  and cached ASAP / ALAP / tail-length arrays.  The view is cached on
+  the CDFG and invalidated by the graph's mutation counter, so repeated
+  timing queries between mutations cost one dict lookup.
+* :class:`IncrementalWindows` — ASAP/ALAP start-time windows maintained
+  under temporal-edge insertion by worklist delta-propagation over only
+  the affected fanin/fanout cone, with an O(1) feasibility pre-check
+  ``asap(u) + lat(u) <= alap(v)``, in the spirit of classic incremental
+  timing analysis (and of the dynamically bounded delay model's
+  restriction of recomputation to the logic actually affected).
+
+The key invariant — proved by induction over the propagation worklist —
+is that when the O(1) endpoint check passes, no window in the graph can
+empty: ASAP values only rise, ALAP values only fall, and every raised
+ASAP stays below its node's ALAP because the predecessor that raised it
+already satisfied the same bound.  Incremental results are therefore
+*bit-identical* to a from-scratch recompute (both compute the same
+longest-path fixpoint), which the benchmark gate asserts node-for-node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.errors import InfeasibleScheduleError
+from repro.util.perf import PERF
+
+Window = Tuple[int, int]
+
+
+class CDFGView:
+    """Dense, versioned snapshot of a CDFG for timing analyses.
+
+    Node names are mapped to integers in insertion order; adjacency is
+    stored as integer lists so full passes never touch networkx.  The
+    snapshot records the CDFG's mutation counter at build time;
+    :meth:`repro.cdfg.graph.CDFG.view` rebuilds it when the counter
+    moves.  :meth:`apply_edge` lets the incremental kernel patch the
+    view in lockstep with a just-inserted edge instead of rebuilding.
+    """
+
+    __slots__ = (
+        "cdfg",
+        "version",
+        "nodes",
+        "index",
+        "latency",
+        "preds",
+        "succs",
+        "schedulable_operations",
+        "_data_in",
+        "_data_out",
+        "_pis",
+        "_pos",
+        "_topo",
+        "_topo_pos",
+        "_asap",
+        "_tails",
+        "_alap_by_horizon",
+    )
+
+    def __init__(self, cdfg: CDFG) -> None:
+        PERF.add("kernel.view_builds")
+        self.cdfg = cdfg
+        self.version = cdfg.mutation_count
+        g = cdfg.graph
+        self.nodes: List[str] = list(g.nodes)
+        self.index: Dict[str, int] = {n: i for i, n in enumerate(self.nodes)}
+        data = g.nodes
+        self.latency: List[int] = [data[n]["latency"] for n in self.nodes]
+        n = len(self.nodes)
+        self.preds: List[List[int]] = [[] for _ in range(n)]
+        self.succs: List[List[int]] = [[] for _ in range(n)]
+        self._data_in = [0] * n
+        self._data_out = [0] * n
+        index = self.index
+        for i, u in enumerate(self.nodes):
+            for v, attrs in g.succ[u].items():
+                j = index[v]
+                self.succs[i].append(j)
+                self.preds[j].append(i)
+                if attrs["kind"] is EdgeKind.DATA:
+                    self._data_out[i] += 1
+                    self._data_in[j] += 1
+        self.schedulable_operations: Tuple[str, ...] = tuple(
+            name for name in self.nodes if data[name]["op"].is_schedulable
+        )
+        self._pis: Optional[Tuple[str, ...]] = None
+        self._pos: Optional[Tuple[str, ...]] = None
+        self._topo: Optional[List[int]] = None
+        self._topo_pos: Optional[List[int]] = None
+        self._asap: Optional[List[int]] = None
+        self._tails: Optional[List[int]] = None
+        self._alap_by_horizon: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # cached node sets
+    # ------------------------------------------------------------------
+    @property
+    def primary_inputs(self) -> Tuple[str, ...]:
+        """Nodes with no data predecessors, in insertion order."""
+        if self._pis is None:
+            self._pis = tuple(
+                name
+                for i, name in enumerate(self.nodes)
+                if self._data_in[i] == 0
+            )
+        return self._pis
+
+    @property
+    def primary_outputs(self) -> Tuple[str, ...]:
+        """Nodes with no data successors, in insertion order."""
+        if self._pos is None:
+            self._pos = tuple(
+                name
+                for i, name in enumerate(self.nodes)
+                if self._data_out[i] == 0
+            )
+        return self._pos
+
+    # ------------------------------------------------------------------
+    # topological order
+    # ------------------------------------------------------------------
+    def topo_order(self) -> List[int]:
+        """Node indices in topological order (Kahn, insertion-seeded)."""
+        if self._topo is None:
+            n = len(self.nodes)
+            indegree = [len(self.preds[i]) for i in range(n)]
+            queue = deque(i for i in range(n) if indegree[i] == 0)
+            order: List[int] = []
+            while queue:
+                i = queue.popleft()
+                order.append(i)
+                for j in self.succs[i]:
+                    indegree[j] -= 1
+                    if indegree[j] == 0:
+                        queue.append(j)
+            if len(order) != n:  # pragma: no cover - CDFG stays acyclic
+                raise InfeasibleScheduleError(
+                    f"CDFG {self.cdfg.name!r} contains a cycle"
+                )
+            self._topo = order
+            pos = [0] * n
+            for position, i in enumerate(order):
+                pos[i] = position
+            self._topo_pos = pos
+        return self._topo
+
+    # ------------------------------------------------------------------
+    # cached timing arrays
+    # ------------------------------------------------------------------
+    def asap(self) -> List[int]:
+        """Earliest start per node (longest path from the sources)."""
+        if self._asap is None:
+            PERF.add("kernel.full_asap_passes")
+            latency = self.latency
+            asap = [0] * len(self.nodes)
+            for i in self.topo_order():
+                lo = 0
+                for p in self.preds[i]:
+                    candidate = asap[p] + latency[p]
+                    if candidate > lo:
+                        lo = candidate
+                asap[i] = lo
+            self._asap = asap
+        return self._asap
+
+    def tails(self) -> List[int]:
+        """Longest path length from each node's start to any sink."""
+        if self._tails is None:
+            PERF.add("kernel.full_tail_passes")
+            latency = self.latency
+            tails = [0] * len(self.nodes)
+            for i in reversed(self.topo_order()):
+                lat = latency[i]
+                best = lat
+                for s in self.succs[i]:
+                    candidate = lat + tails[s]
+                    if candidate > best:
+                        best = candidate
+                tails[i] = best
+            self._tails = tails
+        return self._tails
+
+    def critical_path_length(self) -> int:
+        """Longest path through the graph, in control steps."""
+        asap = self.asap()
+        latency = self.latency
+        if not asap:
+            return 0
+        return max(asap[i] + latency[i] for i in range(len(asap)))
+
+    def alap(self, horizon: int) -> List[int]:
+        """Latest start per node within *horizon* steps.
+
+        Raises
+        ------
+        InfeasibleScheduleError
+            If *horizon* is shorter than the critical path.
+        """
+        cached = self._alap_by_horizon.get(horizon)
+        if cached is not None:
+            return cached
+        needed = self.critical_path_length()
+        if horizon < needed:
+            raise InfeasibleScheduleError(
+                f"horizon {horizon} below critical path {needed}"
+            )
+        PERF.add("kernel.full_alap_passes")
+        latency = self.latency
+        alap = [0] * len(self.nodes)
+        for i in reversed(self.topo_order()):
+            hi = horizon - latency[i]
+            for s in self.succs[i]:
+                candidate = alap[s] - latency[i]
+                if candidate < hi:
+                    hi = candidate
+            alap[i] = hi
+        self._alap_by_horizon[horizon] = alap
+        return alap
+
+    # ------------------------------------------------------------------
+    # incremental patching
+    # ------------------------------------------------------------------
+    def apply_edge(self, src: str, dst: str, kind: EdgeKind) -> None:
+        """Record an edge the owning CDFG just gained.
+
+        Patches the adjacency in O(1), keeps the topological order when
+        it remains valid (source already precedes destination), and
+        drops every timing cache — the incremental kernel re-derives
+        windows by delta propagation instead of a full pass.
+        """
+        i = self.index[src]
+        j = self.index[dst]
+        self.succs[i].append(j)
+        self.preds[j].append(i)
+        if kind is EdgeKind.DATA:
+            self._data_out[i] += 1
+            self._data_in[j] += 1
+            self._pis = None
+            self._pos = None
+        if self._topo_pos is not None and self._topo_pos[i] >= self._topo_pos[j]:
+            self._topo = None
+            self._topo_pos = None
+        self._asap = None
+        self._tails = None
+        self._alap_by_horizon.clear()
+        self.version = self.cdfg.mutation_count
+
+
+class IncrementalWindows:
+    """ASAP/ALAP windows maintained incrementally under edge insertion.
+
+    Construction runs one full forward/backward pass; afterwards
+    :meth:`add_edge` inserts a temporal (or other) edge and repairs the
+    windows by worklist propagation over only the affected cone, and
+    :meth:`delta_tighten` evaluates a window pinning (force-directed
+    scheduling's trial moves) without mutating anything.
+
+    Windows are always equal, node for node, to
+    ``scheduling_windows(cdfg, horizon)`` recomputed from scratch.
+    """
+
+    def __init__(self, cdfg: CDFG, horizon: int) -> None:
+        self.cdfg = cdfg
+        self.horizon = horizon
+        self.view: CDFGView
+        self.lo: List[int]
+        self.hi: List[int]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        PERF.add("kernel.window_full_recomputes")
+        view = self.cdfg.view()
+        self.view = view
+        self.lo = list(view.asap())
+        self.hi = list(view.alap(self.horizon))
+
+    def _ensure_sync(self) -> None:
+        """Rebuild from scratch if the CDFG mutated behind our back."""
+        if self.view.version != self.cdfg.mutation_count:
+            self._rebuild()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def asap(self, name: str) -> int:
+        return self.lo[self.view.index[name]]
+
+    def alap(self, name: str) -> int:
+        return self.hi[self.view.index[name]]
+
+    def window(self, name: str) -> Window:
+        i = self.view.index[name]
+        return (self.lo[i], self.hi[i])
+
+    def windows(self) -> Dict[str, Window]:
+        """All windows, keyed by node name in insertion order."""
+        lo, hi = self.lo, self.hi
+        return {
+            name: (lo[i], hi[i]) for i, name in enumerate(self.view.nodes)
+        }
+
+    def can_add_edge(self, src: str, dst: str) -> bool:
+        """O(1) feasibility of a precedence edge src -> dst.
+
+        True iff ``asap(src) + lat(src) <= alap(dst)`` — the dynamically
+        bounded check that guarantees no window in the graph empties
+        when the edge is inserted.
+        """
+        view = self.view
+        i = view.index[src]
+        j = view.index[dst]
+        return self.lo[i] + view.latency[i] <= self.hi[j]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_edge(
+        self, src: str, dst: str, kind: EdgeKind = EdgeKind.TEMPORAL
+    ) -> int:
+        """Insert an edge and delta-propagate the windows.
+
+        Returns the number of nodes whose window changed.  Raises
+        :class:`InfeasibleScheduleError` (before mutating anything) when
+        the O(1) feasibility check fails, and whatever
+        :meth:`CDFG.add_edge` raises on duplicates or cycles.
+        """
+        self._ensure_sync()
+        view = self.view
+        i = view.index[src]
+        j = view.index[dst]
+        if self.lo[i] + view.latency[i] > self.hi[j]:
+            raise InfeasibleScheduleError(
+                f"edge {src!r}->{dst!r} infeasible within horizon "
+                f"{self.horizon}"
+            )
+        self.cdfg.add_edge(src, dst, kind)
+        view.apply_edge(src, dst, kind)
+        self.cdfg._adopt_view(view)
+        delta = self._propagate_edge(i, j)
+        lo, hi = self.lo, self.hi
+        for x, (new_lo, new_hi) in delta.items():
+            lo[x] = new_lo
+            hi[x] = new_hi
+        PERF.add("kernel.window_incremental_updates")
+        PERF.add("kernel.window_nodes_touched", len(delta))
+        PERF.add("kernel.window_recomputes_avoided")
+        return len(delta)
+
+    def _propagate_edge(self, i: int, j: int) -> Dict[int, Window]:
+        """Delta windows implied by a new edge i -> j (no mutation)."""
+        view = self.view
+        latency = view.latency
+        lo, hi = self.lo, self.hi
+        delta: Dict[int, Window] = {}
+
+        def cur(x: int) -> Window:
+            found = delta.get(x)
+            return found if found is not None else (lo[x], hi[x])
+
+        # Forward: raise ASAPs downstream of the destination.
+        candidate = cur(i)[0] + latency[i]
+        if candidate > cur(j)[0]:
+            delta[j] = (candidate, cur(j)[1])
+            worklist = deque([j])
+            while worklist:
+                x = worklist.popleft()
+                xlo = cur(x)[0] + latency[x]
+                for s in view.succs[x]:
+                    slo, shi = cur(s)
+                    if xlo > slo:
+                        if xlo > shi:  # pragma: no cover - excluded by check
+                            raise InfeasibleScheduleError(
+                                f"window of {view.nodes[s]!r} emptied"
+                            )
+                        delta[s] = (xlo, shi)
+                        worklist.append(s)
+        # Backward: lower ALAPs upstream of the source.
+        candidate = cur(j)[1] - latency[i]
+        if candidate < cur(i)[1]:
+            delta[i] = (cur(i)[0], candidate)
+            worklist = deque([i])
+            while worklist:
+                x = worklist.popleft()
+                xhi = cur(x)[1]
+                for p in view.preds[x]:
+                    plo, phi = cur(p)
+                    candidate = xhi - latency[p]
+                    if candidate < phi:
+                        if plo > candidate:  # pragma: no cover - excluded
+                            raise InfeasibleScheduleError(
+                                f"window of {view.nodes[p]!r} emptied"
+                            )
+                        delta[p] = (plo, candidate)
+                        worklist.append(p)
+        return delta
+
+    # ------------------------------------------------------------------
+    # trial tightening (force-directed scheduling)
+    # ------------------------------------------------------------------
+    def delta_tighten(self, name: str, window: Window) -> Dict[int, Window]:
+        """Windows changed by pinning *name* to *window* (no mutation).
+
+        Equivalent to the classic full forward/backward re-pass over the
+        whole graph, but touches only the affected cone.  The returned
+        mapping (node index -> new window) contains exactly the nodes
+        whose window would change; feed it to :meth:`apply` to commit.
+
+        Raises
+        ------
+        InfeasibleScheduleError
+            If any window would empty.
+        """
+        self._ensure_sync()
+        view = self.view
+        latency = view.latency
+        lo, hi = self.lo, self.hi
+        i = view.index[name]
+        new_lo = max(window[0], lo[i])
+        new_hi = min(window[1], hi[i])
+        if new_lo > new_hi:
+            raise InfeasibleScheduleError(
+                f"window of {name!r} emptied while pinning {name!r}"
+            )
+        delta: Dict[int, Window] = {}
+        if (new_lo, new_hi) != (lo[i], hi[i]):
+            delta[i] = (new_lo, new_hi)
+
+        def cur(x: int) -> Window:
+            found = delta.get(x)
+            return found if found is not None else (lo[x], hi[x])
+
+        # Forward: the raised ASAP pushes successors later.
+        worklist = deque([i])
+        while worklist:
+            x = worklist.popleft()
+            xlo = cur(x)[0] + latency[x]
+            for s in view.succs[x]:
+                slo, shi = cur(s)
+                if xlo > slo:
+                    if xlo > shi:
+                        raise InfeasibleScheduleError(
+                            f"window of {view.nodes[s]!r} emptied while "
+                            f"pinning {name!r}"
+                        )
+                    delta[s] = (xlo, shi)
+                    worklist.append(s)
+        # Backward: the lowered ALAP pulls predecessors earlier.
+        worklist = deque([i])
+        while worklist:
+            x = worklist.popleft()
+            xhi = cur(x)[1]
+            for p in view.preds[x]:
+                plo, phi = cur(p)
+                candidate = xhi - latency[p]
+                if candidate < phi:
+                    if plo > candidate:
+                        raise InfeasibleScheduleError(
+                            f"window of {view.nodes[p]!r} emptied while "
+                            f"pinning {name!r}"
+                        )
+                    delta[p] = (plo, candidate)
+                    worklist.append(p)
+        return delta
+
+    def apply(self, delta: Dict[int, Window]) -> None:
+        """Commit a delta produced by :meth:`delta_tighten`."""
+        lo, hi = self.lo, self.hi
+        for x, (new_lo, new_hi) in delta.items():
+            lo[x] = new_lo
+            hi[x] = new_hi
+        PERF.add("kernel.window_incremental_updates")
+        PERF.add("kernel.window_nodes_touched", len(delta))
+
+    def tighten(self, name: str, window: Window) -> Dict[int, Window]:
+        """Pin *name* to *window*, commit, and return the delta."""
+        delta = self.delta_tighten(name, window)
+        self.apply(delta)
+        return delta
+
+    # ------------------------------------------------------------------
+    # verification helper
+    # ------------------------------------------------------------------
+    def assert_consistent(self) -> None:
+        """Raise AssertionError unless windows match a full recompute.
+
+        Test/benchmark hook: recomputes ASAP/ALAP from scratch on the
+        current graph and compares node-for-node.  ``delta_tighten``
+        pins are excluded — only edge insertions keep the full-recompute
+        equivalence (pins add constraints the graph does not carry).
+        """
+        from repro.timing.windows import scheduling_windows
+
+        full = scheduling_windows(self.cdfg, self.horizon)
+        mine = self.windows()
+        assert mine == full, (
+            "incremental windows diverged from full recompute: "
+            + str(
+                {
+                    n: (mine[n], full[n])
+                    for n in full
+                    if mine[n] != full[n]
+                }
+            )
+        )
+
+
+def edge_sequence_windows(
+    cdfg: CDFG, horizon: int, edges: Iterable[Tuple[str, str]]
+) -> Dict[str, Window]:
+    """Reference implementation retained for the benchmark gate.
+
+    Applies *edges* as temporal edges with a **full** window recompute
+    after every insertion — exactly what the pre-kernel embedding loop
+    did — and returns the final windows.  The benchmark measures this
+    against :class:`IncrementalWindows` and asserts equality.
+    """
+    from repro.timing.windows import scheduling_windows
+
+    windows = scheduling_windows(cdfg, horizon)
+    for src, dst in edges:
+        cdfg.add_temporal_edge(src, dst)
+        windows = scheduling_windows(cdfg, horizon)
+    return windows

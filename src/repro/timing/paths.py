@@ -14,7 +14,7 @@ The paper's vocabulary (§IV-A):
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cdfg.graph import CDFG, EdgeKind
 from repro.errors import UnknownNodeError
@@ -23,27 +23,34 @@ from repro.timing.windows import asap_schedule, critical_path_length
 
 def _tail_lengths(cdfg: CDFG) -> Dict[str, int]:
     """Longest path length from each node's start to any sink."""
-    from repro.timing.windows import _fast_topo
-
-    graph = cdfg.graph
-    latency = {n: data["latency"] for n, data in graph.nodes(data=True)}
-    tail: Dict[str, int] = {}
-    for node in reversed(_fast_topo(cdfg)):
-        lat = latency[node]
-        best = lat
-        for succ in graph.succ[node]:
-            candidate = lat + tail[succ]
-            if candidate > best:
-                best = candidate
-        tail[node] = best
-    return tail
+    view = cdfg.view()
+    tails = view.tails()
+    return {name: tails[i] for i, name in enumerate(view.nodes)}
 
 
-def laxity(cdfg: CDFG) -> Dict[str, int]:
-    """Laxity of every node: length of the longest path containing it."""
-    asap = asap_schedule(cdfg)
-    tail = _tail_lengths(cdfg)
-    return {node: asap[node] + tail[node] for node in cdfg.operations}
+def laxity(
+    cdfg: CDFG, asap: Optional[Dict[str, int]] = None
+) -> Dict[str, int]:
+    """Laxity of every node: length of the longest path containing it.
+
+    Parameters
+    ----------
+    asap:
+        Optional precomputed :func:`~repro.timing.windows.asap_schedule`
+        result (or the low ends of a window map) — callers that already
+        hold windows thread them through instead of recomputing.
+    """
+    view = cdfg.view()
+    tails = view.tails()
+    if asap is None:
+        asap_arr = view.asap()
+        return {
+            name: asap_arr[i] + tails[i]
+            for i, name in enumerate(view.nodes)
+        }
+    return {
+        name: asap[name] + tails[i] for i, name in enumerate(view.nodes)
+    }
 
 
 def slack(cdfg: CDFG) -> Dict[str, int]:

@@ -9,41 +9,50 @@ All edge kinds (data, control, temporal) are precedence constraints, so
 the windows automatically tighten when watermark temporal edges are
 added — this is the mechanism through which the watermark reduces the
 number of feasible schedules.
+
+All full passes run over the CDFG's cached
+:class:`~repro.timing.kernel.CDFGView` (dense index maps, latency
+arrays, integer adjacency, memoized ASAP/ALAP arrays), so repeated
+queries between mutations are near-free; incremental maintenance under
+temporal-edge insertion lives in
+:class:`~repro.timing.kernel.IncrementalWindows`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
-import networkx as nx
+from typing import Dict, List, Optional, Tuple
 
 from repro.cdfg.graph import CDFG
 from repro.errors import InfeasibleScheduleError
+
+__all__ = [
+    "asap_schedule",
+    "alap_schedule",
+    "scheduling_windows",
+    "mobility",
+    "makespan",
+    "critical_path_length",
+    "windows_overlap",
+]
 
 
 def _fast_topo(cdfg: CDFG) -> List[str]:
     """Topological order without the lexicographic-sort overhead.
 
-    Insertion-order Kahn (what networkx's plain sort does) — stable for
-    a given construction sequence, which is all the timing analyses
-    need: ASAP/ALAP/laxity values are order-invariant.
+    Served from the cached view; stable for a given construction
+    sequence, which is all the timing analyses need: ASAP/ALAP/laxity
+    values are order-invariant.
     """
-    return list(nx.topological_sort(cdfg.graph))
+    view = cdfg.view()
+    return [view.nodes[i] for i in view.topo_order()]
 
 
 def asap_schedule(cdfg: CDFG) -> Dict[str, int]:
     """Earliest feasible start time of every node (unlimited resources)."""
-    graph = cdfg.graph
-    latency = {n: data["latency"] for n, data in graph.nodes(data=True)}
-    start: Dict[str, int] = {}
-    for node in _fast_topo(cdfg):
-        earliest = 0
-        for pred in graph.pred[node]:
-            candidate = start[pred] + latency[pred]
-            if candidate > earliest:
-                earliest = candidate
-        start[node] = earliest
-    return start
+    view = cdfg.view()
+    asap = view.asap()
+    nodes = view.nodes
+    return {nodes[i]: asap[i] for i in view.topo_order()}
 
 
 def makespan(cdfg: CDFG, start: Dict[str, int]) -> int:
@@ -55,7 +64,7 @@ def makespan(cdfg: CDFG, start: Dict[str, int]) -> int:
 
 def critical_path_length(cdfg: CDFG) -> int:
     """Length of the critical path in control steps (the paper's ``C``)."""
-    return makespan(cdfg, asap_schedule(cdfg))
+    return cdfg.view().critical_path_length()
 
 
 def alap_schedule(cdfg: CDFG, horizon: int) -> Dict[str, int]:
@@ -66,36 +75,38 @@ def alap_schedule(cdfg: CDFG, horizon: int) -> Dict[str, int]:
     InfeasibleScheduleError
         If *horizon* is shorter than the critical path.
     """
-    needed = critical_path_length(cdfg)
-    if horizon < needed:
-        raise InfeasibleScheduleError(
-            f"horizon {horizon} below critical path {needed}"
-        )
-    graph = cdfg.graph
-    latency = {n: data["latency"] for n, data in graph.nodes(data=True)}
-    start: Dict[str, int] = {}
-    for node in reversed(_fast_topo(cdfg)):
-        latest = horizon - latency[node]
-        for succ in graph.succ[node]:
-            candidate = start[succ] - latency[node]
-            if candidate < latest:
-                latest = candidate
-        start[node] = latest
-    return start
+    view = cdfg.view()
+    alap = view.alap(horizon)
+    nodes = view.nodes
+    return {nodes[i]: alap[i] for i in view.topo_order()}
 
 
 def scheduling_windows(
-    cdfg: CDFG, horizon: int
+    cdfg: CDFG, horizon: int, asap: Optional[Dict[str, int]] = None
 ) -> Dict[str, Tuple[int, int]]:
     """The (asap, alap) start-time window of every node.
 
     These are the paper's operation "lifetimes"; two operations have
     *overlapping* lifetimes when neither window is strictly after the
     other — the eligibility condition for temporal-edge endpoints.
+
+    Parameters
+    ----------
+    asap:
+        Optional precomputed :func:`asap_schedule` result; horizons do
+        not change ASAP values, so callers holding one avoid the lookup.
     """
-    asap = asap_schedule(cdfg)
-    alap = alap_schedule(cdfg, horizon)
-    return {node: (asap[node], alap[node]) for node in cdfg.operations}
+    view = cdfg.view()
+    alap_arr = view.alap(horizon)
+    if asap is None:
+        asap_arr = view.asap()
+        return {
+            name: (asap_arr[i], alap_arr[i])
+            for i, name in enumerate(view.nodes)
+        }
+    return {
+        name: (asap[name], alap_arr[i]) for i, name in enumerate(view.nodes)
+    }
 
 
 def mobility(cdfg: CDFG, horizon: int) -> Dict[str, int]:

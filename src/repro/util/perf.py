@@ -1,0 +1,114 @@
+"""Lightweight performance counters and phase timers.
+
+One process-wide :class:`PerfRegistry` (module singleton ``PERF``)
+accumulates named integer counters and wall-clock phase timings.  The
+timing kernel reports how much work the incremental window maintenance
+saved (full recomputes avoided, nodes touched per update), the
+schedulers and the watermark pipelines report wall time per phase, and
+``localmark ... --perf-report`` renders the whole registry after a
+command.
+
+Counters are plain dict increments — cheap enough to stay always-on —
+and everything is deterministic except the wall-clock timings
+themselves, so tests can assert on counter values.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+
+class PerfRegistry:
+    """Named counters plus per-phase wall-clock accumulation."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.phase_ms: Dict[str, float] = {}
+        self.phase_calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # phase timing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the ``with`` body under *name*.
+
+        Phases nest and repeat; each entry adds one call and its elapsed
+        milliseconds to the phase's totals.
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self.phase_ms[name] = self.phase_ms.get(name, 0.0) + elapsed_ms
+            self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    # lifecycle / reporting
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter and phase timing."""
+        self.counters.clear()
+        self.phase_ms.clear()
+        self.phase_calls.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A JSON-friendly copy of the registry's current state."""
+        return {
+            "counters": dict(self.counters),
+            "phase_ms": dict(self.phase_ms),
+            "phase_calls": dict(self.phase_calls),
+        }
+
+    def render_report(self) -> str:
+        """Human-readable report (the ``--perf-report`` output)."""
+        lines = ["perf report:"]
+        if self.phase_ms:
+            lines.append("  phases (wall ms, calls):")
+            for name in sorted(self.phase_ms):
+                lines.append(
+                    f"    {name:<32} {self.phase_ms[name]:>10.2f} ms"
+                    f"  x{self.phase_calls.get(name, 0)}"
+                )
+        if self.counters:
+            lines.append("  counters:")
+            for name in sorted(self.counters):
+                lines.append(f"    {name:<32} {self.counters[name]:>10}")
+        if len(lines) == 1:
+            lines.append("  (nothing recorded)")
+        return "\n".join(lines)
+
+
+#: Process-wide registry used by the kernel, schedulers, and pipelines.
+PERF = PerfRegistry()
+
+
+def timed_phase(name: str) -> Callable[[_F], _F]:
+    """Decorator: accumulate the function's wall time as phase *name*."""
+
+    def decorate(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with PERF.phase(name):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -165,11 +165,11 @@ def realize_watermark_as_code(
         if realized.graph.has_edge(src, dst):
             kind = realized.edge_kind(src, dst)
             if kind.value == "temporal":
-                realized.graph.remove_edge(src, dst)
+                realized.remove_edge(src, dst)
     # Strip any remaining temporal edges (they are all realized or were
     # not part of this watermark's list).
     for src, dst in realized.temporal_edges:
-        realized.graph.remove_edge(src, dst)
+        realized.remove_edge(src, dst)
     realized.validate()
     return realized
 

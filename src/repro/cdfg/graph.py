@@ -203,6 +203,14 @@ class CDFG:
         self._g.nodes[name]["op"] = op
         self._bump()
 
+    def set_latency(self, name: str, latency: int) -> None:
+        """Replace a node's latency in control steps."""
+        self._require(name)
+        if latency < 0:
+            raise CDFGError(f"negative latency for {name!r}")
+        self._g.nodes[name]["latency"] = latency
+        self._bump()
+
     def _creates_cycle(self, src: str, dst: str) -> bool:
         # A new edge src->dst creates a cycle iff src is reachable from dst.
         return nx.has_path(self._g, dst, src)

@@ -15,6 +15,16 @@ design files:
                         --record wm.json --author "Alice Inc."
     localmark stress    --design marked.json --record wm.json \\
                         --rates 0,0.05,0.1,0.2
+    localmark verify    --suite all --trials 200 --seed 7 \\
+                        --report verify.json
+
+``verify`` has two modes: with ``--design/--schedule/--record`` it
+checks one schedule against one watermark record; with ``--suite`` it
+runs the self-verification oracles of :mod:`repro.verify`
+(differential scheduler/kernel/detector cross-checks, metamorphic
+transforms, and the view-cache mutation fuzzer) and exits 0 only when
+every oracle is divergence-free.  ``--report`` writes the
+machine-readable JSON report (atomic + durable).
 
 Exit status (also in ``localmark --help``): 0 when the requested check
 succeeds (watermark detected / verified), 1 when it ran but did not
@@ -82,8 +92,10 @@ EXIT_TRIAL_TIMEOUT = 4
 
 EXIT_CODE_EPILOG = """\
 exit codes:
-  0  success (watermark detected / verified / command completed)
-  1  the check ran but the watermark was not detected
+  0  success (watermark detected / verified / command completed /
+     verification suite clean)
+  1  the check ran but the watermark was not detected, or a
+     verification suite (verify --suite) observed a divergence
   2  usage error, malformed input, or library failure
   3  a search budget was exhausted (--budget-ms; BudgetExceededError)
   4  a stress campaign produced no data: every trial overran its
@@ -243,6 +255,22 @@ def _require_scheduling_record(path: str) -> SchedulingWatermark:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    if args.suite is not None:
+        return _cmd_verify_suite(args)
+    missing = [
+        flag
+        for flag, value in (
+            ("--design", args.design),
+            ("--schedule", args.schedule),
+            ("--record", args.record),
+        )
+        if value is None
+    ]
+    if missing:
+        raise ReproError(
+            f"verify needs either --suite or all of --design/--schedule/"
+            f"--record (missing: {', '.join(missing)})"
+        )
     design = load_design(args.design)
     schedule = _load_schedule(args.schedule)
     watermark = _require_scheduling_record(args.record)
@@ -254,6 +282,24 @@ def cmd_verify(args: argparse.Namespace) -> int:
     )
     print("watermark DETECTED" if result.detected else "watermark NOT detected")
     return 0 if result.detected else 1
+
+
+def _cmd_verify_suite(args: argparse.Namespace) -> int:
+    # Imported lazily: the verify package pulls in the whole oracle
+    # stack, which the single-record mode never needs.
+    from repro.verify import run_suite
+
+    if args.trials < 1:
+        raise ReproError("--trials must be >= 1")
+    budget = _budget_from_args(args)
+    report = run_suite(
+        args.suite, seed=args.seed, trials=args.trials, budget=budget
+    )
+    print(report.render())
+    if args.report is not None:
+        report.write(args.report)
+        print(f"report -> {args.report}")
+    return EXIT_OK if report.clean else EXIT_NOT_DETECTED
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
@@ -479,12 +525,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_stress.set_defaults(func=cmd_stress)
 
     p_verify = sub.add_parser(
-        "verify", help="check a schedule against a watermark record"
+        "verify",
+        help="check a schedule against a watermark record, or run the "
+        "self-verification oracle suites (--suite)",
     )
-    p_verify.add_argument("--design", required=True)
-    p_verify.add_argument("--schedule", required=True)
-    p_verify.add_argument("--record", required=True)
+    p_verify.add_argument("--design", default=None)
+    p_verify.add_argument("--schedule", default=None)
+    p_verify.add_argument("--record", default=None)
     p_verify.add_argument("--author", default=None)
+    p_verify.add_argument(
+        "--suite",
+        choices=("differential", "metamorphic", "fuzz", "all"),
+        default=None,
+        help="run this oracle suite instead of checking one record: "
+        "differential (schedulers / embedding paths / incremental "
+        "windows / Monte-Carlo P_c), metamorphic (relabel, "
+        "re-serialize, latency scaling, IO round-trip), fuzz "
+        "(view-cache mutation fuzzing), or all",
+    )
+    p_verify.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for --suite; per-trial seeds are derived from it",
+    )
+    p_verify.add_argument(
+        "--trials", type=int, default=25,
+        help="randomized trials per oracle for --suite (default 25)",
+    )
+    p_verify.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the machine-readable JSON suite report here",
+    )
+    p_verify.add_argument(
+        "--budget-ms", type=float, default=None, dest="budget_ms",
+        help="wall-clock cap for the whole --suite run (exit 3 when hit)",
+    )
+    _add_perf_flag(p_verify)
     p_verify.set_defaults(func=cmd_verify)
 
     p_detect = sub.add_parser(

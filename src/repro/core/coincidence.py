@@ -32,6 +32,7 @@ from repro.errors import WatermarkError
 from repro.scheduling.enumeration import (
     count_schedules,
     count_schedules_satisfying,
+    sample_schedule_boxes,
 )
 from repro.timing.windows import critical_path_length, scheduling_windows
 
@@ -107,6 +108,75 @@ def exact_pc(
         cdfg, horizon, edges, nodes=nodes, limit=limit
     )
     return ExactPc(with_constraints=satisfying, without_constraints=total)
+
+
+@dataclass(frozen=True)
+class MonteCarloPc:
+    """Brute-force Monte Carlo estimate of ``P_c``.
+
+    Attributes
+    ----------
+    satisfying:
+        Feasible samples that also satisfied every temporal edge.
+    feasible:
+        Samples that landed on a feasible schedule at all.
+    samples:
+        Total box samples drawn.
+    """
+
+    satisfying: int
+    feasible: int
+    samples: int
+
+    @property
+    def pc(self) -> float:
+        """Estimated ``P_c`` (``satisfying / feasible``)."""
+        if self.feasible == 0:
+            raise WatermarkError("no feasible sample drawn; raise `samples`")
+        return self.satisfying / self.feasible
+
+    def standard_error(self) -> float:
+        """Binomial standard error of :attr:`pc` given the sample size."""
+        if self.feasible == 0:
+            raise WatermarkError("no feasible sample drawn; raise `samples`")
+        p = self.pc
+        return math.sqrt(max(p * (1.0 - p), 1e-12) / self.feasible)
+
+
+def monte_carlo_pc(
+    cdfg: CDFG,
+    temporal_edges: Iterable[Tuple[str, str]],
+    rng,
+    horizon: Optional[int] = None,
+    nodes: Optional[Sequence[str]] = None,
+    samples: int = 10_000,
+) -> MonteCarloPc:
+    """Estimate ``P_c`` by rejection sampling over the window box.
+
+    Start times are drawn uniformly and independently from each node's
+    (ASAP, ALAP) window; infeasible draws are rejected, so the accepted
+    draws are uniform over the feasible schedules and the satisfying
+    fraction estimates the same ratio :func:`exact_pc` enumerates.  This
+    shares no counting code with the exact path (only the window /
+    longest-path substrate), which is what makes it a differential
+    oracle for the detector's coincidence model.
+    """
+    if horizon is None:
+        horizon = critical_path_length(cdfg)
+    edges = list(temporal_edges)
+    feasible = 0
+    satisfying = 0
+    for assignment, ok in sample_schedule_boxes(
+        cdfg, horizon, samples, rng, nodes=nodes
+    ):
+        if not ok:
+            continue
+        feasible += 1
+        if all(assignment[src] < assignment[dst] for src, dst in edges):
+            satisfying += 1
+    return MonteCarloPc(
+        satisfying=satisfying, feasible=feasible, samples=samples
+    )
 
 
 def approx_edge_log10(

@@ -204,3 +204,63 @@ def transitive_reduction_edges(cdfg: CDFG) -> List[Tuple[str, str]]:
     """Edges of the precedence DAG's transitive reduction (reporting)."""
     reduced = nx.transitive_reduction(cdfg.graph)
     return list(reduced.edges)
+
+
+def window_box_volume(
+    cdfg: CDFG, horizon: int, nodes: Optional[Sequence[str]] = None
+) -> int:
+    """Product of the window widths of *nodes* (the sampling box size).
+
+    This is the size of the sample space :func:`sample_schedule_boxes`
+    draws from; the feasible-schedule count divided by this volume is
+    the rejection sampler's acceptance rate.
+    """
+    if nodes is None:
+        nodes = cdfg.schedulable_operations
+    windows = scheduling_windows(cdfg, horizon)
+    volume = 1
+    for node in nodes:
+        lo, hi = windows[node]
+        volume *= hi - lo + 1
+    return volume
+
+
+def sample_schedule_boxes(
+    cdfg: CDFG,
+    horizon: int,
+    samples: int,
+    rng,
+    nodes: Optional[Sequence[str]] = None,
+) -> Iterator[Tuple[Dict[str, int], bool]]:
+    """Draw start-time assignments uniformly from the window box.
+
+    Each sample assigns every node of *nodes* a start drawn uniformly
+    (and independently) from its (ASAP, ALAP) window, then checks
+    feasibility against the same pairwise longest-path constraints
+    :func:`iter_schedules` enforces.  Yields ``(assignment, feasible)``
+    pairs; because every point of the box is equally likely, the
+    feasible samples are uniform over the feasible schedules — the
+    brute-force Monte Carlo counterpart of exact enumeration, used by
+    the differential ``P_c`` oracle.
+
+    Parameters
+    ----------
+    rng:
+        A ``random.Random`` (seeded by the caller for reproducibility).
+    """
+    if nodes is None:
+        nodes = cdfg.schedulable_operations
+    nodes = list(nodes)
+    windows = scheduling_windows(cdfg, horizon)
+    distances = pairwise_distances(cdfg, nodes)
+    checks: List[Tuple[int, int, int]] = [
+        (nodes.index(u), nodes.index(v), d)
+        for (u, v), d in distances.items()
+    ]
+    bounds = [windows[n] for n in nodes]
+    for _ in range(samples):
+        starts = [rng.randint(lo, hi) for lo, hi in bounds]
+        feasible = all(
+            starts[j] >= starts[i] + d for i, j, d in checks
+        )
+        yield {n: starts[k] for k, n in enumerate(nodes)}, feasible

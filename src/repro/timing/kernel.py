@@ -232,6 +232,70 @@ class CDFGView:
         return alap
 
     # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def divergence_from(self, other: "CDFGView") -> Optional[str]:
+        """First difference between this view and *other*, or ``None``.
+
+        Used by the ``repro.verify`` fuzz oracle to cross-check a warm
+        (possibly incrementally patched) view against a cold rebuild
+        after every mutation.  Compares the node universe, index map,
+        latencies, adjacency (as sets — patching appends, rebuilding
+        follows networkx edge-insertion order), the derived node-set
+        caches, and every memoized timing array, forcing the lazy ones
+        on both sides so stale memos cannot hide.
+        """
+        if self.nodes != other.nodes:
+            return f"node lists differ: {self.nodes} != {other.nodes}"
+        if self.index != other.index:
+            return "index maps differ"
+        if self.latency != other.latency:
+            return f"latency arrays differ: {self.latency} != {other.latency}"
+        for name, mine, theirs in (
+            ("preds", self.preds, other.preds),
+            ("succs", self.succs, other.succs),
+        ):
+            mine_sets = [sorted(adj) for adj in mine]
+            theirs_sets = [sorted(adj) for adj in theirs]
+            if mine_sets != theirs_sets:
+                return f"{name} adjacency differs"
+        if self.schedulable_operations != other.schedulable_operations:
+            return "schedulable-operation sets differ"
+        if self.primary_inputs != other.primary_inputs:
+            return (
+                f"primary inputs differ: {self.primary_inputs} != "
+                f"{other.primary_inputs}"
+            )
+        if self.primary_outputs != other.primary_outputs:
+            return (
+                f"primary outputs differ: {self.primary_outputs} != "
+                f"{other.primary_outputs}"
+            )
+        if self.asap() != other.asap():
+            diffs = {
+                self.nodes[i]: (self.asap()[i], other.asap()[i])
+                for i in range(len(self.nodes))
+                if self.asap()[i] != other.asap()[i]
+            }
+            return f"ASAP arrays differ: {diffs}"
+        if self.tails() != other.tails():
+            return "tail arrays differ"
+        if self.critical_path_length() != other.critical_path_length():
+            return (
+                f"critical paths differ: {self.critical_path_length()} != "
+                f"{other.critical_path_length()}"
+            )
+        horizon = self.critical_path_length()
+        if self.alap(horizon) != other.alap(horizon):
+            diffs = {
+                self.nodes[i]: (self.alap(horizon)[i], other.alap(horizon)[i])
+                for i in range(len(self.nodes))
+                if self.alap(horizon)[i] != other.alap(horizon)[i]
+            }
+            return f"ALAP arrays differ at horizon {horizon}: {diffs}"
+        return None
+
+    # ------------------------------------------------------------------
     # incremental patching
     # ------------------------------------------------------------------
     def apply_edge(self, src: str, dst: str, kind: EdgeKind) -> None:

@@ -1,0 +1,37 @@
+"""Differential & metamorphic verification subsystem.
+
+``repro.verify`` cross-checks the fast paths of the codebase against
+slow reference implementations (differential oracles), checks that
+meaning-preserving input transformations preserve outputs (metamorphic
+oracles), and fuzzes the incremental timing kernel's view cache with
+random mutation sequences.  Entry point: :func:`run_suite`, exposed on
+the CLI as ``localmark verify --suite {differential,metamorphic,fuzz,all}``.
+"""
+
+from repro.verify.report import (
+    Divergence,
+    OracleOutcome,
+    SuiteReport,
+    merge_reports,
+)
+from repro.verify.suites import (
+    SUITES,
+    run_differential_suite,
+    run_fuzz_suite,
+    run_metamorphic_suite,
+    run_suite,
+    small_hyper_designs,
+)
+
+__all__ = [
+    "Divergence",
+    "OracleOutcome",
+    "SuiteReport",
+    "SUITES",
+    "merge_reports",
+    "run_differential_suite",
+    "run_fuzz_suite",
+    "run_metamorphic_suite",
+    "run_suite",
+    "small_hyper_designs",
+]

@@ -1,0 +1,523 @@
+"""Differential oracles: two independent computations must agree.
+
+Each oracle runs the same problem instance through two (or more)
+implementations that the paper — or this codebase's own refactors —
+claim equivalent, and reports a :class:`~repro.verify.report.Divergence`
+whenever they disagree:
+
+* :func:`oracle_schedulers` — exact, force-directed, and list
+  schedulers on the same (design, horizon, resources) instance, with
+  invariant checks: every schedule is precedence- and resource-
+  feasible, latencies are ordered (the exact scheduler never loses to a
+  heuristic), nothing overruns the horizon, and every watermark
+  temporal edge is honoured.
+* :func:`oracle_embed_paths` — the incremental timing-kernel embedding
+  path (``incremental=True``) against the retained full-recompute
+  reference, asserting bit-identical watermark records (or identical
+  failures).
+* :func:`oracle_windows_kernel` — :class:`IncrementalWindows` delta
+  propagation against a full recompute after every temporal-edge
+  insertion, node-for-node.
+* :func:`oracle_coincidence_mc` — the detector's exact ``P_c``
+  (schedule enumeration) against a brute-force Monte Carlo estimate on
+  small localities, within a binomial confidence band.
+
+Every oracle takes a base seed and derives one child seed per trial, so
+any reported divergence replays from its recorded seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.cdfg.generators import random_layered_cdfg
+from repro.cdfg.graph import CDFG
+from repro.core.coincidence import exact_pc, monte_carlo_pc
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import (
+    SchedulingWatermark,
+    SchedulingWatermarker,
+    SchedulingWMParams,
+)
+from repro.crypto.signature import AuthorSignature
+from repro.errors import (
+    BudgetExceededError,
+    CDFGError,
+    InfeasibleScheduleError,
+    WatermarkError,
+)
+from repro.scheduling.enumeration import (
+    EnumerationLimitError,
+    window_box_volume,
+)
+from repro.scheduling.exact import exact_schedule
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import UNLIMITED, ResourceSet
+from repro.scheduling.schedule import Schedule
+from repro.timing.kernel import IncrementalWindows
+from repro.timing.windows import critical_path_length, scheduling_windows
+from repro.verify.report import Divergence
+
+#: Author every verification embed uses; constraints are keyed, so a
+#: fixed signature keeps oracle runs reproducible.
+VERIFY_AUTHOR = "repro-verify-oracle"
+
+#: Watermark parameters small enough to embed on the oracle designs.
+VERIFY_PARAMS = SchedulingWMParams(domain=DomainParams(tau=4), k=3)
+
+
+def derive_seed(base: int, trial: int, salt: str) -> int:
+    """Deterministic per-trial child seed (stable across Python runs)."""
+    return (base * 1_000_003 + trial * 7919 + sum(map(ord, salt))) % (2**31)
+
+
+def trial_design(seed: int, num_ops: int = 48) -> CDFG:
+    """The randomized design instance of one oracle trial."""
+    return random_layered_cdfg(num_ops, seed=seed, name=f"verify{seed}")
+
+
+def try_embed(
+    design: CDFG, seed: int, incremental: bool = True
+) -> Optional[Tuple[CDFG, SchedulingWatermark]]:
+    """Embed the verification watermark; ``None`` when no locality fits."""
+    marker = SchedulingWatermarker(
+        AuthorSignature(f"{VERIFY_AUTHOR}-{seed}"),
+        VERIFY_PARAMS,
+        incremental=incremental,
+    )
+    try:
+        return marker.embed(design)
+    except WatermarkError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# scheduler cross-check
+# ----------------------------------------------------------------------
+def _check_schedule(
+    name: str,
+    schedule: Schedule,
+    design: CDFG,
+    horizon: int,
+    resources: Optional[ResourceSet],
+    watermark: Optional[SchedulingWatermark],
+    divergences: List[Divergence],
+    seed: int,
+) -> None:
+    """Invariants every scheduler's output must satisfy."""
+    try:
+        schedule.verify(design, resources=resources, horizon=horizon)
+    except Exception as exc:
+        divergences.append(
+            Divergence(
+                oracle="schedulers",
+                design=design.name,
+                seed=seed,
+                detail=f"{name} schedule failed feasibility: {exc}",
+                data={"scheduler": name},
+            )
+        )
+        return
+    if watermark is not None:
+        broken = [
+            (src, dst)
+            for src, dst in watermark.temporal_edges
+            if not schedule.satisfies_order(src, dst)
+        ]
+        if broken:
+            divergences.append(
+                Divergence(
+                    oracle="schedulers",
+                    design=design.name,
+                    seed=seed,
+                    detail=(
+                        f"{name} schedule violates watermark edges {broken}"
+                    ),
+                    data={"scheduler": name, "broken_edges": broken},
+                )
+            )
+
+
+def schedulers_trial(seed: int) -> List[Divergence]:
+    """One scheduler-differential trial; returns observed divergences."""
+    divergences: List[Divergence] = []
+    design = trial_design(seed)
+    embedded = try_embed(design, seed)
+    watermark: Optional[SchedulingWatermark] = None
+    if embedded is not None:
+        design, watermark = embedded
+    cp = critical_path_length(design)
+    horizon = cp
+
+    results = {}
+    for name, run in (
+        ("exact", lambda: exact_schedule(design, horizon, UNLIMITED)),
+        ("force-directed", lambda: force_directed_schedule(design, horizon)),
+        ("list", lambda: list_schedule(design)),
+    ):
+        schedule = run()
+        _check_schedule(
+            name, schedule, design, horizon, None, watermark, divergences,
+            seed,
+        )
+        results[name] = schedule.makespan(design)
+
+    # Latency ordering: with unlimited resources everything packs to the
+    # critical path, and the exact scheduler in particular can never be
+    # beaten by a heuristic.
+    if results["exact"] != cp:
+        divergences.append(
+            Divergence(
+                oracle="schedulers",
+                design=design.name,
+                seed=seed,
+                detail=(
+                    f"exact makespan {results['exact']} != critical path "
+                    f"{cp} under unlimited resources"
+                ),
+                data={"makespans": results, "critical_path": cp},
+            )
+        )
+    for name, makespan in results.items():
+        if makespan < cp or makespan > horizon:
+            divergences.append(
+                Divergence(
+                    oracle="schedulers",
+                    design=design.name,
+                    seed=seed,
+                    detail=(
+                        f"{name} makespan {makespan} outside "
+                        f"[{cp}, {horizon}]"
+                    ),
+                    data={"makespans": results, "critical_path": cp},
+                )
+            )
+
+    # Resource-constrained leg: the units the list schedule itself needs
+    # are feasible by construction; the exact scheduler must find a
+    # schedule under them too (possibly with a longer horizon).
+    baseline = list_schedule(design)
+    units = baseline.implied_units(design)
+    resources = ResourceSet(dict(units))
+    constrained = list_schedule(design, resources=resources)
+    resource_horizon = constrained.makespan(design)
+    _check_schedule(
+        "list/resources", constrained, design, resource_horizon, resources,
+        watermark, divergences, seed,
+    )
+    try:
+        exact_constrained = exact_schedule(
+            design, resource_horizon, resources, node_limit=200_000
+        )
+    except BudgetExceededError:
+        return divergences  # search too deep for this trial; not a bug
+    except InfeasibleScheduleError:
+        divergences.append(
+            Divergence(
+                oracle="schedulers",
+                design=design.name,
+                seed=seed,
+                detail=(
+                    "exact scheduler proved infeasible a (horizon, "
+                    "resources) instance the list scheduler solved"
+                ),
+                data={
+                    "horizon": resource_horizon,
+                    "units": {c.value: n for c, n in units.items()},
+                },
+            )
+        )
+        return divergences
+    _check_schedule(
+        "exact/resources", exact_constrained, design, resource_horizon,
+        resources, watermark, divergences, seed,
+    )
+    if exact_constrained.makespan(design) > resource_horizon:
+        divergences.append(
+            Divergence(
+                oracle="schedulers",
+                design=design.name,
+                seed=seed,
+                detail="exact/resources overran the list scheduler's horizon",
+                data={"makespan": exact_constrained.makespan(design)},
+            )
+        )
+    return divergences
+
+
+def oracle_schedulers(base_seed: int, trial: int) -> List[Divergence]:
+    """Differential scheduler oracle, one trial."""
+    return schedulers_trial(derive_seed(base_seed, trial, "schedulers"))
+
+
+# ----------------------------------------------------------------------
+# incremental vs reference embedding
+# ----------------------------------------------------------------------
+def embed_paths_trial(seed: int, design: Optional[CDFG] = None) -> List[Divergence]:
+    """Embed with and without the incremental kernel; compare records."""
+    if design is None:
+        design = trial_design(seed, num_ops=60)
+    kernel = try_embed(design, seed, incremental=True)
+    reference = try_embed(design, seed, incremental=False)
+    if (kernel is None) != (reference is None):
+        return [
+            Divergence(
+                oracle="embed_paths",
+                design=design.name,
+                seed=seed,
+                detail=(
+                    "one embedding path failed where the other succeeded: "
+                    f"kernel={'ok' if kernel else 'failed'}, "
+                    f"reference={'ok' if reference else 'failed'}"
+                ),
+            )
+        ]
+    if kernel is None or reference is None:
+        return []  # both declined this design identically
+    marked_k, record_k = kernel
+    marked_r, record_r = reference
+    divergences: List[Divergence] = []
+    if record_k != record_r:
+        fields = [
+            name
+            for name in (
+                "root", "cone", "domain_nodes", "eligible_nodes",
+                "selected_nodes", "temporal_edges", "temporal_edge_ids",
+                "horizon", "critical_path",
+            )
+            if getattr(record_k, name) != getattr(record_r, name)
+        ]
+        divergences.append(
+            Divergence(
+                oracle="embed_paths",
+                design=design.name,
+                seed=seed,
+                detail=(
+                    f"kernel and reference watermark records differ in "
+                    f"{fields}"
+                ),
+                data={
+                    "kernel_edges": list(record_k.temporal_edges),
+                    "reference_edges": list(record_r.temporal_edges),
+                },
+            )
+        )
+    if sorted(marked_k.temporal_edges) != sorted(marked_r.temporal_edges):
+        divergences.append(
+            Divergence(
+                oracle="embed_paths",
+                design=design.name,
+                seed=seed,
+                detail="marked designs carry different temporal edges",
+                data={
+                    "kernel": sorted(marked_k.temporal_edges),
+                    "reference": sorted(marked_r.temporal_edges),
+                },
+            )
+        )
+    return divergences
+
+
+def oracle_embed_paths(base_seed: int, trial: int) -> List[Divergence]:
+    """Kernel-vs-reference embedding oracle, one trial."""
+    return embed_paths_trial(derive_seed(base_seed, trial, "embed"))
+
+
+# ----------------------------------------------------------------------
+# incremental windows vs full recompute
+# ----------------------------------------------------------------------
+def windows_kernel_trial(seed: int) -> List[Divergence]:
+    """Insert random feasible temporal edges incrementally; cross-check.
+
+    Two comparisons per trial: the live :class:`IncrementalWindows`
+    against a from-scratch recompute on its own (mutated) graph, and
+    against a **cold** replay of the same edge sequence on a pristine
+    copy — so neither the delta propagation nor the patched view cache
+    can drift without being caught.
+    """
+    rng = random.Random(seed)
+    design = trial_design(seed, num_ops=rng.choice((24, 36, 48)))
+    horizon = critical_path_length(design) + rng.randint(0, 3)
+    pristine = design.copy()
+    iw = IncrementalWindows(design, horizon)
+    nodes = list(design.schedulable_operations)
+    inserted: List[Tuple[str, str]] = []
+    attempts = 0
+    while len(inserted) < 8 and attempts < 64:
+        attempts += 1
+        src, dst = rng.sample(nodes, 2)
+        if not iw.can_add_edge(src, dst):
+            continue
+        try:
+            iw.add_edge(src, dst)
+        except (CDFGError, InfeasibleScheduleError):
+            continue
+        inserted.append((src, dst))
+
+    divergences: List[Divergence] = []
+    # The kernel accepted every inserted edge as feasible; if the
+    # reference recompute now proves the mutated graph infeasible, the
+    # kernel's feasibility bookkeeping is wrong — that's a divergence,
+    # not an error.
+    try:
+        recomputed = scheduling_windows(design.copy(), horizon)
+    except InfeasibleScheduleError as exc:
+        return [
+            Divergence(
+                oracle="windows_kernel",
+                design=design.name,
+                seed=seed,
+                detail=(
+                    f"kernel accepted {len(inserted)} edge(s) but the "
+                    f"reference proves the result infeasible: {exc}"
+                ),
+                data={"edges": inserted, "horizon": horizon},
+            )
+        ]
+    live = iw.windows()
+    if live != recomputed:
+        diffs = {
+            n: (live[n], recomputed[n])
+            for n in recomputed
+            if live[n] != recomputed[n]
+        }
+        divergences.append(
+            Divergence(
+                oracle="windows_kernel",
+                design=design.name,
+                seed=seed,
+                detail=(
+                    f"incremental windows diverged from full recompute "
+                    f"on {len(diffs)} node(s) after {len(inserted)} edges"
+                ),
+                data={
+                    "edges": inserted,
+                    "horizon": horizon,
+                    "diffs": {n: list(map(list, d)) for n, d in diffs.items()},
+                },
+            )
+        )
+    # Cold replay: pristine copy + the same edges, full recompute only.
+    for src, dst in inserted:
+        pristine.add_temporal_edge(src, dst)
+    cold = scheduling_windows(pristine, horizon)
+    if live != cold:
+        divergences.append(
+            Divergence(
+                oracle="windows_kernel",
+                design=design.name,
+                seed=seed,
+                detail="incremental windows diverged from a cold replay",
+                data={"edges": inserted, "horizon": horizon},
+            )
+        )
+    return divergences
+
+
+def oracle_windows_kernel(base_seed: int, trial: int) -> List[Divergence]:
+    """Incremental-windows oracle, one trial."""
+    return windows_kernel_trial(derive_seed(base_seed, trial, "windows"))
+
+
+# ----------------------------------------------------------------------
+# exact P_c vs brute-force Monte Carlo
+# ----------------------------------------------------------------------
+#: Cap on the window-box volume a Monte Carlo trial will sample; above
+#: it the acceptance rate is too low for a meaningful estimate and the
+#: trial is skipped (counted in the outcome's ``skipped``).
+MAX_BOX_VOLUME = 4096
+
+#: Agreement band in standard errors.  6σ two-sided per trial keeps the
+#: false-alarm probability below ~1e-8 even across thousands of trials.
+SIGMA_BAND = 6.0
+
+
+def coincidence_trial(seed: int, samples: int = 6000):
+    """One exact-vs-Monte-Carlo ``P_c`` trial.
+
+    Returns ``(divergences, skipped)``; *skipped* is True when the
+    trial's instance was unsuitable (box too large, no feasible edge,
+    enumeration blow-up) rather than checked.
+    """
+    rng = random.Random(seed)
+    design = trial_design(seed, num_ops=rng.choice((7, 8, 9, 10)))
+    horizon = critical_path_length(design) + rng.randint(0, 1)
+    nodes = list(design.schedulable_operations)
+    if window_box_volume(design, horizon, nodes) > MAX_BOX_VOLUME:
+        return [], True
+
+    # Pick a temporal-edge pair with genuine freedom: overlapping
+    # windows, no existing path either way.
+    windows = scheduling_windows(design, horizon)
+    candidates = []
+    for i, src in enumerate(nodes):
+        for dst in nodes[i + 1:]:
+            lo_s, hi_s = windows[src]
+            lo_d, hi_d = windows[dst]
+            if lo_s + design.latency(src) > hi_d:
+                continue
+            if nx.has_path(design.graph, src, dst):
+                continue
+            if nx.has_path(design.graph, dst, src):
+                continue
+            candidates.append((src, dst))
+    if not candidates:
+        return [], True
+    edges = [rng.choice(candidates)]
+
+    try:
+        exact = exact_pc(
+            design, edges, horizon=horizon, nodes=nodes, limit=500_000
+        )
+    except EnumerationLimitError:
+        return [], True
+    if exact.without_constraints == 0:
+        return [], True
+    mc = monte_carlo_pc(
+        design, edges, rng, horizon=horizon, nodes=nodes, samples=samples
+    )
+    divergences: List[Divergence] = []
+    if mc.feasible == 0:
+        divergences.append(
+            Divergence(
+                oracle="coincidence_mc",
+                design=design.name,
+                seed=seed,
+                detail=(
+                    f"Monte Carlo found no feasible schedule in {samples} "
+                    f"samples, but enumeration counted "
+                    f"{exact.without_constraints}"
+                ),
+            )
+        )
+        return divergences, False
+    tolerance = SIGMA_BAND * mc.standard_error() + 1e-9
+    if abs(mc.pc - exact.pc) > tolerance:
+        divergences.append(
+            Divergence(
+                oracle="coincidence_mc",
+                design=design.name,
+                seed=seed,
+                detail=(
+                    f"Monte Carlo P_c {mc.pc:.4f} disagrees with exact "
+                    f"{exact.pc:.4f} beyond {SIGMA_BAND}σ ({tolerance:.4f})"
+                ),
+                data={
+                    "edges": edges,
+                    "exact": [
+                        exact.with_constraints, exact.without_constraints,
+                    ],
+                    "monte_carlo": [mc.satisfying, mc.feasible, mc.samples],
+                },
+            )
+        )
+    return divergences, False
+
+
+def oracle_coincidence_mc(base_seed: int, trial: int):
+    """P_c differential oracle, one trial; returns (divergences, skipped)."""
+    return coincidence_trial(derive_seed(base_seed, trial, "pc"))

@@ -1,0 +1,400 @@
+"""Metamorphic oracles: transformed inputs must transform outputs.
+
+A metamorphic relation states how a known input transformation must
+affect the output; violations expose bugs without any ground truth.
+The relations verified here are exactly the invariances the paper's
+protocol depends on:
+
+* :func:`oracle_relabel` — node renaming (an isomorphism) must leave
+  the critical path, the scheduling windows (mapped through the
+  renaming), and the watermark verification verdict bit-identical:
+  detection is structural, never name-based (§III criteria C1–C3).
+* :func:`oracle_reserialize` — rebuilding the CDFG with its nodes and
+  edges inserted in a different order is a no-op for every timing
+  quantity and for detection.
+* :func:`oracle_latency_scale` — scaling every latency by an integer
+  factor ``c`` scales ASAP/ALAP/critical path by exactly ``c`` (longest
+  paths are sums of latencies) and preserves watermark satisfaction of
+  the correspondingly scaled schedule.
+* :func:`oracle_io_roundtrip` — a ``cdfg.io`` JSON round-trip (and a
+  watermark-record round-trip) is lossless: every derived quantity and
+  the verification verdict are unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.cdfg.io import from_json, to_dict, to_json
+from repro.cdfg.ops import OpType
+from repro.core.records import (
+    scheduling_watermark_from_dict,
+    scheduling_watermark_to_dict,
+)
+from repro.core.scheduling_wm import (
+    SchedulingWatermark,
+    SchedulingWatermarker,
+)
+from repro.crypto.signature import AuthorSignature
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.schedule import Schedule
+from repro.timing.windows import critical_path_length, scheduling_windows
+from repro.verify.differential import (
+    VERIFY_AUTHOR,
+    VERIFY_PARAMS,
+    derive_seed,
+    trial_design,
+    try_embed,
+)
+from repro.verify.report import Divergence
+
+
+def _marked_instance(
+    seed: int,
+) -> Optional[Tuple[CDFG, SchedulingWatermark, Schedule]]:
+    """A (marked design, record, schedule) triple for one trial."""
+    design = trial_design(seed, num_ops=48)
+    embedded = try_embed(design, seed)
+    if embedded is None:
+        return None
+    marked, watermark = embedded
+    return marked, watermark, list_schedule(marked)
+
+
+def _verdict(
+    design: CDFG,
+    schedule: Schedule,
+    watermark: SchedulingWatermark,
+    seed: int,
+) -> Tuple[int, int, float]:
+    """The verification verdict triple compared across transforms."""
+    marker = SchedulingWatermarker(
+        AuthorSignature(f"{VERIFY_AUTHOR}-{seed}"), VERIFY_PARAMS
+    )
+    result = marker.verify(
+        design.without_temporal_edges(), schedule, watermark
+    )
+    return (result.satisfied, result.total, result.log10_pc)
+
+
+def _remapped_record(
+    watermark: SchedulingWatermark, mapping: Dict[str, str]
+) -> SchedulingWatermark:
+    """The watermark record as it reads after renaming the design."""
+    payload = scheduling_watermark_to_dict(watermark)
+    for key in ("cone", "domain_nodes", "eligible_nodes", "selected_nodes"):
+        payload[key] = [mapping.get(n, n) for n in payload[key]]
+    payload["root"] = mapping.get(watermark.root, watermark.root)
+    payload["temporal_edges"] = [
+        [mapping.get(src, src), mapping.get(dst, dst)]
+        for src, dst in payload["temporal_edges"]
+    ]
+    return scheduling_watermark_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# node relabeling / isomorphism
+# ----------------------------------------------------------------------
+def relabel_trial(seed: int) -> List[Divergence]:
+    instance = _marked_instance(seed)
+    if instance is None:
+        return []
+    marked, watermark, schedule = instance
+    rng = random.Random(seed ^ 0x5EED)
+    names = list(marked.operations)
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    mapping = {old: f"r_{new}" for old, new in zip(names, shuffled)}
+
+    renamed = marked.renamed(mapping)
+    renamed_schedule = Schedule(
+        {mapping[n]: t for n, t in schedule.start_times.items()}
+    )
+    renamed_record = _remapped_record(watermark, mapping)
+
+    divergences: List[Divergence] = []
+    if critical_path_length(renamed) != critical_path_length(marked):
+        divergences.append(
+            Divergence(
+                oracle="relabel",
+                design=marked.name,
+                seed=seed,
+                detail="critical path changed under renaming",
+            )
+        )
+    horizon = watermark.horizon
+    original_windows = scheduling_windows(marked, horizon)
+    renamed_windows = scheduling_windows(renamed, horizon)
+    mapped = {mapping[n]: w for n, w in original_windows.items()}
+    if mapped != renamed_windows:
+        divergences.append(
+            Divergence(
+                oracle="relabel",
+                design=marked.name,
+                seed=seed,
+                detail="scheduling windows changed under renaming",
+            )
+        )
+    before = _verdict(marked, schedule, watermark, seed)
+    after = _verdict(renamed, renamed_schedule, renamed_record, seed)
+    if before != after:
+        divergences.append(
+            Divergence(
+                oracle="relabel",
+                design=marked.name,
+                seed=seed,
+                detail=(
+                    f"verification verdict changed under renaming: "
+                    f"{before} != {after}"
+                ),
+                data={"before": list(before), "after": list(after)},
+            )
+        )
+    return divergences
+
+
+def oracle_relabel(base_seed: int, trial: int) -> List[Divergence]:
+    return relabel_trial(derive_seed(base_seed, trial, "relabel"))
+
+
+# ----------------------------------------------------------------------
+# topological re-serialization
+# ----------------------------------------------------------------------
+def reserialized_copy(design: CDFG, rng: random.Random) -> CDFG:
+    """Rebuild *design* with nodes and edges inserted in shuffled order."""
+    payload = to_dict(design)
+    rng.shuffle(payload["nodes"])
+    rng.shuffle(payload["edges"])
+    rebuilt = CDFG(design.name)
+    for node in payload["nodes"]:
+        rebuilt.add_operation(
+            node["name"],
+            OpType[node["op"]],
+            latency=node["latency"],
+            ppo=node["ppo"],
+        )
+    for edge in payload["edges"]:
+        rebuilt.add_edge(edge["src"], edge["dst"], EdgeKind(edge["kind"]))
+    return rebuilt
+
+
+def reserialize_trial(seed: int) -> List[Divergence]:
+    instance = _marked_instance(seed)
+    if instance is None:
+        return []
+    marked, watermark, schedule = instance
+    rng = random.Random(seed ^ 0x0DDC0DE)
+    rebuilt = reserialized_copy(marked, rng)
+
+    divergences: List[Divergence] = []
+    checks = [
+        (
+            "critical path",
+            critical_path_length(marked),
+            critical_path_length(rebuilt),
+        ),
+        ("variable count", marked.num_variables, rebuilt.num_variables),
+        (
+            "primary inputs",
+            set(marked.primary_inputs),
+            set(rebuilt.primary_inputs),
+        ),
+        (
+            "primary outputs",
+            set(marked.primary_outputs),
+            set(rebuilt.primary_outputs),
+        ),
+        (
+            "scheduling windows",
+            scheduling_windows(marked, watermark.horizon),
+            scheduling_windows(rebuilt, watermark.horizon),
+        ),
+        (
+            "verification verdict",
+            _verdict(marked, schedule, watermark, seed),
+            _verdict(rebuilt, schedule, watermark, seed),
+        ),
+    ]
+    for what, before, after in checks:
+        if before != after:
+            divergences.append(
+                Divergence(
+                    oracle="reserialize",
+                    design=marked.name,
+                    seed=seed,
+                    detail=f"{what} changed under re-serialization",
+                )
+            )
+    return divergences
+
+
+def oracle_reserialize(base_seed: int, trial: int) -> List[Divergence]:
+    return reserialize_trial(derive_seed(base_seed, trial, "reserialize"))
+
+
+# ----------------------------------------------------------------------
+# latency scaling
+# ----------------------------------------------------------------------
+def latency_scale_trial(seed: int) -> List[Divergence]:
+    instance = _marked_instance(seed)
+    if instance is None:
+        return []
+    marked, watermark, schedule = instance
+    rng = random.Random(seed ^ 0x5CA1E)
+    factor = rng.choice((2, 3, 5))
+    scaled = marked.copy(f"{marked.name}x{factor}")
+    for node in scaled.operations:
+        scaled.set_latency(node, marked.latency(node) * factor)
+
+    divergences: List[Divergence] = []
+    if (
+        critical_path_length(scaled)
+        != factor * critical_path_length(marked)
+    ):
+        divergences.append(
+            Divergence(
+                oracle="latency_scale",
+                design=marked.name,
+                seed=seed,
+                detail=(
+                    f"critical path did not scale by {factor}: "
+                    f"{critical_path_length(marked)} -> "
+                    f"{critical_path_length(scaled)}"
+                ),
+                data={"factor": factor},
+            )
+        )
+    original = scheduling_windows(marked, watermark.horizon)
+    scaled_windows = scheduling_windows(scaled, factor * watermark.horizon)
+    expected = {
+        n: (lo * factor, hi * factor) for n, (lo, hi) in original.items()
+    }
+    if expected != scaled_windows:
+        diffs = {
+            n: (expected[n], scaled_windows[n])
+            for n in expected
+            if expected[n] != scaled_windows[n]
+        }
+        divergences.append(
+            Divergence(
+                oracle="latency_scale",
+                design=marked.name,
+                seed=seed,
+                detail=(
+                    f"windows did not scale by {factor} on "
+                    f"{len(diffs)} node(s)"
+                ),
+                data={"factor": factor},
+            )
+        )
+    # A schedule scaled with the latencies keeps watermark satisfaction.
+    scaled_schedule = Schedule(
+        {n: t * factor for n, t in schedule.start_times.items()}
+    )
+    before_sat = sum(
+        1
+        for src, dst in watermark.temporal_edges
+        if schedule.satisfies_order(src, dst)
+    )
+    after_sat = sum(
+        1
+        for src, dst in watermark.temporal_edges
+        if scaled_schedule.satisfies_order(src, dst)
+    )
+    if before_sat != after_sat:
+        divergences.append(
+            Divergence(
+                oracle="latency_scale",
+                design=marked.name,
+                seed=seed,
+                detail=(
+                    f"watermark satisfaction changed under scaling: "
+                    f"{before_sat} -> {after_sat} of "
+                    f"{len(watermark.temporal_edges)}"
+                ),
+                data={"factor": factor},
+            )
+        )
+    if not scaled_schedule.is_valid(scaled):
+        divergences.append(
+            Divergence(
+                oracle="latency_scale",
+                design=marked.name,
+                seed=seed,
+                detail="scaled schedule is no longer precedence-feasible",
+                data={"factor": factor},
+            )
+        )
+    return divergences
+
+
+def oracle_latency_scale(base_seed: int, trial: int) -> List[Divergence]:
+    return latency_scale_trial(derive_seed(base_seed, trial, "scale"))
+
+
+# ----------------------------------------------------------------------
+# cdfg.io round trip
+# ----------------------------------------------------------------------
+def io_roundtrip_trial(seed: int) -> List[Divergence]:
+    instance = _marked_instance(seed)
+    if instance is None:
+        return []
+    marked, watermark, schedule = instance
+    restored = from_json(to_json(marked))
+    restored_record = scheduling_watermark_from_dict(
+        scheduling_watermark_to_dict(watermark)
+    )
+
+    divergences: List[Divergence] = []
+    if to_dict(restored) != to_dict(marked):
+        divergences.append(
+            Divergence(
+                oracle="io_roundtrip",
+                design=marked.name,
+                seed=seed,
+                detail="CDFG JSON round-trip was not lossless",
+            )
+        )
+    if restored_record != watermark:
+        divergences.append(
+            Divergence(
+                oracle="io_roundtrip",
+                design=marked.name,
+                seed=seed,
+                detail="watermark-record round-trip was not lossless",
+            )
+        )
+    checks = [
+        (
+            "critical path",
+            critical_path_length(marked),
+            critical_path_length(restored),
+        ),
+        (
+            "scheduling windows",
+            scheduling_windows(marked, watermark.horizon),
+            scheduling_windows(restored, watermark.horizon),
+        ),
+        (
+            "verification verdict",
+            _verdict(marked, schedule, watermark, seed),
+            _verdict(restored, schedule, restored_record, seed),
+        ),
+    ]
+    for what, before, after in checks:
+        if before != after:
+            divergences.append(
+                Divergence(
+                    oracle="io_roundtrip",
+                    design=marked.name,
+                    seed=seed,
+                    detail=f"{what} changed across the JSON round-trip",
+                )
+            )
+    return divergences
+
+
+def oracle_io_roundtrip(base_seed: int, trial: int) -> List[Divergence]:
+    return io_roundtrip_trial(derive_seed(base_seed, trial, "io"))

@@ -1,0 +1,169 @@
+"""Machine-readable verification reports.
+
+Every oracle run produces an :class:`OracleOutcome`; a suite run bundles
+them into a :class:`SuiteReport` that renders as a human-readable
+summary (the CLI's stdout) and serializes to JSON through
+:mod:`repro.util.atomicio`, so CI can archive the exact divergences a
+run found and a developer can replay any of them from the recorded
+seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.util.atomicio import atomic_write_json
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed disagreement between an oracle's two computations.
+
+    Attributes
+    ----------
+    oracle:
+        Name of the oracle that found it (e.g. ``"windows_kernel"``).
+    design:
+        Name of the design instance the disagreement occurred on.
+    seed:
+        The derived per-trial seed — replaying the oracle with this seed
+        reproduces the divergence deterministically.
+    detail:
+        Human-readable description of what disagreed with what.
+    data:
+        Structured payload (the disagreeing values, the mutation step,
+        …) for the JSON report.
+    """
+
+    oracle: str
+    design: str
+    seed: int
+    detail: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "oracle": self.oracle,
+            "design": self.design,
+            "seed": self.seed,
+            "detail": self.detail,
+            "data": self.data,
+        }
+
+
+@dataclass
+class OracleOutcome:
+    """Result of running one oracle for a number of trials."""
+
+    name: str
+    trials: int = 0
+    skipped: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    wall_ms: float = 0.0
+    #: Oracle-specific metrics (e.g. the fuzz suite's mutation-step
+    #: count) surfaced into the JSON report for CI assertions.
+    metrics: Dict[str, Union[int, float]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trials": self.trials,
+            "skipped": self.skipped,
+            "clean": self.clean,
+            "wall_ms": round(self.wall_ms, 3),
+            "metrics": dict(self.metrics),
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate outcome of one ``localmark verify --suite`` run."""
+
+    suite: str
+    seed: int
+    trials: int
+    outcomes: List[OracleOutcome] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no oracle observed any divergence."""
+        return all(outcome.clean for outcome in self.outcomes)
+
+    @property
+    def divergences(self) -> List[Divergence]:
+        return [d for outcome in self.outcomes for d in outcome.divergences]
+
+    @property
+    def total_trials(self) -> int:
+        return sum(outcome.trials for outcome in self.outcomes)
+
+    def metric(self, name: str) -> Union[int, float]:
+        """Sum of one named metric across all oracles (0 if absent)."""
+        return sum(
+            outcome.metrics.get(name, 0) for outcome in self.outcomes
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "seed": self.seed,
+            "trials": self.trials,
+            "clean": self.clean,
+            "total_trials": self.total_trials,
+            "oracles": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def write(self, path: str) -> None:
+        """Persist the report as JSON (atomic + durable)."""
+        atomic_write_json(path, self.to_dict())
+
+    def render(self, max_divergences: int = 5) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"verification suite {self.suite!r} "
+            f"(seed {self.seed}, {self.trials} trial(s)/oracle):"
+        ]
+        for outcome in self.outcomes:
+            status = (
+                "clean"
+                if outcome.clean
+                else f"{len(outcome.divergences)} DIVERGENCE(S)"
+            )
+            extra = ""
+            if outcome.skipped:
+                extra = f", {outcome.skipped} skipped"
+            lines.append(
+                f"  {outcome.name:<20} {outcome.trials:>5} trial(s)"
+                f"{extra:<14} {outcome.wall_ms:>9.1f} ms  {status}"
+            )
+        shown = self.divergences[:max_divergences]
+        for divergence in shown:
+            lines.append(
+                f"  ! {divergence.oracle} on {divergence.design!r} "
+                f"(seed {divergence.seed}): {divergence.detail}"
+            )
+        hidden = len(self.divergences) - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more (see the JSON report)")
+        lines.append(
+            "result: CLEAN" if self.clean else "result: DIVERGENT"
+        )
+        return "\n".join(lines)
+
+
+def merge_reports(reports: List[SuiteReport]) -> Optional[SuiteReport]:
+    """Concatenate several suite reports into an ``all`` report."""
+    if not reports:
+        return None
+    merged = SuiteReport(
+        suite="all", seed=reports[0].seed, trials=reports[0].trials
+    )
+    for report in reports:
+        merged.outcomes.extend(report.outcomes)
+    return merged

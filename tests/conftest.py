@@ -1,6 +1,14 @@
-"""Shared fixtures: canonical designs, signatures, small graphs."""
+"""Shared fixtures: canonical designs, signatures, small graphs.
+
+Also registers the hypothesis test profiles: ``dev`` (the default —
+fast, few examples, suited to the edit/test loop) and ``ci`` (more
+examples, no deadline so a cold-cache first run can't flake).  Select
+one with ``HYPOTHESIS_PROFILE=ci pytest ...``; CI sets it globally.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -9,6 +17,16 @@ from repro.cdfg.designs import fourth_order_parallel_iir
 from repro.cdfg.graph import CDFG
 from repro.cdfg.ops import OpType
 from repro.crypto.signature import AuthorSignature
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    settings = None
+
+if settings is not None:
+    settings.register_profile("dev", max_examples=25)
+    settings.register_profile("ci", max_examples=200, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,86 @@
+"""``localmark verify --suite``: exit codes, reports, and the help table."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import (
+    EXIT_BUDGET_EXCEEDED,
+    EXIT_ERROR,
+    EXIT_NOT_DETECTED,
+    EXIT_OK,
+    build_parser,
+    main,
+)
+from repro.verify.report import Divergence
+
+
+class TestSuiteExitCodes:
+    def test_clean_suite_exits_0_and_writes_report(self, tmp_path, capsys):
+        report_path = str(tmp_path / "verify.json")
+        code = main([
+            "verify", "--suite", "fuzz", "--trials", "2", "--seed", "3",
+            "--report", report_path,
+        ])
+        assert code == EXIT_OK == 0
+        out = capsys.readouterr().out
+        assert "result: CLEAN" in out
+        payload = json.loads(open(report_path, encoding="utf-8").read())
+        assert payload["clean"] is True
+        assert payload["suite"] == "fuzz"
+        assert sum(
+            oracle["metrics"].get("mutation_steps", 0)
+            for oracle in payload["oracles"]
+        ) > 0
+
+    def test_divergence_exits_1(self, monkeypatch, tmp_path, capsys):
+        import repro.verify.fuzz as fuzz_mod
+
+        planted = Divergence(
+            oracle="view_cache", design="d", seed=1, detail="planted"
+        )
+        monkeypatch.setattr(
+            fuzz_mod,
+            "oracle_view_cache",
+            lambda base_seed, trial, steps=25: ([planted], steps),
+        )
+        report_path = str(tmp_path / "verify.json")
+        code = main([
+            "verify", "--suite", "fuzz", "--trials", "1",
+            "--report", report_path,
+        ])
+        assert code == EXIT_NOT_DETECTED == 1
+        out = capsys.readouterr().out
+        assert "result: DIVERGENT" in out
+        assert "planted" in out
+        payload = json.loads(open(report_path, encoding="utf-8").read())
+        assert payload["clean"] is False
+        assert payload["oracles"][0]["divergences"][0]["detail"] == "planted"
+
+    def test_budget_exhaustion_exits_3(self, capsys):
+        code = main([
+            "verify", "--suite", "all", "--trials", "50",
+            "--budget-ms", "0.0001",
+        ])
+        assert code == EXIT_BUDGET_EXCEEDED == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_usage_exits_2(self, capsys):
+        assert main(["verify"]) == EXIT_ERROR == 2
+        assert "--suite" in capsys.readouterr().err
+        assert main(["verify", "--suite", "fuzz", "--trials", "0"]) == 2
+
+    def test_unknown_suite_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--suite", "bogus"])
+
+
+class TestHelp:
+    def test_epilog_documents_divergence_exit(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "divergence" in out
+        assert "verification suite" in out

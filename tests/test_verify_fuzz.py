@@ -1,0 +1,103 @@
+"""View-cache mutation fuzzer: coherent caches pass, stale caches fail."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cdfg.graph import CDFG
+from repro.timing.kernel import CDFGView
+from repro.verify.differential import derive_seed, trial_design
+from repro.verify.fuzz import (
+    _mutate_once,
+    fuzz_design,
+    fuzz_trial,
+    oracle_view_cache,
+)
+from repro.verify.suites import run_fuzz_suite
+
+
+class TestFuzzClean:
+    @pytest.mark.parametrize("trial", range(3))
+    def test_random_designs_stay_coherent(self, trial):
+        divergences, executed = fuzz_trial(
+            derive_seed(2, trial, "fuzz"), steps=40
+        )
+        assert divergences == []
+        assert executed == 40
+
+    def test_canonical_design_stays_coherent(self, iir4):
+        divergences, executed = fuzz_design(iir4, seed=5, steps=60)
+        assert divergences == []
+        assert executed == 60
+
+    def test_suite_reports_mutation_steps(self):
+        report = run_fuzz_suite(seed=2, trials=3)
+        assert report.clean
+        # 3 random trials + the small-HYPER sweep, 25 steps each.
+        assert report.metric("mutation_steps") >= 3 * 25
+
+    def test_oracle_is_deterministic(self):
+        first = oracle_view_cache(9, 1, steps=30)
+        second = oracle_view_cache(9, 1, steps=30)
+        assert first == second
+
+
+class TestMutator:
+    def test_mutations_apply_and_bump_version(self):
+        design = trial_design(11, num_ops=20)
+        rng = random.Random(11)
+        counter = [0]
+        applied = 0
+        for _ in range(50):
+            before = design.mutation_count
+            action = _mutate_once(design, rng, counter)
+            if action is not None:
+                applied += 1
+                assert design.mutation_count > before
+        assert applied > 25  # most rolls must do real work
+
+    def test_rejected_mutations_leave_state_unchanged(self):
+        design = trial_design(11, num_ops=12)
+        rng = random.Random(3)
+        counter = [0]
+        for _ in range(120):
+            snapshot = (sorted(design.edges()), sorted(design.operations))
+            action = _mutate_once(design, rng, counter)
+            if action is None:
+                assert snapshot == (
+                    sorted(design.edges()),
+                    sorted(design.operations),
+                )
+
+
+class TestTeeth:
+    def test_fuzzer_catches_missing_bump(self, monkeypatch):
+        # Plant the classic cache bug: set_latency mutates the graph
+        # without bumping the mutation counter, so the cached view goes
+        # stale (the view materializes latencies, so staleness shows).
+        def sneaky_set_latency(self, name, latency):
+            self._require(name)
+            self._g.nodes[name]["latency"] = latency
+            # bug: no self._bump()
+
+        monkeypatch.setattr(CDFG, "set_latency", sneaky_set_latency)
+        caught = False
+        for trial in range(20):
+            divergences, _ = fuzz_trial(
+                derive_seed(2, trial, "fuzz"), steps=40
+            )
+            if divergences:
+                caught = True
+                assert divergences[0].oracle == "view_cache"
+                break
+        assert caught, "missing _bump() in a mutator went unnoticed"
+
+    def test_divergence_from_flags_latency_drift(self, diamond):
+        view = CDFGView(diamond)
+        diamond.set_latency("a", diamond.latency("a") + 1)
+        fresh = CDFGView(diamond)
+        problem = view.divergence_from(fresh)
+        assert problem is not None
+        assert "a" in problem

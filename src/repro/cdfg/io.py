@@ -64,6 +64,48 @@ def from_dict(payload: Dict[str, Any]) -> CDFG:
     return cdfg
 
 
+def canonicalize_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Canonical form of a :func:`to_dict`-shaped payload.
+
+    Node and edge order in the JSON schema is presentational — any
+    permutation deserializes to the same graph — so content addressing
+    (the service's cache keys) must not depend on it.  Nodes are sorted
+    by name, edges by ``(src, dst, kind)``; unknown top-level keys are
+    preserved so future schema extensions stay part of the identity.
+    """
+    canonical = dict(payload)
+    canonical["nodes"] = sorted(
+        (dict(node) for node in payload.get("nodes", ())),
+        key=lambda node: node.get("name", ""),
+    )
+    canonical["edges"] = sorted(
+        (dict(edge) for edge in payload.get("edges", ())),
+        key=lambda edge: (
+            edge.get("src", ""), edge.get("dst", ""), edge.get("kind", "")
+        ),
+    )
+    return canonical
+
+
+def to_canonical_dict(cdfg: CDFG) -> Dict[str, Any]:
+    """:func:`to_dict` in canonical (sorted) form; see
+    :func:`canonicalize_dict`."""
+    return canonicalize_dict(to_dict(cdfg))
+
+
+def to_canonical_json(cdfg: CDFG) -> str:
+    """Canonical JSON serialization: sorted nodes/edges/keys, compact
+    separators.  Two equal graphs — whatever order their nodes and edges
+    were added or serialized in — produce byte-identical output, which
+    is what the service hashes for its content-addressed cache."""
+    return json.dumps(
+        to_canonical_dict(cdfg),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+
+
 def to_json(cdfg: CDFG, indent: int = 2) -> str:
     """Serialize a CDFG to a JSON string."""
     return json.dumps(to_dict(cdfg), indent=indent)

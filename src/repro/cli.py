@@ -44,6 +44,13 @@ Crash-safe campaigns: ``stress --run-dir DIR`` journals every trial to
 processes (``--jobs``, ``--trial-timeout``, ``--retries``);
 ``stress --resume DIR`` continues an interrupted run, skipping every
 journaled trial, and yields a table identical to an uninterrupted run.
+
+Serving: ``localmark serve`` runs the batch watermarking service — a
+JSON-lines request/response loop (stdin/stdout by default, TCP with
+``--tcp PORT``) over an async job engine with a content-addressed
+result cache, request coalescing, a bounded worker pool, and explicit
+503-style backpressure.  See the README's "Serving" section for the
+protocol and response codes.
 """
 
 from __future__ import annotations
@@ -431,6 +438,60 @@ def cmd_stress(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service stack (asyncio engine, cache, wire
+    # protocol) is only needed by this subcommand.
+    import asyncio
+
+    from repro.service.engine import JobEngine, ServiceConfig
+    from repro.service.protocol import serve_stdio, serve_tcp
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        retries=args.retries,
+        job_timeout_s=args.job_timeout,
+        cache_dir=args.cache_dir,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        cache_durable=args.cache_durable,
+    )
+
+    async def run() -> int:
+        engine = JobEngine(config)
+        await engine.start()
+        try:
+            if args.tcp is not None:
+                await serve_tcp(
+                    engine,
+                    args.host,
+                    args.tcp,
+                    ready=lambda host, port: print(
+                        f"serving on {host}:{port}", file=sys.stderr
+                    ),
+                )
+                return EXIT_OK  # pragma: no cover - serve_forever
+            handled = await serve_stdio(engine)
+            stats = engine.stats()
+            cache = stats["cache"]
+            print(
+                f"served {handled} request(s): "
+                f"{cache.get('cache_hits', 0)} cache hit(s), "
+                f"{cache.get('coalesced', 0)} coalesced, "
+                f"{cache.get('cache_misses', 0)} computed, "
+                f"{cache.get('rejected', 0)} rejected",
+                file=sys.stderr,
+            )
+            return EXIT_OK
+        finally:
+            await engine.close()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="localmark",
@@ -561,6 +622,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_perf_flag(p_verify)
     p_verify.set_defaults(func=cmd_verify)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the batch watermarking service (JSON-lines over "
+        "stdin/stdout, or TCP with --tcp)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for CPU-bound jobs (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=16, dest="queue_limit",
+        help="max jobs in flight before 503-style rejection (default 16)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=2,
+        help="retries for jobs whose worker process crashed (default 2)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=None, dest="job_timeout",
+        metavar="SECONDS",
+        help="hard per-job timeout: a hung worker is SIGKILLed and the "
+        "job graded 504 (default: none)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, dest="cache_dir",
+        help="directory for the crash-safe on-disk result cache "
+        "(default: memory tier only)",
+    )
+    p_serve.add_argument(
+        "--cache-entries", type=int, default=1024, dest="cache_entries",
+        help="in-memory cache entry cap (default 1024)",
+    )
+    p_serve.add_argument(
+        "--cache-bytes", type=int, default=64 << 20, dest="cache_bytes",
+        help="in-memory cache byte cap (default 64 MiB)",
+    )
+    p_serve.add_argument(
+        "--cache-durable", action="store_true", dest="cache_durable",
+        help="fsync every on-disk cache entry (atomic either way)",
+    )
+    p_serve.add_argument(
+        "--tcp", type=int, default=None, metavar="PORT",
+        help="listen on TCP PORT instead of stdin/stdout (0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --tcp (default 127.0.0.1)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_detect = sub.add_parser(
         "detect", help="scan a suspect design for the watermark locality"

@@ -75,6 +75,19 @@ class TrialCrashedError(RunnerError):
     """
 
 
+class ServiceError(ReproError):
+    """Batch watermarking service failure (protocol, jobs, cache)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service queue is full; the job was rejected, not queued.
+
+    Backpressure is explicit by design: a bounded engine sheds load with
+    a ``503``-style rejection the client can retry, instead of letting
+    the queue (and tail latency) grow without bound.
+    """
+
+
 class WatermarkError(ReproError):
     """Watermark embedding or verification failed."""
 

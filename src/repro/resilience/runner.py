@@ -101,6 +101,25 @@ TABLE_NAME = "table.txt"
 MANIFEST_SCHEMA = 1
 
 
+def kill_executor(executor: Optional[ProcessPoolExecutor]) -> None:
+    """SIGKILL every pool worker, then discard the broken pool.
+
+    The only way to stop a wedged CPU-bound worker: pool shutdown and
+    future cancellation are both cooperative.  Shared by the campaign
+    runner's hard trial timeouts and the service engine's per-job
+    timeouts.
+    """
+    if executor is None:
+        return
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, ValueError):  # already gone
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
 # ----------------------------------------------------------------------
 # manifest
 # ----------------------------------------------------------------------
@@ -743,16 +762,8 @@ class CampaignRunner:
 
     @staticmethod
     def _kill_executor(executor: Optional[ProcessPoolExecutor]) -> None:
-        """SIGKILL every pool worker, then discard the broken pool."""
-        if executor is None:
-            return
-        processes = getattr(executor, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.kill()
-            except (OSError, ValueError):  # already gone
-                pass
-        executor.shutdown(wait=False, cancel_futures=True)
+        """SIGKILL every pool worker (see :func:`kill_executor`)."""
+        kill_executor(executor)
 
     def _backoff(self, spec: TrialSpec, attempt: int) -> None:
         """Exponential backoff with deterministic, seeded jitter."""

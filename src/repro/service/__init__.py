@@ -1,0 +1,53 @@
+"""Batch watermarking service: async job engine + content-addressed cache.
+
+The production-facing layer over the package's deterministic pipelines:
+:class:`JobEngine` multiplexes concurrent embed/schedule/verify/detect
+jobs over a bounded worker pool with content-addressed memoization,
+single-flight coalescing, explicit backpressure, and graded failure
+outcomes; ``localmark serve`` exposes it as a JSON-lines protocol
+(stdio or TCP) and :class:`ServiceClient` as a blocking batch API.
+"""
+
+from repro.service.cache import (
+    CODE_VERSION,
+    ResultCache,
+    SingleFlight,
+    canonical_json,
+    canonical_params,
+    job_key,
+)
+from repro.service.client import ServiceClient
+from repro.service.engine import (
+    CODE_BAD_REQUEST,
+    CODE_CRASHED,
+    CODE_FAILED,
+    CODE_OK,
+    CODE_OVERLOADED,
+    CODE_TIMED_OUT,
+    JOB_TYPES,
+    JobEngine,
+    JobOutcome,
+    ServiceConfig,
+    execute_job,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "ResultCache",
+    "SingleFlight",
+    "canonical_json",
+    "canonical_params",
+    "job_key",
+    "ServiceClient",
+    "JobEngine",
+    "JobOutcome",
+    "ServiceConfig",
+    "execute_job",
+    "JOB_TYPES",
+    "CODE_OK",
+    "CODE_BAD_REQUEST",
+    "CODE_FAILED",
+    "CODE_CRASHED",
+    "CODE_OVERLOADED",
+    "CODE_TIMED_OUT",
+]

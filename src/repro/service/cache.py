@@ -1,0 +1,297 @@
+"""Content-addressed result cache for the batch watermarking service.
+
+Every service job is a pure function of its operation name and its
+parameters (designs, records, schedules are all value objects), so its
+result can be addressed by content: the cache key is the SHA-256 of a
+canonical JSON encoding of ``{version, op, params}`` where
+
+* the code version (:data:`CODE_VERSION` plus the package version) is
+  part of the key, so a release that changes semantics can never serve
+  stale results;
+* design payloads are canonicalized through
+  :func:`repro.cdfg.io.canonicalize_dict` (nodes/edges sorted), so the
+  key is invariant under the presentational order of a design's JSON;
+* all object keys are sorted and separators are compact, so two
+  structurally equal parameter sets hash identically.
+
+Two tiers back the key space:
+
+* an **in-process LRU** bounded by entry count *and* total encoded
+  bytes (a service must not trade its heap for hit rate), and
+* an optional **crash-safe on-disk store** — one
+  ``objects/<kk>/<key>.json`` file per entry, written with
+  :func:`repro.util.atomicio.atomic_write_text` so SIGKILL at any byte
+  boundary leaves either no entry or a whole entry.  A torn or foreign
+  file (from a non-atomic writer or media corruption) is *healed on
+  read*: detected, deleted, and treated as a miss.
+
+:class:`SingleFlight` adds request coalescing for threaded callers: N
+concurrent computations of the same key run the supplier once and share
+the result.  (The asyncio engine has its own event-loop-native
+coalescing; this class serves :class:`ResultCache.get_or_compute` and
+any multi-threaded embedder.)  Across *processes* there is deliberately
+no lock: concurrent writers of the same key race benignly, because both
+write byte-identical content through an atomic rename.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro import __version__ as _PACKAGE_VERSION
+from repro.cdfg.io import canonicalize_dict
+from repro.util.atomicio import atomic_write_text, load_json_or_none
+from repro.util.perf import PERF, PerfRegistry
+
+#: Bumped whenever job semantics change in a way that invalidates
+#: previously cached results; combined with the package version.
+CODE_VERSION = "service-v1"
+
+#: Job parameter fields holding a CDFG payload whose node/edge order is
+#: presentational and must be canonicalized before hashing.
+_DESIGN_FIELDS = ("design",)
+
+#: Execution-shaping fields excluded from content addressing: they
+#: change *how* a job runs (test fault hooks), never what it computes.
+_NON_IDENTITY_FIELDS = ("_hook",)
+
+
+def canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Identity-relevant, canonicalized copy of a job's parameters."""
+    canonical: Dict[str, Any] = {}
+    for name, value in params.items():
+        if name in _NON_IDENTITY_FIELDS:
+            continue
+        if name in _DESIGN_FIELDS and isinstance(value, Mapping):
+            value = canonicalize_dict(dict(value))
+        canonical[name] = value
+    return canonical
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, compact, ASCII."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def job_key(op: str, params: Mapping[str, Any]) -> str:
+    """SHA-256 content address of one service job."""
+    payload = {
+        "version": f"{CODE_VERSION}+{_PACKAGE_VERSION}",
+        "op": op,
+        "params": canonical_params(params),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("ascii")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# single-flight coalescing
+# ----------------------------------------------------------------------
+class _Call:
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Per-key computation coalescing for concurrent threads.
+
+    The first caller of :meth:`run` for a key becomes the *leader* and
+    executes the supplier; every caller that arrives while the leader is
+    still computing blocks and receives the leader's result (or its
+    exception).  Once the leader finishes, the key is released and a
+    later call computes afresh — coalescing is about concurrency, not
+    memoization (that is the cache's job).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: Dict[str, _Call] = {}
+
+    def run(self, key: str, supplier: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Compute (or join) *key*; returns ``(value, was_leader)``."""
+        with self._lock:
+            call = self._calls.get(key)
+            leader = call is None
+            if leader:
+                call = _Call()
+                self._calls[key] = call
+        if not leader:
+            call.event.wait()
+            if call.error is not None:
+                raise call.error
+            return call.result, False
+        try:
+            call.result = supplier()
+            return call.result, True
+        except BaseException as exc:
+            call.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._calls.pop(key, None)
+            call.event.set()
+
+
+# ----------------------------------------------------------------------
+# the two-tier cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """In-process LRU over an optional crash-safe on-disk store.
+
+    Values are JSON-serializable job results; the memory tier stores the
+    canonical encoding so the byte cap is exact.  All public methods are
+    thread-safe (the service client runs the engine's event loop on a
+    background thread while tests inspect the cache from the main one).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        max_bytes: int = 64 << 20,
+        directory: Optional[Union[str, Path]] = None,
+        durable: bool = False,
+        registry: PerfRegistry = PERF,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.directory = None if directory is None else Path(directory)
+        self.durable = durable
+        self.registry = registry
+        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self._memory_bytes = 0
+        self._lock = threading.Lock()
+        self._flight = SingleFlight()
+
+    # ------------------------------------------------------------------
+    # tiers
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / "objects" / key[:2] / f"{key}.json"
+
+    def _memory_put(self, key: str, encoded: bytes) -> None:
+        if len(encoded) > self.max_bytes:
+            return  # a single oversized value never evicts the world
+        old = self._memory.pop(key, None)
+        if old is not None:
+            self._memory_bytes -= len(old)
+        self._memory[key] = encoded
+        self._memory_bytes += len(encoded)
+        while (
+            len(self._memory) > self.max_entries
+            or self._memory_bytes > self.max_bytes
+        ):
+            _, evicted = self._memory.popitem(last=False)
+            self._memory_bytes -= len(evicted)
+            self.registry.add("service.cache_evictions")
+
+    def _disk_get(self, key: str) -> Optional[Any]:
+        if self.directory is None:
+            return None
+        path = self._entry_path(key)
+        if not path.exists():
+            return None
+        payload = load_json_or_none(path)
+        if (
+            not isinstance(payload, Mapping)
+            or payload.get("key") != key
+            or "result" not in payload
+        ):
+            # Torn or foreign entry: heal by deletion, report a miss.
+            self.registry.add("service.cache_disk_torn")
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing healer
+                pass
+            return None
+        self.registry.add("service.cache_disk_hits")
+        return payload["result"]
+
+    def _disk_put(self, key: str, result: Any) -> None:
+        if self.directory is None:
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            path,
+            canonical_json({"key": key, "result": result}),
+            durable=self.durable,
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Any]:
+        """Look *key* up: memory first, then disk (promoting a hit)."""
+        with self._lock:
+            encoded = self._memory.get(key)
+            if encoded is not None:
+                self._memory.move_to_end(key)
+                return json.loads(encoded)
+        result = self._disk_get(key)
+        if result is not None:
+            with self._lock:
+                self._memory_put(key, canonical_json(result).encode("ascii"))
+        return result
+
+    def put(self, key: str, result: Any) -> None:
+        """Store a job result in both tiers."""
+        encoded = canonical_json(result).encode("ascii")
+        with self._lock:
+            self._memory_put(key, encoded)
+        self._disk_put(key, result)
+
+    def get_or_compute(
+        self, key: str, supplier: Callable[[], Any]
+    ) -> Tuple[Any, str]:
+        """Serve *key* from cache or compute it exactly once.
+
+        Returns ``(result, how)`` with *how* one of ``"hit"``,
+        ``"miss"`` (this caller led the computation) or ``"coalesced"``
+        (another thread was already computing the same key).
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached, "hit"
+
+        def compute() -> Any:
+            again = self.get(key)  # filled while we raced for leadership
+            if again is not None:
+                return again
+            value = supplier()
+            self.put(key, value)
+            return value
+
+        value, led = self._flight.run(key, compute)
+        return value, "miss" if led else "coalesced"
+
+    def stats(self) -> Dict[str, Any]:
+        """Occupancy counters for the ``stats`` job."""
+        with self._lock:
+            return {
+                "memory_entries": len(self._memory),
+                "memory_bytes": self._memory_bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "disk": str(self.directory) if self.directory else None,
+            }
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (the disk tier survives restarts)."""
+        with self._lock:
+            self._memory.clear()
+            self._memory_bytes = 0

@@ -1,0 +1,135 @@
+"""Synchronous programmatic client over an in-process engine.
+
+:class:`ServiceClient` hosts a private event loop on a daemon thread and
+runs a :class:`~repro.service.engine.JobEngine` on it, so ordinary
+synchronous code — the stress/verify batch harnesses, the load tests,
+the service benchmark — can multiplex batches of jobs through the
+cache, coalescing, and the worker pool without touching asyncio:
+
+>>> from repro.service import ServiceClient, ServiceConfig  # doctest: +SKIP
+>>> with ServiceClient(ServiceConfig(workers=2)) as client:  # doctest: +SKIP
+...     outcomes = client.submit_many(
+...         [("schedule", {"design": payload})] * 100
+...     )
+
+``submit`` blocks for one outcome; ``submit_many`` submits a whole
+batch concurrently (duplicates coalesce server-side) and returns the
+outcomes in submission order.  Job failures are graded outcomes, never
+exceptions; only client misuse (submitting after ``close``) raises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.service.engine import JobEngine, JobOutcome, ServiceConfig
+from repro.util.perf import PERF, PerfRegistry
+
+
+class ServiceClient:
+    """Thread-hosted engine with a blocking submit API."""
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        registry: PerfRegistry = PERF,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-service-client",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+        self.engine: JobEngine = self._call(
+            self._start_engine(config, registry)
+        )
+
+    @staticmethod
+    async def _start_engine(
+        config: ServiceConfig, registry: PerfRegistry
+    ) -> JobEngine:
+        return await JobEngine(config, registry=registry).start()
+
+    def _call(self, coroutine: Any, timeout: Optional[float] = None) -> Any:
+        if self._closed:
+            raise ServiceError("service client is closed")
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop
+        ).result(timeout)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> JobOutcome:
+        """Run one job and block for its graded outcome."""
+        return self._call(self.engine.submit(op, params), timeout)
+
+    def submit_many(
+        self,
+        jobs: Sequence[Tuple[str, Mapping[str, Any]]],
+        max_pending: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> List[JobOutcome]:
+        """Submit a batch concurrently; outcomes in submission order.
+
+        *max_pending* throttles client-side concurrency (useful to stay
+        under the engine's queue limit when the batch is all-unique);
+        without it the whole batch is in flight at once, which is what
+        maximizes coalescing on duplicate-heavy workloads.
+        """
+        engine = self.engine
+
+        async def run() -> List[JobOutcome]:
+            semaphore = (
+                asyncio.Semaphore(max_pending) if max_pending else None
+            )
+
+            async def one(op: str, params: Mapping[str, Any]) -> JobOutcome:
+                if semaphore is None:
+                    return await engine.submit(op, params)
+                async with semaphore:
+                    return await engine.submit(op, params)
+
+            return list(
+                await asyncio.gather(
+                    *(one(op, params) for op, params in jobs)
+                )
+            )
+
+        return self._call(run(), timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        """The engine's observability snapshot (the ``stats`` job)."""
+        outcome = self.submit("stats")
+        assert outcome.result is not None
+        return outcome.result
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the engine and stop the background loop (idempotent)."""
+        if self._closed:
+            return
+        try:
+            self._call(self.engine.close())
+        finally:
+            self._closed = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,624 @@
+"""Asyncio job engine: the batch watermarking service's core.
+
+One :class:`JobEngine` multiplexes many concurrent embed / schedule /
+verify / detect jobs over the package's deterministic pipelines:
+
+* **Content-addressed memoization** — each job is keyed by
+  :func:`repro.service.cache.job_key`; a hit is served without touching
+  a worker, and N concurrent identical misses *coalesce* onto a single
+  computation (an event-loop-native single-flight keyed by the same
+  content address).
+* **Process isolation** — CPU-bound work runs on a bounded
+  :class:`~concurrent.futures.ProcessPoolExecutor` (the same isolation
+  model as the crash-safe campaign runner).  A worker SIGKILLed mid-job
+  surfaces as a retryable crash with bounded retries; a job overrunning
+  the hard per-job timeout gets the pool killed (via
+  :func:`repro.resilience.runner.kill_executor`) and grades ``504``.
+  Inside the worker, embed/schedule searches also run under a
+  cooperative :class:`repro.resilience.budget.Budget` when the job
+  carries ``budget_ms``.
+* **Backpressure** — at most ``queue_limit`` non-coalesced jobs may be
+  in flight; job N+1 is rejected with an explicit ``503``-style outcome
+  instead of queueing without bound.
+* **Observability** — cache hit/miss/coalesced/rejection counters go to
+  a :class:`~repro.util.perf.PerfRegistry`, and the built-in ``stats``
+  job reports them (as a delta since engine start) together with queue
+  depth and p50/p95 latency per job type.
+
+Every outcome is a :class:`JobOutcome` — job failures are *graded*
+(``code`` 422/500/503/504), never raised, so one poisoned request can
+never take down a serving loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.cdfg.io import from_dict as cdfg_from_dict
+from repro.cdfg.io import to_dict as cdfg_to_dict
+from repro.core.detector import scan_for_watermark
+from repro.core.domain import DomainParams
+from repro.core.records import (
+    scheduling_watermark_from_dict,
+    scheduling_watermark_to_dict,
+)
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.errors import ReproError, ServiceError
+from repro.resilience.budget import Budget
+from repro.resilience.runner import kill_executor
+from repro.scheduling.exact import exact_schedule
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import UNLIMITED
+from repro.scheduling.schedule import Schedule
+from repro.service.cache import ResultCache, job_key
+from repro.timing.windows import critical_path_length
+from repro.util.perf import PERF, PerfRegistry
+
+#: The four cacheable job operations (plus the built-in ``stats``).
+JOB_TYPES = ("embed", "schedule", "verify", "detect")
+
+#: HTTP-flavored outcome codes (documented in the README's protocol
+#: table): jobs are graded, never raised, so clients can pattern-match.
+CODE_OK = 200
+CODE_BAD_REQUEST = 400
+CODE_FAILED = 422
+CODE_CRASHED = 500
+CODE_OVERLOADED = 503
+CODE_TIMED_OUT = 504
+
+
+# ----------------------------------------------------------------------
+# job implementations (worker side, all pure functions of their params)
+# ----------------------------------------------------------------------
+def _budget_from(params: Mapping[str, Any]) -> Optional[Budget]:
+    budget_ms = params.get("budget_ms")
+    if budget_ms is None:
+        return None
+    budget_ms = float(budget_ms)
+    if budget_ms <= 0:
+        raise ServiceError("budget_ms must be a positive number")
+    return Budget(wall_ms=budget_ms)
+
+
+def _design_from(params: Mapping[str, Any]):
+    try:
+        payload = params["design"]
+    except KeyError as exc:
+        raise ServiceError("job needs a 'design' payload") from exc
+    if not isinstance(payload, Mapping):
+        raise ServiceError("'design' must be a CDFG JSON object")
+    return cdfg_from_dict(dict(payload))
+
+
+def _schedule_from(params: Mapping[str, Any]) -> Schedule:
+    payload = params.get("schedule")
+    if not isinstance(payload, Mapping) or "start_times" not in payload:
+        raise ServiceError("job needs a 'schedule' with start_times")
+    return Schedule(
+        {str(node): int(step) for node, step in payload["start_times"].items()}
+    )
+
+
+def _record_from(params: Mapping[str, Any]):
+    payload = params.get("record")
+    if not isinstance(payload, Mapping):
+        raise ServiceError("job needs a 'record' payload")
+    return scheduling_watermark_from_dict(dict(payload))
+
+
+def _wm_params_from(params: Mapping[str, Any]) -> SchedulingWMParams:
+    return SchedulingWMParams(
+        domain=DomainParams(
+            tau=int(params.get("tau", 5)),
+            min_domain_size=int(params.get("min_domain", 5)),
+            include_probability=float(params.get("include_probability", 0.75)),
+        ),
+        k=int(params["k"]) if params.get("k") is not None else None,
+        epsilon=float(params.get("epsilon", 0.15)),
+        eligibility=str(params.get("eligibility", "laxity")),
+    )
+
+
+def _job_embed(params: Mapping[str, Any]) -> Dict[str, Any]:
+    design = _design_from(params)
+    author = params.get("author")
+    if not author:
+        raise ServiceError("embed needs an 'author'")
+    marker = SchedulingWatermarker(
+        AuthorSignature(str(author)), _wm_params_from(params)
+    )
+    marked, watermark = marker.embed(design, budget=_budget_from(params))
+    return {
+        "marked": cdfg_to_dict(marked),
+        "record": scheduling_watermark_to_dict(watermark),
+        "root": watermark.root,
+        "k": watermark.k,
+    }
+
+
+def _job_schedule(params: Mapping[str, Any]) -> Dict[str, Any]:
+    design = _design_from(params)
+    scheduler = str(params.get("scheduler", "list"))
+    horizon = params.get("horizon")
+    horizon = int(horizon) if horizon else critical_path_length(design)
+    budget = _budget_from(params)
+    if scheduler == "list":
+        schedule = list_schedule(design)
+    elif scheduler == "exact":
+        schedule = exact_schedule(design, horizon, UNLIMITED, budget=budget)
+    elif scheduler == "force-directed":
+        schedule = force_directed_schedule(design, horizon, budget=budget)
+    else:
+        raise ServiceError(f"unknown scheduler {scheduler!r}")
+    return {
+        "design": design.name,
+        "scheduler": scheduler,
+        "start_times": dict(schedule.start_times),
+        "makespan": schedule.makespan(design),
+    }
+
+
+def _job_verify(params: Mapping[str, Any]) -> Dict[str, Any]:
+    design = _design_from(params)
+    schedule = _schedule_from(params)
+    watermark = _record_from(params)
+    marker = SchedulingWatermarker(
+        AuthorSignature(str(params.get("author") or "_"))
+    )
+    result = marker.verify(design, schedule, watermark)
+    return {
+        "satisfied": result.satisfied,
+        "total": result.total,
+        "confidence": result.confidence,
+        "detected": result.detected,
+    }
+
+
+def _job_detect(params: Mapping[str, Any]) -> Dict[str, Any]:
+    suspect = _design_from(params)
+    schedule = _schedule_from(params)
+    watermark = _record_from(params)
+    author = params.get("author")
+    if not author:
+        raise ServiceError("detect needs an 'author'")
+    tau = params.get("tau")
+    hits = scan_for_watermark(
+        suspect,
+        schedule,
+        watermark,
+        AuthorSignature(str(author)),
+        DomainParams(
+            tau=int(tau) if tau is not None else watermark.tau,
+            min_domain_size=int(params.get("min_domain", 5)),
+        ),
+        min_fraction=float(params.get("min_fraction", 1.0)),
+    )
+    max_hits = int(params.get("max_hits", 5))
+    return {
+        "hits": [
+            {
+                "root": hit.root,
+                "satisfied": hit.result.satisfied,
+                "total": hit.result.total,
+                "confidence": hit.confidence,
+            }
+            for hit in hits[:max_hits]
+        ]
+    }
+
+
+_JOB_IMPLS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
+    "embed": _job_embed,
+    "schedule": _job_schedule,
+    "verify": _job_verify,
+    "detect": _job_detect,
+}
+
+
+def execute_job(op: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one service job directly, in-process.
+
+    This is the single source of truth the pool workers execute, so a
+    service result is bit-identical to a direct call by construction;
+    tests pin that equivalence against the underlying library APIs.
+    """
+    impl = _JOB_IMPLS.get(op)
+    if impl is None:
+        raise ServiceError(
+            f"unknown job op {op!r}; known: {', '.join(JOB_TYPES)}"
+        )
+    identity = {k: v for k, v in params.items() if k != "_hook"}
+    return impl(identity)
+
+
+def _apply_worker_hook(hook: Optional[Mapping[str, Any]]) -> None:
+    """Test-facing fault hook, mirroring the campaign runner's.
+
+    ``{"sleep_s": x}`` wedges the job (timeout reaping);
+    ``{"kill_unless_marker": path}`` SIGKILLs the worker once, leaving a
+    marker file so the retry survives; ``{"kill_always": true}``
+    SIGKILLs on every attempt (retry exhaustion).
+    """
+    if not hook:
+        return
+    sleep_s = hook.get("sleep_s")
+    if sleep_s is not None:
+        time.sleep(float(sleep_s))
+    marker = hook.get("kill_unless_marker")
+    if marker is not None and not Path(marker).exists():
+        Path(marker).touch()
+        os.kill(os.getpid(), 9)
+    if hook.get("kill_always"):
+        os.kill(os.getpid(), 9)
+
+
+def _job_worker(op: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Pool-side entry point: hook first, then the real job."""
+    _apply_worker_hook(params.get("_hook"))
+    return execute_job(op, params)
+
+
+# ----------------------------------------------------------------------
+# outcomes and configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobOutcome:
+    """The graded result of one submitted job."""
+
+    op: str
+    ok: bool
+    code: int
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cached: bool = False
+    coalesced: bool = False
+    attempts: int = 0
+    wall_ms: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "op": self.op,
+            "ok": self.ok,
+            "code": self.code,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "attempts": self.attempts,
+            "wall_ms": round(self.wall_ms, 3),
+        }
+        if self.ok:
+            payload["result"] = self.result
+        else:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Engine knobs: pool width, backpressure, cache, timeouts."""
+
+    workers: int = 2
+    queue_limit: int = 16
+    retries: int = 2
+    job_timeout_s: Optional[float] = None
+    cache_enabled: bool = True
+    cache_dir: Optional[Union[str, Path]] = None
+    cache_entries: int = 1024
+    cache_bytes: int = 64 << 20
+    cache_durable: bool = False
+    retry_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError("workers must be >= 1")
+        if self.queue_limit < 1:
+            raise ServiceError("queue_limit must be >= 1")
+        if self.retries < 0:
+            raise ServiceError("retries must be >= 0")
+        if self.job_timeout_s is not None and self.job_timeout_s <= 0:
+            raise ServiceError("job_timeout_s must be positive")
+
+
+def _pool_context():
+    """The worker-pool multiprocessing context (forkserver preferred)."""
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # platform without forkserver support
+        return multiprocessing.get_context()
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+@dataclass
+class _OpStats:
+    count: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    #: Latency samples kept per op; enough for stable p95 without
+    #: letting a soak run grow the list without bound.
+    WINDOW = 4096
+
+    def record(self, wall_ms: float) -> None:
+        self.count += 1
+        if len(self.latencies_ms) >= self.WINDOW:
+            self.latencies_ms.pop(0)
+        self.latencies_ms.append(wall_ms)
+
+    def summary(self) -> Dict[str, float]:
+        ordered = sorted(self.latencies_ms)
+        return {
+            "count": self.count,
+            "p50_ms": round(_percentile(ordered, 0.50), 3) if ordered else 0.0,
+            "p95_ms": round(_percentile(ordered, 0.95), 3) if ordered else 0.0,
+        }
+
+
+class JobEngine:
+    """The asyncio service core; see the module docstring.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`close` explicitly.  All methods must run on one event loop
+    (the :class:`~repro.service.client.ServiceClient` hosts a private
+    loop on a background thread for synchronous callers).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        registry: PerfRegistry = PERF,
+    ) -> None:
+        self.config = config
+        self.registry = registry
+        self.cache = ResultCache(
+            max_entries=config.cache_entries,
+            max_bytes=config.cache_bytes,
+            directory=config.cache_dir,
+            durable=config.cache_durable,
+            registry=registry,
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._inflight: Dict[str, "asyncio.Task[JobOutcome]"] = {}
+        self._active = 0
+        self._max_depth = 0
+        self._op_stats: Dict[str, _OpStats] = {}
+        self._baseline = registry.snapshot()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "JobEngine":
+        self._ensure_pool()
+        return self
+
+    async def close(self) -> None:
+        """Wait out in-flight jobs, then shut the worker pool down."""
+        self._closed = True
+        pending = [task for task in self._inflight.values() if not task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "JobEngine":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # Workers must NOT inherit the serving sockets: with plain
+            # fork, a worker spawned after a TCP connection is accepted
+            # holds a duplicate of the client fd, so closing the
+            # connection never delivers EOF to the peer.  The forkserver
+            # daemon is exec'd fresh (no inherited fds), so workers
+            # forked from it can't capture them.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                mp_context=_pool_context(),
+            )
+        return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor, kill: bool) -> None:
+        """Retire a broken/poisoned pool (idempotent across racers)."""
+        if self._pool is pool:
+            self._pool = None
+        if kill:
+            kill_executor(pool)
+        else:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(
+        self, op: str, params: Optional[Mapping[str, Any]] = None
+    ) -> JobOutcome:
+        """Run one job through cache, coalescing, and the worker pool."""
+        started = time.perf_counter()
+        params = dict(params or {})
+
+        def finish(outcome: JobOutcome) -> JobOutcome:
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            outcome = dataclasses.replace(outcome, wall_ms=wall_ms)
+            self._op_stats.setdefault(op, _OpStats()).record(wall_ms)
+            return outcome
+
+        if op == "stats":
+            return finish(
+                JobOutcome("stats", True, CODE_OK, result=self.stats())
+            )
+        if op not in JOB_TYPES:
+            return finish(
+                JobOutcome(
+                    op, False, CODE_BAD_REQUEST,
+                    error=f"unknown op {op!r}; known: "
+                    f"{', '.join(JOB_TYPES)} (plus stats)",
+                )
+            )
+        try:
+            key = job_key(op, params)
+        except (TypeError, ValueError) as exc:
+            return finish(
+                JobOutcome(
+                    op, False, CODE_BAD_REQUEST,
+                    error=f"unserializable job parameters: {exc}",
+                )
+            )
+
+        if self.config.cache_enabled:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.registry.add("service.cache_hits")
+                return finish(
+                    JobOutcome(
+                        op, True, CODE_OK, result=cached, cached=True
+                    )
+                )
+            task = self._inflight.get(key)
+            if task is not None:
+                self.registry.add("service.coalesced")
+                outcome = await asyncio.shield(task)
+                return finish(
+                    dataclasses.replace(outcome, coalesced=True)
+                )
+            self.registry.add("service.cache_misses")
+
+        if self._active >= self.config.queue_limit:
+            self.registry.add("service.rejected")
+            return finish(
+                JobOutcome(
+                    op, False, CODE_OVERLOADED,
+                    error=f"queue full ({self.config.queue_limit} job(s) "
+                    f"in flight); retry later",
+                )
+            )
+        self._active += 1
+        self._max_depth = max(self._max_depth, self._active)
+        task = asyncio.get_running_loop().create_task(
+            self._compute(key, op, params)
+        )
+        if self.config.cache_enabled:
+            self._inflight[key] = task
+        return finish(await asyncio.shield(task))
+
+    async def _compute(
+        self, key: str, op: str, params: Mapping[str, Any]
+    ) -> JobOutcome:
+        """Leader path: pool execution with retries and hard timeout."""
+        try:
+            attempts = 0
+            last_error = "never attempted"
+            while attempts <= self.config.retries:
+                attempts += 1
+                pool = self._ensure_pool()
+                try:
+                    future = pool.submit(_job_worker, op, params)
+                except BrokenProcessPool as exc:
+                    self._discard_pool(pool, kill=False)
+                    last_error = f"worker pool broke at submit ({exc})"
+                    self.registry.add("service.worker_crashes")
+                    continue
+                wrapped = asyncio.wrap_future(future)
+                try:
+                    if self.config.job_timeout_s is not None:
+                        result = await asyncio.wait_for(
+                            wrapped, self.config.job_timeout_s
+                        )
+                    else:
+                        result = await wrapped
+                except asyncio.TimeoutError:
+                    # The worker may be wedged: SIGKILL the pool (other
+                    # in-flight jobs surface BrokenProcessPool and
+                    # consume one of their retries — same collateral
+                    # model as the campaign runner's hard timeouts).
+                    self._discard_pool(pool, kill=True)
+                    self.registry.add("service.job_timeouts")
+                    return JobOutcome(
+                        op, False, CODE_TIMED_OUT,
+                        error=f"hard timeout after "
+                        f"{self.config.job_timeout_s}s; worker SIGKILLed",
+                        attempts=attempts,
+                    )
+                except BrokenProcessPool as exc:
+                    self._discard_pool(pool, kill=False)
+                    last_error = f"worker process died ({exc})"
+                    self.registry.add("service.worker_crashes")
+                    if attempts <= self.config.retries:
+                        await asyncio.sleep(
+                            self.config.retry_backoff_s * (2 ** (attempts - 1))
+                        )
+                    continue
+                except ReproError as exc:
+                    return JobOutcome(
+                        op, False, CODE_FAILED, error=str(exc),
+                        attempts=attempts,
+                    )
+                except Exception as exc:  # malformed params etc.
+                    return JobOutcome(
+                        op, False, CODE_FAILED,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempts,
+                    )
+                if self.config.cache_enabled:
+                    self.cache.put(key, result)
+                return JobOutcome(
+                    op, True, CODE_OK, result=result, attempts=attempts
+                )
+            return JobOutcome(
+                op, False, CODE_CRASHED,
+                error=f"crashed: {last_error} "
+                f"(after {attempts} attempt(s))",
+                attempts=attempts,
+            )
+        finally:
+            self._active -= 1
+            self._inflight.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The ``stats`` job's payload: counters, queue, latencies."""
+        delta = self.registry.delta(self._baseline)
+        counters = delta.get("counters", {})
+        service = {
+            name.split(".", 1)[1]: value
+            for name, value in counters.items()
+            if name.startswith("service.")
+        }
+        return {
+            "jobs": {
+                op: stats.count for op, stats in self._op_stats.items()
+            },
+            "queue": {
+                "depth": self._active,
+                "max_depth": self._max_depth,
+                "limit": self.config.queue_limit,
+            },
+            "cache": {**self.cache.stats(), **service},
+            "latency_ms": {
+                op: stats.summary() for op, stats in self._op_stats.items()
+            },
+            "perf": delta,
+        }

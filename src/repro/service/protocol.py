@@ -1,0 +1,205 @@
+"""JSON-lines wire protocol and serving loops (stdio / TCP).
+
+One request per line, one response per line; requests are handled
+concurrently (each line becomes a task), so identical in-flight requests
+coalesce inside the engine and responses may arrive out of order —
+clients correlate by ``id``.
+
+Request::
+
+    {"id": 7, "op": "embed", "params": {"design": {...}, "author": "A"}}
+
+Response::
+
+    {"id": 7, "ok": true, "code": 200, "cached": false,
+     "coalesced": false, "attempts": 1, "wall_ms": 12.3, "result": {...}}
+
+``op`` is one of ``embed | schedule | verify | detect | stats``; a
+malformed line or request shape answers ``ok=false, code=400`` (with
+``id`` echoed when it could be parsed) instead of killing the serving
+loop.  ``localmark serve`` speaks this protocol over stdin/stdout by
+default, or over TCP with ``--tcp PORT``; EOF (or closing the
+connection) drains in-flight jobs and shuts down cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+from typing import Any, Awaitable, Callable, Dict, Mapping, Optional, Union
+
+from repro.errors import ServiceError
+from repro.service.engine import CODE_BAD_REQUEST, JobEngine, JobOutcome
+
+PROTOCOL_VERSION = 1
+
+Responder = Callable[[Dict[str, Any]], Awaitable[None]]
+
+
+def parse_request(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Validate one request line; raises :class:`ServiceError`."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(f"request is not UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ServiceError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError("request must be a JSON object")
+    op = payload.get("op")
+    if not isinstance(op, str) or not op:
+        raise ServiceError("request needs a string 'op'")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ServiceError("'params' must be a JSON object")
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(
+        request_id, (str, int, float)
+    ):
+        raise ServiceError("'id' must be a string or number")
+    return {"id": request_id, "op": op, "params": params}
+
+
+def outcome_response(
+    request_id: Optional[Any], outcome: JobOutcome
+) -> Dict[str, Any]:
+    """Wire shape of a graded outcome."""
+    return {"id": request_id, **outcome.to_dict()}
+
+
+def error_response(
+    request_id: Optional[Any], message: str, code: int = CODE_BAD_REQUEST
+) -> Dict[str, Any]:
+    """Wire shape of a request that never reached the engine."""
+    return {"id": request_id, "ok": False, "code": code, "error": message}
+
+
+def _request_id_best_effort(line: Union[str, bytes]) -> Optional[Any]:
+    """Echo the id of a structurally invalid request when possible."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if isinstance(payload, dict):
+        request_id = payload.get("id")
+        if isinstance(request_id, (str, int, float)):
+            return request_id
+    return None
+
+
+async def handle_line(
+    engine: JobEngine, line: Union[str, bytes], respond: Responder
+) -> None:
+    """Parse, execute, and answer one request line."""
+    try:
+        request = parse_request(line)
+    except ServiceError as exc:
+        await respond(error_response(_request_id_best_effort(line), str(exc)))
+        return
+    outcome = await engine.submit(request["op"], request["params"])
+    await respond(outcome_response(request["id"], outcome))
+
+
+async def serve_stream(
+    engine: JobEngine,
+    reader: asyncio.StreamReader,
+    respond: Responder,
+) -> int:
+    """Serve one line stream until EOF; returns requests handled.
+
+    Every line is dispatched as its own task so concurrent duplicates
+    coalesce; EOF waits for all in-flight responses before returning.
+    """
+    tasks: set = set()
+    handled = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        if not line.strip():
+            continue
+        handled += 1
+        task = asyncio.get_running_loop().create_task(
+            handle_line(engine, line, respond)
+        )
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    return handled
+
+
+async def serve_stdio(engine: JobEngine) -> int:
+    """Serve JSON-lines over stdin/stdout until EOF."""
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    try:
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+    except (ValueError, OSError):
+        # stdin is a regular file (`localmark serve < batch.jsonl`) —
+        # pipe transports refuse those, so pump it from a thread.
+        def pump() -> None:
+            for line in sys.stdin.buffer:
+                loop.call_soon_threadsafe(reader.feed_data, line)
+            loop.call_soon_threadsafe(reader.feed_eof)
+
+        threading.Thread(
+            target=pump, name="repro-serve-stdin", daemon=True
+        ).start()
+    write_lock = asyncio.Lock()
+
+    async def respond(payload: Dict[str, Any]) -> None:
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        async with write_lock:
+            sys.stdout.write(line)
+            sys.stdout.flush()
+
+    return await serve_stream(engine, reader, respond)
+
+
+async def serve_tcp(
+    engine: JobEngine,
+    host: str,
+    port: int,
+    ready: Optional[Callable[[str, int], None]] = None,
+) -> None:
+    """Serve JSON-lines connections on ``host:port`` until cancelled.
+
+    All connections share one engine (and therefore one cache and one
+    backpressure bound).  *ready* is called with the bound address once
+    listening — the CLI prints it, tests use it to connect.
+    """
+
+    async def on_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+
+        async def respond(payload: Dict[str, Any]) -> None:
+            data = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+
+        try:
+            await serve_stream(engine, reader, respond)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # peer already gone
+                pass
+
+    server = await asyncio.start_server(on_connection, host, port)
+    bound = server.sockets[0].getsockname()
+    if ready is not None:
+        ready(bound[0], bound[1])
+    async with server:
+        await server.serve_forever()

@@ -101,6 +101,27 @@ def atomic_write_json(
     )
 
 
+def load_json_or_none(path: Union[str, Path]) -> Optional[Any]:
+    """Read a JSON artifact, returning ``None`` if missing or corrupt.
+
+    The forgiving counterpart of :func:`atomic_write_json` for caches
+    and other regenerable artifacts: a file that is absent, unreadable,
+    not UTF-8, or not valid JSON (the footprint of a writer that did
+    not go through the atomic path, or of media corruption) reads as "no
+    entry" instead of an exception, so the caller can heal by deleting
+    and recomputing.  Artifacts that must never be silently dropped
+    (designs, records, journals) should keep using strict readers.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+    try:
+        return json.loads(text)
+    except ValueError:
+        return None
+
+
 @dataclass(frozen=True)
 class TornTail:
     """A trailing journal fragment left by a crash mid-append.

@@ -63,11 +63,20 @@ class PerfRegistry:
     # ------------------------------------------------------------------
     # lifecycle / reporting
     # ------------------------------------------------------------------
-    def reset(self) -> None:
-        """Zero every counter and phase timing."""
+    def reset(self) -> Dict[str, Dict[str, float]]:
+        """Zero every counter and phase timing; returns the pre-reset
+        :meth:`snapshot` so callers can archive what they discard.
+
+        The CLI calls this at the top of every ``main()`` invocation so
+        the process-wide singleton never leaks counters from a previous
+        command into the next one (back-to-back jobs in one service
+        process, or tests that call ``cli.main`` twice).
+        """
+        snap = self.snapshot()
         self.counters.clear()
         self.phase_ms.clear()
         self.phase_calls.clear()
+        return snap
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """A JSON-friendly copy of the registry's current state."""
@@ -76,6 +85,28 @@ class PerfRegistry:
             "phase_ms": dict(self.phase_ms),
             "phase_calls": dict(self.phase_calls),
         }
+
+    def delta(
+        self, baseline: Dict[str, Dict[str, float]]
+    ) -> Dict[str, Dict[str, float]]:
+        """What happened since *baseline* (an earlier :meth:`snapshot`).
+
+        Long-lived processes (the batch service engine) cannot reset the
+        shared singleton without clobbering concurrent users, so they
+        snapshot at startup and report deltas instead.  Entries that did
+        not move since the baseline are omitted.
+        """
+        result: Dict[str, Dict[str, float]] = {}
+        for section in ("counters", "phase_ms", "phase_calls"):
+            current: Dict[str, float] = getattr(self, section)
+            base = baseline.get(section, {})
+            moved = {
+                name: value - base.get(name, 0)
+                for name, value in current.items()
+                if value - base.get(name, 0)
+            }
+            result[section] = moved
+        return result
 
     def render_report(self) -> str:
         """Human-readable report (the ``--perf-report`` output)."""

@@ -1,0 +1,65 @@
+"""PerfRegistry lifecycle: snapshots, deltas, and CLI reset isolation.
+
+Regression coverage for the process-wide ``PERF`` singleton: counters
+from one ``cli.main`` invocation must never leak into the next one in
+the same process (back-to-back service jobs, tests calling ``main``
+twice), and long-lived engines must be able to report what happened
+since their start without resetting the shared registry.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.cdfg.io import save
+from repro.cli import main
+from repro.util.perf import PERF, PerfRegistry
+
+
+def test_delta_reports_only_movement_since_baseline():
+    registry = PerfRegistry()
+    registry.add("a", 2)
+    with registry.phase("p"):
+        pass
+    baseline = registry.snapshot()
+    registry.add("a", 3)
+    registry.add("b")
+    delta = registry.delta(baseline)
+    assert delta["counters"] == {"a": 3, "b": 1}
+    assert "p" not in delta["phase_calls"]  # did not move since baseline
+    with registry.phase("p"):
+        pass
+    assert registry.delta(baseline)["phase_calls"] == {"p": 1}
+
+
+def test_reset_returns_the_discarded_snapshot():
+    registry = PerfRegistry()
+    registry.add("x", 5)
+    snap = registry.reset()
+    assert snap["counters"] == {"x": 5}
+    assert registry.counters == {}
+    assert registry.reset()["counters"] == {}
+
+
+def test_cli_invocations_do_not_leak_perf_state(tmp_path):
+    """``main()`` resets PERF per invocation: the registry reflects the
+    last command only, not an accumulation across calls."""
+    design = tmp_path / "design.json"
+    save(fourth_order_parallel_iir(), design)
+    argv = [
+        "embed",
+        "--design", str(design),
+        "--author", "Perf Author",
+        "--out", str(tmp_path / "marked.json"),
+        "--record", str(tmp_path / "wm.json"),
+        "--k", "2", "--tau", "4",
+    ]
+    assert main(argv) == 0
+    first = PERF.snapshot()
+    assert first["phase_calls"].get("embed") == 1
+    assert main(argv) == 0
+    second = PERF.snapshot()
+    # Leak would show as 2 embed phases after the second invocation.
+    assert second["phase_calls"].get("embed") == 1
+    assert second["counters"].get("embed.edges_added") == first[
+        "counters"
+    ].get("embed.edges_added")

@@ -1,0 +1,235 @@
+"""Property and concurrency tests for the content-addressed cache.
+
+Covers the cache-key contract (stable under presentational reordering
+and IO round-trips, sensitive to every identity-relevant field), the
+LRU byte/entry caps, healing of torn on-disk entries, and the thread-
+and process-safety of single-flight coalescing plus the atomic disk
+tier.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import random
+import threading
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.generators import random_layered_cdfg
+from repro.cdfg.io import from_dict, to_canonical_json, to_dict, to_json
+from repro.service.cache import (
+    ResultCache,
+    SingleFlight,
+    canonical_json,
+    job_key,
+)
+
+
+def _shuffled_payload(payload, seed):
+    rng = random.Random(seed)
+    nodes = list(payload["nodes"])
+    edges = list(payload["edges"])
+    rng.shuffle(nodes)
+    rng.shuffle(edges)
+    return {"name": payload["name"], "nodes": nodes, "edges": edges}
+
+
+# ----------------------------------------------------------------------
+# key contract
+# ----------------------------------------------------------------------
+@given(st.integers(0, 2**31), st.integers(0, 2**31))
+@settings(max_examples=25)
+def test_key_stable_under_reordering_and_roundtrip(seed, shuffle_seed):
+    design = random_layered_cdfg(10 + seed % 25, seed)
+    payload = to_dict(design)
+    reference = job_key("schedule", {"design": payload})
+
+    # Node/edge order in the JSON is presentational: any permutation
+    # deserializes to the same graph, so it must hash to the same key.
+    shuffled = _shuffled_payload(payload, shuffle_seed)
+    assert job_key("schedule", {"design": shuffled}) == reference
+
+    # A full (de)serialization round trip — including through a shuffled
+    # payload, which changes insertion order — is also key-stable.
+    assert (
+        job_key("schedule", {"design": to_dict(from_dict(shuffled))})
+        == reference
+    )
+    assert to_canonical_json(from_dict(shuffled)) == to_canonical_json(design)
+
+
+def test_key_sensitive_to_identity_fields():
+    design = to_dict(random_layered_cdfg(20, 7))
+    base = job_key("schedule", {"design": design})
+    assert job_key("embed", {"design": design}) != base
+    assert job_key("schedule", {"design": design, "horizon": 9}) != base
+    mutated = json.loads(json.dumps(design))
+    mutated["nodes"][0]["latency"] += 1
+    assert job_key("schedule", {"design": mutated}) != base
+
+
+def test_key_ignores_execution_hooks():
+    design = to_dict(random_layered_cdfg(15, 3))
+    assert job_key("schedule", {"design": design}) == job_key(
+        "schedule", {"design": design, "_hook": {"sleep_s": 1}}
+    )
+
+
+def test_key_stable_across_indent_styles(tmp_path):
+    design = random_layered_cdfg(18, 5)
+    pretty = json.loads(to_json(design, indent=2))
+    compact = json.loads(to_canonical_json(design))
+    assert job_key("verify", {"design": pretty}) == job_key(
+        "verify", {"design": compact}
+    )
+
+
+# ----------------------------------------------------------------------
+# LRU tier caps
+# ----------------------------------------------------------------------
+def test_lru_evicts_under_byte_cap():
+    value = {"blob": "x" * 100}
+    size = len(canonical_json(value).encode())
+    cache = ResultCache(max_entries=100, max_bytes=3 * size + 1)
+    for i in range(5):
+        cache.put(f"k{i}", value)
+    stats = cache.stats()
+    assert stats["memory_entries"] == 3
+    assert stats["memory_bytes"] <= cache.max_bytes
+    assert cache.get("k0") is None and cache.get("k1") is None
+    assert cache.get("k4") == value
+
+
+def test_lru_evicts_under_entry_cap_and_refreshes_recency():
+    cache = ResultCache(max_entries=2, max_bytes=1 << 20)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    assert cache.get("a") == {"v": 1}  # refresh: now b is the LRU entry
+    cache.put("c", {"v": 3})
+    assert cache.get("b") is None
+    assert cache.get("a") == {"v": 1}
+    assert cache.get("c") == {"v": 3}
+
+
+def test_oversized_value_skips_memory_but_reaches_disk(tmp_path):
+    cache = ResultCache(max_entries=8, max_bytes=64, directory=tmp_path)
+    big = {"blob": "y" * 1000}
+    cache.put("big", big)
+    assert cache.stats()["memory_entries"] == 0
+    assert ResultCache(directory=tmp_path).get("big") == big
+
+
+# ----------------------------------------------------------------------
+# disk tier: healing and persistence
+# ----------------------------------------------------------------------
+def test_disk_tier_survives_process_restart(tmp_path):
+    ResultCache(directory=tmp_path).put("k", {"v": 42})
+    fresh = ResultCache(directory=tmp_path)
+    assert fresh.get("k") == {"v": 42}
+    # Promotion: the hit now also lives in the fresh memory tier.
+    assert fresh.stats()["memory_entries"] == 1
+
+
+def _entry_files(directory: Path):
+    return sorted((directory / "objects").rglob("*.json"))
+
+
+def test_torn_disk_entry_healed_on_read(tmp_path):
+    cache = ResultCache(directory=tmp_path)
+    cache.put("deadbeef", {"v": 1})
+    (path,) = _entry_files(tmp_path)
+    # Simulate a torn write from a non-atomic writer: truncate mid-byte.
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    cache.clear_memory()
+    assert cache.get("deadbeef") is None  # healed: detected + deleted
+    assert not path.exists()
+    cache.put("deadbeef", {"v": 2})  # and the slot is usable again
+    cache.clear_memory()
+    assert cache.get("deadbeef") == {"v": 2}
+
+
+def test_foreign_disk_entry_healed_on_read(tmp_path):
+    cache = ResultCache(directory=tmp_path)
+    cache.put("cafe00", {"v": 1})
+    (path,) = _entry_files(tmp_path)
+    path.write_text(json.dumps({"key": "someone-else", "result": {}}))
+    cache.clear_memory()
+    assert cache.get("cafe00") is None
+    assert not path.exists()
+
+
+# ----------------------------------------------------------------------
+# single-flight: thread and process safety
+# ----------------------------------------------------------------------
+def test_single_flight_coalesces_threads():
+    cache = ResultCache()
+    calls = []
+    gate = threading.Event()
+
+    def supplier():
+        gate.wait(5)
+        calls.append(1)
+        return {"v": "shared"}
+
+    results = []
+    threads = [
+        threading.Thread(
+            target=lambda: results.append(
+                cache.get_or_compute("k", supplier)
+            )
+        )
+        for _ in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    gate.set()
+    for thread in threads:
+        thread.join(10)
+    assert len(calls) == 1, "supplier must run exactly once"
+    assert sorted(how for _, how in results) == ["coalesced"] * 7 + ["miss"]
+    assert all(value == {"v": "shared"} for value, _ in results)
+    # Memoized: later callers are plain hits.
+    assert cache.get_or_compute("k", supplier) == ({"v": "shared"}, "hit")
+    assert len(calls) == 1
+
+
+def test_single_flight_propagates_errors_then_recovers():
+    flight = SingleFlight()
+    boom = RuntimeError("boom")
+
+    def failing():
+        raise boom
+
+    with pytest.raises(RuntimeError):
+        flight.run("k", failing)
+    # The key is released: a later call computes afresh.
+    assert flight.run("k", lambda: 7) == (7, True)
+
+
+def _process_writer(directory: str, key: str, value: int) -> None:
+    ResultCache(directory=directory).put(key, {"v": value, "pad": "z" * 512})
+
+
+def test_concurrent_process_writers_leave_whole_entry(tmp_path):
+    """Cross-process, the disk tier relies on atomic renames: racing
+    writers of one key are benign — the survivor is one whole entry."""
+    ctx = multiprocessing.get_context("fork")
+    workers = [
+        ctx.Process(target=_process_writer, args=(str(tmp_path), "k", i))
+        for i in range(4)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(30)
+        assert worker.exitcode == 0
+    result = ResultCache(directory=tmp_path).get("k")
+    assert result is not None and result["v"] in range(4)
+    for path in _entry_files(tmp_path):
+        payload = json.loads(path.read_text())
+        assert payload["key"] == "k"

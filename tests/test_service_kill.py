@@ -1,0 +1,154 @@
+"""Crash recovery: SIGKILLed workers, retry exhaustion, hard timeouts.
+
+The engine's worker processes are killable at any instant; these tests
+kill them on purpose (via the ``_hook`` fault injection the campaign
+runner also uses) and pin the recovery contract:
+
+* a worker SIGKILLed mid-job is retried on a fresh pool within the
+  retry budget and the job still completes, bit-identical;
+* when every retry is killed, the job grades ``500 crashed`` — it never
+  raises and never wedges the engine;
+* a wedged worker is reaped by the hard per-job timeout (``504``) and
+  the engine keeps serving afterwards;
+* whatever the kill schedule, the on-disk cache only ever contains
+  whole, valid entries (atomic rename, no partial writes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.cdfg.io import to_dict
+from repro.service import JobEngine, ServiceConfig, canonical_json, execute_job
+from repro.util.perf import PerfRegistry
+
+
+def _design():
+    return to_dict(fourth_order_parallel_iir())
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def test_killed_worker_retries_and_completes(tmp_path):
+    marker = tmp_path / "killed-once.marker"
+    params = {
+        "design": _design(),
+        "_hook": {"kill_unless_marker": str(marker)},
+    }
+    registry = PerfRegistry()
+
+    async def scenario():
+        config = ServiceConfig(
+            workers=1, retries=2, cache_dir=tmp_path / "cache"
+        )
+        async with JobEngine(config, registry=registry) as engine:
+            return await engine.submit("schedule", params)
+
+    outcome = _run(scenario())
+    assert outcome.ok and outcome.code == 200
+    assert outcome.attempts == 2  # attempt 1 SIGKILLed, attempt 2 clean
+    assert marker.exists()
+    assert registry.get("service.worker_crashes") >= 1
+    # The retried result is still bit-identical to a direct call.
+    assert canonical_json(outcome.result) == canonical_json(
+        execute_job("schedule", {"design": _design()})
+    )
+
+
+def test_retry_exhaustion_grades_crashed_and_engine_survives(tmp_path):
+    registry = PerfRegistry()
+
+    async def scenario():
+        config = ServiceConfig(
+            workers=1, retries=1, cache_dir=tmp_path / "cache"
+        )
+        async with JobEngine(config, registry=registry) as engine:
+            doomed = await engine.submit(
+                "schedule",
+                {"design": _design(), "_hook": {"kill_always": True}},
+            )
+            # The engine must keep serving after exhausting retries:
+            # the broken pool was retired, a clean job gets a fresh one.
+            healthy = await engine.submit("schedule", {"design": _design()})
+            return doomed, healthy
+
+    doomed, healthy = _run(scenario())
+    assert not doomed.ok and doomed.code == 500
+    assert "crashed" in doomed.error and "2 attempt(s)" in doomed.error
+    assert doomed.attempts == 2  # retries=1 -> two attempts total
+    assert registry.get("service.worker_crashes") >= 2
+    assert healthy.ok and healthy.code == 200
+
+
+def test_wedged_worker_reaped_by_hard_timeout(tmp_path):
+    registry = PerfRegistry()
+
+    async def scenario():
+        config = ServiceConfig(
+            workers=1,
+            retries=0,
+            job_timeout_s=0.5,
+            cache_dir=tmp_path / "cache",
+        )
+        async with JobEngine(config, registry=registry) as engine:
+            wedged = await engine.submit(
+                "schedule", {"design": _design(), "_hook": {"sleep_s": 30}}
+            )
+            recovered = await engine.submit(
+                "schedule", {"design": _design()}
+            )
+            return wedged, recovered
+
+    wedged, recovered = _run(scenario())
+    assert not wedged.ok and wedged.code == 504
+    assert "hard timeout" in wedged.error
+    assert registry.get("service.job_timeouts") == 1
+    assert recovered.ok and recovered.code == 200
+
+
+def test_disk_cache_never_partial_across_kill_schedules(tmp_path):
+    """After a session full of worker kills and timeouts, every on-disk
+    cache entry parses as whole JSON with the expected shape."""
+    cache_dir = tmp_path / "cache"
+    marker = tmp_path / "kill.marker"
+
+    async def scenario():
+        config = ServiceConfig(
+            workers=1, retries=2, job_timeout_s=2.0, cache_dir=cache_dir
+        )
+        async with JobEngine(config, registry=PerfRegistry()) as engine:
+            outcomes = [
+                await engine.submit("schedule", {"design": _design()}),
+                await engine.submit(
+                    "schedule",
+                    {
+                        "design": _design(),
+                        "scheduler": "force-directed",
+                        "_hook": {"kill_unless_marker": str(marker)},
+                    },
+                ),
+                await engine.submit(
+                    "schedule",
+                    {
+                        "design": _design(),
+                        "tag": "wedged",
+                        "_hook": {"sleep_s": 30},
+                    },
+                ),
+            ]
+            return outcomes
+
+    ok_plain, ok_killed, timed_out = _run(scenario())
+    assert ok_plain.ok and ok_killed.ok and timed_out.code == 504
+
+    entries = sorted(Path(cache_dir, "objects").rglob("*.json"))
+    assert len(entries) == 2  # the two completed jobs, nothing partial
+    for path in entries:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert set(payload) >= {"key", "result"}
+        assert path.stem == payload["key"]

@@ -1,0 +1,229 @@
+"""Load/soak harness: ≥200 mixed jobs through the service engine.
+
+Drives a duplicate-heavy workload (20 unique jobs × 10 copies) through
+:class:`repro.service.ServiceClient` and pins the service contract:
+
+* every result is **bit-identical** to a direct library-API call for
+  all four job types (embed / schedule / verify / detect);
+* the cache hit-rate is at least the workload's duplication rate, and
+  concurrent duplicates coalesce (counter > 0) instead of recomputing;
+* under a queue cap of 4 the engine **rejects** overload with explicit
+  503-style outcomes — it neither queues unboundedly nor deadlocks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.cdfg.io import from_dict, to_dict
+from repro.core.detector import scan_for_watermark
+from repro.core.domain import DomainParams
+from repro.core.records import (
+    scheduling_watermark_from_dict,
+    scheduling_watermark_to_dict,
+)
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.scheduling.exact import exact_schedule
+from repro.scheduling.force_directed import force_directed_schedule
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import UNLIMITED
+from repro.scheduling.schedule import Schedule
+from repro.service import ServiceClient, ServiceConfig, canonical_json
+from repro.timing.windows import critical_path_length
+from repro.util.perf import PerfRegistry
+
+COPIES = 10  # 20 unique jobs x 10 = 200 jobs, 90% duplication
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    """Design / marked design / record / schedule payloads, via the
+    direct APIs (never through the service)."""
+    design = fourth_order_parallel_iir()
+    marker = SchedulingWatermarker(
+        AuthorSignature("Load Author"), SchedulingWMParams(k=3)
+    )
+    marked, watermark = marker.embed(design)
+    schedule = list_schedule(marked)
+    return {
+        "design": to_dict(design),
+        "marked": to_dict(marked),
+        "record": scheduling_watermark_to_dict(watermark),
+        "schedule": {"start_times": dict(schedule.start_times)},
+    }
+
+
+def _unique_jobs(artifacts):
+    """20 unique jobs mixing all four types."""
+    design, marked = artifacts["design"], artifacts["marked"]
+    record, schedule = artifacts["record"], artifacts["schedule"]
+    jobs = []
+    for i in range(5):
+        jobs.append(
+            ("embed", {"design": design, "author": f"Author-{i}", "k": 2,
+                       "tau": 4})
+        )
+    jobs.append(("schedule", {"design": design}))
+    jobs.append(("schedule", {"design": marked}))
+    jobs.append(("schedule", {"design": design, "scheduler": "exact"}))
+    jobs.append(("schedule", {"design": design,
+                              "scheduler": "force-directed"}))
+    jobs.append(("schedule", {"design": marked,
+                              "scheduler": "force-directed"}))
+    for author in ("Load Author", "Mallory", "_", "a", "b"):
+        jobs.append(
+            ("verify", {"design": marked, "schedule": schedule,
+                        "record": record, "author": author})
+        )
+    for i, min_fraction in enumerate((1.0, 0.9, 0.8, 0.7, 0.6)):
+        jobs.append(
+            ("detect", {"design": marked, "schedule": schedule,
+                        "record": record, "author": "Load Author",
+                        "min_fraction": min_fraction, "max_hits": 3 + i})
+        )
+    assert len(jobs) == 20
+    return jobs
+
+
+def _direct_reference(op, params):
+    """The job recomputed with direct library calls (the independent
+    reference the service must match bit-for-bit)."""
+    design = from_dict(params["design"])
+    if op == "embed":
+        marker = SchedulingWatermarker(
+            AuthorSignature(params["author"]),
+            SchedulingWMParams(
+                domain=DomainParams(
+                    tau=params.get("tau", 5),
+                    min_domain_size=5,
+                    include_probability=0.75,
+                ),
+                k=params.get("k"),
+            ),
+        )
+        marked, watermark = marker.embed(design)
+        return {
+            "marked": to_dict(marked),
+            "record": scheduling_watermark_to_dict(watermark),
+            "root": watermark.root,
+            "k": watermark.k,
+        }
+    if op == "schedule":
+        name = params.get("scheduler", "list")
+        horizon = critical_path_length(design)
+        if name == "list":
+            schedule = list_schedule(design)
+        elif name == "exact":
+            schedule = exact_schedule(design, horizon, UNLIMITED)
+        else:
+            schedule = force_directed_schedule(design, horizon)
+        return {
+            "design": design.name,
+            "scheduler": name,
+            "start_times": dict(schedule.start_times),
+            "makespan": schedule.makespan(design),
+        }
+    schedule = Schedule(dict(params["schedule"]["start_times"]))
+    watermark = scheduling_watermark_from_dict(params["record"])
+    if op == "verify":
+        result = SchedulingWatermarker(
+            AuthorSignature(params.get("author") or "_")
+        ).verify(design, schedule, watermark)
+        return {
+            "satisfied": result.satisfied,
+            "total": result.total,
+            "confidence": result.confidence,
+            "detected": result.detected,
+        }
+    assert op == "detect"
+    hits = scan_for_watermark(
+        design, schedule, watermark, AuthorSignature(params["author"]),
+        DomainParams(tau=watermark.tau, min_domain_size=5),
+        min_fraction=params["min_fraction"],
+    )
+    return {
+        "hits": [
+            {"root": hit.root, "satisfied": hit.result.satisfied,
+             "total": hit.result.total, "confidence": hit.confidence}
+            for hit in hits[: params["max_hits"]]
+        ]
+    }
+
+
+def test_load_soak_200_jobs_cache_and_identity(artifacts):
+    unique = _unique_jobs(artifacts)
+    wave = unique * (COPIES // 2)
+    random.Random(42).shuffle(wave)
+    registry = PerfRegistry()
+    with ServiceClient(
+        ServiceConfig(workers=2, queue_limit=32), registry=registry
+    ) as client:
+        # Wave 1: 100 jobs all in flight at once — the 80 duplicates
+        # must coalesce onto the 20 leaders, not recompute.
+        outcomes = client.submit_many(wave, timeout=600)
+        # Wave 2: the same 100 again — now pure cache hits.
+        outcomes += client.submit_many(wave, timeout=600)
+        stats = client.stats()
+
+    assert len(outcomes) == 20 * COPIES == 200
+    assert all(outcome.ok for outcome in outcomes)
+    cache = stats["cache"]
+    assert cache["cache_misses"] == len(unique) == 20
+    hits = cache.get("cache_hits", 0)
+    coalesced = cache.get("coalesced", 0)
+    assert hits + coalesced == 180
+    assert hits >= 100  # the whole second wave is served from cache
+    assert coalesced > 0  # concurrent duplicates coalesced in wave 1
+    duplication_rate = 1 - len(unique) / len(outcomes)  # 0.9
+    assert (hits + coalesced) / len(outcomes) >= duplication_rate
+    # Each job type was exercised and measured.
+    assert {"embed", "schedule", "verify", "detect"} <= set(stats["jobs"])
+    for op in ("embed", "schedule", "verify", "detect"):
+        summary = stats["latency_ms"][op]
+        assert summary["count"] >= 2 * COPIES
+        assert summary["p95_ms"] >= summary["p50_ms"] >= 0.0
+
+    # Bit-identity: every unique job's service result equals the direct
+    # library-API computation, byte for byte in canonical JSON.
+    by_job = {}
+    for (op, params), outcome in zip(wave + wave, outcomes):
+        by_job[canonical_json([op, params])] = (op, params, outcome)
+    assert len(by_job) == 20
+    for op, params, outcome in by_job.values():
+        assert canonical_json(outcome.result) == canonical_json(
+            _direct_reference(op, params)
+        ), f"service result diverged from direct API for {op}"
+
+
+def test_overload_rejects_instead_of_queueing(artifacts):
+    """Queue cap 4, one worker, 12 distinct slow jobs: exactly the cap
+    may be in flight, the rest are rejected 503 — and nothing hangs."""
+    registry = PerfRegistry()
+    jobs = [
+        ("schedule",
+         {"design": artifacts["design"], "tag": i,
+          "_hook": {"sleep_s": 0.2}})
+        for i in range(12)
+    ]
+    with ServiceClient(
+        ServiceConfig(workers=1, queue_limit=4), registry=registry
+    ) as client:
+        outcomes = client.submit_many(jobs, timeout=120)
+        stats = client.stats()
+    accepted = [o for o in outcomes if o.ok]
+    rejected = [o for o in outcomes if not o.ok]
+    assert len(accepted) == 4
+    assert len(rejected) == 8
+    assert all(o.code == 503 for o in rejected)
+    assert all("queue full" in o.error for o in rejected)
+    assert stats["cache"]["rejected"] == 8
+    assert stats["queue"]["max_depth"] == 4
+    # Rejection is explicit shedding, not failure: retrying after the
+    # burst drains succeeds (and is served from cache).
+    with ServiceClient(ServiceConfig(workers=1, queue_limit=4)) as client:
+        retry = client.submit("schedule", {"design": artifacts["design"]})
+        assert retry.ok

@@ -1,0 +1,223 @@
+"""JSON-lines wire protocol: parsing, graded errors, stdio, and TCP.
+
+Pins the serving contract end to end: request validation never raises
+into the serving loop (malformed lines answer ``400`` with the id echoed
+when parseable), responses correlate by ``id`` even when they arrive out
+of order, and both transports — ``localmark serve`` over stdio and
+``--tcp`` — serve a duplicate-heavy batch with the cache/coalescing
+counters visible in the ``stats`` job and a clean shutdown at EOF.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.cdfg.io import to_dict
+from repro.errors import ServiceError
+from repro.service import JobEngine, ServiceConfig
+from repro.service.protocol import (
+    error_response,
+    handle_line,
+    outcome_response,
+    parse_request,
+    serve_tcp,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# request parsing
+# ----------------------------------------------------------------------
+def test_parse_request_accepts_minimal_and_full_shapes():
+    assert parse_request('{"op": "stats"}') == {
+        "id": None, "op": "stats", "params": {}
+    }
+    assert parse_request(b'{"id": 7, "op": "verify", "params": {"a": 1}}') == {
+        "id": 7, "op": "verify", "params": {"a": 1}
+    }
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "not json",
+        b"\xff\xfe",
+        "[1, 2]",
+        '{"params": {}}',
+        '{"op": 9}',
+        '{"op": ""}',
+        '{"op": "stats", "params": []}',
+        '{"op": "stats", "id": [1]}',
+    ],
+)
+def test_parse_request_rejects_malformed(line):
+    with pytest.raises(ServiceError):
+        parse_request(line)
+
+
+def test_handle_line_answers_400_with_id_echoed():
+    responses = []
+
+    async def respond(payload):
+        responses.append(payload)
+
+    async def scenario():
+        async with JobEngine(ServiceConfig(workers=1)) as engine:
+            await handle_line(engine, '{"id": "x1", "op": 3}', respond)
+            await handle_line(engine, "garbage", respond)
+            await handle_line(
+                engine, '{"id": 2, "op": "no-such-op"}', respond
+            )
+
+    asyncio.run(scenario())
+    assert [r["id"] for r in responses] == ["x1", None, 2]
+    assert all(r["ok"] is False and r["code"] == 400 for r in responses)
+    # Unknown op reached the engine and came back graded, not raised.
+    assert "unknown op" in responses[2]["error"]
+
+
+def test_response_shapes_round_trip_through_json():
+    error = error_response("id-9", "nope")
+    assert json.loads(json.dumps(error)) == {
+        "id": "id-9", "ok": False, "code": 400, "error": "nope"
+    }
+
+    async def scenario():
+        async with JobEngine(ServiceConfig(workers=1)) as engine:
+            return await engine.submit("stats")
+
+    payload = outcome_response(3, asyncio.run(scenario()))
+    wire = json.loads(json.dumps(payload))
+    assert wire["id"] == 3 and wire["ok"] and wire["code"] == 200
+    assert "result" in wire and "wall_ms" in wire
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+def _requests(design, count=10):
+    """count//2 identical schedule jobs + stats + malformed, as lines."""
+    lines = []
+    for i in range(count):
+        lines.append(json.dumps(
+            {"id": i, "op": "schedule", "params": {"design": design}}
+        ))
+    lines.append(json.dumps({"id": "stats", "op": "stats"}))
+    lines.append('{"id": "bad", "op": 1}')
+    return lines
+
+
+def _check_batch(responses, count=10):
+    by_id = {r["id"]: r for r in responses}
+    assert len(by_id) == count + 2
+    starts = set()
+    for i in range(count):
+        assert by_id[i]["ok"] and by_id[i]["code"] == 200
+        starts.add(json.dumps(by_id[i]["result"], sort_keys=True))
+    assert len(starts) == 1, "identical requests must agree bit-for-bit"
+    served = sum(
+        1 for i in range(count)
+        if by_id[i]["cached"] or by_id[i]["coalesced"]
+    )
+    assert served == count - 1, "one leader computes, the rest reuse"
+    assert by_id["bad"]["code"] == 400
+    assert by_id["stats"]["ok"]
+
+
+def test_stdio_end_to_end_duplicate_batch():
+    """``localmark serve`` over stdin/stdout: batch in, batch out, clean
+    exit and a summary on stderr at EOF."""
+    design = to_dict(fourth_order_parallel_iir())
+    payload = "\n".join(_requests(design)) + "\n"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve", "--workers", "1"],
+        input=payload,
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    responses = [json.loads(line) for line in proc.stdout.splitlines()]
+    _check_batch(responses)
+    assert "served 12 request(s)" in proc.stderr
+
+
+def test_stdio_accepts_file_redirect(tmp_path):
+    """``localmark serve < batch.jsonl``: stdin as a regular file (pipe
+    transports refuse those; the thread-pump fallback must kick in)."""
+    design = to_dict(fourth_order_parallel_iir())
+    batch = tmp_path / "batch.jsonl"
+    batch.write_text("\n".join(_requests(design, count=4)) + "\n")
+    with batch.open("rb") as stdin:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve", "--workers", "1"],
+            stdin=stdin,
+            capture_output=True,
+            timeout=120,
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+    assert proc.returncode == 0, proc.stderr
+    responses = [json.loads(line) for line in proc.stdout.splitlines()]
+    _check_batch(responses, count=4)
+
+
+def test_tcp_end_to_end_shared_cache_across_connections():
+    """Two sequential TCP connections share one engine: the second
+    connection's identical job is a cache hit."""
+    design = to_dict(fourth_order_parallel_iir())
+
+    async def scenario():
+        engine = JobEngine(ServiceConfig(workers=1))
+        await engine.start()
+        bound = {}
+        server_task = asyncio.get_running_loop().create_task(
+            serve_tcp(
+                engine, "127.0.0.1", 0,
+                ready=lambda host, port: bound.update(host=host, port=port),
+            )
+        )
+        while not bound:
+            await asyncio.sleep(0.01)
+
+        async def one_connection(lines):
+            reader, writer = await asyncio.open_connection(
+                bound["host"], bound["port"]
+            )
+            writer.write(("\n".join(lines) + "\n").encode())
+            await writer.drain()
+            writer.write_eof()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return [json.loads(line) for line in raw.splitlines()]
+
+        first = await one_connection(_requests(design))
+        second = await one_connection(
+            [json.dumps({"id": "again", "op": "schedule",
+                         "params": {"design": design}})]
+        )
+        server_task.cancel()
+        try:
+            await server_task
+        except asyncio.CancelledError:
+            pass
+        await engine.close()
+        return first, second
+
+    first, second = asyncio.run(scenario())
+    _check_batch(first)
+    (again,) = second
+    assert again["ok"] and again["cached"], (
+        "second connection must hit the shared cache"
+    )

@@ -1,0 +1,269 @@
+"""E11 — sharded fleet soak: chaos survival + scaling gate.
+
+Drives a duplicate-heavy embed/schedule batch through a 3-shard TCP
+fleet while the bench SIGKILLs one shard and gracefully drains another
+mid-run.  Every job must come back 200 with results bit-identical to
+the single-engine ``execute_job`` path — reroutes, hedges, and the
+shard respawn are invisible to callers because the shared disk cache's
+cross-process single-flight makes re-execution side-effect-safe.
+
+The gate compares aggregate fleet throughput against a single-shard
+run of the same composition: with N shards the fleet must clear
+**N/2 x** the single-shard jobs/s even though a third of its capacity
+is killed or drained mid-batch.
+
+Unique jobs carry a calibrated worker-side latency (the engine's
+non-identity ``_hook: {"sleep_s": ...}`` — excluded from the cache
+key, applied only when a worker actually computes) on top of their
+real compute.  CI containers may expose a single core, where three
+CPU-bound shard processes can never beat one; pinning per-job service
+time makes the gate measure what the fleet actually adds — keeping N
+shards' workers concurrently busy through routing, hedging, and chaos
+— rather than the host's core count.
+
+Writes ``BENCH_fleet.json``.  ``BENCH_FLEET_SMOKE=1`` shrinks the soak
+to a ~240-job batch with one SIGKILL (CI's smoke lane) and skips the
+throughput gate; the gate applies to the full run only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import time
+
+from _bench_util import OUT_DIR, get_collector
+from repro.cdfg.designs.hyper_suite import HYPER_SUITE
+from repro.cdfg.io import to_dict
+from repro.service import (
+    Fleet,
+    FleetConfig,
+    ServiceConfig,
+    canonical_json,
+    execute_job,
+    job_key,
+)
+from repro.util.atomicio import atomic_write_json
+from repro.util.perf import PerfRegistry
+
+SMOKE = os.environ.get("BENCH_FLEET_SMOKE") == "1"
+SHARDS = 3
+WORKERS = 1
+UNIQUE = 120 if SMOKE else 5000
+COPIES = 2  # fixed duplicate ratio: 1 - 1/COPIES
+#: Worker-side service time per unique job (see module docstring).
+SLEEP_S = 0.03
+#: Single-shard reference batch — same composition, smaller so the
+#: reference run stays cheap (jobs/s is composition-sensitive, not
+#: batch-size-sensitive once the pool is warm).
+REF_UNIQUE = 40 if SMOKE else 500
+TARGET_RATIO = SHARDS / 2  # aggregate >= N/2 x single-shard jobs/s
+MAX_PENDING = 64
+KILL_AT = 0.25  # SIGKILL shard-1 after this fraction of jobs finished
+DRAIN_AT = 0.55  # gracefully drain shard-2 after this fraction (full)
+
+HEADERS = ["run", "shards", "jobs", "unique", "seconds", "jobs/s",
+           "reroutes", "hedges"]
+
+_SPEC = sorted(HYPER_SUITE, key=lambda spec: spec.variables)[0]
+
+#: Both variants ignore ``tag`` when computing but include it in the
+#: cache key, so every unique job is a real worker-pool computation
+#: with a known-good outcome.  ``svc-author-0`` embeds on this design
+#: at tau=4 (pinned by the E10 smoke lane).
+def _variants(design):
+    return [
+        ("embed", {"design": design, "author": "svc-author-0",
+                   "k": 4, "tau": 4}),
+        ("schedule", {"design": design, "scheduler": "force-directed"}),
+    ]
+
+
+def _workload(unique_count):
+    """``unique_count`` tag-varied jobs, each repeated COPIES times."""
+    design = to_dict(_SPEC.factory())
+    variants = _variants(design)
+    unique = []
+    for i in range(unique_count):
+        op, params = variants[i % len(variants)]
+        unique.append((op, dict(params, tag=f"u{i:05d}",
+                                _hook={"sleep_s": SLEEP_S})))
+    jobs = []
+    for copy in range(COPIES):
+        # Interleave copies so duplicates spread across the batch like
+        # a real queue, not COPIES identical back-to-back bursts.
+        offset = (copy * 17) % unique_count
+        jobs.extend(unique[offset:] + unique[:offset])
+    return unique, jobs, variants
+
+
+def _warm_jobs(fleet, design):
+    """One warmup job per shard, routed to it, to spawn its pool."""
+    jobs, i = {}, 0
+    while len(jobs) < len(fleet.shards):
+        params = {"design": design, "tag": f"warm-{i}"}
+        primary = fleet._ring.walk(job_key("schedule", params))[0]
+        jobs.setdefault(primary, params)
+        i += 1
+    return jobs.values()
+
+
+async def _soak(config, jobs, chaos=False):
+    """Run ``jobs`` through a fleet; optionally kill/drain mid-batch.
+
+    Returns (outcomes-in-order, elapsed seconds, registry, events).
+    """
+    registry = PerfRegistry()
+    design = to_dict(_SPEC.factory())
+    done = 0
+    events = []
+
+    async with Fleet(config, registry=registry) as fleet:
+        # Spawn every shard's worker pool before the clock starts: the
+        # measurement is job throughput, not process startup.
+        for params in _warm_jobs(fleet, design):
+            warm = await fleet.submit("schedule", params)
+            assert warm.ok
+
+        limiter = asyncio.Semaphore(MAX_PENDING)
+
+        async def one(op, params):
+            nonlocal done
+            async with limiter:
+                outcome = await fleet.submit(op, params)
+            done += 1
+            return outcome
+
+        async def wreak_havoc():
+            while done < KILL_AT * len(jobs):
+                await asyncio.sleep(0.01)
+            fleet.shards["shard-1"].kill()
+            events.append({"event": "sigkill", "shard": "shard-1",
+                           "after_jobs": done})
+            if SMOKE:
+                return
+            while done < DRAIN_AT * len(jobs):
+                await asyncio.sleep(0.01)
+            await fleet.drain_shard("shard-2")
+            events.append({"event": "drain", "shard": "shard-2",
+                           "after_jobs": done})
+
+        started = time.perf_counter()
+        tasks = [asyncio.ensure_future(one(op, params))
+                 for op, params in jobs]
+        chaos_task = (asyncio.ensure_future(wreak_havoc())
+                      if chaos else None)
+        outcomes = await asyncio.gather(*tasks)
+        elapsed = time.perf_counter() - started
+        if chaos_task is not None:
+            await chaos_task
+    return outcomes, elapsed, registry, events
+
+
+def _assert_bit_identical(jobs, outcomes, variants):
+    """Every outcome matches the in-process single-engine result."""
+    reference = {
+        op: canonical_json(execute_job(op, params))
+        for op, params in variants
+    }
+    for (op, params), outcome in zip(jobs, outcomes):
+        assert outcome.ok and outcome.code == 200, (
+            f"lost job {op} tag={params.get('tag')}: "
+            f"{outcome.code} {outcome.error}")
+        assert canonical_json(outcome.result) == reference[op], (
+            f"fleet result diverged from execute_job for {op} "
+            f"tag={params.get('tag')}")
+
+
+def test_fleet_soak_survives_chaos_and_scales():
+    unique, jobs, variants = _workload(UNIQUE)
+    assert len(jobs) == UNIQUE * COPIES
+    assert len(jobs) >= (200 if SMOKE else 10_000)
+
+    # Fresh cache roots per run: a shared (or stale) disk tier would
+    # let one run pre-warm the other's keys and void the comparison.
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        single_cfg = FleetConfig(
+            shards=1, shard_kind="tcp",
+            service=ServiceConfig(workers=WORKERS,
+                                  queue_limit=len(jobs),
+                                  cache_dir=os.path.join(tmp, "single")))
+        fleet_cfg = FleetConfig(
+            shards=SHARDS, shard_kind="tcp",
+            service=ServiceConfig(workers=WORKERS,
+                                  queue_limit=len(jobs),
+                                  cache_dir=os.path.join(tmp, "fleet")))
+
+        _, ref_jobs, _ = _workload(REF_UNIQUE)
+        ref_out, ref_s, _, _ = asyncio.run(_soak(single_cfg, ref_jobs))
+        assert all(o.ok for o in ref_out)
+
+        outcomes, fleet_s, registry, events = asyncio.run(
+            _soak(fleet_cfg, jobs, chaos=True))
+
+    # Zero lost jobs, bit-identical to the single-engine path — even
+    # though one shard was SIGKILLed and another drained mid-batch.
+    assert len(outcomes) == len(jobs)
+    _assert_bit_identical(jobs, outcomes, variants)
+    assert registry.get("fleet.shard_deaths") >= 1
+    assert any(e["event"] == "sigkill" for e in events)
+    if not SMOKE:
+        assert any(e["event"] == "drain" for e in events)
+        assert registry.get("fleet.drains") >= 1
+    rerouted = sum(1 for o in outcomes if o.reroutes)
+    assert rerouted >= 1  # the chaos was actually in the hot path
+
+    fleet_jps = len(jobs) / fleet_s
+    ref_jps = len(ref_jobs) / ref_s
+    ratio = fleet_jps / ref_jps
+
+    table = get_collector("BENCH_fleet", HEADERS)
+    table.add("single", 1, len(ref_jobs), REF_UNIQUE, f"{ref_s:.2f}",
+              f"{ref_jps:.0f}", 0, 0)
+    table.add("fleet+chaos", SHARDS, len(jobs), UNIQUE,
+              f"{fleet_s:.2f}", f"{fleet_jps:.0f}",
+              registry.get("fleet.reroutes"),
+              registry.get("fleet.hedges"))
+    table.emit("E11: fleet soak (SIGKILL + drain mid-batch)")
+
+    gate = None
+    if not SMOKE:
+        gate = {
+            "target_ratio": TARGET_RATIO,
+            "measured_ratio": round(ratio, 2),
+            "passed": ratio >= TARGET_RATIO,
+        }
+
+    OUT_DIR.mkdir(exist_ok=True)
+    atomic_write_json(OUT_DIR / "BENCH_fleet.json", {
+        "smoke": SMOKE,
+        "design": _SPEC.name,
+        "topology": {"shards": SHARDS, "shard_kind": "tcp",
+                     "workers_per_shard": WORKERS},
+        "workload": {"jobs": len(jobs), "unique": UNIQUE,
+                     "copies": COPIES,
+                     "duplicate_ratio": round(1 - UNIQUE / len(jobs), 3),
+                     "service_time_s_per_unique": SLEEP_S},
+        "chaos": events,
+        "fleet": {
+            "seconds": round(fleet_s, 3),
+            "jobs_per_s": round(fleet_jps, 1),
+            "rerouted_jobs": rerouted,
+            "reroutes": registry.get("fleet.reroutes"),
+            "hedges": registry.get("fleet.hedges"),
+            "hedge_wins": registry.get("fleet.hedge_wins"),
+            "shard_deaths": registry.get("fleet.shard_deaths"),
+            "recoveries": registry.get("fleet.recoveries"),
+            "drains": registry.get("fleet.drains"),
+        },
+        "single_shard": {"jobs": len(ref_jobs),
+                         "seconds": round(ref_s, 3),
+                         "jobs_per_s": round(ref_jps, 1)},
+        "gate": gate,
+    })
+
+    if not SMOKE:
+        assert gate["passed"], (
+            f"fleet aggregate {fleet_jps:.0f} jobs/s is below "
+            f"{TARGET_RATIO}x the single-shard {ref_jps:.0f} jobs/s")

@@ -49,8 +49,14 @@ Serving: ``localmark serve`` runs the batch watermarking service — a
 JSON-lines request/response loop (stdin/stdout by default, TCP with
 ``--tcp PORT``) over an async job engine with a content-addressed
 result cache, request coalescing, a bounded worker pool, and explicit
-503-style backpressure.  See the README's "Serving" section for the
-protocol and response codes.
+503-style backpressure.  ``--shards N`` serves through a fleet of N
+subprocess engine shards instead: consistent-hash routing on job
+content addresses, hedged retries against slow shards (``--hedge-ms``),
+bounded rerouting off dead shards, and probe-based recovery, over one
+shared on-disk cache (``--cache-dir``, required).  SIGTERM drains
+gracefully — accepted requests are finished and answered, new ones
+refused — within ``--drain`` seconds.  See the README's "Serving"
+section for the protocol and response codes.
 """
 
 from __future__ import annotations
@@ -439,12 +445,22 @@ def cmd_stress(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    # Imported lazily: the service stack (asyncio engine, cache, wire
-    # protocol) is only needed by this subcommand.
+    # Imported lazily: the service stack (asyncio engine, fleet, cache,
+    # wire protocol) is only needed by this subcommand.
     import asyncio
+    import signal
 
     from repro.service.engine import JobEngine, ServiceConfig
     from repro.service.protocol import serve_stdio, serve_tcp
+
+    if args.shards and args.cache_dir is None:
+        print(
+            "error: serve --shards needs --cache-dir: the shared disk "
+            "cache (cross-process single-flight) is what makes hedged "
+            "and rerouted jobs side-effect-safe",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
 
     config = ServiceConfig(
         workers=args.workers,
@@ -458,33 +474,63 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def run() -> int:
-        engine = JobEngine(config)
-        await engine.start()
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            # SIGTERM = graceful drain: stop reading, finish and answer
+            # every accepted request, exit 0 (fleet shards get SIGTERM
+            # from their router's drain and follow this same path).
+            loop.add_signal_handler(signal.SIGTERM, shutdown.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX loop: EOF remains the only drain trigger
+
+        if args.shards:
+            from repro.service.fleet import Fleet, FleetConfig
+
+            front = Fleet(
+                FleetConfig(
+                    shards=args.shards,
+                    service=config,
+                    hedge_ms=args.hedge_ms,
+                    drain_grace_s=args.drain,
+                )
+            )
+        else:
+            front = JobEngine(config)
+        await front.start()
         try:
             if args.tcp is not None:
-                await serve_tcp(
-                    engine,
+                handled = await serve_tcp(
+                    front,
                     args.host,
                     args.tcp,
                     ready=lambda host, port: print(
                         f"serving on {host}:{port}", file=sys.stderr
                     ),
+                    shutdown=shutdown,
                 )
-                return EXIT_OK  # pragma: no cover - serve_forever
-            handled = await serve_stdio(engine)
-            stats = engine.stats()
-            cache = stats["cache"]
-            print(
-                f"served {handled} request(s): "
-                f"{cache.get('cache_hits', 0)} cache hit(s), "
-                f"{cache.get('coalesced', 0)} coalesced, "
-                f"{cache.get('cache_misses', 0)} computed, "
-                f"{cache.get('rejected', 0)} rejected",
-                file=sys.stderr,
-            )
+            else:
+                handled = await serve_stdio(front, shutdown)
+            if args.shards:
+                print(
+                    f"served {handled} request(s) across "
+                    f"{args.shards} shard(s)",
+                    file=sys.stderr,
+                )
+            else:
+                stats = front.stats()
+                cache = stats["cache"]
+                print(
+                    f"served {handled} request(s): "
+                    f"{cache.get('cache_hits', 0)} cache hit(s), "
+                    f"{cache.get('coalesced', 0)} coalesced, "
+                    f"{cache.get('cache_misses', 0)} computed, "
+                    f"{cache.get('rejected', 0)} rejected",
+                    file=sys.stderr,
+                )
             return EXIT_OK
         finally:
-            await engine.close()
+            await front.close()
 
     try:
         return asyncio.run(run())
@@ -670,6 +716,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--host", default="127.0.0.1",
         help="bind address for --tcp (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve through a fleet of N subprocess engine shards "
+        "(consistent-hash routing, hedged retries, shard-death "
+        "rerouting; requires --cache-dir as the shared tier; default: "
+        "one in-process engine)",
+    )
+    p_serve.add_argument(
+        "--hedge-ms", type=float, default=None, dest="hedge_ms",
+        metavar="MS",
+        help="with --shards: hedge a request to a second shard after "
+        "MS milliseconds without a response (0 disables; default: "
+        "dynamic, the fleet's observed p95 per op)",
+    )
+    p_serve.add_argument(
+        "--drain", type=float, default=10.0, metavar="SECONDS",
+        help="grace period for graceful drains — SIGTERM to this "
+        "process, and fleet shard shutdowns (default 10)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -88,6 +88,21 @@ class ServiceOverloadError(ServiceError):
     """
 
 
+class ShardError(ServiceError):
+    """A serving-fleet shard misbehaved (spawn, transport, protocol)."""
+
+
+class ShardDiedError(ShardError):
+    """A shard died (SIGKILL, crash, connection loss) with work in flight.
+
+    The fleet router treats this as retryable: the job is re-routed to
+    the next healthy shard on the hash ring (bounded, with jittered
+    backoff) instead of surfacing a ``500`` to the caller.  The shared
+    content-addressed cache tier guarantees the re-routed computation
+    is bit-identical and side-effect-free on duplication.
+    """
+
+
 class WatermarkError(ReproError):
     """Watermark embedding or verification failed."""
 

@@ -43,7 +43,6 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import random
 import time
 from collections import deque
 from concurrent.futures import (
@@ -90,6 +89,7 @@ from repro.util.atomicio import (
     atomic_write_text,
     read_jsonl,
 )
+from repro.util.backoff import backoff_delay
 
 MANIFEST_NAME = "manifest.json"
 DESIGN_NAME = "design.json"
@@ -767,14 +767,14 @@ class CampaignRunner:
 
     def _backoff(self, spec: TrialSpec, attempt: int) -> None:
         """Exponential backoff with deterministic, seeded jitter."""
-        if self.config.backoff_base_s <= 0:
-            return
-        jitter = random.Random(spec.seed * 31 + attempt).random()
-        delay = min(
+        delay = backoff_delay(
+            attempt,
+            self.config.backoff_base_s,
             self.config.backoff_cap_s,
-            self.config.backoff_base_s * (2 ** attempt) * (0.5 + jitter),
+            seed=spec.seed,
         )
-        time.sleep(delay)
+        if delay > 0:
+            time.sleep(delay)
 
 
 def _zero_record(

@@ -6,17 +6,28 @@ jobs over a bounded worker pool with content-addressed memoization,
 single-flight coalescing, explicit backpressure, and graded failure
 outcomes; ``localmark serve`` exposes it as a JSON-lines protocol
 (stdio or TCP) and :class:`ServiceClient` as a blocking batch API.
+
+:class:`Fleet` scales that engine out: a consistent-hash router over N
+engine shards (:class:`LocalShard` in-process, :class:`TcpShard`
+subprocess) with circuit-breaker health tracking, hedged retries,
+bounded rerouting off dead shards, and graceful drain — all over one
+shared on-disk cache whose lock-file claim protocol makes duplicated
+computation side-effect-safe.  ``localmark serve --shards N`` serves
+through it; :class:`FleetClient` is the blocking batch API.
 """
 
 from repro.service.cache import (
     CODE_VERSION,
+    DiskClaim,
     ResultCache,
     SingleFlight,
     canonical_json,
     canonical_params,
     job_key,
 )
-from repro.service.client import ServiceClient
+from repro.service.client import FleetClient, ServiceClient
+from repro.service.fleet import Fleet, FleetConfig, HashRing
+from repro.service.shard import LocalShard, Shard, TcpShard
 from repro.service.engine import (
     CODE_BAD_REQUEST,
     CODE_CRASHED,
@@ -33,12 +44,20 @@ from repro.service.engine import (
 
 __all__ = [
     "CODE_VERSION",
+    "DiskClaim",
     "ResultCache",
     "SingleFlight",
     "canonical_json",
     "canonical_params",
     "job_key",
     "ServiceClient",
+    "FleetClient",
+    "Fleet",
+    "FleetConfig",
+    "HashRing",
+    "Shard",
+    "LocalShard",
+    "TcpShard",
     "JobEngine",
     "JobOutcome",
     "ServiceConfig",

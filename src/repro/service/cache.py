@@ -29,16 +29,37 @@ Two tiers back the key space:
 concurrent computations of the same key run the supplier once and share
 the result.  (The asyncio engine has its own event-loop-native
 coalescing; this class serves :class:`ResultCache.get_or_compute` and
-any multi-threaded embedder.)  Across *processes* there is deliberately
-no lock: concurrent writers of the same key race benignly, because both
-write byte-identical content through an atomic rename.
+any multi-threaded embedder.)
+
+Across **processes** the disk store is the shared tier of the serving
+fleet, and it coordinates two ways:
+
+* *Writers* of the same key race benignly — both write byte-identical
+  content through an atomic rename, the survivor is one whole entry.
+* *Computations* of the same key are single-flighted with a
+  **lock-file claim protocol** (:meth:`ResultCache.try_claim`): the
+  first process to ``O_CREAT|O_EXCL`` the key's claim file computes;
+  every other process polls the store until the entry (or a release)
+  appears.  A claim is kept fresh by a heartbeat thread (``mtime``
+  touches); a claim whose owner pid is dead, or whose heartbeat went
+  silent past ``claim_ttl_s``, is **stale** and is *stolen* — renamed
+  aside by exactly one stealer (``os.replace`` is the arbiter) so a
+  shard SIGKILLed mid-compute never wedges the key for the fleet.
+* *Invalidation is by version*: the code version is part of every
+  content address, so entries written by old code are unreachable by
+  construction; on open, a store whose recorded version differs from
+  the running one has those unreachable objects purged
+  (``meta.json``), keeping the shared tier's disk footprint bounded
+  across releases.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
@@ -143,6 +164,51 @@ class SingleFlight:
 
 
 # ----------------------------------------------------------------------
+# cross-process single-flight: lock-file claims
+# ----------------------------------------------------------------------
+class DiskClaim:
+    """An exclusive right to compute one key, held as a lock file.
+
+    While held, a daemon heartbeat thread touches the file's mtime
+    every ``ttl_s / 4`` so other processes can tell a *live* long
+    computation (fresh mtime) from a *dead* claimant (stale mtime or
+    dead pid) and steal only the latter.  :meth:`release` stops the
+    heartbeat and unlinks the file; releasing a claim that was stolen
+    in the meantime is a no-op.
+    """
+
+    def __init__(self, path: Path, ttl_s: float) -> None:
+        self.path = path
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        if ttl_s > 0:
+            self._thread = threading.Thread(
+                target=self._heartbeat,
+                args=(ttl_s / 4.0,),
+                name="repro-cache-claim",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def _heartbeat(self, interval_s: float) -> None:
+        while not self._stop.wait(interval_s):
+            try:
+                os.utime(self.path)
+            except OSError:  # released or stolen: stop beating
+                return
+
+    def release(self) -> None:
+        """Drop the claim (idempotent; survives being stolen first)."""
+        self._stop.set()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+
+
+# ----------------------------------------------------------------------
 # the two-tier cache
 # ----------------------------------------------------------------------
 class ResultCache:
@@ -161,20 +227,30 @@ class ResultCache:
         directory: Optional[Union[str, Path]] = None,
         durable: bool = False,
         registry: PerfRegistry = PERF,
+        claim_ttl_s: float = 5.0,
+        claim_poll_s: float = 0.02,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         if max_bytes < 1:
             raise ValueError("max_bytes must be >= 1")
+        if claim_ttl_s <= 0:
+            raise ValueError("claim_ttl_s must be positive")
+        if claim_poll_s <= 0:
+            raise ValueError("claim_poll_s must be positive")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.directory = None if directory is None else Path(directory)
         self.durable = durable
         self.registry = registry
+        self.claim_ttl_s = claim_ttl_s
+        self.claim_poll_s = claim_poll_s
         self._memory: "OrderedDict[str, bytes]" = OrderedDict()
         self._memory_bytes = 0
         self._lock = threading.Lock()
         self._flight = SingleFlight()
+        if self.directory is not None:
+            self._reconcile_store_version()
 
     # ------------------------------------------------------------------
     # tiers
@@ -182,6 +258,43 @@ class ResultCache:
     def _entry_path(self, key: str) -> Path:
         assert self.directory is not None
         return self.directory / "objects" / key[:2] / f"{key}.json"
+
+    def _claim_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / "flight" / key[:2] / f"{key}.claim"
+
+    def _reconcile_store_version(self) -> None:
+        """Record the store's code version; purge on a version change.
+
+        The version lives inside every content address, so entries
+        written by different code are *unreachable*, never wrong — but
+        they would accumulate forever.  When the recorded version
+        differs from ours, the (unreachable) objects and any leftover
+        claims are deleted before the new version is recorded.
+        """
+        assert self.directory is not None
+        version = f"{CODE_VERSION}+{_PACKAGE_VERSION}"
+        meta_path = self.directory / "meta.json"
+        payload = load_json_or_none(meta_path)
+        if isinstance(payload, Mapping) and payload.get("version") == version:
+            return
+        if meta_path.exists():
+            for subdir in ("objects", "flight"):
+                root = self.directory / subdir
+                if not root.is_dir():
+                    continue
+                for stale in sorted(root.rglob("*")):
+                    if stale.is_file():
+                        try:
+                            stale.unlink()
+                        except OSError:  # racing purger
+                            pass
+            self.registry.add("service.cache_version_purges")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            meta_path, canonical_json({"version": version}),
+            durable=self.durable,
+        )
 
     def _memory_put(self, key: str, encoded: bytes) -> None:
         if len(encoded) > self.max_bytes:
@@ -233,6 +346,70 @@ class ResultCache:
         )
 
     # ------------------------------------------------------------------
+    # cross-process single-flight
+    # ------------------------------------------------------------------
+    def _claim_is_stale(self, path: Path) -> bool:
+        """Dead owner pid, or heartbeat silent for longer than the TTL."""
+        try:
+            stat = path.stat()
+        except OSError:
+            return False  # already gone; the caller just retries
+        payload = load_json_or_none(path)
+        owner = payload.get("pid") if isinstance(payload, Mapping) else None
+        if isinstance(owner, int):
+            try:
+                os.kill(owner, 0)
+            except ProcessLookupError:
+                return True  # owner died; no heartbeat will ever come
+            except (OSError, PermissionError):  # alive under another uid
+                pass
+        return (time.time() - stat.st_mtime) > self.claim_ttl_s
+
+    def _steal_claim(self, path: Path) -> None:
+        """Remove a stale claim; ``os.replace`` arbitrates racing
+        stealers (exactly one rename succeeds, the rest see ENOENT)."""
+        tomb = path.with_name(f"{path.name}.stale.{os.getpid()}")
+        try:
+            os.replace(path, tomb)
+        except OSError:
+            return  # someone else stole (or the owner released) first
+        try:
+            os.unlink(tomb)
+        except OSError:  # pragma: no cover - racing cleaner
+            pass
+        self.registry.add("service.flight_steals")
+
+    def try_claim(self, key: str) -> Optional[DiskClaim]:
+        """Try to become *key*'s cross-process computation leader.
+
+        Returns a held :class:`DiskClaim` (release it after ``put``,
+        successful or not), or ``None`` when another live process
+        already holds the claim.  A stale claim — dead owner or expired
+        heartbeat — is stolen and re-acquired in the same call.
+        Requires a disk tier; without one there is nothing to claim
+        (and no other process to coordinate with), so ``None``.
+        """
+        if self.directory is None:
+            return None
+        path = self._claim_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for _ in range(2):  # second pass only after stealing
+            try:
+                fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if not self._claim_is_stale(path):
+                    return None
+                self._steal_claim(path)
+                continue
+            with os.fdopen(fd, "w", encoding="ascii") as handle:
+                handle.write(
+                    canonical_json({"key": key, "pid": os.getpid()})
+                )
+            self.registry.add("service.flight_claims")
+            return DiskClaim(path, self.claim_ttl_s)
+        return None
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Any]:
@@ -256,13 +433,21 @@ class ResultCache:
         self._disk_put(key, result)
 
     def get_or_compute(
-        self, key: str, supplier: Callable[[], Any]
+        self, key: str, supplier: Callable[[], Any],
+        cross_process: bool = False,
     ) -> Tuple[Any, str]:
         """Serve *key* from cache or compute it exactly once.
 
         Returns ``(result, how)`` with *how* one of ``"hit"``,
         ``"miss"`` (this caller led the computation) or ``"coalesced"``
         (another thread was already computing the same key).
+
+        With ``cross_process=True`` (and a disk tier), leadership is
+        arbitrated *across processes* through the lock-file claim
+        protocol: exactly one process computes while the others poll
+        the shared store and return the leader's entry as a ``"hit"``.
+        A leader that dies mid-compute leaves a stale claim that a
+        waiter steals, so the key can never wedge.
         """
         cached = self.get(key)
         if cached is not None:
@@ -276,7 +461,35 @@ class ResultCache:
             self.put(key, value)
             return value
 
-        value, led = self._flight.run(key, compute)
+        computed = False
+
+        def compute_flighted() -> Any:
+            nonlocal computed
+            while True:
+                again = self.get(key)
+                if again is not None:
+                    return again
+                claim = self.try_claim(key)
+                if claim is not None:
+                    try:
+                        again = self.get(key)  # landed while we claimed
+                        if again is not None:
+                            return again
+                        computed = True
+                        value = supplier()
+                        self.put(key, value)
+                        return value
+                    finally:
+                        claim.release()
+                self.registry.add("service.flight_wait_polls")
+                time.sleep(self.claim_poll_s)
+
+        if cross_process and self.directory is not None:
+            value, led = self._flight.run(key, compute_flighted)
+            if led and not computed:
+                return value, "hit"  # another process's claim fed us
+        else:
+            value, led = self._flight.run(key, compute)
         return value, "miss" if led else "coalesced"
 
     def stats(self) -> Dict[str, Any]:

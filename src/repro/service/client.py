@@ -1,4 +1,4 @@
-"""Synchronous programmatic client over an in-process engine.
+"""Synchronous programmatic clients over an in-process engine or fleet.
 
 :class:`ServiceClient` hosts a private event loop on a daemon thread and
 runs a :class:`~repro.service.engine.JobEngine` on it, so ordinary
@@ -11,6 +11,11 @@ cache, coalescing, and the worker pool without touching asyncio:
 ...     outcomes = client.submit_many(
 ...         [("schedule", {"design": payload})] * 100
 ...     )
+
+:class:`FleetClient` is the same blocking shape over a
+:class:`~repro.service.fleet.Fleet` of engine shards, plus thread-safe
+fault/drain controls (``kill_shard`` / ``drain_shard``) so soak tests
+and benchmarks can kill shards mid-batch from the calling thread.
 
 ``submit`` blocks for one outcome; ``submit_many`` submits a whole
 batch concurrently (duplicates coalesce server-side) and returns the
@@ -29,7 +34,31 @@ from repro.service.engine import JobEngine, JobOutcome, ServiceConfig
 from repro.util.perf import PERF, PerfRegistry
 
 
-class ServiceClient:
+class _LoopHost:
+    """A private event loop on a daemon thread, with blocking calls."""
+
+    def __init__(self, thread_name: str) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name=thread_name, daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+
+    def _call(self, coroutine: Any, timeout: Optional[float] = None) -> Any:
+        if self._closed:
+            raise ServiceError("service client is closed")
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop
+        ).result(timeout)
+
+    def _stop(self) -> None:
+        self._closed = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+
+class ServiceClient(_LoopHost):
     """Thread-hosted engine with a blocking submit API."""
 
     def __init__(
@@ -37,14 +66,7 @@ class ServiceClient:
         config: ServiceConfig = ServiceConfig(),
         registry: PerfRegistry = PERF,
     ) -> None:
-        self._loop = asyncio.new_event_loop()
-        self._thread = threading.Thread(
-            target=self._loop.run_forever,
-            name="repro-service-client",
-            daemon=True,
-        )
-        self._thread.start()
-        self._closed = False
+        super().__init__("repro-service-client")
         self.engine: JobEngine = self._call(
             self._start_engine(config, registry)
         )
@@ -54,13 +76,6 @@ class ServiceClient:
         config: ServiceConfig, registry: PerfRegistry
     ) -> JobEngine:
         return await JobEngine(config, registry=registry).start()
-
-    def _call(self, coroutine: Any, timeout: Optional[float] = None) -> Any:
-        if self._closed:
-            raise ServiceError("service client is closed")
-        return asyncio.run_coroutine_threadsafe(
-            coroutine, self._loop
-        ).result(timeout)
 
     # ------------------------------------------------------------------
     # submission
@@ -124,11 +139,120 @@ class ServiceClient:
         try:
             self._call(self.engine.close())
         finally:
-            self._closed = True
-            self._loop.call_soon_threadsafe(self._loop.stop)
-            self._thread.join(timeout=10)
+            self._stop()
 
     def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class FleetClient(_LoopHost):
+    """Thread-hosted :class:`~repro.service.fleet.Fleet` with the same
+    blocking submit shape as :class:`ServiceClient`, plus shard
+    fault/drain controls for soak harnesses."""
+
+    def __init__(
+        self,
+        config: Optional["Any"] = None,
+        shards: Optional[Sequence["Any"]] = None,
+        registry: PerfRegistry = PERF,
+    ) -> None:
+        from repro.service.fleet import Fleet, FleetConfig
+
+        super().__init__("repro-fleet-client")
+        self.fleet: "Fleet" = self._call(
+            self._start_fleet(
+                config if config is not None else FleetConfig(),
+                shards,
+                registry,
+            )
+        )
+
+    @staticmethod
+    async def _start_fleet(config, shards, registry):
+        from repro.service.fleet import Fleet
+
+        return await Fleet(config, shards=shards, registry=registry).start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> JobOutcome:
+        """Route one job and block for its graded outcome."""
+        return self._call(self.fleet.submit(op, params), timeout)
+
+    def submit_many(
+        self,
+        jobs: Sequence[Tuple[str, Mapping[str, Any]]],
+        max_pending: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> List[JobOutcome]:
+        """Route a batch concurrently; outcomes in submission order."""
+        fleet = self.fleet
+
+        async def run() -> List[JobOutcome]:
+            semaphore = (
+                asyncio.Semaphore(max_pending) if max_pending else None
+            )
+
+            async def one(op: str, params: Mapping[str, Any]) -> JobOutcome:
+                if semaphore is None:
+                    return await fleet.submit(op, params)
+                async with semaphore:
+                    return await fleet.submit(op, params)
+
+            return list(
+                await asyncio.gather(
+                    *(one(op, params) for op, params in jobs)
+                )
+            )
+
+        return self._call(run(), timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        """The fleet's aggregated observability snapshot."""
+        outcome = self.submit("stats")
+        assert outcome.result is not None
+        return outcome.result
+
+    # ------------------------------------------------------------------
+    # shard fault/drain controls (thread-safe; for soaks and benches)
+    # ------------------------------------------------------------------
+    def kill_shard(self, name: str) -> None:
+        """SIGKILL one shard from the calling thread, mid-batch."""
+
+        async def kill() -> None:
+            self.fleet.shards[name].kill()
+
+        self._call(kill())
+
+    def drain_shard(
+        self, name: str, grace_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Gracefully drain one shard (blocks until it finished)."""
+        self._call(self.fleet.drain_shard(name, grace_s), timeout)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the fleet and stop the background loop (idempotent)."""
+        if self._closed:
+            return
+        try:
+            self._call(self.fleet.close())
+        finally:
+            self._stop()
+
+    def __enter__(self) -> "FleetClient":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -41,7 +41,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.cdfg.io import from_dict as cdfg_from_dict
 from repro.cdfg.io import to_dict as cdfg_to_dict
@@ -61,8 +61,9 @@ from repro.scheduling.force_directed import force_directed_schedule
 from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.resources import UNLIMITED
 from repro.scheduling.schedule import Schedule
-from repro.service.cache import ResultCache, job_key
+from repro.service.cache import DiskClaim, ResultCache, job_key
 from repro.timing.windows import critical_path_length
+from repro.util.backoff import backoff_delay
 from repro.util.perf import PERF, PerfRegistry
 
 #: The four cacheable job operations (plus the built-in ``stats``).
@@ -248,10 +249,16 @@ def _apply_worker_hook(hook: Optional[Mapping[str, Any]]) -> None:
     ``{"sleep_s": x}`` wedges the job (timeout reaping);
     ``{"kill_unless_marker": path}`` SIGKILLs the worker once, leaving a
     marker file so the retry survives; ``{"kill_always": true}``
-    SIGKILLs on every attempt (retry exhaustion).
+    SIGKILLs on every attempt (retry exhaustion); ``{"append_to":
+    path}`` appends one pid line — a countable side effect, used to
+    prove a job computed exactly once under hedging/rerouting.
     """
     if not hook:
         return
+    append = hook.get("append_to")
+    if append is not None:
+        with open(append, "a", encoding="ascii") as handle:
+            handle.write(f"{os.getpid()}\n")
     sleep_s = hook.get("sleep_s")
     if sleep_s is not None:
         time.sleep(float(sleep_s))
@@ -274,7 +281,14 @@ def _job_worker(op: str, params: Mapping[str, Any]) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class JobOutcome:
-    """The graded result of one submitted job."""
+    """The graded result of one submitted job.
+
+    ``shard`` / ``hedged`` / ``reroutes`` are populated only when the
+    job travelled through a :class:`repro.service.fleet.Fleet` router:
+    which shard answered, whether the winning response came from a
+    hedge, and how many times the job was re-routed off a dead or
+    overloaded shard before completing.
+    """
 
     op: str
     ok: bool
@@ -285,6 +299,9 @@ class JobOutcome:
     coalesced: bool = False
     attempts: int = 0
     wall_ms: float = 0.0
+    shard: Optional[str] = None
+    hedged: bool = False
+    reroutes: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -296,6 +313,10 @@ class JobOutcome:
             "attempts": self.attempts,
             "wall_ms": round(self.wall_ms, 3),
         }
+        if self.shard is not None:  # fleet-routed: annotate the path
+            payload["shard"] = self.shard
+            payload["hedged"] = self.hedged
+            payload["reroutes"] = self.reroutes
         if self.ok:
             payload["result"] = self.result
         else:
@@ -305,7 +326,15 @@ class JobOutcome:
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Engine knobs: pool width, backpressure, cache, timeouts."""
+    """Engine knobs: pool width, backpressure, cache, timeouts.
+
+    ``cross_process_flight`` single-flights cache misses *across
+    processes* through the disk store's lock-file claim protocol; it
+    only takes effect when ``cache_dir`` is set (without a shared disk
+    tier there is no other process to coordinate with).  Fleet shards
+    sharing one cache directory rely on it for the exactly-one-side-
+    effect guarantee under hedging and rerouting.
+    """
 
     workers: int = 2
     queue_limit: int = 16
@@ -317,6 +346,9 @@ class ServiceConfig:
     cache_bytes: int = 64 << 20
     cache_durable: bool = False
     retry_backoff_s: float = 0.05
+    retry_backoff_cap_s: float = 2.0
+    cross_process_flight: bool = True
+    claim_ttl_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -327,6 +359,8 @@ class ServiceConfig:
             raise ServiceError("retries must be >= 0")
         if self.job_timeout_s is not None and self.job_timeout_s <= 0:
             raise ServiceError("job_timeout_s must be positive")
+        if self.claim_ttl_s <= 0:
+            raise ServiceError("claim_ttl_s must be positive")
 
 
 def _pool_context():
@@ -393,6 +427,7 @@ class JobEngine:
             directory=config.cache_dir,
             durable=config.cache_durable,
             registry=registry,
+            claim_ttl_s=config.claim_ttl_s,
         )
         self._pool: Optional[ProcessPoolExecutor] = None
         self._inflight: Dict[str, "asyncio.Task[JobOutcome]"] = {}
@@ -522,11 +557,53 @@ class JobEngine:
             self._inflight[key] = task
         return finish(await asyncio.shield(task))
 
+    def _flight_enabled(self) -> bool:
+        return (
+            self.config.cache_enabled
+            and self.config.cross_process_flight
+            and self.cache.directory is not None
+        )
+
+    async def _acquire_flight(
+        self, key: str
+    ) -> Tuple[Optional[DiskClaim], Optional[Any]]:
+        """Cross-process leadership for *key*: ``(claim, cached)``.
+
+        Either returns a held disk claim (this engine computes) or the
+        result another process computed while we waited.  A leader that
+        dies mid-compute leaves a stale claim; ``try_claim`` steals it,
+        so the wait always terminates.
+        """
+        waited = False
+        while True:
+            claim = self.cache.try_claim(key)
+            if claim is not None:
+                cached = self.cache.get(key)  # landed while we claimed
+                if cached is not None:
+                    claim.release()
+                    return None, cached
+                return claim, None
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.registry.add("service.flight_shared_hits")
+                return None, cached
+            if not waited:
+                waited = True
+                self.registry.add("service.flight_waits")
+            await asyncio.sleep(self.cache.claim_poll_s)
+
     async def _compute(
         self, key: str, op: str, params: Mapping[str, Any]
     ) -> JobOutcome:
         """Leader path: pool execution with retries and hard timeout."""
+        claim: Optional[DiskClaim] = None
         try:
+            if self._flight_enabled():
+                claim, cached = await self._acquire_flight(key)
+                if cached is not None:
+                    return JobOutcome(
+                        op, True, CODE_OK, result=cached, cached=True
+                    )
             attempts = 0
             last_error = "never attempted"
             while attempts <= self.config.retries:
@@ -566,7 +643,11 @@ class JobEngine:
                     self.registry.add("service.worker_crashes")
                     if attempts <= self.config.retries:
                         await asyncio.sleep(
-                            self.config.retry_backoff_s * (2 ** (attempts - 1))
+                            backoff_delay(
+                                attempts - 1,
+                                self.config.retry_backoff_s,
+                                self.config.retry_backoff_cap_s,
+                            )
                         )
                     continue
                 except ReproError as exc:
@@ -592,6 +673,11 @@ class JobEngine:
                 attempts=attempts,
             )
         finally:
+            if claim is not None:
+                # Released *after* put on success, so other processes
+                # see either the entry or a free key — never a wedge; a
+                # failed compute frees the key for them to try.
+                claim.release()
             self._active -= 1
             self._inflight.pop(key, None)
 

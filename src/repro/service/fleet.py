@@ -1,0 +1,521 @@
+"""Sharded serving fleet: a consistent-hash router over engine shards.
+
+One :class:`Fleet` fronts N :class:`~repro.service.shard.Shard` engines
+(in-process :class:`~repro.service.shard.LocalShard` or subprocess
+:class:`~repro.service.shard.TcpShard`) and keeps serving through shard
+death, slow shards, and planned shutdowns:
+
+* **Consistent-hash routing** — a job's content address
+  (:func:`repro.service.cache.job_key`) is hashed onto a virtual-node
+  ring, so duplicates of the same job always land on the same shard
+  (maximizing that shard's memory-tier hit rate) and removing one shard
+  only remaps its own arc, not the whole key space.
+* **Health tracking** — a shard whose transport dies
+  (:class:`~repro.errors.ShardDiedError`) takes a consecutive-failure
+  circuit breaker *open*: it drops out of routing until a background
+  probe (the ``stats`` job, optionally respawning the process) succeeds
+  and closes the breaker.
+* **Bounded rerouting** — a job in flight on a dying shard is re-routed
+  to the next healthy shard along the ring, at most ``max_reroutes``
+  times with jittered exponential backoff
+  (:func:`repro.util.backoff.backoff_delay`, the same policy as the
+  campaign runner and the engine's crash retries).  Only transport
+  death reroutes; a *graded* job failure (422/500/503/504) is the
+  answer and passes through unchanged.
+* **Hedged retries** — when a shard sits on a request past the hedge
+  delay (fixed ``hedge_ms``, or dynamically the fleet's p95 latency for
+  that op once enough samples exist), the same job is *hedged* to the
+  next shard on the ring; the first response wins and the loser is
+  cancelled.
+* **Graceful drain** — :meth:`Fleet.drain_shard` removes a shard from
+  routing and lets it finish (and answer) everything it already
+  accepted before it exits; queued work migrates to the survivors via
+  normal routing.  SIGTERM to a ``localmark serve`` front end drains
+  the whole fleet the same way.
+
+Duplicated computation under hedging and rerouting is made
+side-effect-safe by the shared tier: all shards point at one on-disk
+content-addressed cache whose lock-file claim protocol
+(cross-process single-flight, with stale-claim stealing) guarantees at
+most one process computes a key while the rest wait and read the
+leader's bytes — so a hedge loser or a rerouted duplicate can only ever
+re-serve, never re-compute, and results stay bit-identical to the
+single-engine path.
+
+Every outcome a fleet returns is a plain engine
+:class:`~repro.service.engine.JobOutcome` annotated with the routing
+path (``shard``, ``hedged``, ``reroutes``); like the engine, the fleet
+grades failures and never raises them at callers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError, ShardDiedError
+from repro.service.cache import job_key
+from repro.service.engine import (
+    CODE_BAD_REQUEST,
+    CODE_CRASHED,
+    CODE_OK,
+    CODE_OVERLOADED,
+    JobOutcome,
+    ServiceConfig,
+    _OpStats,
+)
+from repro.service.shard import LocalShard, Shard, TcpShard
+from repro.util.backoff import backoff_delay
+from repro.util.perf import PERF, PerfRegistry
+
+
+# ----------------------------------------------------------------------
+# consistent-hash ring
+# ----------------------------------------------------------------------
+class HashRing:
+    """Virtual-node consistent-hash ring over shard names.
+
+    Each shard contributes ``replicas`` points (SHA-256 of
+    ``"name#i"``), which evens the arc lengths out; a key routes to the
+    first point clockwise of its own hash.  :meth:`walk` returns *all*
+    shards in ring order from the key, which is simultaneously the
+    primary, the hedge target, and the reroute ladder.
+    """
+
+    def __init__(self, names: Sequence[str], replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ServiceError("ring replicas must be >= 1")
+        self._points: List[Tuple[int, str]] = sorted(
+            (self._point(f"{name}#{index}"), name)
+            for name in names
+            for index in range(replicas)
+        )
+
+    @staticmethod
+    def _point(text: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def walk(self, key: str) -> List[str]:
+        """Distinct shard names in ring order starting at *key*."""
+        if not self._points:
+            return []
+        start = bisect.bisect_left(self._points, (self._point(key), ""))
+        seen: set = set()
+        order: List[str] = []
+        for offset in range(len(self._points)):
+            _, name = self._points[(start + offset) % len(self._points)]
+            if name not in seen:
+                seen.add(name)
+                order.append(name)
+        return order
+
+
+# ----------------------------------------------------------------------
+# configuration and health
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetConfig:
+    """Router knobs: topology, hedging, breaker, rerouting, drain.
+
+    ``hedge_ms`` fixes the hedge delay; ``None`` hedges dynamically at
+    the fleet-observed p95 latency of the op (never below
+    ``hedge_floor_ms``, and only once ``hedge_min_samples`` responses
+    have been seen); ``0`` (or negative) disables hedging.  A fleet
+    that builds its own shards requires ``service.cache_dir`` — the
+    shared disk tier is what makes hedges and reroutes side-effect-safe
+    (callers wiring custom shards take on that responsibility
+    themselves).
+    """
+
+    shards: int = 3
+    shard_kind: str = "tcp"  # "tcp" (subprocess) or "local" (in-process)
+    service: ServiceConfig = ServiceConfig()
+    ring_replicas: int = 64
+    hedge_ms: Optional[float] = None
+    hedge_floor_ms: float = 50.0
+    hedge_min_samples: int = 8
+    max_reroutes: int = 4
+    breaker_threshold: int = 1
+    probe_interval_s: float = 0.25
+    restart_dead: bool = True
+    reroute_backoff_s: float = 0.02
+    reroute_backoff_cap_s: float = 0.5
+    drain_grace_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ServiceError("a fleet needs at least one shard")
+        if self.shard_kind not in ("tcp", "local"):
+            raise ServiceError("shard_kind must be 'tcp' or 'local'")
+        if self.max_reroutes < 0:
+            raise ServiceError("max_reroutes must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ServiceError("breaker_threshold must be >= 1")
+        if self.probe_interval_s <= 0:
+            raise ServiceError("probe_interval_s must be positive")
+        if self.hedge_min_samples < 1:
+            raise ServiceError("hedge_min_samples must be >= 1")
+
+
+@dataclass
+class _Health:
+    """Per-shard breaker state (transport failures only)."""
+
+    consecutive_failures: int = 0
+    breaker_open: bool = False
+
+
+# ----------------------------------------------------------------------
+# the fleet router
+# ----------------------------------------------------------------------
+class Fleet:
+    """The front-end router; see the module docstring.
+
+    Use as an async context manager, or :meth:`start` / :meth:`close`
+    explicitly.  ``shards`` overrides the config-built topology with
+    pre-constructed shard objects (tests wire slow/faulty shards in
+    this way).
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig = FleetConfig(),
+        shards: Optional[Sequence[Shard]] = None,
+        registry: PerfRegistry = PERF,
+    ) -> None:
+        self.config = config
+        self.registry = registry
+        if shards is None:
+            if config.service.cache_dir is None:
+                raise ServiceError(
+                    "a fleet needs service.cache_dir: the shared disk "
+                    "tier (with cross-process single-flight) is what "
+                    "makes hedging and rerouting side-effect-safe"
+                )
+            kind = LocalShard if config.shard_kind == "local" else TcpShard
+            shards = [
+                kind(f"shard-{index}", config.service, registry=registry)
+                for index in range(config.shards)
+            ]
+        if not shards:
+            raise ServiceError("a fleet needs at least one shard")
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"duplicate shard names: {names}")
+        self.shards: Dict[str, Shard] = {s.name: s for s in shards}
+        self._ring = HashRing(names, config.ring_replicas)
+        self._health: Dict[str, _Health] = {name: _Health() for name in names}
+        self._draining: set = set()
+        self._op_stats: Dict[str, _OpStats] = {}
+        self._probe_task: Optional["asyncio.Task[None]"] = None
+        self._baseline = registry.snapshot()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "Fleet":
+        await asyncio.gather(*(s.start() for s in self.shards.values()))
+        self._probe_task = asyncio.get_running_loop().create_task(
+            self._probe_loop()
+        )
+        return self
+
+    async def close(self, grace_s: Optional[float] = None) -> None:
+        """Drain every shard (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+        await asyncio.gather(
+            *(self.drain_shard(name, grace_s) for name in self.shards),
+            return_exceptions=True,
+        )
+
+    async def __aenter__(self) -> "Fleet":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # health and routing
+    # ------------------------------------------------------------------
+    def _routable(self, name: str) -> bool:
+        return (
+            name not in self._draining
+            and not self._health[name].breaker_open
+            and self.shards[name].alive
+        )
+
+    def _route_order(self, key: str) -> List[str]:
+        return [name for name in self._ring.walk(key) if self._routable(name)]
+
+    def _note_death(self, name: str) -> None:
+        health = self._health[name]
+        health.consecutive_failures += 1
+        if health.consecutive_failures >= self.config.breaker_threshold:
+            health.breaker_open = True
+        self.registry.add("fleet.shard_deaths")
+
+    def _note_ok(self, name: str) -> None:
+        health = self._health[name]
+        health.consecutive_failures = 0
+        health.breaker_open = False
+
+    async def _probe_loop(self) -> None:
+        """Recover open-breaker shards: probe, optionally respawn."""
+        while True:
+            await asyncio.sleep(self.config.probe_interval_s)
+            for name, shard in self.shards.items():
+                if name in self._draining or self._routable(name):
+                    continue
+                self.registry.add("fleet.probes")
+                try:
+                    healthy = await shard.probe(
+                        restart=self.config.restart_dead
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception:  # a probe must never kill the loop
+                    healthy = False
+                if healthy:
+                    self._note_ok(name)
+                    self.registry.add("fleet.recoveries")
+
+    async def drain_shard(
+        self, name: str, grace_s: Optional[float] = None
+    ) -> None:
+        """Gracefully retire one shard: no new work, finish the rest.
+
+        The shard leaves the routing set immediately; everything it
+        already accepted is completed and answered before its transport
+        shuts down, so a drain never loses or duplicates work (the
+        in-flight jobs were routed, not queued at the fleet).
+        """
+        shard = self.shards.get(name)
+        if shard is None:
+            raise ServiceError(f"no shard named {name!r}")
+        self._draining.add(name)
+        self.registry.add("fleet.drains")
+        await shard.drain(
+            self.config.drain_grace_s if grace_s is None else grace_s
+        )
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def _hedge_delay_s(self, op: str) -> Optional[float]:
+        """Seconds to wait before hedging *op*, or ``None`` for never."""
+        if self.config.hedge_ms is not None:
+            if self.config.hedge_ms <= 0:
+                return None
+            return self.config.hedge_ms / 1000.0
+        stats = self._op_stats.get(op)
+        if stats is None or len(stats.latencies_ms) < (
+            self.config.hedge_min_samples
+        ):
+            return None  # not enough signal to call anything "slow" yet
+        p95_ms = stats.summary()["p95_ms"]
+        return max(self.config.hedge_floor_ms, p95_ms) / 1000.0
+
+    async def submit(
+        self, op: str, params: Optional[Mapping[str, Any]] = None
+    ) -> JobOutcome:
+        """Route one job; graded outcome annotated with its path."""
+        started = time.perf_counter()
+        params = dict(params or {})
+
+        def finish(
+            outcome: JobOutcome,
+            shard: Optional[str] = None,
+            hedged: bool = False,
+            reroutes: int = 0,
+        ) -> JobOutcome:
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            outcome = dataclasses.replace(
+                outcome,
+                wall_ms=wall_ms,
+                shard=shard or "fleet",
+                hedged=hedged,
+                reroutes=reroutes,
+            )
+            self._op_stats.setdefault(op, _OpStats()).record(wall_ms)
+            return outcome
+
+        if op == "stats":
+            return finish(
+                JobOutcome("stats", True, CODE_OK, result=await self.stats())
+            )
+        try:
+            key = job_key(op, params)
+        except (TypeError, ValueError) as exc:
+            return finish(
+                JobOutcome(
+                    op, False, CODE_BAD_REQUEST,
+                    error=f"unserializable job parameters: {exc}",
+                )
+            )
+        self.registry.add("fleet.routed")
+
+        reroutes = 0
+        while True:
+            order = self._route_order(key)
+            if order:
+                raced = await self._attempt(op, params, order)
+                if raced is not None:
+                    outcome, shard_name, hedged = raced
+                    return finish(
+                        outcome, shard=shard_name, hedged=hedged,
+                        reroutes=reroutes,
+                    )
+            if reroutes >= self.config.max_reroutes:
+                if order:
+                    return finish(
+                        JobOutcome(
+                            op, False, CODE_CRASHED,
+                            error=f"shards kept dying mid-job "
+                            f"({reroutes} reroute(s) exhausted)",
+                        ),
+                        reroutes=reroutes,
+                    )
+                return finish(
+                    JobOutcome(
+                        op, False, CODE_OVERLOADED,
+                        error=f"no healthy shard after {reroutes} "
+                        f"reroute(s); retry later",
+                    ),
+                    reroutes=reroutes,
+                )
+            reroutes += 1
+            self.registry.add(
+                "fleet.reroutes" if order else "fleet.no_healthy_waits"
+            )
+            delay = backoff_delay(
+                reroutes - 1,
+                self.config.reroute_backoff_s,
+                self.config.reroute_backoff_cap_s,
+            )
+            # Give the probe loop a chance to resurrect someone before
+            # the next pass when the whole routing set is dark.
+            if not order:
+                delay = max(delay, self.config.probe_interval_s)
+            if delay > 0:
+                await asyncio.sleep(delay)
+
+    async def _attempt(
+        self, op: str, params: Mapping[str, Any], order: Sequence[str]
+    ) -> Optional[Tuple[JobOutcome, str, bool]]:
+        """One routing attempt: primary, optionally raced by a hedge.
+
+        Returns ``(outcome, shard_name, hedged)`` from whichever task
+        answers first, or ``None`` when every raced shard died (the
+        caller reroutes).  Losers are cancelled; their shard can only
+        have re-served the key (shared-tier single-flight), so a cancel
+        abandons no side effect.
+        """
+        loop = asyncio.get_running_loop()
+        primary = self.shards[order[0]]
+        tasks: Dict["asyncio.Task[JobOutcome]", Shard] = {
+            loop.create_task(primary.submit(op, params)): primary
+        }
+        hedge_task: Optional["asyncio.Task[JobOutcome]"] = None
+        hedge_delay_s = self._hedge_delay_s(op)
+        if hedge_delay_s is not None:
+            done, _ = await asyncio.wait(set(tasks), timeout=hedge_delay_s)
+            hedge_name = next(
+                (n for n in order[1:] if self._routable(n)), None
+            )
+            if not done and hedge_name is not None:
+                self.registry.add("fleet.hedges")
+                hedge = self.shards[hedge_name]
+                hedge_task = loop.create_task(hedge.submit(op, params))
+                tasks[hedge_task] = hedge
+
+        while tasks:
+            done, _ = await asyncio.wait(
+                set(tasks), return_when=asyncio.FIRST_COMPLETED
+            )
+            winner: Optional["asyncio.Task[JobOutcome]"] = None
+            for task in done:
+                shard = tasks.pop(task)
+                error = task.exception()
+                if error is None:
+                    winner = task
+                    self._note_ok(shard.name)
+                elif isinstance(error, ShardDiedError):
+                    self._note_death(shard.name)
+                else:  # pragma: no cover - shards only raise transport
+                    raise error
+                if winner is not None:
+                    for loser in tasks:
+                        loser.cancel()
+                    if tasks:
+                        await asyncio.gather(
+                            *tasks, return_exceptions=True
+                        )
+                    hedged = winner is hedge_task
+                    if hedged:
+                        self.registry.add("fleet.hedge_wins")
+                    return winner.result(), shard.name, hedged
+        return None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    async def stats(self) -> Dict[str, Any]:
+        """Fleet topology/counters plus each live shard's own stats."""
+
+        async def one(shard: Shard) -> Optional[Dict[str, Any]]:
+            if not shard.alive:
+                return None
+            try:
+                outcome = await shard.submit("stats")
+            except ShardDiedError:
+                return None
+            return outcome.result if outcome.ok else None
+
+        gathered = await asyncio.gather(
+            *(one(shard) for shard in self.shards.values())
+        )
+        delta = self.registry.delta(self._baseline)
+        counters = {
+            name.split(".", 1)[1]: value
+            for name, value in delta.get("counters", {}).items()
+            if name.startswith("fleet.")
+        }
+        return {
+            "fleet": {
+                **counters,
+                "latency_ms": {
+                    op: stats.summary()
+                    for op, stats in self._op_stats.items()
+                },
+            },
+            "shards": {
+                name: {
+                    "alive": shard.alive,
+                    "draining": name in self._draining,
+                    "breaker_open": self._health[name].breaker_open,
+                    "consecutive_failures": (
+                        self._health[name].consecutive_failures
+                    ),
+                    "stats": stats,
+                }
+                for (name, shard), stats in zip(
+                    self.shards.items(), gathered
+                )
+            },
+        }

@@ -20,6 +20,17 @@ malformed line or request shape answers ``ok=false, code=400`` (with
 loop.  ``localmark serve`` speaks this protocol over stdin/stdout by
 default, or over TCP with ``--tcp PORT``; EOF (or closing the
 connection) drains in-flight jobs and shuts down cleanly.
+
+The serving loops dispatch through anything with the engine's
+``async submit(op, params) -> JobOutcome`` shape — a
+:class:`~repro.service.engine.JobEngine`, or a
+:class:`~repro.service.fleet.Fleet` routing across engine shards.
+
+**Graceful drain**: every loop takes an optional *shutdown* event
+(``localmark serve`` sets it on SIGTERM).  Once set, no further
+requests are read, every request already accepted is finished and its
+response flushed, and the loop returns — so SIGTERM never loses or
+cuts short accepted work, it only refuses new work.
 """
 
 from __future__ import annotations
@@ -109,33 +120,52 @@ async def serve_stream(
     engine: JobEngine,
     reader: asyncio.StreamReader,
     respond: Responder,
+    shutdown: Optional[asyncio.Event] = None,
 ) -> int:
     """Serve one line stream until EOF; returns requests handled.
 
     Every line is dispatched as its own task so concurrent duplicates
-    coalesce; EOF waits for all in-flight responses before returning.
+    coalesce; EOF — or the *shutdown* event (graceful drain) — stops
+    reading and waits for all in-flight responses before returning.
     """
+    loop = asyncio.get_running_loop()
     tasks: set = set()
     handled = 0
-    while True:
-        line = await reader.readline()
-        if not line:
-            break
-        if not line.strip():
-            continue
-        handled += 1
-        task = asyncio.get_running_loop().create_task(
-            handle_line(engine, line, respond)
-        )
-        tasks.add(task)
-        task.add_done_callback(tasks.discard)
-    if tasks:
-        await asyncio.gather(*tasks, return_exceptions=True)
+    stop = (
+        loop.create_task(shutdown.wait()) if shutdown is not None else None
+    )
+    try:
+        while True:
+            read = loop.create_task(reader.readline())
+            if stop is not None:
+                await asyncio.wait(
+                    {read, stop}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not read.done():  # drain requested mid-read
+                    read.cancel()
+                    await asyncio.gather(read, return_exceptions=True)
+                    break
+            line = await read
+            if not line:
+                break
+            if not line.strip():
+                continue
+            handled += 1
+            task = loop.create_task(handle_line(engine, line, respond))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+    finally:
+        if stop is not None and not stop.done():
+            stop.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
     return handled
 
 
-async def serve_stdio(engine: JobEngine) -> int:
-    """Serve JSON-lines over stdin/stdout until EOF."""
+async def serve_stdio(
+    engine: JobEngine, shutdown: Optional[asyncio.Event] = None
+) -> int:
+    """Serve JSON-lines over stdin/stdout until EOF (or drain)."""
     loop = asyncio.get_running_loop()
     reader = asyncio.StreamReader()
     try:
@@ -161,7 +191,7 @@ async def serve_stdio(engine: JobEngine) -> int:
             sys.stdout.write(line)
             sys.stdout.flush()
 
-    return await serve_stream(engine, reader, respond)
+    return await serve_stream(engine, reader, respond, shutdown)
 
 
 async def serve_tcp(
@@ -169,17 +199,27 @@ async def serve_tcp(
     host: str,
     port: int,
     ready: Optional[Callable[[str, int], None]] = None,
-) -> None:
-    """Serve JSON-lines connections on ``host:port`` until cancelled.
+    shutdown: Optional[asyncio.Event] = None,
+) -> int:
+    """Serve JSON-lines connections on ``host:port``.
 
     All connections share one engine (and therefore one cache and one
     backpressure bound).  *ready* is called with the bound address once
-    listening — the CLI prints it, tests use it to connect.
+    listening — the CLI prints it, tests use it to connect.  Without a
+    *shutdown* event the server runs until cancelled; with one, setting
+    it stops accepting, finishes (and answers) every request already
+    read on every open connection, and returns the total handled.
     """
+    handled_total = 0
+    connections: set = set()
 
     async def on_connection(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        nonlocal handled_total
+        task = asyncio.current_task()
+        if task is not None:
+            connections.add(task)
         write_lock = asyncio.Lock()
 
         async def respond(payload: Dict[str, Any]) -> None:
@@ -189,8 +229,12 @@ async def serve_tcp(
                 await writer.drain()
 
         try:
-            await serve_stream(engine, reader, respond)
+            handled_total += await serve_stream(
+                engine, reader, respond, shutdown
+            )
         finally:
+            if task is not None:
+                connections.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -202,4 +246,13 @@ async def serve_tcp(
     if ready is not None:
         ready(bound[0], bound[1])
     async with server:
-        await server.serve_forever()
+        if shutdown is None:
+            await server.serve_forever()
+            return handled_total  # pragma: no cover - cancelled above
+        await shutdown.wait()
+        server.close()
+        # Each connection handler saw the same shutdown event: it stops
+        # reading, finishes its in-flight jobs, flushes, and exits.
+        if connections:
+            await asyncio.gather(*tuple(connections), return_exceptions=True)
+    return handled_total

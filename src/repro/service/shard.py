@@ -1,0 +1,451 @@
+"""Engine shards: the units a serving fleet routes jobs across.
+
+A *shard* is one job engine plus a transport the fleet router can
+submit through.  Two implementations share the :class:`Shard`
+interface:
+
+* :class:`LocalShard` — an in-process :class:`~repro.service.engine.
+  JobEngine` on the router's own event loop.  Cheapest transport, one
+  worker pool per shard; ``kill()`` marks it dead (new submits raise
+  :class:`~repro.errors.ShardDiedError`) and SIGKILLs its pool, but an
+  in-process shard cannot take the router down with it by construction.
+* :class:`TcpShard` — a ``localmark serve --tcp 0`` **subprocess**
+  speaking the JSON-lines protocol over one persistent connection.
+  This is the real fault domain: SIGKILLing the process (``kill()``)
+  tears the transport mid-batch, every in-flight request fails with
+  :class:`ShardDiedError`, and the fleet reroutes.  ``terminate()``
+  sends SIGTERM, which the serve loop turns into a graceful drain
+  (finish in-flight jobs, flush responses, exit 0).
+
+Both shards grade job failures exactly like a bare engine — a shard
+only ever *raises* for transport death, never for a job outcome — so
+the fleet can tell "this job failed" (pass the graded outcome through)
+from "this shard failed" (reroute the job) by exception type alone.
+
+All shards of a fleet share one on-disk cache directory: the disk tier
+plus its lock-file claim protocol (cross-process single-flight) is
+what makes rerouting and hedging side-effect-safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import sys
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+import repro
+from repro.errors import ShardDiedError, ShardError
+from repro.service.engine import JobEngine, JobOutcome, ServiceConfig
+from repro.util.perf import PERF, PerfRegistry
+
+#: ``localmark serve --tcp`` announces its bound address on stderr.
+_READY_RE = re.compile(r"serving on ([^:\s]+):(\d+)")
+
+
+class Shard:
+    """Interface the fleet router drives; see the module docstring."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    async def start(self) -> "Shard":
+        raise NotImplementedError
+
+    async def submit(
+        self, op: str, params: Optional[Mapping[str, Any]] = None
+    ) -> JobOutcome:
+        """One job; graded outcome, or :class:`ShardDiedError`."""
+        raise NotImplementedError
+
+    async def probe(self, restart: bool = False) -> bool:
+        """Health check (optionally resurrecting a dead shard)."""
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """SIGKILL-hard death; in-flight work is torn, not drained."""
+        raise NotImplementedError
+
+    async def drain(self, grace_s: float = 10.0) -> None:
+        """Graceful shutdown: finish in-flight work, then stop."""
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        await self.drain(grace_s=0.0)
+
+    @property
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# in-process shard
+# ----------------------------------------------------------------------
+class LocalShard(Shard):
+    """A :class:`JobEngine` behind the :class:`Shard` interface."""
+
+    def __init__(
+        self,
+        name: str,
+        config: ServiceConfig = ServiceConfig(),
+        registry: PerfRegistry = PERF,
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.registry = registry
+        self.engine: Optional[JobEngine] = None
+        self._dead = False
+
+    async def start(self) -> "LocalShard":
+        self.engine = await JobEngine(
+            self.config, registry=self.registry
+        ).start()
+        self._dead = False
+        return self
+
+    async def submit(
+        self, op: str, params: Optional[Mapping[str, Any]] = None
+    ) -> JobOutcome:
+        if self._dead or self.engine is None:
+            raise ShardDiedError(f"shard {self.name!r} is dead")
+        return await self.engine.submit(op, params)
+
+    async def probe(self, restart: bool = False) -> bool:
+        if self._dead or self.engine is None:
+            if not restart:
+                return False
+            await self.start()
+        try:
+            outcome = await self.submit("stats")
+        except ShardDiedError:
+            return False
+        return outcome.ok
+
+    def kill(self) -> None:
+        """Mark dead and SIGKILL the worker pool.
+
+        New submits raise immediately; in-process memory (and thus jobs
+        already past the transport) survives by construction — true
+        mid-flight death is :class:`TcpShard` territory.
+        """
+        self._dead = True
+        if self.engine is not None and self.engine._pool is not None:
+            from repro.resilience.runner import kill_executor
+
+            kill_executor(self.engine._pool)
+
+    async def drain(self, grace_s: float = 10.0) -> None:
+        self._dead = True
+        if self.engine is not None:
+            await self.engine.close()  # waits out in-flight jobs
+            self.engine = None
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead and self.engine is not None
+
+
+# ----------------------------------------------------------------------
+# TCP subprocess shard
+# ----------------------------------------------------------------------
+class TcpShard(Shard):
+    """A ``localmark serve --tcp 0`` subprocess shard.
+
+    One persistent JSON-lines connection carries all of this shard's
+    traffic; requests are correlated by a per-shard ``id`` counter, so
+    responses may arrive out of order (the subprocess engine coalesces
+    and reorders freely).  Transport death — the process SIGKILLed, the
+    connection reset — fails every pending request with
+    :class:`ShardDiedError` and flips :attr:`alive`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: ServiceConfig = ServiceConfig(),
+        registry: PerfRegistry = PERF,
+        spawn_timeout_s: float = 30.0,
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.registry = registry
+        self.spawn_timeout_s = spawn_timeout_s
+        self.port: Optional[int] = None
+        self._proc: Optional[asyncio.subprocess.Process] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._stderr_task: Optional[asyncio.Task] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._write_lock = asyncio.Lock()
+        self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._next_id = 0
+        self._dead = True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _command(self) -> list:
+        config = self.config
+        argv = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--tcp", "0",
+            "--workers", str(config.workers),
+            "--queue-limit", str(config.queue_limit),
+            "--retries", str(config.retries),
+        ]
+        if config.job_timeout_s is not None:
+            argv += ["--job-timeout", str(config.job_timeout_s)]
+        if config.cache_dir is not None:
+            argv += ["--cache-dir", str(config.cache_dir)]
+            if config.cache_durable:
+                argv += ["--cache-durable"]
+        return argv
+
+    def _environment(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing
+            else os.pathsep.join((package_root, existing))
+        )
+        return env
+
+    async def start(self) -> "TcpShard":
+        # Its own session: the shard's worker pool (forkserver and
+        # friends) lives in the shard's process group, so kill() can
+        # take the whole tree down — orphaned workers would otherwise
+        # outlive a SIGKILLed shard and hold its stderr pipe open.
+        self._proc = await asyncio.create_subprocess_exec(
+            *self._command(),
+            stdin=asyncio.subprocess.DEVNULL,
+            stdout=asyncio.subprocess.DEVNULL,
+            stderr=asyncio.subprocess.PIPE,
+            env=self._environment(),
+            start_new_session=True,
+        )
+        assert self._proc.stderr is not None
+        try:
+            host, port = await asyncio.wait_for(
+                self._await_ready(self._proc.stderr), self.spawn_timeout_s
+            )
+        except (asyncio.TimeoutError, ShardError):
+            self.kill()
+            raise ShardError(
+                f"shard {self.name!r} never announced a port"
+            ) from None
+        reader, self._writer = await asyncio.open_connection(host, port)
+        self.port = port
+        self._dead = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._pump_responses(reader)
+        )
+        self._stderr_task = asyncio.get_running_loop().create_task(
+            self._drain_stderr(self._proc.stderr)
+        )
+        return self
+
+    async def _await_ready(self, stderr: asyncio.StreamReader):
+        while True:
+            line = await stderr.readline()
+            if not line:
+                raise ShardError(
+                    f"shard {self.name!r} exited before binding"
+                )
+            match = _READY_RE.search(line.decode("utf-8", "replace"))
+            if match:
+                return match.group(1), int(match.group(2))
+
+    @staticmethod
+    async def _drain_stderr(stderr: asyncio.StreamReader) -> None:
+        # Keep the pipe from filling (and the subprocess from blocking)
+        # after the ready line; shard logs are not the fleet's problem.
+        try:
+            while await stderr.readline():
+                pass
+        except (OSError, ValueError):  # pragma: no cover - pipe torn
+            pass
+
+    async def _pump_responses(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = json.loads(line)
+                except ValueError:  # pragma: no cover - foreign noise
+                    continue
+                future = self._pending.pop(payload.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._fail_pending(f"shard {self.name!r} connection lost")
+
+    def _fail_pending(self, message: str) -> None:
+        self._dead = True
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(ShardDiedError(message))
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(
+        self, op: str, params: Optional[Mapping[str, Any]] = None
+    ) -> JobOutcome:
+        if self._dead or self._writer is None:
+            raise ShardDiedError(f"shard {self.name!r} is dead")
+        request_id = self._next_id
+        self._next_id += 1
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        line = json.dumps(
+            {"id": request_id, "op": op, "params": dict(params or {})},
+            separators=(",", ":"),
+        ) + "\n"
+        try:
+            async with self._write_lock:
+                self._writer.write(line.encode("utf-8"))
+                await self._writer.drain()
+            payload = await future
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending(f"shard {self.name!r} write failed: {exc}")
+            raise ShardDiedError(
+                f"shard {self.name!r} died mid-request"
+            ) from exc
+        finally:
+            self._pending.pop(request_id, None)  # hedge-loser cancel path
+        return JobOutcome(
+            op=payload.get("op", op),
+            ok=bool(payload.get("ok")),
+            code=int(payload.get("code", 500)),
+            result=payload.get("result"),
+            error=payload.get("error"),
+            cached=bool(payload.get("cached")),
+            coalesced=bool(payload.get("coalesced")),
+            attempts=int(payload.get("attempts", 0)),
+            wall_ms=float(payload.get("wall_ms", 0.0)),
+        )
+
+    async def probe(self, restart: bool = False) -> bool:
+        if self._dead:
+            if not restart:
+                return False
+            try:
+                await self.restart()
+            except (ShardError, OSError):
+                return False
+        try:
+            outcome = await self.submit("stats")
+        except ShardDiedError:
+            return False
+        return outcome.ok
+
+    # ------------------------------------------------------------------
+    # death, drain, resurrection
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """SIGKILL the shard's whole process group.
+
+        The group (its own session, see :meth:`start`) covers the serve
+        process *and* its worker pool, so a kill leaves no orphaned
+        workers behind holding the stderr pipe open.  Pending requests
+        die with it.
+        """
+        if self._proc is not None and self._proc.returncode is None:
+            try:
+                os.killpg(self._proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                try:
+                    self._proc.kill()
+                except ProcessLookupError:  # pragma: no cover - gone
+                    pass
+        self._fail_pending(f"shard {self.name!r} was SIGKILLed")
+
+    async def drain(self, grace_s: float = 10.0) -> None:
+        """Half-close, collect in-flight answers, SIGTERM, wait.
+
+        ``write_eof`` (FIN, read side stays open) tells the shard's
+        serve loop no more requests are coming; it finishes every job
+        it already accepted and flushes the responses, which resolve
+        our pending futures — so a drain never loses work the shard
+        accepted.  Only then is SIGTERM sent (the serve loop's graceful
+        exit).  A shard that overruns *grace_s* is SIGKILLed — bounded
+        drains beat wedged shutdowns.
+        """
+        self._dead = True  # no new submits; pending ones finish below
+        pending = list(self._pending.values())
+        if self._writer is not None:
+            try:
+                if self._writer.can_write_eof():
+                    self._writer.write_eof()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        if pending:
+            await asyncio.wait(pending, timeout=max(grace_s, 0.001))
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        if self._proc is not None and self._proc.returncode is None:
+            try:
+                self._proc.send_signal(signal.SIGTERM)
+            except ProcessLookupError:  # pragma: no cover - racing exit
+                pass
+            try:
+                await asyncio.wait_for(
+                    self._proc.wait(), max(grace_s, 0.001)
+                )
+            except asyncio.TimeoutError:
+                self.kill()
+                await self._proc.wait()
+        await self._reap_pumps()
+        self._fail_pending(f"shard {self.name!r} drained")
+
+    async def restart(self) -> "TcpShard":
+        """Respawn a dead shard (the probe loop's recovery path)."""
+        if self._proc is not None and self._proc.returncode is None:
+            self.kill()
+        if self._proc is not None:
+            await self._proc.wait()
+        await self._reap_pumps()
+        return await self.start()
+
+    async def _reap_pumps(self) -> None:
+        """Retire the pump tasks so every transport closes in-loop.
+
+        The pumps are given a moment to hit EOF first — a dead process
+        EOFs its pipes immediately, and reading stderr to EOF is what
+        lets asyncio's subprocess transport finish closing itself
+        (cancelling mid-read would leak it to interpreter-exit GC).
+        """
+        tasks = [
+            task
+            for task in (self._reader_task, self._stderr_task)
+            if task is not None and not task.done()
+        ]
+        if not tasks:
+            return
+        _, pending = await asyncio.wait(tasks, timeout=1.0)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    @property
+    def alive(self) -> bool:
+        return (
+            not self._dead
+            and self._proc is not None
+            and self._proc.returncode is None
+        )

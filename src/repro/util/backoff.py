@@ -1,0 +1,64 @@
+"""One jittered-backoff policy, shared by every retry loop.
+
+Retry backoff used to be written twice — the campaign runner slept
+``base * 2**attempt * (0.5 + jitter)`` with jitter drawn from a seeded
+PRNG, the service engine slept a plain unjittered ``base * 2**attempt``
+— and the two could drift apart.  Both now call
+:func:`backoff_delay`:
+
+* **Exponential** — attempt ``n`` (0-based) scales the base delay by
+  ``2**n``, capped at *cap_s* so a long retry chain never sleeps
+  unboundedly.
+* **Seeded jitter** — with a *seed*, the delay is multiplied by a
+  factor in ``[0.5, 1.5)`` drawn from ``random.Random(seed * 31 +
+  attempt)``.  The factor depends only on ``(seed, attempt)``, so a
+  resumed campaign replays byte-identical sleep schedules (the
+  crash-safe runner's determinism contract) while distinct trials
+  still decorrelate their retry storms.
+* **No seed, no jitter** — ``seed=None`` keeps the factor at exactly
+  ``1.0`` for callers whose delays must not depend on any PRNG at all
+  (the service engine's crash retries).
+
+The helper only *computes* the delay; sleeping (blocking or
+``await asyncio.sleep``) stays with the caller, which is what lets one
+policy serve both the synchronous runner and the asyncio engine/fleet.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+def backoff_delay(
+    attempt: int,
+    base_s: float,
+    cap_s: float,
+    seed: Optional[int] = None,
+) -> float:
+    """Delay in seconds before retry *attempt* (0-based).
+
+    ``min(cap_s, base_s * 2**attempt * factor)`` where *factor* is
+    ``0.5 + random.Random(seed * 31 + attempt).random()`` when *seed*
+    is given (the campaign runner's historical formula, preserved
+    bit-for-bit) and ``1.0`` otherwise.  A non-positive *base_s*
+    returns ``0.0`` — callers treat that as "retry immediately".
+
+    >>> backoff_delay(0, 0.1, 2.0)
+    0.1
+    >>> backoff_delay(3, 0.1, 2.0)
+    0.8
+    >>> backoff_delay(10, 0.1, 2.0)  # capped
+    2.0
+    >>> backoff_delay(1, 0.1, 2.0, seed=7) == backoff_delay(
+    ...     1, 0.1, 2.0, seed=7
+    ... )
+    True
+    """
+    if base_s <= 0:
+        return 0.0
+    if seed is None:
+        factor = 1.0
+    else:
+        factor = 0.5 + random.Random(seed * 31 + attempt).random()
+    return min(cap_s, base_s * (2 ** attempt) * factor)

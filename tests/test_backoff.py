@@ -1,0 +1,77 @@
+"""The one shared jittered-backoff policy (`repro.util.backoff`).
+
+PR 6 deduplicated the retry-backoff formula out of the campaign runner
+and the service engine; these tests pin the contract both now depend
+on: the seeded path reproduces the runner's historical formula
+bit-for-bit (resume determinism), the unseeded path is exactly the
+engine's unjittered exponential, and both respect the cap.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.resilience.campaign import TrialSpec
+from repro.resilience.runner import CampaignRunner, RunnerConfig
+from repro.util.backoff import backoff_delay
+
+
+def _historical_runner_delay(seed: int, attempt: int,
+                             base_s: float, cap_s: float) -> float:
+    """The pre-extraction formula from resilience.runner, verbatim."""
+    jitter = random.Random(seed * 31 + attempt).random()
+    return min(cap_s, base_s * (2 ** attempt) * (0.5 + jitter))
+
+
+def test_seeded_matches_historical_runner_formula():
+    for seed in (0, 1, 7, 12345):
+        for attempt in range(6):
+            assert backoff_delay(attempt, 0.05, 2.0, seed=seed) == (
+                _historical_runner_delay(seed, attempt, 0.05, 2.0)
+            )
+
+
+def test_seeded_is_deterministic_and_decorrelated():
+    # Same (seed, attempt) -> same delay (the resume contract) ...
+    assert backoff_delay(3, 0.1, 5.0, seed=9) == backoff_delay(
+        3, 0.1, 5.0, seed=9
+    )
+    # ... while distinct seeds decorrelate their retry storms.
+    delays = {backoff_delay(2, 0.1, 5.0, seed=s) for s in range(16)}
+    assert len(delays) > 8
+
+
+def test_unseeded_is_plain_exponential():
+    assert backoff_delay(0, 0.05, 2.0) == 0.05
+    assert backoff_delay(1, 0.05, 2.0) == 0.10
+    assert backoff_delay(3, 0.05, 2.0) == 0.40
+    assert backoff_delay(10, 0.05, 2.0) == 2.0  # capped
+
+
+def test_cap_applies_to_jittered_path_too():
+    for attempt in range(20):
+        assert backoff_delay(attempt, 0.5, 1.25, seed=4) <= 1.25
+
+
+def test_non_positive_base_means_retry_immediately():
+    assert backoff_delay(5, 0.0, 2.0) == 0.0
+    assert backoff_delay(5, -1.0, 2.0, seed=3) == 0.0
+
+
+def test_campaign_runner_backoff_sleeps_the_shared_policy(monkeypatch,
+                                                          tmp_path):
+    """`CampaignRunner._backoff` must sleep exactly `backoff_delay`
+    with the trial's seed — the runner's resume determinism rides on
+    this staying bit-identical across the refactor."""
+    slept = []
+    monkeypatch.setattr("repro.resilience.runner.time.sleep", slept.append)
+    runner = CampaignRunner(
+        tmp_path, RunnerConfig(backoff_base_s=0.05, backoff_cap_s=2.0)
+    )
+    spec = TrialSpec(rate_index=0, rate=0.1, trial=0, seed=77,
+                     fault_kinds=("delete_edges",), jitter=False)
+    for attempt in range(3):
+        runner._backoff(spec, attempt)
+    assert slept == [
+        backoff_delay(attempt, 0.05, 2.0, seed=77) for attempt in range(3)
+    ]

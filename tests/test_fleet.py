@@ -1,0 +1,479 @@
+"""Fleet router semantics on in-process shards (PR 6 tentpole).
+
+Everything here runs on :class:`LocalShard`\\ s (and test subclasses
+that fake transport behavior), so each property of the router —
+consistent-hash stickiness, hedging, the circuit breaker, bounded
+rerouting, graceful drain, graded exhaustion — is pinned without
+subprocess noise.  Real SIGKILL fault domains are
+``test_fleet_kill.py``'s job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.cdfg.io import to_dict
+from repro.errors import ServiceError, ShardDiedError
+from repro.service import (
+    Fleet,
+    FleetConfig,
+    HashRing,
+    LocalShard,
+    ServiceConfig,
+    canonical_json,
+    execute_job,
+    job_key,
+)
+from repro.service.engine import _OpStats
+from repro.util.perf import PerfRegistry
+
+
+def _design():
+    return to_dict(fourth_order_parallel_iir())
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _tag_routed_to(fleet: Fleet, shard_name: str, op: str = "schedule"):
+    """Params for *op* whose ring primary is *shard_name*."""
+    for index in range(4096):
+        params = {"design": _design(), "tag": f"route-{index}"}
+        if fleet._ring.walk(job_key(op, params))[0] == shard_name:
+            return params
+    raise AssertionError(f"no tag routed to {shard_name}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# test shards: fake transport behavior over a real engine
+# ----------------------------------------------------------------------
+class SlowShard(LocalShard):
+    """Sits on every request for ``delay_s`` before serving it — the
+    hedge trigger.  The sleep happens *before* the engine sees the job,
+    so cancelling a slow loser abandons no computation."""
+
+    def __init__(self, name, config, delay_s, registry):
+        super().__init__(name, config, registry=registry)
+        self.delay_s = delay_s
+
+    async def submit(self, op, params=None):
+        await asyncio.sleep(self.delay_s)
+        return await super().submit(op, params)
+
+
+class FlakyShard(LocalShard):
+    """Tears the transport for the first ``failures`` submits, then
+    behaves — exercises reroute + breaker + probe recovery."""
+
+    def __init__(self, name, config, failures, registry):
+        super().__init__(name, config, registry=registry)
+        self.failures = failures
+
+    async def submit(self, op, params=None):
+        if self.failures > 0:
+            self.failures -= 1
+            raise ShardDiedError(f"shard {self.name!r} dropped the line")
+        return await super().submit(op, params)
+
+
+class DyingShard(LocalShard):
+    """Claims to be alive but every submit dies — reroute exhaustion."""
+
+    async def submit(self, op, params=None):
+        raise ShardDiedError(f"shard {self.name!r} died mid-request")
+
+    @property
+    def alive(self):
+        return True
+
+
+# ----------------------------------------------------------------------
+# the ring
+# ----------------------------------------------------------------------
+def test_hash_ring_walk_is_deterministic_and_complete():
+    ring = HashRing(["a", "b", "c"], replicas=64)
+    for key in ("k1", "k2", "deadbeef" * 8):
+        order = ring.walk(key)
+        assert sorted(order) == ["a", "b", "c"]  # all shards, once each
+        assert order == ring.walk(key)  # same key, same ladder
+    # Different keys spread across primaries (64 vnodes even the arcs).
+    primaries = {ring.walk(f"key-{i}")[0] for i in range(64)}
+    assert primaries == {"a", "b", "c"}
+
+
+def test_hash_ring_removal_only_remaps_the_lost_arc():
+    """The consistent-hash property: dropping one shard moves only the
+    keys that shard owned; everyone else's primary is untouched."""
+    full = HashRing(["a", "b", "c"], replicas=64)
+    reduced = HashRing(["a", "b"], replicas=64)
+    moved = kept = 0
+    for index in range(300):
+        key = f"job-{index}"
+        before = full.walk(key)[0]
+        after = reduced.walk(key)[0]
+        if before == "c":
+            moved += 1
+            assert after in ("a", "b")
+        else:
+            kept += 1
+            assert after == before
+    assert moved > 0 and kept > 0
+
+
+def test_hash_ring_rejects_bad_replicas():
+    with pytest.raises(ServiceError):
+        HashRing(["a"], replicas=0)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+def test_fleet_config_validation():
+    for bad in (
+        {"shards": 0},
+        {"shard_kind": "carrier-pigeon"},
+        {"max_reroutes": -1},
+        {"breaker_threshold": 0},
+        {"probe_interval_s": 0.0},
+        {"hedge_min_samples": 0},
+    ):
+        with pytest.raises(ServiceError):
+            FleetConfig(**bad)
+
+
+def test_fleet_requires_the_shared_cache_dir():
+    """No shared disk tier, no side-effect-safe hedging — building a
+    fleet's own shards without ``cache_dir`` is a config error."""
+    with pytest.raises(ServiceError, match="cache_dir"):
+        Fleet(FleetConfig(service=ServiceConfig()))
+
+
+def test_fleet_rejects_duplicate_shard_names(tmp_path):
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+    shards = [LocalShard("twin", config), LocalShard("twin", config)]
+    with pytest.raises(ServiceError, match="duplicate"):
+        Fleet(FleetConfig(), shards=shards)
+
+
+def test_dynamic_hedge_delay_policy(tmp_path):
+    """``hedge_ms=None`` hedges at max(p95, floor) once enough samples
+    exist; ``0`` disables; a fixed value converts to seconds."""
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+
+    def fleet_with(**knobs):
+        return Fleet(
+            FleetConfig(service=config, **knobs),
+            shards=[LocalShard("s0", config)],
+            registry=PerfRegistry(),
+        )
+
+    fixed = fleet_with(hedge_ms=25.0)
+    assert fixed._hedge_delay_s("schedule") == 0.025
+    disabled = fleet_with(hedge_ms=0.0)
+    assert disabled._hedge_delay_s("schedule") is None
+
+    dynamic = fleet_with(hedge_min_samples=4, hedge_floor_ms=50.0)
+    assert dynamic._hedge_delay_s("schedule") is None  # no samples yet
+    stats = dynamic._op_stats.setdefault("schedule", _OpStats())
+    for _ in range(3):
+        stats.record(10.0)
+    assert dynamic._hedge_delay_s("schedule") is None  # below min_samples
+    stats.record(10.0)
+    assert dynamic._hedge_delay_s("schedule") == 0.05  # floor wins
+    stats.record(400.0)
+    assert dynamic._hedge_delay_s("schedule") == pytest.approx(
+        stats.summary()["p95_ms"] / 1000.0
+    )
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+def test_routing_is_sticky_graded_and_bit_identical(tmp_path):
+    registry = PerfRegistry()
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+
+    async def scenario():
+        fleet = Fleet(
+            FleetConfig(service=config, hedge_ms=0.0),
+            shards=[LocalShard(f"shard-{i}", config, registry=registry)
+                    for i in range(3)],
+            registry=registry,
+        )
+        async with fleet:
+            jobs = [
+                ("schedule", {"design": _design(), "tag": f"t{i}"})
+                for i in range(6)
+            ]
+            first = await asyncio.gather(
+                *(fleet.submit(op, params) for op, params in jobs)
+            )
+            second = await asyncio.gather(
+                *(fleet.submit(op, params) for op, params in jobs)
+            )
+            unknown = await fleet.submit("transmogrify", {})
+            unserializable = await fleet.submit(
+                "schedule", {"design": _design(), "bad": object()}
+            )
+            stats = await fleet.stats()
+            return first, second, unknown, unserializable, stats
+
+    first, second, unknown, unserializable, stats = _run(scenario())
+
+    for index, outcome in enumerate(first):
+        assert outcome.ok and outcome.code == 200
+        assert outcome.shard.startswith("shard-")
+        assert not outcome.hedged and outcome.reroutes == 0
+        # Bit-identity with the direct, single-process computation.
+        assert canonical_json(outcome.result) == canonical_json(
+            execute_job(
+                "schedule", {"design": _design(), "tag": f"t{index}"}
+            )
+        )
+    # Stickiness: the duplicate rides the same shard (and its cache).
+    for before, after in zip(first, second):
+        assert after.shard == before.shard
+        assert after.ok and after.cached
+    assert len({outcome.shard for outcome in first}) > 1  # actually spread
+
+    # Graded failures pass through the router unchanged.
+    assert unknown.code == 400 and "unknown op" in unknown.error
+    assert unserializable.code == 400
+    assert "unserializable" in unserializable.error
+
+    # Observability: topology plus per-shard engine stats.
+    assert stats["fleet"]["routed"] >= 13
+    assert set(stats["shards"]) == {"shard-0", "shard-1", "shard-2"}
+    for shard_stats in stats["shards"].values():
+        assert shard_stats["alive"] and not shard_stats["draining"]
+        assert not shard_stats["breaker_open"]
+        assert shard_stats["stats"]["cache"]["memory_entries"] >= 0
+
+
+# ----------------------------------------------------------------------
+# hedging (the satellite: exactly one side effect)
+# ----------------------------------------------------------------------
+def test_hedge_beats_slow_shard_with_exactly_one_side_effect(tmp_path):
+    registry = PerfRegistry()
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+    effect = tmp_path / "computes.log"
+
+    async def scenario():
+        fleet = Fleet(
+            FleetConfig(service=config, hedge_ms=40.0),
+            shards=[
+                SlowShard("slow", config, delay_s=5.0, registry=registry),
+                LocalShard("fast-0", config, registry=registry),
+                LocalShard("fast-1", config, registry=registry),
+            ],
+            registry=registry,
+        )
+        async with fleet:
+            params = _tag_routed_to(fleet, "slow")
+            params["_hook"] = {"append_to": str(effect)}
+            return await fleet.submit("schedule", params), params
+
+    outcome, params = _run(scenario())
+
+    assert outcome.ok and outcome.code == 200
+    assert outcome.hedged and outcome.shard.startswith("fast-")
+    assert outcome.reroutes == 0
+    assert registry.get("fleet.hedges") >= 1
+    assert registry.get("fleet.hedge_wins") >= 1
+    # The satellite's teeth: the job computed exactly once — the slow
+    # loser was cancelled before its engine ever saw the job.
+    assert effect.read_text(encoding="ascii").count("\n") == 1
+    clean = {k: v for k, v in params.items() if k != "_hook"}
+    assert canonical_json(outcome.result) == canonical_json(
+        execute_job("schedule", clean)
+    )
+
+
+# ----------------------------------------------------------------------
+# breaker, reroute, probe recovery
+# ----------------------------------------------------------------------
+def test_transport_death_reroutes_and_opens_breaker(tmp_path):
+    registry = PerfRegistry()
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+
+    async def scenario():
+        flaky = FlakyShard("flaky", config, failures=1, registry=registry)
+        fleet = Fleet(
+            FleetConfig(
+                service=config, hedge_ms=0.0, breaker_threshold=1,
+                probe_interval_s=60.0,  # no probe rescue during the test
+                reroute_backoff_s=0.001,
+            ),
+            shards=[flaky, LocalShard("good-0", config, registry=registry),
+                    LocalShard("good-1", config, registry=registry)],
+            registry=registry,
+        )
+        async with fleet:
+            params = _tag_routed_to(fleet, "flaky")
+            rerouted = await fleet.submit("schedule", params)
+            breaker_open = fleet._health["flaky"].breaker_open
+            routable = fleet._routable("flaky")
+            # With the breaker open the key's duplicates skip the flaky
+            # primary entirely — no reroute needed the second time.
+            repeat = await fleet.submit("schedule", params)
+            return rerouted, breaker_open, routable, repeat
+
+    rerouted, breaker_open, routable, repeat = _run(scenario())
+
+    assert rerouted.ok and rerouted.code == 200
+    assert rerouted.reroutes == 1  # died once, next shard answered
+    assert rerouted.shard.startswith("good-")
+    assert breaker_open and not routable  # threshold=1: one death opens
+    assert registry.get("fleet.shard_deaths") >= 1
+    assert registry.get("fleet.reroutes") >= 1
+    assert repeat.ok and repeat.reroutes == 0
+    assert repeat.shard == rerouted.shard
+
+
+def test_probe_loop_recovers_a_tripped_shard(tmp_path):
+    registry = PerfRegistry()
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+
+    async def scenario():
+        flaky = FlakyShard("flaky", config, failures=1, registry=registry)
+        fleet = Fleet(
+            FleetConfig(
+                service=config, hedge_ms=0.0, breaker_threshold=1,
+                probe_interval_s=0.05, reroute_backoff_s=0.001,
+            ),
+            shards=[flaky, LocalShard("good-0", config, registry=registry),
+                    LocalShard("good-1", config, registry=registry)],
+            registry=registry,
+        )
+        async with fleet:
+            params = _tag_routed_to(fleet, "flaky")
+            rerouted = await fleet.submit("schedule", params)
+
+            # The probe loop must close the breaker once the shard
+            # answers again (FlakyShard is healthy after one failure).
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while (
+                not fleet._routable("flaky")
+                and asyncio.get_running_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.05)
+            recovered = await fleet.submit(
+                "schedule", dict(params, tag2="after-recovery")
+            )
+            return rerouted, fleet._routable("flaky"), recovered
+
+    rerouted, routable_again, recovered = _run(scenario())
+
+    assert rerouted.ok and rerouted.reroutes == 1
+    assert routable_again
+    assert registry.get("fleet.recoveries") >= 1
+    assert recovered.ok and recovered.shard == "flaky"
+
+
+def test_no_healthy_shard_grades_overloaded_not_raises(tmp_path):
+    registry = PerfRegistry()
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+
+    async def scenario():
+        only = LocalShard("only", config, registry=registry)
+        fleet = Fleet(
+            FleetConfig(
+                service=config, hedge_ms=0.0, max_reroutes=1,
+                probe_interval_s=0.05, restart_dead=False,
+                reroute_backoff_s=0.001,
+            ),
+            shards=[only],
+            registry=registry,
+        )
+        async with fleet:
+            only.kill()
+            return await fleet.submit("schedule", {"design": _design()})
+
+    outcome = _run(scenario())
+    assert not outcome.ok and outcome.code == 503
+    assert "no healthy shard" in outcome.error
+    assert outcome.reroutes == 1 and outcome.shard == "fleet"
+    assert registry.get("fleet.no_healthy_waits") >= 1
+
+
+def test_shards_that_keep_dying_grade_crashed(tmp_path):
+    registry = PerfRegistry()
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+
+    async def scenario():
+        fleet = Fleet(
+            FleetConfig(
+                service=config, hedge_ms=0.0, max_reroutes=2,
+                breaker_threshold=100,  # stays routable: worst case
+                reroute_backoff_s=0.001, reroute_backoff_cap_s=0.002,
+            ),
+            shards=[DyingShard("zombie", config, registry=registry)],
+            registry=registry,
+        )
+        async with fleet:
+            return await fleet.submit("schedule", {"design": _design()})
+
+    outcome = _run(scenario())
+    assert not outcome.ok and outcome.code == 500
+    assert "kept dying" in outcome.error
+    assert outcome.reroutes == 2  # the configured bound, then give up
+
+
+# ----------------------------------------------------------------------
+# graceful drain
+# ----------------------------------------------------------------------
+def test_drain_finishes_inflight_and_migrates_routing(tmp_path):
+    registry = PerfRegistry()
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+
+    async def scenario():
+        fleet = Fleet(
+            FleetConfig(service=config, hedge_ms=0.0),
+            shards=[LocalShard(f"shard-{i}", config, registry=registry)
+                    for i in range(3)],
+            registry=registry,
+        )
+        async with fleet:
+            params = _tag_routed_to(fleet, "shard-0")
+            slow = dict(params, _hook={"sleep_s": 0.3})
+            inflight = asyncio.ensure_future(fleet.submit("schedule", slow))
+            await asyncio.sleep(0.1)  # the job is on shard-0's engine
+            await fleet.drain_shard("shard-0")
+            drains = registry.get("fleet.drains")
+            finished = await inflight
+            stats = await fleet.stats()
+            migrated = await fleet.submit("schedule", params)
+            return finished, stats, migrated, drains
+
+    finished, stats, migrated, drains = _run(scenario())
+
+    # The drain waited the accepted job out: completed, not torn.
+    assert finished.ok and finished.code == 200
+    assert finished.shard == "shard-0"
+    # The shard is out of the fleet but marked as a drain, not a death.
+    assert stats["shards"]["shard-0"]["draining"]
+    assert not stats["shards"]["shard-0"]["alive"]
+    assert drains == 1  # close() drains the rest later
+    # Its keys migrated to a survivor via normal ring routing.
+    assert migrated.ok and migrated.shard in ("shard-1", "shard-2")
+    assert migrated.reroutes == 0  # routed around, not bounced off
+
+
+def test_drain_unknown_shard_is_an_error(tmp_path):
+    config = ServiceConfig(workers=1, cache_dir=tmp_path / "cache")
+
+    async def scenario():
+        fleet = Fleet(
+            FleetConfig(service=config),
+            shards=[LocalShard("s0", config)],
+            registry=PerfRegistry(),
+        )
+        async with fleet:
+            with pytest.raises(ServiceError, match="no shard"):
+                await fleet.drain_shard("s7")
+
+    _run(scenario())

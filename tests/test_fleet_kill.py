@@ -1,0 +1,193 @@
+"""Fleet fault domains over real subprocess shards (PR 6 satellites).
+
+:class:`TcpShard` is the honest failure model: SIGKILLing the process
+tears the transport with jobs in flight.  These tests pin the fleet's
+survival contract on that model:
+
+* a shard SIGKILLed mid-soak loses *no* jobs — every in-flight request
+  reroutes to a survivor and completes ``200``, bit-identical to the
+  direct computation, with no hangs and no 500s;
+* the shared on-disk cache is never torn by the kill (atomic writes +
+  claims: whole entries or no entries);
+* the probe loop respawns the killed process and routes to it again;
+* a gracefully drained shard finishes and answers everything it
+  accepted, exits 0, and its keys migrate to survivors.
+
+These spawn real ``localmark serve --tcp`` subprocesses; counts are
+sized for CI, the 10k-job soak lives in ``benchmarks/test_bench_fleet``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+from repro.cdfg.designs import fourth_order_parallel_iir
+from repro.cdfg.io import to_dict
+from repro.service import (
+    Fleet,
+    FleetConfig,
+    ServiceConfig,
+    canonical_json,
+    execute_job,
+    job_key,
+)
+from repro.util.perf import PerfRegistry
+
+
+def _design():
+    return to_dict(fourth_order_parallel_iir())
+
+
+def _tags_by_primary(fleet: Fleet, per_shard: int):
+    """``per_shard`` tags per shard name, keyed by their ring primary."""
+    wanted = {name: [] for name in fleet.shards}
+    for index in range(65536):
+        if all(len(tags) >= per_shard for tags in wanted.values()):
+            return wanted
+        params = {"design": _design(), "tag": f"soak-{index}"}
+        primary = fleet._ring.walk(job_key("schedule", params))[0]
+        if len(wanted[primary]) < per_shard:
+            wanted[primary].append(f"soak-{index}")
+    raise AssertionError("ring never covered every shard")  # pragma: no cover
+
+
+def _check_cache_whole(cache_dir: Path) -> int:
+    """Every on-disk entry parses whole and self-consistent."""
+    entries = sorted((cache_dir / "objects").rglob("*.json"))
+    for path in entries:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert set(payload) >= {"key", "result"}
+        assert path.stem == payload["key"]
+    return len(entries)
+
+
+def test_sigkill_mid_soak_loses_no_jobs_and_probe_respawns(tmp_path):
+    cache_dir = tmp_path / "cache"
+    registry = PerfRegistry()
+    config = FleetConfig(
+        shards=3,
+        shard_kind="tcp",
+        service=ServiceConfig(workers=1, queue_limit=256,
+                              cache_dir=cache_dir),
+        hedge_ms=0.0,  # rerouting only: keep the kill path deterministic
+        breaker_threshold=1,
+        probe_interval_s=0.1,
+        restart_dead=True,
+        reroute_backoff_s=0.01,
+    )
+
+    async def scenario():
+        async with Fleet(config, registry=registry) as fleet:
+            tags = _tags_by_primary(fleet, per_shard=3)
+            jobs = []
+            for name, shard_tags in tags.items():
+                # The victim's jobs run long enough that SIGKILL lands
+                # while they are genuinely in flight on its engine.
+                sleep_s = 0.5 if name == "shard-1" else 0.05
+                for tag in shard_tags:
+                    jobs.append({
+                        "design": _design(), "tag": tag,
+                        "_hook": {"sleep_s": sleep_s},
+                    })
+            jobs = jobs * 2  # duplicates must coalesce, not double-run
+
+            batch = [
+                asyncio.ensure_future(fleet.submit("schedule", params))
+                for params in jobs
+            ]
+            await asyncio.sleep(0.25)  # shard-1 is mid-compute now
+            fleet.shards["shard-1"].kill()
+            outcomes = await asyncio.gather(*batch)
+
+            # The probe loop must respawn the killed subprocess and
+            # bring it back into routing.
+            deadline = asyncio.get_running_loop().time() + 30.0
+            while (
+                not fleet._routable("shard-1")
+                and asyncio.get_running_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.1)
+            assert fleet._routable("shard-1")
+            revived = await fleet.submit(
+                "schedule", {"design": _design(), "tag": tags["shard-1"][0]}
+            )
+            return jobs, outcomes, revived
+
+    jobs, outcomes, revived = asyncio.run(scenario())
+
+    # Zero lost jobs: every submission answered 200, none raised.
+    assert len(outcomes) == len(jobs)
+    assert all(o.ok and o.code == 200 for o in outcomes)
+    # The kill really was mid-flight: someone had to reroute.
+    assert sum(o.reroutes for o in outcomes) > 0
+    assert registry.get("fleet.shard_deaths") >= 1
+    assert registry.get("fleet.recoveries") >= 1
+    assert revived.ok
+
+    # Bit-identity with the direct computation, per unique job.
+    for params in jobs:
+        clean = {k: v for k, v in params.items() if k != "_hook"}
+        matching = [
+            o for o, p in zip(outcomes, jobs) if p["tag"] == params["tag"]
+        ]
+        expected = canonical_json(execute_job("schedule", clean))
+        assert all(canonical_json(o.result) == expected for o in matching)
+
+    # SIGKILL at an arbitrary instant never tears the shared store.
+    assert _check_cache_whole(cache_dir) >= 1
+
+
+def test_graceful_drain_mid_batch_answers_everything_accepted(tmp_path):
+    cache_dir = tmp_path / "cache"
+    registry = PerfRegistry()
+    config = FleetConfig(
+        shards=3,
+        shard_kind="tcp",
+        service=ServiceConfig(workers=1, queue_limit=256,
+                              cache_dir=cache_dir),
+        hedge_ms=0.0,
+        probe_interval_s=0.2,
+        drain_grace_s=30.0,
+    )
+
+    async def scenario():
+        async with Fleet(config, registry=registry) as fleet:
+            tags = _tags_by_primary(fleet, per_shard=2)
+            slow = [
+                {"design": _design(), "tag": tag,
+                 "_hook": {"sleep_s": 0.4}}
+                for tag in tags["shard-0"]
+            ]
+            rest = [
+                {"design": _design(), "tag": tag}
+                for name in ("shard-1", "shard-2")
+                for tag in tags[name]
+            ]
+            batch = [
+                asyncio.ensure_future(fleet.submit("schedule", params))
+                for params in slow + rest
+            ]
+            await asyncio.sleep(0.15)  # shard-0 accepted its slow jobs
+            await fleet.drain_shard("shard-0")
+            drained_rc = fleet.shards["shard-0"]._proc.returncode
+            outcomes = await asyncio.gather(*batch)
+            migrated = await fleet.submit(
+                "schedule", {"design": _design(), "tag": tags["shard-0"][0]}
+            )
+            return outcomes, drained_rc, migrated
+
+    outcomes, drained_rc, migrated = asyncio.run(scenario())
+
+    # Everything the fleet accepted was answered — the drain waited the
+    # in-flight jobs out rather than tearing them.
+    assert all(o.ok and o.code == 200 for o in outcomes)
+    slow_shards = {o.shard for o in outcomes[:2]}
+    assert "shard-0" in slow_shards  # the drained shard answered them
+    # Graceful exit: SIGTERM produced a clean 0, not a kill.
+    assert drained_rc == 0
+    # Its arc migrated: the same key now routes to a survivor.
+    assert migrated.ok and migrated.shard in ("shard-1", "shard-2")
+    assert migrated.reroutes == 0
+    assert _check_cache_whole(cache_dir) >= 1

@@ -1,0 +1,201 @@
+"""Cross-process single-flight on the shared disk cache (PR 6).
+
+The serving fleet points every shard at one on-disk cache directory;
+the lock-file claim protocol is what turns N racing processes into one
+compute plus N-1 readers.  These tests pin that contract from the
+outside:
+
+* two *separate OS processes* asked for the same key run the supplier
+  exactly once (the side-effect file proves it) and read back identical
+  bytes;
+* a live claim (fresh heartbeat) is never stolen, even past the TTL;
+* a stale claim — dead owner pid, or heartbeat silent past the TTL —
+  is stolen so a SIGKILLed leader cannot wedge the key;
+* a waiter that joins a foreign leader gets the leader's value without
+  ever invoking its own supplier.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import repro
+from repro.service import ResultCache
+from repro.util.perf import PerfRegistry
+
+_LEADER_SCRIPT = """\
+import json, os, sys, time
+
+cache_dir, effect_path, key, hold_s = sys.argv[1:5]
+
+from repro.service import ResultCache
+
+cache = ResultCache(directory=cache_dir, claim_poll_s=0.01)
+
+
+def supplier():
+    with open(effect_path, "a", encoding="ascii") as handle:
+        handle.write(f"{os.getpid()}\\n")
+    time.sleep(float(hold_s))  # long enough for the peer to arrive
+    return {"answer": 42, "key": key}
+
+
+value, how = cache.get_or_compute(key, supplier, cross_process=True)
+print(json.dumps({"value": value, "how": how}))
+"""
+
+
+def _environment() -> dict:
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else os.pathsep.join((package_root, existing))
+    )
+    return env
+
+
+def test_two_processes_one_key_exactly_one_compute(tmp_path):
+    """The satellite regression: two processes, one key, one compute."""
+    script = tmp_path / "flight_worker.py"  # a real file: spawn-safe
+    script.write_text(_LEADER_SCRIPT, encoding="ascii")
+    cache_dir = tmp_path / "cache"
+    effect = tmp_path / "computes.log"
+    key = "f" * 64
+
+    argv = [sys.executable, str(script), str(cache_dir), str(effect),
+            key, "0.4"]
+    procs = [
+        subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=_environment(),
+        )
+        for _ in range(2)
+    ]
+    replies = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err.decode("utf-8", "replace")
+        replies.append(json.loads(out))
+
+    # Exactly one supplier ran, no matter how the race interleaved.
+    computes = effect.read_text(encoding="ascii").splitlines()
+    assert len(computes) == 1
+    # Both processes hold the same value; the leader reports "miss",
+    # the process that joined its claim (or arrived late) a "hit".
+    assert replies[0]["value"] == replies[1]["value"] == {
+        "answer": 42, "key": key,
+    }
+    assert sorted(reply["how"] for reply in replies) == ["hit", "miss"]
+    # And the claim was released: the flight directory holds no locks.
+    assert not list((cache_dir / "flight").rglob("*.claim"))
+
+
+def test_live_claim_blocks_rivals_until_released(tmp_path):
+    """A fresh heartbeat keeps the claim even past the TTL; releasing
+    hands leadership over."""
+    holder = ResultCache(directory=tmp_path, claim_ttl_s=0.4,
+                         registry=PerfRegistry())
+    rival = ResultCache(directory=tmp_path, claim_ttl_s=0.4,
+                        registry=PerfRegistry())
+    key = "a" * 64
+    claim = holder.try_claim(key)
+    assert claim is not None
+    try:
+        # Well past the TTL: the heartbeat (ttl/4 touches) must keep
+        # the claim fresh, so the rival never steals a live leader.
+        deadline = time.time() + 0.9
+        while time.time() < deadline:
+            assert rival.try_claim(key) is None
+            time.sleep(0.05)
+    finally:
+        claim.release()
+    stolen = rival.try_claim(key)
+    assert stolen is not None
+    stolen.release()
+
+
+def test_claim_of_dead_pid_is_stolen(tmp_path):
+    """A leader that died leaves a claim any waiter may steal at once
+    (no TTL wait: the pid check is decisive)."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    dead_pid = proc.pid
+
+    registry = PerfRegistry()
+    cache = ResultCache(directory=tmp_path, registry=registry)
+    key = "b" * 64
+    path = cache._claim_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"key": key, "pid": dead_pid}), encoding="ascii"
+    )
+
+    claim = cache.try_claim(key)
+    assert claim is not None  # stolen and re-acquired in one call
+    claim.release()
+    assert registry.get("service.flight_steals") == 1
+
+
+def test_claim_with_silent_heartbeat_is_stolen(tmp_path):
+    """A live-pid claim whose mtime went silent past the TTL is stale
+    (covers a leader wedged without dying)."""
+    registry = PerfRegistry()
+    cache = ResultCache(directory=tmp_path, claim_ttl_s=0.3,
+                        registry=registry)
+    key = "c" * 64
+    path = cache._claim_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Our own (alive) pid, but a heartbeat that stopped long ago.
+    path.write_text(
+        json.dumps({"key": key, "pid": os.getpid()}), encoding="ascii"
+    )
+    stale = time.time() - 10.0
+    os.utime(path, (stale, stale))
+
+    claim = cache.try_claim(key)
+    assert claim is not None
+    claim.release()
+    assert registry.get("service.flight_steals") == 1
+
+
+def test_waiter_returns_leader_value_without_computing(tmp_path):
+    """A get_or_compute waiter polls the store while a *foreign* claim
+    is held and serves the leader's entry as a hit — its own supplier
+    never runs."""
+    leader = ResultCache(directory=tmp_path, registry=PerfRegistry())
+    waiter = ResultCache(directory=tmp_path, claim_poll_s=0.01,
+                         registry=PerfRegistry())
+    key = "d" * 64
+    claim = leader.try_claim(key)
+    assert claim is not None
+
+    computed = threading.Event()
+    box = {}
+
+    def wait_side():
+        def supplier():  # pragma: no cover - the assertion is it never runs
+            computed.set()
+            return {"from": "waiter"}
+
+        box["reply"] = waiter.get_or_compute(
+            key, supplier, cross_process=True
+        )
+
+    thread = threading.Thread(target=wait_side)
+    thread.start()
+    time.sleep(0.15)  # the waiter is now polling against our claim
+    leader.put(key, {"from": "leader"})
+    claim.release()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert not computed.is_set()
+    assert box["reply"] == ({"from": "leader"}, "hit")
+    assert waiter.registry.get("service.flight_wait_polls") >= 1

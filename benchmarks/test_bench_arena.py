@@ -1,0 +1,128 @@
+"""E12 — adversarial arena: attack-vs-detector ROC + the damage gate.
+
+Runs the full arena sweep — three HYPER designs × K ∈ {8, 32} × every
+registered attack (blind, rebuild-class, and adaptive) × three
+strengths × clean and faulty extraction — at 10⁴-trial scale through
+the crash-safe :class:`~repro.arena.runner.ArenaRunner`, then builds
+the detection-confidence-vs-design-damage curves and asserts the
+paper's robustness claim as an executable gate: every gate-eligible
+cell (non-adaptive, solution-preserving attack, K ≥ 32, clean
+extraction) whose mean damage stays at or below 10 % must keep mean
+detection coincidence at or below 1e-6.
+
+Writes ``BENCH_arena.json`` (the committed ROC artifact — curves,
+totals, and the gate verdict, via the same
+:func:`~repro.arena.roc.roc_artifact` builder the CLI uses) and
+``BENCH_arena.txt``.  ``BENCH_ARENA_SMOKE=1`` shrinks the sweep to one
+design × K=32 × four attacks × 200 trials (CI's smoke lane) and skips
+the full-coverage assertions; the gate itself applies in both lanes.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from _bench_util import OUT_DIR, get_collector
+from repro.arena.attacks import ATTACKS
+from repro.arena.roc import (
+    ARENA_HEADERS,
+    aggregate_arena,
+    roc_artifact,
+)
+from repro.arena.runner import ArenaRunner, canonical_records
+from repro.arena.sweep import ArenaManifest
+from repro.util.atomicio import atomic_write_json
+
+SMOKE = os.environ.get("BENCH_ARENA_SMOKE") == "1"
+
+DESIGNS = (
+    ("Linear GE Cntrlr",)
+    if SMOKE
+    else ("Linear GE Cntrlr", "Volterra 3rd non-lin.", "D/A Converter")
+)
+K_VALUES = (32,) if SMOKE else (8, 32)
+SWEEP_ATTACKS = (
+    ("reorder", "rename", "edge_rewire", "adaptive_cut")
+    if SMOKE
+    else tuple(sorted(ATTACKS))
+)
+STRENGTHS = (0.5, 1.0) if SMOKE else (0.25, 0.5, 1.0)
+FAULT_RATES = (0.0,) if SMOKE else (0.0, 0.1)
+FAULT_KINDS = () if SMOKE else ("delete_edges",)
+#: 200 trials in the smoke lane; 10 080 (288 cells × 35) in full.
+TRIALS = 25 if SMOKE else 35
+SEED = 20000
+
+
+def test_arena_roc_and_damage_gate():
+    manifest = ArenaManifest(
+        designs=DESIGNS,
+        k_values=K_VALUES,
+        attacks=SWEEP_ATTACKS,
+        strengths=STRENGTHS,
+        fault_rates=FAULT_RATES,
+        fault_kinds=FAULT_KINDS,
+        trials=TRIALS,
+        seed=SEED,
+        author="Arena Bench Lab",
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-arena-") as run_dir:
+        result = ArenaRunner(run_dir).start(manifest)
+    records = canonical_records({r.index: r for r in result.records})
+
+    # Every planned trial completed: attacks and verification are total
+    # functions of (case, seed) — errors would poison the curves.
+    expected = (
+        len(DESIGNS) * len(K_VALUES) * len(SWEEP_ATTACKS)
+        * len(STRENGTHS) * len(FAULT_RATES) * TRIALS
+    )
+    assert len(records) == expected
+    assert all(r["outcome"] == "completed" for r in records)
+
+    artifact = roc_artifact(manifest.to_dict(), records)
+
+    # The committed artifact's coverage floor: >= 3 designs × >= 2 K
+    # values × >= 4 attack types, at least one adaptive.
+    if not SMOKE:
+        curves = artifact["curves"]
+        assert len({c["design"] for c in curves}) >= 3
+        assert len({c["k"] for c in curves}) >= 2
+        assert len({c["attack"] for c in curves}) >= 4
+        assert any(c["adaptive"] for c in curves)
+        assert expected >= 10_000
+
+    # The damage-floor gate — the paper's robustness claim, executable.
+    assert artifact["gate"]["holds"], artifact["gate"]["violations"]
+
+    # ... and it was not vacuously true.
+    eligible = [
+        p
+        for p in aggregate_arena(records)
+        if p.k >= artifact["gate"]["min_k"]
+        and p.fault_rate == 0.0
+        and p.attack in artifact["gate"]["attacks"]
+        and p.mean_damage <= artifact["gate"]["max_damage"]
+    ]
+    assert eligible
+
+    table = get_collector("BENCH_arena", ARENA_HEADERS)
+    for p in aggregate_arena(records):
+        table.add(
+            p.design, p.k, p.attack, f"{p.strength:.2f}",
+            f"{p.fault_rate:.2f}", p.trials,
+            f"{100.0 * p.mean_fraction:.1f}%",
+            f"{p.mean_confidence:.4f}", f"{p.mean_log10_pc:.2f}",
+            f"{p.mean_damage:.3f}",
+            f"{p.detection_rate * p.completed:.0f}/{p.completed}",
+            p.errors,
+        )
+    table.emit(
+        "E12: adversarial arena (smoke)" if SMOKE
+        else "E12: adversarial arena"
+    )
+
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = dict(artifact)
+    payload["smoke"] = SMOKE
+    atomic_write_json(OUT_DIR / "BENCH_arena.json", payload)

@@ -1,0 +1,94 @@
+"""Adversarial arena: resumable attack-vs-detector campaigns.
+
+The arena turns the repo's one-shot attack tables into campaign-scale
+robustness measurement: a registry of parameterized attacks (including
+*adaptive* adversaries who know :class:`SchedulingWMParams` and search
+for watermark-edge candidates to cut at minimal quality damage), a
+sweep planner crossing HYPER designs × signature lengths K × attack
+strengths × fault rates, a crash-safe journaled runner riding
+:class:`repro.resilience.runner.JournaledExecutor`, and an ROC builder
+emitting detection-confidence-vs-design-damage curves with a gated
+floor.
+
+:mod:`repro.arena.dispatch` (fleet/service execution) is intentionally
+not imported here: it depends on :mod:`repro.service`, which itself
+imports the arena's trial function — import it explicitly as
+``repro.arena.dispatch`` where needed.
+"""
+
+from repro.arena.attacks import (
+    ATTACKS,
+    ArenaAttack,
+    AttackApplication,
+    AttackContext,
+    gate_attack_names,
+    repair_schedule,
+)
+from repro.arena.embedding import (
+    ARENA_HORIZON_SLACK,
+    K_PER_MARK,
+    ArenaCase,
+    MarkSetVerification,
+    arena_horizon,
+    arena_params,
+    build_case,
+    resolve_design,
+    verify_marks,
+)
+from repro.arena.roc import (
+    GATE_MAX_DAMAGE,
+    GATE_MAX_LOG10_PC,
+    GATE_MIN_K,
+    ArenaPoint,
+    aggregate_arena,
+    build_roc,
+    check_gate,
+    render_arena_table,
+)
+from repro.arena.runner import ArenaRunner, ArenaRunResult
+from repro.arena.sweep import (
+    ArenaManifest,
+    ArenaTrialRecord,
+    ArenaTrialSpec,
+    attack_once,
+    derive_arena_seed,
+    execute_arena_trial,
+    plan_arena_trials,
+    validate_manifest,
+)
+
+__all__ = [
+    "ATTACKS",
+    "ArenaAttack",
+    "AttackApplication",
+    "AttackContext",
+    "gate_attack_names",
+    "repair_schedule",
+    "ARENA_HORIZON_SLACK",
+    "K_PER_MARK",
+    "ArenaCase",
+    "MarkSetVerification",
+    "arena_horizon",
+    "arena_params",
+    "build_case",
+    "resolve_design",
+    "verify_marks",
+    "GATE_MAX_DAMAGE",
+    "GATE_MAX_LOG10_PC",
+    "GATE_MIN_K",
+    "ArenaPoint",
+    "aggregate_arena",
+    "build_roc",
+    "check_gate",
+    "render_arena_table",
+    "ArenaRunner",
+    "ArenaRunResult",
+    "ArenaManifest",
+    "ArenaTrialRecord",
+    "ArenaTrialSpec",
+    "attack_once",
+    "derive_arena_seed",
+    "execute_arena_trial",
+    "plan_arena_trials",
+    "validate_manifest",
+]

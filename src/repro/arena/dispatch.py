@@ -1,0 +1,242 @@
+"""Fleet-dispatched arena sweeps.
+
+:class:`ArenaDispatcher` is an :class:`~repro.arena.runner.ArenaRunner`
+whose execution stage routes every trial through a serving fleet's
+``attack`` job instead of a local process pool.  Everything else — the
+run-directory layout, the fsync'd journal, manifest/case artifacts,
+``resume()``, and the canonical ``records.json`` — is inherited
+unchanged, so a fleet-dispatched sweep and a local one are
+interchangeable on disk and bit-identical in results:
+
+* the ``attack`` job executes :func:`repro.arena.sweep.attack_once`,
+  the same pure function the local workers call, with the same
+  (case, spec)-derived parameters;
+* the fleet's consistent-hash routing, rerouting, and hedging only
+  move *where* a trial computes, never what it computes — a shard
+  SIGKILLed mid-sweep surfaces as rerouted (or at worst graded)
+  outcomes, and the per-trial journal plus ``resume()`` guarantees no
+  planned trial is ever silently dropped.
+
+Trials go out in bounded batches; each batch's outcomes are journaled
+before the next is submitted, so killing the *dispatcher* itself loses
+at most one batch of un-journaled work to ``resume()``.
+
+This module deliberately is not imported from ``repro.arena``'s package
+namespace: it pulls in the service layer, which would otherwise create
+an import cycle through the engine's ``attack`` job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.arena.embedding import ArenaCase
+from repro.arena.runner import ArenaRunner
+from repro.arena.sweep import (
+    ArenaManifest,
+    ArenaTrialRecord,
+    ArenaTrialSpec,
+    plan_arena_trials,
+    record_to_json,
+    zero_arena_record,
+)
+from repro.arena.runner import (
+    JOURNAL_NAME,
+    ArenaJournalState,
+    ArenaRunResult,
+)
+from repro.cdfg.io import to_dict as cdfg_to_dict
+from repro.core.records import scheduling_watermark_to_dict
+from repro.errors import ServiceError
+from repro.resilience.runner import RunnerConfig
+from repro.service.engine import (
+    CODE_FAILED,
+    CODE_TIMED_OUT,
+    JobOutcome,
+)
+from repro.util.atomicio import JsonlAppender
+
+
+def attack_job_params(
+    case: ArenaCase,
+    spec: ArenaTrialSpec,
+    fault_kinds: tuple,
+    tau: int,
+) -> Dict[str, Any]:
+    """The service ``attack`` job parameters for one planned trial.
+
+    A pure function of (case, spec, manifest knobs): two dispatchers
+    planning the same sweep produce the same content address, so the
+    fleet's cache tier deduplicates re-dispatched trials for free.
+    """
+    return {
+        "design": cdfg_to_dict(case.suspect),
+        "schedule": {"start_times": dict(case.schedule.start_times)},
+        "marks": [
+            scheduling_watermark_to_dict(mark) for mark in case.marks
+        ],
+        "attack": spec.attack,
+        "strength": spec.strength,
+        "seed": spec.seed,
+        "fault_rate": spec.fault_rate,
+        "fault_kinds": list(fault_kinds),
+        "tau": tau,
+    }
+
+
+def record_from_outcome(
+    spec: ArenaTrialSpec, outcome: JobOutcome
+) -> ArenaTrialRecord:
+    """Grade one fleet outcome into the arena's journal record format.
+
+    The mapping mirrors the local runner's grading: a graded ``422`` is
+    an expected per-trial failure (``error``), a ``504`` is a reaped
+    hard timeout (``timed_out``), and everything else that is not OK —
+    crash after retries, overload, transport loss — grades ``crashed``.
+    """
+    if outcome.ok and outcome.result is not None:
+        result = outcome.result
+        return ArenaTrialRecord(
+            index=spec.index,
+            design=spec.design,
+            k=spec.k,
+            attack=spec.attack,
+            strength=spec.strength,
+            fault_rate=spec.fault_rate,
+            trial=spec.trial,
+            seed=spec.seed,
+            outcome="completed",
+            satisfied=int(result["satisfied"]),
+            total=int(result["total"]),
+            fraction=float(result["fraction"]),
+            confidence=float(result["confidence"]),
+            log10_pc=float(result["log10_pc"]),
+            detected=bool(result["detected"]),
+            damage=float(result["damage"]),
+            makespan_overhead=float(result["makespan_overhead"]),
+            resource_overhead=float(result["resource_overhead"]),
+            alterations=int(result["alterations"]),
+            faults_applied=int(result["faults_applied"]),
+            retries=max(0, outcome.attempts - 1),
+            wall_ms=outcome.wall_ms,
+        )
+    error = outcome.error or f"fleet outcome code {outcome.code}"
+    if outcome.code == CODE_FAILED:
+        graded = "error"
+    elif outcome.code == CODE_TIMED_OUT:
+        graded = "timed_out"
+    else:
+        graded = "crashed"
+    return zero_arena_record(
+        spec, graded, error, retries=max(0, outcome.attempts - 1)
+    )
+
+
+class ArenaDispatcher(ArenaRunner):
+    """Run an arena sweep by dispatching trials across a fleet.
+
+    *client* is anything with the blocking
+    ``submit_many(jobs, max_pending=...) -> List[JobOutcome]`` shape —
+    a :class:`~repro.service.client.FleetClient` over live shards, or a
+    :class:`~repro.service.client.ServiceClient` for a single-engine
+    dispatch.  ``batch`` bounds how many trials are in flight between
+    journal flushes.
+    """
+
+    def __init__(
+        self,
+        run_dir: Union[str, Path],
+        client: Any,
+        batch: int = 32,
+        config: RunnerConfig = RunnerConfig(),
+        echo: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        super().__init__(run_dir, config=config, echo=echo)
+        if batch < 1:
+            raise ServiceError("dispatch batch must be >= 1")
+        self.client = client
+        self.batch = batch
+
+    def _execute(
+        self,
+        manifest: ArenaManifest,
+        cases: Mapping[str, ArenaCase],
+        state: ArenaJournalState,
+    ) -> ArenaRunResult:
+        specs = plan_arena_trials(manifest)
+        done: Dict[int, ArenaTrialRecord] = dict(state.records)
+        todo = [spec for spec in specs if spec.index not in done]
+        resumed = len(specs) - len(todo)
+        if resumed:
+            self.echo(
+                f"resume: {resumed}/{len(specs)} trial(s) already "
+                f"journaled; {len(todo)} to dispatch"
+            )
+        params_cache = {
+            key: attack_job_params(
+                case,
+                # Per-case params differ only in spec fields; build the
+                # invariant part once per case below instead.
+                _first_spec_for(specs, key),
+                manifest.fault_kinds,
+                manifest.tau,
+            )
+            for key, case in cases.items()
+        }
+        journal = JsonlAppender(
+            self.run_dir / JOURNAL_NAME, truncate_at=state.truncate_at
+        )
+        session_outcomes: List[str] = []
+        retries = 0
+        try:
+            for lo in range(0, len(todo), self.batch):
+                chunk = todo[lo : lo + self.batch]
+                jobs = []
+                for spec in chunk:
+                    base = params_cache[spec.case_key]
+                    jobs.append(
+                        (
+                            "attack",
+                            {
+                                **base,
+                                "attack": spec.attack,
+                                "strength": spec.strength,
+                                "seed": spec.seed,
+                                "fault_rate": spec.fault_rate,
+                            },
+                        )
+                    )
+                outcomes = self.client.submit_many(
+                    jobs, max_pending=self.batch
+                )
+                for spec, outcome in zip(chunk, outcomes):
+                    record = record_from_outcome(spec, outcome)
+                    journal.append(record_to_json(record))
+                    done[record.index] = record
+                    session_outcomes.append(record.outcome)
+                    retries += record.retries
+                self.echo(
+                    f"dispatched {min(lo + self.batch, len(todo))}"
+                    f"/{len(todo)} trial(s)"
+                )
+        finally:
+            journal.close()
+        return self._finalize(
+            manifest,
+            done,
+            specs,
+            retries=state.retry_events + retries,
+            resumed=resumed,
+            session_outcomes=session_outcomes,
+            torn=state.torn_tail_discarded,
+        )
+
+
+def _first_spec_for(
+    specs: List[ArenaTrialSpec], case_key: str
+) -> ArenaTrialSpec:
+    for spec in specs:
+        if spec.case_key == case_key:
+            return spec
+    raise ServiceError(f"no planned trial references case {case_key!r}")

@@ -1,0 +1,286 @@
+"""ROC curves and the damage-floor gate over arena journals.
+
+The arena's headline artifact is a family of detection-confidence vs.
+design-damage curves: one curve per (design, K, attack), one point per
+(strength, fault rate) sweep cell, averaged over that cell's trials.
+The *gate* is the paper's robustness claim made executable: among
+gate-eligible attacks (non-adaptive, schedule-preserving — see
+:mod:`repro.arena.attacks`), every clean-extraction trial that
+inflicted at most :data:`GATE_MAX_DAMAGE` quality damage must leave
+detection coincidence at or below :data:`GATE_MAX_LOG10_PC` whenever
+K ≥ :data:`GATE_MIN_K`.  An adversary who cannot pay more damage than
+that simply cannot shake the mark off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.analysis.report import render_table
+from repro.arena.attacks import ATTACKS
+
+#: Gate thresholds: non-adaptive attacks at <= 10% damage must leave
+#: P_c <= 1e-6 on every design at K >= 32.
+GATE_MAX_DAMAGE = 0.10
+GATE_MAX_LOG10_PC = -6.0
+GATE_MIN_K = 32
+
+ARENA_HEADERS = (
+    "design",
+    "K",
+    "attack",
+    "strength",
+    "fault rate",
+    "trials",
+    "survive",
+    "conf",
+    "log10 Pc",
+    "damage",
+    "detect",
+    "errors",
+)
+
+
+@dataclass(frozen=True)
+class ArenaPoint:
+    """Aggregated results of one sweep cell."""
+
+    design: str
+    k: int
+    attack: str
+    strength: float
+    fault_rate: float
+    trials: int
+    completed: int
+    errors: int
+    mean_fraction: float
+    mean_confidence: float
+    mean_log10_pc: float
+    mean_damage: float
+    detection_rate: float
+
+
+def _completed(records: Iterable[Mapping[str, Any]]):
+    for record in records:
+        if record.get("event") == "retry":
+            continue
+        yield record
+
+
+def aggregate_arena(
+    records: Iterable[Mapping[str, Any]],
+) -> List[ArenaPoint]:
+    """Group per-trial records into per-cell points, in sweep order."""
+    cells: Dict[Tuple[str, int, str, float, float], List[Mapping]] = {}
+    order: List[Tuple[str, int, str, float, float]] = []
+    for record in _completed(records):
+        key = (
+            str(record["design"]),
+            int(record["k"]),
+            str(record["attack"]),
+            float(record["strength"]),
+            float(record["fault_rate"]),
+        )
+        if key not in cells:
+            cells[key] = []
+            order.append(key)
+        cells[key].append(record)
+    order.sort(key=lambda key: min(int(r["index"]) for r in cells[key]))
+    points: List[ArenaPoint] = []
+    for key in order:
+        group = cells[key]
+        done = [r for r in group if r["outcome"] == "completed"]
+        n_done = len(done)
+
+        def mean(field: str) -> float:
+            if not n_done:
+                return 0.0
+            return sum(float(r[field]) for r in done) / n_done
+
+        points.append(
+            ArenaPoint(
+                design=key[0],
+                k=key[1],
+                attack=key[2],
+                strength=key[3],
+                fault_rate=key[4],
+                trials=len(group),
+                completed=n_done,
+                errors=len(group) - n_done,
+                mean_fraction=mean("fraction"),
+                mean_confidence=mean("confidence"),
+                mean_log10_pc=mean("log10_pc"),
+                mean_damage=mean("damage"),
+                detection_rate=(
+                    sum(1 for r in done if r["detected"]) / n_done
+                    if n_done
+                    else 0.0
+                ),
+            )
+        )
+    return points
+
+
+def render_arena_table(
+    points: Iterable[ArenaPoint], title: str = "adversarial arena"
+) -> str:
+    rows = []
+    for p in points:
+        rows.append(
+            (
+                p.design,
+                p.k,
+                p.attack,
+                f"{p.strength:.2f}",
+                f"{p.fault_rate:.2f}",
+                p.trials,
+                f"{100.0 * p.mean_fraction:.1f}%",
+                f"{p.mean_confidence:.4f}",
+                f"{p.mean_log10_pc:.2f}",
+                f"{p.mean_damage:.3f}",
+                f"{p.detection_rate * p.completed:.0f}/{p.completed}",
+                p.errors,
+            )
+        )
+    return render_table(ARENA_HEADERS, rows, title=title)
+
+
+def build_roc(
+    records: Iterable[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Detection-confidence-vs-damage curves, one per (design, K,
+    attack), points ordered by mean damage (the ROC x-axis)."""
+    points = aggregate_arena(records)
+    curves: Dict[Tuple[str, int, str], Dict[str, Any]] = {}
+    for point in points:
+        key = (point.design, point.k, point.attack)
+        curve = curves.get(key)
+        if curve is None:
+            attack = ATTACKS.get(point.attack)
+            curve = {
+                "design": point.design,
+                "k": point.k,
+                "attack": point.attack,
+                "adaptive": bool(attack and attack.adaptive),
+                "gated": bool(attack and attack.gated),
+                "points": [],
+            }
+            curves[key] = curve
+        curve["points"].append(
+            {
+                "strength": point.strength,
+                "fault_rate": point.fault_rate,
+                "trials": point.trials,
+                "completed": point.completed,
+                "mean_damage": point.mean_damage,
+                "mean_confidence": point.mean_confidence,
+                "mean_log10_pc": point.mean_log10_pc,
+                "mean_fraction": point.mean_fraction,
+                "detection_rate": point.detection_rate,
+            }
+        )
+    ordered = [curves[key] for key in sorted(curves)]
+    for curve in ordered:
+        curve["points"].sort(
+            key=lambda p: (p["mean_damage"], p["strength"], p["fault_rate"])
+        )
+    return ordered
+
+
+def roc_artifact(
+    manifest: Mapping[str, Any],
+    records: Iterable[Mapping[str, Any]],
+    max_damage: float = GATE_MAX_DAMAGE,
+    max_log10_pc: float = GATE_MAX_LOG10_PC,
+    min_k: int = GATE_MIN_K,
+) -> Dict[str, Any]:
+    """The committed ``BENCH_arena.json`` payload: curves + gate verdict.
+
+    One shared builder for ``localmark arena roc`` and the benchmark
+    suite, so the committed artifact and an operator-built one are the
+    same JSON shape.
+    """
+    records = list(records)
+    violations = check_gate(
+        records,
+        max_damage=max_damage,
+        max_log10_pc=max_log10_pc,
+        min_k=min_k,
+    )
+    rows = [r for r in records if r.get("event") != "retry"]
+    return {
+        "schema": 1,
+        "manifest": dict(manifest),
+        "totals": {
+            "trials": len(rows),
+            "completed": sum(
+                1 for r in rows if r["outcome"] == "completed"
+            ),
+            "errors": sum(1 for r in rows if r["outcome"] == "error"),
+            "timed_out": sum(
+                1 for r in rows if r["outcome"] == "timed_out"
+            ),
+            "crashed": sum(1 for r in rows if r["outcome"] == "crashed"),
+        },
+        "curves": build_roc(rows),
+        "gate": {
+            "max_damage": max_damage,
+            "max_log10_pc": max_log10_pc,
+            "min_k": min_k,
+            "attacks": list(
+                name
+                for name, attack in sorted(ATTACKS.items())
+                if attack.gated
+            ),
+            "holds": not violations,
+            "violations": violations,
+        },
+    }
+
+
+def check_gate(
+    records: Iterable[Mapping[str, Any]],
+    max_damage: float = GATE_MAX_DAMAGE,
+    max_log10_pc: float = GATE_MAX_LOG10_PC,
+    min_k: int = GATE_MIN_K,
+) -> List[str]:
+    """Violations of the damage floor; empty means the gate holds.
+
+    Quantifies over sweep *cells* — the ROC points themselves — not
+    individual trials: every clean-extraction cell (``fault_rate == 0``
+    — extraction noise is orthogonal to adversarial effort) of a
+    gate-eligible attack at ``K >= min_k`` whose mean inflicted damage
+    stayed at or below *max_damage* must keep mean detection
+    coincidence at or below *max_log10_pc*.
+    """
+    violations: List[str] = []
+    eligible = 0
+    for point in aggregate_arena(records):
+        if not point.completed:
+            continue
+        attack = ATTACKS.get(point.attack)
+        if attack is None or not attack.gated:
+            continue
+        if point.k < min_k:
+            continue
+        if point.fault_rate != 0.0:
+            continue
+        if point.mean_damage > max_damage:
+            continue
+        eligible += 1
+        if point.mean_log10_pc > max_log10_pc:
+            violations.append(
+                f"{point.design} K={point.k} {point.attack} "
+                f"strength={point.strength:.2f}: mean log10 Pc "
+                f"{point.mean_log10_pc:.2f} > {max_log10_pc} at mean "
+                f"damage {point.mean_damage:.3f} "
+                f"({point.completed} trial(s))"
+            )
+    if eligible == 0:
+        violations.append(
+            f"gate vacuous: no completed gate-eligible cell "
+            f"(gated attack, K >= {min_k}, fault_rate == 0, "
+            f"mean damage <= {max_damage})"
+        )
+    return violations

@@ -1,0 +1,512 @@
+"""Crash-safe arena sweeps on the journaled executor.
+
+Run directory layout::
+
+    run-dir/
+      manifest.json      # ArenaManifest: sweep grid + status
+      cases/<slug>.json  # one embedded case per (design, K) cell
+      journal.jsonl      # one fsync'd JSON line per trial outcome
+      records.json       # canonical sorted records (wall time stripped)
+      table.txt          # final rendered table
+
+``records.json`` is the bit-identity artifact: trial records sorted by
+index with the non-deterministic fields (``wall_ms``, ``retries``)
+removed, so an interrupted-then-resumed sweep and an uninterrupted one
+produce byte-identical files — the arena's analogue of the campaign
+runner's ``table.txt`` comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import time
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.arena.embedding import ArenaCase, build_case
+from repro.arena.roc import aggregate_arena, render_arena_table
+from repro.arena.sweep import (
+    ArenaManifest,
+    ArenaTrialRecord,
+    ArenaTrialSpec,
+    execute_arena_trial,
+    plan_arena_trials,
+    record_from_json,
+    record_to_json,
+    validate_manifest,
+    zero_arena_record,
+)
+from repro.cdfg.io import from_dict as cdfg_from_dict
+from repro.cdfg.io import to_dict as cdfg_to_dict
+from repro.core.records import (
+    scheduling_watermark_from_dict,
+    scheduling_watermark_to_dict,
+)
+from repro.errors import (
+    ReproError,
+    RunnerError,
+    TrialCrashedError,
+    TrialTimeoutError,
+)
+from repro.resilience.runner import (
+    Accounting,
+    JournaledExecutor,
+    RunnerConfig,
+    _apply_hook,
+)
+from repro.scheduling.schedule import Schedule
+from repro.util.atomicio import (
+    JsonlAppender,
+    atomic_write_json,
+    atomic_write_text,
+    read_jsonl,
+)
+
+MANIFEST_NAME = "manifest.json"
+CASES_DIR = "cases"
+JOURNAL_NAME = "journal.jsonl"
+RECORDS_NAME = "records.json"
+TABLE_NAME = "table.txt"
+
+
+def case_slug(key: str) -> str:
+    """Filesystem-safe name of a case key (design names hold ``/``)."""
+    slug = re.sub(r"[^A-Za-z0-9]+", "-", key).strip("-").lower()
+    return slug or "case"
+
+
+# ----------------------------------------------------------------------
+# case (de)serialization
+# ----------------------------------------------------------------------
+def case_to_payload(case: ArenaCase) -> Dict[str, Any]:
+    return {
+        "design_name": case.design_name,
+        "k": case.k,
+        "suspect": cdfg_to_dict(case.suspect),
+        "start_times": dict(case.schedule.start_times),
+        "marks": [
+            scheduling_watermark_to_dict(mark) for mark in case.marks
+        ],
+    }
+
+
+def case_from_payload(payload: Mapping[str, Any]) -> ArenaCase:
+    try:
+        return ArenaCase(
+            design_name=str(payload["design_name"]),
+            k=int(payload["k"]),
+            suspect=cdfg_from_dict(dict(payload["suspect"])),
+            schedule=Schedule(
+                {
+                    str(node): int(step)
+                    for node, step in payload["start_times"].items()
+                }
+            ),
+            marks=tuple(
+                scheduling_watermark_from_dict(dict(mark))
+                for mark in payload["marks"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RunnerError(f"malformed arena case payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ArenaJournalState:
+    records: Dict[int, ArenaTrialRecord]
+    retry_events: int
+    torn_tail_discarded: bool
+    truncate_at: Optional[int]
+
+
+def load_arena_journal(path: Union[str, Path]) -> ArenaJournalState:
+    """Read an arena journal, discarding a crash-torn tail line."""
+    path = Path(path)
+    if not path.exists():
+        return ArenaJournalState({}, 0, False, None)
+    raw_records, torn = read_jsonl(path)
+    records: Dict[int, ArenaTrialRecord] = {}
+    retry_events = 0
+    for payload in raw_records:
+        if not isinstance(payload, Mapping):
+            raise RunnerError(f"malformed arena journal line: {payload!r}")
+        if payload.get("event") == "retry":
+            retry_events += 1
+            continue
+        record = record_from_json(payload)
+        records[record.index] = record
+    return ArenaJournalState(
+        records=records,
+        retry_events=retry_events,
+        torn_tail_discarded=torn is not None,
+        truncate_at=None if torn is None else torn.offset,
+    )
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: Per-process cache of deserialized cases, keyed by run token.
+_CASE_CACHE: Dict[str, Dict[str, ArenaCase]] = {}
+
+
+def _cases_from_payload(
+    payload: Mapping[str, Any],
+) -> Dict[str, ArenaCase]:
+    token = payload["token"]
+    cached = _CASE_CACHE.get(token)
+    if cached is None:
+        cached = {
+            key: case_from_payload(case)
+            for key, case in payload["cases"].items()
+        }
+        _CASE_CACHE.clear()  # one sweep's cases at a time
+        _CASE_CACHE[token] = cached
+    return cached
+
+
+def _spec_from_payload(payload: Mapping[str, Any]) -> ArenaTrialSpec:
+    return ArenaTrialSpec(
+        index=int(payload["index"]),
+        design=str(payload["design"]),
+        k=int(payload["k"]),
+        attack=str(payload["attack"]),
+        strength=float(payload["strength"]),
+        fault_rate=float(payload["fault_rate"]),
+        trial=int(payload["trial"]),
+        seed=int(payload["seed"]),
+    )
+
+
+def _spec_to_payload(spec: ArenaTrialSpec) -> Dict[str, Any]:
+    return {
+        "index": spec.index,
+        "design": spec.design,
+        "k": spec.k,
+        "attack": spec.attack,
+        "strength": spec.strength,
+        "fault_rate": spec.fault_rate,
+        "trial": spec.trial,
+        "seed": spec.seed,
+    }
+
+
+def _arena_trial_worker(
+    payload: Mapping[str, Any],
+    spec_payload: Mapping[str, Any],
+    attempt: int,
+    hook: Optional[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Pool entry point: rebuild the case, run one trial, return JSON."""
+    start = time.monotonic()
+    _apply_hook(hook, attempt)
+    spec = _spec_from_payload(spec_payload)
+    cases = _cases_from_payload(payload)
+    case = cases.get(spec.case_key)
+    if case is None:
+        raise RunnerError(
+            f"trial {spec.index} references unknown case "
+            f"{spec.case_key!r}"
+        )
+    record = execute_arena_trial(
+        case,
+        spec,
+        fault_kinds=tuple(payload["fault_kinds"]),
+        tau=int(payload["tau"]),
+    )
+    record = dataclasses.replace(
+        record,
+        retries=attempt,
+        wall_ms=(time.monotonic() - start) * 1000.0,
+    )
+    return record_to_json(record)
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+def canonical_records(
+    records: Mapping[int, ArenaTrialRecord],
+) -> List[Dict[str, Any]]:
+    """Records sorted by index with non-deterministic fields stripped."""
+    canonical: List[Dict[str, Any]] = []
+    for index in sorted(records):
+        payload = record_to_json(records[index])
+        payload.pop("wall_ms", None)
+        payload.pop("retries", None)
+        canonical.append(payload)
+    return canonical
+
+
+@dataclasses.dataclass(frozen=True)
+class ArenaRunResult:
+    """Everything a caller needs after a (possibly resumed) sweep."""
+
+    manifest: ArenaManifest
+    accounting: Accounting
+    run_dir: Path
+    table: str
+    records: Tuple[ArenaTrialRecord, ...]
+    torn_tail_discarded: bool = False
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+class ArenaRunner:
+    """Durable, process-isolated execution of an arena sweep.
+
+    Same contract as :class:`repro.resilience.runner.CampaignRunner`:
+    ``start()`` lays out a fresh run directory and executes the full
+    sweep; ``resume()`` picks up an interrupted directory, re-running
+    only un-journaled trials with bit-identical per-trial seeds.
+    """
+
+    def __init__(
+        self,
+        run_dir: Union[str, Path],
+        config: RunnerConfig = RunnerConfig(),
+        hooks: Optional[Mapping[int, Mapping[str, Any]]] = None,
+        echo: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        self.config = config
+        self.hooks = dict(hooks or {})
+        self.echo = echo or (lambda message: None)
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def start(self, manifest: ArenaManifest) -> ArenaRunResult:
+        """Create the run directory, embed the cases, run the sweep."""
+        validate_manifest(manifest)
+        manifest_path = self.run_dir / MANIFEST_NAME
+        if manifest_path.exists():
+            raise RunnerError(
+                f"run directory {self.run_dir} already holds an arena "
+                f"sweep; use resume() / arena resume to continue it"
+            )
+        cases = self._build_cases(manifest)
+        cases_dir = self.run_dir / CASES_DIR
+        cases_dir.mkdir(parents=True, exist_ok=True)
+        for key, case in cases.items():
+            atomic_write_json(
+                cases_dir / f"{case_slug(key)}.json",
+                case_to_payload(case),
+            )
+        atomic_write_json(manifest_path, manifest.to_dict())
+        return self._execute(
+            manifest, cases, ArenaJournalState({}, 0, False, None)
+        )
+
+    def resume(self) -> ArenaRunResult:
+        """Continue an interrupted sweep from its directory alone."""
+        manifest_path = self.run_dir / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise RunnerError(
+                f"{self.run_dir} is not an arena run directory "
+                f"(no {MANIFEST_NAME})"
+            )
+        manifest = ArenaManifest.from_dict(
+            json.loads(manifest_path.read_text(encoding="utf-8"))
+        )
+        cases: Dict[str, ArenaCase] = {}
+        for spec in plan_arena_trials(manifest):
+            if spec.case_key in cases:
+                continue
+            path = (
+                self.run_dir / CASES_DIR / f"{case_slug(spec.case_key)}.json"
+            )
+            if not path.exists():
+                raise RunnerError(
+                    f"arena run directory is missing case artifact "
+                    f"{path.name}"
+                )
+            cases[spec.case_key] = case_from_payload(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+        state = load_arena_journal(self.run_dir / JOURNAL_NAME)
+        if state.torn_tail_discarded:
+            self.echo(
+                "note: journal tail was torn by a crash mid-record; "
+                "discarding it and re-running that trial"
+            )
+        return self._execute(manifest, cases, state)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build_cases(
+        self, manifest: ArenaManifest
+    ) -> Dict[str, ArenaCase]:
+        cases: Dict[str, ArenaCase] = {}
+        for design in manifest.designs:
+            for k in manifest.k_values:
+                case = build_case(
+                    design, manifest.author, k, tau=manifest.tau
+                )
+                cases[case.key] = case
+                self.echo(
+                    f"case {case.key}: {case.edges} edge(s) across "
+                    f"{len(case.marks)} mark(s)"
+                )
+        return cases
+
+    def _execute(
+        self,
+        manifest: ArenaManifest,
+        cases: Mapping[str, ArenaCase],
+        state: ArenaJournalState,
+    ) -> ArenaRunResult:
+        specs = plan_arena_trials(manifest)
+        done: Dict[int, ArenaTrialRecord] = dict(state.records)
+        todo = [spec for spec in specs if spec.index not in done]
+        resumed = len(specs) - len(todo)
+        if resumed:
+            self.echo(
+                f"resume: {resumed}/{len(specs)} trial(s) already "
+                f"journaled; {len(todo)} to run"
+            )
+        payload = {
+            "token": str(self.run_dir.resolve()),
+            "tau": manifest.tau,
+            "fault_kinds": list(manifest.fault_kinds),
+            "cases": {
+                key: case_to_payload(case) for key, case in cases.items()
+            },
+        }
+        journal = JsonlAppender(
+            self.run_dir / JOURNAL_NAME, truncate_at=state.truncate_at
+        )
+
+        def make_args(
+            spec: ArenaTrialSpec,
+            attempt: int,
+            hook: Optional[Mapping[str, Any]],
+        ) -> tuple:
+            return (payload, _spec_to_payload(spec), attempt, hook)
+
+        def zero_record(
+            spec: ArenaTrialSpec, outcome: str, error: str, attempt: int
+        ) -> Dict[str, Any]:
+            return record_to_json(
+                zero_arena_record(spec, outcome, error, retries=attempt)
+            )
+
+        def retry_event(
+            spec: ArenaTrialSpec, attempt: int, error: str
+        ) -> Dict[str, Any]:
+            return {
+                "event": "retry",
+                "index": spec.index,
+                "attempt": attempt,
+                "error": error,
+            }
+
+        try:
+            outcome = JournaledExecutor(
+                config=self.config,
+                journal=journal,
+                worker=_arena_trial_worker,
+                make_args=make_args,
+                zero_record=zero_record,
+                retry_event=retry_event,
+                hooks=self.hooks,
+                echo=self.echo,
+            ).run(todo)
+        finally:
+            journal.close()
+        for record_payload in outcome.records:
+            record = record_from_json(record_payload)
+            done[record.index] = record
+        return self._finalize(
+            manifest,
+            done,
+            specs,
+            retries=state.retry_events + outcome.retries,
+            resumed=resumed,
+            session_outcomes=list(outcome.session_outcomes),
+            torn=state.torn_tail_discarded,
+        )
+
+    def _finalize(
+        self,
+        manifest: ArenaManifest,
+        done: Mapping[int, ArenaTrialRecord],
+        specs: List[ArenaTrialSpec],
+        retries: int,
+        resumed: int,
+        session_outcomes: List[str],
+        torn: bool,
+    ) -> ArenaRunResult:
+        missing = [spec.index for spec in specs if spec.index not in done]
+        if missing:
+            raise ReproError(
+                f"arena sweep ended with {len(missing)} unjournaled "
+                f"trial(s) (first: {missing[0]})"
+            )
+        canonical = canonical_records(done)
+        atomic_write_json(self.run_dir / RECORDS_NAME, canonical)
+        points = aggregate_arena(canonical)
+        table = render_arena_table(points, title=manifest.title)
+        atomic_write_text(self.run_dir / TABLE_NAME, table + "\n")
+        atomic_write_json(
+            self.run_dir / MANIFEST_NAME,
+            dataclasses.replace(manifest, status="complete").to_dict(),
+        )
+        accounting = Accounting(
+            completed=sum(
+                1 for r in done.values() if r.outcome == "completed"
+            ),
+            errors=sum(1 for r in done.values() if r.outcome == "error"),
+            timed_out=sum(
+                1 for r in done.values() if r.outcome == "timed_out"
+            ),
+            crashed=sum(
+                1 for r in done.values() if r.outcome == "crashed"
+            ),
+            retries=retries,
+            resumed=resumed,
+        )
+        if session_outcomes and all(
+            outcome == "timed_out" for outcome in session_outcomes
+        ):
+            raise TrialTimeoutError(
+                f"every arena trial run this session "
+                f"({len(session_outcomes)}) overran the "
+                f"{self.config.trial_timeout_s}s hard timeout; raise "
+                f"--trial-timeout (journal and table were still written "
+                f"to {self.run_dir})"
+            )
+        if session_outcomes and all(
+            outcome == "crashed" for outcome in session_outcomes
+        ):
+            raise TrialCrashedError(
+                f"every arena trial run this session "
+                f"({len(session_outcomes)}) crashed after "
+                f"{self.config.retries} retrie(s); journal and table "
+                f"were still written to {self.run_dir}"
+            )
+        ordered = tuple(done[index] for index in sorted(done))
+        return ArenaRunResult(
+            manifest=manifest,
+            accounting=accounting,
+            run_dir=self.run_dir,
+            table=table,
+            records=ordered,
+            torn_tail_discarded=torn,
+        )

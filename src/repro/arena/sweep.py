@@ -1,0 +1,440 @@
+"""Arena sweep planning and the single-trial function.
+
+The sweep crosses designs × K × attacks × strengths × fault rates ×
+trials into a flat, deterministically indexed trial list; trial ``i``
+derives its seed from the manifest seed alone, so any subset of trials
+reproduces bit-for-bit — the same contract as
+:mod:`repro.resilience.campaign`.
+
+:func:`attack_once` is the *only* implementation of one trial's
+attack-then-detect measurement.  The journaled runner's workers, the
+service engine's ``attack`` job, and direct library callers all invoke
+it, so a fleet-dispatched arena trial is bit-identical to the local
+path by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arena.attacks import ATTACKS, AttackContext, repair_schedule
+from repro.arena.embedding import (
+    ARENA_TAU,
+    ArenaCase,
+    arena_horizon,
+    arena_params,
+    case_key,
+    verify_marks,
+)
+from repro.cdfg.graph import CDFG
+from repro.core.attacks import compute_damage
+from repro.core.scheduling_wm import SchedulingWatermark
+from repro.errors import ReproError, RunnerError
+from repro.resilience.campaign import TRIAL_OUTCOMES
+from repro.resilience.faults import CDFG_FAULTS, apply_faults
+from repro.scheduling.schedule import Schedule
+
+ARENA_MANIFEST_SCHEMA = 1
+
+#: Trial-seed stride (prime, far above any index delta) — same style as
+#: :func:`repro.resilience.campaign.derive_trial_seed`.
+ARENA_SEED_STRIDE = 15485863
+
+
+def derive_arena_seed(seed: int, index: int) -> int:
+    """The per-trial seed: a pure function of (manifest seed, index)."""
+    return seed + ARENA_SEED_STRIDE * index
+
+
+@dataclass(frozen=True)
+class ArenaManifest:
+    """The checkpointed identity of an arena sweep.
+
+    Everything planning depends on lives here, so ``--resume``
+    reconstructs the exact remaining work from the run directory alone.
+    """
+
+    designs: Tuple[str, ...]
+    k_values: Tuple[int, ...]
+    attacks: Tuple[str, ...]
+    strengths: Tuple[float, ...]
+    fault_rates: Tuple[float, ...]
+    fault_kinds: Tuple[str, ...]
+    trials: int
+    seed: int
+    author: str
+    tau: int = ARENA_TAU
+    status: str = "running"
+    schema: int = ARENA_MANIFEST_SCHEMA
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "designs": list(self.designs),
+            "k_values": list(self.k_values),
+            "attacks": list(self.attacks),
+            "strengths": list(self.strengths),
+            "fault_rates": list(self.fault_rates),
+            "fault_kinds": list(self.fault_kinds),
+            "trials": self.trials,
+            "seed": self.seed,
+            "author": self.author,
+            "tau": self.tau,
+            "status": self.status,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "ArenaManifest":
+        try:
+            if payload["schema"] != ARENA_MANIFEST_SCHEMA:
+                raise RunnerError(
+                    f"unsupported arena manifest schema "
+                    f"{payload['schema']!r}"
+                )
+            return ArenaManifest(
+                designs=tuple(str(d) for d in payload["designs"]),
+                k_values=tuple(int(k) for k in payload["k_values"]),
+                attacks=tuple(str(a) for a in payload["attacks"]),
+                strengths=tuple(float(s) for s in payload["strengths"]),
+                fault_rates=tuple(
+                    float(r) for r in payload["fault_rates"]
+                ),
+                fault_kinds=tuple(str(k) for k in payload["fault_kinds"]),
+                trials=int(payload["trials"]),
+                seed=int(payload["seed"]),
+                author=str(payload["author"]),
+                tau=int(payload.get("tau", ARENA_TAU)),
+                status=str(payload.get("status", "running")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RunnerError(f"malformed arena manifest: {exc}") from exc
+
+    @property
+    def title(self) -> str:
+        return (
+            f"adversarial arena: {len(self.designs)} design(s) × "
+            f"K{list(self.k_values)} × {len(self.attacks)} attack(s) × "
+            f"{len(self.strengths)} strength(s) × "
+            f"{len(self.fault_rates)} fault rate(s), "
+            f"{self.trials} trial(s)/point"
+        )
+
+
+def validate_manifest(manifest: ArenaManifest) -> None:
+    """Reject malformed sweeps before any work starts."""
+    if not manifest.designs:
+        raise ReproError("arena sweep needs at least one design")
+    if not manifest.k_values or any(k < 1 for k in manifest.k_values):
+        raise ReproError("arena K values must be positive")
+    if not manifest.attacks:
+        raise ReproError("arena sweep needs at least one attack")
+    unknown = [name for name in manifest.attacks if name not in ATTACKS]
+    if unknown:
+        raise ReproError(
+            f"unknown arena attack(s) {unknown}; "
+            f"known: {', '.join(sorted(ATTACKS))}"
+        )
+    if not manifest.strengths or any(
+        not 0.0 <= s <= 1.0 for s in manifest.strengths
+    ):
+        raise ReproError("attack strengths must lie in [0, 1]")
+    if not manifest.fault_rates or any(
+        not 0.0 <= r <= 1.0 for r in manifest.fault_rates
+    ):
+        raise ReproError("fault rates must lie in [0, 1]")
+    bad_kinds = [k for k in manifest.fault_kinds if k not in CDFG_FAULTS]
+    if bad_kinds:
+        raise ReproError(
+            f"unknown fault kind(s) {bad_kinds}; "
+            f"known: {', '.join(sorted(CDFG_FAULTS))}"
+        )
+    if any(r > 0 for r in manifest.fault_rates) and not manifest.fault_kinds:
+        raise ReproError("non-zero fault rates need fault kinds")
+    if manifest.trials < 1:
+        raise ReproError("trials must be >= 1")
+    if not manifest.author:
+        raise ReproError("arena sweep needs an author identity")
+
+
+@dataclass(frozen=True)
+class ArenaTrialSpec:
+    """One planned trial; ``index`` is its stable journal identity."""
+
+    index: int
+    design: str
+    k: int
+    attack: str
+    strength: float
+    fault_rate: float
+    trial: int
+    seed: int
+
+    @property
+    def key(self) -> int:
+        return self.index
+
+    @property
+    def case_key(self) -> str:
+        return case_key(self.design, self.k)
+
+
+def plan_arena_trials(manifest: ArenaManifest) -> List[ArenaTrialSpec]:
+    """The full trial list — a pure function of the manifest, in index
+    order, so resumed runs re-plan identical remaining work."""
+    specs: List[ArenaTrialSpec] = []
+    index = 0
+    for design in manifest.designs:
+        for k in manifest.k_values:
+            for attack in manifest.attacks:
+                for strength in manifest.strengths:
+                    for fault_rate in manifest.fault_rates:
+                        for trial in range(manifest.trials):
+                            specs.append(
+                                ArenaTrialSpec(
+                                    index=index,
+                                    design=design,
+                                    k=k,
+                                    attack=attack,
+                                    strength=strength,
+                                    fault_rate=fault_rate,
+                                    trial=trial,
+                                    seed=derive_arena_seed(
+                                        manifest.seed, index
+                                    ),
+                                )
+                            )
+                            index += 1
+    return specs
+
+
+@dataclass(frozen=True)
+class ArenaTrialRecord:
+    """One journaled trial outcome (the arena journal's line format)."""
+
+    index: int
+    design: str
+    k: int
+    attack: str
+    strength: float
+    fault_rate: float
+    trial: int
+    seed: int
+    outcome: str
+    satisfied: int = 0
+    total: int = 0
+    fraction: float = 0.0
+    confidence: float = 0.0
+    log10_pc: float = 0.0
+    detected: bool = False
+    damage: float = 0.0
+    makespan_overhead: float = 0.0
+    resource_overhead: float = 0.0
+    alterations: int = 0
+    faults_applied: int = 0
+    error: Optional[str] = None
+    retries: int = 0
+    wall_ms: float = 0.0
+
+    @property
+    def key(self) -> int:
+        return self.index
+
+
+def record_to_json(record: ArenaTrialRecord) -> Dict[str, Any]:
+    return dataclasses.asdict(record)
+
+
+def record_from_json(payload: Mapping[str, Any]) -> ArenaTrialRecord:
+    try:
+        record = ArenaTrialRecord(
+            index=int(payload["index"]),
+            design=str(payload["design"]),
+            k=int(payload["k"]),
+            attack=str(payload["attack"]),
+            strength=float(payload["strength"]),
+            fault_rate=float(payload["fault_rate"]),
+            trial=int(payload["trial"]),
+            seed=int(payload["seed"]),
+            outcome=str(payload["outcome"]),
+            satisfied=int(payload.get("satisfied", 0)),
+            total=int(payload.get("total", 0)),
+            fraction=float(payload.get("fraction", 0.0)),
+            confidence=float(payload.get("confidence", 0.0)),
+            log10_pc=float(payload.get("log10_pc", 0.0)),
+            detected=bool(payload.get("detected", False)),
+            damage=float(payload.get("damage", 0.0)),
+            makespan_overhead=float(payload.get("makespan_overhead", 0.0)),
+            resource_overhead=float(payload.get("resource_overhead", 0.0)),
+            alterations=int(payload.get("alterations", 0)),
+            faults_applied=int(payload.get("faults_applied", 0)),
+            error=payload.get("error"),
+            retries=int(payload.get("retries", 0)),
+            wall_ms=float(payload.get("wall_ms", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RunnerError(f"malformed arena journal record: {exc}") from exc
+    if record.outcome not in TRIAL_OUTCOMES:
+        raise RunnerError(
+            f"unknown arena journal outcome {record.outcome!r}; "
+            f"known: {TRIAL_OUTCOMES}"
+        )
+    return record
+
+
+# ----------------------------------------------------------------------
+# the single-trial measurement
+# ----------------------------------------------------------------------
+def attack_once(
+    design: CDFG,
+    schedule: Schedule,
+    marks: Sequence[SchedulingWatermark],
+    attack: str,
+    strength: float,
+    seed: int,
+    fault_rate: float = 0.0,
+    fault_kinds: Sequence[str] = (),
+    tau: int = ARENA_TAU,
+) -> Dict[str, Any]:
+    """One attack-then-detect measurement; a pure function of its args.
+
+    Faults (extraction noise) land first, then the attack, then
+    detection on whatever the attack produced.  Damage is measured
+    against the *clean* case — fault damage is the adversary's problem
+    too — restricted to the original design's operations so a host
+    wrapper's own cost never counts.
+
+    Returns a plain JSON-ready dict: the shared result format of the
+    library path, the journaled runner's workers, and the service
+    ``attack`` job.
+    """
+    entry = ATTACKS.get(attack)
+    if entry is None:
+        raise ReproError(
+            f"unknown arena attack {attack!r}; "
+            f"known: {', '.join(sorted(ATTACKS))}"
+        )
+    rng = random.Random(seed)
+    attacked_design = design
+    attacked_schedule = schedule
+    faults_applied = 0
+    if fault_rate > 0.0:
+        if not fault_kinds:
+            raise ReproError("fault_rate > 0 needs fault_kinds")
+        attacked_design, reports = apply_faults(
+            design,
+            [{"kind": kind, "rate": fault_rate} for kind in fault_kinds],
+            seed=seed,
+        )
+        faults_applied = sum(report.applied for report in reports)
+        attacked_schedule = repair_schedule(
+            attacked_design, schedule.start_times
+        )
+    # Kerckhoffs: the adversary knows the embedding policy, including
+    # the latency budget, and derives it from the design it holds.
+    params = arena_params(tau, horizon=arena_horizon(attacked_design))
+    context = AttackContext(
+        design=attacked_design,
+        schedule=attacked_schedule,
+        marks=tuple(marks),
+        params=params,
+    )
+    application = entry.fn(context, float(strength), rng)
+    verification = verify_marks(
+        application.design,
+        application.schedule,
+        marks,
+        node_map=application.node_map,
+    )
+    damage = compute_damage(
+        design,
+        schedule,
+        application.schedule,
+        attacked_cdfg=application.design,
+        nodes=design.schedulable_operations,
+    )
+    return {
+        "satisfied": verification.satisfied,
+        "total": verification.total,
+        "fraction": verification.fraction,
+        "confidence": verification.confidence,
+        "log10_pc": verification.log10_pc,
+        "detected": verification.detected,
+        "damage": damage.value,
+        "makespan_overhead": damage.makespan_overhead,
+        "resource_overhead": damage.resource_overhead,
+        "attacked_makespan": damage.attacked_makespan,
+        "alterations": application.alterations,
+        "faults_applied": faults_applied,
+    }
+
+
+def execute_arena_trial(
+    case: ArenaCase,
+    spec: ArenaTrialSpec,
+    fault_kinds: Sequence[str],
+    tau: int,
+) -> ArenaTrialRecord:
+    """Run one trial, grading expected failures into the record."""
+    base = {
+        "index": spec.index,
+        "design": spec.design,
+        "k": spec.k,
+        "attack": spec.attack,
+        "strength": spec.strength,
+        "fault_rate": spec.fault_rate,
+        "trial": spec.trial,
+        "seed": spec.seed,
+    }
+    try:
+        result = attack_once(
+            case.suspect,
+            case.schedule,
+            case.marks,
+            attack=spec.attack,
+            strength=spec.strength,
+            seed=spec.seed,
+            fault_rate=spec.fault_rate,
+            fault_kinds=fault_kinds,
+            tau=tau,
+        )
+    except ReproError as exc:
+        return ArenaTrialRecord(
+            outcome="error", error=str(exc), **base
+        )
+    return ArenaTrialRecord(
+        outcome="completed",
+        satisfied=int(result["satisfied"]),
+        total=int(result["total"]),
+        fraction=float(result["fraction"]),
+        confidence=float(result["confidence"]),
+        log10_pc=float(result["log10_pc"]),
+        detected=bool(result["detected"]),
+        damage=float(result["damage"]),
+        makespan_overhead=float(result["makespan_overhead"]),
+        resource_overhead=float(result["resource_overhead"]),
+        alterations=int(result["alterations"]),
+        faults_applied=int(result["faults_applied"]),
+        **base,
+    )
+
+
+def zero_arena_record(
+    spec: ArenaTrialSpec, outcome: str, error: str, retries: int = 0
+) -> ArenaTrialRecord:
+    """A graded zero-confidence record for a reaped or crashed trial."""
+    return ArenaTrialRecord(
+        index=spec.index,
+        design=spec.design,
+        k=spec.k,
+        attack=spec.attack,
+        strength=spec.strength,
+        fault_rate=spec.fault_rate,
+        trial=spec.trial,
+        seed=spec.seed,
+        outcome=outcome,
+        error=error,
+        retries=retries,
+    )

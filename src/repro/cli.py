@@ -45,6 +45,14 @@ processes (``--jobs``, ``--trial-timeout``, ``--retries``);
 ``stress --resume DIR`` continues an interrupted run, skipping every
 journaled trial, and yields a table identical to an uninterrupted run.
 
+Adversarial arena: ``localmark arena run --run-dir DIR`` executes a
+crash-safe attack-vs-detector sweep (designs × signature lengths ×
+attacks × strengths × fault rates) on the same journaled runner as
+``stress``; ``arena resume DIR`` continues an interrupted sweep
+bit-identically, and ``arena roc DIR --out BENCH_arena.json`` builds
+detection-confidence-vs-damage curves and checks the damage-floor gate
+(exit 1 on violations).
+
 Serving: ``localmark serve`` runs the batch watermarking service — a
 JSON-lines request/response loop (stdin/stdout by default, TCP with
 ``--tcp PORT``) over an async job engine with a content-addressed
@@ -107,8 +115,9 @@ EXIT_CODE_EPILOG = """\
 exit codes:
   0  success (watermark detected / verified / command completed /
      verification suite clean)
-  1  the check ran but the watermark was not detected, or a
-     verification suite (verify --suite) observed a divergence
+  1  the check ran but the watermark was not detected, a verification
+     suite (verify --suite) observed a divergence, or an arena ROC
+     gate (arena roc) found damage-floor violations
   2  usage error, malformed input, or library failure
   3  a search budget was exhausted (--budget-ms; BudgetExceededError)
   4  a stress campaign produced no data: every trial overran its
@@ -444,6 +453,149 @@ def cmd_stress(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_csv(text: str, label: str) -> List[str]:
+    tokens = [token.strip() for token in text.split(",") if token.strip()]
+    if not tokens:
+        raise ReproError(f"--{label} must list at least one value")
+    return tokens
+
+
+def _parse_float_csv(text: str, label: str) -> List[float]:
+    try:
+        return [float(token) for token in _parse_csv(text, label)]
+    except ValueError as exc:
+        raise ReproError(f"malformed --{label} value: {text!r}") from exc
+
+
+def _parse_int_csv(text: str, label: str) -> List[int]:
+    try:
+        return [int(token) for token in _parse_csv(text, label)]
+    except ValueError as exc:
+        raise ReproError(f"malformed --{label} value: {text!r}") from exc
+
+
+def cmd_arena_run(args: argparse.Namespace) -> int:
+    from repro.arena.attacks import ATTACKS
+    from repro.arena.embedding import ARENA_TAU
+    from repro.arena.roc import check_gate
+    from repro.arena.runner import ArenaRunner, canonical_records
+    from repro.arena.sweep import ArenaManifest
+
+    attacks = (
+        tuple(sorted(ATTACKS))
+        if args.attacks == "all"
+        else tuple(_parse_csv(args.attacks, "attacks"))
+    )
+    manifest = ArenaManifest(
+        designs=tuple(_parse_csv(args.designs, "designs")),
+        k_values=tuple(_parse_int_csv(args.k, "k")),
+        attacks=attacks,
+        strengths=tuple(_parse_float_csv(args.strengths, "strengths")),
+        fault_rates=tuple(
+            _parse_float_csv(args.fault_rates, "fault-rates")
+        ),
+        fault_kinds=tuple(_parse_csv(args.faults, "faults")),
+        trials=args.trials,
+        seed=args.seed,
+        author=args.author,
+        tau=args.tau if args.tau is not None else ARENA_TAU,
+    )
+    runner = ArenaRunner(
+        args.run_dir, _runner_config_from_args(args), echo=print
+    )
+    result = runner.start(manifest)
+    print(result.table)
+    print(f"accounting: {result.accounting}")
+    violations = check_gate(
+        canonical_records({r.index: r for r in result.records})
+    )
+    print(
+        "gate: holds"
+        if not violations
+        else f"gate: {len(violations)} violation(s) (see 'arena roc')"
+    )
+    return EXIT_OK
+
+
+def cmd_arena_resume(args: argparse.Namespace) -> int:
+    from repro.arena.runner import ArenaRunner
+
+    runner = ArenaRunner(
+        args.run_dir, _runner_config_from_args(args), echo=print
+    )
+    result = runner.resume()
+    print(result.table)
+    print(f"accounting: {result.accounting}")
+    return EXIT_OK
+
+
+def cmd_arena_roc(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.arena.roc import (
+        GATE_MAX_DAMAGE,
+        GATE_MAX_LOG10_PC,
+        GATE_MIN_K,
+        roc_artifact,
+    )
+    from repro.arena.runner import (
+        JOURNAL_NAME,
+        MANIFEST_NAME,
+        RECORDS_NAME,
+        canonical_records,
+        load_arena_journal,
+    )
+
+    run_dir = Path(args.run_dir)
+    manifest_path = run_dir / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ReproError(
+            f"{run_dir} is not an arena run directory (no {MANIFEST_NAME})"
+        )
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    records_path = run_dir / RECORDS_NAME
+    if records_path.exists():
+        records = json.loads(records_path.read_text(encoding="utf-8"))
+    else:
+        # Journal-only directory (interrupted sweep): build the curves
+        # from whatever completed, in canonical order.
+        state = load_arena_journal(run_dir / JOURNAL_NAME)
+        records = canonical_records(state.records)
+    artifact = roc_artifact(
+        manifest,
+        records,
+        max_damage=(
+            args.max_damage
+            if args.max_damage is not None
+            else GATE_MAX_DAMAGE
+        ),
+        max_log10_pc=(
+            args.max_log10_pc
+            if args.max_log10_pc is not None
+            else GATE_MAX_LOG10_PC
+        ),
+        min_k=args.min_k if args.min_k is not None else GATE_MIN_K,
+    )
+    if args.out is not None:
+        atomic_write_json(args.out, artifact, indent=2)
+        print(f"wrote {args.out}")
+    print(
+        f"{artifact['totals']['trials']} trial(s), "
+        f"{len(artifact['curves'])} ROC curve(s)"
+    )
+    gate = artifact["gate"]
+    if gate["holds"]:
+        print(
+            f"gate: holds (attacks: {', '.join(gate['attacks'])}; "
+            f"damage <= {gate['max_damage']}, K >= {gate['min_k']} "
+            f"=> log10 Pc <= {gate['max_log10_pc']})"
+        )
+        return EXIT_OK
+    for violation in gate["violations"]:
+        print(f"gate violation: {violation}", file=sys.stderr)
+    return EXIT_NOT_DETECTED
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     # Imported lazily: the service stack (asyncio engine, fleet, cache,
     # wire protocol) is only needed by this subcommand.
@@ -668,6 +820,109 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_perf_flag(p_verify)
     p_verify.set_defaults(func=cmd_verify)
+
+    p_arena = sub.add_parser(
+        "arena",
+        help="adversarial arena: resumable attack-vs-detector sweeps "
+        "with ROC artifacts and a damage-floor gate",
+    )
+    arena_sub = p_arena.add_subparsers(dest="arena_command", required=True)
+
+    def _add_arena_runner_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (default 1)",
+        )
+        p.add_argument(
+            "--trial-timeout", type=float, default=None,
+            dest="trial_timeout", metavar="SECONDS",
+            help="hard per-trial timeout: a hung worker is SIGKILLed "
+            "and the trial graded timed-out",
+        )
+        p.add_argument(
+            "--retries", type=int, default=2,
+            help="retries for crashed trial workers (default 2)",
+        )
+
+    p_arena_run = arena_sub.add_parser(
+        "run", help="plan and execute a crash-safe arena sweep"
+    )
+    p_arena_run.add_argument(
+        "--run-dir", required=True, dest="run_dir",
+        help="run directory: manifest, embedded cases, fsync'd journal, "
+        "canonical records, table",
+    )
+    p_arena_run.add_argument(
+        "--designs",
+        default="Linear GE Cntrlr,Volterra 3rd non-lin.,D/A Converter",
+        help="comma-separated HYPER design names (Table II rows)",
+    )
+    p_arena_run.add_argument(
+        "--k", default="8,32",
+        help="comma-separated signature lengths (total watermark edges)",
+    )
+    p_arena_run.add_argument(
+        "--attacks", default="all",
+        help="comma-separated arena attack names, or 'all' (default)",
+    )
+    p_arena_run.add_argument(
+        "--strengths", default="0.25,0.5,1.0",
+        help="comma-separated attack strengths in [0,1]",
+    )
+    p_arena_run.add_argument(
+        "--fault-rates", default="0", dest="fault_rates",
+        help="comma-separated extraction fault rates in [0,1] "
+        "(default: clean extraction only)",
+    )
+    p_arena_run.add_argument(
+        "--faults", default="delete_edges",
+        help="comma-separated CDFG fault kinds for non-zero fault rates",
+    )
+    p_arena_run.add_argument("--trials", type=int, default=5,
+                             help="trials per sweep cell (default 5)")
+    p_arena_run.add_argument("--seed", type=int, default=0)
+    p_arena_run.add_argument("--author", required=True)
+    p_arena_run.add_argument(
+        "--tau", type=int, default=None,
+        help="locality radius for embedding and adaptive adversaries "
+        "(default: the arena's standard radius)",
+    )
+    _add_arena_runner_flags(p_arena_run)
+    p_arena_run.set_defaults(func=cmd_arena_run)
+
+    p_arena_resume = arena_sub.add_parser(
+        "resume",
+        help="continue an interrupted arena sweep from its directory",
+    )
+    p_arena_resume.add_argument("run_dir", metavar="RUN_DIR")
+    _add_arena_runner_flags(p_arena_resume)
+    p_arena_resume.set_defaults(func=cmd_arena_resume)
+
+    p_arena_roc = arena_sub.add_parser(
+        "roc",
+        help="build ROC curves + gate verdict from a finished (or "
+        "interrupted) arena run directory",
+    )
+    p_arena_roc.add_argument("run_dir", metavar="RUN_DIR")
+    p_arena_roc.add_argument(
+        "--out", default=None,
+        help="write the ROC artifact (BENCH_arena.json shape) here",
+    )
+    p_arena_roc.add_argument(
+        "--max-damage", type=float, default=None, dest="max_damage",
+        help="gate: damage ceiling for eligible cells (default 0.10)",
+    )
+    p_arena_roc.add_argument(
+        "--max-log10-pc", type=float, default=None, dest="max_log10_pc",
+        help="gate: coincidence ceiling eligible cells must stay under "
+        "(default -6)",
+    )
+    p_arena_roc.add_argument(
+        "--min-k", type=int, default=None, dest="min_k",
+        help="gate: smallest signature length quantified over "
+        "(default 32)",
+    )
+    p_arena_roc.set_defaults(func=cmd_arena_roc)
 
     p_serve = sub.add_parser(
         "serve",

@@ -2,9 +2,12 @@
 
 from repro.core.attacks import (
     AttackOutcome,
+    DamageReport,
     GhostSearchResult,
     apply_renaming,
+    compute_damage,
     ghost_signature_search,
+    perturb_schedule,
     rename_attack,
     reorder_attack,
     reschedule_attack,
@@ -81,6 +84,9 @@ __all__ = [
     "scan_for_watermark",
     "DetectionHit",
     "AttackOutcome",
+    "DamageReport",
+    "compute_damage",
+    "perturb_schedule",
     "reorder_attack",
     "reschedule_attack",
     "rename_attack",

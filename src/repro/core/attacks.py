@@ -14,15 +14,28 @@ Implemented attacks:
 * :func:`ghost_signature_search` — the adversary (or an honest court)
   tries many *other* signatures against the marked design to measure
   how likely a false claim of authorship is.
+
+Determinism contract: every randomized attack draws from one explicit
+:class:`random.Random` — pass ``rng=`` to thread a shared per-trial
+generator (the arena's replay contract, mirroring
+:mod:`repro.resilience.runner`), or ``seed=`` to create one locally.
+No attack touches the module-global ``random`` state.
+
+Every :class:`AttackOutcome` carries ``damage`` — the normalized
+makespan/resource degradation the attack inflicted relative to the
+unattacked schedule (see :func:`compute_damage`) — so attack/detection
+trade-off curves share one x-axis instead of each call site
+recomputing it.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import ResourceClass
 from repro.core.scheduling_wm import (
     SchedulingWatermark,
     SchedulingWatermarker,
@@ -34,13 +47,131 @@ from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.schedule import Schedule
 
 
+def resolve_rng(
+    seed: Optional[int], rng: Optional[random.Random]
+) -> random.Random:
+    """The single generator an attack draws from.
+
+    Exactly one of *seed* / *rng* must be given: a shared generator
+    (arena trials thread one through every attack of a trial) wins over
+    locally seeding a fresh one.
+    """
+    if rng is not None:
+        return rng
+    if seed is None:
+        raise ValueError("attack needs seed= or rng=")
+    return random.Random(seed)
+
+
+# ----------------------------------------------------------------------
+# damage: the ROC x-axis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DamageReport:
+    """Quality degradation of an attacked schedule vs. the original.
+
+    ``makespan_overhead`` and ``resource_overhead`` are relative
+    increases (clamped at zero: an attack that *improves* a metric did
+    not damage it); ``value`` is their sum — the design-damage axis of
+    the arena's detection-vs-damage curves.
+    """
+
+    base_makespan: int
+    attacked_makespan: int
+    base_units: int
+    attacked_units: int
+    makespan_overhead: float
+    resource_overhead: float
+
+    @property
+    def value(self) -> float:
+        return self.makespan_overhead + self.resource_overhead
+
+
+def _restricted_makespan(
+    cdfg: CDFG, schedule: Schedule, nodes: Optional[frozenset]
+) -> int:
+    spans = [
+        start + cdfg.latency(node)
+        for node, start in schedule.start_times.items()
+        if node in cdfg and (nodes is None or node in nodes)
+    ]
+    return max(spans) if spans else 0
+
+
+def _restricted_units(
+    cdfg: CDFG, schedule: Schedule, nodes: Optional[frozenset]
+) -> int:
+    """Summed peak per-class concurrency over the counted nodes."""
+    usage: Dict[int, Dict[ResourceClass, int]] = {}
+    for node, start in schedule.start_times.items():
+        if node not in cdfg or (nodes is not None and node not in nodes):
+            continue
+        op = cdfg.op(node)
+        if op.resource_class is ResourceClass.IO:
+            continue
+        for step in range(start, start + cdfg.latency(node)):
+            step_map = usage.setdefault(step, {})
+            step_map[op.resource_class] = (
+                step_map.get(op.resource_class, 0) + 1
+            )
+    peaks: Dict[ResourceClass, int] = {}
+    for step_map in usage.values():
+        for cls, count in step_map.items():
+            peaks[cls] = max(peaks.get(cls, 0), count)
+    return sum(peaks.values())
+
+
+def _overhead(base: int, attacked: int) -> float:
+    if base <= 0:
+        return 0.0 if attacked <= 0 else 1.0
+    return max(0.0, (attacked - base) / base)
+
+
+def compute_damage(
+    cdfg: CDFG,
+    baseline: Schedule,
+    attacked: Schedule,
+    attacked_cdfg: Optional[CDFG] = None,
+    nodes: Optional[Iterable[str]] = None,
+) -> DamageReport:
+    """Normalized quality damage of *attacked* relative to *baseline*.
+
+    Baseline metrics are measured on *cdfg*; attacked metrics on
+    *attacked_cdfg* when the attack mutated the design itself (edge
+    rewiring, host embedding).  *nodes* restricts both measurements to
+    the original design's operations, so surrounding a marked core with
+    a host system does not count the host's own cost as damage.
+    """
+    attacked_cdfg = attacked_cdfg if attacked_cdfg is not None else cdfg
+    counted = frozenset(nodes) if nodes is not None else None
+    base_makespan = _restricted_makespan(cdfg, baseline, counted)
+    att_makespan = _restricted_makespan(attacked_cdfg, attacked, counted)
+    base_units = _restricted_units(cdfg, baseline, counted)
+    att_units = _restricted_units(attacked_cdfg, attacked, counted)
+    return DamageReport(
+        base_makespan=base_makespan,
+        attacked_makespan=att_makespan,
+        base_units=base_units,
+        attacked_units=att_units,
+        makespan_overhead=_overhead(base_makespan, att_makespan),
+        resource_overhead=_overhead(base_units, att_units),
+    )
+
+
 @dataclass(frozen=True)
 class AttackOutcome:
-    """Result of an attack attempt against a watermarked schedule."""
+    """Result of an attack attempt against a watermarked schedule.
+
+    ``damage`` is the normalized makespan/resource degradation vs. the
+    unattacked schedule (:attr:`DamageReport.value`) — the uniform
+    x-axis every attack reports for detection-vs-damage curves.
+    """
 
     schedule: Schedule
     alterations: int
     verification: VerificationResult
+    damage: float = 0.0
 
     @property
     def surviving_fraction(self) -> float:
@@ -62,29 +193,29 @@ def _legal_swap(
     return None
 
 
-def reorder_attack(
+def perturb_schedule(
     cdfg: CDFG,
     schedule: Schedule,
-    watermark: SchedulingWatermark,
-    signature: AuthorSignature,
     attempts: int,
-    seed: int,
-) -> AttackOutcome:
-    """Randomly swap operation pairs, keeping the schedule legal.
+    rng: random.Random,
+    swap_only: bool = False,
+) -> Tuple[Schedule, int]:
+    """The reorder adversary's perturbation loop, attack-free.
 
-    *cdfg* is the design as the attacker sees it — **without** temporal
-    edges (only data/control precedence constrains the swaps).
-
-    Returns the attacked schedule, the number of successful swaps, and
-    how much of the watermark survived.
+    Performs up to *attempts* random legal mutations — 50/50 pairwise
+    start-time swaps and single-op moves to a random step within the
+    makespan (``swap_only=True`` restricts to swaps, which flip exactly
+    the pairs involving the two chosen ops — the mode the tamper-model
+    empirics count).  Returns the perturbed schedule and how many
+    mutations landed.  Shared by :func:`reorder_attack` and the arena's
+    reorder attack so both adversaries are literally the same code.
     """
-    rng = random.Random(seed)
     nodes = cdfg.schedulable_operations
     current = schedule.copy()
     makespan = current.makespan(cdfg)
     successful = 0
     for _ in range(attempts):
-        if rng.random() < 0.5:
+        if swap_only or rng.random() < 0.5:
             # Pairwise swap of start times.
             a, b = rng.sample(nodes, 2)
             if current.start(a) == current.start(b):
@@ -105,10 +236,37 @@ def reorder_attack(
             if candidate.is_valid(cdfg):
                 current = candidate
                 successful += 1
+    return current, successful
+
+
+def reorder_attack(
+    cdfg: CDFG,
+    schedule: Schedule,
+    watermark: SchedulingWatermark,
+    signature: AuthorSignature,
+    attempts: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> AttackOutcome:
+    """Randomly swap operation pairs, keeping the schedule legal.
+
+    *cdfg* is the design as the attacker sees it — **without** temporal
+    edges (only data/control precedence constrains the swaps).
+
+    Returns the attacked schedule, the number of successful swaps, how
+    much of the watermark survived, and the quality damage inflicted.
+    """
+    generator = resolve_rng(seed, rng)
+    current, successful = perturb_schedule(
+        cdfg, schedule, attempts, generator
+    )
     marker = SchedulingWatermarker(signature)
     verification = marker.verify(cdfg, current, watermark)
     return AttackOutcome(
-        schedule=current, alterations=successful, verification=verification
+        schedule=current,
+        alterations=successful,
+        verification=verification,
+        damage=compute_damage(cdfg, schedule, current).value,
     )
 
 
@@ -117,28 +275,41 @@ def reschedule_attack(
     watermark: SchedulingWatermark,
     signature: AuthorSignature,
     scheduler: Callable[[CDFG], Schedule] = list_schedule,
+    baseline: Optional[Schedule] = None,
 ) -> AttackOutcome:
     """Re-run a scheduler on the unconstrained design.
 
     This is the strongest practical attack — it discards the original
     schedule entirely.  It also forfeits the engineering the schedule
     embodied; the paper's position is that forcing the adversary to
-    repeat the design process *is* the protection.
+    repeat the design process *is* the protection.  Pass *baseline*
+    (the original watermarked schedule) to measure the residual quality
+    damage of the rebuild; without it damage is reported as 0.
     """
     clean = cdfg.without_temporal_edges()
     fresh = scheduler(clean)
     marker = SchedulingWatermarker(signature)
     verification = marker.verify(clean, fresh, watermark)
+    damage = (
+        compute_damage(clean, baseline, fresh).value
+        if baseline is not None
+        else 0.0
+    )
     return AttackOutcome(
         schedule=fresh,
         alterations=len(clean.schedulable_operations),
         verification=verification,
+        damage=damage,
     )
 
 
-def rename_attack(cdfg: CDFG, seed: int) -> Tuple[CDFG, Dict[str, str]]:
+def rename_attack(
+    cdfg: CDFG,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Tuple[CDFG, Dict[str, str]]:
     """Destroy every node name; returns (renamed graph, old→new map)."""
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     nodes = list(cdfg.operations)
     shuffled = list(range(len(nodes)))
     rng.shuffle(shuffled)
@@ -169,8 +340,9 @@ def ghost_signature_search(
     cdfg: CDFG,
     schedule: Schedule,
     n_candidates: int,
-    seed: int,
+    seed: Optional[int] = None,
     params: Optional[SchedulingWMParams] = None,
+    rng: Optional[random.Random] = None,
 ) -> GhostSearchResult:
     """Try *n_candidates* foreign signatures against a suspect schedule.
 
@@ -178,7 +350,7 @@ def ghost_signature_search(
     the suspect design and measure how many hold by coincidence.  A
     sound scheme shows a low best fraction and zero full detections.
     """
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     best_identity = ""
     best_fraction = -1.0
     detections = 0

@@ -421,9 +421,217 @@ class CampaignRunResult:
 
 @dataclass
 class _InFlight:
-    spec: TrialSpec
+    spec: Any
     attempt: int
     deadline: Optional[float]
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """What one :meth:`JournaledExecutor.run` session produced.
+
+    ``records`` holds the terminal record dicts in journal order (the
+    caller decodes them into its own record type); ``session_outcomes``
+    are the ``outcome`` fields of records journaled *this* session
+    (resumed records excluded), for all-timed-out / all-crashed
+    grading; ``retries`` counts retry events journaled this session.
+    """
+
+    records: Tuple[Dict[str, Any], ...]
+    session_outcomes: Tuple[str, ...]
+    retries: int
+
+
+class JournaledExecutor:
+    """The generic journaled, process-isolated trial execution loop.
+
+    Everything campaign-agnostic about :class:`CampaignRunner` lives
+    here so other sweeps (the adversarial arena) inherit the identical
+    durability contract: fsync'd journal appends before the next trial
+    may start, bounded retries with seeded exponential backoff for
+    crashed workers, SIGKILL-hard per-trial timeouts that requeue
+    innocent pool-mates without burning their retries, and
+    BrokenProcessPool drain/rebuild.
+
+    The caller supplies the domain knowledge as callables:
+
+    * ``worker`` — module-level (picklable) pool entry point;
+    * ``make_args(spec, attempt, hook)`` — positional args for it;
+    * ``zero_record(spec, outcome, error, attempt)`` — the journal dict
+      grading a reaped (``timed_out``) or exhausted (``crashed``) trial;
+    * ``retry_event(spec, attempt, error)`` — the ``{"event": "retry"}``
+      audit line for one retried attempt.
+
+    Specs must expose ``.key`` (journal identity) and ``.seed`` (backoff
+    jitter).  Worker return values are journaled verbatim and must be
+    dicts carrying an ``"outcome"`` field.
+    """
+
+    def __init__(
+        self,
+        config: RunnerConfig,
+        journal: JsonlAppender,
+        worker: Callable[..., Dict[str, Any]],
+        make_args: Callable[[Any, int, Optional[Mapping[str, Any]]], tuple],
+        zero_record: Callable[[Any, str, str, int], Dict[str, Any]],
+        retry_event: Callable[[Any, int, str], Dict[str, Any]],
+        hooks: Optional[Mapping[Any, Mapping[str, Any]]] = None,
+        echo: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.config = config
+        self.journal = journal
+        self.worker = worker
+        self.make_args = make_args
+        self.zero_record = zero_record
+        self.retry_event = retry_event
+        self.hooks = dict(hooks or {})
+        self.echo = echo or (lambda message: None)
+
+    def run(self, specs: Sequence[Any]) -> ExecutionOutcome:
+        pending: Deque[Tuple[Any, int]] = deque(
+            (spec, 0) for spec in specs
+        )
+        retries_this_run = 0
+        executor: Optional[ProcessPoolExecutor] = None
+        running: Dict[Future, _InFlight] = {}
+        records: List[Dict[str, Any]] = []
+        session_outcomes: List[str] = []
+
+        def journal_terminal(payload: Dict[str, Any]) -> None:
+            self.journal.append(payload)
+            records.append(payload)
+            session_outcomes.append(str(payload.get("outcome")))
+
+        def handle_failure(flight: _InFlight, error: str) -> None:
+            nonlocal retries_this_run
+            if flight.attempt < self.config.retries:
+                retries_this_run += 1
+                self.journal.append(
+                    self.retry_event(flight.spec, flight.attempt, error)
+                )
+                self._backoff(flight.spec, flight.attempt)
+                pending.append((flight.spec, flight.attempt + 1))
+            else:
+                journal_terminal(
+                    self.zero_record(
+                        flight.spec, "crashed", error, flight.attempt
+                    )
+                )
+                self.echo(
+                    f"trial {flight.spec.key} crashed after "
+                    f"{flight.attempt + 1} attempt(s): {error}"
+                )
+
+        try:
+            if pending:
+                executor = self._new_executor()
+            while pending or running:
+                while pending and len(running) < self.config.jobs:
+                    spec, attempt = pending.popleft()
+                    try:
+                        future = executor.submit(
+                            self.worker,
+                            *self.make_args(
+                                spec, attempt, self.hooks.get(spec.key)
+                            ),
+                        )
+                    except BrokenProcessPool:
+                        # Pool died between polls: requeue and rebuild.
+                        pending.appendleft((spec, attempt))
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = self._new_executor()
+                        continue
+                    deadline = (
+                        None
+                        if self.config.trial_timeout_s is None
+                        else time.monotonic() + self.config.trial_timeout_s
+                    )
+                    running[future] = _InFlight(spec, attempt, deadline)
+                finished, _ = wait(
+                    set(running),
+                    timeout=self.config.poll_interval_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broken = False
+                for future in finished:
+                    flight = running.pop(future)
+                    try:
+                        record_payload = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        handle_failure(flight, "worker process died")
+                        continue
+                    except Exception as exc:  # worker raised
+                        handle_failure(flight, str(exc))
+                        continue
+                    journal_terminal(record_payload)
+                now = time.monotonic()
+                hung = [
+                    future
+                    for future, flight in running.items()
+                    if flight.deadline is not None and now >= flight.deadline
+                ]
+                if hung:
+                    # SIGKILL the pool: the only way to stop a wedged
+                    # worker.  Trials that were merely sharing the pool
+                    # are requeued without burning a retry.
+                    kill_executor(executor)
+                    for future, flight in list(running.items()):
+                        if future in hung:
+                            journal_terminal(
+                                self.zero_record(
+                                    flight.spec,
+                                    "timed_out",
+                                    f"hard timeout after "
+                                    f"{self.config.trial_timeout_s}s",
+                                    flight.attempt,
+                                )
+                            )
+                            self.echo(
+                                f"trial {flight.spec.key} hung; worker "
+                                f"SIGKILLed and trial graded timed-out"
+                            )
+                        else:
+                            pending.appendleft((flight.spec, flight.attempt))
+                    running.clear()
+                    executor = (
+                        self._new_executor() if pending else None
+                    )
+                elif pool_broken:
+                    # A dead worker poisons every in-flight future of a
+                    # ProcessPoolExecutor; drain them as retryable and
+                    # rebuild the pool.
+                    for future, flight in list(running.items()):
+                        running.pop(future)
+                        handle_failure(flight, "worker pool broke")
+                    if executor is not None:
+                        executor.shutdown(wait=False, cancel_futures=True)
+                    executor = (
+                        self._new_executor() if pending else None
+                    )
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+
+        return ExecutionOutcome(
+            records=tuple(records),
+            session_outcomes=tuple(session_outcomes),
+            retries=retries_this_run,
+        )
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.config.jobs)
+
+    def _backoff(self, spec: Any, attempt: int) -> None:
+        """Exponential backoff with deterministic, seeded jitter."""
+        delay = backoff_delay(
+            attempt,
+            self.config.backoff_base_s,
+            self.config.backoff_cap_s,
+            seed=getattr(spec, "seed", 0),
+        )
+        if delay > 0:
+            time.sleep(delay)
 
 
 class CampaignRunner:
@@ -555,16 +763,13 @@ class CampaignRunner:
             manifest.jitter,
         )
         done: Dict[Tuple[int, int], TrialRecord] = dict(state.records)
-        pending: Deque[Tuple[TrialSpec, int]] = deque(
-            (spec, 0) for spec in specs if spec.key not in done
-        )
-        resumed = len(specs) - len(pending)
+        todo = [spec for spec in specs if spec.key not in done]
+        resumed = len(specs) - len(todo)
         if resumed:
             self.echo(
                 f"resume: {resumed}/{len(specs)} trial(s) already "
-                f"journaled; {len(pending)} to run"
+                f"journaled; {len(todo)} to run"
             )
-        retries_this_run = 0
         payload = {
             "token": str(self.run_dir.resolve()),
             "design": cdfg_to_dict(design),
@@ -574,136 +779,49 @@ class CampaignRunner:
         journal = JsonlAppender(
             self.run_dir / JOURNAL_NAME, truncate_at=state.truncate_at
         )
-        executor: Optional[ProcessPoolExecutor] = None
-        running: Dict[Future, _InFlight] = {}
-        session_outcomes: List[str] = []
 
-        def journal_terminal(record: TrialRecord) -> None:
-            journal.append(_record_to_json(record))
-            done[record.key] = record
-            session_outcomes.append(record.outcome)
+        def make_args(
+            spec: TrialSpec, attempt: int, hook: Optional[Mapping[str, Any]]
+        ) -> tuple:
+            return (payload, _spec_to_payload(spec), attempt, hook)
 
-        def handle_failure(flight: _InFlight, error: str) -> None:
-            nonlocal retries_this_run
-            if flight.attempt < self.config.retries:
-                retries_this_run += 1
-                journal.append(
-                    {
-                        "event": "retry",
-                        "rate_index": flight.spec.rate_index,
-                        "trial": flight.spec.trial,
-                        "attempt": flight.attempt,
-                        "error": error,
-                    }
+        def zero_record(
+            spec: TrialSpec, outcome: str, error: str, attempt: int
+        ) -> Dict[str, Any]:
+            return _record_to_json(
+                dataclasses.replace(
+                    _zero_record(spec, outcome, error), retries=attempt
                 )
-                self._backoff(flight.spec, flight.attempt)
-                pending.append((flight.spec, flight.attempt + 1))
-            else:
-                journal_terminal(
-                    dataclasses.replace(
-                        _zero_record(flight.spec, "crashed", error),
-                        retries=flight.attempt,
-                    )
-                )
-                self.echo(
-                    f"trial {flight.spec.key} crashed after "
-                    f"{flight.attempt + 1} attempt(s): {error}"
-                )
+            )
+
+        def retry_event(
+            spec: TrialSpec, attempt: int, error: str
+        ) -> Dict[str, Any]:
+            return {
+                "event": "retry",
+                "rate_index": spec.rate_index,
+                "trial": spec.trial,
+                "attempt": attempt,
+                "error": error,
+            }
 
         try:
-            if pending:
-                executor = self._new_executor()
-            while pending or running:
-                while pending and len(running) < self.config.jobs:
-                    spec, attempt = pending.popleft()
-                    try:
-                        future = executor.submit(
-                            _trial_worker,
-                            payload,
-                            _spec_to_payload(spec),
-                            attempt,
-                            self.hooks.get(spec.key),
-                        )
-                    except BrokenProcessPool:
-                        # Pool died between polls: requeue and rebuild.
-                        pending.appendleft((spec, attempt))
-                        executor.shutdown(wait=False, cancel_futures=True)
-                        executor = self._new_executor()
-                        continue
-                    deadline = (
-                        None
-                        if self.config.trial_timeout_s is None
-                        else time.monotonic() + self.config.trial_timeout_s
-                    )
-                    running[future] = _InFlight(spec, attempt, deadline)
-                finished, _ = wait(
-                    set(running),
-                    timeout=self.config.poll_interval_s,
-                    return_when=FIRST_COMPLETED,
-                )
-                pool_broken = False
-                for future in finished:
-                    flight = running.pop(future)
-                    try:
-                        record_payload = future.result()
-                    except BrokenProcessPool:
-                        pool_broken = True
-                        handle_failure(flight, "worker process died")
-                        continue
-                    except Exception as exc:  # worker raised
-                        handle_failure(flight, str(exc))
-                        continue
-                    journal_terminal(_record_from_json(record_payload))
-                now = time.monotonic()
-                hung = [
-                    future
-                    for future, flight in running.items()
-                    if flight.deadline is not None and now >= flight.deadline
-                ]
-                if hung:
-                    # SIGKILL the pool: the only way to stop a wedged
-                    # worker.  Trials that were merely sharing the pool
-                    # are requeued without burning a retry.
-                    self._kill_executor(executor)
-                    for future, flight in list(running.items()):
-                        if future in hung:
-                            journal_terminal(
-                                dataclasses.replace(
-                                    _zero_record(
-                                        flight.spec,
-                                        "timed_out",
-                                        f"hard timeout after "
-                                        f"{self.config.trial_timeout_s}s",
-                                    ),
-                                    retries=flight.attempt,
-                                )
-                            )
-                            self.echo(
-                                f"trial {flight.spec.key} hung; worker "
-                                f"SIGKILLed and trial graded timed-out"
-                            )
-                        else:
-                            pending.appendleft((flight.spec, flight.attempt))
-                    running.clear()
-                    executor = (
-                        self._new_executor() if pending else None
-                    )
-                elif pool_broken:
-                    # A dead worker poisons every in-flight future of a
-                    # ProcessPoolExecutor; drain them as retryable and
-                    # rebuild the pool.
-                    for future, flight in list(running.items()):
-                        running.pop(future)
-                        handle_failure(flight, "worker pool broke")
-                    if executor is not None:
-                        executor.shutdown(wait=False, cancel_futures=True)
-                    executor = (
-                        self._new_executor() if pending else None
-                    )
+            outcome = JournaledExecutor(
+                config=self.config,
+                journal=journal,
+                worker=_trial_worker,
+                make_args=make_args,
+                zero_record=zero_record,
+                retry_event=retry_event,
+                hooks=self.hooks,
+                echo=self.echo,
+            ).run(todo)
         finally:
-            if executor is not None:
-                executor.shutdown(wait=False, cancel_futures=True)
             journal.close()
+        for record_payload in outcome.records:
+            record = _record_from_json(record_payload)
+            done[record.key] = record
+        session_outcomes = list(outcome.session_outcomes)
 
         points = aggregate_points(
             manifest.rates, manifest.trials, done
@@ -719,7 +837,7 @@ class CampaignRunner:
             crashed=sum(
                 1 for r in done.values() if r.outcome == "crashed"
             ),
-            retries=state.retry_events + retries_this_run,
+            retries=state.retry_events + outcome.retries,
             resumed=resumed,
         )
         table = render_stress_table(points, title=manifest.title)

@@ -70,7 +70,9 @@ from repro.util.atomicio import atomic_write_text, load_json_or_none
 from repro.util.perf import PERF, PerfRegistry
 
 #: Bumped whenever job semantics change in a way that invalidates
-#: previously cached results; combined with the package version.
+#: previously cached results; combined with the package version.  The
+#: ``attack`` op joining the cacheable set did not bump it: the op name
+#: is part of every key, so new ops never collide with old entries.
 CODE_VERSION = "service-v1"
 
 #: Job parameter fields holding a CDFG payload whose node/edge order is

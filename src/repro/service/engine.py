@@ -66,8 +66,8 @@ from repro.timing.windows import critical_path_length
 from repro.util.backoff import backoff_delay
 from repro.util.perf import PERF, PerfRegistry
 
-#: The four cacheable job operations (plus the built-in ``stats``).
-JOB_TYPES = ("embed", "schedule", "verify", "detect")
+#: The five cacheable job operations (plus the built-in ``stats``).
+JOB_TYPES = ("embed", "schedule", "verify", "detect", "attack")
 
 #: HTTP-flavored outcome codes (documented in the README's protocol
 #: table): jobs are graded, never raised, so clients can pattern-match.
@@ -219,11 +219,56 @@ def _job_detect(params: Mapping[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _marks_from(params: Mapping[str, Any]):
+    payload = params.get("marks")
+    if not isinstance(payload, (list, tuple)) or not payload:
+        raise ServiceError("attack needs a non-empty 'marks' list")
+    return tuple(
+        scheduling_watermark_from_dict(dict(mark)) for mark in payload
+    )
+
+
+def _job_attack(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One arena attack-then-detect trial as a cacheable service job.
+
+    Delegates to :func:`repro.arena.sweep.attack_once` — the same pure
+    function the arena runner's workers call — so a fleet-dispatched
+    trial is bit-identical to the local library path by construction.
+    The import is deferred: :mod:`repro.arena.dispatch` imports the
+    service layer, so a module-level import here would be a cycle.
+    """
+    from repro.arena.embedding import ARENA_TAU
+    from repro.arena.sweep import attack_once
+
+    design = _design_from(params)
+    schedule = _schedule_from(params)
+    marks = _marks_from(params)
+    attack = params.get("attack")
+    if not attack:
+        raise ServiceError("attack needs an 'attack' name")
+    if params.get("seed") is None:
+        raise ServiceError("attack needs a 'seed'")
+    return attack_once(
+        design,
+        schedule,
+        marks,
+        attack=str(attack),
+        strength=float(params.get("strength", 1.0)),
+        seed=int(params["seed"]),
+        fault_rate=float(params.get("fault_rate", 0.0)),
+        fault_kinds=tuple(
+            str(kind) for kind in params.get("fault_kinds", ())
+        ),
+        tau=int(params.get("tau", ARENA_TAU)),
+    )
+
+
 _JOB_IMPLS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
     "embed": _job_embed,
     "schedule": _job_schedule,
     "verify": _job_verify,
     "detect": _job_detect,
+    "attack": _job_attack,
 }
 
 

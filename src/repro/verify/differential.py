@@ -21,6 +21,10 @@ whenever they disagree:
 * :func:`oracle_coincidence_mc` — the detector's exact ``P_c``
   (schedule enumeration) against a brute-force Monte Carlo estimate on
   small localities, within a binomial confidence band.
+* :func:`oracle_attack_service` — the serving engine's ``attack`` job
+  against a direct :func:`repro.arena.sweep.attack_once` call on the
+  same marked instance, asserting bit-identical trial results through
+  the CDFG/schedule/record JSON round trip.
 
 Every oracle takes a base seed and derives one child seed per trial, so
 any reported divergence replays from its recorded seed alone.
@@ -521,3 +525,99 @@ def coincidence_trial(seed: int, samples: int = 6000):
 def oracle_coincidence_mc(base_seed: int, trial: int):
     """P_c differential oracle, one trial; returns (divergences, skipped)."""
     return coincidence_trial(derive_seed(base_seed, trial, "pc"))
+
+
+# ----------------------------------------------------------------------
+# service attack job vs direct library call
+# ----------------------------------------------------------------------
+def attack_service_trial(seed: int):
+    """One service-vs-library attack trial.
+
+    The arena's fleet dispatch claims the serving engine's ``attack``
+    job is a pure transport around :func:`repro.arena.sweep.attack_once`
+    — same inputs, bit-identical result dict — with the design, the
+    schedule, and the mark records surviving a JSON round trip on the
+    way in.  This oracle pins that claim on randomized designs; any
+    field-level drift (a lossy serialization, an iteration-order
+    dependence in an attack) surfaces as a divergence.
+
+    Returns ``(divergences, skipped)``; *skipped* is True when the
+    random design admitted no watermark to attack.
+    """
+    # Lazy imports: the arena and the serving engine sit above the
+    # verify package in the layering; only this oracle needs them.
+    from repro.arena.attacks import ATTACKS
+    from repro.arena.sweep import attack_once
+    from repro.cdfg.io import to_dict as cdfg_to_dict
+    from repro.core.records import scheduling_watermark_to_dict
+    from repro.scheduling.list_scheduler import list_schedule
+    from repro.service.engine import execute_job
+
+    rng = random.Random(seed)
+    design = trial_design(seed, num_ops=rng.choice((36, 48)))
+    embedded = try_embed(design, seed)
+    if embedded is None:
+        return [], True
+    marked, record = embedded
+    suspect = marked.without_temporal_edges()
+    schedule = list_schedule(marked)
+    attack = rng.choice(sorted(ATTACKS))
+    strength = rng.choice((0.25, 0.5, 1.0))
+    fault_rate = rng.choice((0.0, 0.0, 0.2))
+    tau = VERIFY_PARAMS.domain.tau
+    library = attack_once(
+        suspect,
+        schedule,
+        (record,),
+        attack=attack,
+        strength=strength,
+        seed=seed,
+        fault_rate=fault_rate,
+        fault_kinds=("delete_edges",),
+        tau=tau,
+    )
+    service = execute_job(
+        "attack",
+        {
+            "design": cdfg_to_dict(suspect),
+            "schedule": {"start_times": dict(schedule.start_times)},
+            "marks": [scheduling_watermark_to_dict(record)],
+            "attack": attack,
+            "strength": strength,
+            "seed": seed,
+            "fault_rate": fault_rate,
+            "fault_kinds": ["delete_edges"],
+            "tau": tau,
+        },
+    )
+    if library == service:
+        return [], False
+    fields = sorted(
+        key
+        for key in set(library) | set(service)
+        if library.get(key) != service.get(key)
+    )
+    return [
+        Divergence(
+            oracle="attack_service",
+            design=design.name,
+            seed=seed,
+            detail=(
+                f"service attack job diverged from attack_once for "
+                f"{attack!r} (strength {strength}, fault rate "
+                f"{fault_rate}) in fields {fields}"
+            ),
+            data={
+                "attack": attack,
+                "strength": strength,
+                "fault_rate": fault_rate,
+                "library": {k: library.get(k) for k in fields},
+                "service": {k: service.get(k) for k in fields},
+            },
+        )
+    ], False
+
+
+def oracle_attack_service(base_seed: int, trial: int):
+    """Service-vs-library attack oracle, one trial."""
+    return attack_service_trial(derive_seed(base_seed, trial, "attack"))

@@ -3,7 +3,8 @@
 Three suites, each a set of named oracles:
 
 * ``differential`` — scheduler cross-checks, kernel-vs-reference
-  embedding, incremental-vs-full windows, exact-vs-Monte-Carlo ``P_c``
+  embedding, incremental-vs-full windows, exact-vs-Monte-Carlo ``P_c``,
+  and the serving engine's ``attack`` job vs the arena library path
   (:mod:`repro.verify.differential`);
 * ``metamorphic`` — renaming, re-serialization, latency scaling, and
   IO round-trip invariance (:mod:`repro.verify.metamorphic`);
@@ -124,6 +125,14 @@ def run_differential_suite(
             "coincidence_mc",
             trials,
             lambda trial: differential.oracle_coincidence_mc(seed, trial),
+            budget,
+        )
+    )
+    report.outcomes.append(
+        _run_oracle(
+            "attack_service",
+            trials,
+            lambda trial: differential.oracle_attack_service(seed, trial),
             budget,
         )
     )

@@ -1,0 +1,349 @@
+"""Unit tests for the adversarial arena: cases, planning, attacks, gate.
+
+The end-to-end properties (SIGKILL + resume determinism, fleet
+dispatch) live in ``test_arena_kill_resume.py`` and
+``test_arena_fleet.py``; this file pins the pieces: case construction
+and multi-mark verification, the pure sweep planner, the attack
+registry's gating taxonomy, per-attack semantics on a real HYPER case,
+journal record round-trips, and the ROC builder's damage-floor gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arena.attacks import (
+    ATTACKS,
+    gate_attack_names,
+    watermark_pair_candidates,
+)
+from repro.arena.embedding import (
+    ARENA_TAU,
+    ArenaCase,
+    arena_horizon,
+    arena_params,
+    build_case,
+    case_key,
+    resolve_design,
+    verify_marks,
+)
+from repro.arena.roc import (
+    GATE_MAX_LOG10_PC,
+    aggregate_arena,
+    build_roc,
+    check_gate,
+    roc_artifact,
+)
+from repro.arena.sweep import (
+    ARENA_SEED_STRIDE,
+    ArenaManifest,
+    attack_once,
+    derive_arena_seed,
+    plan_arena_trials,
+    record_from_json,
+    record_to_json,
+    validate_manifest,
+    zero_arena_record,
+)
+from repro.errors import ReproError
+
+AUTHOR = "Arena Unit Lab"
+
+
+@pytest.fixture(scope="module")
+def case() -> ArenaCase:
+    return build_case("Linear GE Cntrlr", AUTHOR, 8)
+
+
+def manifest(**overrides) -> ArenaManifest:
+    base = dict(
+        designs=("Linear GE Cntrlr",),
+        k_values=(8,),
+        attacks=("reorder", "rename"),
+        strengths=(0.5, 1.0),
+        fault_rates=(0.0,),
+        fault_kinds=(),
+        trials=3,
+        seed=11,
+        author=AUTHOR,
+    )
+    base.update(overrides)
+    return ArenaManifest(**base)
+
+
+# ----------------------------------------------------------------------
+# cases
+# ----------------------------------------------------------------------
+def test_build_case_embeds_k_and_ships_a_satisfying_schedule(case):
+    assert case.k == 8
+    assert case.edges >= 8
+    assert case.key == case_key("Linear GE Cntrlr", 8)
+    # Suspect designs are what an adversary recovers: no temporal edges.
+    assert not list(case.suspect.temporal_edges)
+    # The shipped schedule satisfies every constraint of every mark.
+    verification = verify_marks(case.suspect, case.schedule, case.marks)
+    assert verification.satisfied == verification.total == case.edges
+    assert verification.detected
+    assert verification.log10_pc < 0.0
+    assert verification.confidence > 0.9
+
+
+def test_case_is_author_keyed():
+    other = build_case("Linear GE Cntrlr", AUTHOR + " B", 8)
+    ours = build_case("Linear GE Cntrlr", AUTHOR, 8)
+    assert {m.root for m in other.marks} != {m.root for m in ours.marks} or [
+        m.temporal_edges for m in other.marks
+    ] != [m.temporal_edges for m in ours.marks]
+
+
+def test_every_embedded_edge_is_a_candidate_pair(case):
+    pairs = {
+        tuple(sorted(p))
+        for p in watermark_pair_candidates(
+            case.suspect, arena_params(horizon=arena_horizon(case.suspect))
+        )
+    }
+    for mark in case.marks:
+        for edge in mark.temporal_edges:
+            assert tuple(sorted(edge)) in pairs
+
+
+def test_resolve_design_rejects_unknown():
+    with pytest.raises(ReproError, match="unknown arena design"):
+        resolve_design("No Such Design")
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+def test_plan_is_a_pure_grid_in_index_order():
+    m = manifest()
+    specs = plan_arena_trials(m)
+    assert len(specs) == 1 * 1 * 2 * 2 * 1 * 3
+    assert [s.index for s in specs] == list(range(len(specs)))
+    assert specs == plan_arena_trials(m)  # pure: replanning is identical
+    for spec in specs:
+        assert spec.seed == m.seed + ARENA_SEED_STRIDE * spec.index
+        assert spec.seed == derive_arena_seed(m.seed, spec.index)
+    # Nesting order: designs > k > attacks > strengths > rates > trials.
+    assert [s.attack for s in specs[:6]] == ["reorder"] * 6
+    assert [s.strength for s in specs[:3]] == [0.5] * 3
+    assert [s.trial for s in specs[:3]] == [0, 1, 2]
+
+
+def test_manifest_round_trip_and_title():
+    m = manifest(fault_rates=(0.0, 0.2), fault_kinds=("delete_edges",))
+    assert ArenaManifest.from_dict(m.to_dict()) == m
+    assert "1 design(s)" in m.title
+    assert "K[8]" in m.title
+
+
+@pytest.mark.parametrize(
+    "overrides, message",
+    [
+        ({"designs": ()}, "at least one design"),
+        ({"k_values": (0,)}, "positive"),
+        ({"attacks": ("nope",)}, "unknown arena attack"),
+        ({"strengths": (1.5,)}, r"\[0, 1\]"),
+        ({"fault_rates": (0.5,), "fault_kinds": ()}, "need fault kinds"),
+        ({"trials": 0}, "trials"),
+        ({"author": ""}, "author"),
+    ],
+)
+def test_validate_manifest_rejects(overrides, message):
+    with pytest.raises(ReproError, match=message):
+        validate_manifest(manifest(**overrides))
+
+
+# ----------------------------------------------------------------------
+# attack registry and per-attack semantics
+# ----------------------------------------------------------------------
+def test_registry_gating_taxonomy():
+    assert set(gate_attack_names()) == {
+        name for name, attack in ATTACKS.items() if attack.gated
+    }
+    for name, attack in ATTACKS.items():
+        # Gate-eligible attacks are exactly the non-adaptive tweaks that
+        # keep the shipped solution: adaptive adversaries know the
+        # parameters, and rebuild-class attacks pay in re-engineering
+        # effort the damage metric cannot see.
+        if attack.gated:
+            assert not attack.adaptive, name
+            assert not attack.rebuilds, name
+    assert ATTACKS["adaptive_cut"].adaptive
+    assert ATTACKS["adaptive_excise"].adaptive
+    assert ATTACKS["reschedule"].rebuilds
+    assert ATTACKS["excise"].rebuilds
+
+
+def test_rename_attack_is_survivable_via_node_map(case):
+    result = attack_once(
+        case.suspect, case.schedule, case.marks,
+        attack="rename", strength=1.0, seed=5,
+    )
+    # Renaming destroys identifiers, not order: with the ground-truth
+    # mapping every constraint still holds and damage is zero.
+    assert result["satisfied"] == result["total"] == case.edges
+    assert result["detected"]
+    assert result["damage"] == 0.0
+    assert result["alterations"] > 0
+
+
+def test_reschedule_attack_erases_unforced_evidence(case):
+    result = attack_once(
+        case.suspect, case.schedule, case.marks,
+        attack="reschedule", strength=1.0, seed=5,
+    )
+    # A fresh schedule keeps only precedence-forced mark edges, and
+    # those carry ~zero evidence each.
+    assert result["satisfied"] < result["total"]
+    assert not result["detected"]
+
+
+def test_adaptive_cut_beats_reorder_at_equal_strength(case):
+    # At low strength the Kerckhoffs adversary aims every move at a
+    # watermark-candidate pair; the blind reorderer mostly misses.
+    adaptive = attack_once(
+        case.suspect, case.schedule, case.marks,
+        attack="adaptive_cut", strength=0.25, seed=5,
+    )
+    blind = attack_once(
+        case.suspect, case.schedule, case.marks,
+        attack="reorder", strength=0.25, seed=5,
+    )
+    assert adaptive["satisfied"] < blind["satisfied"]
+    assert adaptive["log10_pc"] > blind["log10_pc"]  # less evidence left
+    assert adaptive["damage"] == 0.0  # ...at no quality cost
+
+
+def test_attack_once_is_deterministic_in_seed(case):
+    a = attack_once(
+        case.suspect, case.schedule, case.marks,
+        attack="edge_rewire", strength=0.5, seed=9,
+        fault_rate=0.2, fault_kinds=("delete_edges",),
+    )
+    b = attack_once(
+        case.suspect, case.schedule, case.marks,
+        attack="edge_rewire", strength=0.5, seed=9,
+        fault_rate=0.2, fault_kinds=("delete_edges",),
+    )
+    c = attack_once(
+        case.suspect, case.schedule, case.marks,
+        attack="edge_rewire", strength=0.5, seed=10,
+        fault_rate=0.2, fault_kinds=("delete_edges",),
+    )
+    assert a == b
+    assert a != c
+
+
+def test_unknown_attack_raises(case):
+    with pytest.raises(ReproError, match="unknown"):
+        attack_once(
+            case.suspect, case.schedule, case.marks,
+            attack="nope", strength=1.0, seed=1,
+        )
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+def test_record_round_trip():
+    spec = plan_arena_trials(manifest())[0]
+    record = zero_arena_record(spec, "crashed", "boom", retries=2)
+    assert record.outcome == "crashed"
+    assert record.error == "boom"
+    assert record_from_json(record_to_json(record)) == record
+
+
+def test_record_rejects_unknown_outcome():
+    spec = plan_arena_trials(manifest())[0]
+    payload = record_to_json(zero_arena_record(spec, "error", "x"))
+    payload["outcome"] = "mystery"
+    with pytest.raises(ReproError):
+        record_from_json(payload)
+
+
+# ----------------------------------------------------------------------
+# aggregation, ROC, gate
+# ----------------------------------------------------------------------
+def _fake_records(log10_pc=-8.0, damage=0.05, attack="reorder", k=32,
+                  fault_rate=0.0, n=4, start_index=0):
+    rows = []
+    for i in range(n):
+        record = zero_arena_record(
+            plan_arena_trials(
+                manifest(k_values=(k,), attacks=(attack,),
+                         strengths=(0.5,), fault_rates=(fault_rate,),
+                         fault_kinds=("delete_edges",) if fault_rate else (),
+                         trials=n)
+            )[i],
+            "error", "placeholder",
+        )
+        row = dataclasses.replace(
+            record,
+            index=start_index + i,
+            outcome="completed",
+            satisfied=30, total=32, fraction=30 / 32,
+            confidence=0.999, log10_pc=log10_pc, detected=False,
+            damage=damage, alterations=10, error=None,
+        )
+        rows.append(record_to_json(row))
+    return rows
+
+
+def test_aggregate_and_roc_group_by_cell():
+    records = _fake_records() + _fake_records(
+        attack="rename", damage=0.0, start_index=10
+    )
+    points = aggregate_arena(records)
+    assert len(points) == 2
+    assert points[0].completed == 4
+    assert points[0].mean_damage == pytest.approx(0.05)
+    curves = build_roc(records)
+    assert {c["attack"] for c in curves} == {"reorder", "rename"}
+    by_attack = {c["attack"]: c for c in curves}
+    assert by_attack["reorder"]["gated"] is True
+    assert by_attack["rename"]["gated"] is False
+    assert len(by_attack["reorder"]["points"]) == 1
+
+
+def test_gate_holds_on_strong_detection():
+    assert check_gate(_fake_records(log10_pc=-9.0, damage=0.05)) == []
+
+
+def test_gate_flags_weak_detection_under_the_damage_floor():
+    violations = check_gate(_fake_records(log10_pc=-3.0, damage=0.05))
+    assert len(violations) == 1
+    assert "reorder" in violations[0]
+    assert "-6.0" in violations[0]
+
+
+def test_gate_ignores_ineligible_cells_but_rejects_vacuity():
+    # High damage, low K, faulty extraction, ungated attacks: all
+    # skipped — and a sweep with *only* those cells cannot claim the
+    # gate holds.
+    records = (
+        _fake_records(log10_pc=-1.0, damage=0.5)
+        + _fake_records(log10_pc=-1.0, k=8, start_index=10)
+        + _fake_records(log10_pc=-1.0, fault_rate=0.2, start_index=20)
+        + _fake_records(log10_pc=-1.0, attack="adaptive_cut",
+                        start_index=30)
+    )
+    violations = check_gate(records)
+    assert len(violations) == 1
+    assert "vacuous" in violations[0]
+
+
+def test_roc_artifact_shape():
+    m = manifest(k_values=(32,), attacks=("reorder",), strengths=(0.5,))
+    artifact = roc_artifact(m.to_dict(), _fake_records())
+    assert artifact["schema"] == 1
+    assert artifact["totals"]["trials"] == 4
+    assert artifact["totals"]["completed"] == 4
+    assert artifact["gate"]["holds"] is True
+    assert artifact["gate"]["max_log10_pc"] == GATE_MAX_LOG10_PC
+    assert artifact["gate"]["attacks"] == sorted(gate_attack_names())
+    assert artifact["curves"][0]["points"][0]["trials"] == 4
+    assert artifact["manifest"]["tau"] == ARENA_TAU

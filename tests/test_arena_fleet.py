@@ -1,0 +1,123 @@
+"""Fleet-dispatched arena sweeps: zero trials lost, bit-identical.
+
+The arena's serving-path contract (PR 7 tentpole): dispatching a sweep
+across a sharded fleet — including SIGKILLing a shard mid-sweep — must
+lose zero planned trials and produce a ``records.json`` byte-identical
+to the direct in-process :class:`~repro.arena.runner.ArenaRunner` on
+the same manifest.  The fleet may reroute, respawn, and retry however
+it likes; none of that is allowed to show in the canonical artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.arena.dispatch import ArenaDispatcher
+from repro.arena.runner import ArenaRunner
+from repro.arena.sweep import ArenaManifest, plan_arena_trials
+from repro.resilience.runner import RunnerConfig
+from repro.service.client import FleetClient
+from repro.service.engine import ServiceConfig
+from repro.service.fleet import FleetConfig
+
+MANIFEST = ArenaManifest(
+    designs=("Linear GE Cntrlr",),
+    k_values=(8,),
+    attacks=("reorder", "rename", "edge_rewire", "adaptive_cut"),
+    strengths=(0.5, 1.0),
+    fault_rates=(0.0,),
+    fault_kinds=(),
+    trials=3,
+    seed=17,
+    author="Arena Fleet Lab",
+)
+
+
+def _kill_when_underway(client, journal: Path, done: threading.Event):
+    """SIGKILL shard-1 the moment the dispatcher has journaled progress."""
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline and not done.is_set():
+        if journal.exists() and journal.read_bytes().count(b"\n") >= 2:
+            client.kill_shard("shard-1")
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_shard_sigkill_mid_sweep_loses_no_trials(tmp_path):
+    # Reference: the direct library path.
+    direct_dir = tmp_path / "direct"
+    direct = ArenaRunner(
+        direct_dir, config=RunnerConfig(jobs=2)
+    ).start(MANIFEST)
+    expected = len(plan_arena_trials(MANIFEST))
+    assert len(direct.records) == expected
+    assert all(r.outcome == "completed" for r in direct.records)
+
+    # Fleet path: two real subprocess shards, one SIGKILLed mid-sweep.
+    fleet_dir = tmp_path / "fleet"
+    config = FleetConfig(
+        shards=2,
+        shard_kind="tcp",
+        service=ServiceConfig(
+            workers=1, queue_limit=256, cache_dir=tmp_path / "cache"
+        ),
+        hedge_ms=0.0,
+        breaker_threshold=1,
+        probe_interval_s=0.1,
+        restart_dead=True,
+        reroute_backoff_s=0.01,
+    )
+    killed = {}
+    done = threading.Event()
+    with FleetClient(config) as client:
+        watcher = threading.Thread(
+            target=lambda: killed.update(
+                fired=_kill_when_underway(
+                    client, fleet_dir / "journal.jsonl", done
+                )
+            )
+        )
+        watcher.start()
+        try:
+            # Small batches: the journal fills between submissions, so
+            # the watcher's SIGKILL lands with most of the sweep still
+            # to dispatch.
+            result = ArenaDispatcher(
+                fleet_dir, client, batch=2
+            ).start(MANIFEST)
+        finally:
+            done.set()
+            watcher.join(timeout=120)
+
+    # The kill really happened, and still: zero trials lost — every
+    # planned trial completed (rerouted, not crashed or dropped).
+    assert killed.get("fired"), "shard kill never fired mid-sweep"
+    assert len(result.records) == expected
+    assert all(r.outcome == "completed" for r in result.records)
+
+    # Canonical artifact bit-identity with the direct path: reroutes
+    # and retries may differ, records.json may not.
+    assert (fleet_dir / "records.json").read_bytes() == (
+        direct_dir / "records.json"
+    ).read_bytes()
+
+    # The journal keeps the messy truth (per-trial retries, wall time);
+    # only the canonical artifact strips it.
+    rows = [
+        json.loads(line)
+        for line in (fleet_dir / "journal.jsonl")
+        .read_text(encoding="utf-8")
+        .splitlines()
+        if line.strip()
+    ]
+    trial_rows = [r for r in rows if r.get("event") != "retry"]
+    assert {r["index"] for r in trial_rows} == set(range(expected))
+    assert all("wall_ms" in r for r in trial_rows)
+    canonical = json.loads(
+        (fleet_dir / "records.json").read_text(encoding="utf-8")
+    )
+    assert all("wall_ms" not in r and "retries" not in r for r in canonical)

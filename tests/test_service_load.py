@@ -4,7 +4,9 @@ Drives a duplicate-heavy workload (20 unique jobs × 10 copies) through
 :class:`repro.service.ServiceClient` and pins the service contract:
 
 * every result is **bit-identical** to a direct library-API call for
-  all four job types (embed / schedule / verify / detect);
+  all four original job types (embed / schedule / verify / detect),
+  and separately for the arena's ``attack`` job across every
+  registered attack;
 * the cache hit-rate is at least the workload's duplication rate, and
   concurrent duplicates coalesce (counter > 0) instead of recomputing;
 * under a queue cap of 4 the engine **rejects** overload with explicit
@@ -197,6 +199,67 @@ def test_load_soak_200_jobs_cache_and_identity(artifacts):
         assert canonical_json(outcome.result) == canonical_json(
             _direct_reference(op, params)
         ), f"service result diverged from direct API for {op}"
+
+
+def test_attack_jobs_identity_and_cache(artifacts):
+    """Every registered attack through the ``attack`` op, twice: the
+    service result is bit-identical to a direct
+    :func:`repro.arena.sweep.attack_once` call, and the duplicate wave
+    is served from the content-addressed cache."""
+    from repro.arena.attacks import ATTACKS
+    from repro.arena.sweep import attack_once
+
+    marked = from_dict(artifacts["marked"])
+    suspect = marked.without_temporal_edges()
+    suspect_payload = to_dict(suspect)
+    schedule = Schedule(dict(artifacts["schedule"]["start_times"]))
+    watermark = scheduling_watermark_from_dict(artifacts["record"])
+    unique = []
+    for seed, attack in enumerate(sorted(ATTACKS)):
+        for fault_rate in (0.0, 0.2):
+            unique.append(
+                ("attack", {
+                    "design": suspect_payload,
+                    "schedule": artifacts["schedule"],
+                    "marks": [artifacts["record"]],
+                    "attack": attack,
+                    "strength": 0.5,
+                    "seed": seed,
+                    "fault_rate": fault_rate,
+                    "fault_kinds": ["delete_edges"],
+                    "tau": 4,
+                })
+            )
+    registry = PerfRegistry()
+    with ServiceClient(
+        ServiceConfig(workers=2, queue_limit=64), registry=registry
+    ) as client:
+        outcomes = client.submit_many(unique * 2, timeout=600)
+        stats = client.stats()
+
+    assert len(outcomes) == 2 * len(unique)
+    assert all(outcome.ok for outcome in outcomes)
+    cache = stats["cache"]
+    assert cache["cache_misses"] == len(unique)
+    assert (
+        cache.get("cache_hits", 0) + cache.get("coalesced", 0)
+        == len(unique)
+    )
+    for (_, params), outcome in zip(unique, outcomes):
+        reference = attack_once(
+            suspect,
+            schedule,
+            (watermark,),
+            attack=params["attack"],
+            strength=params["strength"],
+            seed=params["seed"],
+            fault_rate=params["fault_rate"],
+            fault_kinds=tuple(params["fault_kinds"]),
+            tau=params["tau"],
+        )
+        assert canonical_json(outcome.result) == canonical_json(
+            reference
+        ), f"service attack diverged from library for {params['attack']}"
 
 
 def test_overload_rejects_instead_of_queueing(artifacts):

@@ -80,6 +80,7 @@ class TestOraclesClean:
             "embed_paths",
             "windows_kernel",
             "coincidence_mc",
+            "attack_service",
             "embed_paths_hyper",
         ]
         # Randomized oracles ran exactly the requested trial count.

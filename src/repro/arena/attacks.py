@@ -49,15 +49,25 @@ from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 import networkx as nx
 
+try:  # optional acceleration; the loops below are the reference
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always ships numpy
+    _np = None  # type: ignore[assignment]
+
 from repro.cdfg.generators import random_layered_cdfg
 from repro.cdfg.graph import CDFG
 from repro.core.attacks import apply_renaming, perturb_schedule, rename_attack
 from repro.core.domain import candidate_roots
-from repro.core.scheduling_wm import SchedulingWatermark, SchedulingWMParams
+from repro.core.scheduling_wm import (
+    SchedulingWatermark,
+    SchedulingWMParams,
+    _with_overlap_partner,
+)
 from repro.errors import CDFGError, DomainSelectionError
 from repro.resilience.faults import apply_faults
 from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.schedule import Schedule
+from repro.timing.kernel import use_bulk_arrays
 from repro.timing.paths import laxity
 from repro.timing.windows import (
     critical_path_length,
@@ -290,19 +300,34 @@ def watermark_pair_candidates(
         lax = laxity(design, asap={n: w[0] for n, w in windows.items()})
         threshold = horizon * (1.0 - params.epsilon)
         slack_ok = [n for n in nodes if lax[n] <= threshold]
-    eligible = sorted(
-        n
-        for n in slack_ok
-        if any(
-            windows_overlap(windows[n], windows[m])
-            for m in slack_ok
-            if m != n
-        )
-    )
+    eligible = sorted(_with_overlap_partner(slack_ok, windows))
     descendants = {
         node: nx.descendants(design.graph, node) for node in eligible
     }
     pairs: List[Tuple[str, str]] = []
+    m = len(eligible)
+    if use_bulk_arrays(m) and m >= 2:
+        # Row-batched overlap screen: one numpy expression per source
+        # node over all later nodes; only overlapping pairs pay for the
+        # path-relation set lookups.  Same pairs, same (i, j) order.
+        lo = _np.fromiter(
+            (windows[n][0] for n in eligible), dtype=_np.int64, count=m
+        )
+        hi = _np.fromiter(
+            (windows[n][1] for n in eligible), dtype=_np.int64, count=m
+        )
+        for i, a in enumerate(eligible[:-1]):
+            tail = slice(i + 1, m)
+            mask = (lo[i] <= hi[tail]) & (lo[tail] <= hi[i])
+            if not mask.any():
+                continue
+            desc_a = descendants[a]
+            for offset in _np.nonzero(mask)[0].tolist():
+                b = eligible[i + 1 + offset]
+                if b in desc_a or a in descendants[b]:
+                    continue
+                pairs.append((a, b))
+        return pairs
     for i, a in enumerate(eligible):
         for b in eligible[i + 1:]:
             if b in descendants[a] or a in descendants[b]:

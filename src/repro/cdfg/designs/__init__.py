@@ -14,6 +14,14 @@ from repro.cdfg.designs.hyper_suite import (
     volterra_3rd_order,
     wavelet_filter,
 )
+from repro.cdfg.designs.synthetic import (
+    STITCH_MEMBERS,
+    SYNTHETIC_TIERS,
+    SyntheticTierSpec,
+    scaled_echo_canceler,
+    stitched_hyper_composite,
+    synthetic_design,
+)
 from repro.cdfg.designs.iir import (
     IIR4_ADDERS,
     IIR4_CONST_MULS,
@@ -38,4 +46,10 @@ __all__ = [
     "volterra_3rd_order",
     "da_converter",
     "long_echo_canceler",
+    "SyntheticTierSpec",
+    "SYNTHETIC_TIERS",
+    "STITCH_MEMBERS",
+    "scaled_echo_canceler",
+    "stitched_hyper_composite",
+    "synthetic_design",
 ]

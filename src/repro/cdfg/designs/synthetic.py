@@ -1,0 +1,226 @@
+"""Synthetic large-design tier: 50k–500k-node scaled and stitched CDFGs.
+
+The HYPER reconstructions top out at 6418 nodes (Long Echo Canceler) —
+three orders of magnitude below the full-chip scale modern watermarking
+work evaluates at.  This module grows deterministic designs into that
+regime along the one axis that matters for the array-native kernel:
+**width** (nodes per level), since level-batched sweeps amortize their
+per-level cost over a level's population.
+
+* :func:`scaled_echo_canceler` — *lanes* parallel decimated-LMS
+  lattices (the Long Echo Canceler's per-tap structure) combined by a
+  balanced adder tree.  Scaling in lanes rather than taps keeps the
+  depth moderate and the width high (~5·taps·lanes nodes over
+  ~2·taps levels).
+* :func:`stitched_hyper_composite` — independent copies of the small
+  and medium HYPER designs instantiated round-robin under per-copy
+  prefixes, stitched into one connected design by a balanced adder
+  tree over one tapped value per copy.  Depth stays near the deepest
+  member (the D/A converter, CP 132) plus the tree height, so a
+  120k-node composite runs ~800 nodes wide per level.
+
+Everything is deterministic: the member factories are seeded, the only
+randomness is the seeded round-robin shuffle, and node names encode the
+copy index.  Construction feeds every edge into a freshly created node
+(members are copied in their own topological order), which keeps the
+CDFG cycle check O(1) per edge and the whole build linear.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.designs.hyper_suite import HYPER_SUITE
+from repro.cdfg.graph import CDFG, EdgeKind
+from repro.cdfg.ops import OpType
+
+#: HYPER members used for composites — every design except the Long
+#: Echo Canceler, whose 2566-step depth would make composites narrow.
+STITCH_MEMBERS: Tuple[str, ...] = (
+    "8th Order CF IIR",
+    "Linear GE Cntrlr",
+    "Wavelet Filter",
+    "Modem Filter",
+    "Volterra 2nd ord.",
+    "Volterra 3rd non-lin.",
+    "D/A Converter",
+)
+
+
+def _adder_tree_builder(b: CDFGBuilder, values: List[str], stem: str) -> str:
+    """Balanced pairwise ADD tree over *values* inside a builder."""
+    rank = 0
+    while len(values) > 1:
+        merged: List[str] = []
+        for k in range(0, len(values) - 1, 2):
+            merged.append(
+                b.add(values[k], values[k + 1], f"{stem}/t{rank}_{k // 2}")
+            )
+        if len(values) % 2:
+            merged.append(values[-1])
+        values = merged
+        rank += 1
+    return values[0]
+
+
+def scaled_echo_canceler(
+    taps: int = 250, lanes: int = 80, name: Optional[str] = None
+) -> CDFG:
+    """Width-scaled echo canceler: *lanes* parallel *taps*-stage lattices.
+
+    Each lane reproduces the Long Echo Canceler's structure — a serial
+    scale-and-accumulate lattice with a decimated LMS coefficient
+    update every fourth tap — and a balanced adder tree combines the
+    lane outputs.  ~``5·taps·lanes`` nodes over ``~2·taps`` levels, so
+    the default (250, 80) is a ~100k-node design ~200 nodes wide.
+    """
+    b = CDFGBuilder(name or f"echo_{taps}x{lanes}")
+    lane_outputs: List[str] = []
+    for lane in range(lanes):
+        acc = b.input(f"l{lane}/x0")
+        for tap in range(taps):
+            sample = b.input(f"l{lane}/x{tap + 1}")
+            product = b.const_mul(sample, f"l{lane}/p{tap}")
+            scaled = b.const_mul(acc, f"l{lane}/s{tap}")
+            acc = b.add(scaled, product, f"l{lane}/a{tap}")
+            if tap % 4 == 0:
+                weight = b.input(f"l{lane}/w{tap}")
+                gradient = b.const_mul(sample, f"l{lane}/g{tap}")
+                updated = b.add(weight, gradient, f"l{lane}/u{tap}")
+                b.output(updated, f"l{lane}/wnext{tap}")
+        lane_outputs.append(acc)
+    combined = _adder_tree_builder(b, lane_outputs, stem="combine")
+    b.output(combined, "y")
+    return b.build()
+
+
+def _prepare_member(design: CDFG) -> Tuple[List[tuple], str]:
+    """Flatten *design* into copyable rows plus the tap node to stitch.
+
+    Rows are ``(name, op, latency, ppo, in_edges)`` in topological
+    order, so replaying them adds every edge into a just-created node.
+    The tap is the value feeding the design's last primary OUTPUT.
+    """
+    g = design.graph
+    order = design.topological_order()
+    rows: List[tuple] = []
+    outputs: List[str] = []
+    for v in order:
+        data = g.nodes[v]
+        in_edges = tuple(
+            (u, g.edges[u, v]["kind"]) for u in g.predecessors(v)
+        )
+        rows.append(
+            (v, data["op"], data["latency"], bool(data.get("ppo")), in_edges)
+        )
+        if data["op"] is OpType.OUTPUT:
+            outputs.append(v)
+    tap = next(iter(g.predecessors(outputs[-1])))
+    return rows, tap
+
+
+def stitched_hyper_composite(
+    target_nodes: int, seed: int = 0, name: Optional[str] = None
+) -> CDFG:
+    """Stitch HYPER copies into one ≥\\ *target_nodes*-node design.
+
+    Members of :data:`STITCH_MEMBERS` are instantiated round-robin (in
+    a ``seed``-shuffled order) under ``c<i>/`` prefixes until the node
+    count reaches *target_nodes*; one tapped value per copy then feeds
+    a balanced adder tree ending in a single OUTPUT, which makes the
+    composite connected without deepening it beyond the slowest member
+    plus the tree height.
+    """
+    rng = random.Random(seed)
+    prepared: Dict[str, Tuple[List[tuple], str]] = {}
+    for spec in HYPER_SUITE:
+        if spec.name in STITCH_MEMBERS:
+            prepared[spec.name] = _prepare_member(spec.factory())
+    cycle = [m for m in STITCH_MEMBERS]
+    rng.shuffle(cycle)
+
+    composite = CDFG(name or f"composite_{target_nodes}")
+    taps: List[str] = []
+    total = 0
+    copy_index = 0
+    while total < target_nodes:
+        member = cycle[copy_index % len(cycle)]
+        rows, tap = prepared[member]
+        prefix = f"c{copy_index}/"
+        for node, op, lat, ppo, in_edges in rows:
+            composite.add_operation(prefix + node, op, latency=lat, ppo=ppo)
+            for src, kind in in_edges:
+                composite.add_edge(prefix + src, prefix + node, kind)
+        taps.append(prefix + tap)
+        total += len(rows)
+        copy_index += 1
+
+    values = taps
+    rank = 0
+    while len(values) > 1:
+        merged: List[str] = []
+        for k in range(0, len(values) - 1, 2):
+            node = f"stitch/t{rank}_{k // 2}"
+            composite.add_operation(node, OpType.ADD)
+            composite.add_edge(values[k], node, EdgeKind.DATA)
+            composite.add_edge(values[k + 1], node, EdgeKind.DATA)
+            merged.append(node)
+        if len(values) % 2:
+            merged.append(values[-1])
+        values = merged
+        rank += 1
+    composite.add_operation("stitch/y", OpType.OUTPUT)
+    composite.add_edge(values[0], "stitch/y", EdgeKind.DATA)
+    composite.validate()
+    return composite
+
+
+@dataclass(frozen=True)
+class SyntheticTierSpec:
+    """One named large-tier design: name, scale target, and factory."""
+
+    name: str
+    target_nodes: int
+    factory: Callable[[], CDFG]
+
+
+#: The gated large benchmark tier, smallest first.  ``composite-50k``
+#: is the CI smoke design; ``composite-120k`` carries the ≥5x gate;
+#: ``composite-500k`` documents headroom and is never built in CI.
+SYNTHETIC_TIERS: Tuple[SyntheticTierSpec, ...] = (
+    SyntheticTierSpec(
+        "composite-50k",
+        50_000,
+        lambda: stitched_hyper_composite(50_000, seed=50, name="composite_50k"),
+    ),
+    SyntheticTierSpec(
+        "echo-100k",
+        100_000,
+        lambda: scaled_echo_canceler(taps=250, lanes=80, name="echo_100k"),
+    ),
+    SyntheticTierSpec(
+        "composite-120k",
+        120_000,
+        lambda: stitched_hyper_composite(
+            120_000, seed=120, name="composite_120k"
+        ),
+    ),
+    SyntheticTierSpec(
+        "composite-500k",
+        500_000,
+        lambda: stitched_hyper_composite(
+            500_000, seed=500, name="composite_500k"
+        ),
+    ),
+)
+
+
+def synthetic_design(name: str) -> CDFG:
+    """Build one large-tier design by its tier name."""
+    for spec in SYNTHETIC_TIERS:
+        if spec.name == name:
+            return spec.factory()
+    raise KeyError(f"unknown synthetic tier: {name!r}")

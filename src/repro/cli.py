@@ -100,6 +100,7 @@ from repro.scheduling.force_directed import force_directed_schedule
 from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.resources import UNLIMITED
 from repro.scheduling.schedule import Schedule
+from repro.timing.kernel import KERNEL_MODES, kernel_mode, set_kernel_mode
 from repro.timing.windows import critical_path_length
 from repro.util.atomicio import atomic_write_json
 from repro.util.perf import PERF
@@ -697,6 +698,12 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=EXIT_CODE_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument(
+        "--kernel", choices=KERNEL_MODES, default=None,
+        help="timing-kernel implementation: 'vectorized' forces the "
+        "array-native level-batched sweeps, 'reference' the Python "
+        "worklists, 'auto' (default) picks by graph size and width",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", help="print design statistics")
@@ -1018,6 +1025,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     PERF.reset()
+    if getattr(args, "kernel", None):
+        try:
+            set_kernel_mode(args.kernel)
+        except ValueError as exc:  # vectorized without numpy
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
     try:
         return args.func(args)
     except BudgetExceededError as exc:
@@ -1041,6 +1054,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Render even when the command failed: partial phase timings are
         # exactly what a budget-exceeded diagnosis needs.
         if getattr(args, "perf_report", False):
+            print(
+                f"  kernel mode: {kernel_mode()}"
+                f"  (vec sweeps {PERF.get('kernel.vec.sweeps')},"
+                f" bulk screens {PERF.get('kernel.vec.bulk_screens')}"
+                f" over {PERF.get('kernel.vec.bulk_pairs')} pairs,"
+                f" vec cone updates {PERF.get('kernel.vec.cone_updates')})",
+                file=sys.stderr,
+            )
             print(PERF.render_report(), file=sys.stderr)
 
 

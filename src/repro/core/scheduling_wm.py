@@ -50,7 +50,7 @@ from repro.errors import (
 )
 from repro.resilience.budget import Budget, check_deadline
 from repro.scheduling.schedule import Schedule
-from repro.timing.kernel import IncrementalWindows
+from repro.timing.kernel import IncrementalWindows, use_bulk_arrays
 from repro.timing.paths import laxity
 from repro.timing.windows import (
     critical_path_length,
@@ -59,8 +59,51 @@ from repro.timing.windows import (
 )
 from repro.util.perf import PERF
 
+try:  # optional acceleration; the loop below is the reference
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always ships numpy
+    _np = None  # type: ignore[assignment]
+
 #: Domain-separation label of the scheduling-watermark bitstream.
 SCHEDULING_PURPOSE = "scheduling-watermark"
+
+
+def _with_overlap_partner(names: List[str], windows: dict) -> List[str]:
+    """Members of *names* whose window overlaps some other member's.
+
+    The eligibility rule's pairwise screen (§IV-A step 2).  The loop is
+    quadratic; under the vectorized kernel mode the same set falls out
+    of an O(M log M) counting argument: window ``n`` overlaps ``m`` iff
+    ``lo_m <= hi_n`` and ``lo_n <= hi_m``, so the number of members
+    overlapping ``n`` (self included) is ``M`` minus those starting
+    after ``hi_n`` minus those ending before ``lo_n`` — a partner exists
+    iff that count is at least 2.  Both paths return the identical
+    sublist, in order.
+    """
+    count = len(names)
+    if use_bulk_arrays(count) and count >= 2:
+        np = _np
+        PERF.add("kernel.vec.bulk_screens")
+        PERF.add("kernel.vec.bulk_pairs", count)
+        lo = np.fromiter(
+            (windows[n][0] for n in names), dtype=np.int64, count=count
+        )
+        hi = np.fromiter(
+            (windows[n][1] for n in names), dtype=np.int64, count=count
+        )
+        lo_sorted = np.sort(lo)
+        hi_sorted = np.sort(hi)
+        starting_after = count - np.searchsorted(lo_sorted, hi, side="right")
+        ending_before = np.searchsorted(hi_sorted, lo, side="left")
+        overlapping = count - starting_after - ending_before
+        return [n for n, c in zip(names, overlapping.tolist()) if c >= 2]
+    return [
+        n
+        for n in names
+        if any(
+            windows_overlap(windows[n], windows[m]) for m in names if m != n
+        )
+    ]
 
 
 @dataclass(frozen=True)
@@ -367,16 +410,7 @@ class SchedulingWatermarker:
         else:
             threshold = base_cp * (1.0 - self.params.epsilon)
             slack_ok = [n for n in domain.nodes if lax[n] <= threshold]
-        eligible = [
-            n
-            for n in slack_ok
-            if any(
-                windows_overlap(windows[n], windows[m])
-                for m in slack_ok
-                if m != n
-            )
-        ]
-        return eligible
+        return _with_overlap_partner(slack_ok, windows)
 
     def _encode(
         self,
@@ -451,17 +485,18 @@ class SchedulingWatermarker:
         for i, n_i in enumerate(selected):
             if len(edges) >= k:
                 break
-            w_i = iw.window(n_i)
             needed = marked.latency(n_i) + self.params.realization_slack
+            later = selected[i + 1:]
+            # Window screens (overlap + individual feasibility) for the
+            # whole remaining selection in one bulk call; only survivors
+            # pay for the graph-reachability checks.
+            window_ok = iw.screen_targets(n_i, later, needed)
             candidates = []
-            for n_j in selected[i + 1:]:
-                w_j = iw.window(n_j)
-                if not windows_overlap(w_i, w_j):
+            for n_j, ok in zip(later, window_ok):
+                if not ok:
                     continue
-                # The directed constraint must stay individually feasible
-                # and must not be implied or contradicted already.
-                if w_i[0] + needed > w_j[1]:
-                    continue
+                # The constraint must not be implied or contradicted
+                # already.
                 if marked.graph.has_edge(n_i, n_j):
                     continue
                 if nx.has_path(marked.graph, n_j, n_i):

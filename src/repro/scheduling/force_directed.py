@@ -21,12 +21,15 @@ Window maintenance runs on the incremental timing kernel: each trial
 pinning is evaluated with
 :meth:`~repro.timing.kernel.IncrementalWindows.delta_tighten` (worklist
 propagation over the affected cone only, instead of the classic full
-forward/backward re-pass), and after each commit the distribution
-graphs are refreshed only at the control steps whose expected occupancy
-actually changed.  Both shortcuts are arithmetic-order-preserving, so
-the chosen schedule is bit-identical to the full-recompute formulation
-(:func:`_tighten` is retained as the reference the tests compare
-against).
+forward/backward re-pass — frontier-batched into per-level arrays on
+wide graphs under the vectorized kernel mode), and after each commit
+the distribution graphs are refreshed only at the control steps whose
+expected occupancy actually changed.  All shortcuts are integer-exact
+or arithmetic-order-preserving (the float distribution/force sums are
+deliberately never vectorized — repeated addition is not float
+multiplication), so the chosen schedule is bit-identical to the
+full-recompute formulation (:func:`_tighten` is retained as the
+reference the tests compare against).
 
 Watermark temporal edges participate exactly like data edges.
 """
@@ -230,8 +233,9 @@ def _force_directed_schedule(
         )
     iw = IncrementalWindows(cdfg, horizon)
     view = iw.view
+    node_index = view.index
     unscheduled = [
-        n for n in view.nodes if iw.window(n)[0] != iw.window(n)[1]
+        n for n in view.nodes if iw.lo[node_index[n]] != iw.hi[node_index[n]]
     ]
     # Nodes with singleton windows are already decided.
     graphs = _distribution_graphs(cdfg, iw.windows(), horizon)
@@ -267,7 +271,9 @@ def _force_directed_schedule(
         iw.apply(delta)
         _refresh_distribution_steps(graphs, class_members, iw, affected, horizon)
         unscheduled = [
-            n for n in unscheduled if iw.window(n)[0] != iw.window(n)[1]
+            n
+            for n in unscheduled
+            if iw.lo[node_index[n]] != iw.hi[node_index[n]]
         ]
     schedule = Schedule({n: iw.window(n)[0] for n in cdfg.operations})
     schedule.verify(cdfg, horizon=horizon)

@@ -19,6 +19,26 @@ every temporal-edge insertion; this module makes both halves cheap:
   timing analysis (and of the dynamically bounded delay model's
   restriction of recomputation to the logic actually affected).
 
+Two interchangeable implementations back every sweep:
+
+* the **reference** path — the original pure-Python worklists, node at
+  a time over per-node adjacency lists; and
+* the **vectorized** path — numpy CSR/CSC flat arrays grouped by level
+  (longest-path edge depth), swept one level at a time with
+  ``np.maximum.reduceat`` / ``np.minimum.reduceat`` so a whole level's
+  nodes aggregate their predecessors in one C call, plus bulk
+  feasibility screens over entire candidate-edge populations and
+  frontier-batched delta propagation that walks the affected cone
+  level-by-level as arrays.
+
+:func:`set_kernel_mode` (or ``REPRO_KERNEL=auto|vectorized|reference``)
+selects between them; ``auto`` uses the vectorized path only where it
+wins — wide graphs with many nodes per level — and leaves deep narrow
+graphs on the Python path.  The two paths are bit-identical: both
+compute the same integer longest-path fixpoint, which the
+``kernel_vectorized`` differential oracle in :mod:`repro.verify`
+enforces trial after trial.
+
 The key invariant — proved by induction over the propagation worklist —
 is that when the O(1) endpoint check passes, no window in the graph can
 empty: ASAP values only rise, ALAP values only fall, and every raised
@@ -30,14 +50,94 @@ longest-path fixpoint), which the benchmark gate asserts node-for-node.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+import os
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+from itertools import chain
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cdfg.graph import CDFG, EdgeKind
 from repro.errors import InfeasibleScheduleError
 from repro.util.perf import PERF
 
+try:  # numpy is a baked-in dependency, but the kernel degrades gracefully
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always ships numpy
+    _np = None  # type: ignore[assignment]
+
 Window = Tuple[int, int]
+
+#: True when the vectorized path can be selected at all.
+NUMPY_AVAILABLE = _np is not None
+
+#: Valid arguments to :func:`set_kernel_mode` / ``REPRO_KERNEL``.
+KERNEL_MODES = ("auto", "vectorized", "reference")
+
+#: ``auto`` mode only considers the vectorized sweeps above this size.
+AUTO_MIN_NODES = 4096
+
+#: ...and only when the graph is wide enough (mean nodes per level) for
+#: level batching to amortize the per-level numpy call overhead.  Deep
+#: narrow graphs (the Long Echo Canceler: 6418 nodes over 2567 levels)
+#: stay on the Python path, where they are measurably faster.
+AUTO_MIN_WIDTH = 16.0
+
+#: ``auto`` mode screens candidate-edge populations with numpy from this
+#: many pairs; below it the Python loop wins on call overhead.
+AUTO_MIN_PAIRS = 64
+
+#: Per-horizon ALAP memo bound (LRU).  Arena/verify horizon sweeps used
+#: to grow the memo without limit — at 100k nodes each entry is a full
+#: node-length list, so the cap matters.
+ALAP_MEMO_CAP = 4
+
+_mode_env = os.environ.get("REPRO_KERNEL", "auto")
+_KERNEL_MODE = _mode_env if _mode_env in KERNEL_MODES else "auto"
+
+
+def kernel_mode() -> str:
+    """The active kernel mode: ``auto``, ``vectorized`` or ``reference``."""
+    return _KERNEL_MODE
+
+
+def set_kernel_mode(mode: str) -> str:
+    """Select the sweep implementation; returns the previous mode.
+
+    ``auto`` (the default) picks vectorized sweeps only on graphs wide
+    and large enough for level batching to win; ``vectorized`` forces
+    the numpy path everywhere (raises if numpy is unavailable);
+    ``reference`` forces the original Python worklists.
+    """
+    global _KERNEL_MODE
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}"
+        )
+    if mode == "vectorized" and _np is None:
+        raise ValueError("kernel mode 'vectorized' requires numpy")
+    previous = _KERNEL_MODE
+    _KERNEL_MODE = mode
+    return previous
+
+
+@contextmanager
+def kernel_mode_override(mode: str) -> Iterator[None]:
+    """Context manager: run the body under *mode*, then restore."""
+    previous = set_kernel_mode(mode)
+    try:
+        yield
+    finally:
+        set_kernel_mode(previous)
+
+
+def use_bulk_arrays(count: int) -> bool:
+    """Should a *count*-pair feasibility screen use the numpy path?"""
+    mode = _KERNEL_MODE
+    if _np is None or mode == "reference":
+        return False
+    if mode == "vectorized":
+        return True
+    return count >= AUTO_MIN_PAIRS
 
 
 class CDFGView:
@@ -49,6 +149,12 @@ class CDFGView:
     :meth:`repro.cdfg.graph.CDFG.view` rebuilds it when the counter
     moves.  :meth:`apply_edge` lets the incremental kernel patch the
     view in lockstep with a just-inserted edge instead of rebuilding.
+
+    When the vectorized path is active the view additionally carries a
+    level-sorted CSR/CSC array form of the adjacency (see
+    :meth:`_ensure_arrays`); edges patched in afterwards accumulate in a
+    small COO side list consumed by the sweeps, so warm views stay
+    vectorizable across :class:`IncrementalWindows` insertions.
     """
 
     __slots__ = (
@@ -69,6 +175,20 @@ class CDFGView:
         "_asap",
         "_tails",
         "_alap_by_horizon",
+        "_levels",
+        "_levels_np",
+        "_num_levels",
+        "_lvl_order",
+        "_lvl_pos",
+        "_lvl_starts",
+        "_csc_indptr",
+        "_csc_flat",
+        "_csr_indptr",
+        "_csr_flat",
+        "_lat_np",
+        "_extra_edges",
+        "_asap_np",
+        "_alap_np_h",
     )
 
     def __init__(self, cdfg: CDFG) -> None:
@@ -103,7 +223,21 @@ class CDFGView:
         self._topo_pos: Optional[List[int]] = None
         self._asap: Optional[List[int]] = None
         self._tails: Optional[List[int]] = None
-        self._alap_by_horizon: Dict[int, List[int]] = {}
+        self._alap_by_horizon: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._levels: Optional[List[int]] = None
+        self._levels_np = None
+        self._num_levels = 0
+        self._lvl_order = None
+        self._lvl_pos = None
+        self._lvl_starts = None
+        self._csc_indptr = None
+        self._csc_flat = None
+        self._csr_indptr = None
+        self._csr_flat = None
+        self._lat_np = None
+        self._extra_edges: Optional[List[Tuple[int, int]]] = None
+        self._asap_np = None
+        self._alap_np_h: Optional[Tuple[int, object]] = None
 
     # ------------------------------------------------------------------
     # cached node sets
@@ -159,40 +293,221 @@ class CDFGView:
         return self._topo
 
     # ------------------------------------------------------------------
+    # level structure and CSR/CSC arrays (vectorized path)
+    # ------------------------------------------------------------------
+    def _ensure_levels(self) -> None:
+        """Longest-path edge depth per node: every edge goes level-up."""
+        if self._levels is not None:
+            return
+        n = len(self.nodes)
+        level = [0] * n
+        for i in self.topo_order():
+            nxt = level[i] + 1
+            for s in self.succs[i]:
+                if nxt > level[s]:
+                    level[s] = nxt
+        self._levels = level
+        self._num_levels = (max(level) + 1) if n else 0
+        if _np is not None:
+            self._levels_np = _np.array(level, dtype=_np.int64)
+        self._extra_edges = []
+
+    def _ensure_arrays(self) -> None:
+        """Build the level-sorted CSR/CSC flat-array adjacency.
+
+        Positions ``a:b`` of the level order hold one level's nodes;
+        ``indptr[p]:indptr[p+1]`` of the flat array holds the adjacency
+        of the node at level-order position ``p``.  Sweeps then reduce a
+        whole level with one ``reduceat`` call.  Any edges patched into
+        the view before the build are already in the per-node lists, so
+        the arrays absorb them and the COO side list resets.
+        """
+        if self._csr_indptr is not None:
+            return
+        np = _np
+        self._ensure_levels()
+        PERF.add("kernel.vec.csr_builds")
+        with PERF.phase("kernel.vec.csr_build"):
+            n = len(self.nodes)
+            order = np.argsort(self._levels_np, kind="stable")
+            self._lvl_order = order
+            pos = np.empty(n, dtype=np.int64)
+            pos[order] = np.arange(n, dtype=np.int64)
+            self._lvl_pos = pos
+            sorted_levels = self._levels_np[order]
+            self._lvl_starts = np.searchsorted(
+                sorted_levels, np.arange(self._num_levels + 1)
+            )
+            preds, succs = self.preds, self.succs
+            flat_preds: List[int] = []
+            flat_succs: List[int] = []
+            csc_indptr = np.zeros(n + 1, dtype=np.int64)
+            csr_indptr = np.zeros(n + 1, dtype=np.int64)
+            for p, node in enumerate(order.tolist()):
+                flat_preds.extend(preds[node])
+                flat_succs.extend(succs[node])
+                csc_indptr[p + 1] = len(flat_preds)
+                csr_indptr[p + 1] = len(flat_succs)
+            self._csc_indptr = csc_indptr
+            self._csc_flat = np.array(flat_preds, dtype=np.int64)
+            self._csr_indptr = csr_indptr
+            self._csr_flat = np.array(flat_succs, dtype=np.int64)
+            self._lat_np = np.array(self.latency, dtype=np.int64)
+            self._extra_edges = []
+
+    def _drop_arrays(self) -> None:
+        self._levels = None
+        self._levels_np = None
+        self._num_levels = 0
+        self._lvl_order = None
+        self._lvl_pos = None
+        self._lvl_starts = None
+        self._csc_indptr = None
+        self._csc_flat = None
+        self._csr_indptr = None
+        self._csr_flat = None
+        self._lat_np = None
+        self._extra_edges = None
+
+    def _extras_grouped(self, by_dst: bool):
+        """COO side edges grouped by the processing level of a sweep."""
+        extras = self._extra_edges
+        if not extras:
+            return {}
+        np = _np
+        levels = self._levels
+        grouped: Dict[int, List[Tuple[int, int]]] = {}
+        for u, v in extras:
+            grouped.setdefault(levels[v] if by_dst else levels[u], []).append(
+                (u, v)
+            )
+        return {
+            lvl: (
+                np.array([u for u, _ in pairs], dtype=np.int64),
+                np.array([v for _, v in pairs], dtype=np.int64),
+            )
+            for lvl, pairs in grouped.items()
+        }
+
+    def _use_vectorized_sweeps(self) -> bool:
+        mode = _KERNEL_MODE
+        if _np is None or mode == "reference" or not self.nodes:
+            return False
+        if mode == "vectorized":
+            return True
+        n = len(self.nodes)
+        if n < AUTO_MIN_NODES:
+            return False
+        self._ensure_levels()
+        return n / self._num_levels >= AUTO_MIN_WIDTH
+
+    # ------------------------------------------------------------------
     # cached timing arrays
     # ------------------------------------------------------------------
     def asap(self) -> List[int]:
         """Earliest start per node (longest path from the sources)."""
         if self._asap is None:
             PERF.add("kernel.full_asap_passes")
-            latency = self.latency
-            asap = [0] * len(self.nodes)
-            for i in self.topo_order():
-                lo = 0
-                for p in self.preds[i]:
-                    candidate = asap[p] + latency[p]
-                    if candidate > lo:
-                        lo = candidate
-                asap[i] = lo
-            self._asap = asap
+            if self._use_vectorized_sweeps():
+                PERF.add("kernel.vec.sweeps")
+                with PERF.phase("kernel.vec.asap"):
+                    self._asap = self._asap_vectorized()
+            else:
+                with PERF.phase("kernel.ref.asap"):
+                    self._asap = self._asap_reference()
         return self._asap
+
+    def _asap_reference(self) -> List[int]:
+        latency = self.latency
+        asap = [0] * len(self.nodes)
+        for i in self.topo_order():
+            lo = 0
+            for p in self.preds[i]:
+                candidate = asap[p] + latency[p]
+                if candidate > lo:
+                    lo = candidate
+            asap[i] = lo
+        return asap
+
+    def _asap_vectorized(self) -> List[int]:
+        np = _np
+        self._ensure_arrays()
+        asap = np.zeros(len(self.nodes), dtype=np.int64)
+        lat = self._lat_np
+        order, starts = self._lvl_order, self._lvl_starts
+        indptr, flat = self._csc_indptr, self._csc_flat
+        extras = self._extras_grouped(by_dst=True)
+        for level in range(1, self._num_levels):
+            a, b = int(starts[level]), int(starts[level + 1])
+            if a == b:  # pragma: no cover - every level is populated
+                continue
+            # Every node at level >= 1 has at least one predecessor (its
+            # level came from one), so no segment here is empty.
+            p0, p1 = int(indptr[a]), int(indptr[b])
+            src = flat[p0:p1]
+            cand = asap[src] + lat[src]
+            asap[order[a:b]] = np.maximum.reduceat(cand, indptr[a:b] - p0)
+            hit = extras.get(level)
+            if hit is not None:
+                esrc, edst = hit
+                np.maximum.at(asap, edst, asap[esrc] + lat[esrc])
+        self._asap_np = asap
+        return asap.tolist()
 
     def tails(self) -> List[int]:
         """Longest path length from each node's start to any sink."""
         if self._tails is None:
             PERF.add("kernel.full_tail_passes")
-            latency = self.latency
-            tails = [0] * len(self.nodes)
-            for i in reversed(self.topo_order()):
-                lat = latency[i]
-                best = lat
-                for s in self.succs[i]:
-                    candidate = lat + tails[s]
-                    if candidate > best:
-                        best = candidate
-                tails[i] = best
-            self._tails = tails
+            if self._use_vectorized_sweeps():
+                PERF.add("kernel.vec.sweeps")
+                with PERF.phase("kernel.vec.tails"):
+                    self._tails = self._tails_vectorized()
+            else:
+                with PERF.phase("kernel.ref.tails"):
+                    self._tails = self._tails_reference()
         return self._tails
+
+    def _tails_reference(self) -> List[int]:
+        latency = self.latency
+        tails = [0] * len(self.nodes)
+        for i in reversed(self.topo_order()):
+            lat = latency[i]
+            best = lat
+            for s in self.succs[i]:
+                candidate = lat + tails[s]
+                if candidate > best:
+                    best = candidate
+            tails[i] = best
+        return tails
+
+    def _tails_vectorized(self) -> List[int]:
+        np = _np
+        self._ensure_arrays()
+        lat = self._lat_np
+        tails = lat.copy()
+        order, starts = self._lvl_order, self._lvl_starts
+        indptr, flat = self._csr_indptr, self._csr_flat
+        extras = self._extras_grouped(by_dst=False)
+        for level in range(self._num_levels - 1, -1, -1):
+            a, b = int(starts[level]), int(starts[level + 1])
+            if a == b:  # pragma: no cover - every level is populated
+                continue
+            # Successor segments can be empty (sinks); reduceat over the
+            # non-empty segment starts only — dropped (empty) segments
+            # contribute zero width, so the spans stay aligned.
+            ptr = indptr[a : b + 1]
+            nonempty = ptr[1:] > ptr[:-1]
+            if nonempty.any():
+                p0, p1 = int(ptr[0]), int(ptr[-1])
+                vals = tails[flat[p0:p1]]
+                seg_max = np.maximum.reduceat(vals, ptr[:-1][nonempty] - p0)
+                idxs = order[a:b][nonempty]
+                tails[idxs] = lat[idxs] + seg_max
+            hit = extras.get(level)
+            if hit is not None:
+                esrc, edst = hit
+                np.maximum.at(tails, esrc, lat[esrc] + tails[edst])
+        return tails.tolist()
 
     def critical_path_length(self) -> int:
         """Longest path through the graph, in control steps."""
@@ -205,6 +520,10 @@ class CDFGView:
     def alap(self, horizon: int) -> List[int]:
         """Latest start per node within *horizon* steps.
 
+        Memoized per horizon with an LRU bound of :data:`ALAP_MEMO_CAP`
+        entries — horizon sweeps (arena, verify) touch many horizons and
+        each memo entry is a full node-length list.
+
         Raises
         ------
         InfeasibleScheduleError
@@ -212,6 +531,8 @@ class CDFGView:
         """
         cached = self._alap_by_horizon.get(horizon)
         if cached is not None:
+            self._alap_by_horizon.move_to_end(horizon)
+            PERF.add("kernel.alap_memo_hits")
             return cached
         needed = self.critical_path_length()
         if horizon < needed:
@@ -219,6 +540,20 @@ class CDFGView:
                 f"horizon {horizon} below critical path {needed}"
             )
         PERF.add("kernel.full_alap_passes")
+        if self._use_vectorized_sweeps():
+            PERF.add("kernel.vec.sweeps")
+            with PERF.phase("kernel.vec.alap"):
+                alap = self._alap_vectorized(horizon)
+        else:
+            with PERF.phase("kernel.ref.alap"):
+                alap = self._alap_reference(horizon)
+        self._alap_by_horizon[horizon] = alap
+        if len(self._alap_by_horizon) > ALAP_MEMO_CAP:
+            self._alap_by_horizon.popitem(last=False)
+            PERF.add("kernel.alap_memo_evictions")
+        return alap
+
+    def _alap_reference(self, horizon: int) -> List[int]:
         latency = self.latency
         alap = [0] * len(self.nodes)
         for i in reversed(self.topo_order()):
@@ -228,8 +563,79 @@ class CDFGView:
                 if candidate < hi:
                     hi = candidate
             alap[i] = hi
-        self._alap_by_horizon[horizon] = alap
         return alap
+
+    def _alap_vectorized(self, horizon: int) -> List[int]:
+        np = _np
+        self._ensure_arrays()
+        lat = self._lat_np
+        alap = np.zeros(len(self.nodes), dtype=np.int64)
+        order, starts = self._lvl_order, self._lvl_starts
+        indptr, flat = self._csr_indptr, self._csr_flat
+        extras = self._extras_grouped(by_dst=False)
+        for level in range(self._num_levels - 1, -1, -1):
+            a, b = int(starts[level]), int(starts[level + 1])
+            if a == b:  # pragma: no cover - every level is populated
+                continue
+            idxs = order[a:b]
+            base = np.full(b - a, horizon, dtype=np.int64)
+            ptr = indptr[a : b + 1]
+            nonempty = ptr[1:] > ptr[:-1]
+            if nonempty.any():
+                p0, p1 = int(ptr[0]), int(ptr[-1])
+                vals = alap[flat[p0:p1]]
+                seg_min = np.minimum.reduceat(vals, ptr[:-1][nonempty] - p0)
+                base[nonempty] = np.minimum(base[nonempty], seg_min)
+            alap[idxs] = base - lat[idxs]
+            hit = extras.get(level)
+            if hit is not None:
+                esrc, edst = hit
+                np.minimum.at(alap, esrc, alap[edst] - lat[esrc])
+        self._alap_np_h = (horizon, alap)
+        return alap.tolist()
+
+    # ------------------------------------------------------------------
+    # bulk feasibility screens
+    # ------------------------------------------------------------------
+    def feasible_pairs(
+        self, horizon: int, pairs: Sequence[Tuple[int, int]]
+    ) -> List[bool]:
+        """``asap[u] + lat[u] <= alap[v]`` for each index pair, in bulk.
+
+        The screen behind temporal-edge candidate filtering: evaluated
+        over whole candidate populations with one numpy expression when
+        the vectorized path is active, falling back to the per-pair loop
+        otherwise.  Results are identical either way.
+        """
+        asap = self.asap()
+        alap = self.alap(horizon)
+        count = len(pairs)
+        if use_bulk_arrays(count):
+            np = _np
+            PERF.add("kernel.vec.bulk_screens")
+            PERF.add("kernel.vec.bulk_pairs", count)
+            flat = np.fromiter(
+                chain.from_iterable(pairs), dtype=np.int64, count=2 * count
+            )
+            src = flat[0::2]
+            dst = flat[1::2]
+            lat = (
+                self._lat_np
+                if self._lat_np is not None
+                else np.array(self.latency, dtype=np.int64)
+            )
+            # The vectorized sweeps stash their arrays before listifying;
+            # fall back to (and cache) a one-time conversion of the memo
+            # when the sweep ran on the Python path.
+            if self._asap_np is None:
+                self._asap_np = np.array(asap, dtype=np.int64)
+            asap_np = self._asap_np
+            if self._alap_np_h is None or self._alap_np_h[0] != horizon:
+                self._alap_np_h = (horizon, np.array(alap, dtype=np.int64))
+            alap_np = self._alap_np_h[1]
+            return ((asap_np[src] + lat[src]) <= alap_np[dst]).tolist()
+        latency = self.latency
+        return [asap[u] + latency[u] <= alap[v] for u, v in pairs]
 
     # ------------------------------------------------------------------
     # verification
@@ -304,7 +710,11 @@ class CDFGView:
         Patches the adjacency in O(1), keeps the topological order when
         it remains valid (source already precedes destination), and
         drops every timing cache — the incremental kernel re-derives
-        windows by delta propagation instead of a full pass.
+        windows by delta propagation instead of a full pass.  The CSR
+        arrays survive as long as the new edge respects the standing
+        level assignment (it almost always does — levels strictly
+        increase along every edge of the longest-path leveling); the
+        edge then rides in the COO side list until the next full build.
         """
         i = self.index[src]
         j = self.index[dst]
@@ -318,9 +728,16 @@ class CDFGView:
         if self._topo_pos is not None and self._topo_pos[i] >= self._topo_pos[j]:
             self._topo = None
             self._topo_pos = None
+        if self._levels is not None:
+            if self._levels[i] < self._levels[j]:
+                self._extra_edges.append((i, j))
+            else:
+                self._drop_arrays()
         self._asap = None
         self._tails = None
         self._alap_by_horizon.clear()
+        self._asap_np = None
+        self._alap_np_h = None
         self.version = self.cdfg.mutation_count
 
 
@@ -331,7 +748,10 @@ class IncrementalWindows:
     :meth:`add_edge` inserts a temporal (or other) edge and repairs the
     windows by worklist propagation over only the affected cone, and
     :meth:`delta_tighten` evaluates a window pinning (force-directed
-    scheduling's trial moves) without mutating anything.
+    scheduling's trial moves) without mutating anything.  On wide
+    graphs under the vectorized kernel mode, cone repair walks the
+    affected fanin/fanout cone one level at a time as index arrays
+    (frontier batching) instead of node-at-a-time worklists.
 
     Windows are always equal, node for node, to
     ``scheduling_windows(cdfg, horizon)`` recomputed from scratch.
@@ -343,6 +763,8 @@ class IncrementalWindows:
         self.view: CDFGView
         self.lo: List[int]
         self.hi: List[int]
+        self._lo_np = None
+        self._hi_np = None
         self._rebuild()
 
     def _rebuild(self) -> None:
@@ -351,11 +773,19 @@ class IncrementalWindows:
         self.view = view
         self.lo = list(view.asap())
         self.hi = list(view.alap(self.horizon))
+        self._lo_np = None
+        self._hi_np = None
 
     def _ensure_sync(self) -> None:
         """Rebuild from scratch if the CDFG mutated behind our back."""
         if self.view.version != self.cdfg.mutation_count:
             self._rebuild()
+
+    def _ensure_mirrors(self) -> None:
+        """Numpy mirrors of lo/hi backing the frontier-batched cones."""
+        if self._lo_np is None:
+            self._lo_np = _np.array(self.lo, dtype=_np.int64)
+            self._hi_np = _np.array(self.hi, dtype=_np.int64)
 
     # ------------------------------------------------------------------
     # queries
@@ -389,6 +819,80 @@ class IncrementalWindows:
         j = view.index[dst]
         return self.lo[i] + view.latency[i] <= self.hi[j]
 
+    def feasible_edges(self, pairs: Sequence[Tuple[str, str]]) -> List[bool]:
+        """:meth:`can_add_edge` over a whole candidate population.
+
+        One numpy expression under the vectorized path, the plain loop
+        otherwise; element ``k`` equals
+        ``can_add_edge(pairs[k][0], pairs[k][1])`` either way.
+        """
+        self._ensure_sync()
+        view = self.view
+        index = view.index
+        count = len(pairs)
+        if use_bulk_arrays(count):
+            np = _np
+            PERF.add("kernel.vec.bulk_screens")
+            PERF.add("kernel.vec.bulk_pairs", count)
+            src = np.fromiter(
+                (index[s] for s, _ in pairs), dtype=np.int64, count=count
+            )
+            dst = np.fromiter(
+                (index[d] for _, d in pairs), dtype=np.int64, count=count
+            )
+            lat = (
+                view._lat_np
+                if view._lat_np is not None
+                else np.array(view.latency, dtype=np.int64)
+            )
+            self._ensure_mirrors()
+            return (
+                (self._lo_np[src] + lat[src]) <= self._hi_np[dst]
+            ).tolist()
+        lo, hi = self.lo, self.hi
+        latency = view.latency
+        return [
+            lo[index[s]] + latency[index[s]] <= hi[index[d]]
+            for s, d in pairs
+        ]
+
+    def screen_targets(
+        self, src: str, targets: Sequence[str], needed: int
+    ) -> List[bool]:
+        """Bulk candidate screen for edge drawing out of *src*.
+
+        Element ``k`` is True iff the window of ``targets[k]`` overlaps
+        *src*'s window **and** ``asap(src) + needed <= alap(targets[k])``
+        — the two O(1) screens the watermark edge-drawing loop applies
+        per candidate, evaluated for the whole population at once.
+        """
+        self._ensure_sync()
+        view = self.view
+        index = view.index
+        i = index[src]
+        lo_i, hi_i = self.lo[i], self.hi[i]
+        count = len(targets)
+        if use_bulk_arrays(count):
+            np = _np
+            PERF.add("kernel.vec.bulk_screens")
+            PERF.add("kernel.vec.bulk_pairs", count)
+            t = np.fromiter(
+                (index[x] for x in targets), dtype=np.int64, count=count
+            )
+            self._ensure_mirrors()
+            t_lo = self._lo_np[t]
+            t_hi = self._hi_np[t]
+            mask = (t_lo <= hi_i) & (lo_i <= t_hi) & (lo_i + needed <= t_hi)
+            return mask.tolist()
+        lo, hi = self.lo, self.hi
+        out: List[bool] = []
+        for x in targets:
+            j = index[x]
+            out.append(
+                lo[j] <= hi_i and lo_i <= hi[j] and lo_i + needed <= hi[j]
+            )
+        return out
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -401,6 +905,11 @@ class IncrementalWindows:
         :class:`InfeasibleScheduleError` (before mutating anything) when
         the O(1) feasibility check fails, and whatever
         :meth:`CDFG.add_edge` raises on duplicates or cycles.
+
+        The delta is computed *before* the graph mutates — propagation
+        never traverses the edge being inserted (doing so would require
+        a cycle), so the pre-insertion adjacency yields the identical
+        fixpoint and the CSR arrays stay valid while the cone is walked.
         """
         self._ensure_sync()
         view = self.view
@@ -411,21 +920,37 @@ class IncrementalWindows:
                 f"edge {src!r}->{dst!r} infeasible within horizon "
                 f"{self.horizon}"
             )
+        delta = self._propagate_edge(i, j)
         self.cdfg.add_edge(src, dst, kind)
         view.apply_edge(src, dst, kind)
         self.cdfg._adopt_view(view)
-        delta = self._propagate_edge(i, j)
-        lo, hi = self.lo, self.hi
-        for x, (new_lo, new_hi) in delta.items():
-            lo[x] = new_lo
-            hi[x] = new_hi
+        self._commit(delta)
         PERF.add("kernel.window_incremental_updates")
         PERF.add("kernel.window_nodes_touched", len(delta))
         PERF.add("kernel.window_recomputes_avoided")
         return len(delta)
 
+    def _use_vec_cone(self) -> bool:
+        mode = _KERNEL_MODE
+        if _np is None or mode == "reference":
+            return False
+        if mode == "vectorized":
+            return True
+        view = self.view
+        if view._csr_indptr is None:
+            # auto never forces an array build just for one cone; the
+            # arrays appear once a full vectorized sweep has run.
+            return False
+        n = len(view.nodes)
+        return n >= AUTO_MIN_NODES and n / view._num_levels >= AUTO_MIN_WIDTH
+
     def _propagate_edge(self, i: int, j: int) -> Dict[int, Window]:
         """Delta windows implied by a new edge i -> j (no mutation)."""
+        if self._use_vec_cone():
+            lat_i = self.view.latency[i]
+            return self._cone_propagate_vec(
+                [(j, self.lo[i] + lat_i)], [(i, self.hi[j] - lat_i)], ""
+            )
         view = self.view
         latency = view.latency
         lo, hi = self.lo, self.hi
@@ -472,6 +997,136 @@ class IncrementalWindows:
                         worklist.append(p)
         return delta
 
+    def _cone_propagate_vec(
+        self,
+        fwd_seeds: Sequence[Tuple[int, int]],
+        bwd_seeds: Sequence[Tuple[int, int]],
+        what: str,
+    ) -> Dict[int, Window]:
+        """Frontier-batched cone repair over the level structure.
+
+        Seeds raise ``lo`` (forward) or lower ``hi`` (backward); waves
+        then advance one level at a time, expanding a whole frontier's
+        adjacency with array gathers and folding duplicate targets with
+        scatter max/min.  The numpy mirrors are mutated in place for
+        speed and **rolled back** before returning, so like the worklist
+        reference this computes a delta without committing anything —
+        including when it raises on an emptied window.
+        """
+        np = _np
+        view = self.view
+        view._ensure_arrays()
+        self._ensure_mirrors()
+        PERF.add("kernel.vec.cone_updates")
+        lo, hi = self._lo_np, self._hi_np
+        lat = view._lat_np
+        levels = view._levels_np
+        pos = view._lvl_pos
+        first_old: Dict[int, Window] = {}
+
+        def remember(x: int) -> None:
+            if x not in first_old:
+                first_old[x] = (int(lo[x]), int(hi[x]))
+
+        def rollback() -> None:
+            for x, (old_lo, old_hi) in first_old.items():
+                lo[x] = old_lo
+                hi[x] = old_hi
+
+        def fail(x: int) -> None:
+            emptied = view.nodes[x]
+            rollback()
+            raise InfeasibleScheduleError(
+                f"window of {emptied!r} emptied{what}"
+            )
+
+        extras = view._extra_edges
+        if extras:
+            ex_src = np.array([u for u, _ in extras], dtype=np.int64)
+            ex_dst = np.array([v for _, v in extras], dtype=np.int64)
+        else:
+            ex_src = ex_dst = None
+
+        fwd_buckets: Dict[int, List[int]] = {}
+        bwd_buckets: Dict[int, List[int]] = {}
+        for x, cand in fwd_seeds:
+            remember(x)
+            if cand > lo[x]:
+                lo[x] = cand
+                fwd_buckets.setdefault(int(levels[x]), []).append(x)
+        for x, cand in bwd_seeds:
+            remember(x)
+            if cand < hi[x]:
+                hi[x] = cand
+                bwd_buckets.setdefault(int(levels[x]), []).append(x)
+        for x in first_old:
+            if lo[x] > hi[x]:  # pragma: no cover - callers pre-check seeds
+                fail(x)
+
+        def expand(buckets, indptr, flat, forward: bool):
+            # Waves only ever move level-up (forward) / level-down
+            # (backward), so popping the extreme level finalizes it.
+            while buckets:
+                level = min(buckets) if forward else max(buckets)
+                wave = np.unique(
+                    np.array(buckets.pop(level), dtype=np.int64)
+                )
+                p = pos[wave]
+                seg_start = indptr[p]
+                lengths = indptr[p + 1] - seg_start
+                total = int(lengths.sum())
+                if total:
+                    cum = np.cumsum(lengths) - lengths
+                    gather = np.repeat(seg_start - cum, lengths) + np.arange(
+                        total
+                    )
+                    other = flat[gather]
+                    origin = np.repeat(wave, lengths)
+                else:
+                    other = np.empty(0, dtype=np.int64)
+                    origin = other
+                if ex_src is not None:
+                    hit = np.isin(ex_src if forward else ex_dst, wave)
+                    if hit.any():
+                        other = np.concatenate(
+                            [other, (ex_dst if forward else ex_src)[hit]]
+                        )
+                        origin = np.concatenate(
+                            [origin, (ex_src if forward else ex_dst)[hit]]
+                        )
+                if not other.size:
+                    continue
+                uniq = np.unique(other)
+                for x in uniq.tolist():
+                    remember(x)
+                if forward:
+                    old = lo[uniq].copy()
+                    np.maximum.at(lo, other, lo[origin] + lat[origin])
+                    moved = uniq[lo[uniq] > old]
+                else:
+                    old = hi[uniq].copy()
+                    np.minimum.at(hi, other, hi[origin] - lat[other])
+                    moved = uniq[hi[uniq] < old]
+                if moved.size:
+                    bad = moved[lo[moved] > hi[moved]]
+                    if bad.size:
+                        fail(int(bad[0]))
+                    for x, lvl in zip(
+                        moved.tolist(), levels[moved].tolist()
+                    ):
+                        buckets.setdefault(lvl, []).append(x)
+
+        expand(fwd_buckets, view._csr_indptr, view._csr_flat, forward=True)
+        expand(bwd_buckets, view._csc_indptr, view._csc_flat, forward=False)
+
+        delta = {
+            x: (int(lo[x]), int(hi[x]))
+            for x, old in first_old.items()
+            if (int(lo[x]), int(hi[x])) != old
+        }
+        rollback()
+        return delta
+
     # ------------------------------------------------------------------
     # trial tightening (force-directed scheduling)
     # ------------------------------------------------------------------
@@ -498,6 +1153,10 @@ class IncrementalWindows:
         if new_lo > new_hi:
             raise InfeasibleScheduleError(
                 f"window of {name!r} emptied while pinning {name!r}"
+            )
+        if self._use_vec_cone():
+            return self._cone_propagate_vec(
+                [(i, new_lo)], [(i, new_hi)], f" while pinning {name!r}"
             )
         delta: Dict[int, Window] = {}
         if (new_lo, new_hi) != (lo[i], hi[i]):
@@ -540,12 +1199,20 @@ class IncrementalWindows:
                     worklist.append(p)
         return delta
 
-    def apply(self, delta: Dict[int, Window]) -> None:
-        """Commit a delta produced by :meth:`delta_tighten`."""
+    def _commit(self, delta: Dict[int, Window]) -> None:
         lo, hi = self.lo, self.hi
         for x, (new_lo, new_hi) in delta.items():
             lo[x] = new_lo
             hi[x] = new_hi
+        if self._lo_np is not None:
+            lo_np, hi_np = self._lo_np, self._hi_np
+            for x, (new_lo, new_hi) in delta.items():
+                lo_np[x] = new_lo
+                hi_np[x] = new_hi
+
+    def apply(self, delta: Dict[int, Window]) -> None:
+        """Commit a delta produced by :meth:`delta_tighten`."""
+        self._commit(delta)
         PERF.add("kernel.window_incremental_updates")
         PERF.add("kernel.window_nodes_touched", len(delta))
 

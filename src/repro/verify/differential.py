@@ -428,6 +428,189 @@ def oracle_windows_kernel(base_seed: int, trial: int) -> List[Divergence]:
 
 
 # ----------------------------------------------------------------------
+# vectorized kernel vs worklist reference
+# ----------------------------------------------------------------------
+def kernel_vectorized_trial(seed: int) -> List[Divergence]:
+    """Array-native kernel against the worklist reference, bit for bit.
+
+    One randomized design, four legs:
+
+    1. cold full sweeps (ASAP / tails / ALAP) on fresh views under each
+       forced kernel mode;
+    2. the same random temporal-edge insertion sequence driven through
+       two lockstep :class:`IncrementalWindows` (one per mode) on twin
+       design copies — feasibility verdicts, raised errors, and the
+       windows after every accepted edge must all agree;
+    3. **warm**-view full sweeps after the mutations, exercising the
+       COO extras side list the vectorized sweeps fold in;
+    4. bulk feasibility screens vs the per-pair loop, and
+       :meth:`delta_tighten` cone deltas under both modes.
+
+    Returns no divergences (a silent pass) when numpy is unavailable.
+    """
+    from repro.timing.kernel import (
+        NUMPY_AVAILABLE,
+        CDFGView,
+        kernel_mode_override,
+    )
+
+    if not NUMPY_AVAILABLE:  # pragma: no cover - numpy ships in CI
+        return []
+    rng = random.Random(seed)
+    design = trial_design(seed, num_ops=rng.choice((24, 36, 48)))
+    horizon = critical_path_length(design) + rng.randint(0, 3)
+    divergences: List[Divergence] = []
+
+    def report(detail: str, **data) -> None:
+        divergences.append(
+            Divergence(
+                oracle="kernel_vectorized",
+                design=design.name,
+                seed=seed,
+                detail=detail,
+                data=data,
+            )
+        )
+
+    # Leg 1: cold full sweeps on fresh views.
+    with kernel_mode_override("reference"):
+        ref_view = CDFGView(design)
+        cold_ref = (ref_view.asap(), ref_view.tails(), ref_view.alap(horizon))
+    with kernel_mode_override("vectorized"):
+        vec_view = CDFGView(design)
+        cold_vec = (vec_view.asap(), vec_view.tails(), vec_view.alap(horizon))
+    for name, r, v in zip(("asap", "tails", "alap"), cold_ref, cold_vec):
+        if r != v:
+            bad = [i for i, (a, b) in enumerate(zip(r, v)) if a != b]
+            report(
+                f"vectorized {name} diverged from reference on a cold view "
+                f"at {len(bad)} node(s)",
+                sweep=name,
+                nodes=[ref_view.nodes[i] for i in bad[:8]],
+            )
+
+    # Leg 2: lockstep incremental edge insertions on twin copies.
+    ref_cdfg = design.copy()
+    vec_cdfg = design.copy()
+    with kernel_mode_override("reference"):
+        ref_iw = IncrementalWindows(ref_cdfg, horizon)
+    with kernel_mode_override("vectorized"):
+        vec_iw = IncrementalWindows(vec_cdfg, horizon)
+    nodes = list(design.schedulable_operations)
+    inserted: List[Tuple[str, str]] = []
+    attempts = 0
+    while len(inserted) < 6 and attempts < 48:
+        attempts += 1
+        src, dst = rng.sample(nodes, 2)
+        with kernel_mode_override("reference"):
+            ref_ok = ref_iw.can_add_edge(src, dst)
+        with kernel_mode_override("vectorized"):
+            vec_ok = vec_iw.can_add_edge(src, dst)
+        if ref_ok != vec_ok:
+            report(
+                f"can_add_edge({src!r}, {dst!r}) disagreed: "
+                f"reference={ref_ok}, vectorized={vec_ok}",
+                edges=inserted,
+            )
+            break
+        if not ref_ok:
+            continue
+        outcomes = {}
+        for mode, iw in (("reference", ref_iw), ("vectorized", vec_iw)):
+            with kernel_mode_override(mode):
+                try:
+                    iw.add_edge(src, dst)
+                    outcomes[mode] = None
+                except (CDFGError, InfeasibleScheduleError) as exc:
+                    outcomes[mode] = type(exc).__name__
+        if outcomes["reference"] != outcomes["vectorized"]:
+            report(
+                f"add_edge({src!r}, {dst!r}) outcomes disagreed: {outcomes}",
+                edges=inserted,
+            )
+            break
+        if outcomes["reference"] is not None:
+            continue
+        inserted.append((src, dst))
+        if ref_iw.windows() != vec_iw.windows():
+            report(
+                f"windows diverged after inserting edge ({src!r}, {dst!r})",
+                edges=inserted,
+            )
+            break
+
+    # Leg 3: warm full sweeps on the mutated vectorized view — the
+    # patched view carries the inserted edges in its extras side list,
+    # so both private sweep bodies run over identical adjacency.
+    warm = vec_iw.view
+    warm_pairs = (
+        ("asap", warm._asap_reference(), warm._asap_vectorized()),
+        ("tails", warm._tails_reference(), warm._tails_vectorized()),
+        ("alap", warm._alap_reference(horizon), warm._alap_vectorized(horizon)),
+    )
+    for name, r, v in warm_pairs:
+        if r != v:
+            bad = [i for i, (a, b) in enumerate(zip(r, v)) if a != b]
+            report(
+                f"warm {name} sweep diverged after {len(inserted)} "
+                f"insertion(s) at {len(bad)} node(s)",
+                sweep=name,
+                edges=inserted,
+                nodes=[warm.nodes[i] for i in bad[:8]],
+            )
+
+    # Leg 4: bulk screens and cone deltas.
+    index = vec_iw.view.index
+    name_pairs = [tuple(rng.sample(nodes, 2)) for _ in range(24)]
+    with kernel_mode_override("vectorized"):
+        bulk = vec_iw.feasible_edges(name_pairs)
+    with kernel_mode_override("reference"):
+        looped = ref_iw.feasible_edges(name_pairs)
+    if bulk != looped:
+        report(
+            "bulk feasible_edges disagreed with the per-pair loop",
+            pairs=[list(p) for p in name_pairs],
+            bulk=bulk,
+            loop=looped,
+        )
+    idx_pairs = [(index[u], index[v]) for u, v in name_pairs]
+    with kernel_mode_override("vectorized"):
+        view_bulk = vec_iw.view.feasible_pairs(horizon, idx_pairs)
+    with kernel_mode_override("reference"):
+        view_loop = ref_iw.view.feasible_pairs(horizon, idx_pairs)
+    if view_bulk != view_loop:
+        report("view.feasible_pairs bulk screen disagreed with the loop")
+
+    for _ in range(4):
+        node = rng.choice(nodes)
+        i = index[node]
+        lo, hi = vec_iw.lo[i], vec_iw.hi[i]
+        if lo == hi:
+            continue
+        pin = rng.randint(lo, hi)
+        deltas = {}
+        for mode, iw in (("reference", ref_iw), ("vectorized", vec_iw)):
+            with kernel_mode_override(mode):
+                try:
+                    deltas[mode] = iw.delta_tighten(node, (pin, pin))
+                except InfeasibleScheduleError:
+                    deltas[mode] = "infeasible"
+        if deltas["reference"] != deltas["vectorized"]:
+            report(
+                f"delta_tighten({node!r}, ({pin}, {pin})) cone deltas "
+                f"disagreed between modes",
+                node=node,
+                pin=pin,
+            )
+    return divergences
+
+
+def oracle_kernel_vectorized(base_seed: int, trial: int) -> List[Divergence]:
+    """Vectorized-vs-reference kernel oracle, one trial."""
+    return kernel_vectorized_trial(derive_seed(base_seed, trial, "veckernel"))
+
+
+# ----------------------------------------------------------------------
 # exact P_c vs brute-force Monte Carlo
 # ----------------------------------------------------------------------
 #: Cap on the window-box volume a Monte Carlo trial will sample; above

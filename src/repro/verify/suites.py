@@ -3,8 +3,9 @@
 Three suites, each a set of named oracles:
 
 * ``differential`` — scheduler cross-checks, kernel-vs-reference
-  embedding, incremental-vs-full windows, exact-vs-Monte-Carlo ``P_c``,
-  and the serving engine's ``attack`` job vs the arena library path
+  embedding, incremental-vs-full windows, vectorized-vs-worklist
+  timing sweeps, exact-vs-Monte-Carlo ``P_c``, and the serving
+  engine's ``attack`` job vs the arena library path
   (:mod:`repro.verify.differential`);
 * ``metamorphic`` — renaming, re-serialization, latency scaling, and
   IO round-trip invariance (:mod:`repro.verify.metamorphic`);
@@ -56,6 +57,7 @@ DIFFERENTIAL_ORACLES: Dict[str, TrialFn] = {
     "schedulers": differential.oracle_schedulers,
     "embed_paths": differential.oracle_embed_paths,
     "windows_kernel": differential.oracle_windows_kernel,
+    "kernel_vectorized": differential.oracle_kernel_vectorized,
 }
 
 METAMORPHIC_ORACLES: Dict[str, TrialFn] = {

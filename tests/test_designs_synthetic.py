@@ -1,0 +1,94 @@
+"""Synthetic large-tier generators: determinism, structure, registry."""
+
+import networkx as nx
+import pytest
+
+from repro.cdfg.designs.synthetic import (
+    STITCH_MEMBERS,
+    SYNTHETIC_TIERS,
+    scaled_echo_canceler,
+    stitched_hyper_composite,
+    synthetic_design,
+)
+from repro.cdfg.ops import OpType
+from repro.timing.kernel import CDFGView
+from repro.timing.windows import critical_path_length, scheduling_windows
+
+
+def _signature(design):
+    return (
+        sorted(design.graph.nodes),
+        sorted((u, v, d["kind"].value) for u, v, d in design.graph.edges(data=True)),
+    )
+
+
+class TestScaledEchoCanceler:
+    def test_structure_and_scale(self):
+        design = scaled_echo_canceler(taps=20, lanes=6)
+        n = design.graph.number_of_nodes()
+        # ~5 nodes per (lane, tap): 1 input + 2 muls + 1 add, plus the
+        # decimated LMS side chain amortizing to ~1.25 more.
+        assert 5 * 20 * 6 * 0.9 <= n <= 5 * 20 * 6 * 1.2
+        design.validate()
+        # Depth tracks 2*taps (mul+add per stage), not lanes.
+        assert critical_path_length(design) < 3 * 20 + 10
+
+    def test_deterministic(self):
+        a = scaled_echo_canceler(taps=8, lanes=3)
+        b = scaled_echo_canceler(taps=8, lanes=3)
+        assert _signature(a) == _signature(b)
+
+    def test_windows_computable(self):
+        design = scaled_echo_canceler(taps=8, lanes=3)
+        horizon = critical_path_length(design)
+        windows = scheduling_windows(design, horizon)
+        assert all(lo <= hi for lo, hi in windows.values())
+
+
+class TestStitchedComposite:
+    def test_reaches_target_and_validates(self):
+        design = stitched_hyper_composite(3000, seed=4)
+        n = design.graph.number_of_nodes()
+        assert n >= 3000
+        # Overshoot is at most one member copy plus the adder tree.
+        assert n <= 3000 + 1500
+
+    def test_connected_single_sink(self):
+        design = stitched_hyper_composite(2000, seed=1)
+        assert nx.is_weakly_connected(design.graph)
+        sinks = [
+            v
+            for v in design.graph.nodes
+            if design.graph.out_degree(v) == 0
+            and design.graph.nodes[v]["op"] is OpType.OUTPUT
+        ]
+        assert "stitch/y" in sinks
+
+    def test_deterministic_per_seed(self):
+        a = stitched_hyper_composite(2000, seed=9)
+        b = stitched_hyper_composite(2000, seed=9)
+        assert _signature(a) == _signature(b)
+
+    def test_wide_not_deep(self):
+        design = stitched_hyper_composite(4000, seed=2)
+        view = CDFGView(design)
+        view._ensure_levels()
+        width = design.graph.number_of_nodes() / view._num_levels
+        # The whole point of the tier: lots of nodes per level so the
+        # level-batched sweeps have populations to amortize over.
+        assert width > 16
+
+
+class TestTierRegistry:
+    def test_registry_names_unique_and_resolvable(self):
+        names = [spec.name for spec in SYNTHETIC_TIERS]
+        assert len(names) == len(set(names))
+        assert "composite-50k" in names
+        assert any(spec.target_nodes >= 100_000 for spec in SYNTHETIC_TIERS)
+
+    def test_unknown_tier_raises(self):
+        with pytest.raises(KeyError):
+            synthetic_design("composite-3b")
+
+    def test_stitch_members_exclude_long_echo(self):
+        assert "Long Echo Canceler" not in STITCH_MEMBERS

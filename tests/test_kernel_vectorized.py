@@ -1,0 +1,286 @@
+"""Array-native kernel vs worklist reference: equality, memo, oracle teeth.
+
+The vectorized sweeps, bulk screens, and frontier-batched cone
+propagation all claim *bit-identical* results to the retained Python
+worklist implementations.  These tests pin that claim with hypothesis
+properties (via the ``kernel_vectorized`` differential oracle, which
+also exercises post-mutation warm views), forced-mode edge cases the
+auto heuristic would never route to the array path, the bounded ALAP
+memo, and a planted-bug test proving the oracle actually has teeth.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.generators import random_layered_cdfg
+from repro.timing.kernel import (
+    ALAP_MEMO_CAP,
+    NUMPY_AVAILABLE,
+    CDFGView,
+    IncrementalWindows,
+    kernel_mode,
+    kernel_mode_override,
+    set_kernel_mode,
+    use_bulk_arrays,
+)
+from repro.timing.windows import critical_path_length
+from repro.util.perf import PERF
+from repro.verify.differential import kernel_vectorized_trial
+
+pytestmark = pytest.mark.skipif(
+    not NUMPY_AVAILABLE, reason="vectorized kernel requires numpy"
+)
+
+
+def _sweeps(view, horizon):
+    return view.asap(), view.tails(), view.alap(horizon)
+
+
+class TestSweepEquality:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_oracle_property(self, seed):
+        """The differential oracle finds nothing on random CDFGs.
+
+        One trial covers cold sweeps, a lockstep edge-insertion
+        sequence through two IncrementalWindows, warm (post-mutation)
+        sweeps over the extras side list, bulk screens, and cone
+        deltas — all under both forced kernel modes.
+        """
+        assert kernel_vectorized_trial(seed) == []
+
+    def test_forced_vectorized_on_tiny_graph(self):
+        design = random_layered_cdfg(6, seed=3)
+        horizon = critical_path_length(design) + 1
+        with kernel_mode_override("reference"):
+            ref = _sweeps(CDFGView(design), horizon)
+        with kernel_mode_override("vectorized"):
+            vec = _sweeps(CDFGView(design), horizon)
+        assert ref == vec
+
+    def test_forced_vectorized_on_deep_chain(self):
+        # One node per level: the degenerate shape the auto heuristic
+        # keeps on the Python path, still exact when forced to arrays.
+        b = CDFGBuilder("chain")
+        acc = b.input("x0")
+        for k in range(80):
+            acc = b.const_mul(acc, f"m{k}")
+        b.output(acc, "y")
+        design = b.build()
+        horizon = critical_path_length(design) + 2
+        with kernel_mode_override("reference"):
+            ref = _sweeps(CDFGView(design), horizon)
+        with kernel_mode_override("vectorized"):
+            vec = _sweeps(CDFGView(design), horizon)
+        assert ref == vec
+
+    def test_wide_layered_graph(self):
+        design = random_layered_cdfg(160, seed=11, num_layers=4)
+        horizon = critical_path_length(design)
+        with kernel_mode_override("reference"):
+            ref = _sweeps(CDFGView(design), horizon)
+        with kernel_mode_override("vectorized"):
+            vec = _sweeps(CDFGView(design), horizon)
+        assert ref == vec
+
+
+class TestAlapMemo:
+    def test_lru_bound_hits_and_evictions(self):
+        design = random_layered_cdfg(40, seed=7)
+        view = CDFGView(design)
+        base = critical_path_length(design)
+        before = PERF.snapshot()["counters"]
+
+        results = {}
+        for h in range(base, base + ALAP_MEMO_CAP + 1):
+            results[h] = view.alap(h)
+        assert len(view._alap_by_horizon) == ALAP_MEMO_CAP
+        assert base not in view._alap_by_horizon  # oldest evicted
+
+        # Recompute after eviction: same values, no stale reuse.
+        assert view.alap(base) == results[base]
+        # Repeat within the cap: served from the memo.
+        hits0 = PERF.get("kernel.alap_memo_hits")
+        assert view.alap(base) is view._alap_by_horizon[base]
+        assert PERF.get("kernel.alap_memo_hits") == hits0 + 1
+
+        evicted = PERF.get("kernel.alap_memo_evictions") - before.get(
+            "kernel.alap_memo_evictions", 0
+        )
+        assert evicted >= 2  # cap overflow + the recompute's re-insert
+
+    def test_memo_entries_match_reference(self):
+        design = random_layered_cdfg(32, seed=9)
+        view = CDFGView(design)
+        base = critical_path_length(design)
+        for h in (base, base + 2, base + 5):
+            assert view.alap(h) == view._alap_reference(h)
+
+
+class TestBulkScreens:
+    def _instance(self, seed=21):
+        design = random_layered_cdfg(48, seed=seed)
+        horizon = critical_path_length(design) + 2
+        return design, IncrementalWindows(design, horizon), horizon
+
+    def test_feasible_edges_bulk_equals_loop(self):
+        import random
+
+        design, iw, _ = self._instance()
+        rng = random.Random(0)
+        nodes = list(design.schedulable_operations)
+        pairs = [tuple(rng.sample(nodes, 2)) for _ in range(100)]
+        with kernel_mode_override("vectorized"):
+            bulk = iw.feasible_edges(pairs)
+        with kernel_mode_override("reference"):
+            loop = iw.feasible_edges(pairs)
+        assert bulk == loop
+        assert bulk == [iw.can_add_edge(s, d) for s, d in pairs]
+
+    def test_screen_targets_bulk_equals_loop(self):
+        design, iw, _ = self._instance(seed=5)
+        nodes = list(design.schedulable_operations)
+        src, targets = nodes[0], nodes[1:]
+        for needed in (0, 1, 3):
+            with kernel_mode_override("vectorized"):
+                bulk = iw.screen_targets(src, targets, needed)
+            with kernel_mode_override("reference"):
+                loop = iw.screen_targets(src, targets, needed)
+            assert bulk == loop
+
+    def test_feasible_pairs_bulk_equals_loop(self):
+        design, iw, horizon = self._instance(seed=13)
+        view = iw.view
+        n = len(view.nodes)
+        pairs = [(i, j) for i in range(0, n, 3) for j in range(1, n, 5)]
+        with kernel_mode_override("vectorized"):
+            bulk = view.feasible_pairs(horizon, pairs)
+        with kernel_mode_override("reference"):
+            loop = view.feasible_pairs(horizon, pairs)
+        assert bulk == loop
+
+    def test_use_bulk_arrays_mode_policy(self):
+        with kernel_mode_override("reference"):
+            assert not use_bulk_arrays(10_000)
+        with kernel_mode_override("vectorized"):
+            assert use_bulk_arrays(1)
+        with kernel_mode_override("auto"):
+            assert not use_bulk_arrays(1)
+            assert use_bulk_arrays(100_000)
+
+
+class TestModeSelection:
+    def test_set_kernel_mode_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_kernel_mode("simd")
+
+    def test_set_kernel_mode_roundtrip(self):
+        previous = set_kernel_mode("reference")
+        try:
+            assert kernel_mode() == "reference"
+        finally:
+            set_kernel_mode(previous)
+        assert kernel_mode() == previous
+
+    def test_override_restores_on_exception(self):
+        before = kernel_mode()
+        with pytest.raises(RuntimeError):
+            with kernel_mode_override("reference"):
+                raise RuntimeError("boom")
+        assert kernel_mode() == before
+
+
+class TestCliKernelFlag:
+    def test_kernel_flag_forces_mode(self, tmp_path, capsys):
+        from repro.cdfg.designs import fourth_order_parallel_iir
+        from repro.cdfg.io import save
+        from repro.cli import main
+
+        design = tmp_path / "design.json"
+        save(fourth_order_parallel_iir(), design)
+        before = kernel_mode()
+        try:
+            assert (
+                main(
+                    [
+                        "--kernel", "vectorized",
+                        "info", "--design", str(design),
+                    ]
+                )
+                == 0
+            )
+            assert kernel_mode() == "vectorized"
+        finally:
+            set_kernel_mode(before)
+
+    def test_perf_report_surfaces_kernel_line(self, tmp_path, capsys):
+        from repro.cdfg.designs import fourth_order_parallel_iir
+        from repro.cdfg.io import save
+        from repro.cli import main
+
+        design = tmp_path / "design.json"
+        save(fourth_order_parallel_iir(), design)
+        before = kernel_mode()
+        try:
+            assert (
+                main(
+                    [
+                        "--kernel", "vectorized",
+                        "embed",
+                        "--design", str(design),
+                        "--author", "Alice Inc.",
+                        "--out", str(tmp_path / "marked.json"),
+                        "--record", str(tmp_path / "wm.json"),
+                        "--k", "3", "--tau", "4",
+                        "--perf-report",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            set_kernel_mode(before)
+        err = capsys.readouterr().err
+        assert "kernel mode: vectorized" in err
+        assert "kernel.vec.sweeps" in err
+
+
+class TestOracleTeeth:
+    def test_oracle_detects_planted_alap_bug(self, monkeypatch):
+        """An off-by-one in the vectorized ALAP must surface.
+
+        Proves the ``kernel_vectorized`` oracle is not vacuous: a
+        one-element perturbation of the array sweep's output yields
+        divergences on the very seeds that pass clean unpatched.
+        """
+        seeds = range(4)
+        for seed in seeds:
+            assert kernel_vectorized_trial(seed) == []
+
+        original = CDFGView._alap_vectorized
+
+        def planted(self, horizon):
+            out = original(self, horizon)
+            if out:
+                out[-1] += 1
+            return out
+
+        monkeypatch.setattr(CDFGView, "_alap_vectorized", planted)
+        found = [d for seed in seeds for d in kernel_vectorized_trial(seed)]
+        assert found, "oracle missed a planted vectorized-ALAP bug"
+        assert any(d.oracle == "kernel_vectorized" for d in found)
+
+    def test_oracle_detects_planted_screen_bug(self, monkeypatch):
+        """A flipped verdict on the bulk path only must surface too."""
+        original = IncrementalWindows.feasible_edges
+
+        def planted(self, pairs):
+            out = original(self, pairs)
+            if out and use_bulk_arrays(len(pairs)):
+                return [not out[0]] + out[1:]
+            return out
+
+        monkeypatch.setattr(IncrementalWindows, "feasible_edges", planted)
+        found = [d for seed in range(4) for d in kernel_vectorized_trial(seed)]
+        assert found, "oracle missed a planted bulk-screen bug"

@@ -79,6 +79,7 @@ class TestOraclesClean:
             "schedulers",
             "embed_paths",
             "windows_kernel",
+            "kernel_vectorized",
             "coincidence_mc",
             "attack_service",
             "embed_paths_hyper",

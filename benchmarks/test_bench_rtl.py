@@ -1,0 +1,170 @@
+"""E14 — RTL round-trip identity across the HYPER suite.
+
+For every Table II design: embed the golden-configuration watermark
+when a locality fits, list-schedule, emit Verilog, extract it back,
+and demand bit-identical structure — controller table, binding,
+schedule — plus an identical cross-level detection verdict.  The table
+reports emitted lines of code, FSM state counts, datapath size, and
+the per-design emit/extract wall time.
+
+Writes ``BENCH_rtl.json``.  ``BENCH_RTL_SMOKE=1`` restricts the sweep
+to the small designs (critical path ≤ 20) so CI stays seconds-scale;
+the full run covers all eight designs including the D/A converter and
+the echo canceler.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from _bench_util import OUT_DIR, get_collector, run_once
+from repro.cdfg.designs import HYPER_SUITE
+from repro.core.detector import detect_from_recovered_schedule
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.errors import WatermarkError
+from repro.rtl.binding import bind
+from repro.rtl.controller import (
+    recover_schedule,
+    recovered_schedule_for,
+    synthesize_controller,
+)
+from repro.rtl.emit import emit_verilog
+from repro.rtl.extract import extract_verilog
+from repro.scheduling.list_scheduler import list_schedule
+from repro.util.atomicio import atomic_write_json
+
+SMOKE = os.environ.get("BENCH_RTL_SMOKE") == "1"
+
+#: Critical-path cutoff for smoke mode (matches the verify suite's
+#: small-HYPER sweep).
+SMOKE_CP_LIMIT = 20
+
+SPECS = [
+    spec
+    for spec in HYPER_SUITE
+    if not SMOKE or spec.critical_path <= SMOKE_CP_LIMIT
+]
+
+HEADERS = [
+    "design",
+    "ops",
+    "marked",
+    "states",
+    "regs",
+    "units",
+    "LoC",
+    "emit ms",
+    "extract ms",
+    "roundtrip",
+    "detect",
+]
+
+EMBED_PARAMS = SchedulingWMParams(domain=DomainParams(tau=4), k=3)
+
+
+def roundtrip_design(design):
+    """Emit → extract one design; returns the identity/verdict row."""
+    record = None
+    marker = SchedulingWatermarker(
+        AuthorSignature("rtl-bench-author"), EMBED_PARAMS
+    )
+    try:
+        design, record = marker.embed(design)
+    except WatermarkError:
+        pass  # no locality fits; round-trip the clean design
+    schedule = list_schedule(design)
+    binding = bind(design, schedule)
+    controller = synthesize_controller(design, schedule, binding)
+
+    started = time.perf_counter()
+    rtl = emit_verilog(design, schedule, binding, controller)
+    emit_ms = (time.perf_counter() - started) * 1000.0
+    started = time.perf_counter()
+    extracted = extract_verilog(rtl.text)
+    extract_ms = (time.perf_counter() - started) * 1000.0
+
+    identical = (
+        extracted.num_steps == schedule.makespan(design)
+        and extracted.binding.unit_of == binding.unit_of
+        and extracted.binding.register_of == binding.register_of
+        and extracted.controller.as_table() == controller.as_table()
+    )
+    detected = None
+    if record is not None:
+        suspect = design.without_temporal_edges()
+        recovered = recovered_schedule_for(
+            suspect, recover_schedule(extracted.controller)
+        )
+        hit = detect_from_recovered_schedule(suspect, recovered, record)
+        behavioral = marker.verify(suspect, recovered, record)
+        detected = hit.result.detected and hit.result == behavioral
+    return {
+        "design": design.name,
+        "ops": len(design.schedulable_operations),
+        "marked": record is not None,
+        "states": rtl.num_states,
+        "registers": rtl.num_registers,
+        "units": rtl.num_units,
+        "loc": rtl.lines,
+        "emit_ms": emit_ms,
+        "extract_ms": extract_ms,
+        "identical": identical,
+        "detected": detected,
+    }
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=[s.name for s in SPECS])
+def test_rtl_roundtrip_identity(benchmark, spec):
+    result = run_once(benchmark, roundtrip_design, spec.factory())
+
+    assert result["identical"], f"{spec.name}: round trip not bit-identical"
+    if result["marked"]:
+        assert result["detected"], (
+            f"{spec.name}: RTL-level detection disagreed with behavioral"
+        )
+    assert result["states"] >= 1
+    assert result["loc"] > result["states"]  # every state costs lines
+
+    table = get_collector("BENCH_rtl", HEADERS)
+    table.add(
+        result["design"],
+        result["ops"],
+        "yes" if result["marked"] else "no",
+        result["states"],
+        result["registers"],
+        result["units"],
+        result["loc"],
+        f"{result['emit_ms']:.1f}",
+        f"{result['extract_ms']:.1f}",
+        "identical" if result["identical"] else "DIVERGED",
+        {True: "match", False: "MISMATCH", None: "-"}[result["detected"]],
+    )
+
+
+def test_rtl_report(benchmark):
+    table = get_collector("BENCH_rtl", HEADERS)
+    run_once(
+        benchmark,
+        table.emit,
+        "E14: RTL round-trip identity across the HYPER suite",
+    )
+    assert all(row[9] == "identical" for row in table.rows)
+    assert all(row[10] != "MISMATCH" for row in table.rows)
+    # At least one design must exercise the full cross-level detection
+    # path, or the bench proves nothing about the watermark.
+    assert any(row[2] == "yes" for row in table.rows)
+    atomic_write_json(
+        OUT_DIR / "BENCH_rtl.json",
+        {
+            "experiment": "E14-rtl-roundtrip",
+            "smoke": SMOKE,
+            "headers": HEADERS,
+            "rows": table.rows,
+        },
+        indent=2,
+    )

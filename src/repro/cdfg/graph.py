@@ -115,6 +115,9 @@ class CDFG:
         # small and rebuild the cache on first use.
         state = self.__dict__.copy()
         state["_view"] = None
+        # The RTL emitter caches its identifier table on the instance;
+        # it is derived and cheap to rebuild, so drop it too.
+        state.pop("_rtl_names", None)
         return state
 
     # ------------------------------------------------------------------

@@ -13,6 +13,8 @@ design files:
                         --record wm.json
     localmark detect    --design suspect.json --schedule schedule.json \\
                         --record wm.json --author "Alice Inc."
+    localmark emit-rtl  --design marked.json --schedule schedule.json \\
+                        --out marked.v --check
     localmark stress    --design marked.json --record wm.json \\
                         --rates 0,0.05,0.1,0.2
     localmark verify    --suite all --trials 200 --seed 7 \\
@@ -350,6 +352,42 @@ def cmd_detect(args: argparse.Namespace) -> int:
             f"{hit.result.total} constraints, "
             f"confidence {hit.confidence:.4f}"
         )
+    return 0
+
+
+def cmd_emit_rtl(args: argparse.Namespace) -> int:
+    # Lazy import: the RTL layer is only needed by this subcommand.
+    from repro.rtl.emit import emit_verilog
+    from repro.rtl.extract import extract_verilog, recover_schedule_from_rtl
+    from repro.util.atomicio import atomic_write_text
+
+    design = load_design(args.design)
+    if args.schedule is not None:
+        schedule = _load_schedule(args.schedule)
+    else:
+        schedule = list_schedule(design)
+    rtl = emit_verilog(design, schedule, module_name=args.module)
+    if args.check:
+        extracted = extract_verilog(rtl.text)
+        recovered = recover_schedule_from_rtl(rtl.text)
+        mismatched = [
+            n
+            for n in design.schedulable_operations
+            if recovered.start_times.get(n) != schedule.start(n)
+        ]
+        if extracted.num_steps != schedule.makespan(design) or mismatched:
+            raise ReproError(
+                f"round-trip check failed: {extracted.num_steps} extracted "
+                f"steps vs makespan {schedule.makespan(design)}, "
+                f"{len(mismatched)} schedule mismatch(es)"
+            )
+    atomic_write_text(args.out, rtl.text)
+    print(
+        f"emitted module {rtl.module_name!r}: {rtl.lines} lines, "
+        f"{rtl.num_states} states, {rtl.num_registers} registers, "
+        f"{rtl.num_units} units -> {args.out}"
+        + (" (round trip verified)" if args.check else "")
+    )
     return 0
 
 
@@ -1017,6 +1055,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_detect.add_argument("--max-hits", type=int, default=5, dest="max_hits")
     p_detect.set_defaults(func=cmd_detect)
+
+    p_emit = sub.add_parser(
+        "emit-rtl",
+        help="render a scheduled design as synthesizable Verilog",
+    )
+    p_emit.add_argument("--design", required=True)
+    p_emit.add_argument(
+        "--schedule", default=None,
+        help="schedule JSON (default: run the list scheduler)",
+    )
+    p_emit.add_argument("--out", required=True, help="output .v path")
+    p_emit.add_argument(
+        "--module", default=None,
+        help="Verilog module name (default: sanitized design name)",
+    )
+    p_emit.add_argument(
+        "--check", action="store_true",
+        help="extract the emitted text and verify the round trip",
+    )
+    p_emit.set_defaults(func=cmd_emit_rtl)
     return parser
 
 

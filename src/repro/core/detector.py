@@ -42,6 +42,100 @@ from repro.scheduling.schedule import Schedule
 
 
 @dataclass(frozen=True)
+class EdgeEvidence:
+    """Fate of one recorded temporal constraint on a recovered schedule.
+
+    Attributes
+    ----------
+    src, dst:
+        The constrained operation pair (``src`` must finish before
+        ``dst`` starts).
+    present:
+        Both endpoints exist in the suspect design.
+    satisfied:
+        The recovered schedule honors the constraint.
+    """
+
+    src: str
+    dst: str
+    present: bool
+    satisfied: bool
+
+
+@dataclass(frozen=True)
+class RecoveredDetection:
+    """Per-edge evidence + aggregate verdict from a recovered schedule."""
+
+    evidence: Tuple[EdgeEvidence, ...]
+    result: VerificationResult
+
+
+def detect_from_recovered_schedule(
+    suspect: CDFG,
+    schedule: Schedule,
+    watermark: SchedulingWatermark,
+    model: str = "poisson",
+) -> RecoveredDetection:
+    """Detect the mark on a schedule reverse-engineered from RTL.
+
+    Mirrors :meth:`SchedulingWatermarker.verify` constraint-for-
+    constraint — same satisfied set, same ``P_c`` computation — but the
+    schedule arrives from below (``repro.rtl.extract`` → controller →
+    recovered schedule) instead of from the behavioral tool, and the
+    per-edge evidence is reported explicitly so cross-level equality can
+    be asserted edge by edge, not just in aggregate.
+
+    >>> from repro.cdfg.builder import CDFGBuilder
+    >>> from repro.core.scheduling_wm import SchedulingWatermark
+    >>> b = CDFGBuilder("tiny")
+    >>> x = b.input("x")
+    >>> y = b.input("y")
+    >>> a1 = b.add(x, y, "a1")
+    >>> a2 = b.sub(x, y, "a2")
+    >>> m = b.add(a1, a2, "m")
+    >>> suspect = b.build()
+    >>> record = SchedulingWatermark(
+    ...     author_fingerprint="f", root="m", cone=("a1", "a2", "m"),
+    ...     domain_nodes=("a1", "a2"), eligible_nodes=("a1", "a2"),
+    ...     selected_nodes=("a1",), temporal_edges=(("a1", "a2"),),
+    ...     temporal_edge_ids=((0, 1),), horizon=2, critical_path=2,
+    ... )
+    >>> hit = detect_from_recovered_schedule(
+    ...     suspect,
+    ...     Schedule({"x": 0, "y": 0, "a1": 0, "a2": 1, "m": 2}),
+    ...     record,
+    ... )
+    >>> hit.result.detected, hit.evidence[0].satisfied
+    (True, True)
+    """
+    evidence = []
+    for src, dst in watermark.temporal_edges:
+        present = src in suspect and dst in suspect
+        evidence.append(
+            EdgeEvidence(
+                src=src,
+                dst=dst,
+                present=present,
+                satisfied=present and schedule.satisfies_order(src, dst),
+            )
+        )
+    satisfied = [(e.src, e.dst) for e in evidence if e.satisfied]
+    log10_pc = (
+        approx_log10_pc(suspect, satisfied, horizon=None, model=model)
+        if satisfied
+        else 0.0
+    )
+    return RecoveredDetection(
+        evidence=tuple(evidence),
+        result=VerificationResult(
+            satisfied=len(satisfied),
+            total=len(watermark.temporal_edges),
+            log10_pc=log10_pc,
+        ),
+    )
+
+
+@dataclass(frozen=True)
 class DetectionHit:
     """One candidate locality with its verification outcome."""
 

@@ -1,4 +1,4 @@
-"""RTL-level substrate: binding, FSM controllers, schedule recovery (§II)."""
+"""RTL-level substrate: binding, FSM controllers, Verilog emission (§II)."""
 
 from repro.rtl.binding import (
     Binding,
@@ -16,6 +16,21 @@ from repro.rtl.controller import (
     recovered_schedule_for,
     synthesize_controller,
 )
+from repro.rtl.emit import (
+    EmissionError,
+    EmittedRTL,
+    RTL_FORMAT_TAG,
+    const_coefficient,
+    emit_verilog,
+    rtl_identifiers,
+)
+from repro.rtl.extract import (
+    ExtractedRTL,
+    RTLExtractionError,
+    detect_from_rtl,
+    extract_verilog,
+    recover_schedule_from_rtl,
+)
 
 __all__ = [
     "Lifetime",
@@ -30,4 +45,15 @@ __all__ = [
     "recover_schedule",
     "recovered_schedule_for",
     "datapath_summary",
+    "RTL_FORMAT_TAG",
+    "EmissionError",
+    "EmittedRTL",
+    "const_coefficient",
+    "emit_verilog",
+    "rtl_identifiers",
+    "RTLExtractionError",
+    "ExtractedRTL",
+    "extract_verilog",
+    "recover_schedule_from_rtl",
+    "detect_from_rtl",
 ]

@@ -80,6 +80,24 @@ class Binding:
             return 0
         return max(self.register_of.values()) + 1
 
+    def unit_instances(self) -> List[Tuple[ResourceClass, int]]:
+        """All bound functional-unit instances, sorted by (class, index).
+
+        The Verilog emitter iterates this to declare one combinational
+        block per instance in a stable order.
+
+        >>> binding = Binding(unit_of={
+        ...     "a": (ResourceClass.ALU, 0),
+        ...     "m": (ResourceClass.MULTIPLIER, 0),
+        ...     "b": (ResourceClass.ALU, 1),
+        ... })
+        >>> [(cls.value, i) for cls, i in binding.unit_instances()]
+        [('alu', 0), ('alu', 1), ('multiplier', 0)]
+        """
+        return sorted(
+            set(self.unit_of.values()), key=lambda u: (u[0].value, u[1])
+        )
+
     def units_per_class(self) -> Dict[ResourceClass, int]:
         """Functional-unit instances per class."""
         counts: Dict[ResourceClass, int] = {}

@@ -76,6 +76,18 @@ class Controller:
         """Total datapath actions across all steps."""
         return sum(len(word) for word in self.steps)
 
+    def as_table(self) -> Tuple[Tuple[MicroOp, ...], ...]:
+        """Canonical immutable form (tuple of control words).
+
+        Two controllers implement the same FSM exactly when their tables
+        are equal; the RTL round-trip oracle compares extracted
+        controllers against synthesized ones through this form.
+
+        >>> Controller(steps=[[]]).as_table()
+        ((),)
+        """
+        return tuple(tuple(word) for word in self.steps)
+
     def control_word(self, step: int) -> List[MicroOp]:
         """Micro-ops issued at *step*."""
         try:

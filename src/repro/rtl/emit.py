@@ -1,0 +1,422 @@
+"""Deterministic synthesizable-subset Verilog emission (§II, one level down).
+
+The paper's detection story assumes the suspect artifact is an *implementation*
+— "once the specification is available, one can easily recover its finite
+state machine (FSM) and, thus, the schedule and assignments used in the IC".
+Everything below behavioral level in this repo stopped at the abstract
+:class:`~repro.rtl.controller.Controller`; this module renders the real thing:
+an FSMD-style Verilog module whose datapath comes from the
+:class:`~repro.rtl.binding.Binding` (one combinational block per functional
+unit instance, one ``r<k>`` register per left-edge register), whose FSM comes
+from the :class:`~repro.rtl.controller.Controller` (one state per control
+step, write-backs as nonblocking assignments), and whose port list comes from
+the CDFG's primary inputs/outputs.
+
+Properties the rest of the stack relies on:
+
+* **Deterministic** — the same (CDFG, schedule, binding, controller) always
+  renders byte-identical text (golden tests pin it; the ``rtl_roundtrip``
+  oracle re-renders every trial).
+* **Structurally faithful** — every micro-op appears as a case arm of its
+  unit's combinational block *and* a write-back in the sequential block, so
+  :mod:`repro.rtl.extract` can recover the (schedule, binding) pair from the
+  synthesizable text itself.  Node names and opcodes ride in structured
+  comments (``// op <OPCODE> <name>``), the way HLS tools preserve source
+  identifiers; states, units, operand registers, and destination registers
+  are all recovered from code, not comments.
+* **Synthesizable subset** — single-clock, single-cycle operations
+  (every schedulable op must have latency 1), 32-bit signed datapath,
+  ``start``/``done`` handshake.  Multi-cycle latencies raise
+  :class:`EmissionError` rather than emit wrong timing.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType
+from repro.errors import ReproError
+from repro.rtl.binding import Binding, bind
+from repro.rtl.controller import Controller, MicroOp, synthesize_controller
+from repro.scheduling.schedule import Schedule
+
+#: First line of every emitted file; the extractor refuses anything else.
+RTL_FORMAT_TAG = "// localmark-rtl-v1"
+
+#: Datapath word width in bits.
+WORD_BITS = 32
+
+
+class EmissionError(ReproError):
+    """The design falls outside the synthesizable subset."""
+
+
+@dataclass(frozen=True)
+class EmittedRTL:
+    """One rendered Verilog module plus its summary statistics.
+
+    Attributes
+    ----------
+    module_name:
+        Sanitized Verilog module identifier.
+    text:
+        Complete module source (ends with a newline).
+    num_states:
+        Control-step states (excluding ``S_IDLE``/``S_DONE``).
+    num_registers:
+        Datapath registers ``r0..``.
+    num_units:
+        Functional-unit instances.
+    """
+
+    module_name: str
+    text: str
+    num_states: int
+    num_registers: int
+    num_units: int
+
+    @property
+    def lines(self) -> int:
+        """Emitted lines of Verilog."""
+        return self.text.count("\n")
+
+
+def _sanitize_identifier(name: str) -> str:
+    """A Verilog-legal identifier derived from *name*."""
+    ident = re.sub(r"[^0-9A-Za-z_]", "_", name)
+    if not ident:
+        ident = "n"
+    if ident[0].isdigit():
+        ident = "n" + ident
+    return ident
+
+
+def rtl_identifiers(cdfg: CDFG) -> Dict[str, str]:
+    """Node → unique Verilog identifier table (cached on the CDFG).
+
+    The table is deterministic (insertion order + suffix dedup) and is
+    cached on the design keyed by its mutation counter, exactly like the
+    timing view; :meth:`CDFG.__getstate__` drops the cache so pickled
+    designs rebuild it on first use.
+
+    >>> from repro.cdfg.builder import CDFGBuilder
+    >>> from repro.cdfg.ops import OpType
+    >>> b = CDFGBuilder("demo")
+    >>> _ = b.input("a/b")
+    >>> _ = b.op("a+b", OpType.ADD, "a/b")
+    >>> rtl_identifiers(b.build())
+    {'a/b': 'a_b', 'a+b': 'a_b_1'}
+    """
+    cached = getattr(cdfg, "_rtl_names", None)
+    if cached is not None and cached[0] == cdfg.mutation_count:
+        return cached[1]
+    table: Dict[str, str] = {}
+    used = set()
+    for node in cdfg.operations:
+        ident = _sanitize_identifier(node)
+        if ident in used:
+            suffix = 1
+            while f"{ident}_{suffix}" in used:
+                suffix += 1
+            ident = f"{ident}_{suffix}"
+        used.add(ident)
+        table[node] = ident
+    cdfg._rtl_names = (cdfg.mutation_count, table)
+    return table
+
+
+def _arm_label(step: int) -> str:
+    """Case-arm label of control step *step* (``S_<step>``).
+
+    Both the unit combinational blocks and the sequential controller
+    block label their arms through this single helper, so the emitted
+    FSM states and the write-back states can never drift apart.
+    """
+    return f"S_{step}"
+
+
+def const_coefficient(name: str) -> int:
+    """Deterministic CONST_MUL coefficient derived from the node name.
+
+    The paper's ``C`` nodes multiply by compile-time constants the CDFG
+    does not record; a stable CRC of the node name stands in so emission
+    is reproducible across processes.
+
+    >>> const_coefficient("C1") == const_coefficient("C1")
+    True
+    >>> 1 <= const_coefficient("anything") <= 251
+    True
+    """
+    return 1 + zlib.crc32(name.encode("utf-8")) % 251
+
+
+#: Binary fold operator per operation type (datapath rendering).
+_FOLD_OPERATOR = {
+    OpType.ADD: " + ",
+    OpType.SUB: " - ",
+    OpType.MUL: " * ",
+    OpType.CONST_MUL: " * ",
+    OpType.AND: " & ",
+    OpType.OR: " | ",
+    OpType.XOR: " ^ ",
+    # Memory/branch/select/compare/shift/unit ops fold operands with +
+    # (the opcode comment disambiguates); canonical arities get their
+    # idiomatic rendering below.
+    OpType.SHIFT: " + ",
+    OpType.COMPARE: " + ",
+    OpType.SELECT: " + ",
+    OpType.LOAD: " + ",
+    OpType.STORE: " + ",
+    OpType.BRANCH: " + ",
+    OpType.UNIT: " + ",
+}
+
+
+def _expression(op: OpType, micro: MicroOp) -> str:
+    """The combinational expression computing one micro-op.
+
+    Every source register appears exactly once, in operand order — the
+    extractor recovers ``source_registers`` from the ``r<k>`` tokens of
+    this text, so the rendering must be faithful, not just plausible.
+    """
+    regs = [f"r{index}" for index in micro.source_registers]
+    if op is OpType.COMPARE and len(regs) == 2:
+        return f"(({regs[0]} < {regs[1]}) ? {WORD_BITS}'sd1 : {WORD_BITS}'sd0)"
+    if op is OpType.SELECT and len(regs) == 3:
+        return f"(({regs[0]} != {WORD_BITS}'sd0) ? {regs[1]} : {regs[2]})"
+    terms = list(regs)
+    if op is OpType.CONST_MUL:
+        terms = [f"{WORD_BITS}'sd{const_coefficient(micro.operation)}"] + terms
+    if not terms:
+        terms = [f"{WORD_BITS}'sd0"]
+    folded = _FOLD_OPERATOR[op].join(terms)
+    if op is OpType.SHIFT:
+        return f"({folded}) <<< 1"
+    return folded
+
+
+def _unit_name(unit: Tuple[str, int]) -> str:
+    """Net name of a functional-unit instance (``u_<class>_<index>``)."""
+    cls, index = unit
+    return f"u_{cls}_{index}"
+
+
+def _io_step(cdfg: CDFG, schedule: Schedule, node: str) -> int:
+    """Control step of an IO placeholder (scheduled or precedence-implied)."""
+    if node in schedule.start_times:
+        return schedule.start(node)
+    return max(
+        (
+            schedule.start(p) + cdfg.latency(p)
+            for p in cdfg.data_predecessors(node)
+            if p in schedule.start_times
+        ),
+        default=0,
+    )
+
+
+def emit_verilog(
+    cdfg: CDFG,
+    schedule: Schedule,
+    binding: Optional[Binding] = None,
+    controller: Optional[Controller] = None,
+    module_name: Optional[str] = None,
+) -> EmittedRTL:
+    """Render a scheduled design as deterministic FSMD Verilog.
+
+    *binding* and *controller* default to :func:`~repro.rtl.binding.bind`
+    and :func:`~repro.rtl.controller.synthesize_controller` on the given
+    schedule; passing them explicitly guarantees the emitted text
+    matches a datapath you already analyzed.
+
+    >>> from repro.cdfg.designs import fourth_order_parallel_iir
+    >>> from repro.scheduling.list_scheduler import list_schedule
+    >>> design = fourth_order_parallel_iir()
+    >>> rtl = emit_verilog(design, list_schedule(design))
+    >>> rtl.text.splitlines()[0]
+    '// localmark-rtl-v1'
+    >>> rtl.num_states == list_schedule(design).makespan(design)
+    True
+    """
+    schedulable = cdfg.schedulable_operations
+    if not schedulable:
+        raise EmissionError(
+            f"design {cdfg.name!r} has no schedulable operations to emit"
+        )
+    for node in schedulable:
+        if cdfg.latency(node) != 1:
+            raise EmissionError(
+                f"operation {node!r} has latency {cdfg.latency(node)}; the "
+                f"synthesizable subset is single-cycle (latency 1) only"
+            )
+    if binding is None:
+        binding = bind(cdfg, schedule)
+    if controller is None:
+        controller = synthesize_controller(cdfg, schedule, binding)
+
+    idents = rtl_identifiers(cdfg)
+    num_steps = controller.num_steps
+    num_registers = binding.num_registers
+    units = binding.unit_instances()
+    unit_keys = [(cls.value, index) for cls, index in units]
+    module = _sanitize_identifier(module_name or cdfg.name)
+
+    inputs = sorted(n for n in cdfg.operations if cdfg.op(n) is OpType.INPUT)
+    outputs = sorted(cdfg.primary_outputs)
+
+    # Micro-ops grouped per unit instance (for the combinational blocks)
+    # and per step (for the sequential write-backs).
+    by_unit: Dict[Tuple[str, int], List[Tuple[int, MicroOp]]] = {
+        key: [] for key in unit_keys
+    }
+    for step, word in enumerate(controller.steps):
+        for micro in word:
+            if micro.destination_register is None:
+                raise EmissionError(
+                    f"operation {micro.operation!r} has no destination "
+                    f"register; cannot emit its write-back"
+                )
+            if micro.unit not in by_unit:
+                raise EmissionError(
+                    f"operation {micro.operation!r} runs on unbound unit "
+                    f"{micro.unit}"
+                )
+            by_unit[micro.unit].append((step, micro))
+
+    # Output latches: (arm index or None for S_DONE, port, source, raw).
+    latches: List[Tuple[Optional[int], str, str, str]] = []
+    for node in outputs:
+        op = cdfg.op(node)
+        port = f"out_{idents[node]}"
+        if op.is_schedulable:
+            step: Optional[int] = schedule.start(node)
+            cls, index = binding.unit_of[node]
+            source = _unit_name((cls.value, index))
+        elif op is OpType.OUTPUT:
+            preds = cdfg.data_predecessors(node)
+            if len(preds) > 1:
+                raise EmissionError(
+                    f"output {node!r} has {len(preds)} drivers; expected one"
+                )
+            if preds:
+                source = f"r{binding.register_of[preds[0]]}"
+                step = _io_step(cdfg, schedule, node)
+            else:
+                source = f"{WORD_BITS}'sd0"
+                step = 0
+        else:  # a primary input that is also a sink
+            source = f"r{binding.register_of[node]}"
+            step = 0
+        latches.append((step if step < num_steps else None, port, source, node))
+
+    width = max(1, (num_steps + 1).bit_length())
+    lines: List[str] = []
+    out = lines.append
+
+    out(RTL_FORMAT_TAG)
+    out(f"// design: {cdfg.name}")
+    out(
+        f"// steps: {num_steps} registers: {num_registers} "
+        f"units: {len(units)}"
+    )
+    out(f"module {module} (")
+    out("  input wire clk,")
+    out("  input wire rst,")
+    out("  input wire start,")
+    for node in inputs:
+        out(
+            f"  input wire signed [{WORD_BITS - 1}:0] in_{idents[node]},"
+            f"  // pi {node}"
+        )
+    for node in outputs:
+        out(
+            f"  output reg signed [{WORD_BITS - 1}:0] out_{idents[node]},"
+            f"  // po {node}"
+        )
+    out("  output reg done")
+    out(");")
+
+    out(f"  localparam [{width - 1}:0] S_IDLE = {width}'d0;")
+    for step in range(num_steps):
+        out(f"  localparam [{width - 1}:0] S_{step} = {width}'d{step + 1};")
+    out(f"  localparam [{width - 1}:0] S_DONE = {width}'d{num_steps + 1};")
+    out(f"  reg [{width - 1}:0] state;")
+    for index in range(num_registers):
+        out(f"  reg signed [{WORD_BITS - 1}:0] r{index};")
+
+    for key in unit_keys:
+        net = _unit_name(key)
+        out("")
+        out(f"  // unit {key[0]}_{key[1]}")
+        out(f"  reg signed [{WORD_BITS - 1}:0] {net};")
+        out("  always @* begin")
+        out(f"    {net} = {WORD_BITS}'sd0;")
+        out("    case (state)")
+        for step, micro in sorted(
+            by_unit[key], key=lambda pair: pair[0]
+        ):
+            op = OpType[micro.opcode]
+            out(
+                f"      {_arm_label(step)}: {net} = "
+                f"{_expression(op, micro)};"
+                f"  // op {micro.opcode} {micro.operation}"
+            )
+        out("      default: ;")
+        out("    endcase")
+        out("  end")
+
+    out("")
+    out("  always @(posedge clk) begin")
+    out("    if (rst) begin")
+    out("      state <= S_IDLE;")
+    out("      done <= 1'b0;")
+    out("    end else begin")
+    out("      case (state)")
+    out("        S_IDLE: begin")
+    out("          if (start) begin")
+    for node in inputs:
+        out(
+            f"            r{binding.register_of[node]} <= "
+            f"in_{idents[node]};  // pi {node}"
+        )
+    out("            done <= 1'b0;")
+    out(f"            state <= {_arm_label(0) if num_steps else 'S_DONE'};")
+    out("          end")
+    out("        end")
+    for step in range(num_steps):
+        out(f"        {_arm_label(step)}: begin")
+        for micro in controller.steps[step]:
+            out(
+                f"          r{micro.destination_register} <= "
+                f"{_unit_name(micro.unit)};  // wb {micro.operation}"
+            )
+        for arm, port, source, raw in latches:
+            if arm == step:
+                out(f"          {port} <= {source};  // po {raw}")
+        nxt = _arm_label(step + 1) if step + 1 < num_steps else "S_DONE"
+        out(f"          state <= {nxt};")
+        out("        end")
+    out("        S_DONE: begin")
+    for arm, port, source, raw in latches:
+        if arm is None:
+            out(f"          {port} <= {source};  // po {raw}")
+    out("          done <= 1'b1;")
+    out("          state <= S_DONE;")
+    out("        end")
+    out("        default: state <= S_IDLE;")
+    out("      endcase")
+    out("    end")
+    out("  end")
+    out("endmodule")
+
+    return EmittedRTL(
+        module_name=module,
+        text="\n".join(lines) + "\n",
+        num_states=num_steps,
+        num_registers=num_registers,
+        num_units=len(units),
+    )

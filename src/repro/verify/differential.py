@@ -25,6 +25,12 @@ whenever they disagree:
   against a direct :func:`repro.arena.sweep.attack_once` call on the
   same marked instance, asserting bit-identical trial results through
   the CDFG/schedule/record JSON round trip.
+* :func:`oracle_rtl_roundtrip` — Verilog emission against extraction:
+  emit a scheduled+bound (possibly marked) design, parse the text back,
+  and demand bit-identical controller tables, bindings, schedules,
+  scheduling windows, and — when a watermark is present — per-edge
+  detection evidence and ``log10 P_c`` between the behavioral and the
+  RTL-recovered detector.
 
 Every oracle takes a base seed and derives one child seed per trial, so
 any reported divergence replays from its recorded seed alone.
@@ -804,3 +810,176 @@ def attack_service_trial(seed: int):
 def oracle_attack_service(base_seed: int, trial: int):
     """Service-vs-library attack oracle, one trial."""
     return attack_service_trial(derive_seed(base_seed, trial, "attack"))
+
+
+# ----------------------------------------------------------------------
+# Verilog emission vs extraction round trip
+# ----------------------------------------------------------------------
+def rtl_roundtrip_trial(
+    seed: int, design: Optional[CDFG] = None
+) -> List[Divergence]:
+    """One emit → extract structural-equivalence trial.
+
+    Legs, in order:
+
+    1. emission is byte-deterministic (two renders agree);
+    2. the extracted controller/binding equal the synthesized ones;
+    3. the schedule recovered from the text equals the input schedule
+       (datapath ops directly, IO placeholders via
+       :func:`~repro.rtl.controller.recovered_schedule_for`);
+    4. scheduling windows computed at the extracted step count equal the
+       behavioral ones (same ``P_c`` substrate);
+    5. when the design carries a watermark, detection from the
+       RTL-recovered schedule must match behavioral detection edge for
+       edge — same evidence tuple, same ``log10 P_c`` — and detect.
+    """
+    from repro.core.detector import detect_from_recovered_schedule
+    from repro.rtl.binding import bind
+    from repro.rtl.controller import (
+        recover_schedule,
+        recovered_schedule_for,
+        synthesize_controller,
+    )
+    from repro.rtl.emit import emit_verilog
+    from repro.rtl.extract import RTLExtractionError, extract_verilog
+
+    rng = random.Random(seed)
+    if design is None:
+        design = trial_design(seed, num_ops=rng.choice((24, 36, 48)))
+    record: Optional[SchedulingWatermark] = None
+    embedded = try_embed(design, seed)
+    if embedded is not None:
+        design, record = embedded
+    schedule = list_schedule(design)
+    binding = bind(design, schedule)
+    controller = synthesize_controller(design, schedule, binding)
+    makespan = schedule.makespan(design)
+
+    divergences: List[Divergence] = []
+
+    def report(detail: str, **data) -> None:
+        divergences.append(
+            Divergence(
+                oracle="rtl_roundtrip",
+                design=design.name,
+                seed=seed,
+                detail=detail,
+                data=data,
+            )
+        )
+
+    rtl = emit_verilog(design, schedule, binding, controller)
+    again = emit_verilog(design, schedule, binding, controller)
+    if rtl.text != again.text:
+        report("emission is not byte-deterministic")
+        return divergences
+
+    try:
+        extracted = extract_verilog(rtl.text)
+    except RTLExtractionError as exc:
+        report(f"extraction failed on freshly emitted text: {exc}")
+        return divergences
+
+    if extracted.num_steps != makespan:
+        report(
+            f"extracted {extracted.num_steps} control steps, behavioral "
+            f"makespan is {makespan}"
+        )
+    if extracted.binding.unit_of != binding.unit_of:
+        diff = {
+            n
+            for n in set(binding.unit_of) | set(extracted.binding.unit_of)
+            if binding.unit_of.get(n) != extracted.binding.unit_of.get(n)
+        }
+        report(
+            f"unit binding diverged on {len(diff)} operation(s)",
+            operations=sorted(diff)[:8],
+        )
+    if extracted.binding.register_of != binding.register_of:
+        diff = {
+            n
+            for n in set(binding.register_of)
+            | set(extracted.binding.register_of)
+            if binding.register_of.get(n)
+            != extracted.binding.register_of.get(n)
+        }
+        report(
+            f"register binding diverged on {len(diff)} variable(s)",
+            variables=sorted(diff)[:8],
+        )
+    if extracted.controller.as_table() != controller.as_table():
+        report("extracted controller table differs from synthesized FSM")
+
+    recovered = recover_schedule(extracted.controller)
+    mismatched = [
+        n
+        for n in design.schedulable_operations
+        if recovered.start_times.get(n) != schedule.start(n)
+    ]
+    if mismatched:
+        report(
+            f"recovered schedule diverged on {len(mismatched)} "
+            f"operation(s)",
+            operations=mismatched[:8],
+        )
+    suspect = design.without_temporal_edges()
+    full_rtl = recovered_schedule_for(suspect, recovered)
+    full_ctl = recovered_schedule_for(
+        suspect, recover_schedule(controller)
+    )
+    if full_rtl.start_times != full_ctl.start_times:
+        report(
+            "IO-completed schedules differ between the RTL and the "
+            "controller recovery paths"
+        )
+    if scheduling_windows(suspect, extracted.num_steps) != (
+        scheduling_windows(suspect, makespan)
+    ):
+        report(
+            "scheduling windows at the extracted step count differ from "
+            "the behavioral ones"
+        )
+
+    if record is not None:
+        rtl_hit = detect_from_recovered_schedule(suspect, full_rtl, record)
+        ctl_hit = detect_from_recovered_schedule(suspect, full_ctl, record)
+        if rtl_hit != ctl_hit:
+            report(
+                "RTL-recovered detection differs from controller-"
+                "recovered detection",
+                rtl=[rtl_hit.result.satisfied, rtl_hit.result.total],
+                controller=[
+                    ctl_hit.result.satisfied, ctl_hit.result.total,
+                ],
+            )
+        marker = SchedulingWatermarker(
+            AuthorSignature(f"{VERIFY_AUTHOR}-{seed}"), VERIFY_PARAMS
+        )
+        behavioral = marker.verify(suspect, full_ctl, record)
+        if rtl_hit.result != behavioral:
+            report(
+                "RTL-recovered verdict differs from the behavioral "
+                "detector",
+                rtl=[
+                    rtl_hit.result.satisfied,
+                    rtl_hit.result.total,
+                    rtl_hit.result.log10_pc,
+                ],
+                behavioral=[
+                    behavioral.satisfied,
+                    behavioral.total,
+                    behavioral.log10_pc,
+                ],
+            )
+        if not rtl_hit.result.detected:
+            report(
+                "watermark not detected from the emitted Verilog",
+                satisfied=rtl_hit.result.satisfied,
+                total=rtl_hit.result.total,
+            )
+    return divergences
+
+
+def oracle_rtl_roundtrip(base_seed: int, trial: int) -> List[Divergence]:
+    """Emit-vs-extract RTL oracle, one trial."""
+    return rtl_roundtrip_trial(derive_seed(base_seed, trial, "rtl"))

@@ -4,9 +4,9 @@ Three suites, each a set of named oracles:
 
 * ``differential`` — scheduler cross-checks, kernel-vs-reference
   embedding, incremental-vs-full windows, vectorized-vs-worklist
-  timing sweeps, exact-vs-Monte-Carlo ``P_c``, and the serving
-  engine's ``attack`` job vs the arena library path
-  (:mod:`repro.verify.differential`);
+  timing sweeps, Verilog emit-vs-extract round trips,
+  exact-vs-Monte-Carlo ``P_c``, and the serving engine's ``attack``
+  job vs the arena library path (:mod:`repro.verify.differential`);
 * ``metamorphic`` — renaming, re-serialization, latency scaling, and
   IO round-trip invariance (:mod:`repro.verify.metamorphic`);
 * ``fuzz`` — the view-cache mutator fuzzer (:mod:`repro.verify.fuzz`).
@@ -58,6 +58,7 @@ DIFFERENTIAL_ORACLES: Dict[str, TrialFn] = {
     "embed_paths": differential.oracle_embed_paths,
     "windows_kernel": differential.oracle_windows_kernel,
     "kernel_vectorized": differential.oracle_kernel_vectorized,
+    "rtl_roundtrip": differential.oracle_rtl_roundtrip,
 }
 
 METAMORPHIC_ORACLES: Dict[str, TrialFn] = {
@@ -147,6 +148,19 @@ def run_differential_suite(
             len(hyper),
             lambda trial: differential.embed_paths_trial(
                 differential.derive_seed(seed, trial, "hyper"),
+                design=hyper[trial],
+            ),
+            budget,
+        )
+    )
+    # Fixed sweep: emit → extract round trip on the same designs — the
+    # paper's Table II substrate must survive the drop to RTL exactly.
+    report.outcomes.append(
+        _run_oracle(
+            "rtl_roundtrip_hyper",
+            len(hyper),
+            lambda trial: differential.rtl_roundtrip_trial(
+                differential.derive_seed(seed, trial, "rtl-hyper"),
                 design=hyper[trial],
             ),
             budget,

@@ -1,0 +1,198 @@
+// localmark-rtl-v1
+// design: iir4_parallel+wm
+// steps: 6 registers: 9 units: 9
+module iir4_parallel_wm (
+  input wire clk,
+  input wire rst,
+  input wire start,
+  input wire signed [31:0] in_s11,  // pi s11
+  input wire signed [31:0] in_s12,  // pi s12
+  input wire signed [31:0] in_s21,  // pi s21
+  input wire signed [31:0] in_s22,  // pi s22
+  input wire signed [31:0] in_x,  // pi x
+  output reg signed [31:0] out_w1_next,  // po w1_next
+  output reg signed [31:0] out_w2_next,  // po w2_next
+  output reg signed [31:0] out_y,  // po y
+  output reg done
+);
+  localparam [2:0] S_IDLE = 3'd0;
+  localparam [2:0] S_0 = 3'd1;
+  localparam [2:0] S_1 = 3'd2;
+  localparam [2:0] S_2 = 3'd3;
+  localparam [2:0] S_3 = 3'd4;
+  localparam [2:0] S_4 = 3'd5;
+  localparam [2:0] S_5 = 3'd6;
+  localparam [2:0] S_DONE = 3'd7;
+  reg [2:0] state;
+  reg signed [31:0] r0;
+  reg signed [31:0] r1;
+  reg signed [31:0] r2;
+  reg signed [31:0] r3;
+  reg signed [31:0] r4;
+  reg signed [31:0] r5;
+  reg signed [31:0] r6;
+  reg signed [31:0] r7;
+  reg signed [31:0] r8;
+
+  // unit alu_0
+  reg signed [31:0] u_alu_0;
+  always @* begin
+    u_alu_0 = 32'sd0;
+    case (state)
+      S_1: u_alu_0 = r3 + r0;  // op ADD A1
+      S_2: u_alu_0 = r2 + r0;  // op ADD A2
+      S_3: u_alu_0 = r0 + r6;  // op ADD A3
+      S_4: u_alu_0 = r7 + r0;  // op ADD A4
+      S_5: u_alu_0 = r0 + r1;  // op ADD A9
+      default: ;
+    endcase
+  end
+
+  // unit alu_1
+  reg signed [31:0] u_alu_1;
+  always @* begin
+    u_alu_1 = 32'sd0;
+    case (state)
+      S_1: u_alu_1 = r3 + r1;  // op ADD A5
+      S_2: u_alu_1 = r5 + r1;  // op ADD A6
+      S_3: u_alu_1 = r1 + r3;  // op ADD A7
+      S_4: u_alu_1 = r8 + r1;  // op ADD A8
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_0
+  reg signed [31:0] u_multiplier_0;
+  always @* begin
+    u_multiplier_0 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_0 = 32'sd165 * r0;  // op CONST_MUL C1
+      S_1: u_multiplier_0 = 32'sd85 * r4;  // op CONST_MUL C7
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_1
+  reg signed [31:0] u_multiplier_1;
+  always @* begin
+    u_multiplier_1 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_1 = 32'sd109 * r1;  // op CONST_MUL C2
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_2
+  reg signed [31:0] u_multiplier_2;
+  always @* begin
+    u_multiplier_2 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_2 = 32'sd23 * r0;  // op CONST_MUL C3
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_3
+  reg signed [31:0] u_multiplier_3;
+  always @* begin
+    u_multiplier_3 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_3 = 32'sd87 * r1;  // op CONST_MUL C4
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_4
+  reg signed [31:0] u_multiplier_4;
+  always @* begin
+    u_multiplier_4 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_4 = 32'sd226 * r4;  // op CONST_MUL C5
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_5
+  reg signed [31:0] u_multiplier_5;
+  always @* begin
+    u_multiplier_5 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_5 = 32'sd135 * r2;  // op CONST_MUL C6
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_6
+  reg signed [31:0] u_multiplier_6;
+  always @* begin
+    u_multiplier_6 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_6 = 32'sd46 * r2;  // op CONST_MUL C8
+      default: ;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= S_IDLE;
+      done <= 1'b0;
+    end else begin
+      case (state)
+        S_IDLE: begin
+          if (start) begin
+            r0 <= in_s11;  // pi s11
+            r1 <= in_s12;  // pi s12
+            r4 <= in_s21;  // pi s21
+            r2 <= in_s22;  // pi s22
+            r3 <= in_x;  // pi x
+            done <= 1'b0;
+            state <= S_0;
+          end
+        end
+        S_0: begin
+          r0 <= u_multiplier_0;  // wb C1
+          r2 <= u_multiplier_1;  // wb C2
+          r6 <= u_multiplier_2;  // wb C3
+          r7 <= u_multiplier_3;  // wb C4
+          r1 <= u_multiplier_4;  // wb C5
+          r5 <= u_multiplier_5;  // wb C6
+          r8 <= u_multiplier_6;  // wb C8
+          state <= S_1;
+        end
+        S_1: begin
+          r0 <= u_alu_0;  // wb A1
+          r1 <= u_alu_1;  // wb A5
+          r3 <= u_multiplier_0;  // wb C7
+          state <= S_2;
+        end
+        S_2: begin
+          r0 <= u_alu_0;  // wb A2
+          r1 <= u_alu_1;  // wb A6
+          state <= S_3;
+        end
+        S_3: begin
+          r0 <= u_alu_0;  // wb A3
+          r1 <= u_alu_1;  // wb A7
+          out_w1_next <= r0;  // po w1_next
+          out_w2_next <= r1;  // po w2_next
+          state <= S_4;
+        end
+        S_4: begin
+          r0 <= u_alu_0;  // wb A4
+          r1 <= u_alu_1;  // wb A8
+          state <= S_5;
+        end
+        S_5: begin
+          r0 <= u_alu_0;  // wb A9
+          state <= S_DONE;
+        end
+        S_DONE: begin
+          out_y <= r0;  // po y
+          done <= 1'b1;
+          state <= S_DONE;
+        end
+        default: state <= S_IDLE;
+      endcase
+    end
+  end
+endmodule

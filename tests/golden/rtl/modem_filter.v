@@ -1,0 +1,195 @@
+// localmark-rtl-v1
+// design: modem_filter+wm
+// steps: 10 registers: 8 units: 5
+module modem_filter_wm (
+  input wire clk,
+  input wire rst,
+  input wire start,
+  input wire signed [31:0] in_x0,  // pi x0
+  input wire signed [31:0] in_x17,  // pi x17
+  input wire signed [31:0] in_x18,  // pi x18
+  input wire signed [31:0] in_x25,  // pi x25
+  input wire signed [31:0] in_x28,  // pi x28
+  output reg signed [31:0] out_y,  // po y
+  output reg done
+);
+  localparam [3:0] S_IDLE = 4'd0;
+  localparam [3:0] S_0 = 4'd1;
+  localparam [3:0] S_1 = 4'd2;
+  localparam [3:0] S_2 = 4'd3;
+  localparam [3:0] S_3 = 4'd4;
+  localparam [3:0] S_4 = 4'd5;
+  localparam [3:0] S_5 = 4'd6;
+  localparam [3:0] S_6 = 4'd7;
+  localparam [3:0] S_7 = 4'd8;
+  localparam [3:0] S_8 = 4'd9;
+  localparam [3:0] S_9 = 4'd10;
+  localparam [3:0] S_DONE = 4'd11;
+  reg [3:0] state;
+  reg signed [31:0] r0;
+  reg signed [31:0] r1;
+  reg signed [31:0] r2;
+  reg signed [31:0] r3;
+  reg signed [31:0] r4;
+  reg signed [31:0] r5;
+  reg signed [31:0] r6;
+  reg signed [31:0] r7;
+
+  // unit alu_0
+  reg signed [31:0] u_alu_0;
+  always @* begin
+    u_alu_0 = 32'sd0;
+    case (state)
+      S_1: u_alu_0 = r0;  // op ADD b1
+      S_2: u_alu_0 = r6;  // op SUB s1
+      S_3: u_alu_0 = r0;  // op ADD b3
+      S_4: u_alu_0 = r6;  // op ADD s3
+      S_5: u_alu_0 = r0;  // op ADD b5
+      S_6: u_alu_0 = r2;  // op ADD s10
+      S_7: u_alu_0 = r0 + r1 + r3 + r5;  // op ADD b7
+      S_9: u_alu_0 = r0 + r2 + r1;  // op ADD b9
+      default: ;
+    endcase
+  end
+
+  // unit alu_1
+  reg signed [31:0] u_alu_1;
+  always @* begin
+    u_alu_1 = 32'sd0;
+    case (state)
+      S_1: u_alu_1 = r0;  // op ADD s0
+      S_2: u_alu_1 = r6;  // op ADD s7
+      S_3: u_alu_1 = r7;  // op ADD s16
+      S_4: u_alu_1 = r1;  // op SUB s6
+      S_5: u_alu_1 = r5;  // op ADD s17
+      S_6: u_alu_1 = r1;  // op ADD s5
+      S_7: u_alu_1 = r2;  // op ADD s11
+      default: ;
+    endcase
+  end
+
+  // unit alu_2
+  reg signed [31:0] u_alu_2;
+  always @* begin
+    u_alu_2 = 32'sd0;
+    case (state)
+      S_5: u_alu_2 = r0;  // op ADD s9
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_0
+  reg signed [31:0] u_multiplier_0;
+  always @* begin
+    u_multiplier_0 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_0 = 32'sd114 * r1 * r0;  // op CONST_MUL b0
+      S_2: u_multiplier_0 = 32'sd4 * r0;  // op CONST_MUL b2
+      S_3: u_multiplier_0 = 32'sd100 * r6;  // op CONST_MUL s2
+      S_4: u_multiplier_0 = 32'sd33 * r0 * r2;  // op CONST_MUL b4
+      S_5: u_multiplier_0 = 32'sd115 * r2;  // op CONST_MUL s12
+      S_6: u_multiplier_0 = 32'sd226 * r0 * r6;  // op CONST_MUL b6
+      S_7: u_multiplier_0 = r1;  // op MUL s8
+      S_8: u_multiplier_0 = 32'sd249 * r0 * r4 * r7;  // op CONST_MUL b8
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_1
+  reg signed [31:0] u_multiplier_1;
+  always @* begin
+    u_multiplier_1 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_1 = r3;  // op MUL s15
+      S_5: u_multiplier_1 = r1;  // op MUL s4
+      S_6: u_multiplier_1 = r5;  // op MUL s14
+      S_8: u_multiplier_1 = 32'sd174 * r1;  // op CONST_MUL s13
+      default: ;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= S_IDLE;
+      done <= 1'b0;
+    end else begin
+      case (state)
+        S_IDLE: begin
+          if (start) begin
+            r1 <= in_x0;  // pi x0
+            r0 <= in_x17;  // pi x17
+            r2 <= in_x18;  // pi x18
+            r4 <= in_x25;  // pi x25
+            r3 <= in_x28;  // pi x28
+            done <= 1'b0;
+            state <= S_0;
+          end
+        end
+        S_0: begin
+          r0 <= u_multiplier_0;  // wb b0
+          r5 <= u_multiplier_1;  // wb s15
+          state <= S_1;
+        end
+        S_1: begin
+          r0 <= u_alu_0;  // wb b1
+          r6 <= u_alu_1;  // wb s0
+          state <= S_2;
+        end
+        S_2: begin
+          r6 <= u_alu_0;  // wb s1
+          r7 <= u_alu_1;  // wb s7
+          r0 <= u_multiplier_0;  // wb b2
+          state <= S_3;
+        end
+        S_3: begin
+          r0 <= u_alu_0;  // wb b3
+          r7 <= u_alu_1;  // wb s16
+          r6 <= u_multiplier_0;  // wb s2
+          state <= S_4;
+        end
+        S_4: begin
+          r1 <= u_alu_0;  // wb s3
+          r2 <= u_alu_1;  // wb s6
+          r0 <= u_multiplier_0;  // wb b4
+          state <= S_5;
+        end
+        S_5: begin
+          r0 <= u_alu_0;  // wb b5
+          r6 <= u_alu_1;  // wb s17
+          r2 <= u_alu_2;  // wb s9
+          r5 <= u_multiplier_0;  // wb s12
+          r1 <= u_multiplier_1;  // wb s4
+          state <= S_6;
+        end
+        S_6: begin
+          r2 <= u_alu_0;  // wb s10
+          r1 <= u_alu_1;  // wb s5
+          r0 <= u_multiplier_0;  // wb b6
+          r5 <= u_multiplier_1;  // wb s14
+          state <= S_7;
+        end
+        S_7: begin
+          r0 <= u_alu_0;  // wb b7
+          r1 <= u_alu_1;  // wb s11
+          r2 <= u_multiplier_0;  // wb s8
+          state <= S_8;
+        end
+        S_8: begin
+          r0 <= u_multiplier_0;  // wb b8
+          r1 <= u_multiplier_1;  // wb s13
+          state <= S_9;
+        end
+        S_9: begin
+          r0 <= u_alu_0;  // wb b9
+          state <= S_DONE;
+        end
+        S_DONE: begin
+          out_y <= r0;  // po y
+          done <= 1'b1;
+          state <= S_DONE;
+        end
+        default: state <= S_IDLE;
+      endcase
+    end
+  end
+endmodule

@@ -1,0 +1,192 @@
+// localmark-rtl-v1
+// design: volterra_2+wm
+// steps: 12 registers: 7 units: 5
+module volterra_2_wm (
+  input wire clk,
+  input wire rst,
+  input wire start,
+  input wire signed [31:0] in_x0,  // pi x0
+  input wire signed [31:0] in_x14,  // pi x14
+  output reg signed [31:0] out_y,  // po y
+  output reg done
+);
+  localparam [3:0] S_IDLE = 4'd0;
+  localparam [3:0] S_0 = 4'd1;
+  localparam [3:0] S_1 = 4'd2;
+  localparam [3:0] S_2 = 4'd3;
+  localparam [3:0] S_3 = 4'd4;
+  localparam [3:0] S_4 = 4'd5;
+  localparam [3:0] S_5 = 4'd6;
+  localparam [3:0] S_6 = 4'd7;
+  localparam [3:0] S_7 = 4'd8;
+  localparam [3:0] S_8 = 4'd9;
+  localparam [3:0] S_9 = 4'd10;
+  localparam [3:0] S_10 = 4'd11;
+  localparam [3:0] S_11 = 4'd12;
+  localparam [3:0] S_DONE = 4'd13;
+  reg [3:0] state;
+  reg signed [31:0] r0;
+  reg signed [31:0] r1;
+  reg signed [31:0] r2;
+  reg signed [31:0] r3;
+  reg signed [31:0] r4;
+  reg signed [31:0] r5;
+  reg signed [31:0] r6;
+
+  // unit alu_0
+  reg signed [31:0] u_alu_0;
+  always @* begin
+    u_alu_0 = 32'sd0;
+    case (state)
+      S_0: u_alu_0 = r0;  // op ADD s2
+      S_1: u_alu_0 = r0;  // op ADD b1
+      S_3: u_alu_0 = r0;  // op ADD b3
+      S_5: u_alu_0 = r0;  // op ADD b5
+      S_6: u_alu_0 = r2;  // op ADD s12
+      S_7: u_alu_0 = r0;  // op ADD b7
+      S_8: u_alu_0 = r6;  // op ADD s4
+      S_9: u_alu_0 = r0 + r3;  // op ADD b9
+      S_10: u_alu_0 = r2;  // op ADD s13
+      S_11: u_alu_0 = r0 + r1 + r3 + r2;  // op ADD b11
+      default: ;
+    endcase
+  end
+
+  // unit alu_1
+  reg signed [31:0] u_alu_1;
+  always @* begin
+    u_alu_1 = 32'sd0;
+    case (state)
+      S_1: u_alu_1 = (r2) <<< 1;  // op SHIFT s3
+      S_3: u_alu_1 = r3;  // op ADD s8
+      S_5: u_alu_1 = r2;  // op ADD s11
+      S_7: u_alu_1 = r0;  // op ADD s0
+      S_9: u_alu_1 = r0;  // op ADD s1
+      default: ;
+    endcase
+  end
+
+  // unit alu_2
+  reg signed [31:0] u_alu_2;
+  always @* begin
+    u_alu_2 = 32'sd0;
+    case (state)
+      S_5: u_alu_2 = r0;  // op ADD s5
+      S_9: u_alu_2 = r2;  // op ADD s9
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_0
+  reg signed [31:0] u_multiplier_0;
+  always @* begin
+    u_multiplier_0 = 32'sd0;
+    case (state)
+      S_0: u_multiplier_0 = r0;  // op MUL b0
+      S_2: u_multiplier_0 = r0;  // op MUL b2
+      S_4: u_multiplier_0 = r0;  // op MUL b4
+      S_6: u_multiplier_0 = r0;  // op MUL b6
+      S_8: u_multiplier_0 = r0 * r2 * r4 * r5;  // op MUL b8
+      S_10: u_multiplier_0 = r0 * r4;  // op MUL b10
+      default: ;
+    endcase
+  end
+
+  // unit multiplier_1
+  reg signed [31:0] u_multiplier_1;
+  always @* begin
+    u_multiplier_1 = 32'sd0;
+    case (state)
+      S_2: u_multiplier_1 = 32'sd191 * r2;  // op CONST_MUL s6
+      S_4: u_multiplier_1 = r2;  // op MUL s10
+      S_8: u_multiplier_1 = 32'sd167 * r6;  // op CONST_MUL s7
+      default: ;
+    endcase
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= S_IDLE;
+      done <= 1'b0;
+    end else begin
+      case (state)
+        S_IDLE: begin
+          if (start) begin
+            r0 <= in_x0;  // pi x0
+            r1 <= in_x14;  // pi x14
+            done <= 1'b0;
+            state <= S_0;
+          end
+        end
+        S_0: begin
+          r2 <= u_alu_0;  // wb s2
+          r0 <= u_multiplier_0;  // wb b0
+          state <= S_1;
+        end
+        S_1: begin
+          r0 <= u_alu_0;  // wb b1
+          r2 <= u_alu_1;  // wb s3
+          state <= S_2;
+        end
+        S_2: begin
+          r0 <= u_multiplier_0;  // wb b2
+          r3 <= u_multiplier_1;  // wb s6
+          state <= S_3;
+        end
+        S_3: begin
+          r0 <= u_alu_0;  // wb b3
+          r3 <= u_alu_1;  // wb s8
+          state <= S_4;
+        end
+        S_4: begin
+          r0 <= u_multiplier_0;  // wb b4
+          r2 <= u_multiplier_1;  // wb s10
+          state <= S_5;
+        end
+        S_5: begin
+          r0 <= u_alu_0;  // wb b5
+          r4 <= u_alu_1;  // wb s11
+          r2 <= u_alu_2;  // wb s5
+          state <= S_6;
+        end
+        S_6: begin
+          r5 <= u_alu_0;  // wb s12
+          r0 <= u_multiplier_0;  // wb b6
+          state <= S_7;
+        end
+        S_7: begin
+          r0 <= u_alu_0;  // wb b7
+          r6 <= u_alu_1;  // wb s0
+          state <= S_8;
+        end
+        S_8: begin
+          r4 <= u_alu_0;  // wb s4
+          r0 <= u_multiplier_0;  // wb b8
+          r2 <= u_multiplier_1;  // wb s7
+          state <= S_9;
+        end
+        S_9: begin
+          r0 <= u_alu_0;  // wb b9
+          r2 <= u_alu_1;  // wb s1
+          r3 <= u_alu_2;  // wb s9
+          state <= S_10;
+        end
+        S_10: begin
+          r2 <= u_alu_0;  // wb s13
+          r0 <= u_multiplier_0;  // wb b10
+          state <= S_11;
+        end
+        S_11: begin
+          r0 <= u_alu_0;  // wb b11
+          state <= S_DONE;
+        end
+        S_DONE: begin
+          out_y <= r0;  // po y
+          done <= 1'b1;
+          state <= S_DONE;
+        end
+        default: state <= S_IDLE;
+      endcase
+    end
+  end
+endmodule

@@ -36,6 +36,8 @@ MUST_HAVE_EXAMPLES = {
     "repro.crypto.rc4",
     "repro.crypto.signature",
     "repro.scheduling.resources",
+    "repro.rtl.emit",
+    "repro.rtl.extract",
 }
 
 
@@ -47,6 +49,8 @@ def test_discovery_covers_new_subsystems():
         "repro.verify.differential",
         "repro.verify.metamorphic",
         "repro.verify.fuzz",
+        "repro.rtl.emit",
+        "repro.rtl.extract",
     ):
         assert expected in ALL_MODULES
 

@@ -1,0 +1,89 @@
+"""Golden-RTL regression tests: emitted Verilog pinned byte for byte.
+
+Companion to ``test_golden.py``: the same embed configuration
+(``GOLDEN_AUTHOR`` / ``GOLDEN_PARAMS``) drives embed → list schedule →
+:func:`repro.rtl.emit.emit_verilog`, and the emitted module is compared
+byte-identically against the committed ``tests/golden/rtl/<name>.v``.
+The cross-level detection claim is pinned too: re-extracting the
+watermark from the *committed text* must reproduce the behavioral
+verification triple (satisfied, total, log10 P_c) snapshotted in
+``tests/golden/<name>.json``.
+
+Regenerate after an intentional emission change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_rtl.py
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.detector import detect_from_recovered_schedule
+from repro.rtl.controller import recover_schedule, recovered_schedule_for
+from repro.rtl.emit import emit_verilog
+from repro.rtl.extract import extract_verilog
+from repro.scheduling.list_scheduler import list_schedule
+from test_golden import DESIGNS, GOLDEN_AUTHOR, GOLDEN_DIR, GOLDEN_PARAMS
+from repro.core.scheduling_wm import SchedulingWatermarker
+from repro.crypto.signature import AuthorSignature
+
+RTL_GOLDEN_DIR = GOLDEN_DIR / "rtl"
+
+
+def _emit_marked(name: str):
+    """Embed with the golden configuration, schedule, and emit."""
+    marker = SchedulingWatermarker(
+        AuthorSignature(GOLDEN_AUTHOR), GOLDEN_PARAMS
+    )
+    marked, watermark = marker.embed(DESIGNS[name]())
+    schedule = list_schedule(marked)
+    return marked, watermark, schedule, emit_verilog(marked, schedule)
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_golden_rtl(name):
+    _, _, _, rtl = _emit_marked(name)
+    path = RTL_GOLDEN_DIR / f"{name}.v"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        RTL_GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(rtl.text, encoding="utf-8")
+    assert path.exists(), (
+        f"golden RTL {path} missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    assert rtl.text == path.read_text(encoding="utf-8"), (
+        f"emitted Verilog for {name!r} drifted from {path}; if the change "
+        f"is intentional, regenerate with REPRO_REGEN_GOLDEN=1 and review "
+        f"the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_golden_rtl_reextraction_matches_behavioral_verdict(name):
+    """Detection from the committed text == the pinned behavioral triple."""
+    marked, watermark, schedule, _ = _emit_marked(name)
+    suspect = marked.without_temporal_edges()
+    text = (RTL_GOLDEN_DIR / f"{name}.v").read_text(encoding="utf-8")
+    recovered = recovered_schedule_for(
+        suspect, recover_schedule(extract_verilog(text).controller)
+    )
+    hit = detect_from_recovered_schedule(suspect, recovered, watermark)
+    golden = json.loads(
+        (GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8")
+    )
+    verdict = golden["verification"]
+    assert hit.result.satisfied == verdict["satisfied"]
+    assert hit.result.total == verdict["total"]
+    assert hit.result.log10_pc == verdict["log10_pc"]
+    assert hit.result.detected
+    assert all(e.present and e.satisfied for e in hit.evidence)
+    # The committed text also pins the schedule itself: what the
+    # extractor recovers is exactly the golden snapshot's schedule.
+    assert dict(recovered.start_times) == {
+        node: step for node, step in golden["schedule"].items()
+    }

@@ -80,9 +80,11 @@ class TestOraclesClean:
             "embed_paths",
             "windows_kernel",
             "kernel_vectorized",
+            "rtl_roundtrip",
             "coincidence_mc",
             "attack_service",
             "embed_paths_hyper",
+            "rtl_roundtrip_hyper",
         ]
         # Randomized oracles ran exactly the requested trial count.
         assert all(

@@ -1,0 +1,220 @@
+"""E15 — periodic workload: modulo kernel speedup and watermark II gate.
+
+Two gates over the cyclic (streaming) suite:
+
+* **Kernel vs unrolled reference** — the modulo kernel computes
+  steady-state ASAP/ALAP windows by a handful of fixpoint sweeps; the
+  unrolled reference materializes one graph copy per unit of total
+  back-edge distance.  Both are bit-identical on every design (that's
+  the ``periodic_windows`` differential oracle), and the kernel must be
+  **>= 5x** faster on the cyclic echo-canceler tier, where hundreds of
+  loop-carried weight edges make unrolling expensive.
+* **Watermark II overhead** — embedding the cross-iteration watermark
+  must not raise the achievable initiation interval by more than **+1**
+  over the unmarked design, on every cyclic suite member.
+
+``BENCH_PERIODIC_SMOKE=1`` (CI's periodic-smoke job) restricts the
+sweep to the small echo tier, keeps the equality lane, and skips the
+speedup gate; the oracle lane always runs 50 trials.
+
+Results go to ``BENCH_periodic.json`` / ``BENCH_periodic.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Tuple
+
+from _bench_util import OUT_DIR, get_collector
+from repro.cdfg.designs import PERIODIC_SUITE
+from repro.cdfg.graph import CDFG
+from repro.core.domain import DomainParams
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.resilience.pipeline import robust_schedule
+from repro.timing.unrolled import unrolled_reference_windows
+from repro.timing.windows import (
+    periodic_critical_path_length,
+    periodic_scheduling_windows,
+)
+from repro.util.atomicio import atomic_write_json
+from repro.verify.differential import oracle_periodic_windows
+
+HEADERS = [
+    "design",
+    "nodes",
+    "back edges",
+    "II",
+    "unrolled ms",
+    "modulo ms",
+    "speedup",
+    "windows equal",
+]
+
+SMOKE = os.environ.get("BENCH_PERIODIC_SMOKE") == "1"
+TARGET_SPEEDUP = 5.0
+#: The tier carrying the speedup gate (hundreds of back edges).
+GATE_DESIGN = "echo-cyclic-bench"
+ORACLE_TRIALS = 50
+
+SWEEP = (
+    [s for s in PERIODIC_SUITE if s.name != GATE_DESIGN]
+    if SMOKE
+    else list(PERIODIC_SUITE)
+)
+
+BENCH_AUTHOR = "bench-periodic-author"
+
+
+def _wm_config(design: CDFG) -> Tuple[SchedulingWMParams, int]:
+    """Per-design embedding knobs (mirrors the golden battery).
+
+    Tight loops (every cycle saturated at the minimum II) get one extra
+    interval and two horizon steps of slack; everything else embeds at
+    the design's minimum II with the steady-state horizon.
+    """
+    mii = design.view().min_ii()
+    if design.name == "cyclic_pid":
+        ii = mii + 1
+        horizon = periodic_critical_path_length(design, ii) + 2
+        params = SchedulingWMParams(
+            domain=DomainParams(tau=4, min_domain_size=4),
+            horizon=horizon,
+            eligibility="mobility",
+            min_mobility=1,
+        )
+        return params, ii
+    params = SchedulingWMParams(
+        domain=DomainParams(tau=4, min_domain_size=4),
+        eligibility="mobility",
+    )
+    return params, mii
+
+
+def _time(fn, *args):
+    started = time.perf_counter()
+    result = fn(*args)
+    return (time.perf_counter() - started) * 1000.0, result
+
+
+def _timed_windows(design: CDFG, horizon: int, ii: int):
+    """(unrolled_ms, modulo_ms, equal) with view construction excluded.
+
+    Both sides read the same prebuilt adjacency snapshot; fresh copies
+    per side keep the kernel's modulo memo from serving a warm hit.
+    """
+    kernel_side = design.copy()
+    kernel_side.view()
+    unrolled_side = design.copy()
+    unrolled_side.view()
+    unrolled_ms, reference = _time(
+        unrolled_reference_windows, unrolled_side, horizon, ii
+    )
+    modulo_ms, kernel = _time(
+        periodic_scheduling_windows, kernel_side, horizon, ii
+    )
+    return unrolled_ms, modulo_ms, kernel == reference
+
+
+def test_modulo_kernel_vs_unrolled_reference():
+    table = get_collector("BENCH_periodic", HEADERS)
+    results = []
+    for spec in SWEEP:
+        design = spec.factory()
+        ii = design.view().min_ii()
+        horizon = periodic_critical_path_length(design, ii)
+        unrolled_ms, modulo_ms, equal = _timed_windows(design, horizon, ii)
+        assert equal, f"modulo windows diverged from unrolled on {spec.name}"
+        speedup = unrolled_ms / modulo_ms if modulo_ms > 0 else float("inf")
+        nodes = len(design.operations)
+        back = len(design.back_edges)
+        table.add(
+            spec.name, nodes, back, ii,
+            f"{unrolled_ms:.2f}", f"{modulo_ms:.2f}", f"{speedup:.1f}x",
+            equal,
+        )
+        results.append(
+            {
+                "design": spec.name,
+                "nodes": nodes,
+                "back_edges": back,
+                "ii": ii,
+                "unrolled_ms": unrolled_ms,
+                "modulo_ms": modulo_ms,
+                "speedup": speedup,
+                "windows_equal": equal,
+            }
+        )
+
+    gate = None
+    if not SMOKE:
+        tier = next(r for r in results if r["design"] == GATE_DESIGN)
+        gate = {
+            "design": tier["design"],
+            "target_speedup": TARGET_SPEEDUP,
+            "measured_speedup": tier["speedup"],
+            "passed": tier["speedup"] >= TARGET_SPEEDUP,
+        }
+        assert tier["speedup"] >= TARGET_SPEEDUP, (
+            f"modulo kernel speedup {tier['speedup']:.1f}x below "
+            f"{TARGET_SPEEDUP}x on {tier['design']}"
+        )
+
+    _merge_bench_json({"smoke": SMOKE, "kernel_rows": results, "gate": gate})
+    table.emit("E15: modulo kernel vs unrolled-iteration reference")
+
+
+def test_watermarked_ii_overhead():
+    """Embedding never costs more than +1 initiation interval."""
+    rows = []
+    for spec in SWEEP:
+        design = spec.factory()
+        unmarked = robust_schedule(design)
+        params, ii = _wm_config(design)
+        marker = SchedulingWatermarker(AuthorSignature(BENCH_AUTHOR), params)
+        marked, watermark = marker.embed(design, ii=ii)
+        result = robust_schedule(marked, horizon=watermark.horizon)
+        verdict = marker.verify(design, result.schedule, watermark)
+        assert verdict.satisfied == verdict.total > 0, spec.name
+        assert result.ii <= unmarked.ii + 1, (
+            f"watermark raised II from {unmarked.ii} to {result.ii} "
+            f"on {spec.name}"
+        )
+        rows.append(
+            {
+                "design": spec.name,
+                "unmarked_ii": unmarked.ii,
+                "marked_ii": result.ii,
+                "edges": watermark.k,
+                "satisfied": verdict.satisfied,
+            }
+        )
+    _merge_bench_json({"ii_overhead": rows})
+
+
+def test_periodic_oracle_lane():
+    """50 trials of the modulo-vs-unrolled oracle must stay clean."""
+    divergences = []
+    for trial in range(ORACLE_TRIALS):
+        divergences += oracle_periodic_windows(1515, trial)
+    assert divergences == [], [d.detail for d in divergences]
+    _merge_bench_json(
+        {"oracle": {"trials": ORACLE_TRIALS, "divergences": 0}}
+    )
+
+
+def _merge_bench_json(updates: dict) -> None:
+    """Fold *updates* into ``BENCH_periodic.json`` without clobbering."""
+    import json
+
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_periodic.json"
+    payload: Dict = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            payload = {}
+    payload.update(updates)
+    atomic_write_json(path, payload)

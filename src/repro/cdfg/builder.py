@@ -93,6 +93,17 @@ class CDFGBuilder:
         """Add an explicit sequencing edge."""
         self._cdfg.add_control_edge(src, dst)
 
+    def feedback(self, src: str, dst: str, distance: int = 1) -> None:
+        """Add an inter-iteration data edge (loop-carried dependence).
+
+        The value produced by *src* in iteration ``k`` feeds *dst* in
+        iteration ``k + distance`` — the state edge of a streaming
+        design.  May close cycles (including self-loops); the CDFG stays
+        valid because positive-distance edges never join the
+        combinational skeleton.
+        """
+        self._cdfg.add_data_edge(src, dst, distance=distance)
+
     def build(self, validate: bool = True) -> CDFG:
         """Finalize and return the CDFG (single use)."""
         if self._cdfg is None:

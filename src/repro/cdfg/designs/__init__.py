@@ -22,6 +22,14 @@ from repro.cdfg.designs.synthetic import (
     stitched_hyper_composite,
     synthetic_design,
 )
+from repro.cdfg.designs.periodic import (
+    PERIODIC_SUITE,
+    PeriodicDesignSpec,
+    cyclic_echo_canceler,
+    cyclic_iir_biquad,
+    cyclic_pid_controller,
+    periodic_design,
+)
 from repro.cdfg.designs.iir import (
     IIR4_ADDERS,
     IIR4_CONST_MULS,
@@ -52,4 +60,10 @@ __all__ = [
     "scaled_echo_canceler",
     "stitched_hyper_composite",
     "synthetic_design",
+    "PeriodicDesignSpec",
+    "PERIODIC_SUITE",
+    "cyclic_iir_biquad",
+    "cyclic_pid_controller",
+    "cyclic_echo_canceler",
+    "periodic_design",
 ]

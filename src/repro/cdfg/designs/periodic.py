@@ -1,0 +1,180 @@
+"""Cyclic (periodic/streaming) benchmark designs.
+
+Every design here carries at least one inter-iteration edge
+(``distance >= 1``), so it only schedules under an initiation interval:
+these are the workloads the modulo kernel, the periodic watermark
+protocol, and the ``periodic_windows`` differential oracle exercise.
+
+* :func:`cyclic_iir_biquad` — a direct-form-II biquad whose state
+  taps are genuine loop-carried edges (distance 1 and distance 2)
+  instead of fresh primary inputs.  The recurrence through the
+  ``a1`` tap bounds the II from below — the canonical recMII example.
+* :func:`cyclic_pid_controller` — a PID loop with an integrator
+  self-loop and an anti-windup back-calculation path, giving one
+  long distance-1 cycle through four operations (recMII 4) on top of
+  the unit self-loop.
+* :func:`cyclic_echo_canceler` — the streaming version of
+  :func:`~repro.cdfg.designs.synthetic.scaled_echo_canceler`: the
+  decimated-LMS weights are accumulator *state* (distance-1
+  self-loops) and each weighted product reads last iteration's
+  weight (a distance-1 cross edge), instead of taking weights as
+  per-iteration primary inputs.  Scaling in taps and lanes makes it
+  the benchmark tier: hundreds of back edges mean the unrolled
+  reference materializes hundreds of copies while the modulo kernel
+  converges in a handful of sweeps.
+
+All factories are deterministic (no randomness at all), so golden
+schedules and verification triples can be byte-pinned against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import OpType
+
+
+def cyclic_iir_biquad(name: Optional[str] = None) -> CDFG:
+    """Direct-form-II biquad with loop-carried state.
+
+    ``w[k] = x[k] + a1*w[k-1] + a2*w[k-2]`` and
+    ``y[k] = b0*w[k] + b1*w[k-1] + b2*w[k-2]``.  The ``w[k-1]`` and
+    ``w[k-2]`` taps are feedback edges of distance 1 and 2.  The
+    binding cycle is ``Aw -> Ca1 -> Af -> Aw`` at distance 1 (three
+    unit-latency operations), so the recurrence MII is 3.
+    """
+    b = CDFGBuilder(name or "cyclic_biquad")
+    x = b.input("x")
+    # Feedback taps: created without distance-0 operands, fed by the
+    # state value `Aw` across iteration boundaries below.
+    m_a1 = b.op("Ca1", OpType.CONST_MUL)
+    m_a2 = b.op("Ca2", OpType.CONST_MUL)
+    s_fb = b.add(m_a1, m_a2, "Af")
+    w = b.add(x, s_fb, "Aw")
+    b.feedback(w, m_a1, 1)
+    b.feedback(w, m_a2, 2)
+    m_b0 = b.const_mul(w, "Cb0")
+    m_b1 = b.op("Cb1", OpType.CONST_MUL)
+    m_b2 = b.op("Cb2", OpType.CONST_MUL)
+    b.feedback(w, m_b1, 1)
+    b.feedback(w, m_b2, 2)
+    y1 = b.add(m_b0, m_b1, "Ay1")
+    y = b.add(y1, m_b2, "Ay")
+    b.output(y, "y")
+    return b.build()
+
+
+def cyclic_pid_controller(name: Optional[str] = None) -> CDFG:
+    """PID loop with integrator state and anti-windup feedback.
+
+    The integrator ``Ii`` accumulates across iterations (distance-1
+    self-loop); the derivative term differences the current error
+    against last iteration's scaled copy; and the saturated output
+    feeds back into the integrator (back-calculation anti-windup),
+    closing a four-operation distance-1 cycle
+    ``Ii -> Api -> Au -> Sat -> Ii`` — recurrence MII 4.
+    """
+    b = CDFGBuilder(name or "cyclic_pid")
+    e = b.input("e")
+    p = b.const_mul(e, "Kp")
+    ei = b.const_mul(e, "Ki")
+    integ = b.op("Ii", OpType.ADD, ei)
+    b.feedback(integ, integ, 1)
+    e_mem = b.const_mul(e, "Ed")
+    diff = b.op("Dd", OpType.SUB, e)
+    b.feedback(e_mem, diff, 1)
+    dterm = b.const_mul(diff, "Kd")
+    pi = b.add(p, integ, "Api")
+    u = b.add(pi, dterm, "Au")
+    sat = b.const_mul(u, "Sat")
+    b.feedback(sat, integ, 1)
+    b.output(u, "u")
+    return b.build()
+
+
+def cyclic_echo_canceler(
+    taps: int = 40, lanes: int = 8, name: Optional[str] = None
+) -> CDFG:
+    """Streaming LMS echo canceler: weights as loop-carried state.
+
+    Structure of :func:`~repro.cdfg.designs.synthetic.scaled_echo_canceler`
+    with the decimated weight update made periodic: every fourth tap
+    owns a weight accumulator ``u`` (``w += mu*grad``, a distance-1
+    self-loop) and scales its sample by *last* iteration's weight (a
+    distance-1 edge from the accumulator into the product).  With the
+    defaults this is a ~1.4k-node design carrying ``2*lanes*ceil(taps/4)``
+    back edges — the ratio that separates the modulo kernel (a few
+    sweeps) from the unrolled reference (one graph copy per unit of
+    total back-edge distance).
+    """
+    b = CDFGBuilder(name or f"cyclic_echo_{taps}x{lanes}")
+    lane_outputs: List[str] = []
+    for lane in range(lanes):
+        acc = b.input(f"l{lane}/x0")
+        for tap in range(taps):
+            sample = b.input(f"l{lane}/x{tap + 1}")
+            if tap % 4 == 0:
+                gradient = b.const_mul(sample, f"l{lane}/g{tap}")
+                weight = b.op(f"l{lane}/u{tap}", OpType.ADD, gradient)
+                b.feedback(weight, weight, 1)
+                product = b.op(f"l{lane}/p{tap}", OpType.MUL, sample)
+                b.feedback(weight, product, 1)
+            else:
+                product = b.const_mul(sample, f"l{lane}/p{tap}")
+            scaled = b.const_mul(acc, f"l{lane}/s{tap}")
+            acc = b.add(scaled, product, f"l{lane}/a{tap}")
+        lane_outputs.append(acc)
+    rank = 0
+    while len(lane_outputs) > 1:
+        merged: List[str] = []
+        for k in range(0, len(lane_outputs) - 1, 2):
+            merged.append(
+                b.add(
+                    lane_outputs[k],
+                    lane_outputs[k + 1],
+                    f"combine/t{rank}_{k // 2}",
+                )
+            )
+        if len(lane_outputs) % 2:
+            merged.append(lane_outputs[-1])
+        lane_outputs = merged
+        rank += 1
+    b.output(lane_outputs[0], "y")
+    return b.build()
+
+
+@dataclass(frozen=True)
+class PeriodicDesignSpec:
+    """One named cyclic design: name plus deterministic factory."""
+
+    name: str
+    factory: Callable[[], CDFG]
+
+
+#: The cyclic suite, smallest first.  ``echo-cyclic-small`` is the CI
+#: smoke tier; ``echo-cyclic-bench`` carries the E15 >=5x gate.
+PERIODIC_SUITE: Tuple[PeriodicDesignSpec, ...] = (
+    PeriodicDesignSpec("biquad-cyclic", cyclic_iir_biquad),
+    PeriodicDesignSpec("pid-cyclic", cyclic_pid_controller),
+    PeriodicDesignSpec(
+        "echo-cyclic-small",
+        lambda: cyclic_echo_canceler(taps=8, lanes=2, name="cyclic_echo_8x2"),
+    ),
+    PeriodicDesignSpec(
+        "echo-cyclic-bench",
+        lambda: cyclic_echo_canceler(
+            taps=40, lanes=8, name="cyclic_echo_40x8"
+        ),
+    ),
+)
+
+
+def periodic_design(name: str) -> CDFG:
+    """Build one cyclic design by its suite name."""
+    for spec in PERIODIC_SUITE:
+        if spec.name == name:
+            return spec.factory()
+    raise KeyError(f"unknown periodic design: {name!r}")

@@ -129,6 +129,66 @@ def random_layered_cdfg(
     return cdfg
 
 
+def random_cyclic_cdfg(
+    num_ops: int,
+    seed: int,
+    num_back_edges: Optional[int] = None,
+    max_distance: int = 3,
+    op_mix: Sequence[Tuple[OpType, float]] = DSP_OP_MIX,
+    name: Optional[str] = None,
+) -> CDFG:
+    """Generate a random cyclic CDFG: a layered DAG plus back edges.
+
+    Starts from :func:`random_layered_cdfg` and closes cycles with
+    seeded inter-iteration edges: each back edge runs from a node to
+    one of its (skeleton) ancestors — or to itself — with a distance
+    drawn from ``1..max_distance``.  Distances are positive, so the
+    combinational skeleton stays acyclic and every II of at least the
+    recurrence MII is feasible; this is the property-test substrate for
+    the modulo-vs-unrolled equivalence suite.
+
+    Parameters
+    ----------
+    num_back_edges:
+        Back edges to attempt; default ``max(1, num_ops // 10)``.
+        Duplicate pairs are skipped, so the realized count may be
+        lower (but at least one is always placed).
+    """
+    cdfg = random_layered_cdfg(
+        num_ops,
+        seed,
+        op_mix=op_mix,
+        name=name or f"cyclic{num_ops}s{seed}",
+    )
+    rng = random.Random(seed ^ 0xC1C11C)
+    if num_back_edges is None:
+        num_back_edges = max(1, num_ops // 10)
+    order = cdfg.topological_order()
+    ops = [n for n in order if cdfg.op(n).is_schedulable]
+    position = {n: i for i, n in enumerate(order)}
+    placed = 0
+    attempts = 0
+    while placed < num_back_edges and attempts < 20 * num_back_edges:
+        attempts += 1
+        src = rng.choice(ops)
+        # Destination at or before the source in topological order, so
+        # the edge is genuinely "backward" (self-loops included).
+        candidates = [n for n in ops if position[n] <= position[src]]
+        dst = rng.choice(candidates)
+        distance = rng.randint(1, max_distance)
+        try:
+            cdfg.add_data_edge(src, dst, distance=distance)
+        except CDFGError:
+            continue  # duplicate pair; redraw
+        placed += 1
+    if placed == 0:
+        # Guarantee cyclicity: a self-loop is always insertable on a
+        # fresh node pair unless every pair is already connected.
+        cdfg.add_data_edge(ops[0], ops[0], distance=1)
+    cdfg.validate()
+    return cdfg
+
+
 def backbone_design(
     name: str,
     num_values: int,

@@ -16,6 +16,15 @@ Three edge kinds coexist:
 All three kinds act as precedence constraints for scheduling; they are
 distinguished so watermarks can be added, listed, and stripped without
 touching the original specification.
+
+Periodic (streaming) workloads add one more dimension: an edge may
+carry an iteration ``distance >= 0``.  A distance-``d`` edge constrains
+iteration ``k`` of its source against iteration ``k + d`` of its
+destination — the homogeneous-SDF "initial tokens" of Millo & de
+Simone's marked graphs.  Distance-0 edges are ordinary combinational
+precedences and must stay acyclic; positive-distance (back) edges may
+close cycles, including self-loops, because the constraint they carry
+is resolved by the initiation interval, not by within-iteration order.
 """
 
 from __future__ import annotations
@@ -81,6 +90,8 @@ class CDFG:
         #: derived from it) knows when it is stale.
         self._version = 0
         self._view: Optional["CDFGView"] = None
+        #: Lazy (version, back-edge tuple) memo; dropped on pickle.
+        self._periodic_cache: Optional[Tuple[int, Tuple[Tuple[str, str, int], ...]]] = None
 
     @property
     def mutation_count(self) -> int:
@@ -118,7 +129,15 @@ class CDFG:
         # The RTL emitter caches its identifier table on the instance;
         # it is derived and cheap to rebuild, so drop it too.
         state.pop("_rtl_names", None)
+        # Same deal for the periodic back-edge memo.
+        state["_periodic_cache"] = None
         return state
+
+    def __setstate__(self, state) -> None:
+        # Designs pickled before the periodic subsystem lack the cache
+        # slot; restore with an empty memo either way.
+        self.__dict__.update(state)
+        self._periodic_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -153,11 +172,24 @@ class CDFG:
         self._g.add_node(name, op=op, latency=latency, ppo=bool(ppo))
         self._bump()
 
-    def add_edge(self, src: str, dst: str, kind: EdgeKind) -> None:
-        """Add an edge of the given kind; rejects cycles and duplicates."""
+    def add_edge(
+        self, src: str, dst: str, kind: EdgeKind, distance: int = 0
+    ) -> None:
+        """Add an edge of the given kind; rejects cycles and duplicates.
+
+        ``distance`` is the inter-iteration distance: 0 for ordinary
+        combinational precedence (must stay acyclic), ``d >= 1`` for a
+        back edge constraining iteration ``k`` of *src* against
+        iteration ``k + d`` of *dst* (may close cycles, including
+        self-loops).
+        """
         self._require(src)
         self._require(dst)
-        if src == dst:
+        if distance < 0:
+            raise CDFGError(
+                f"negative distance on edge {src!r}->{dst!r}: {distance}"
+            )
+        if src == dst and distance == 0:
             raise CDFGError(f"self-loop on {src!r}")
         if self._g.has_edge(src, dst):
             existing = self._g.edges[src, dst]["kind"]
@@ -169,23 +201,28 @@ class CDFG:
             raise CDFGError(
                 f"edge {src!r}->{dst!r} already exists with kind {existing}"
             )
-        self._g.add_edge(src, dst, kind=kind)
-        if self._creates_cycle(src, dst):
+        self._g.add_edge(src, dst, kind=kind, distance=int(distance))
+        if distance == 0 and self._creates_cycle(src, dst):
             self._g.remove_edge(src, dst)
             raise CycleError(f"edge {src!r}->{dst!r} would create a cycle")
         self._bump()
 
-    def add_data_edge(self, src: str, dst: str) -> None:
-        """Add a value-flow edge."""
-        self.add_edge(src, dst, EdgeKind.DATA)
+    def add_data_edge(self, src: str, dst: str, distance: int = 0) -> None:
+        """Add a value-flow edge (``distance >= 1`` for loop feedback)."""
+        self.add_edge(src, dst, EdgeKind.DATA, distance=distance)
 
     def add_control_edge(self, src: str, dst: str) -> None:
         """Add an explicit sequencing edge from the behavioral spec."""
         self.add_edge(src, dst, EdgeKind.CONTROL)
 
-    def add_temporal_edge(self, src: str, dst: str) -> None:
-        """Add a watermark temporal edge (source before destination)."""
-        self.add_edge(src, dst, EdgeKind.TEMPORAL)
+    def add_temporal_edge(self, src: str, dst: str, distance: int = 0) -> None:
+        """Add a watermark temporal edge (source before destination).
+
+        With ``distance >= 1`` the constraint spans iteration
+        boundaries: *src* of iteration ``k`` before *dst* of iteration
+        ``k + distance`` in the steady-state schedule.
+        """
+        self.add_edge(src, dst, EdgeKind.TEMPORAL, distance=distance)
 
     def remove_edge(self, src: str, dst: str) -> None:
         """Remove the edge src->dst (any kind)."""
@@ -215,8 +252,28 @@ class CDFG:
         self._bump()
 
     def _creates_cycle(self, src: str, dst: str) -> bool:
-        # A new edge src->dst creates a cycle iff src is reachable from dst.
-        return nx.has_path(self._g, dst, src)
+        # A new distance-0 edge src->dst closes a combinational cycle
+        # iff src is reachable from dst over distance-0 edges alone:
+        # positive-distance edges break strongly-connected chains at the
+        # iteration boundary, so a path through one is not a cycle.  The
+        # hand-rolled DFS (instead of ``nx.has_path``) keeps the
+        # acyclic fast path O(out-degree): graphs built in topological
+        # order give dst no distance-0 successors yet, so the stack
+        # drains immediately.
+        succ = self._g.succ
+        stack = [dst]
+        seen = {dst}
+        while stack:
+            node = stack.pop()
+            if node == src:
+                return True
+            for nxt, attrs in succ[node].items():
+                if attrs.get("distance", 0):
+                    continue
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
 
     def _require(self, name: str) -> None:
         if name not in self._g:
@@ -286,6 +343,35 @@ class CDFG:
             raise CDFGError(f"no edge {src!r}->{dst!r}")
         return self._g.edges[src, dst]["kind"]
 
+    def edge_distance(self, src: str, dst: str) -> int:
+        """Inter-iteration distance of the edge src->dst (0 = same iter)."""
+        if not self._g.has_edge(src, dst):
+            raise CDFGError(f"no edge {src!r}->{dst!r}")
+        return self._g.edges[src, dst].get("distance", 0)
+
+    @property
+    def back_edges(self) -> List[Tuple[str, str, int]]:
+        """All positive-distance edges as ``(src, dst, distance)``.
+
+        Memoized per mutation-counter value: scheduling dispatch and
+        view construction consult this on hot paths, and most designs
+        are acyclic so the common answer is the empty list.
+        """
+        cache = self._periodic_cache
+        if cache is None or cache[0] != self._version:
+            found = tuple(
+                (u, v, d)
+                for u, v, d in self._g.edges(data="distance", default=0)
+                if d
+            )
+            self._periodic_cache = cache = (self._version, found)
+        return list(cache[1])
+
+    @property
+    def has_back_edges(self) -> bool:
+        """Whether any edge carries a positive inter-iteration distance."""
+        return bool(self.back_edges)
+
     def edges(self, kind: Optional[EdgeKind] = None) -> List[Tuple[str, str]]:
         """All edges, optionally filtered by kind."""
         if kind is None:
@@ -305,31 +391,47 @@ class CDFG:
         return self.edges(EdgeKind.TEMPORAL)
 
     def predecessors(
-        self, name: str, kinds: Optional[Iterable[EdgeKind]] = None
+        self,
+        name: str,
+        kinds: Optional[Iterable[EdgeKind]] = None,
+        skeleton: bool = False,
     ) -> List[str]:
-        """Predecessors of a node, optionally restricted to edge kinds."""
+        """Predecessors of a node, optionally restricted to edge kinds.
+
+        With ``skeleton=True`` only distance-0 (intra-iteration) edges
+        are followed — the traversal watermark localities and canonical
+        node identification use, since cross-iteration edges constrain
+        iterations against each other, not structure within one.
+        """
         self._require(name)
-        if kinds is None:
-            return list(self._g.predecessors(name))
-        wanted = set(kinds)
+        edges = self._g.edges
+        wanted = None if kinds is None else set(kinds)
         return [
             u
             for u in self._g.predecessors(name)
-            if self._g.edges[u, name]["kind"] in wanted
+            if (wanted is None or edges[u, name]["kind"] in wanted)
+            and not (skeleton and edges[u, name].get("distance", 0))
         ]
 
     def successors(
-        self, name: str, kinds: Optional[Iterable[EdgeKind]] = None
+        self,
+        name: str,
+        kinds: Optional[Iterable[EdgeKind]] = None,
+        skeleton: bool = False,
     ) -> List[str]:
-        """Successors of a node, optionally restricted to edge kinds."""
+        """Successors of a node, optionally restricted to edge kinds.
+
+        ``skeleton=True`` mirrors :meth:`predecessors`: positive-distance
+        edges are skipped.
+        """
         self._require(name)
-        if kinds is None:
-            return list(self._g.successors(name))
-        wanted = set(kinds)
+        edges = self._g.edges
+        wanted = None if kinds is None else set(kinds)
         return [
             v
             for v in self._g.successors(name)
-            if self._g.edges[name, v]["kind"] in wanted
+            if (wanted is None or edges[name, v]["kind"] in wanted)
+            and not (skeleton and edges[name, v].get("distance", 0))
         ]
 
     def data_predecessors(self, name: str) -> List[str]:
@@ -360,17 +462,44 @@ class CDFG:
         """
         return sum(1 for n in self._g.nodes if self.op(n) is not OpType.OUTPUT)
 
+    def _skeleton_view(self) -> nx.DiGraph:
+        """Read-only view of the distance-0 (combinational) subgraph."""
+        edges = self._g.edges
+        return nx.subgraph_view(
+            self._g,
+            filter_edge=lambda u, v: not edges[u, v].get("distance", 0),
+        )
+
+    def skeleton_graph(self) -> nx.DiGraph:
+        """The distance-0 subgraph as a read-only networkx view.
+
+        Always a DAG (enforced by :meth:`add_edge`); reachability over it
+        is what decides whether one within-iteration ordering implies
+        another, regardless of any cross-iteration edges present.
+        """
+        return self._skeleton_view()
+
     def topological_order(self) -> List[str]:
-        """Nodes in a deterministic topological order (all edge kinds)."""
+        """Nodes in a deterministic topological order (all edge kinds).
+
+        Periodic designs are ordered over the distance-0 skeleton —
+        back edges constrain iterations against each other, not nodes
+        within one iteration, so they carry no intra-iteration order.
+        """
+        if self.has_back_edges:
+            return list(nx.lexicographical_topological_sort(self._skeleton_view()))
         return list(nx.lexicographical_topological_sort(self._g))
 
     def validate(self) -> None:
         """Raise :class:`CDFGError` if structural invariants are broken."""
-        if not nx.is_directed_acyclic_graph(self._g):
-            raise CycleError(f"CDFG {self.name!r} contains a cycle")
+        if not nx.is_directed_acyclic_graph(self._skeleton_view()):
+            raise CycleError(f"CDFG {self.name!r} contains a combinational cycle")
         for name in self._g.nodes:
             if self.latency(name) < 0:
                 raise CDFGError(f"negative latency on {name!r}")
+        for u, v, d in self._g.edges(data="distance", default=0):
+            if d < 0:
+                raise CDFGError(f"negative distance on edge {u!r}->{v!r}")
 
     # ------------------------------------------------------------------
     # watermark-oriented queries
@@ -382,6 +511,8 @@ class CDFG:
         itself is at distance zero and always included.  Temporal edges
         are *not* followed: the locality of a watermark is defined on the
         original specification, not on previously added constraints.
+        Cross-iteration (positive-distance) edges are not followed
+        either — a locality lives within one iteration.
         """
         self._require(root)
         if max_distance < 0:
@@ -392,7 +523,9 @@ class CDFG:
             nxt: Set[str] = set()
             for node in frontier:
                 for pred in self.predecessors(
-                    node, kinds=(EdgeKind.DATA, EdgeKind.CONTROL)
+                    node,
+                    kinds=(EdgeKind.DATA, EdgeKind.CONTROL),
+                    skeleton=True,
                 ):
                     if pred not in seen:
                         seen.add(pred)
@@ -411,7 +544,9 @@ class CDFG:
             nxt: List[str] = []
             for node in frontier:
                 for pred in self.predecessors(
-                    node, kinds=(EdgeKind.DATA, EdgeKind.CONTROL)
+                    node,
+                    kinds=(EdgeKind.DATA, EdgeKind.CONTROL),
+                    skeleton=True,
                 ):
                     if pred not in distances:
                         distances[pred] = distances[node] + 1

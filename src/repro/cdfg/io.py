@@ -38,11 +38,23 @@ def to_dict(cdfg: CDFG) -> Dict[str, Any]:
             }
             for node in cdfg.operations
         ],
-        "edges": [
-            {"src": src, "dst": dst, "kind": cdfg.edge_kind(src, dst).value}
-            for src, dst in cdfg.edges()
-        ],
+        "edges": [_edge_dict(cdfg, src, dst) for src, dst in cdfg.edges()],
     }
+
+
+def _edge_dict(cdfg: CDFG, src: str, dst: str) -> Dict[str, Any]:
+    # ``distance`` is emitted only when nonzero: acyclic designs — the
+    # overwhelmingly common case and everything serialized before the
+    # periodic subsystem existed — keep byte-identical JSON.
+    edge: Dict[str, Any] = {
+        "src": src,
+        "dst": dst,
+        "kind": cdfg.edge_kind(src, dst).value,
+    }
+    distance = cdfg.edge_distance(src, dst)
+    if distance:
+        edge["distance"] = distance
+    return edge
 
 
 def from_dict(payload: Dict[str, Any]) -> CDFG:
@@ -57,7 +69,12 @@ def from_dict(payload: Dict[str, Any]) -> CDFG:
                 ppo=node.get("ppo", False),
             )
         for edge in payload["edges"]:
-            cdfg.add_edge(edge["src"], edge["dst"], EdgeKind(edge["kind"]))
+            cdfg.add_edge(
+                edge["src"],
+                edge["dst"],
+                EdgeKind(edge["kind"]),
+                distance=edge.get("distance", 0),
+            )
     except (KeyError, ValueError) as exc:
         raise CDFGError(f"malformed CDFG payload: {exc}") from exc
     cdfg.validate()
@@ -81,7 +98,10 @@ def canonicalize_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
     canonical["edges"] = sorted(
         (dict(edge) for edge in payload.get("edges", ())),
         key=lambda edge: (
-            edge.get("src", ""), edge.get("dst", ""), edge.get("kind", "")
+            edge.get("src", ""),
+            edge.get("dst", ""),
+            edge.get("kind", ""),
+            edge.get("distance", 0),
         ),
     )
     return canonical

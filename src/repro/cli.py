@@ -232,6 +232,30 @@ def cmd_embed(args: argparse.Namespace) -> int:
 def cmd_schedule(args: argparse.Namespace) -> int:
     design = load_design(args.design)
     budget = _budget_from_args(args)
+    if args.ii is not None and not args.periodic:
+        raise ReproError("--ii requires --periodic")
+    if args.periodic or design.has_back_edges:
+        result = robust_schedule(
+            design, horizon=args.horizon, budget=budget, ii=args.ii
+        )
+        schedule = result.schedule
+        for attempt in result.attempts:
+            if not attempt.succeeded:
+                print(f"note: {attempt.scheduler} gave up ({attempt.error})")
+        print(f"scheduler: {result.scheduler}")
+        print(f"initiation interval: {result.ii}")
+        payload = {
+            "design": design.name,
+            "ii": result.ii,
+            "start_times": schedule.start_times,
+        }
+        atomic_write_json(args.out, payload)
+        print(
+            f"scheduled {len(schedule.start_times)} operations into "
+            f"{result.makespan} control steps at II={result.ii} "
+            f"-> {args.out}"
+        )
+        return 0
     horizon = args.horizon or critical_path_length(design)
     if args.fallback:
         result = robust_schedule(design, horizon=horizon, budget=budget)
@@ -769,6 +793,20 @@ def build_parser() -> argparse.ArgumentParser:
         "the exact -> force-directed -> list ladder)",
     )
     p_sched.add_argument("--horizon", type=int, default=None)
+    p_sched.add_argument(
+        "--periodic",
+        action="store_true",
+        help="modulo-schedule a cyclic (streaming) design via the "
+        "periodic ladder; implied when the design carries "
+        "inter-iteration edges",
+    )
+    p_sched.add_argument(
+        "--ii",
+        type=int,
+        default=None,
+        help="initiation interval for --periodic (default: the "
+        "design's minimum feasible II)",
+    )
     _add_resilience_flags(p_sched)
     _add_perf_flag(p_sched)
     p_sched.set_defaults(func=cmd_schedule)

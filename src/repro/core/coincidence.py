@@ -34,7 +34,12 @@ from repro.scheduling.enumeration import (
     count_schedules_satisfying,
     sample_schedule_boxes,
 )
-from repro.timing.windows import critical_path_length, scheduling_windows
+from repro.timing.windows import (
+    critical_path_length,
+    periodic_critical_path_length,
+    periodic_scheduling_windows,
+    scheduling_windows,
+)
 
 #: Per-edge probability floor: an edge whose coincidental-order
 #: probability rounds to zero still contributes finitely so that log10
@@ -79,12 +84,21 @@ class ExactPc:
         return 1.0 - self.pc
 
 
+def _default_horizon(cdfg: CDFG, ii: Optional[int]) -> int:
+    """Critical path — steady-state iteration latency in periodic mode."""
+    if ii is not None:
+        return periodic_critical_path_length(cdfg, ii)
+    return critical_path_length(cdfg)
+
+
 def exact_pc(
     cdfg: CDFG,
     temporal_edges: Iterable[Tuple[str, str]],
     horizon: Optional[int] = None,
     nodes: Optional[Sequence[str]] = None,
     limit: int = 10_000_000,
+    ii: Optional[int] = None,
+    distances: Optional[Sequence[int]] = None,
 ) -> ExactPc:
     """Exact ``P_c`` by schedule enumeration.
 
@@ -96,16 +110,30 @@ def exact_pc(
     temporal_edges:
         The watermark's ``(before, after)`` constraints.
     horizon:
-        Control-step budget; defaults to the critical path.
+        Control-step budget; defaults to the critical path (the
+        steady-state iteration latency in periodic mode).
     nodes:
         Locality to enumerate (default: all schedulable operations).
+    ii:
+        Initiation interval for periodic designs: enumeration runs over
+        the steady-state windows with the full cyclic constraint set.
+    distances:
+        Per-edge iteration distances aligned with *temporal_edges*
+        (default all zero); edge ``k`` of distance ``d`` is satisfied
+        iff ``start(before) < start(after) + ii*d``.
     """
     if horizon is None:
-        horizon = critical_path_length(cdfg)
+        horizon = _default_horizon(cdfg, ii)
     edges = list(temporal_edges)
-    total = count_schedules(cdfg, horizon, nodes=nodes, limit=limit)
+    total = count_schedules(cdfg, horizon, nodes=nodes, limit=limit, ii=ii)
     satisfying = count_schedules_satisfying(
-        cdfg, horizon, edges, nodes=nodes, limit=limit
+        cdfg,
+        horizon,
+        edges,
+        nodes=nodes,
+        limit=limit,
+        ii=ii,
+        constraint_distances=distances,
     )
     return ExactPc(with_constraints=satisfying, without_constraints=total)
 
@@ -150,6 +178,8 @@ def monte_carlo_pc(
     horizon: Optional[int] = None,
     nodes: Optional[Sequence[str]] = None,
     samples: int = 10_000,
+    ii: Optional[int] = None,
+    distances: Optional[Sequence[int]] = None,
 ) -> MonteCarloPc:
     """Estimate ``P_c`` by rejection sampling over the window box.
 
@@ -159,20 +189,32 @@ def monte_carlo_pc(
     fraction estimates the same ratio :func:`exact_pc` enumerates.  This
     shares no counting code with the exact path (only the window /
     longest-path substrate), which is what makes it a differential
-    oracle for the detector's coincidence model.
+    oracle for the detector's coincidence model.  With *ii* the box is
+    the steady-state one and a distance-``d`` edge is satisfied in the
+    periodic sense (``start(src) < start(dst) + ii*d``).
     """
     if horizon is None:
-        horizon = critical_path_length(cdfg)
+        horizon = _default_horizon(cdfg, ii)
     edges = list(temporal_edges)
+    if distances is None:
+        distances = [0] * len(edges)
+    if ii is None and any(distances):
+        raise WatermarkError(
+            "cross-iteration constraints require an explicit ii"
+        )
+    shifts = [(ii or 0) * d for d in distances]
     feasible = 0
     satisfying = 0
     for assignment, ok in sample_schedule_boxes(
-        cdfg, horizon, samples, rng, nodes=nodes
+        cdfg, horizon, samples, rng, nodes=nodes, ii=ii
     ):
         if not ok:
             continue
         feasible += 1
-        if all(assignment[src] < assignment[dst] for src, dst in edges):
+        if all(
+            assignment[src] < assignment[dst] + shift
+            for (src, dst), shift in zip(edges, shifts)
+        ):
             satisfying += 1
     return MonteCarloPc(
         satisfying=satisfying, feasible=feasible, samples=samples
@@ -185,12 +227,20 @@ def approx_edge_log10(
     dst: str,
     model: str = "poisson",
     lam: float = 1.0,
+    shift: int = 0,
 ) -> float:
-    """``log10`` of one edge's coincidental-order probability."""
+    """``log10`` of one edge's coincidental-order probability.
+
+    *shift* displaces the destination window by ``ii*distance`` for a
+    cross-iteration edge: iteration ``k + d`` of the destination
+    occupies the steady-state window moved ``d`` intervals later, and
+    the order probability is computed against that copy.
+    """
     if src not in windows or dst not in windows:
         raise WatermarkError(f"edge ({src!r}, {dst!r}) outside the window map")
+    lo, hi = windows[dst]
     probability = order_probability(
-        windows[src], windows[dst], model=model, lam=lam
+        windows[src], (lo + shift, hi + shift), model=model, lam=lam
     )
     probability = min(1.0, max(probability, MIN_EDGE_PROBABILITY))
     return math.log10(probability)
@@ -202,19 +252,35 @@ def approx_log10_pc(
     horizon: Optional[int] = None,
     model: str = "poisson",
     lam: float = 1.0,
+    ii: Optional[int] = None,
+    distances: Optional[Sequence[int]] = None,
 ) -> float:
     """Approximate ``log10 P_c`` over the given temporal edges.
 
     Windows are computed on *cdfg* as given — pass the **unwatermarked**
     design, since coincidence concerns flows that never saw the
-    constraints.
+    constraints.  With *ii* the windows are the steady-state ones and
+    per-edge *distances* shift each destination window by
+    ``ii*distance`` before the order probability is taken.
     """
     if horizon is None:
-        horizon = critical_path_length(cdfg)
-    windows = scheduling_windows(cdfg, horizon)
+        horizon = _default_horizon(cdfg, ii)
+    edges = list(temporal_edges)
+    if distances is None:
+        distances = [0] * len(edges)
+    if ii is None and any(distances):
+        raise WatermarkError(
+            "cross-iteration constraints require an explicit ii"
+        )
+    if ii is not None:
+        windows = periodic_scheduling_windows(cdfg, horizon, ii)
+    else:
+        windows = scheduling_windows(cdfg, horizon)
     return sum(
-        approx_edge_log10(windows, src, dst, model=model, lam=lam)
-        for src, dst in temporal_edges
+        approx_edge_log10(
+            windows, src, dst, model=model, lam=lam, shift=(ii or 0) * d
+        )
+        for (src, dst), d in zip(edges, distances)
     )
 
 

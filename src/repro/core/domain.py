@@ -143,7 +143,9 @@ def select_domain(
         charge(budget, what="select_domain")
         inputs = [
             pred
-            for pred in cdfg.predecessors(current, kinds=_LOCALITY_KINDS)
+            for pred in cdfg.predecessors(
+                current, kinds=_LOCALITY_KINDS, skeleton=True
+            )
             if pred in cone and pred not in selected
         ]
         if not inputs:

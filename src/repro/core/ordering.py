@@ -47,7 +47,9 @@ def fanin_tree_within(
     for _ in range(distance):
         nxt: Set[str] = set()
         for current in frontier:
-            for pred in cdfg.predecessors(current, kinds=_LOCALITY_KINDS):
+            for pred in cdfg.predecessors(
+                current, kinds=_LOCALITY_KINDS, skeleton=True
+            ):
                 if pred in universe and pred not in seen:
                     seen.add(pred)
                     nxt.add(pred)
@@ -81,7 +83,9 @@ def structural_hashes(
     sub_preds = {
         n: [
             p
-            for p in cdfg.predecessors(n, kinds=_LOCALITY_KINDS)
+            for p in cdfg.predecessors(
+                n, kinds=_LOCALITY_KINDS, skeleton=True
+            )
             if p in universe
         ]
         for n in universe
@@ -89,7 +93,9 @@ def structural_hashes(
     sub_succs = {
         n: [
             s
-            for s in cdfg.successors(n, kinds=_LOCALITY_KINDS)
+            for s in cdfg.successors(
+                n, kinds=_LOCALITY_KINDS, skeleton=True
+            )
             if s in universe
         ]
         for n in universe
@@ -160,7 +166,9 @@ def _levels_within(
     sub_succs = {
         n: [
             s
-            for s in cdfg.successors(n, kinds=_LOCALITY_KINDS)
+            for s in cdfg.successors(
+                n, kinds=_LOCALITY_KINDS, skeleton=True
+            )
             if s in universe
         ]
         for n in universe
@@ -212,7 +220,9 @@ def _criteria_profiles(
     sub_preds = {
         n: [
             p
-            for p in cdfg.predecessors(n, kinds=_LOCALITY_KINDS)
+            for p in cdfg.predecessors(
+                n, kinds=_LOCALITY_KINDS, skeleton=True
+            )
             if p in universe
         ]
         for n in universe

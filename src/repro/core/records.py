@@ -24,8 +24,13 @@ SCHEMA_VERSION = 1
 
 
 def scheduling_watermark_to_dict(wm: SchedulingWatermark) -> Dict[str, Any]:
-    """Serialize a scheduling watermark record."""
-    return {
+    """Serialize a scheduling watermark record.
+
+    Periodic fields (per-edge iteration distances and the initiation
+    interval) are emitted only when present, so acyclic records keep
+    their pre-periodic byte shape and old archives stay comparable.
+    """
+    payload = {
         "schema": SCHEMA_VERSION,
         "kind": "scheduling",
         "author_fingerprint": wm.author_fingerprint,
@@ -40,6 +45,11 @@ def scheduling_watermark_to_dict(wm: SchedulingWatermark) -> Dict[str, Any]:
         "critical_path": wm.critical_path,
         "tau": wm.tau,
     }
+    if wm.distances:
+        payload["distances"] = list(wm.distances)
+    if wm.ii is not None:
+        payload["ii"] = wm.ii
+    return payload
 
 
 def scheduling_watermark_from_dict(payload: Dict[str, Any]) -> SchedulingWatermark:
@@ -65,6 +75,8 @@ def scheduling_watermark_from_dict(payload: Dict[str, Any]) -> SchedulingWaterma
             horizon=payload["horizon"],
             critical_path=payload["critical_path"],
             tau=payload.get("tau", 4),
+            distances=tuple(payload.get("distances", ())),
+            ii=payload.get("ii"),
         )
     except KeyError as exc:
         raise WatermarkError(f"malformed watermark record: {exc}") from exc

@@ -54,6 +54,8 @@ from repro.timing.kernel import IncrementalWindows, use_bulk_arrays
 from repro.timing.paths import laxity
 from repro.timing.windows import (
     critical_path_length,
+    periodic_critical_path_length,
+    periodic_scheduling_windows,
     scheduling_windows,
     windows_overlap,
 )
@@ -146,6 +148,13 @@ class SchedulingWMParams:
         as unit operations in compiled code (§V): the inserted op adds a
         pipeline stage, and reserving the slack at embed time keeps the
         realized code's cycle overhead near zero.
+    wm_distance:
+        Iteration distance carried by watermark temporal edges when
+        embedding into a periodic design (``ii`` given or back edges
+        present): each mark constrains iteration ``k`` of its source
+        against iteration ``k + wm_distance`` of its destination — the
+        watermark is woven across iteration boundaries.  Ignored for
+        acyclic embedding (edges stay distance 0).
     """
 
     domain: DomainParams = field(default_factory=DomainParams)
@@ -158,6 +167,7 @@ class SchedulingWMParams:
     eligibility: str = "laxity"
     min_mobility: int = 2
     realization_slack: int = 0
+    wm_distance: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.k_fraction <= 1.0:
@@ -174,6 +184,8 @@ class SchedulingWMParams:
             raise ValueError("min_mobility must be >= 1")
         if self.realization_slack < 0:
             raise ValueError("realization_slack must be >= 0")
+        if self.wm_distance < 1:
+            raise ValueError("wm_distance must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -199,11 +211,23 @@ class SchedulingWatermark:
     #: Locality radius used at embed time; detection must rebuild
     #: candidate cones with the same radius.
     tau: int = 4
+    #: Per-edge iteration distances (empty = all zero, the acyclic
+    #: record shape; older archives deserialize with this default).
+    distances: Tuple[int, ...] = ()
+    #: Initiation interval of a periodic embedding; None for acyclic.
+    ii: Optional[int] = None
 
     @property
     def k(self) -> int:
         """Number of temporal edges actually embedded."""
         return len(self.temporal_edges)
+
+    @property
+    def edge_distances(self) -> Tuple[int, ...]:
+        """Iteration distance of every temporal edge (zeros when acyclic)."""
+        if self.distances:
+            return self.distances
+        return (0,) * len(self.temporal_edges)
 
 
 @dataclass(frozen=True)
@@ -276,6 +300,7 @@ class SchedulingWatermarker:
         cdfg: CDFG,
         forced_root: Optional[str] = None,
         budget: Optional[Budget] = None,
+        ii: Optional[int] = None,
     ) -> Tuple[CDFG, SchedulingWatermark]:
         """Embed the watermark; returns (marked copy, watermark record).
 
@@ -284,13 +309,21 @@ class SchedulingWatermarker:
         The critical path is never lengthened (edges are only drawn when
         the constraint set stays satisfiable within the horizon).
 
+        A periodic design (back edges present, or *ii* given) is
+        embedded in the steady state: windows are the modulo-II ones,
+        every mark carries ``params.wm_distance`` iterations, and *ii*
+        defaults to the design's minimum initiation interval.  The
+        watermark never raises the achievable II for the same reason it
+        never lengthens an acyclic critical path — edges are drawn only
+        when the periodic window set stays satisfiable.
+
         An optional *budget* bounds the domain-selection search; its
         exhaustion surfaces as
         :class:`~repro.errors.BudgetExceededError`.
         """
         bitstream = BitStream(self.signature, SCHEDULING_PURPOSE)
         return self._embed_with_bitstream(
-            cdfg, bitstream, forced_root, budget=budget
+            cdfg, bitstream, forced_root, budget=budget, ii=ii
         )
 
     def _embed_with_bitstream(
@@ -300,10 +333,11 @@ class SchedulingWatermarker:
         forced_root: Optional[str] = None,
         roots: Optional[List[str]] = None,
         budget: Optional[Budget] = None,
+        ii: Optional[int] = None,
     ) -> Tuple[CDFG, SchedulingWatermark]:
         with PERF.phase("embed"):
             return self._embed_impl(
-                cdfg, bitstream, forced_root, roots, budget
+                cdfg, bitstream, forced_root, roots, budget, ii
             )
 
     def _embed_impl(
@@ -313,11 +347,18 @@ class SchedulingWatermarker:
         forced_root: Optional[str],
         roots: Optional[List[str]],
         budget: Optional[Budget],
+        ii: Optional[int] = None,
     ) -> Tuple[CDFG, SchedulingWatermark]:
-        base_cp = critical_path_length(cdfg)
-        horizon = self.params.horizon or base_cp
-
-        windows = scheduling_windows(cdfg, horizon)
+        if ii is None and cdfg.has_back_edges:
+            ii = cdfg.view().min_ii()
+        if ii is not None:
+            base_cp = periodic_critical_path_length(cdfg, ii)
+            horizon = self.params.horizon or base_cp
+            windows = periodic_scheduling_windows(cdfg, horizon, ii)
+        else:
+            base_cp = critical_path_length(cdfg)
+            horizon = self.params.horizon or base_cp
+            windows = scheduling_windows(cdfg, horizon)
         # Window low ends ARE the ASAP schedule; laxity reuses them
         # instead of running its own forward pass.
         lax = laxity(cdfg, asap={n: w[0] for n, w in windows.items()})
@@ -339,7 +380,7 @@ class SchedulingWatermarker:
                     f"{forced_root!r} (need {self.params.tau_prime_min})"
                 )
             return self._encode(
-                cdfg, domain, eligible, bitstream, horizon, base_cp
+                cdfg, domain, eligible, bitstream, horizon, base_cp, ii
             )
 
         # Retry domain selection until a locality offers enough eligible
@@ -361,7 +402,8 @@ class SchedulingWatermarker:
             if len(eligible) >= k_target + 1:
                 try:
                     return self._encode(
-                        cdfg, domain, eligible, bitstream, horizon, base_cp
+                        cdfg, domain, eligible, bitstream, horizon,
+                        base_cp, ii,
                     )
                 except ConstraintEncodingError:
                     continue
@@ -370,7 +412,7 @@ class SchedulingWatermarker:
         for _, domain, eligible in fallbacks:
             try:
                 return self._encode(
-                    cdfg, domain, eligible, bitstream, horizon, base_cp
+                    cdfg, domain, eligible, bitstream, horizon, base_cp, ii
                 )
             except ConstraintEncodingError:
                 continue
@@ -420,6 +462,7 @@ class SchedulingWatermarker:
         bitstream: BitStream,
         horizon: int,
         base_cp: int,
+        ii: Optional[int] = None,
     ) -> Tuple[CDFG, SchedulingWatermark]:
         k = self._k_target(domain)
         # Destinations come from later members of the ordered selection
@@ -432,14 +475,15 @@ class SchedulingWatermarker:
         k = min(k, selection_size - 1) if selection_size > 1 else 0
         selected = bitstream.ordered_selection(eligible, selection_size)
 
+        distance = self.params.wm_distance if ii is not None else 0
         marked = cdfg.copy(f"{cdfg.name}+wm")
         if self.incremental:
             edges = self._draw_edges_kernel(
-                marked, selected, bitstream, horizon, k
+                marked, selected, bitstream, horizon, k, ii, distance
             )
         else:
             edges = self._draw_edges_reference(
-                marked, selected, bitstream, horizon, k
+                marked, selected, bitstream, horizon, k, ii, distance
             )
 
         if not edges:
@@ -461,8 +505,33 @@ class SchedulingWatermarker:
             horizon=horizon,
             critical_path=base_cp,
             tau=self.params.domain.tau,
+            distances=(distance,) * len(edges) if ii is not None else (),
+            ii=ii,
         )
         return marked, watermark
+
+    @staticmethod
+    def _graph_admits(
+        marked: CDFG, n_i: str, n_j: str, distance: int
+    ) -> bool:
+        """Shared graph-level candidate screen of both drawing loops.
+
+        Rejects duplicates, constraints already implied by a
+        within-iteration (skeleton) path, and — for distance-0 edges
+        only — pairs whose reverse is reachable (the edge would close a
+        combinational cycle).  A positive-distance edge may close
+        cycles; its feasibility is the windows' business.
+        """
+        if marked.graph.has_edge(n_i, n_j):
+            return False
+        graph = (
+            marked.skeleton_graph() if marked.has_back_edges else marked.graph
+        )
+        if distance == 0 and nx.has_path(graph, n_j, n_i):
+            return False  # would create a combinational cycle
+        if nx.has_path(graph, n_i, n_j):
+            return False  # constraint already implied: no evidence
+        return True
 
     def _draw_edges_kernel(
         self,
@@ -471,6 +540,8 @@ class SchedulingWatermarker:
         bitstream: BitStream,
         horizon: int,
         k: int,
+        ii: Optional[int] = None,
+        distance: int = 0,
     ) -> List[Tuple[str, str]]:
         """Fig. 2 lines 6–9 with incrementally maintained windows.
 
@@ -480,7 +551,7 @@ class SchedulingWatermarker:
         sees identical candidate sets and this draws exactly the edges
         :meth:`_draw_edges_reference` would.
         """
-        iw = IncrementalWindows(marked, horizon)
+        iw = IncrementalWindows(marked, horizon, ii=ii)
         edges: List[Tuple[str, str]] = []
         for i, n_i in enumerate(selected):
             if len(edges) >= k:
@@ -490,29 +561,24 @@ class SchedulingWatermarker:
             # Window screens (overlap + individual feasibility) for the
             # whole remaining selection in one bulk call; only survivors
             # pay for the graph-reachability checks.
-            window_ok = iw.screen_targets(n_i, later, needed)
-            candidates = []
-            for n_j, ok in zip(later, window_ok):
-                if not ok:
-                    continue
-                # The constraint must not be implied or contradicted
-                # already.
-                if marked.graph.has_edge(n_i, n_j):
-                    continue
-                if nx.has_path(marked.graph, n_j, n_i):
-                    continue  # would create a cycle
-                if nx.has_path(marked.graph, n_i, n_j):
-                    continue  # constraint already implied: no evidence
-                candidates.append(n_j)
+            window_ok = iw.screen_targets(n_i, later, needed, distance)
+            candidates = [
+                n_j
+                for n_j, ok in zip(later, window_ok)
+                if ok and self._graph_admits(marked, n_i, n_j, distance)
+            ]
             if not candidates:
                 continue
             n_k = bitstream.choice(candidates)
             try:
-                iw.add_edge(n_i, n_k)
-            except InfeasibleScheduleError:  # pragma: no cover
-                # Unreachable when the per-candidate screen passed
-                # (needed >= latency), kept as a safety net mirroring
-                # the reference path's back-out.
+                iw.add_edge(n_i, n_k, distance=distance)
+            except InfeasibleScheduleError:
+                # Unreachable on acyclic graphs once the per-candidate
+                # screen passed (needed >= latency); in periodic mode
+                # the screen is only necessary, and a dependence cycle
+                # through the new edge can still empty a window — the
+                # kernel raises before mutating, mirroring the reference
+                # path's back-out.
                 continue
             edges.append((n_i, n_k))
         PERF.add("embed.edges_added", len(edges))
@@ -525,6 +591,8 @@ class SchedulingWatermarker:
         bitstream: BitStream,
         horizon: int,
         k: int,
+        ii: Optional[int] = None,
+        distance: int = 0,
     ) -> List[Tuple[str, str]]:
         """Reference edge-drawing loop: full window recompute per edge.
 
@@ -532,43 +600,50 @@ class SchedulingWatermarker:
         produces an identical watermark record at a fraction of the
         cost.
         """
-        windows = scheduling_windows(marked, horizon)
+
+        def full_windows() -> dict:
+            if ii is not None:
+                return periodic_scheduling_windows(marked, horizon, ii)
+            return scheduling_windows(marked, horizon)
+
+        shift = (ii or 0) * distance
+        windows = full_windows()
         edges: List[Tuple[str, str]] = []
         for i, n_i in enumerate(selected):
             if len(edges) >= k:
                 break
             candidates = []
             for n_j in selected[i + 1:]:
-                if not windows_overlap(windows[n_i], windows[n_j]):
+                lo_j, hi_j = windows[n_j]
+                # A distance-d target belongs to the iteration d
+                # intervals later, so its window is screened shifted —
+                # exactly what the kernel's screen_targets computes.
+                shifted = (lo_j + shift, hi_j + shift)
+                if not windows_overlap(windows[n_i], shifted):
                     continue
                 lo_i, _ = windows[n_i]
-                _, hi_j = windows[n_j]
                 needed = marked.latency(n_i) + self.params.realization_slack
-                if lo_i + needed > hi_j:
+                if lo_i + needed > shifted[1]:
                     continue
-                if marked.graph.has_edge(n_i, n_j):
+                if not self._graph_admits(marked, n_i, n_j, distance):
                     continue
-                if nx.has_path(marked.graph, n_j, n_i):
-                    continue  # would create a cycle
-                if nx.has_path(marked.graph, n_i, n_j):
-                    continue  # constraint already implied: no evidence
                 candidates.append(n_j)
             if not candidates:
                 continue
             n_k = bitstream.choice(candidates)
-            marked.add_temporal_edge(n_i, n_k)
+            marked.add_temporal_edge(n_i, n_k, distance=distance)
             try:
-                windows = scheduling_windows(marked, horizon)
+                windows = full_windows()
             except Exception:
                 # Joint infeasibility: back the edge out and move on.
                 marked.remove_edge(n_i, n_k)
-                windows = scheduling_windows(marked, horizon)
+                windows = full_windows()
                 continue
             edges.append((n_i, n_k))
         return edges
 
     def embed_many(
-        self, cdfg: CDFG, count: int
+        self, cdfg: CDFG, count: int, ii: Optional[int] = None
     ) -> Tuple[CDFG, List[SchedulingWatermark]]:
         """Embed several independent local watermarks (§III: "a number of
         'small' watermarks are randomly augmented in the design").
@@ -576,6 +651,8 @@ class SchedulingWatermarker:
         Each watermark keys its bitstream with a distinct purpose label
         derived from its index, so the marks are independent.
         """
+        if ii is None and cdfg.has_back_edges:
+            ii = cdfg.view().min_ii()
         marked = cdfg
         marks: List[SchedulingWatermark] = []
         roots = candidate_roots(cdfg, self.params.domain)
@@ -585,7 +662,7 @@ class SchedulingWatermarker:
             )
             try:
                 marked, mark = self._embed_with_bitstream(
-                    marked, bitstream, roots=roots
+                    marked, bitstream, roots=roots, ii=ii
                 )
             except (ConstraintEncodingError, DomainSelectionError):
                 continue
@@ -593,7 +670,11 @@ class SchedulingWatermarker:
         return marked, marks
 
     def embed_until(
-        self, cdfg: CDFG, target_edges: int, max_marks: int = 64
+        self,
+        cdfg: CDFG,
+        target_edges: int,
+        max_marks: int = 64,
+        ii: Optional[int] = None,
     ) -> Tuple[CDFG, List[SchedulingWatermark]]:
         """Embed local watermarks until *target_edges* constraints exist.
 
@@ -602,6 +683,8 @@ class SchedulingWatermarker:
         small localities are marked until the total temporal-edge count
         reaches the target.
         """
+        if ii is None and cdfg.has_back_edges:
+            ii = cdfg.view().min_ii()
         marked = cdfg
         marks: List[SchedulingWatermark] = []
         roots = candidate_roots(cdfg, self.params.domain)
@@ -614,7 +697,7 @@ class SchedulingWatermarker:
             )
             try:
                 marked, mark = self._embed_with_bitstream(
-                    marked, bitstream, roots=roots
+                    marked, bitstream, roots=roots, ii=ii
                 )
             except (ConstraintEncodingError, DomainSelectionError):
                 continue
@@ -637,21 +720,29 @@ class SchedulingWatermarker:
         The suspect CDFG is the design as recovered from the
         implementation — *without* temporal edges (they were stripped
         after synthesis, Fig. 1); windows for the ``P_c`` estimate are
-        computed on it directly.
+        computed on it directly.  A periodic record (``watermark.ii``
+        set) checks each edge in its cross-iteration form and estimates
+        ``P_c`` over the steady-state windows at that II.
         """
         satisfied = [
-            (src, dst)
-            for src, dst in watermark.temporal_edges
+            (src, dst, d)
+            for (src, dst), d in zip(
+                watermark.temporal_edges, watermark.edge_distances
+            )
             if src in suspect
             and dst in suspect
-            and schedule.satisfies_order(src, dst)
+            and schedule.satisfies_order(
+                src, dst, distance=d, ii=watermark.ii
+            )
         ]
         log10_pc = (
             approx_log10_pc(
                 suspect,
-                satisfied,
+                [(src, dst) for src, dst, _ in satisfied],
                 horizon=None,
                 model=model,
+                ii=watermark.ii,
+                distances=[d for _, _, d in satisfied],
             )
             if satisfied
             else 0.0
@@ -672,6 +763,8 @@ class SchedulingWatermarker:
 
         Enumerates the schedules of the locality cone with and without
         the temporal edges, exactly like the paper's Fig. 3 numbers.
+        Periodic records enumerate over the steady-state windows with
+        the cross-iteration satisfaction rule.
         """
         return exact_pc(
             cdfg,
@@ -679,4 +772,6 @@ class SchedulingWatermarker:
             horizon=watermark.horizon,
             nodes=list(watermark.cone),
             limit=limit,
+            ii=watermark.ii,
+            distances=watermark.edge_distances,
         )

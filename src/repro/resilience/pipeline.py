@@ -53,6 +53,7 @@ from repro.resilience.budget import Budget
 from repro.scheduling.exact import exact_schedule
 from repro.scheduling.force_directed import force_directed_schedule
 from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.modulo import modulo_schedule
 from repro.scheduling.resources import UNLIMITED, ResourceSet
 from repro.scheduling.schedule import Schedule
 from repro.timing.windows import critical_path_length
@@ -60,6 +61,12 @@ from repro.util.perf import PERF
 
 #: Default fallback ladder, strongest first.
 DEFAULT_LADDER: Tuple[str, ...] = ("exact", "force-directed", "list")
+
+#: Ladder for periodic designs: min-II modulo search, then a fixed-II
+#: list-modulo retry at the always-feasible ``sum(latency)`` interval.
+#: The acyclic rungs cannot verify cross-iteration edges, so a design
+#: with back edges routes here instead.
+PERIODIC_LADDER: Tuple[str, ...] = ("modulo_schedule", "modulo_list")
 
 
 @dataclass(frozen=True)
@@ -96,6 +103,8 @@ class RobustScheduleResult:
     attempts: Tuple[SchedulerAttempt, ...]
     met_horizon: bool
     makespan: int
+    #: Achieved initiation interval; None for non-periodic schedules.
+    ii: Optional[int] = None
 
     @property
     def degraded(self) -> bool:
@@ -108,7 +117,8 @@ def robust_schedule(
     horizon: Optional[int] = None,
     resources: ResourceSet = UNLIMITED,
     budget: Optional[Budget] = None,
-    ladder: Sequence[str] = DEFAULT_LADDER,
+    ladder: Optional[Sequence[str]] = None,
+    ii: Optional[int] = None,
 ) -> RobustScheduleResult:
     """Schedule *cdfg*, degrading through the fallback ladder.
 
@@ -118,22 +128,41 @@ def robust_schedule(
     which is what makes the pipeline total: the caller always gets a
     legal schedule plus an account of what was given up.
 
+    A design with back edges (or an explicit *ii*) routes to
+    :data:`PERIODIC_LADDER` instead: the ``"modulo_schedule"`` rung
+    searches for the minimum II under the shared budget (the kernel's
+    binary feasibility probe plus ascending list-modulo placement), and
+    on budget exhaustion the ``"modulo_list"`` rung retries one fixed
+    list-modulo placement at the always-recurrence-feasible
+    ``sum(latency)`` interval, without horizon pressure.
+
     Raises
     ------
     SchedulingError
         Only if every rung failed — possible only when ``"list"`` is
-        excluded from *ladder*.
+        excluded from *ladder* (or, for periodic designs, when even the
+        relaxed ``"modulo_list"`` rung cannot place the design).
     """
+    periodic = cdfg.has_back_edges or ii is not None
+    if ladder is None:
+        ladder = PERIODIC_LADDER if periodic else DEFAULT_LADDER
     if not ladder:
         raise SchedulingError("empty scheduler ladder")
-    unknown = [r for r in ladder if r not in DEFAULT_LADDER]
+    known = DEFAULT_LADDER + PERIODIC_LADDER
+    unknown = [r for r in ladder if r not in known]
     if unknown:
         raise SchedulingError(f"unknown ladder rungs: {unknown}")
+    if cdfg.has_back_edges and any(r in DEFAULT_LADDER for r in ladder):
+        raise SchedulingError(
+            "acyclic scheduler rungs cannot honour back edges; use the "
+            "periodic ladder (modulo_schedule / modulo_list)"
+        )
     cp = critical_path_length(cdfg)
     target_horizon = horizon if horizon is not None else cp
     attempts: List[SchedulerAttempt] = []
     for rung in ladder:
         started = time.monotonic()
+        achieved_ii: Optional[int] = None
         try:
             with PERF.phase(f"pipeline.{rung}"):
                 if rung == "exact":
@@ -147,6 +176,24 @@ def robust_schedule(
                     # FDS is time-constrained only; enforce resource limits
                     # explicitly so a violating result degrades further.
                     schedule.verify(cdfg, resources=resources)
+                elif rung == "modulo_schedule":
+                    result = modulo_schedule(
+                        cdfg,
+                        resources=resources,
+                        horizon=horizon,
+                        ii=ii,
+                        budget=budget,
+                    )
+                    schedule = result.schedule
+                    achieved_ii = result.ii
+                elif rung == "modulo_list":
+                    # Last-resort periodic rung: one placement at the
+                    # recurrence-safe II, no horizon, no budget — the
+                    # periodic analogue of the unconstrained list rung.
+                    safe_ii = max(1, sum(cdfg.view().latency))
+                    result = modulo_schedule(cdfg, resources=resources, ii=safe_ii)
+                    schedule = result.schedule
+                    achieved_ii = result.ii
                 else:  # "list"
                     schedule = list_schedule(cdfg, resources=resources)
         except (SchedulingError, BudgetExceededError) as exc:
@@ -167,12 +214,19 @@ def robust_schedule(
             )
         )
         span = schedule.makespan(cdfg)
+        if periodic and horizon is None:
+            # No horizon requested: the steady-state makespan is judged
+            # against the periodic critical path at the achieved II.
+            target_horizon = cdfg.view().modulo_critical_path_length(
+                achieved_ii
+            )
         return RobustScheduleResult(
             schedule=schedule,
             scheduler=rung,
             attempts=tuple(attempts),
             met_horizon=span <= target_horizon,
             makespan=span,
+            ii=achieved_ii,
         )
     raise SchedulingError(
         "every scheduler rung failed: "

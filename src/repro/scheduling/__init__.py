@@ -8,6 +8,7 @@ from repro.scheduling.enumeration import (
     iter_schedules,
     pairwise_distances,
     pairwise_psi,
+    periodic_pairwise_distances,
 )
 from repro.scheduling.exact import (
     DEFAULT_UNIT_COSTS,
@@ -16,6 +17,12 @@ from repro.scheduling.exact import (
 )
 from repro.scheduling.force_directed import force_directed_schedule
 from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.modulo import (
+    MAX_II_ESCALATIONS,
+    ModuloScheduleResult,
+    modulo_schedule,
+    resource_min_ii,
+)
 from repro.scheduling.resources import UNLIMITED, ResourceSet, minimum_units
 from repro.scheduling.schedule import Schedule
 
@@ -26,6 +33,10 @@ __all__ = [
     "minimum_units",
     "list_schedule",
     "force_directed_schedule",
+    "modulo_schedule",
+    "ModuloScheduleResult",
+    "resource_min_ii",
+    "MAX_II_ESCALATIONS",
     "exact_schedule",
     "minimum_cost_schedule",
     "DEFAULT_UNIT_COSTS",
@@ -34,6 +45,7 @@ __all__ = [
     "count_schedules_satisfying",
     "pairwise_psi",
     "pairwise_distances",
+    "periodic_pairwise_distances",
     "enumerate_as_schedules",
     "EnumerationLimitError",
 ]

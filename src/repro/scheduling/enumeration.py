@@ -29,7 +29,10 @@ import networkx as nx
 from repro.cdfg.graph import CDFG
 from repro.errors import SchedulingError
 from repro.scheduling.schedule import Schedule
-from repro.timing.windows import scheduling_windows
+from repro.timing.windows import (
+    periodic_scheduling_windows,
+    scheduling_windows,
+)
 
 
 class EnumerationLimitError(SchedulingError):
@@ -65,11 +68,83 @@ def pairwise_distances(
     return distances
 
 
+def periodic_pairwise_distances(
+    cdfg: CDFG, nodes: Sequence[str], ii: int
+) -> Dict[Tuple[str, str], int]:
+    """Longest-path constraint distances in the periodic graph at *ii*.
+
+    Every edge ``(u, v)`` of distance ``d`` contributes the weight
+    ``lat(u) - ii*d``; ``dist[(x, y)] = w`` then means every steady-state
+    schedule must satisfy ``start(y) >= start(x) + w``.  Unlike the
+    acyclic case the weight may be negative (a constraint reached only
+    through back edges), and a pair may appear in *both* directions
+    (cycles).  At a feasible II every cycle has weight ``<= 0``, so the
+    longest path is well defined; a still-improving pass after the
+    Bellman–Ford bound certifies a positive cycle and raises.
+    """
+    node_set = set(nodes)
+    names = cdfg.operations
+    index = {n: i for i, n in enumerate(names)}
+    lat = [cdfg.latency(n) for n in names]
+    arcs = [
+        (index[u], index[v], lat[index[u]] - ii * cdfg.edge_distance(u, v))
+        for u, v in cdfg.edges()
+    ]
+    neg_inf = float("-inf")
+    distances: Dict[Tuple[str, str], int] = {}
+    for source in nodes:
+        best: List[float] = [neg_inf] * len(names)
+        best[index[source]] = 0
+        for sweep in range(len(names) + 1):
+            moved = False
+            for x, y, w in arcs:
+                if best[x] != neg_inf and best[x] + w > best[y]:
+                    best[y] = best[x] + w
+                    moved = True
+            if not moved:
+                break
+            if sweep == len(names):
+                raise SchedulingError(
+                    f"positive-weight dependence cycle in {cdfg.name!r} "
+                    f"at II={ii}"
+                )
+        for target in nodes:
+            w = best[index[target]]
+            if target != source and w != neg_inf:
+                distances[(source, target)] = int(w)
+    return distances
+
+
+def _constraint_setup(
+    cdfg: CDFG,
+    horizon: int,
+    nodes: Sequence[str],
+    ii: Optional[int],
+) -> Tuple[Dict[str, Tuple[int, int]], Dict[Tuple[str, str], int]]:
+    """Windows and pairwise constraints, periodic or acyclic.
+
+    The single dispatch point every enumeration/sampling entry shares: a
+    design carrying back edges demands an explicit II (its skeleton-only
+    constraints would silently under-count), and in periodic mode both
+    the windows and the longest-path distances fold ``- ii*distance``.
+    """
+    if ii is not None:
+        windows = periodic_scheduling_windows(cdfg, horizon, ii)
+        return windows, periodic_pairwise_distances(cdfg, nodes, ii)
+    if cdfg.has_back_edges:
+        raise SchedulingError(
+            f"{cdfg.name!r} carries inter-iteration edges; enumeration "
+            "requires an explicit ii"
+        )
+    return scheduling_windows(cdfg, horizon), pairwise_distances(cdfg, nodes)
+
+
 def iter_schedules(
     cdfg: CDFG,
     horizon: int,
     nodes: Optional[Sequence[str]] = None,
     limit: int = 10_000_000,
+    ii: Optional[int] = None,
 ) -> Iterator[Dict[str, int]]:
     """Yield every feasible start-time assignment for *nodes*.
 
@@ -80,22 +155,30 @@ def iter_schedules(
     limit:
         Maximum number of partial assignments explored before
         :class:`EnumerationLimitError` is raised.
+    ii:
+        Initiation interval for periodic designs: windows become the
+        steady-state (modulo-II) windows and precedence constraints fold
+        ``- ii*distance``.  Because cycles constrain a node from *both*
+        sides, each candidate start is checked against lower **and**
+        upper bounds from already-assigned nodes.
     """
     if nodes is None:
         nodes = cdfg.schedulable_operations
-    windows = scheduling_windows(cdfg, horizon)
-    distances = pairwise_distances(cdfg, nodes)
+    windows, distances = _constraint_setup(cdfg, horizon, nodes, ii)
     order = [n for n in cdfg.topological_order() if n in set(nodes)]
     # Constraint lists indexed by position in `order`: each node only needs
-    # to check against already-assigned (earlier topological) nodes.
-    constraints: List[List[Tuple[int, int]]] = []
+    # to check against already-assigned (earlier topological) nodes.  In
+    # periodic mode a pair may constrain both directions, so each check
+    # carries an optional lower and upper offset.
+    constraints: List[List[Tuple[int, Optional[int], Optional[int]]]] = []
     index = {n: i for i, n in enumerate(order)}
     for i, node in enumerate(order):
-        checks: List[Tuple[int, int]] = []
+        checks: List[Tuple[int, Optional[int], Optional[int]]] = []
         for j in range(i):
-            d = distances.get((order[j], node))
-            if d is not None:
-                checks.append((j, d))
+            fwd = distances.get((order[j], node))
+            bwd = distances.get((node, order[j])) if ii is not None else None
+            if fwd is not None or bwd is not None:
+                checks.append((j, fwd, bwd))
         constraints.append(checks)
 
     assignment: List[int] = [0] * len(order)
@@ -114,8 +197,11 @@ def iter_schedules(
                     f"enumeration exceeded limit of {limit} partial assignments"
                 )
             ok = True
-            for j, d in constraints[i]:
-                if t < assignment[j] + d:
+            for j, fwd, bwd in constraints[i]:
+                if fwd is not None and t < assignment[j] + fwd:
+                    ok = False
+                    break
+                if bwd is not None and assignment[j] < t + bwd:
                     ok = False
                     break
             if ok:
@@ -132,9 +218,13 @@ def count_schedules(
     horizon: int,
     nodes: Optional[Sequence[str]] = None,
     limit: int = 10_000_000,
+    ii: Optional[int] = None,
 ) -> int:
     """Count feasible schedules; the paper's ψ_N when run unconstrained."""
-    return sum(1 for _ in iter_schedules(cdfg, horizon, nodes=nodes, limit=limit))
+    return sum(
+        1
+        for _ in iter_schedules(cdfg, horizon, nodes=nodes, limit=limit, ii=ii)
+    )
 
 
 def count_schedules_satisfying(
@@ -143,14 +233,24 @@ def count_schedules_satisfying(
     order_constraints: Iterable[Tuple[str, str]],
     nodes: Optional[Sequence[str]] = None,
     limit: int = 10_000_000,
+    ii: Optional[int] = None,
+    constraint_distances: Optional[Sequence[int]] = None,
 ) -> int:
     """Count schedules where every ``(before, after)`` pair holds strictly.
 
     This counts the schedules an *unwatermarked* flow could produce that
     coincidentally satisfy the watermark's temporal edges — the
-    numerator of the exact ``P_c``.
+    numerator of the exact ``P_c``.  With *ii* and per-pair
+    *constraint_distances*, pair ``k`` of distance ``d`` holds iff
+    ``start(before) < start(after) + ii*d`` — the cross-iteration form.
     """
     pairs = list(order_constraints)
+    if constraint_distances is None:
+        constraint_distances = [0] * len(pairs)
+    if len(constraint_distances) != len(pairs):
+        raise SchedulingError(
+            "constraint_distances must align with order_constraints"
+        )
     enumerated = set(nodes) if nodes is not None else set(
         cdfg.schedulable_operations
     )
@@ -160,9 +260,19 @@ def count_schedules_satisfying(
             f"constraint endpoints outside the enumerated subset: "
             f"{sorted(outside)}"
         )
+    if ii is None and any(constraint_distances):
+        raise SchedulingError(
+            "cross-iteration constraints require an explicit ii"
+        )
+    shifts = [(ii or 0) * d for d in constraint_distances]
     count = 0
-    for schedule in iter_schedules(cdfg, horizon, nodes=nodes, limit=limit):
-        if all(schedule[src] < schedule[dst] for src, dst in pairs):
+    for schedule in iter_schedules(
+        cdfg, horizon, nodes=nodes, limit=limit, ii=ii
+    ):
+        if all(
+            schedule[src] < schedule[dst] + shift
+            for (src, dst), shift in zip(pairs, shifts)
+        ):
             count += 1
     return count
 
@@ -207,17 +317,21 @@ def transitive_reduction_edges(cdfg: CDFG) -> List[Tuple[str, str]]:
 
 
 def window_box_volume(
-    cdfg: CDFG, horizon: int, nodes: Optional[Sequence[str]] = None
+    cdfg: CDFG,
+    horizon: int,
+    nodes: Optional[Sequence[str]] = None,
+    ii: Optional[int] = None,
 ) -> int:
     """Product of the window widths of *nodes* (the sampling box size).
 
     This is the size of the sample space :func:`sample_schedule_boxes`
     draws from; the feasible-schedule count divided by this volume is
-    the rejection sampler's acceptance rate.
+    the rejection sampler's acceptance rate.  With *ii* the box is the
+    steady-state (modulo-II) one.
     """
     if nodes is None:
         nodes = cdfg.schedulable_operations
-    windows = scheduling_windows(cdfg, horizon)
+    windows, _ = _constraint_setup(cdfg, horizon, [], ii)
     volume = 1
     for node in nodes:
         lo, hi = windows[node]
@@ -231,6 +345,7 @@ def sample_schedule_boxes(
     samples: int,
     rng,
     nodes: Optional[Sequence[str]] = None,
+    ii: Optional[int] = None,
 ) -> Iterator[Tuple[Dict[str, int], bool]]:
     """Draw start-time assignments uniformly from the window box.
 
@@ -241,7 +356,8 @@ def sample_schedule_boxes(
     pairs; because every point of the box is equally likely, the
     feasible samples are uniform over the feasible schedules — the
     brute-force Monte Carlo counterpart of exact enumeration, used by
-    the differential ``P_c`` oracle.
+    the differential ``P_c`` oracle.  With *ii* the box is the
+    steady-state one and the constraints fold ``- ii*distance``.
 
     Parameters
     ----------
@@ -251,8 +367,7 @@ def sample_schedule_boxes(
     if nodes is None:
         nodes = cdfg.schedulable_operations
     nodes = list(nodes)
-    windows = scheduling_windows(cdfg, horizon)
-    distances = pairwise_distances(cdfg, nodes)
+    windows, distances = _constraint_setup(cdfg, horizon, nodes, ii)
     checks: List[Tuple[int, int, int]] = [
         (nodes.index(u), nodes.index(v), d)
         for (u, v), d in distances.items()

@@ -1,0 +1,234 @@
+"""Modulo scheduling for periodic (cyclic) CDFGs.
+
+A periodic design executes forever with one iteration initiated every
+``II`` control steps; back edges (``distance >= 1``) constrain iteration
+``k`` of their source against iteration ``k + distance`` of their
+destination.  The scheduler finds a steady-state start time per node
+such that
+
+* every distance-0 edge holds within the iteration,
+* every back edge holds across iterations
+  (``start(dst) + II*d >= start(src) + lat(src)``), and
+* no modulo reservation-table slot oversubscribes a functional unit —
+  iterations overlap in the steady state, so two operations collide iff
+  their busy steps coincide modulo II.
+
+The search is the classic two-phase structure: a lower bound
+``max(recMII, resMII)`` (recurrence MII from the kernel's binary
+feasibility probe, resource MII from per-class busy-step counting), then
+list-modulo placement at ascending candidate IIs until one sticks.
+Placement walks the distance-0 skeleton in topological order — every
+back edge whose *source* is still unplaced imposes nothing yet, while a
+back edge into an already-placed node turns into a hard deadline — so a
+single pass either succeeds or proves this II needs escalation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.ops import ResourceClass
+from repro.errors import BudgetExceededError, InfeasibleScheduleError
+from repro.resilience.budget import Budget, check_deadline
+from repro.scheduling.resources import ResourceSet, UNLIMITED
+from repro.scheduling.schedule import Schedule
+from repro.util.perf import PERF
+
+#: Candidate IIs tried above the lower bound before giving up.  Greedy
+#: list-modulo placement is not complete, but escalating the II strictly
+#: relaxes every cross-iteration deadline and every reservation slot, so
+#: small escalation counts succeed in practice; the cap turns a
+#: pathological design into a clean error instead of a crawl.
+MAX_II_ESCALATIONS = 64
+
+
+@dataclass(frozen=True)
+class ModuloScheduleResult:
+    """A steady-state schedule plus the II search's accounting.
+
+    Attributes
+    ----------
+    schedule:
+        Steady-state start step per node (iteration 0's copy).
+    ii:
+        The initiation interval the schedule achieves.
+    rec_mii:
+        Recurrence lower bound (max cycle ratio, via the kernel probe).
+    res_mii:
+        Resource lower bound (busy steps per class / units).
+    probes:
+        Candidate IIs attempted, including the winner.
+    """
+
+    schedule: Schedule
+    ii: int
+    rec_mii: int
+    res_mii: int
+    probes: int
+
+
+def resource_min_ii(cdfg: CDFG, resources: ResourceSet = UNLIMITED) -> int:
+    """Resource-constrained lower bound on the II (the resMII).
+
+    Every iteration issues each operation once, so a class with ``u``
+    units and ``b`` total busy steps per iteration needs
+    ``ceil(b / u)`` slots of every initiation interval.
+    """
+    busy: Dict[ResourceClass, int] = {}
+    for node in cdfg.operations:
+        cls = cdfg.op(node).resource_class
+        if cls is ResourceClass.IO:
+            continue
+        busy[cls] = busy.get(cls, 0) + cdfg.latency(node)
+    bound = 1
+    for cls, total in busy.items():
+        cap = resources.limit(cls)
+        if cap is not None:
+            bound = max(bound, -(-total // cap))
+    return bound
+
+
+def _try_ii(
+    cdfg: CDFG,
+    ii: int,
+    resources: ResourceSet,
+    horizon: Optional[int],
+) -> Optional[Schedule]:
+    """One list-modulo placement attempt; None when this II fails."""
+    view = cdfg.view()
+    try:
+        asap = view.asap_modulo(ii)
+    except InfeasibleScheduleError:
+        return None
+    latency = view.latency
+    nodes = view.nodes
+    back_succs, back_preds = view._back_adj()
+    # Modulo reservation table: slot -> class -> units in use.
+    table: List[Dict[ResourceClass, int]] = [{} for _ in range(ii)]
+    classes = [cdfg.op(n).resource_class for n in nodes]
+    start: Dict[int, int] = {}
+
+    def slot_free(t: int, i: int) -> bool:
+        cls = classes[i]
+        if cls is ResourceClass.IO:
+            return True
+        cap = resources.limit(cls)
+        if cap is None:
+            return True
+        if latency[i] >= ii:
+            # The op is busy at every slot of the steady state.
+            return all(row.get(cls, 0) < cap for row in table)
+        for step in range(t, t + latency[i]):
+            if table[step % ii].get(cls, 0) >= cap:
+                return False
+        return True
+
+    def reserve(t: int, i: int) -> None:
+        cls = classes[i]
+        if cls is ResourceClass.IO:
+            return
+        span = min(latency[i], ii)
+        for step in range(t, t + span):
+            row = table[step % ii]
+            row[cls] = row.get(cls, 0) + 1
+
+    for i in view.topo_order():
+        lower = asap[i]
+        for p in view.preds[i]:
+            # Skeleton topo order placed every distance-0 predecessor.
+            lower = max(lower, start[p] + latency[p])
+        upper: Optional[int] = None
+        for p, d in back_preds.get(i, ()):
+            if p in start:
+                lower = max(lower, start[p] + latency[p] - ii * d)
+        for s, d in back_succs.get(i, ()):
+            if s in start:
+                deadline = start[s] + ii * d - latency[i]
+                upper = deadline if upper is None else min(upper, deadline)
+        if horizon is not None:
+            deadline = horizon - latency[i]
+            upper = deadline if upper is None else min(upper, deadline)
+        if upper is None:
+            # Unconstrained above: II slots exhaust the distinct
+            # reservation patterns, so a free slot appears within II
+            # steps of the lower bound or never.
+            upper = lower + ii - 1
+        placed = None
+        for t in range(lower, upper + 1):
+            if slot_free(t, i):
+                placed = t
+                break
+        if placed is None:
+            return None
+        reserve(placed, i)
+        start[i] = placed
+    return Schedule({nodes[i]: t for i, t in start.items()})
+
+
+def modulo_schedule(
+    cdfg: CDFG,
+    resources: ResourceSet = UNLIMITED,
+    horizon: Optional[int] = None,
+    ii: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> ModuloScheduleResult:
+    """Find a steady-state schedule at the smallest achievable II.
+
+    Parameters
+    ----------
+    cdfg:
+        The design; back edges welcome (an acyclic design degenerates
+        to ``recMII = 1``).
+    resources:
+        Functional-unit limits, enforced modulo the II.
+    horizon:
+        Optional cap on the steady-state makespan (iteration latency,
+        not throughput).
+    ii:
+        Fix the initiation interval instead of searching: exactly this
+        II is attempted, and failure raises instead of escalating.
+    budget:
+        Shared wall-clock/node budget; checked between II probes so
+        exhaustion surfaces as
+        :class:`~repro.errors.BudgetExceededError` mid-search.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If the fixed *ii* (or every candidate up to the escalation cap)
+        admits no placement.
+    BudgetExceededError
+        If *budget* ran out between probes.
+    """
+    rec_mii = cdfg.view().min_ii()
+    res_mii = resource_min_ii(cdfg, resources)
+    if ii is not None:
+        candidates = [ii]
+    else:
+        floor = max(rec_mii, res_mii)
+        candidates = list(range(floor, floor + MAX_II_ESCALATIONS + 1))
+    probes = 0
+    with PERF.phase("modulo.schedule"):
+        for candidate in candidates:
+            check_deadline(budget, what="modulo_schedule II probe")
+            probes += 1
+            PERF.add("modulo.ii_probes")
+            schedule = _try_ii(cdfg, candidate, resources, horizon)
+            if schedule is not None:
+                return ModuloScheduleResult(
+                    schedule=schedule,
+                    ii=candidate,
+                    rec_mii=rec_mii,
+                    res_mii=res_mii,
+                    probes=probes,
+                )
+    raise InfeasibleScheduleError(
+        f"no modulo schedule for {cdfg.name!r}: "
+        + (
+            f"fixed II {ii} admits no placement"
+            if ii is not None
+            else f"IIs {candidates[0]}..{candidates[-1]} all failed"
+        )
+    )

@@ -62,17 +62,49 @@ class Schedule:
         """Peak per-class concurrency — the unit counts this schedule needs."""
         return minimum_units(self.step_usage(cdfg))
 
+    def modulo_step_usage(
+        self, cdfg: CDFG, ii: int
+    ) -> Dict[int, Dict[ResourceClass, int]]:
+        """Per-slot functional-unit usage folded modulo the II.
+
+        In a periodic schedule every iteration re-executes the steady
+        state shifted by one initiation interval, so two operations
+        collide on a unit iff their busy steps coincide **modulo II** —
+        the modulo reservation table of list-modulo scheduling.
+        """
+        usage: Dict[int, Dict[ResourceClass, int]] = {}
+        for node, start in self.start_times.items():
+            if node not in cdfg:
+                continue
+            op = cdfg.op(node)
+            if op.resource_class is ResourceClass.IO:
+                continue
+            for step in range(start, start + cdfg.latency(node)):
+                slot_map = usage.setdefault(step % ii, {})
+                slot_map[op.resource_class] = (
+                    slot_map.get(op.resource_class, 0) + 1
+                )
+        return usage
+
     def verify(
         self,
         cdfg: CDFG,
         resources: Optional[ResourceSet] = None,
         horizon: Optional[int] = None,
+        ii: Optional[int] = None,
     ) -> None:
         """Raise :class:`SchedulingError` unless the schedule is legal.
 
         Checks, in order: completeness (every CDFG node scheduled),
         non-negative starts, precedence over *all* edge kinds, the
         horizon bound, and resource limits.
+
+        For a periodic design (any edge with ``distance >= 1``) *ii*
+        is mandatory: a distance-``d`` edge is satisfied iff
+        ``start(dst) + ii*d >= start(src) + lat(src)`` — the
+        destination belongs to the iteration ``d`` intervals later —
+        and resource limits apply to the usage folded modulo II
+        (iterations overlap in the steady state).
         """
         for node in cdfg.operations:
             if node not in self.start_times:
@@ -83,44 +115,72 @@ class Schedule:
             if start < 0:
                 raise SchedulingError(f"negative start time for {node!r}")
         for src, dst in cdfg.edges():
-            if self.start(dst) < self.start(src) + cdfg.latency(src):
+            distance = cdfg.edge_distance(src, dst)
+            if distance and ii is None:
+                raise SchedulingError(
+                    f"edge {src!r}->{dst!r} carries distance {distance}; "
+                    "verifying a periodic design requires ii"
+                )
+            slack = (ii or 0) * distance
+            if self.start(dst) + slack < self.start(src) + cdfg.latency(src):
                 kind = cdfg.edge_kind(src, dst).value
                 raise SchedulingError(
                     f"{kind} precedence violated: {src!r}@{self.start(src)} "
-                    f"-> {dst!r}@{self.start(dst)}"
+                    f"-> {dst!r}@{self.start(dst)} (distance {distance})"
                 )
         if horizon is not None and self.makespan(cdfg) > horizon:
             raise SchedulingError(
                 f"makespan {self.makespan(cdfg)} exceeds horizon {horizon}"
             )
         if resources is not None:
-            for step, usage in self.step_usage(cdfg).items():
-                if not resources.admits(usage):
-                    raise SchedulingError(
-                        f"resource limits exceeded at step {step}: {usage}"
-                    )
+            if ii is not None:
+                slot_usage = self.modulo_step_usage(cdfg, ii)
+                for slot, usage in slot_usage.items():
+                    if not resources.admits(usage):
+                        raise SchedulingError(
+                            f"resource limits exceeded at modulo slot "
+                            f"{slot}: {usage}"
+                        )
+            else:
+                for step, usage in self.step_usage(cdfg).items():
+                    if not resources.admits(usage):
+                        raise SchedulingError(
+                            f"resource limits exceeded at step {step}: {usage}"
+                        )
 
     def is_valid(
         self,
         cdfg: CDFG,
         resources: Optional[ResourceSet] = None,
         horizon: Optional[int] = None,
+        ii: Optional[int] = None,
     ) -> bool:
         """Boolean form of :meth:`verify`."""
         try:
-            self.verify(cdfg, resources=resources, horizon=horizon)
+            self.verify(cdfg, resources=resources, horizon=horizon, ii=ii)
         except SchedulingError:
             return False
         return True
 
-    def satisfies_order(self, before: str, after: str) -> bool:
+    def satisfies_order(
+        self, before: str, after: str, distance: int = 0,
+        ii: Optional[int] = None,
+    ) -> bool:
         """Whether *before* starts strictly before *after*.
 
         This is the property a watermark temporal edge asserts; detection
         checks it directly on suspect schedules (which were produced
-        without the temporal edges present).
+        without the temporal edges present).  A cross-iteration edge
+        (``distance >= 1`` at initiation interval *ii*) asserts the
+        periodic form: *before* of iteration ``k`` starts strictly
+        before *after* of iteration ``k + distance``, i.e.
+        ``start(before) < start(after) + ii*distance``.
         """
-        return self.start(before) < self.start(after)
+        if distance and ii is None:
+            raise SchedulingError(
+                "cross-iteration order check requires ii"
+            )
+        return self.start(before) < self.start(after) + (ii or 0) * distance
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, int]) -> "Schedule":

@@ -91,6 +91,18 @@ AUTO_MIN_PAIRS = 64
 #: node-length list, so the cap matters.
 ALAP_MEMO_CAP = 4
 
+#: Per-II modulo ASAP/ALAP memo bound (LRU) — the min-II binary probe
+#: touches O(log II) candidate IIs, each memo entry a node-length list.
+MODULO_MEMO_CAP = 8
+
+#: Extra fixpoint sweeps beyond the simple-witness-path bound before a
+#: modulo sweep declares the candidate II infeasible.  A maximal witness
+#: path can be taken simple (cycles of weight <= 0 never help), so it
+#: crosses each back edge at most once: ``#back_edges + 1`` sweeps reach
+#: the fixpoint of any feasible II, and continued movement afterwards
+#: certifies a positive-weight cycle.
+MODULO_SWEEP_SLACK = 2
+
 _mode_env = os.environ.get("REPRO_KERNEL", "auto")
 _KERNEL_MODE = _mode_env if _mode_env in KERNEL_MODES else "auto"
 
@@ -189,6 +201,11 @@ class CDFGView:
         "_extra_edges",
         "_asap_np",
         "_alap_np_h",
+        "back_edges",
+        "_back_succs",
+        "_back_preds",
+        "_modulo_asap_memo",
+        "_modulo_alap_memo",
     )
 
     def __init__(self, cdfg: CDFG) -> None:
@@ -206,9 +223,19 @@ class CDFGView:
         self._data_in = [0] * n
         self._data_out = [0] * n
         index = self.index
+        #: Positive-distance (inter-iteration) edges as (src, dst, dist)
+        #: index triples.  They are *excluded* from preds/succs: every
+        #: non-periodic analysis is, by construction, the analysis of
+        #: the distance-0 skeleton — the II -> infinity limit in which
+        #: back-edge constraints vanish.
+        self.back_edges: List[Tuple[int, int, int]] = []
         for i, u in enumerate(self.nodes):
             for v, attrs in g.succ[u].items():
                 j = index[v]
+                distance = attrs.get("distance", 0)
+                if distance:
+                    self.back_edges.append((i, j, distance))
+                    continue
                 self.succs[i].append(j)
                 self.preds[j].append(i)
                 if attrs["kind"] is EdgeKind.DATA:
@@ -238,6 +265,12 @@ class CDFGView:
         self._extra_edges: Optional[List[Tuple[int, int]]] = None
         self._asap_np = None
         self._alap_np_h: Optional[Tuple[int, object]] = None
+        self._back_succs: Optional[Dict[int, List[Tuple[int, int]]]] = None
+        self._back_preds: Optional[Dict[int, List[Tuple[int, int]]]] = None
+        self._modulo_asap_memo: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._modulo_alap_memo: "OrderedDict[Tuple[int, int], List[int]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # cached node sets
@@ -595,6 +628,189 @@ class CDFGView:
         return alap.tolist()
 
     # ------------------------------------------------------------------
+    # periodic (modulo-II) analyses
+    # ------------------------------------------------------------------
+    @property
+    def has_back_edges(self) -> bool:
+        """Whether the snapshot carries inter-iteration back edges."""
+        return bool(self.back_edges)
+
+    def _back_adj(
+        self,
+    ) -> Tuple[Dict[int, List[Tuple[int, int]]], Dict[int, List[Tuple[int, int]]]]:
+        """Back-edge adjacency maps ``src -> [(dst, d)]`` / reversed.
+
+        Dict-of-lists rather than node-length lists: back edges are few
+        even on large periodic designs, and acyclic graphs pay nothing.
+        """
+        if self._back_succs is None:
+            succs: Dict[int, List[Tuple[int, int]]] = {}
+            preds: Dict[int, List[Tuple[int, int]]] = {}
+            for i, j, d in self.back_edges:
+                succs.setdefault(i, []).append((j, d))
+                preds.setdefault(j, []).append((i, d))
+            self._back_succs = succs
+            self._back_preds = preds
+        return self._back_succs, self._back_preds
+
+    def _modulo_sweep_limit(self) -> int:
+        return len(self.back_edges) + 1 + MODULO_SWEEP_SLACK
+
+    def asap_modulo(self, ii: int) -> List[int]:
+        """Steady-state earliest start per node at initiation interval II.
+
+        The periodic recurrence: the window of ``v`` sees
+        ``asap(u) + lat(u) - II*distance(u, v)`` from every in-edge.
+        Computed as repeated skeleton-topo-order sweeps folding the
+        back-edge terms, to the least fixpoint; values floor at 0 (the
+        iteration's release).  With no back edges this *is* :meth:`asap`.
+
+        Raises
+        ------
+        InfeasibleScheduleError
+            If the candidate II is infeasible — some dependence cycle
+            has positive weight ``sum(lat) - II*sum(distance)``, which
+            surfaces as the sweep failing to reach a fixpoint within
+            the simple-witness-path bound.
+        """
+        if ii < 1:
+            raise InfeasibleScheduleError(
+                f"initiation interval must be >= 1, got {ii}"
+            )
+        if not self.back_edges:
+            return self.asap()
+        cached = self._modulo_asap_memo.get(ii)
+        if cached is not None:
+            self._modulo_asap_memo.move_to_end(ii)
+            return cached
+        PERF.add("kernel.modulo_asap_passes")
+        latency = self.latency
+        order = self.topo_order()
+        _, back_preds = self._back_adj()
+        asap = [0] * len(self.nodes)
+        with PERF.phase("kernel.modulo.asap"):
+            for _ in range(self._modulo_sweep_limit()):
+                changed = False
+                for i in order:
+                    lo = 0
+                    for p in self.preds[i]:
+                        candidate = asap[p] + latency[p]
+                        if candidate > lo:
+                            lo = candidate
+                    for p, d in back_preds.get(i, ()):
+                        candidate = asap[p] + latency[p] - ii * d
+                        if candidate > lo:
+                            lo = candidate
+                    if lo > asap[i]:
+                        asap[i] = lo
+                        changed = True
+                if not changed:
+                    break
+            else:
+                raise InfeasibleScheduleError(
+                    f"initiation interval {ii} infeasible for "
+                    f"{self.cdfg.name!r}: positive-weight dependence cycle"
+                )
+        self._modulo_asap_memo[ii] = asap
+        if len(self._modulo_asap_memo) > MODULO_MEMO_CAP:
+            self._modulo_asap_memo.popitem(last=False)
+        return asap
+
+    def alap_modulo(self, ii: int, horizon: int) -> List[int]:
+        """Steady-state latest start per node at II within *horizon*.
+
+        Greatest fixpoint of the reverse recurrence — the window of
+        ``u`` sees ``alap(v) + II*distance(u, v) - lat(u)`` from every
+        out-edge — with ceiling ``horizon - lat``.  Raises
+        :class:`InfeasibleScheduleError` when the II is infeasible or
+        any steady-state window would empty within *horizon*.
+        """
+        if not self.back_edges:
+            return self.alap(horizon)
+        key = (ii, horizon)
+        cached = self._modulo_alap_memo.get(key)
+        if cached is not None:
+            self._modulo_alap_memo.move_to_end(key)
+            return cached
+        asap = self.asap_modulo(ii)  # also validates the II
+        PERF.add("kernel.modulo_alap_passes")
+        latency = self.latency
+        order = self.topo_order()
+        back_succs, _ = self._back_adj()
+        alap = [horizon - latency[i] for i in range(len(self.nodes))]
+        with PERF.phase("kernel.modulo.alap"):
+            for _ in range(self._modulo_sweep_limit()):
+                changed = False
+                for i in reversed(order):
+                    hi = horizon - latency[i]
+                    for s in self.succs[i]:
+                        candidate = alap[s] - latency[i]
+                        if candidate < hi:
+                            hi = candidate
+                    for s, d in back_succs.get(i, ()):
+                        candidate = alap[s] + ii * d - latency[i]
+                        if candidate < hi:
+                            hi = candidate
+                    if hi < alap[i]:
+                        alap[i] = hi
+                        changed = True
+                if not changed:
+                    break
+            else:  # pragma: no cover - asap_modulo already rejected the II
+                raise InfeasibleScheduleError(
+                    f"initiation interval {ii} infeasible for "
+                    f"{self.cdfg.name!r}: positive-weight dependence cycle"
+                )
+        for i, name in enumerate(self.nodes):
+            if asap[i] > alap[i]:
+                raise InfeasibleScheduleError(
+                    f"window of {name!r} empty at II={ii} within "
+                    f"horizon {horizon}"
+                )
+        self._modulo_alap_memo[key] = alap
+        if len(self._modulo_alap_memo) > MODULO_MEMO_CAP:
+            self._modulo_alap_memo.popitem(last=False)
+        return alap
+
+    def ii_feasible(self, ii: int) -> bool:
+        """Whether every dependence cycle closes at this II."""
+        try:
+            self.asap_modulo(ii)
+        except InfeasibleScheduleError:
+            return False
+        return True
+
+    def min_ii(self) -> int:
+        """Smallest feasible initiation interval (the recurrence MII).
+
+        Binary probe over the feasibility predicate — feasibility is
+        monotone in II since larger IIs only lower every cycle weight.
+        ``sum(latency)`` is always a feasible upper bound: any cycle
+        crosses at least one back edge, so its weight
+        ``sum(lat) - II*sum(dist)`` is non-positive there.
+        """
+        if not self.back_edges:
+            return 1
+        lo, hi = 1, max(1, sum(self.latency))
+        if self.ii_feasible(lo):
+            return lo
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.ii_feasible(mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def modulo_critical_path_length(self, ii: int) -> int:
+        """Steady-state makespan lower bound at II (max asap + lat)."""
+        asap = self.asap_modulo(ii)
+        latency = self.latency
+        if not asap:
+            return 0
+        return max(asap[i] + latency[i] for i in range(len(asap)))
+
+    # ------------------------------------------------------------------
     # bulk feasibility screens
     # ------------------------------------------------------------------
     def feasible_pairs(
@@ -704,7 +920,9 @@ class CDFGView:
     # ------------------------------------------------------------------
     # incremental patching
     # ------------------------------------------------------------------
-    def apply_edge(self, src: str, dst: str, kind: EdgeKind) -> None:
+    def apply_edge(
+        self, src: str, dst: str, kind: EdgeKind, distance: int = 0
+    ) -> None:
         """Record an edge the owning CDFG just gained.
 
         Patches the adjacency in O(1), keeps the topological order when
@@ -715,29 +933,45 @@ class CDFGView:
         level assignment (it almost always does — levels strictly
         increase along every edge of the longest-path leveling); the
         edge then rides in the COO side list until the next full build.
+
+        A positive-distance edge lands in :attr:`back_edges` only: the
+        skeleton adjacency, topological order, levels and CSR arrays
+        are untouched by construction.
         """
         i = self.index[src]
         j = self.index[dst]
-        self.succs[i].append(j)
-        self.preds[j].append(i)
-        if kind is EdgeKind.DATA:
-            self._data_out[i] += 1
-            self._data_in[j] += 1
-            self._pis = None
-            self._pos = None
-        if self._topo_pos is not None and self._topo_pos[i] >= self._topo_pos[j]:
-            self._topo = None
-            self._topo_pos = None
-        if self._levels is not None:
-            if self._levels[i] < self._levels[j]:
-                self._extra_edges.append((i, j))
-            else:
-                self._drop_arrays()
-        self._asap = None
-        self._tails = None
-        self._alap_by_horizon.clear()
-        self._asap_np = None
-        self._alap_np_h = None
+        if distance:
+            self.back_edges.append((i, j, distance))
+            if self._back_succs is not None:
+                self._back_succs.setdefault(i, []).append((j, distance))
+                self._back_preds.setdefault(j, []).append((i, distance))
+        else:
+            self.succs[i].append(j)
+            self.preds[j].append(i)
+            if kind is EdgeKind.DATA:
+                self._data_out[i] += 1
+                self._data_in[j] += 1
+                self._pis = None
+                self._pos = None
+            if (
+                self._topo_pos is not None
+                and self._topo_pos[i] >= self._topo_pos[j]
+            ):
+                self._topo = None
+                self._topo_pos = None
+            if self._levels is not None:
+                if self._levels[i] < self._levels[j]:
+                    self._extra_edges.append((i, j))
+                else:
+                    self._drop_arrays()
+            self._asap = None
+            self._tails = None
+            self._alap_by_horizon.clear()
+            self._asap_np = None
+            self._alap_np_h = None
+        # Either way the steady-state periodic fixpoints moved.
+        self._modulo_asap_memo.clear()
+        self._modulo_alap_memo.clear()
         self.version = self.cdfg.mutation_count
 
 
@@ -755,11 +989,25 @@ class IncrementalWindows:
 
     Windows are always equal, node for node, to
     ``scheduling_windows(cdfg, horizon)`` recomputed from scratch.
+
+    Passing ``ii`` switches the instance to **periodic mode**: windows
+    are the steady-state modulo-II fixpoints
+    (:meth:`CDFGView.asap_modulo` / :meth:`CDFGView.alap_modulo`),
+    edges may carry an inter-iteration ``distance``, and propagation
+    walks back edges too.  In periodic mode the O(1) endpoint check is
+    necessary but no longer sufficient — a new edge can close a cycle
+    whose fixpoint empties a window elsewhere — so :meth:`add_edge` may
+    raise :class:`InfeasibleScheduleError` from inside propagation;
+    the delta is still computed before any mutation, so the graph and
+    windows are untouched when it does.
     """
 
-    def __init__(self, cdfg: CDFG, horizon: int) -> None:
+    def __init__(
+        self, cdfg: CDFG, horizon: int, ii: Optional[int] = None
+    ) -> None:
         self.cdfg = cdfg
         self.horizon = horizon
+        self.ii = ii
         self.view: CDFGView
         self.lo: List[int]
         self.hi: List[int]
@@ -771,8 +1019,12 @@ class IncrementalWindows:
         PERF.add("kernel.window_full_recomputes")
         view = self.cdfg.view()
         self.view = view
-        self.lo = list(view.asap())
-        self.hi = list(view.alap(self.horizon))
+        if self.ii is not None:
+            self.lo = list(view.asap_modulo(self.ii))
+            self.hi = list(view.alap_modulo(self.ii, self.horizon))
+        else:
+            self.lo = list(view.asap())
+            self.hi = list(view.alap(self.horizon))
         self._lo_np = None
         self._hi_np = None
 
@@ -807,17 +1059,30 @@ class IncrementalWindows:
             name: (lo[i], hi[i]) for i, name in enumerate(self.view.nodes)
         }
 
-    def can_add_edge(self, src: str, dst: str) -> bool:
+    def _distance_shift(self, distance: int) -> int:
+        """``ii * distance`` — validates that distances need periodic mode."""
+        if distance == 0:
+            return 0
+        if self.ii is None:
+            raise InfeasibleScheduleError(
+                "distance-carrying edges require periodic mode (pass ii)"
+            )
+        return self.ii * distance
+
+    def can_add_edge(self, src: str, dst: str, distance: int = 0) -> bool:
         """O(1) feasibility of a precedence edge src -> dst.
 
-        True iff ``asap(src) + lat(src) <= alap(dst)`` — the dynamically
-        bounded check that guarantees no window in the graph empties
-        when the edge is inserted.
+        True iff ``asap(src) + lat(src) - ii*distance <= alap(dst)`` —
+        the dynamically bounded check.  On acyclic graphs it guarantees
+        no window in the graph empties when the edge is inserted; in
+        periodic mode it is a necessary pre-screen (cycles can still
+        empty a window during propagation).
         """
         view = self.view
         i = view.index[src]
         j = view.index[dst]
-        return self.lo[i] + view.latency[i] <= self.hi[j]
+        shift = self._distance_shift(distance)
+        return self.lo[i] + view.latency[i] - shift <= self.hi[j]
 
     def feasible_edges(self, pairs: Sequence[Tuple[str, str]]) -> List[bool]:
         """:meth:`can_add_edge` over a whole candidate population.
@@ -857,7 +1122,8 @@ class IncrementalWindows:
         ]
 
     def screen_targets(
-        self, src: str, targets: Sequence[str], needed: int
+        self, src: str, targets: Sequence[str], needed: int,
+        distance: int = 0,
     ) -> List[bool]:
         """Bulk candidate screen for edge drawing out of *src*.
 
@@ -865,12 +1131,18 @@ class IncrementalWindows:
         *src*'s window **and** ``asap(src) + needed <= alap(targets[k])``
         — the two O(1) screens the watermark edge-drawing loop applies
         per candidate, evaluated for the whole population at once.
+
+        With ``distance >= 1`` (periodic mode) the target belongs to a
+        later iteration, so its window is shifted by ``ii * distance``
+        before both checks — iteration ``k + d`` of a node occupies the
+        steady-state window displaced ``d`` initiation intervals later.
         """
         self._ensure_sync()
         view = self.view
         index = view.index
         i = index[src]
         lo_i, hi_i = self.lo[i], self.hi[i]
+        shift = self._distance_shift(distance)
         count = len(targets)
         if use_bulk_arrays(count):
             np = _np
@@ -880,16 +1152,18 @@ class IncrementalWindows:
                 (index[x] for x in targets), dtype=np.int64, count=count
             )
             self._ensure_mirrors()
-            t_lo = self._lo_np[t]
-            t_hi = self._hi_np[t]
+            t_lo = self._lo_np[t] + shift
+            t_hi = self._hi_np[t] + shift
             mask = (t_lo <= hi_i) & (lo_i <= t_hi) & (lo_i + needed <= t_hi)
             return mask.tolist()
         lo, hi = self.lo, self.hi
         out: List[bool] = []
         for x in targets:
             j = index[x]
+            t_lo = lo[j] + shift
+            t_hi = hi[j] + shift
             out.append(
-                lo[j] <= hi_i and lo_i <= hi[j] and lo_i + needed <= hi[j]
+                t_lo <= hi_i and lo_i <= t_hi and lo_i + needed <= t_hi
             )
         return out
 
@@ -897,32 +1171,45 @@ class IncrementalWindows:
     # mutation
     # ------------------------------------------------------------------
     def add_edge(
-        self, src: str, dst: str, kind: EdgeKind = EdgeKind.TEMPORAL
+        self,
+        src: str,
+        dst: str,
+        kind: EdgeKind = EdgeKind.TEMPORAL,
+        distance: int = 0,
     ) -> int:
         """Insert an edge and delta-propagate the windows.
 
         Returns the number of nodes whose window changed.  Raises
         :class:`InfeasibleScheduleError` (before mutating anything) when
-        the O(1) feasibility check fails, and whatever
-        :meth:`CDFG.add_edge` raises on duplicates or cycles.
+        the O(1) feasibility check fails — or, in periodic mode, when
+        propagation proves the edge would empty a window through a
+        dependence cycle — and whatever :meth:`CDFG.add_edge` raises on
+        duplicates or cycles.
 
-        The delta is computed *before* the graph mutates — propagation
-        never traverses the edge being inserted (doing so would require
-        a cycle), so the pre-insertion adjacency yields the identical
-        fixpoint and the CSR arrays stay valid while the cone is walked.
+        The delta is computed *before* the graph mutates.  On acyclic
+        graphs propagation never traverses the edge being inserted
+        (doing so would require a cycle), so the pre-insertion adjacency
+        yields the identical fixpoint and the CSR arrays stay valid
+        while the cone is walked; in periodic mode the pending edge is
+        threaded through the worklists explicitly, since a cycle
+        through it can feed its own endpoints.
         """
         self._ensure_sync()
         view = self.view
         i = view.index[src]
         j = view.index[dst]
-        if self.lo[i] + view.latency[i] > self.hi[j]:
+        shift = self._distance_shift(distance)
+        if self.lo[i] + view.latency[i] - shift > self.hi[j]:
             raise InfeasibleScheduleError(
                 f"edge {src!r}->{dst!r} infeasible within horizon "
                 f"{self.horizon}"
             )
-        delta = self._propagate_edge(i, j)
-        self.cdfg.add_edge(src, dst, kind)
-        view.apply_edge(src, dst, kind)
+        if self.ii is not None:
+            delta = self._propagate_edge_periodic(i, j, distance)
+        else:
+            delta = self._propagate_edge(i, j)
+        self.cdfg.add_edge(src, dst, kind, distance=distance)
+        view.apply_edge(src, dst, kind, distance=distance)
         self.cdfg._adopt_view(view)
         self._commit(delta)
         PERF.add("kernel.window_incremental_updates")
@@ -931,6 +1218,10 @@ class IncrementalWindows:
         return len(delta)
 
     def _use_vec_cone(self) -> bool:
+        if self.ii is not None:
+            # Periodic propagation crosses back edges, which break the
+            # level-monotone wave argument the batched cone relies on.
+            return False
         mode = _KERNEL_MODE
         if _np is None or mode == "reference":
             return False
@@ -995,6 +1286,84 @@ class IncrementalWindows:
                             )
                         delta[p] = (plo, candidate)
                         worklist.append(p)
+        return delta
+
+    def _propagate_edge_periodic(
+        self, i: int, j: int, distance: int
+    ) -> Dict[int, Window]:
+        """Delta windows implied by a new edge i -> j at distance d.
+
+        Worklist relaxation over the skeleton adjacency, the back
+        edges, *and* the pending edge (not yet in the graph): a cycle
+        through the new edge can raise the ASAP of its own source.
+        Starting from the standing fixpoint and only ever raising ``lo``
+        / lowering ``hi``, chaotic iteration converges to the new
+        least/greatest fixpoint in any order.  Termination is by the
+        emptied-window check: ``lo`` is bounded by ``hi <= horizon`` and
+        every update moves a value by >= 1, so an edge that closes a
+        positive-weight cycle runs its windows empty in finitely many
+        steps and raises — before anything is committed.
+        """
+        view = self.view
+        ii = self.ii
+        latency = view.latency
+        lo, hi = self.lo, self.hi
+        back_succs, back_preds = view._back_adj()
+        delta: Dict[int, Window] = {}
+
+        def cur(x: int) -> Window:
+            found = delta.get(x)
+            return found if found is not None else (lo[x], hi[x])
+
+        def fail(x: int) -> None:
+            raise InfeasibleScheduleError(
+                f"window of {view.nodes[x]!r} emptied by periodic edge "
+                f"{view.nodes[i]!r}->{view.nodes[j]!r} (distance "
+                f"{distance}) at II={ii}"
+            )
+
+        def out_edges(x: int):
+            for s in view.succs[x]:
+                yield s, 0
+            for s, d in back_succs.get(x, ()):
+                yield s, d
+            if x == i:
+                yield j, distance
+
+        def in_edges(x: int):
+            for p in view.preds[x]:
+                yield p, 0
+            for p, d in back_preds.get(x, ()):
+                yield p, d
+            if x == j:
+                yield i, distance
+
+        # Forward: raise ASAPs, seeding from the pending edge's source.
+        worklist = deque([i])
+        while worklist:
+            x = worklist.popleft()
+            base = cur(x)[0] + latency[x]
+            for s, d in out_edges(x):
+                candidate = base - ii * d
+                slo, shi = cur(s)
+                if candidate > slo:
+                    if candidate > shi:
+                        fail(s)
+                    delta[s] = (candidate, shi)
+                    worklist.append(s)
+        # Backward: lower ALAPs, seeding from the pending edge's sink.
+        worklist = deque([j])
+        while worklist:
+            x = worklist.popleft()
+            xhi = cur(x)[1]
+            for p, d in in_edges(x):
+                plo, phi = cur(p)
+                candidate = xhi + ii * d - latency[p]
+                if candidate < phi:
+                    if plo > candidate:
+                        fail(p)
+                    delta[p] = (plo, candidate)
+                    worklist.append(p)
         return delta
 
     def _cone_propagate_vec(
@@ -1233,9 +1602,17 @@ class IncrementalWindows:
         pins are excluded — only edge insertions keep the full-recompute
         equivalence (pins add constraints the graph does not carry).
         """
-        from repro.timing.windows import scheduling_windows
+        from repro.timing.windows import (
+            periodic_scheduling_windows,
+            scheduling_windows,
+        )
 
-        full = scheduling_windows(self.cdfg, self.horizon)
+        if self.ii is not None:
+            full = periodic_scheduling_windows(
+                self.cdfg, self.horizon, self.ii
+            )
+        else:
+            full = scheduling_windows(self.cdfg, self.horizon)
         mine = self.windows()
         assert mine == full, (
             "incremental windows diverged from full recompute: "

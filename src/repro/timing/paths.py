@@ -110,7 +110,7 @@ def levels_from_root(cdfg: CDFG, root: str) -> Dict[str, int]:
         if node not in cone or node == root:
             continue
         best = -1
-        for succ in cdfg.successors(node, kinds=kinds):
+        for succ in cdfg.successors(node, kinds=kinds, skeleton=True):
             if succ in levels:
                 best = max(best, levels[succ] + 1)
         if best >= 0:

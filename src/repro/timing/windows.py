@@ -29,9 +29,11 @@ __all__ = [
     "asap_schedule",
     "alap_schedule",
     "scheduling_windows",
+    "periodic_scheduling_windows",
     "mobility",
     "makespan",
     "critical_path_length",
+    "periodic_critical_path_length",
     "windows_overlap",
 ]
 
@@ -65,6 +67,16 @@ def makespan(cdfg: CDFG, start: Dict[str, int]) -> int:
 def critical_path_length(cdfg: CDFG) -> int:
     """Length of the critical path in control steps (the paper's ``C``)."""
     return cdfg.view().critical_path_length()
+
+
+def periodic_critical_path_length(cdfg: CDFG, ii: int) -> int:
+    """Steady-state iteration latency at initiation interval *ii*.
+
+    The periodic analogue of :func:`critical_path_length`: the makespan
+    of the modulo-ASAP schedule.  Equals the plain critical path on
+    acyclic designs (back-edge terms never appear).
+    """
+    return cdfg.view().modulo_critical_path_length(ii)
 
 
 def alap_schedule(cdfg: CDFG, horizon: int) -> Dict[str, int]:
@@ -106,6 +118,32 @@ def scheduling_windows(
         }
     return {
         name: (asap[name], alap_arr[i]) for i, name in enumerate(view.nodes)
+    }
+
+
+def periodic_scheduling_windows(
+    cdfg: CDFG, horizon: int, ii: int
+) -> Dict[str, Tuple[int, int]]:
+    """Steady-state (asap, alap) windows at initiation interval *ii*.
+
+    The periodic analogue of :func:`scheduling_windows`: every
+    inter-iteration edge ``(u, v, d)`` contributes
+    ``asap(u) + lat(u) - ii*d`` to the window of ``v``.  On an acyclic
+    design (no back edges) this equals :func:`scheduling_windows` for
+    every ``ii`` — the back-edge terms simply never appear.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If *ii* is below the recurrence MII, or *horizon* is too short
+        for the steady-state windows.
+    """
+    view = cdfg.view()
+    asap_arr = view.asap_modulo(ii)
+    alap_arr = view.alap_modulo(ii, horizon)
+    return {
+        name: (asap_arr[i], alap_arr[i])
+        for i, name in enumerate(view.nodes)
     }
 
 

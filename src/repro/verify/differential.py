@@ -25,6 +25,11 @@ whenever they disagree:
   against a direct :func:`repro.arena.sweep.attack_once` call on the
   same marked instance, asserting bit-identical trial results through
   the CDFG/schedule/record JSON round trip.
+* :func:`oracle_periodic_windows` — the modulo kernel's steady-state
+  windows (algebraic ``- ii*distance`` folding, a few sweeps) against
+  the unrolled reference (one materialized graph copy per unit of
+  total back-edge distance), bit-identical at several IIs per cyclic
+  design, with matching infeasibility verdicts below the minimum II.
 * :func:`oracle_rtl_roundtrip` — Verilog emission against extraction:
   emit a scheduled+bound (possibly marked) design, parse the text back,
   and demand bit-identical controller tables, bindings, schedules,
@@ -43,7 +48,7 @@ from typing import List, Optional, Tuple
 
 import networkx as nx
 
-from repro.cdfg.generators import random_layered_cdfg
+from repro.cdfg.generators import random_cyclic_cdfg, random_layered_cdfg
 from repro.cdfg.graph import CDFG
 from repro.core.coincidence import exact_pc, monte_carlo_pc
 from repro.core.domain import DomainParams
@@ -69,7 +74,13 @@ from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.resources import UNLIMITED, ResourceSet
 from repro.scheduling.schedule import Schedule
 from repro.timing.kernel import IncrementalWindows
-from repro.timing.windows import critical_path_length, scheduling_windows
+from repro.timing.unrolled import unrolled_reference_windows
+from repro.timing.windows import (
+    critical_path_length,
+    periodic_critical_path_length,
+    periodic_scheduling_windows,
+    scheduling_windows,
+)
 from repro.verify.report import Divergence
 
 #: Author every verification embed uses; constraints are keyed, so a
@@ -431,6 +442,93 @@ def windows_kernel_trial(seed: int) -> List[Divergence]:
 def oracle_windows_kernel(base_seed: int, trial: int) -> List[Divergence]:
     """Incremental-windows oracle, one trial."""
     return windows_kernel_trial(derive_seed(base_seed, trial, "windows"))
+
+
+# ----------------------------------------------------------------------
+# periodic windows: modulo kernel vs unrolled reference
+# ----------------------------------------------------------------------
+def periodic_windows_trial(seed: int) -> List[Divergence]:
+    """Modulo steady-state windows against honest iteration unrolling.
+
+    One random cyclic design per trial; at the minimum II and two
+    looser ones the kernel's O(nodes · sweeps) fixpoint must match the
+    O(nodes · Σdistance) unrolled recompute node-for-node, and one II
+    below the minimum both sides must refuse.
+    """
+    rng = random.Random(seed)
+    design = random_cyclic_cdfg(
+        rng.choice((24, 36, 48)),
+        seed=seed,
+        num_back_edges=rng.randint(1, 6),
+        max_distance=rng.randint(1, 3),
+    )
+    mii = design.view().min_ii()
+    divergences: List[Divergence] = []
+
+    def report(detail: str, **data) -> None:
+        divergences.append(
+            Divergence(
+                oracle="periodic_windows",
+                design=design.name,
+                seed=seed,
+                detail=detail,
+                data=data,
+            )
+        )
+
+    for ii in (mii, mii + 1, mii + rng.randint(2, 5)):
+        horizon = periodic_critical_path_length(design, ii) + rng.randint(0, 3)
+        kernel = periodic_scheduling_windows(design, horizon, ii)
+        try:
+            reference = unrolled_reference_windows(design, horizon, ii)
+        except InfeasibleScheduleError as exc:
+            report(
+                f"kernel accepted II={ii} but the unrolled reference "
+                f"refused: {exc}",
+                ii=ii,
+                horizon=horizon,
+            )
+            continue
+        if kernel != reference:
+            diffs = {
+                n: (kernel[n], reference[n])
+                for n in reference
+                if kernel[n] != reference[n]
+            }
+            report(
+                f"modulo windows diverged from unrolled reference on "
+                f"{len(diffs)} node(s) at II={ii}",
+                ii=ii,
+                horizon=horizon,
+                diffs={n: list(map(list, d)) for n, d in diffs.items()},
+            )
+
+    if mii > 1:
+        infeasible_ii = mii - 1
+        horizon = periodic_critical_path_length(design, mii) + 4
+        verdicts = {}
+        for label, fn in (
+            ("kernel", periodic_scheduling_windows),
+            ("unrolled", unrolled_reference_windows),
+        ):
+            try:
+                fn(design, horizon, infeasible_ii)
+                verdicts[label] = "accepted"
+            except InfeasibleScheduleError:
+                verdicts[label] = "refused"
+        if len(set(verdicts.values())) != 1 or "accepted" in verdicts.values():
+            report(
+                f"infeasibility verdicts disagree below min II "
+                f"({infeasible_ii} < {mii}): {verdicts}",
+                ii=infeasible_ii,
+                verdicts=verdicts,
+            )
+    return divergences
+
+
+def oracle_periodic_windows(base_seed: int, trial: int) -> List[Divergence]:
+    """Periodic-windows oracle, one trial."""
+    return periodic_windows_trial(derive_seed(base_seed, trial, "periodic"))
 
 
 # ----------------------------------------------------------------------

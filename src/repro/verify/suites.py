@@ -57,6 +57,7 @@ DIFFERENTIAL_ORACLES: Dict[str, TrialFn] = {
     "schedulers": differential.oracle_schedulers,
     "embed_paths": differential.oracle_embed_paths,
     "windows_kernel": differential.oracle_windows_kernel,
+    "periodic_windows": differential.oracle_periodic_windows,
     "kernel_vectorized": differential.oracle_kernel_vectorized,
     "rtl_roundtrip": differential.oracle_rtl_roundtrip,
 }

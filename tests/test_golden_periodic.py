@@ -1,0 +1,143 @@
+"""Golden battery for the periodic (streaming) pipeline.
+
+Each golden file in ``tests/golden/periodic/`` snapshots the full
+deterministic cyclic pipeline on one design: the periodic watermark
+record (cross-iteration temporal edges, distances, II), the modulo
+schedule of the marked design, and the verification triple
+``(satisfied, total, log10_pc)``.  The pipeline is seeded entirely by
+the author signature, so any drift in the modulo kernel's steady-state
+windows, the periodic edge-drawing loops, the min-II search, or the
+periodic coincidence model changes the snapshot — byte-pinned numbers,
+not just shapes.
+
+Regenerate after an intentional behavior change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_periodic.py
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import pytest
+
+from repro.cdfg.designs import periodic_design
+from repro.core.domain import DomainParams
+from repro.core.records import scheduling_watermark_to_dict
+from repro.core.scheduling_wm import SchedulingWatermarker, SchedulingWMParams
+from repro.crypto.signature import AuthorSignature
+from repro.resilience.pipeline import robust_schedule
+from repro.timing.windows import periodic_critical_path_length
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "periodic"
+
+GOLDEN_AUTHOR = "golden-author"
+
+
+def _params(horizon: Optional[int] = None, **kwargs) -> SchedulingWMParams:
+    return SchedulingWMParams(
+        domain=DomainParams(tau=4, min_domain_size=4),
+        horizon=horizon,
+        **kwargs,
+    )
+
+
+def _pid_config():
+    # The PID loop is rigid at its minimum II (the anti-windup cycle
+    # pins four operations exactly), so the watermark pays one extra
+    # interval and two horizon steps — the II+1 case the E15 gate
+    # allows.
+    design = periodic_design("pid-cyclic")
+    ii = design.view().min_ii() + 1
+    horizon = periodic_critical_path_length(design, ii) + 2
+    return _params(
+        horizon=horizon, eligibility="mobility", min_mobility=1
+    ), ii
+
+
+#: name -> (params, explicit ii or None for the design's minimum II).
+CONFIGS = {
+    "biquad_cyclic": lambda: (_params(), None),
+    "pid_cyclic": _pid_config,
+    "echo_cyclic_small": lambda: (
+        _params(eligibility="mobility", k=3),
+        None,
+    ),
+}
+
+#: Golden snapshot name -> periodic suite name.
+DESIGNS = {
+    "biquad_cyclic": "biquad-cyclic",
+    "pid_cyclic": "pid-cyclic",
+    "echo_cyclic_small": "echo-cyclic-small",
+}
+
+
+def golden_snapshot(name: str) -> Dict[str, Any]:
+    """The deterministic periodic pipeline output for one design."""
+    design = periodic_design(DESIGNS[name])
+    params, ii = CONFIGS[name]()
+    marker = SchedulingWatermarker(AuthorSignature(GOLDEN_AUTHOR), params)
+    marked, watermark = marker.embed(design, ii=ii)
+    result = robust_schedule(marked, horizon=watermark.horizon, ii=watermark.ii)
+    verdict = marker.verify(design, result.schedule, watermark)
+    return {
+        "design": design.name,
+        "min_ii": design.view().min_ii(),
+        "record": scheduling_watermark_to_dict(watermark),
+        "schedule": {
+            "scheduler": result.scheduler,
+            "ii": result.ii,
+            "makespan": result.makespan,
+            "start_times": dict(sorted(result.schedule.start_times.items())),
+        },
+        "verification": {
+            "satisfied": verdict.satisfied,
+            "total": verdict.total,
+            "log10_pc": verdict.log10_pc,
+        },
+    }
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_golden_periodic(name):
+    snapshot = golden_snapshot(name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    assert path.exists(), (
+        f"golden file {path} missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    assert snapshot == golden, (
+        f"periodic pipeline output for {name!r} drifted from {path}; if "
+        f"the change is intentional, regenerate with REPRO_REGEN_GOLDEN=1 "
+        f"and review the diff"
+    )
+
+
+def test_golden_periodic_watermarks_meaningful():
+    # Every snapshot must stay a real cross-iteration watermark: all
+    # edges carry distance >= 1, the schedule satisfies every one, and
+    # the achieved II never exceeds the design's minimum by more than 1
+    # (the E15 gate).
+    for name in DESIGNS:
+        golden = json.loads(
+            (GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8")
+        )
+        record = golden["record"]
+        assert record["ii"] is not None
+        assert record["distances"], name
+        assert all(d >= 1 for d in record["distances"])
+        verdict = golden["verification"]
+        assert verdict["satisfied"] == verdict["total"] > 0
+        assert golden["schedule"]["ii"] <= golden["min_ii"] + 1

@@ -79,6 +79,7 @@ class TestOraclesClean:
             "schedulers",
             "embed_paths",
             "windows_kernel",
+            "periodic_windows",
             "kernel_vectorized",
             "rtl_roundtrip",
             "coincidence_mc",

@@ -79,10 +79,10 @@ class TestTeeth:
 
         original = Schedule.satisfies_order
 
-        def buggy(self, before, after):
+        def buggy(self, before, after, distance=0, ii=None):
             if before.startswith("r_"):
                 return False
-            return original(self, before, after)
+            return original(self, before, after, distance=distance, ii=ii)
 
         monkeypatch.setattr(Schedule, "satisfies_order", buggy)
         divergences = []
